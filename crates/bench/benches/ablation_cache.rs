@@ -1,0 +1,63 @@
+//! Ablation: the LRU intermediate-result cache (§5.4).
+//!
+//! Two derivation sequences performing the same expensive derivation
+//! should compute it only once. Compares repeated plan execution with the
+//! result cache enabled vs disabled on the rack-heat case-study plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrubjay_bench::bench_ctx;
+use sjcore::cache::ResultCache;
+use sjcore::engine::{Query, QueryEngine, QueryValue};
+use sjdata::{dat1, Dat1Config};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let (catalog, _) = dat1(
+        &ctx,
+        &Dat1Config {
+            racks: 6,
+            nodes_per_rack: 4,
+            amg_rack_index: 3,
+            amg_nodes: 3,
+            background_jobs: 4,
+            duration_secs: 3600,
+            ..Dat1Config::default()
+        },
+    )
+    .expect("dat1");
+    let query = Query::new(
+        ["job", "rack"],
+        vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+    );
+    let plan = QueryEngine::new(&catalog).solve(&query).expect("solvable");
+
+    let mut group = c.benchmark_group("ablation_result_cache");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("cache_off"), |b| {
+        b.iter(|| {
+            // Three executions, all paying full price.
+            for _ in 0..3 {
+                plan.execute(&catalog, None)
+                    .expect("execute")
+                    .count()
+                    .expect("count");
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("cache_on"), |b| {
+        b.iter(|| {
+            // Three executions; the second and third hit the cache.
+            let cache = ResultCache::new(256 << 20);
+            for _ in 0..3 {
+                plan.execute(&catalog, Some(&cache))
+                    .expect("execute")
+                    .count()
+                    .expect("count");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

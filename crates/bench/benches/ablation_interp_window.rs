@@ -1,0 +1,59 @@
+//! Ablation: interpolation-join window sensitivity (§5.3).
+//!
+//! The window `W` bounds both match quality and cost: wider windows admit
+//! more in-bin pairs (more quadratic work), narrower windows drop
+//! matches. Sweeps W over the interp workload, reporting wall time;
+//! match counts per W are printed by the setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrubjay_bench::interp_workload;
+use sjcore::derivations::combine::InterpolationJoin;
+use sjcore::derivations::Combination;
+use sjcore::SemanticDictionary;
+use sjdata::synth::interp_join_inputs;
+use sjdf::{ClusterSpec, ExecCtx};
+
+const WINDOWS: [f64; 5] = [15.0, 30.0, 60.0, 120.0, 240.0];
+
+fn bench(c: &mut Criterion) {
+    let dict = SemanticDictionary::default_hpc();
+    let rows = 20_000usize;
+
+    eprintln!("\n# Interpolation-join window sensitivity ({rows} rows/side)");
+    eprintln!("# W_secs, output_rows");
+    for w in WINDOWS {
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+        let (l, r) = interp_join_inputs(&ctx, &interp_workload(rows));
+        let n = InterpolationJoin::new(w)
+            .apply(&l, &r, &dict)
+            .expect("join")
+            .count()
+            .expect("count");
+        eprintln!("{w}, {n}");
+    }
+
+    let mut group = c.benchmark_group("ablation_interp_window");
+    group.sample_size(10);
+    for w in WINDOWS {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter_batched(
+                || {
+                    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+                    interp_join_inputs(&ctx, &interp_workload(rows))
+                },
+                |(l, r)| {
+                    InterpolationJoin::new(w)
+                        .apply(&l, &r, &dict)
+                        .expect("join")
+                        .count()
+                        .expect("count")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: memoization in the derivation search (§5.2).
+//!
+//! The paper memoizes `CombinePair`/`CombineSet` results because at each
+//! widening iteration the search re-tests mostly-identical pairs. This
+//! bench compares repeated query solving with memoization enabled vs
+//! disabled on catalogs large enough to need widening.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrubjay_bench::{bench_ctx, synthetic_catalog};
+use sjcore::engine::{EngineConfig, Query, QueryEngine, QueryValue};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let catalog = synthetic_catalog(&ctx, 16);
+    let queries: Vec<Query> = vec![
+        Query::new(
+            ["node", "rack"],
+            vec![QueryValue::dim("temperature"), QueryValue::dim("power")],
+        ),
+        Query::new(
+            ["cpu", "socket"],
+            vec![QueryValue::dim("humidity"), QueryValue::dim("power")],
+        ),
+        Query::new(
+            ["job", "node"],
+            vec![QueryValue::dim("thermal-margin")],
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation_search_memoization");
+    group.sample_size(20);
+    for memoize in [true, false] {
+        let label = if memoize { "memo_on" } else { "memo_off" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &memoize, |b, &memoize| {
+            b.iter(|| {
+                // One engine across a query batch — the memo pays off
+                // within and across queries.
+                let engine = QueryEngine::with_config(
+                    &catalog,
+                    EngineConfig {
+                        memoize,
+                        ..EngineConfig::default()
+                    },
+                );
+                for q in &queries {
+                    engine.solve(q).expect("solvable");
+                    engine.solve(q).expect("solvable");
+                }
+                engine.stats().pair_tests
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 3a: Natural Join time vs input rows.
+//!
+//! Criterion measures the real data-parallel natural join over a local
+//! row sweep (the paper's linear-in-rows shape must hold on real
+//! execution), and the setup prints the paper-scale series — 2M to 40M
+//! rows costed against the 10-node × 32-core virtual cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scrubjay_bench::{bench_ctx, natural_workload};
+use sjcore::derivations::combine::NaturalJoin;
+use sjcore::derivations::Combination;
+use sjcore::SemanticDictionary;
+use sjdata::synth::natural_join_inputs;
+use sjdf::simtime::{estimate, scale_report, CostParams};
+use sjdf::{ClusterSpec, ExecCtx};
+
+fn print_paper_series() {
+    let ctx = bench_ctx();
+    let dict = SemanticDictionary::default_hpc();
+    let calib = 40_000usize;
+    let (l, r) = natural_join_inputs(&ctx, &natural_workload(calib));
+    NaturalJoin
+        .apply(&l, &r, &dict)
+        .expect("join")
+        .count()
+        .expect("count");
+    let report = ctx.metrics.report();
+    let cluster = ClusterSpec::paper_cluster();
+    let params = CostParams::paper();
+    eprintln!("\n# Figure 3a — Natural Join, 10 nodes x 32 cores (simulated)");
+    eprintln!("# rows, seconds   [paper: ~2s @2M .. ~8s @40M, linear]");
+    for rows in (2..=40).step_by(4).map(|m| m * 1_000_000usize) {
+        let scaled = scale_report(&report, rows as f64 / calib as f64);
+        eprintln!(
+            "{rows}, {:.2}",
+            estimate(&scaled, &cluster, &params).total()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_paper_series();
+    let dict = SemanticDictionary::default_hpc();
+    let mut group = c.benchmark_group("fig3a_natural_join_rows");
+    group.sample_size(10);
+    for rows in [5_000usize, 10_000, 20_000, 40_000] {
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter_batched(
+                || {
+                    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+                    natural_join_inputs(&ctx, &natural_workload(rows))
+                },
+                |(l, r)| {
+                    NaturalJoin
+                        .apply(&l, &r, &dict)
+                        .expect("join")
+                        .count()
+                        .expect("count")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figures 3b and 3d: strong scaling of both joins, 1–10 nodes.
+//!
+//! The node sweep cannot run physically on one machine; the setup prints
+//! both simulated series (real local task metrics, costed per node
+//! count), and criterion measures the end-to-end
+//! measure-scale-estimate pipeline that produces them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrubjay_bench::{bench_ctx, interp_workload, natural_workload, INTERP_WINDOW_SECS};
+use sjcore::derivations::combine::{InterpolationJoin, NaturalJoin};
+use sjcore::derivations::Combination;
+use sjcore::SemanticDictionary;
+use sjdata::synth::{interp_join_inputs, natural_join_inputs};
+use sjdf::metrics::MetricsReport;
+use sjdf::simtime::{estimate, scale_report, CostParams};
+use sjdf::ClusterSpec;
+
+fn measure(join: &str, rows: usize) -> MetricsReport {
+    let ctx = bench_ctx();
+    let dict = SemanticDictionary::default_hpc();
+    match join {
+        "natural" => {
+            let (l, r) = natural_join_inputs(&ctx, &natural_workload(rows));
+            NaturalJoin.apply(&l, &r, &dict).expect("join").count().expect("count");
+        }
+        _ => {
+            let (l, r) = interp_join_inputs(&ctx, &interp_workload(rows));
+            InterpolationJoin::new(INTERP_WINDOW_SECS)
+                .apply(&l, &r, &dict)
+                .expect("join")
+                .count()
+                .expect("count");
+        }
+    }
+    ctx.metrics.report()
+}
+
+fn print_paper_series() {
+    let params = CostParams::paper();
+    let calib = 40_000usize;
+    let base = ClusterSpec::paper_cluster();
+
+    let nj = scale_report(&measure("natural", calib), 40_000_000.0 / calib as f64);
+    eprintln!("\n# Figure 3b — Natural Join strong scaling, 40M rows (simulated)");
+    eprintln!("# nodes, seconds   [paper: ~13s @1 node .. ~8.5s @10 nodes]");
+    for nodes in 1..=10 {
+        let t = estimate(&nj, &base.with_nodes(nodes), &params).total();
+        eprintln!("{nodes}, {t:.2}");
+    }
+
+    let ij = scale_report(&measure("interp", calib), 16_000_000.0 / calib as f64);
+    eprintln!("\n# Figure 3d — Interpolation Join strong scaling, 16M rows (simulated)");
+    eprintln!("# nodes, seconds   [paper: ~240s @1 node .. ~45s @10 nodes]");
+    for nodes in 1..=10 {
+        let t = estimate(&ij, &base.with_nodes(nodes), &params).total();
+        eprintln!("{nodes}, {t:.2}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_paper_series();
+    let mut group = c.benchmark_group("fig3bd_strong_scaling_pipeline");
+    group.sample_size(10);
+    for join in ["natural", "interp"] {
+        group.bench_with_input(BenchmarkId::from_parameter(join), &join, |b, &join| {
+            b.iter(|| {
+                let report = measure(join, 10_000);
+                let base = ClusterSpec::paper_cluster();
+                let params = CostParams::paper();
+                (1..=10)
+                    .map(|n| estimate(&report, &base.with_nodes(n), &params).total())
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! §5.2 claim: the derivation engine answers queries "at interactive
+//! rates" because the search runs over data semantics only (constant-time
+//! schema checks, memoization, polynomial search).
+//!
+//! Measures `QueryEngine::solve` latency against catalogs of growing
+//! size, plus the two case-study queries on their real DAT catalogs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrubjay_bench::{bench_ctx, synthetic_catalog};
+use sjcore::engine::{Query, QueryEngine, QueryValue};
+use sjdata::{dat1, dat2, Dat1Config, Dat2Config};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+
+    let mut group = c.benchmark_group("query_latency_catalog_size");
+    group.sample_size(20);
+    for n in [2usize, 4, 8, 16, 32] {
+        let catalog = synthetic_catalog(&ctx, n);
+        let query = Query::new(
+            ["node", "rack"],
+            vec![QueryValue::dim("temperature"), QueryValue::dim("power")],
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // A fresh engine per iteration: measure cold-memo search.
+                let engine = QueryEngine::new(&catalog);
+                engine.solve(&query).expect("solvable")
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("query_latency_case_studies");
+    group.sample_size(20);
+    let (cat1, _) = dat1(
+        &ctx,
+        &Dat1Config {
+            racks: 6,
+            nodes_per_rack: 4,
+            amg_rack_index: 3,
+            amg_nodes: 3,
+            background_jobs: 4,
+            duration_secs: 1800,
+            ..Dat1Config::default()
+        },
+    )
+    .expect("dat1");
+    let rack_heat = Query::new(
+        ["job", "rack"],
+        vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+    );
+    group.bench_function("rack_heat_fig5", |b| {
+        b.iter(|| QueryEngine::new(&cat1).solve(&rack_heat).expect("solvable"))
+    });
+
+    let (cat2, _) = dat2(
+        &ctx,
+        &Dat2Config {
+            nodes: 1,
+            cpus_per_node: 2,
+            run_secs: 60,
+            gap_secs: 10,
+            sample_interval_secs: 5.0,
+            ..Dat2Config::default()
+        },
+    )
+    .expect("dat2");
+    let throttle = Query::new(
+        ["cpu", "node", "socket"],
+        vec![
+            QueryValue::dim("frequency"),
+            QueryValue::with_units("instructions", "instructions-per-ms"),
+            QueryValue::dim("power"),
+        ],
+    );
+    group.bench_function("active_frequency_fig7", |b| {
+        b.iter(|| QueryEngine::new(&cat2).solve(&throttle).expect("solvable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Shared helpers for the ScrubJay benchmark harness.
+//!
+//! One bench target exists per figure in the paper's evaluation (§6,
+//! Figure 3) plus the §5.2 "interactive rates" claim and ablations of the
+//! design choices DESIGN.md calls out. Criterion measures the real local
+//! algorithms; the paper-scale series (10-node cluster) are produced by
+//! costing the recorded task metrics with `sjdf::simtime` and printed by
+//! the benches' setup code so `cargo bench` regenerates every panel.
+
+#![forbid(unsafe_code)]
+
+use sjcore::catalog::Catalog;
+use sjcore::{FieldDef, FieldSemantics, Row, Schema, SjDataset, Timestamp, Value};
+use sjdata::synth::JoinWorkload;
+use sjdf::{ClusterSpec, ExecCtx};
+
+/// Execution context for benches: a small fixed-thread local cluster so
+/// results are comparable across machines.
+pub fn bench_ctx() -> ExecCtx {
+    ExecCtx::new(ClusterSpec::new(1, 2).expect("bench cluster"))
+}
+
+/// The natural-join workload of Figure 3 (exactly matching timestamps).
+///
+/// The time range grows with the row count so the sample *density* —
+/// and therefore the per-row match multiplicity and per-row cost — is
+/// constant across the sweep. This is what makes the paper's
+/// time-vs-rows curves linear, and what lets metrics measured at one
+/// size extrapolate linearly to another.
+pub fn natural_workload(rows: usize) -> JoinWorkload {
+    JoinWorkload {
+        rows,
+        nodes: 500,
+        time_range_secs: ((rows as f64 * 0.36) as i64).max(600),
+        partitions: 8,
+        seed: 42,
+    }
+}
+
+/// The interpolation-join workload of Figure 3: dense in time, so each
+/// left element matches several right samples inside the window.
+/// Density-constant across the sweep, like [`natural_workload`].
+pub fn interp_workload(rows: usize) -> JoinWorkload {
+    JoinWorkload {
+        rows,
+        nodes: 100,
+        time_range_secs: ((rows as f64 * 0.18) as i64).max(600),
+        partitions: 8,
+        seed: 42,
+    }
+}
+
+/// Interpolation-join window used throughout the harness (seconds).
+pub const INTERP_WINDOW_SECS: f64 = 60.0;
+
+/// A synthetic catalog with `n` datasets for derivation-engine benches.
+///
+/// Dataset `i` carries domain dimensions picked from a pool so that
+/// neighbouring datasets share domains (making multi-step plans
+/// necessary), plus one unique value column.
+pub fn synthetic_catalog(ctx: &ExecCtx, n: usize) -> Catalog {
+    let mut catalog = Catalog::default_hpc();
+    let domain_pool = [
+        ("node", "compute-node", "node-id"),
+        ("rack", "rack", "rack-id"),
+        ("cpu", "cpu", "cpu-id"),
+        ("socket", "socket", "socket-id"),
+        ("job", "job", "job-id"),
+    ];
+    let value_pool = [
+        ("temperature", "celsius"),
+        ("power", "watts"),
+        ("humidity", "percent-rh"),
+        ("thermal-margin", "margin-celsius"),
+    ];
+    for i in 0..n {
+        let (d1n, d1d, d1u) = domain_pool[i % domain_pool.len()];
+        let (d2n, d2d, d2u) = domain_pool[(i + 1) % domain_pool.len()];
+        let (vd, vu) = value_pool[i % value_pool.len()];
+        let schema = Schema::new(vec![
+            FieldDef::new(d1n, FieldSemantics::domain(d1d, d1u)),
+            FieldDef::new(d2n, FieldSemantics::domain(d2d, d2u)),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new(&format!("v{i}"), FieldSemantics::value(vd, vu)),
+        ])
+        .expect("synthetic schema");
+        let rows: Vec<Row> = (0..16)
+            .map(|k| {
+                Row::new(vec![
+                    Value::str(format!("a{k}")),
+                    Value::str(format!("b{k}")),
+                    Value::Time(Timestamp::from_secs(k)),
+                    Value::Float(k as f64),
+                ])
+            })
+            .collect();
+        catalog
+            .register_dataset(
+                &format!("ds{i}"),
+                SjDataset::from_rows(ctx, rows, schema, format!("ds{i}"), 2),
+            )
+            .expect("register synthetic dataset");
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_catalog_builds() {
+        let ctx = bench_ctx();
+        let c = synthetic_catalog(&ctx, 5);
+        assert_eq!(c.dataset_names().len(), 5);
+    }
+
+    #[test]
+    fn workloads_differ_in_density() {
+        let a = natural_workload(40_000);
+        let b = interp_workload(40_000);
+        assert!(b.nodes < a.nodes);
+        assert!(b.time_range_secs < a.time_range_secs);
+        // Density (rows per second) is constant across the sweep, so
+        // per-row cost stays constant and metrics extrapolate linearly.
+        let big = interp_workload(80_000);
+        assert_eq!(big.time_range_secs, 2 * b.time_range_secs);
+    }
+}

@@ -1,0 +1,212 @@
+//! A small, self-contained LZSS byte compressor.
+//!
+//! The paper's conclusion (§9) envisions a storage cache hierarchy where
+//! old intermediate-result entries "may be compressed and stored in
+//! separate long-term storage devices". The cold tier of
+//! [`crate::cache::TieredCache`] uses this codec. Serialized row sets are
+//! highly repetitive (JSON keys, repeated identifiers), so even a simple
+//! greedy LZSS with a hash-chained 64 KiB window compresses them well.
+//!
+//! Format: a stream of tagged tokens. A control byte holds 8 flags
+//! (LSB first); flag 0 = literal byte follows, flag 1 = a match follows
+//! as a 2-byte little-endian `offset` (1..=65535) and 1-byte
+//! `length - MIN_MATCH` (match lengths 4..=259).
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const WINDOW: usize = 65_535;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress a byte slice. The output always round-trips through
+/// [`decompress`]; it may be larger than the input for incompressible
+/// data (callers should keep whichever is smaller).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let mut i = 0usize;
+    let mut ctrl_pos = usize::MAX;
+    let mut ctrl_bit = 8u8;
+    let mut push_flag = |out: &mut Vec<u8>, flag: bool| {
+        if ctrl_bit == 8 {
+            ctrl_pos = out.len();
+            out.push(0);
+            ctrl_bit = 0;
+        }
+        if flag {
+            out[ctrl_pos] |= 1 << ctrl_bit;
+        }
+        ctrl_bit += 1;
+    };
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut tries = 32;
+            while cand != usize::MAX && i - cand <= WINDOW && tries > 0 {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            push_flag(&mut out, true);
+            out.extend_from_slice(&(best_off as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Insert hash entries for skipped positions to keep the
+            // chains useful.
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= data.len() && j < end {
+                let h = hash4(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i = end;
+        } else {
+            push_flag(&mut out, false);
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompress a [`compress`]-produced buffer.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 8 {
+        return None;
+    }
+    let expected = u64::from_le_bytes(data[..8].try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut i = 8usize;
+    let mut ctrl = 0u8;
+    let mut ctrl_bit = 8u8;
+    while out.len() < expected {
+        if ctrl_bit == 8 {
+            ctrl = *data.get(i)?;
+            i += 1;
+            ctrl_bit = 0;
+        }
+        let is_match = (ctrl >> ctrl_bit) & 1 == 1;
+        ctrl_bit += 1;
+        if is_match {
+            let off = u16::from_le_bytes([*data.get(i)?, *data.get(i + 1)?]) as usize;
+            let len = *data.get(i + 2)? as usize + MIN_MATCH;
+            i += 3;
+            if off == 0 || off > out.len() {
+                return None;
+            }
+            let start = out.len() - off;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(*data.get(i)?);
+            i += 1;
+        }
+    }
+    (out.len() == expected).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trips() {
+        let c = compress(b"");
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_data_round_trips() {
+        for input in [&b"a"[..], b"ab", b"abc", b"abcd", b"hello world"] {
+            let c = compress(input);
+            assert_eq!(decompress(&c).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let json: String = (0..200)
+            .map(|i| format!("{{\"node\":\"cab{}\",\"rack\":\"rack17\",\"temp\":6{}.4}}", i % 12, i % 10))
+            .collect();
+        let data = json.as_bytes();
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(
+            c.len() * 3 < data.len(),
+            "expected >3x compression, got {} -> {}",
+            data.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn overlapping_matches_round_trip() {
+        // "aaaa..." forces matches that overlap their own output.
+        let data = vec![b'a'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 200);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn random_like_data_round_trips() {
+        // Deterministic pseudo-random bytes (incompressible).
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..5_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        assert!(decompress(b"").is_none());
+        assert!(decompress(b"1234567").is_none());
+        // Claimed length with truncated body.
+        let mut c = compress(b"some data that compresses");
+        c.truncate(c.len() - 3);
+        assert!(decompress(&c).is_none());
+        // A match reaching before the start of output.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&100u64.to_le_bytes());
+        bad.push(0b0000_0001); // first token is a match
+        bad.extend_from_slice(&5u16.to_le_bytes()); // offset 5 into empty output
+        bad.push(0);
+        assert!(decompress(&bad).is_none());
+    }
+}

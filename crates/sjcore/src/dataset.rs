@@ -1,0 +1,212 @@
+//! `SjDataset`: the ScrubJayRDD — a distributed row dataset plus its
+//! semantic schema and provenance name.
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::semantics::SemanticDictionary;
+use crate::value::Value;
+use sjdf::{ExecCtx, Rdd};
+
+/// A semantically annotated, distributed, lazy dataset (the paper's
+/// ScrubJayRDD).
+#[derive(Clone)]
+pub struct SjDataset {
+    rdd: Rdd<Row>,
+    schema: Schema,
+    name: String,
+}
+
+impl SjDataset {
+    /// Wrap an existing row RDD with a schema and a provenance name.
+    pub fn new(rdd: Rdd<Row>, schema: Schema, name: impl Into<String>) -> Self {
+        SjDataset {
+            rdd,
+            schema,
+            name: name.into(),
+        }
+    }
+
+    /// Distribute in-memory rows over `parts` partitions.
+    pub fn from_rows(
+        ctx: &ExecCtx,
+        rows: Vec<Row>,
+        schema: Schema,
+        name: impl Into<String>,
+        parts: usize,
+    ) -> Self {
+        SjDataset::new(Rdd::parallelize(ctx, rows, parts), schema, name)
+    }
+
+    /// The dataset's semantic schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Provenance name (source dataset or derivation description).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying distributed row collection.
+    pub fn rdd(&self) -> &Rdd<Row> {
+        &self.rdd
+    }
+
+    /// Replace the provenance name.
+    pub fn renamed(self, name: impl Into<String>) -> Self {
+        SjDataset {
+            name: name.into(),
+            ..self
+        }
+    }
+
+    /// Validate the schema against a dictionary.
+    pub fn validate(&self, dict: &SemanticDictionary) -> Result<()> {
+        self.schema.validate(dict)
+    }
+
+    /// Evaluate and gather all rows.
+    pub fn collect(&self) -> Result<Vec<Row>> {
+        Ok(self.rdd.collect()?)
+    }
+
+    /// Evaluate and count rows.
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.rdd.count()?)
+    }
+
+    /// First `n` rows in partition order.
+    pub fn head(&self, n: usize) -> Result<Vec<Row>> {
+        Ok(self.rdd.take(n)?)
+    }
+
+    /// Evaluate and gather one column by name.
+    pub fn collect_column(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(column)?;
+        let rows = self.collect()?;
+        Ok(rows.into_iter().map(|r| r.get(idx).clone()).collect())
+    }
+
+    /// Render the first `n` rows as an aligned text table (for examples
+    /// and debugging).
+    pub fn show(&self, n: usize) -> Result<String> {
+        let rows = self.head(n)?;
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        for r in &rendered {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for SjDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SjDataset({}, {} partitions, schema {})",
+            self.name,
+            self.rdd.num_partitions(),
+            self.schema
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+
+    fn sample(ctx: &ExecCtx) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let rows = vec![
+            Row::new(vec![Value::str("cab1"), Value::Float(61.0)]),
+            Row::new(vec![Value::str("cab2"), Value::Float(64.5)]),
+            Row::new(vec![Value::str("cab3"), Value::Float(59.9)]),
+        ];
+        SjDataset::from_rows(ctx, rows, schema, "temps", 2)
+    }
+
+    #[test]
+    fn round_trip_rows() {
+        let ctx = ExecCtx::local();
+        let ds = sample(&ctx);
+        assert_eq!(ds.count().unwrap(), 3);
+        let rows = ds.collect().unwrap();
+        assert_eq!(rows[0].get(0).as_str(), Some("cab1"));
+    }
+
+    #[test]
+    fn collect_column_extracts_cells() {
+        let ctx = ExecCtx::local();
+        let ds = sample(&ctx);
+        let temps = ds.collect_column("temp").unwrap();
+        assert_eq!(temps.len(), 3);
+        assert_eq!(temps[1], Value::Float(64.5));
+        assert!(ds.collect_column("nope").is_err());
+    }
+
+    #[test]
+    fn validates_against_dictionary() {
+        let ctx = ExecCtx::local();
+        let ds = sample(&ctx);
+        ds.validate(&SemanticDictionary::default_hpc()).unwrap();
+        ds.validate(&SemanticDictionary::empty()).unwrap_err();
+    }
+
+    #[test]
+    fn show_renders_aligned_table() {
+        let ctx = ExecCtx::local();
+        let out = sample(&ctx).show(2).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("node"));
+        assert!(lines[1].contains("cab1"));
+    }
+
+    #[test]
+    fn renamed_changes_provenance() {
+        let ctx = ExecCtx::local();
+        let ds = sample(&ctx).renamed("derived");
+        assert_eq!(ds.name(), "derived");
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared-domain analysis and schema merging for combinations.
+
+use crate::derivations::not_applicable;
+use crate::error::Result;
+use crate::schema::{FieldDef, Schema};
+use crate::semantics::SemanticDictionary;
+use crate::units::UnitKind;
+
+/// One shared domain dimension and the column carrying it on each side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedColumn {
+    /// The dimension keyword.
+    pub dimension: String,
+    /// Column index in the left schema.
+    pub left_idx: usize,
+    /// Column index in the right schema.
+    pub right_idx: usize,
+    /// Whether this dimension is ordered and continuous (interpolatable).
+    pub interpolatable: bool,
+}
+
+/// The classified shared domain dimensions of two schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedDomains {
+    /// Shared domains that must match exactly.
+    pub exact: Vec<SharedColumn>,
+    /// Shared ordered continuous domains (candidates for interpolation).
+    pub continuous: Vec<SharedColumn>,
+}
+
+impl SharedDomains {
+    /// Analyze two schemas' shared domain dimensions.
+    ///
+    /// Fails if a shared domain column carries list or span units on
+    /// either side: such columns must be exploded into elementary values
+    /// before a combination (the derivation engine inserts the explode
+    /// transformations automatically).
+    pub fn analyze(
+        left: &Schema,
+        right: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<SharedDomains> {
+        let mut exact = Vec::new();
+        let mut continuous = Vec::new();
+        for dim_name in left.shared_domain_dimensions(right) {
+            let lf = left
+                .domain_field_on(&dim_name)
+                .expect("shared dimension present on left");
+            let rf = right
+                .domain_field_on(&dim_name)
+                .expect("shared dimension present on right");
+            for (side, f) in [("left", lf), ("right", rf)] {
+                let units = dict.units(&f.semantics.units)?;
+                if matches!(
+                    units.kind,
+                    UnitKind::ListOf { .. } | UnitKind::TimeSpanKind
+                ) {
+                    return Err(not_applicable(
+                        "combination",
+                        format!(
+                            "{side} column `{}` on shared dimension `{dim_name}` has \
+                             compound units `{}`; explode it first",
+                            f.name, units.name
+                        ),
+                    ));
+                }
+            }
+            let dim = dict.dimension(&dim_name)?;
+            let col = SharedColumn {
+                dimension: dim_name.clone(),
+                left_idx: left.index_of(&lf.name)?,
+                right_idx: right.index_of(&rf.name)?,
+                interpolatable: dim.interpolatable(),
+            };
+            if col.interpolatable {
+                continuous.push(col);
+            } else {
+                exact.push(col);
+            }
+        }
+        Ok(SharedDomains { exact, continuous })
+    }
+
+    /// True if the schemas share no domain dimension at all.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.continuous.is_empty()
+    }
+
+    /// Right-side column indices consumed by the join keys.
+    pub fn right_key_indices(&self) -> Vec<usize> {
+        self.exact
+            .iter()
+            .chain(&self.continuous)
+            .map(|c| c.right_idx)
+            .collect()
+    }
+}
+
+/// Merge two schemas for a combination output: all left columns, plus all
+/// right columns except those listed in `drop_right` (the join keys, which
+/// would be duplicates). Right columns whose names collide with left ones
+/// are renamed with an `_r` suffix.
+///
+/// Returns the merged schema and the kept right-column indices in output
+/// order.
+pub fn merge_schemas(
+    left: &Schema,
+    right: &Schema,
+    drop_right: &[usize],
+) -> Result<(Schema, Vec<usize>)> {
+    let mut fields: Vec<FieldDef> = left.fields().to_vec();
+    let mut kept = Vec::new();
+    for (i, f) in right.fields().iter().enumerate() {
+        if drop_right.contains(&i) {
+            continue;
+        }
+        kept.push(i);
+        let mut name = f.name.clone();
+        // Chained combinations can collide repeatedly (`a` -> `a_r` ->
+        // `a_r2` ...); keep suffixing until the name is free.
+        let mut suffix = 0usize;
+        while fields.iter().any(|existing| existing.name == name) {
+            suffix += 1;
+            name = if suffix == 1 {
+                format!("{}_r", f.name)
+            } else {
+                format!("{}_r{suffix}", f.name)
+            };
+        }
+        fields.push(FieldDef::new(&name, f.semantics.clone()));
+    }
+    Ok((Schema::new(fields)?, kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::FieldSemantics;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn left() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap()
+    }
+
+    fn right() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn analyze_classifies_shared_dims() {
+        let shared = SharedDomains::analyze(&left(), &right(), &dict()).unwrap();
+        assert_eq!(shared.exact.len(), 1);
+        assert_eq!(shared.exact[0].dimension, "compute-node");
+        assert!(shared.continuous.is_empty());
+
+        let both_timed = Schema::new(vec![
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        ])
+        .unwrap();
+        let shared = SharedDomains::analyze(&left(), &both_timed, &dict()).unwrap();
+        assert_eq!(shared.exact.len(), 1);
+        assert_eq!(shared.continuous.len(), 1);
+        assert_eq!(shared.continuous[0].dimension, "time");
+    }
+
+    #[test]
+    fn analyze_rejects_compound_units_on_shared_dims() {
+        let listy = Schema::new(vec![FieldDef::new(
+            "nodelist",
+            FieldSemantics::domain("compute-node", "node-list"),
+        )])
+        .unwrap();
+        let e = SharedDomains::analyze(&listy, &right(), &dict()).unwrap_err();
+        assert!(e.to_string().contains("explode"));
+    }
+
+    #[test]
+    fn disjoint_schemas_share_nothing() {
+        let only_rack = Schema::new(vec![FieldDef::new(
+            "rack",
+            FieldSemantics::domain("rack", "rack-id"),
+        )])
+        .unwrap();
+        let shared = SharedDomains::analyze(&left(), &only_rack, &dict()).unwrap();
+        assert!(shared.is_empty());
+    }
+
+    #[test]
+    fn merge_drops_keys_and_renames_collisions() {
+        let l = left();
+        let r = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        ])
+        .unwrap();
+        let (merged, kept) = merge_schemas(&l, &r, &[0]).unwrap();
+        assert_eq!(kept, vec![1, 2]);
+        assert!(merged.has_column("temp"));
+        assert!(merged.has_column("temp_r"));
+        assert!(merged.has_column("rack"));
+        assert_eq!(merged.len(), 5);
+    }
+}

@@ -1,0 +1,571 @@
+//! The interpolation join (§5.3) — ScrubJay's novel data-parallel
+//! windowed join over an ordered continuous domain.
+//!
+//! Computing correspondences between elements that do not match exactly
+//! naively requires all pairwise distances — unscalable. ScrubJay
+//! constrains the problem to correspondences within a window `W` and makes
+//! it data-parallel with a double-binning scheme:
+//!
+//! 1. every element is placed in a bin of width `2W` twice — once on a
+//!    grid starting at 0 and once on a grid offset by exactly `W`;
+//! 2. any two elements within `W` of each other are guaranteed to share a
+//!    bin on at least one grid, so matching happens independently per bin
+//!    (a `group_by_key` over `(discrete key, grid, bin)`);
+//! 3. pairs found in both grids are deduplicated deterministically (the
+//!    offset grid skips pairs that already share a base-grid bin);
+//! 4. many-to-one matches are aggregated per semantics — ordered
+//!    continuous values are linearly interpolated at the left element's
+//!    position, everything else takes the nearest match.
+
+use crate::dataset::SjDataset;
+use crate::derivations::combine::common::{merge_schemas, SharedDomains};
+use crate::derivations::{not_applicable, Combination, DerivationSpec};
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::semantics::SemanticDictionary;
+use crate::value::{KeyAtom, Value};
+use sjdf::ByteSize;
+
+/// Windowed, interpolating combination over one shared ordered continuous
+/// domain (plus exact matching on all shared discrete domains).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpolationJoin {
+    window_secs: f64,
+}
+
+impl InterpolationJoin {
+    /// Join with matching window `W` (in seconds when the continuous
+    /// domain is time; in domain units otherwise).
+    pub fn new(window_secs: f64) -> Self {
+        InterpolationJoin { window_secs }
+    }
+
+    fn shared(
+        &self,
+        left: &Schema,
+        right: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<SharedDomains> {
+        // Rejects zero, negative, and NaN windows alike.
+        if self.window_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(not_applicable(
+                "interpolation_join",
+                "window must be positive",
+            ));
+        }
+        let shared = SharedDomains::analyze(left, right, dict)?;
+        if shared.continuous.len() != 1 {
+            return Err(not_applicable(
+                "interpolation_join",
+                format!(
+                    "requires exactly one shared ordered continuous domain (found {})",
+                    shared.continuous.len()
+                ),
+            ));
+        }
+        Ok(shared)
+    }
+}
+
+/// One element flowing into the bin-matching shuffle.
+#[derive(Debug, Clone)]
+enum Side {
+    /// Left element: unique id, full row, position on the continuous axis.
+    L(u64, Row, f64),
+    /// Right element: projected kept cells, position.
+    R(Vec<Value>, f64),
+}
+
+impl ByteSize for Side {
+    fn byte_size(&self) -> usize {
+        match self {
+            Side::L(_, row, _) => 16 + row.byte_size(),
+            Side::R(vals, _) => 8 + 24 + vals.iter().map(ByteSize::byte_size).sum::<usize>(),
+        }
+    }
+}
+
+#[inline]
+fn bin_of(pos: f64, offset: f64, width: f64) -> i64 {
+    ((pos + offset) / width).floor() as i64
+}
+
+impl Combination for InterpolationJoin {
+    fn name(&self) -> &'static str {
+        "interpolation_join"
+    }
+
+    fn derive_schema(
+        &self,
+        left: &Schema,
+        right: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<Schema> {
+        let shared = self.shared(left, right, dict)?;
+        let (schema, _) = merge_schemas(left, right, &shared.right_key_indices())?;
+        Ok(schema)
+    }
+
+    fn apply(
+        &self,
+        left: &SjDataset,
+        right: &SjDataset,
+        dict: &SemanticDictionary,
+    ) -> Result<SjDataset> {
+        let shared = self.shared(left.schema(), right.schema(), dict)?;
+        let (out_schema, kept_right) =
+            merge_schemas(left.schema(), right.schema(), &shared.right_key_indices())?;
+
+        let exact_l: Vec<usize> = shared.exact.iter().map(|c| c.left_idx).collect();
+        let exact_r: Vec<usize> = shared.exact.iter().map(|c| c.right_idx).collect();
+        let cont_l = shared.continuous[0].left_idx;
+        let cont_r = shared.continuous[0].right_idx;
+
+        // Per kept right column: is it an aggregation group key (a residual
+        // domain) and is it linearly interpolatable (ordered continuous
+        // value)?
+        let mut residual_domain: Vec<usize> = Vec::new(); // indices into kept_right order
+        let mut interp_col: Vec<bool> = Vec::with_capacity(kept_right.len());
+        for (j, &ri) in kept_right.iter().enumerate() {
+            let f = &right.schema().fields()[ri];
+            let dim = dict.dimension(&f.semantics.dimension)?;
+            if f.semantics.is_domain() {
+                residual_domain.push(j);
+                interp_col.push(false);
+            } else {
+                interp_col.push(dim.interpolatable());
+            }
+        }
+
+        let w = self.window_secs;
+        let width = 2.0 * w;
+        let parts = left
+            .rdd()
+            .num_partitions()
+            .max(right.rdd().num_partitions())
+            .max(1);
+
+        // --- stage 1: emit each element into both grids' bins -----------
+        let lk = left.rdd().map_partitions_with_index({
+            let exact_l = exact_l.clone();
+            move |pidx, rows| {
+                let mut out = Vec::with_capacity(rows.len() * 2);
+                for (i, r) in rows.into_iter().enumerate() {
+                    let Some(pos) = r.get(cont_l).as_f64() else {
+                        continue;
+                    };
+                    let id = ((pidx as u64) << 40) | i as u64;
+                    let key = r.key_of(&exact_l);
+                    for grid in 0u8..2 {
+                        let b = bin_of(pos, grid as f64 * w, width);
+                        out.push((
+                            (key.clone(), grid, b),
+                            Side::L(id, r.clone(), pos),
+                        ));
+                    }
+                }
+                out
+            }
+        });
+        let rk = right.rdd().map_partitions_with_index({
+            let exact_r = exact_r.clone();
+            let kept_right = kept_right.clone();
+            move |_pidx, rows| {
+                let mut out = Vec::with_capacity(rows.len() * 2);
+                for r in rows {
+                    let Some(pos) = r.get(cont_r).as_f64() else {
+                        continue;
+                    };
+                    let key = r.key_of(&exact_r);
+                    let vals: Vec<Value> =
+                        kept_right.iter().map(|&i| r.get(i).clone()).collect();
+                    for grid in 0u8..2 {
+                        let b = bin_of(pos, grid as f64 * w, width);
+                        out.push(((key.clone(), grid, b), Side::R(vals.clone(), pos)));
+                    }
+                }
+                out
+            }
+        });
+
+        // --- stage 2: match within bins, dedupe across grids ------------
+        type MatchKey = (u64, Vec<KeyAtom>);
+        type MatchVal = (Row, f64, f64, Vec<Value>);
+        let matches = lk
+            .union(&rk)
+            .group_by_key(parts)
+            .map_partitions_named("interp_match", move |groups| {
+                let mut out: Vec<(MatchKey, MatchVal)> = Vec::new();
+                for ((_, grid, _), members) in groups {
+                    let mut lefts: Vec<(u64, Row, f64)> = Vec::new();
+                    let mut rights: Vec<(Vec<Value>, f64)> = Vec::new();
+                    for m in members {
+                        match m {
+                            Side::L(id, row, pos) => lefts.push((id, row, pos)),
+                            Side::R(vals, pos) => rights.push((vals, pos)),
+                        }
+                    }
+                    rights.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    for (id, lrow, lpos) in lefts {
+                        let lo = rights.partition_point(|(_, p)| *p < lpos - w);
+                        for (rvals, rpos) in rights[lo..]
+                            .iter()
+                            .take_while(|(_, p)| *p <= lpos + w)
+                        {
+                            // Deduplicate: the offset grid only reports
+                            // pairs that do NOT share a base-grid bin.
+                            if grid == 1
+                                && bin_of(lpos, 0.0, width) == bin_of(*rpos, 0.0, width)
+                            {
+                                continue;
+                            }
+                            let residual: Vec<KeyAtom> =
+                                residual_domain.iter().map(|&j| rvals[j].key()).collect();
+                            out.push((
+                                (id, residual),
+                                (lrow.clone(), lpos, *rpos, rvals.clone()),
+                            ));
+                        }
+                    }
+                }
+                out
+            });
+
+        // --- stage 3: aggregate & interpolate per (left row, residual) --
+        let rdd = matches
+            .group_by_key(parts)
+            .map_partitions_named("interp_aggregate", move |groups| {
+                let mut out = Vec::with_capacity(groups.len());
+                for (_, mut ms) in groups {
+                    ms.sort_by(|a, b| a.2.total_cmp(&b.2));
+                    let (lrow, lpos) = (ms[0].0.clone(), ms[0].1);
+                    let mut values = lrow.into_values();
+                    for (j, is_interp) in interp_col.iter().enumerate() {
+                        values.push(aggregate_matches(&ms, j, lpos, *is_interp));
+                    }
+                    out.push(Row::new(values));
+                }
+                out
+            });
+
+        Ok(SjDataset::new(
+            rdd,
+            out_schema,
+            format!(
+                "interpolation_join({}, {}, W={}s)",
+                left.name(),
+                right.name(),
+                self.window_secs
+            ),
+        ))
+    }
+
+    fn spec(&self) -> DerivationSpec {
+        DerivationSpec::InterpolationJoin {
+            window_secs: self.window_secs,
+        }
+    }
+}
+
+/// Aggregate one kept right column over a left row's matches (sorted by
+/// right position): linear interpolation at `lpos` for interpolatable
+/// columns, nearest-match otherwise. Shared with the naive all-pairs
+/// baseline so both joins aggregate identically.
+pub(crate) fn aggregate_matches(
+    ms: &[(Row, f64, f64, Vec<Value>)],
+    col: usize,
+    lpos: f64,
+    interpolate: bool,
+) -> Value {
+    if interpolate {
+        // Nearest numeric sample at or below lpos, and at or above.
+        let mut below: Option<(f64, f64)> = None;
+        let mut above: Option<(f64, f64)> = None;
+        for (_, _, rpos, vals) in ms {
+            let Some(v) = vals[col].as_f64() else { continue };
+            if *rpos <= lpos {
+                below = Some((*rpos, v));
+            }
+            if *rpos >= lpos && above.is_none() {
+                above = Some((*rpos, v));
+            }
+        }
+        match (below, above) {
+            (Some((p0, v0)), Some((p1, v1))) => {
+                if (p1 - p0).abs() < f64::EPSILON {
+                    Value::Float(v0)
+                } else {
+                    Value::Float(v0 + (v1 - v0) * (lpos - p0) / (p1 - p0))
+                }
+            }
+            (Some((_, v)), None) | (None, Some((_, v))) => Value::Float(v),
+            (None, None) => Value::Null,
+        }
+    } else {
+        // Nearest match by |rpos - lpos|.
+        ms.iter()
+            .min_by(|a, b| {
+                (a.2 - lpos).abs().total_cmp(&(b.2 - lpos).abs())
+            })
+            .map(|(_, _, _, vals)| vals[col].clone())
+            .unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+    use crate::units::time::Timestamp;
+    use sjdf::ExecCtx;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn left_events(ctx: &ExecCtx, times: &[i64]) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("app", FieldSemantics::value("application", "app-name")),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = times
+            .iter()
+            .map(|&t| {
+                Row::new(vec![
+                    Value::str("n1"),
+                    Value::Time(Timestamp::from_secs(t)),
+                    Value::str("AMG"),
+                ])
+            })
+            .collect();
+        SjDataset::from_rows(ctx, rows, schema, "events", 2)
+    }
+
+    fn right_readings(ctx: &ExecCtx, samples: &[(i64, f64)]) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = samples
+            .iter()
+            .map(|&(t, v)| {
+                Row::new(vec![
+                    Value::str("n1"),
+                    Value::Time(Timestamp::from_secs(t)),
+                    Value::Float(v),
+                ])
+            })
+            .collect();
+        SjDataset::from_rows(ctx, rows, schema, "readings", 2)
+    }
+
+    #[test]
+    fn interpolates_between_bracketing_samples() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[10]);
+        let r = right_readings(&ctx, &[(0, 60.0), (20, 70.0)]);
+        let out = InterpolationJoin::new(15.0).apply(&l, &r, &dict()).unwrap();
+        let rows = out.collect().unwrap();
+        assert_eq!(rows.len(), 1);
+        // temp at t=10 interpolated halfway between 60 and 70.
+        let temp = rows[0].get(3).as_f64().unwrap();
+        assert!((temp - 65.0).abs() < 1e-9, "temp={temp}");
+    }
+
+    #[test]
+    fn output_schema_keeps_left_time_and_drops_right_keys() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[10]);
+        let r = right_readings(&ctx, &[(0, 60.0)]);
+        let s = InterpolationJoin::new(15.0)
+            .derive_schema(l.schema(), r.schema(), &dict())
+            .unwrap();
+        assert!(s.has_column("time"));
+        assert!(!s.has_column("t"));
+        assert!(!s.has_column("NODE"));
+        assert!(s.has_column("temp"));
+    }
+
+    #[test]
+    fn matches_outside_window_are_dropped() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[100]);
+        let r = right_readings(&ctx, &[(0, 60.0)]);
+        let out = InterpolationJoin::new(10.0).apply(&l, &r, &dict()).unwrap();
+        assert_eq!(out.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn cross_bin_pairs_are_found_once() {
+        // Elements on opposite sides of a 2W bin boundary are within W:
+        // they must match exactly once (grid dedupe).
+        let ctx = ExecCtx::local();
+        // W=10 => bins [0,20), [20,40). l=19, r=21 straddle the boundary.
+        let l = left_events(&ctx, &[19]);
+        let r = right_readings(&ctx, &[(21, 50.0)]);
+        let out = InterpolationJoin::new(10.0).apply(&l, &r, &dict()).unwrap();
+        let rows = out.collect().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(3).as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn same_bin_pairs_are_found_once() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[5]);
+        let r = right_readings(&ctx, &[(6, 42.0)]);
+        let out = InterpolationJoin::new(10.0).apply(&l, &r, &dict()).unwrap();
+        assert_eq!(out.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn discrete_keys_must_match_exactly() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[10]);
+        // Same times but a different node.
+        let schema = Schema::new(vec![
+            FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let rows = vec![Row::new(vec![
+            Value::str("other-node"),
+            Value::Time(Timestamp::from_secs(10)),
+            Value::Float(99.0),
+        ])];
+        let r = SjDataset::from_rows(&ctx, rows, schema, "readings", 1);
+        let out = InterpolationJoin::new(15.0).apply(&l, &r, &dict()).unwrap();
+        assert_eq!(out.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn one_sided_match_takes_nearest() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[10]);
+        let r = right_readings(&ctx, &[(5, 61.0), (2, 60.0)]);
+        let out = InterpolationJoin::new(15.0).apply(&l, &r, &dict()).unwrap();
+        let rows = out.collect().unwrap();
+        // Only samples below lpos: take the closest one (t=5).
+        assert_eq!(rows[0].get(3).as_f64(), Some(61.0));
+    }
+
+    #[test]
+    fn residual_right_domains_multiply_output_rows() {
+        // A right dataset with a location domain: one left event matches
+        // readings at several locations and must yield one row each.
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[10]);
+        let schema = Schema::new(vec![
+            FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new(
+                "loc",
+                FieldSemantics::domain("rack-location", "location-name"),
+            ),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let mk = |loc: &str, t: i64, v: f64| {
+            Row::new(vec![
+                Value::str("n1"),
+                Value::str(loc),
+                Value::Time(Timestamp::from_secs(t)),
+                Value::Float(v),
+            ])
+        };
+        let rows = vec![
+            mk("top", 8, 30.0),
+            mk("top", 12, 34.0),
+            mk("bottom", 9, 20.0),
+            mk("bottom", 11, 22.0),
+        ];
+        let r = SjDataset::from_rows(&ctx, rows, schema, "readings", 2);
+        let out = InterpolationJoin::new(5.0).apply(&l, &r, &dict()).unwrap();
+        let mut got = out.collect().unwrap();
+        got.sort_by_key(|r| r.get(3).as_str().unwrap().to_string());
+        assert_eq!(got.len(), 2);
+        // bottom interpolated at t=10 between 20 and 22.
+        assert_eq!(got[0].get(3).as_str(), Some("bottom"));
+        assert!((got[0].get(4).as_f64().unwrap() - 21.0).abs() < 1e-9);
+        // top interpolated at t=10 between 30 and 34.
+        assert_eq!(got[1].get(3).as_str(), Some("top"));
+        assert!((got[1].get(4).as_f64().unwrap() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_window_and_wrong_domain_shapes() {
+        let ctx = ExecCtx::local();
+        let l = left_events(&ctx, &[1]);
+        let r = right_readings(&ctx, &[(1, 1.0)]);
+        assert!(InterpolationJoin::new(0.0)
+            .derive_schema(l.schema(), r.schema(), &dict())
+            .is_err());
+        // No shared continuous domain.
+        let layout = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        ])
+        .unwrap();
+        let lay = SjDataset::from_rows(&ctx, vec![], layout, "layout", 1);
+        assert!(InterpolationJoin::new(10.0)
+            .derive_schema(l.schema(), lay.schema(), &dict())
+            .is_err());
+    }
+
+    #[test]
+    fn nearest_aggregation_for_non_interpolatable_values() {
+        // Right value on an unordered dimension (application name):
+        // nearest match wins, no averaging.
+        let ctx = ExecCtx::local();
+        let schema_l = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        ])
+        .unwrap();
+        let l = SjDataset::from_rows(
+            &ctx,
+            vec![Row::new(vec![
+                Value::str("n1"),
+                Value::Time(Timestamp::from_secs(10)),
+            ])],
+            schema_l,
+            "l",
+            1,
+        );
+        let schema_r = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("app", FieldSemantics::value("application", "app-name")),
+        ])
+        .unwrap();
+        let r = SjDataset::from_rows(
+            &ctx,
+            vec![
+                Row::new(vec![
+                    Value::str("n1"),
+                    Value::Time(Timestamp::from_secs(7)),
+                    Value::str("far"),
+                ]),
+                Row::new(vec![
+                    Value::str("n1"),
+                    Value::Time(Timestamp::from_secs(11)),
+                    Value::str("near"),
+                ]),
+            ],
+            schema_r,
+            "r",
+            1,
+        );
+        let out = InterpolationJoin::new(5.0).apply(&l, &r, &dict()).unwrap();
+        let rows = out.collect().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(2).as_str(), Some("near"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Combinations: generalized JOINs driven by data semantics (§4.3).
+//!
+//! Two datasets may combine if (and only if) they share a domain
+//! dimension, and *all* shared domain dimensions must match to yield a
+//! relation. Unordered shared domains (node ids, racks) must match
+//! exactly; ordered continuous shared domains (time) may be compared with
+//! a distance metric and interpolated — the interpolation join (§5.3).
+
+mod common;
+mod interp;
+mod naive;
+mod natural;
+
+pub use common::SharedDomains;
+pub use interp::InterpolationJoin;
+pub use naive::NaiveInterpolationJoin;
+pub use natural::NaturalJoin;

@@ -1,0 +1,269 @@
+//! The naive pairwise windowed join — the baseline §5.3 argues against.
+//!
+//! "Naïvely, this scenario would require computing all pairwise distances
+//! between two datasets, which is unscalable." This implementation exists
+//! to *be* that baseline: it groups both sides by the shared discrete
+//! domains only and compares every left element against every right
+//! element of the group (O(|L|·|R|) per group, unbounded by any window
+//! structure). Its results are identical to [`super::InterpolationJoin`]
+//! — the property tests rely on that — but its cost grows quadratically
+//! where the binning join stays linear; the `ablation_interp_binning`
+//! bench measures the gap.
+
+use crate::dataset::SjDataset;
+use crate::derivations::combine::common::{merge_schemas, SharedDomains};
+use crate::derivations::combine::interp::aggregate_matches;
+use crate::derivations::{not_applicable, Combination, DerivationSpec};
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::semantics::SemanticDictionary;
+use crate::value::Value;
+
+/// All-pairs windowed join (baseline; prefer
+/// [`super::InterpolationJoin`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveInterpolationJoin {
+    window_secs: f64,
+}
+
+impl NaiveInterpolationJoin {
+    /// Baseline join with matching window `W` in seconds.
+    pub fn new(window_secs: f64) -> Self {
+        NaiveInterpolationJoin { window_secs }
+    }
+
+    fn shared(
+        &self,
+        left: &Schema,
+        right: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<SharedDomains> {
+        // Rejects zero, negative, and NaN windows alike.
+        if self.window_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(not_applicable(
+                "naive_interpolation_join",
+                "window must be positive",
+            ));
+        }
+        let shared = SharedDomains::analyze(left, right, dict)?;
+        if shared.continuous.len() != 1 {
+            return Err(not_applicable(
+                "naive_interpolation_join",
+                "requires exactly one shared ordered continuous domain",
+            ));
+        }
+        Ok(shared)
+    }
+}
+
+impl Combination for NaiveInterpolationJoin {
+    fn name(&self) -> &'static str {
+        "naive_interpolation_join"
+    }
+
+    fn derive_schema(
+        &self,
+        left: &Schema,
+        right: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<Schema> {
+        let shared = self.shared(left, right, dict)?;
+        let (schema, _) = merge_schemas(left, right, &shared.right_key_indices())?;
+        Ok(schema)
+    }
+
+    fn apply(
+        &self,
+        left: &SjDataset,
+        right: &SjDataset,
+        dict: &SemanticDictionary,
+    ) -> Result<SjDataset> {
+        let shared = self.shared(left.schema(), right.schema(), dict)?;
+        let (out_schema, kept_right) =
+            merge_schemas(left.schema(), right.schema(), &shared.right_key_indices())?;
+
+        let exact_l: Vec<usize> = shared.exact.iter().map(|c| c.left_idx).collect();
+        let exact_r: Vec<usize> = shared.exact.iter().map(|c| c.right_idx).collect();
+        let cont_l = shared.continuous[0].left_idx;
+        let cont_r = shared.continuous[0].right_idx;
+
+        let mut residual_domain: Vec<usize> = Vec::new();
+        let mut interp_col: Vec<bool> = Vec::with_capacity(kept_right.len());
+        for (j, &ri) in kept_right.iter().enumerate() {
+            let f = &right.schema().fields()[ri];
+            let dim = dict.dimension(&f.semantics.dimension)?;
+            if f.semantics.is_domain() {
+                residual_domain.push(j);
+                interp_col.push(false);
+            } else {
+                interp_col.push(dim.interpolatable());
+            }
+        }
+        let w = self.window_secs;
+        let parts = left
+            .rdd()
+            .num_partitions()
+            .max(right.rdd().num_partitions())
+            .max(1);
+
+        // Cogroup on the exact keys ONLY: every left element of the group
+        // is compared against every right element — the all-pairs scan.
+        let lk = left.rdd().map_partitions_named("naive_key_left", {
+            let exact_l = exact_l.clone();
+            move |rows| rows.into_iter().map(|r| (r.key_of(&exact_l), r)).collect()
+        });
+        let rk = right.rdd().map_partitions_named("naive_key_right", {
+            let exact_r = exact_r.clone();
+            let kept_right = kept_right.clone();
+            move |rows| {
+                rows.into_iter()
+                    .map(|r| {
+                        let key = r.key_of(&exact_r);
+                        let pos = r.get(cont_r).as_f64();
+                        let vals: Vec<Value> =
+                            kept_right.iter().map(|&i| r.get(i).clone()).collect();
+                        (key, (pos, vals))
+                    })
+                    .collect()
+            }
+        });
+        let rdd = lk
+            .cogroup(&rk, parts)
+            .map_partitions_named("naive_pairwise", move |groups| {
+                let mut out = Vec::new();
+                for (_, (lefts, rights)) in groups {
+                    for lrow in lefts {
+                        let Some(lpos) = lrow.get(cont_l).as_f64() else {
+                            continue;
+                        };
+                        // All-pairs distance computation (the point of
+                        // this baseline: no bins, no pruning).
+                        use std::collections::HashMap;
+                        type Match = (Row, f64, f64, Vec<Value>);
+                        let mut by_residual: HashMap<Vec<crate::value::KeyAtom>, Vec<Match>> =
+                            HashMap::new();
+                        for (rpos, rvals) in &rights {
+                            let Some(rpos) = rpos else { continue };
+                            if (rpos - lpos).abs() <= w {
+                                let residual: Vec<crate::value::KeyAtom> =
+                                    residual_domain.iter().map(|&j| rvals[j].key()).collect();
+                                by_residual.entry(residual).or_default().push((
+                                    lrow.clone(),
+                                    lpos,
+                                    *rpos,
+                                    rvals.clone(),
+                                ));
+                            }
+                        }
+                        for (_, mut ms) in by_residual {
+                            ms.sort_by(|a, b| a.2.total_cmp(&b.2));
+                            let mut values = lrow.clone().into_values();
+                            for (j, is_interp) in interp_col.iter().enumerate() {
+                                values.push(aggregate_matches(&ms, j, lpos, *is_interp));
+                            }
+                            out.push(Row::new(values));
+                        }
+                    }
+                }
+                out
+            });
+        Ok(SjDataset::new(
+            rdd,
+            out_schema,
+            format!(
+                "naive_interpolation_join({}, {}, W={}s)",
+                left.name(),
+                right.name(),
+                self.window_secs
+            ),
+        ))
+    }
+
+    fn spec(&self) -> DerivationSpec {
+        // The baseline is not part of the reproducible-plan vocabulary;
+        // serialize as the real interpolation join so stored plans always
+        // use the scalable implementation.
+        DerivationSpec::InterpolationJoin {
+            window_secs: self.window_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derivations::combine::InterpolationJoin;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+    use crate::units::time::Timestamp;
+    use sjdf::ExecCtx;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn events(ctx: &ExecCtx, name: &str, tcol: &str, vdim: &str, vu: &str, samples: &[(u8, i64, f64)]) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new(tcol, FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("v", FieldSemantics::value(vdim, vu)),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = samples
+            .iter()
+            .map(|&(n, t, v)| {
+                Row::new(vec![
+                    Value::str(format!("n{n}")),
+                    Value::Time(Timestamp::from_secs(t)),
+                    Value::Float(v),
+                ])
+            })
+            .collect();
+        SjDataset::from_rows(ctx, rows, schema, name, 2)
+    }
+
+    #[test]
+    fn naive_agrees_with_binned_join() {
+        let ctx = ExecCtx::local();
+        let d = dict();
+        let samples_l: Vec<(u8, i64, f64)> = (0..40)
+            .map(|i| ((i % 3) as u8, (i * 13) % 300, i as f64))
+            .collect();
+        let samples_r: Vec<(u8, i64, f64)> = (0..40)
+            .map(|i| ((i % 3) as u8, (i * 7) % 300, (i * 2) as f64))
+            .collect();
+        let l = events(&ctx, "l", "time", "power", "watts", &samples_l);
+        let r = events(&ctx, "r", "t", "temperature", "celsius", &samples_r);
+        let sort = |ds: &SjDataset| {
+            let mut rows = ds.collect().unwrap();
+            rows.sort_by_key(|r| format!("{:?}", r.values()));
+            rows
+        };
+        let fast = sort(&InterpolationJoin::new(20.0).apply(&l, &r, &d).unwrap());
+        let naive = sort(&NaiveInterpolationJoin::new(20.0).apply(&l, &r, &d).unwrap());
+        assert_eq!(fast, naive);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn naive_schema_matches_binned_schema() {
+        let ctx = ExecCtx::local();
+        let d = dict();
+        let l = events(&ctx, "l", "time", "power", "watts", &[(0, 0, 1.0)]);
+        let r = events(&ctx, "r", "t", "temperature", "celsius", &[(0, 1, 2.0)]);
+        let a = InterpolationJoin::new(5.0)
+            .derive_schema(l.schema(), r.schema(), &d)
+            .unwrap();
+        let b = NaiveInterpolationJoin::new(5.0)
+            .derive_schema(l.schema(), r.schema(), &d)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn naive_serializes_as_the_scalable_join() {
+        let spec = NaiveInterpolationJoin::new(30.0).spec();
+        assert_eq!(spec.op_name(), "interpolation_join");
+    }
+}

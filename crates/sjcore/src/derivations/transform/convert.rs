@@ -1,0 +1,164 @@
+//! Unit conversion transformation.
+
+use crate::dataset::SjDataset;
+use crate::derivations::{not_applicable, DerivationSpec, Transformation};
+use crate::error::Result;
+use crate::schema::{FieldDef, Schema};
+use crate::semantics::{FieldSemantics, SemanticDictionary};
+use crate::units::{convert_value, UnitsDef};
+
+/// Convert a scalar column to different units on the same dimension
+/// (e.g. Fahrenheit → Celsius, seconds → minutes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertUnits {
+    column: String,
+    to: String,
+}
+
+impl ConvertUnits {
+    /// Convert `column` to the units keyword `to`.
+    pub fn new(column: impl Into<String>, to: impl Into<String>) -> Self {
+        ConvertUnits {
+            column: column.into(),
+            to: to.into(),
+        }
+    }
+
+    fn resolve(
+        &self,
+        schema: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<(usize, UnitsDef, UnitsDef)> {
+        let idx = schema.index_of(&self.column)?;
+        let field = &schema.fields()[idx];
+        let from = dict.units(&field.semantics.units)?.clone();
+        let to = dict.units(&self.to)?.clone();
+        if !from.is_scalar() || !to.is_scalar() {
+            return Err(not_applicable(
+                "convert_units",
+                format!("`{}` -> `{}` is not a scalar conversion", from.name, to.name),
+            ));
+        }
+        if from.dimension != to.dimension {
+            return Err(not_applicable(
+                "convert_units",
+                format!(
+                    "units `{}` (dimension {}) cannot become `{}` (dimension {})",
+                    from.name, from.dimension, to.name, to.dimension
+                ),
+            ));
+        }
+        Ok((idx, from, to))
+    }
+}
+
+impl Transformation for ConvertUnits {
+    fn name(&self) -> &'static str {
+        "convert_units"
+    }
+
+    fn derive_schema(&self, schema: &Schema, dict: &SemanticDictionary) -> Result<Schema> {
+        let (idx, _, to) = self.resolve(schema, dict)?;
+        let field = &schema.fields()[idx];
+        schema.with_replaced(
+            &self.column,
+            FieldDef::new(
+                &field.name,
+                FieldSemantics {
+                    relation: field.semantics.relation,
+                    dimension: field.semantics.dimension.clone(),
+                    units: to.name,
+                },
+            ),
+        )
+    }
+
+    fn apply(&self, ds: &SjDataset, dict: &SemanticDictionary) -> Result<SjDataset> {
+        let out_schema = self.derive_schema(ds.schema(), dict)?;
+        let (idx, from, to) = self.resolve(ds.schema(), dict)?;
+        let rdd = ds.rdd().map_partitions_named("convert_units", move |rows| {
+            rows.into_iter()
+                .map(|row| {
+                    let converted = convert_value(row.get(idx), &from, &to)
+                        .unwrap_or(crate::value::Value::Null);
+                    row.with_value(idx, converted)
+                })
+                .collect()
+        });
+        Ok(SjDataset::new(
+            rdd,
+            out_schema,
+            format!("convert_units({})", ds.name()),
+        ))
+    }
+
+    fn spec(&self) -> DerivationSpec {
+        DerivationSpec::ConvertUnits {
+            column: self.column.clone(),
+            to: self.to.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::value::Value;
+    use sjdf::ExecCtx;
+
+    fn temps(ctx: &ExecCtx) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "fahrenheit")),
+        ])
+        .unwrap();
+        let rows = vec![
+            Row::new(vec![Value::str("r1"), Value::Float(212.0)]),
+            Row::new(vec![Value::str("r2"), Value::Float(32.0)]),
+            Row::new(vec![Value::str("r3"), Value::Null]),
+        ];
+        SjDataset::from_rows(ctx, rows, schema, "temps", 1)
+    }
+
+    #[test]
+    fn converts_fahrenheit_to_celsius() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let out = ConvertUnits::new("temp", "celsius")
+            .apply(&temps(&ctx), &dict)
+            .unwrap();
+        assert_eq!(out.schema().field("temp").unwrap().semantics.units, "celsius");
+        let vals = out.collect_column("temp").unwrap();
+        assert!((vals[0].as_f64().unwrap() - 100.0).abs() < 1e-9);
+        assert!(vals[1].as_f64().unwrap().abs() < 1e-9);
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn rejects_cross_dimension_conversion() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        assert!(ConvertUnits::new("temp", "watts")
+            .derive_schema(temps(&ctx).schema(), &dict)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_non_scalar_conversion() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        assert!(ConvertUnits::new("rack", "node-id")
+            .derive_schema(temps(&ctx).schema(), &dict)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        assert!(ConvertUnits::new("missing", "celsius")
+            .derive_schema(temps(&ctx).schema(), &dict)
+            .is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! The explode transformations (§7.1).
+//!
+//! *Explode discrete* denormalizes a row containing a **list** (a job's
+//! node list) into multiple rows with a single element each. *Explode
+//! continuous* transforms a row containing a **span** (a job's scheduled
+//! window) into several rows containing discrete instants within it.
+//! Both exist to create datasets with elements comparable to another
+//! dataset's, enabling combinations.
+
+use crate::dataset::SjDataset;
+use crate::derivations::{not_applicable, DerivationSpec, Transformation};
+use crate::error::Result;
+use crate::schema::{FieldDef, Schema};
+use crate::semantics::{FieldSemantics, SemanticDictionary};
+use crate::units::UnitKind;
+use crate::value::Value;
+
+/// Explode a list-valued column into one row per element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplodeDiscrete {
+    column: String,
+}
+
+impl ExplodeDiscrete {
+    /// Explode the named list column.
+    pub fn new(column: impl Into<String>) -> Self {
+        ExplodeDiscrete {
+            column: column.into(),
+        }
+    }
+
+    /// The conventional name of the exploded output column.
+    pub fn output_column(&self) -> String {
+        format!("{}_exploded", self.column)
+    }
+}
+
+impl Transformation for ExplodeDiscrete {
+    fn name(&self) -> &'static str {
+        "explode_discrete"
+    }
+
+    fn derive_schema(&self, schema: &Schema, dict: &SemanticDictionary) -> Result<Schema> {
+        let field = schema.field(&self.column)?;
+        let units = dict.units(&field.semantics.units)?;
+        let element = match &units.kind {
+            UnitKind::ListOf { element } => element.clone(),
+            _ => {
+                return Err(not_applicable(
+                    self.name(),
+                    format!("column `{}` has non-list units `{}`", self.column, units.name),
+                ))
+            }
+        };
+        schema.with_replaced(
+            &self.column,
+            FieldDef::new(
+                &self.output_column(),
+                FieldSemantics {
+                    relation: field.semantics.relation,
+                    dimension: field.semantics.dimension.clone(),
+                    units: element,
+                },
+            ),
+        )
+    }
+
+    fn apply(&self, ds: &SjDataset, dict: &SemanticDictionary) -> Result<SjDataset> {
+        let out_schema = self.derive_schema(ds.schema(), dict)?;
+        let idx = ds.schema().index_of(&self.column)?;
+        let rdd = ds
+            .rdd()
+            .map_partitions_named("explode_discrete", move |rows| {
+                rows.into_iter()
+                    .flat_map(|row| match row.get(idx) {
+                        Value::List(items) => items
+                            .iter()
+                            .map(|item| row.with_value(idx, item.clone()))
+                            .collect::<Vec<_>>(),
+                        // Null lists explode to no rows; scalars pass through
+                        // (already a single element).
+                        Value::Null => vec![],
+                        _ => vec![row],
+                    })
+                    .collect()
+            });
+        Ok(SjDataset::new(
+            rdd,
+            out_schema,
+            format!("explode_discrete({})", ds.name()),
+        ))
+    }
+
+    fn spec(&self) -> DerivationSpec {
+        DerivationSpec::ExplodeDiscrete {
+            column: self.column.clone(),
+        }
+    }
+}
+
+/// Explode a span-valued column into one row per contained instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplodeContinuous {
+    column: String,
+    step_secs: f64,
+}
+
+impl ExplodeContinuous {
+    /// Explode the named span column with the given step in seconds.
+    pub fn new(column: impl Into<String>, step_secs: f64) -> Self {
+        ExplodeContinuous {
+            column: column.into(),
+            step_secs,
+        }
+    }
+
+    /// The conventional name of the exploded output column.
+    pub fn output_column(&self) -> String {
+        format!("{}_exploded", self.column)
+    }
+}
+
+impl Transformation for ExplodeContinuous {
+    fn name(&self) -> &'static str {
+        "explode_continuous"
+    }
+
+    fn derive_schema(&self, schema: &Schema, dict: &SemanticDictionary) -> Result<Schema> {
+        let field = schema.field(&self.column)?;
+        let units = dict.units(&field.semantics.units)?;
+        if !units.is_span() {
+            return Err(not_applicable(
+                self.name(),
+                format!(
+                    "column `{}` has non-span units `{}`",
+                    self.column, units.name
+                ),
+            ));
+        }
+        schema.with_replaced(
+            &self.column,
+            FieldDef::new(
+                &self.output_column(),
+                FieldSemantics {
+                    relation: field.semantics.relation,
+                    dimension: field.semantics.dimension.clone(),
+                    units: "datetime".into(),
+                },
+            ),
+        )
+    }
+
+    fn apply(&self, ds: &SjDataset, dict: &SemanticDictionary) -> Result<SjDataset> {
+        let out_schema = self.derive_schema(ds.schema(), dict)?;
+        let idx = ds.schema().index_of(&self.column)?;
+        let step = self.step_secs;
+        let rdd = ds
+            .rdd()
+            .map_partitions_named("explode_continuous", move |rows| {
+                rows.into_iter()
+                    .flat_map(|row| match row.get(idx) {
+                        Value::Span(span) => span
+                            .explode(step)
+                            .into_iter()
+                            .map(|t| row.with_value(idx, Value::Time(t)))
+                            .collect::<Vec<_>>(),
+                        Value::Null => vec![],
+                        _ => vec![row],
+                    })
+                    .collect()
+            });
+        Ok(SjDataset::new(
+            rdd,
+            out_schema,
+            format!("explode_continuous({})", ds.name()),
+        ))
+    }
+
+    fn spec(&self) -> DerivationSpec {
+        DerivationSpec::ExplodeContinuous {
+            column: self.column.clone(),
+            step_secs: self.step_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::units::time::{TimeSpan, Timestamp};
+    use sjdf::ExecCtx;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn job_log(ctx: &ExecCtx) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+            FieldDef::new(
+                "nodelist",
+                FieldSemantics::domain("compute-node", "node-list"),
+            ),
+            FieldDef::new("window", FieldSemantics::domain("time", "timespan")),
+        ])
+        .unwrap();
+        let rows = vec![Row::new(vec![
+            Value::str("j1"),
+            Value::list([Value::str("n1"), Value::str("n2")]),
+            Value::Span(TimeSpan::new(
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(120),
+            )),
+        ])];
+        SjDataset::from_rows(ctx, rows, schema, "joblog", 1)
+    }
+
+    #[test]
+    fn explode_discrete_schema_renames_and_retypes() {
+        let ctx = ExecCtx::local();
+        let ds = job_log(&ctx);
+        let t = ExplodeDiscrete::new("nodelist");
+        let out = t.derive_schema(ds.schema(), &dict()).unwrap();
+        let f = out.field("nodelist_exploded").unwrap();
+        assert_eq!(f.semantics.units, "node-id");
+        assert_eq!(f.semantics.dimension, "compute-node");
+        assert!(!out.has_column("nodelist"));
+    }
+
+    #[test]
+    fn explode_discrete_produces_row_per_element() {
+        let ctx = ExecCtx::local();
+        let ds = job_log(&ctx);
+        let out = ExplodeDiscrete::new("nodelist").apply(&ds, &dict()).unwrap();
+        let rows = out.collect().unwrap();
+        assert_eq!(rows.len(), 2);
+        let nodes: Vec<&str> = rows.iter().filter_map(|r| r.get(1).as_str()).collect();
+        assert_eq!(nodes, vec!["n1", "n2"]);
+        // Other columns are replicated.
+        assert!(rows.iter().all(|r| r.get(0).as_str() == Some("j1")));
+    }
+
+    #[test]
+    fn explode_discrete_rejects_non_list_column() {
+        let ctx = ExecCtx::local();
+        let ds = job_log(&ctx);
+        let e = ExplodeDiscrete::new("job")
+            .derive_schema(ds.schema(), &dict())
+            .unwrap_err();
+        assert!(matches!(e, crate::error::SjError::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn explode_continuous_steps_through_span() {
+        let ctx = ExecCtx::local();
+        let ds = job_log(&ctx);
+        let out = ExplodeContinuous::new("window", 60.0)
+            .apply(&ds, &dict())
+            .unwrap();
+        let rows = out.collect().unwrap();
+        // [0, 120) at 60s steps: 0, 60.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(2).as_time(), Some(Timestamp::from_secs(0)));
+        assert_eq!(rows[1].get(2).as_time(), Some(Timestamp::from_secs(60)));
+        assert_eq!(
+            out.schema().field("window_exploded").unwrap().semantics.units,
+            "datetime"
+        );
+    }
+
+    #[test]
+    fn explode_continuous_rejects_non_span() {
+        let ctx = ExecCtx::local();
+        let ds = job_log(&ctx);
+        assert!(ExplodeContinuous::new("nodelist", 60.0)
+            .derive_schema(ds.schema(), &dict())
+            .is_err());
+    }
+
+    #[test]
+    fn chained_explodes_give_node_time_grid() {
+        // The first two steps of the paper's Figure 5 sequence.
+        let ctx = ExecCtx::local();
+        let ds = job_log(&ctx);
+        let d = dict();
+        let step1 = ExplodeDiscrete::new("nodelist").apply(&ds, &d).unwrap();
+        let step2 = ExplodeContinuous::new("window", 60.0)
+            .apply(&step1, &d)
+            .unwrap();
+        let rows = step2.collect().unwrap();
+        // 2 nodes x 2 instants.
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn null_list_explodes_to_nothing() {
+        let ctx = ExecCtx::local();
+        let schema = Schema::new(vec![FieldDef::new(
+            "nodelist",
+            FieldSemantics::domain("compute-node", "node-list"),
+        )])
+        .unwrap();
+        let rows = vec![Row::new(vec![Value::Null])];
+        let ds = SjDataset::from_rows(&ctx, rows, schema, "x", 1);
+        let out = ExplodeDiscrete::new("nodelist").apply(&ds, &dict()).unwrap();
+        assert_eq!(out.count().unwrap(), 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Transformations: derivations of a modified dataset from one input.
+
+mod convert;
+mod custom;
+mod explode;
+mod rate;
+
+pub use convert::ConvertUnits;
+pub use custom::{DeriveActiveFrequency, DeriveHeat, DeriveRatio};
+pub use explode::{ExplodeContinuous, ExplodeDiscrete};
+pub use rate::DeriveRate;

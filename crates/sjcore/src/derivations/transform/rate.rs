@@ -1,0 +1,299 @@
+//! Windowed counter-rate derivation (§7.3).
+//!
+//! Much CPU and node data records *cumulative counts* of events
+//! (instructions, memory accesses) that reset at arbitrary intervals, so
+//! absolute values are meaningless by themselves. `DeriveRate` computes
+//! the rate of change of every cumulative-counter column with respect to
+//! the time window between consecutive samples, per domain entity —
+//! effectively the instantaneous frequency of events.
+
+use crate::dataset::SjDataset;
+use crate::derivations::{not_applicable, DerivationSpec, Transformation};
+use crate::error::Result;
+use crate::schema::{FieldDef, Schema};
+use crate::semantics::{FieldSemantics, SemanticDictionary};
+use crate::units::time::MICROS_PER_SEC;
+use crate::units::UnitKind;
+use crate::value::Value;
+
+/// Replace every cumulative-counter column with its windowed rate of
+/// change, expressed per `per_secs` seconds (0.001 = per millisecond).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeriveRate {
+    per_secs: f64,
+}
+
+impl DeriveRate {
+    /// Derive rates expressed over a `per_secs`-second window.
+    pub fn new(per_secs: f64) -> Self {
+        DeriveRate { per_secs }
+    }
+
+    /// Find the time domain column and the counter columns.
+    fn analyze(
+        &self,
+        schema: &Schema,
+        dict: &SemanticDictionary,
+    ) -> Result<(usize, Vec<(usize, String)>)> {
+        let mut time_idx = None;
+        let mut counters = Vec::new();
+        for (i, f) in schema.fields().iter().enumerate() {
+            let units = dict.units(&f.semantics.units)?;
+            if f.semantics.is_domain() && matches!(units.kind, UnitKind::DateTime) {
+                time_idx = Some(i);
+            }
+            if matches!(units.kind, UnitKind::CumulativeCount) {
+                // The output rate units on the same dimension.
+                let suffix = if (self.per_secs - 0.001).abs() < 1e-12 {
+                    "per-ms"
+                } else if (self.per_secs - 1.0).abs() < 1e-12 {
+                    "per-sec"
+                } else {
+                    return Err(not_applicable(
+                        "derive_rate",
+                        format!("no rate units registered for window {}s", self.per_secs),
+                    ));
+                };
+                let rate_units = format!("{}-{}", f.semantics.dimension, suffix);
+                dict.units(&rate_units)?;
+                counters.push((i, rate_units));
+            }
+        }
+        let time_idx = time_idx.ok_or_else(|| {
+            not_applicable("derive_rate", "dataset has no datetime domain column")
+        })?;
+        if counters.is_empty() {
+            return Err(not_applicable(
+                "derive_rate",
+                "dataset has no cumulative-counter columns",
+            ));
+        }
+        Ok((time_idx, counters))
+    }
+}
+
+impl Transformation for DeriveRate {
+    fn name(&self) -> &'static str {
+        "derive_rate"
+    }
+
+    fn derive_schema(&self, schema: &Schema, dict: &SemanticDictionary) -> Result<Schema> {
+        let (_, counters) = self.analyze(schema, dict)?;
+        let mut out = schema.clone();
+        for (idx, rate_units) in counters {
+            let f = &schema.fields()[idx];
+            out = out.with_replaced(
+                &f.name,
+                FieldDef::new(
+                    &format!("{}_rate", f.name),
+                    FieldSemantics {
+                        relation: f.semantics.relation,
+                        dimension: f.semantics.dimension.clone(),
+                        units: rate_units,
+                    },
+                ),
+            )?;
+        }
+        Ok(out)
+    }
+
+    fn apply(&self, ds: &SjDataset, dict: &SemanticDictionary) -> Result<SjDataset> {
+        let out_schema = self.derive_schema(ds.schema(), dict)?;
+        let (time_idx, counters) = self.analyze(ds.schema(), dict)?;
+        let counter_idx: Vec<usize> = counters.iter().map(|(i, _)| *i).collect();
+        // Group by every domain column except time (the entity identity).
+        let group_idx: Vec<usize> = ds
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| f.semantics.is_domain() && *i != time_idx)
+            .map(|(i, _)| i)
+            .collect();
+        let per_micros = self.per_secs * MICROS_PER_SEC as f64;
+        let parts = ds.rdd().num_partitions().max(1);
+
+        let keyed = ds.rdd().map_partitions_named("key_by_entity", {
+            let group_idx = group_idx.clone();
+            move |rows| {
+                rows.into_iter()
+                    .map(|r| (r.key_of(&group_idx), r))
+                    .collect()
+            }
+        });
+        let rdd = keyed
+            .group_by_key(parts)
+            .map_partitions_named("derive_rate", move |groups| {
+                let mut out = Vec::new();
+                for (_, mut rows) in groups {
+                    rows.sort_by_key(|r| r.get(time_idx).as_time().map(|t| t.as_micros()));
+                    for pair in rows.windows(2) {
+                        let (prev, cur) = (&pair[0], &pair[1]);
+                        let (Some(t0), Some(t1)) =
+                            (prev.get(time_idx).as_time(), cur.get(time_idx).as_time())
+                        else {
+                            continue;
+                        };
+                        let dt = (t1.as_micros() - t0.as_micros()) as f64;
+                        if dt <= 0.0 {
+                            continue;
+                        }
+                        // Rate per `per_secs` window: delta / (dt / per_micros).
+                        let mut row = cur.clone();
+                        let mut valid = true;
+                        for &ci in &counter_idx {
+                            match (prev.get(ci).as_f64(), cur.get(ci).as_f64()) {
+                                (Some(c0), Some(c1)) if c1 >= c0 => {
+                                    let rate = (c1 - c0) / (dt / per_micros);
+                                    row = row.with_value(ci, Value::Float(rate));
+                                }
+                                // Counter reset (or missing sample): the
+                                // delta is meaningless — drop this window.
+                                _ => {
+                                    valid = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if valid {
+                            out.push(row);
+                        }
+                    }
+                }
+                out
+            });
+        Ok(SjDataset::new(
+            rdd,
+            out_schema,
+            format!("derive_rate({})", ds.name()),
+        ))
+    }
+
+    fn spec(&self) -> DerivationSpec {
+        DerivationSpec::DeriveRate {
+            per_secs: self.per_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::row::Row;
+    use super::*;
+    use crate::units::time::Timestamp;
+    use sjdf::ExecCtx;
+
+    fn counters(ctx: &ExecCtx) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("cpu", FieldSemantics::domain("cpu", "cpu-id")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new(
+                "instr",
+                FieldSemantics::value("instructions", "instructions-count"),
+            ),
+        ])
+        .unwrap();
+        let mk = |cpu: &str, secs: i64, count: i64| {
+            Row::new(vec![
+                Value::str("n1"),
+                Value::str(cpu),
+                Value::Time(Timestamp::from_secs(secs)),
+                Value::Int(count),
+            ])
+        };
+        let rows = vec![
+            mk("c0", 0, 0),
+            mk("c0", 1, 2_000_000),
+            mk("c0", 2, 5_000_000),
+            mk("c1", 0, 0),
+            mk("c1", 2, 1_000_000),
+            // Counter reset on c1 between t=2 and t=3.
+            mk("c1", 3, 100),
+        ];
+        SjDataset::from_rows(ctx, rows, schema, "papi", 2)
+    }
+
+    #[test]
+    fn schema_replaces_counters_with_rates() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let out = DeriveRate::new(0.001)
+            .derive_schema(counters(&ctx).schema(), &dict)
+            .unwrap();
+        let f = out.field("instr_rate").unwrap();
+        assert_eq!(f.semantics.units, "instructions-per-ms");
+        assert_eq!(f.semantics.dimension, "instructions");
+        assert!(!out.has_column("instr"));
+    }
+
+    #[test]
+    fn rates_are_deltas_over_windows() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let out = DeriveRate::new(0.001).apply(&counters(&ctx), &dict).unwrap();
+        let mut rows = out.collect().unwrap();
+        rows.sort_by_key(|r| {
+            (
+                r.get(1).as_str().unwrap().to_string(),
+                r.get(2).as_time().unwrap(),
+            )
+        });
+        // c0: (2e6-0)/1s = 2000 per ms; (5e6-2e6)/1s = 3000 per ms.
+        assert_eq!(rows[0].get(3).as_f64().unwrap(), 2000.0);
+        assert_eq!(rows[1].get(3).as_f64().unwrap(), 3000.0);
+        // c1: (1e6-0)/2s = 500 per ms; the reset window is dropped.
+        assert_eq!(rows[2].get(3).as_f64().unwrap(), 500.0);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn per_second_rates_use_per_sec_units() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let out = DeriveRate::new(1.0).apply(&counters(&ctx), &dict).unwrap();
+        assert_eq!(
+            out.schema().field("instr_rate").unwrap().semantics.units,
+            "instructions-per-sec"
+        );
+        let mut vals: Vec<f64> = out
+            .collect_column("instr_rate")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![500_000.0, 2_000_000.0, 3_000_000.0]);
+    }
+
+    #[test]
+    fn requires_time_and_counters() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        // No counters.
+        let schema = Schema::new(vec![
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let ds = SjDataset::from_rows(&ctx, vec![], schema, "x", 1);
+        assert!(DeriveRate::new(0.001).derive_schema(ds.schema(), &dict).is_err());
+        // No time domain.
+        let schema = Schema::new(vec![FieldDef::new(
+            "instr",
+            FieldSemantics::value("instructions", "instructions-count"),
+        )])
+        .unwrap();
+        let ds = SjDataset::from_rows(&ctx, vec![], schema, "x", 1);
+        assert!(DeriveRate::new(0.001).derive_schema(ds.schema(), &dict).is_err());
+    }
+
+    #[test]
+    fn unknown_rate_window_rejected() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        assert!(DeriveRate::new(7.5)
+            .derive_schema(counters(&ctx).schema(), &dict)
+            .is_err());
+    }
+}

@@ -1,0 +1,787 @@
+//! The derivation search (§5.2, Algorithm 1).
+//!
+//! The engine formulates query satisfaction as a constraint-satisfaction
+//! search over *data semantics only*: derivations are first applied to
+//! schemas (constant-time per step), never to data, so the search runs at
+//! interactive rates. The strategy follows the paper:
+//!
+//! 1. Find the smallest set `DF` of catalog datasets containing the
+//!    queried domain dimensions (plus the datasets providing value
+//!    dimensions the query needs, found by backward-chaining through the
+//!    registered derivation rules). If a queried domain dimension exists
+//!    nowhere, there is no solution — combinations never invent domain
+//!    dimensions.
+//! 2. Try to combine `DF` (`combine_set`, folding `combine_pair`); on
+//!    failure add one more dataset at a time. Shorter sequences are
+//!    preferred — interpolation and aggregation lose precision, so fewer
+//!    derivations mean higher-precision results.
+//! 3. `combine_pair` aligns two schemas (exploding compound domain
+//!    columns) and picks the combination their semantics allow: a natural
+//!    join when all shared domains are discrete, an interpolation join
+//!    when exactly one shared domain is ordered and continuous.
+//! 4. Results of `combine_pair`/`combine_set` are memoized on schema
+//!    fingerprints; at each iteration `combine_set` receives a superset of
+//!    its previous arguments, so most recursive calls hit the memo.
+//!
+//! Combinations are *anchored* when at least one shared domain is an
+//! identifier (two measurements relate through a shared resource, not
+//! merely a shared instant). The search prefers anchored combinations and
+//! only falls back to time-only joins when no anchored path exists — this
+//! is what pulls the node-layout dataset into the paper's Figure 5 plan.
+
+use crate::catalog::Catalog;
+use crate::derivations::combine::SharedDomains;
+use crate::derivations::DerivationSpec;
+use crate::engine::{Plan, Query};
+use crate::error::{Result, SjError};
+use crate::schema::Schema;
+use crate::units::UnitKind;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+
+/// Tuning knobs for the search and the plans it emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Step used when exploding time spans into instants (seconds).
+    pub explode_step_secs: f64,
+    /// Window `W` for interpolation joins (seconds).
+    pub interp_window_secs: f64,
+    /// Memoize `combine_pair`/`combine_set` results (§5.2). Disable only
+    /// for ablation studies.
+    pub memoize: bool,
+    /// Allow combinations whose only shared domain is ordered/continuous
+    /// (e.g. time-only joins) when no anchored plan exists.
+    pub allow_unanchored: bool,
+    /// Hard cap on candidate datasets considered in one query.
+    pub max_datasets: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            explode_step_secs: 60.0,
+            interp_window_secs: 120.0,
+            memoize: true,
+            allow_unanchored: true,
+            max_datasets: 32,
+        }
+    }
+}
+
+/// Counters describing one query's search effort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `combine_pair` invocations that ran the full alignment logic.
+    pub pair_tests: u64,
+    /// `combine_pair` invocations answered from the memo.
+    pub memo_hits: u64,
+    /// Derivation rules applied during saturation.
+    pub rules_applied: u64,
+    /// Candidate datasets considered.
+    pub datasets_considered: usize,
+}
+
+/// One candidate in the search: a plan and the schema it would produce.
+#[derive(Debug, Clone)]
+struct Cand {
+    plan: Plan,
+    schema: Schema,
+}
+
+/// Memoized outcome of a `combine_pair` test (schemas only — plans are
+/// reattached by the caller).
+#[derive(Debug, Clone)]
+struct PairOutcome {
+    left_steps: Vec<DerivationSpec>,
+    right_steps: Vec<DerivationSpec>,
+    combine: DerivationSpec,
+    schema: Schema,
+}
+
+/// The derivation engine: answers queries with reproducible plans.
+pub struct QueryEngine<'c> {
+    catalog: &'c Catalog,
+    config: EngineConfig,
+    pair_memo: Mutex<HashMap<(u64, u64, bool), Option<PairOutcome>>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl<'c> QueryEngine<'c> {
+    /// Engine over a catalog with default configuration.
+    pub fn new(catalog: &'c Catalog) -> Self {
+        QueryEngine::with_config(catalog, EngineConfig::default())
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(catalog: &'c Catalog, config: EngineConfig) -> Self {
+        QueryEngine {
+            catalog,
+            config,
+            pair_memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// Search effort counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// Find a derivation sequence satisfying `query`, or fail with
+    /// [`SjError::NoSolution`].
+    pub fn solve(&self, query: &Query) -> Result<Plan> {
+        let dict = self.catalog.dict();
+        let query = query.canonicalize(dict)?;
+
+        // Backward-chain through the rules to find every value dimension
+        // the query (transitively) needs.
+        let needed = self.needed_closure(&query);
+
+        // Initial candidates: each dataset, saturated with the rules that
+        // yield needed dimensions.
+        let mut candidates: Vec<Cand> = Vec::new();
+        for (name, ds) in self.catalog.datasets() {
+            let cand = self.saturate(
+                Cand {
+                    plan: Plan::load(name),
+                    schema: ds.schema().clone(),
+                },
+                &needed,
+            );
+            candidates.push(cand);
+        }
+        self.stats.lock().datasets_considered = candidates.len();
+        if candidates.is_empty() {
+            return Err(SjError::NoSolution("catalog is empty".into()));
+        }
+
+        // Queried domain dimensions must already exist somewhere:
+        // derivations cannot infer new domain dimensions.
+        for d in &query.domains {
+            if !candidates
+                .iter()
+                .any(|c| c.schema.domain_field_on(d).is_some())
+            {
+                return Err(SjError::NoSolution(format!(
+                    "domain dimension `{d}` exists in no dataset \
+                     (combinations cannot infer new domain dimensions)"
+                )));
+            }
+        }
+        // Queried value dimensions must be present or derivable.
+        for v in &query.values {
+            let present = candidates
+                .iter()
+                .any(|c| c.schema.value_field_on(&v.dimension).is_some());
+            let derivable = self
+                .catalog
+                .rules()
+                .iter()
+                .any(|r| r.yields.contains(&v.dimension));
+            if !present && !derivable {
+                return Err(SjError::NoSolution(format!(
+                    "value dimension `{}` is neither recorded nor derivable",
+                    v.dimension
+                )));
+            }
+        }
+
+        // A single candidate may already satisfy the query.
+        for c in &candidates {
+            if query.satisfied_by(&c.schema, dict) {
+                return Ok(self.finalize(c.clone(), &query));
+            }
+        }
+
+        // Algorithm 1: seed with the minimal cover, then grow.
+        let targets = self.coverage_targets(&query, &candidates);
+        let seed = greedy_cover(&candidates, &targets);
+        let order = self.addition_order(&candidates, &seed);
+
+        for anchored_only in [true, false] {
+            if !anchored_only && !self.config.allow_unanchored {
+                break;
+            }
+            let mut df: Vec<usize> = seed.clone();
+            loop {
+                if let Some(result) =
+                    self.combine_set(&candidates, &df, &needed, anchored_only)
+                {
+                    if query.satisfied_by(&result.schema, dict) {
+                        return Ok(self.finalize(result, &query));
+                    }
+                }
+                // Add one more dataset (Algorithm 1's widening step).
+                let next = order.iter().find(|i| !df.contains(i));
+                match next {
+                    Some(&next) if df.len() < self.config.max_datasets => df.push(next),
+                    _ => break,
+                }
+            }
+        }
+        Err(SjError::NoSolution(query.describe()))
+    }
+
+    /// Value dimensions transitively required: the queried value dims plus
+    /// the inputs of every rule that can produce a needed dim.
+    fn needed_closure(&self, query: &Query) -> BTreeSet<String> {
+        let mut needed: BTreeSet<String> =
+            query.values.iter().map(|v| v.dimension.clone()).collect();
+        loop {
+            let before = needed.len();
+            for rule in self.catalog.rules() {
+                if rule.yields.iter().any(|y| needed.contains(y)) {
+                    needed.extend(rule.needs.iter().cloned());
+                }
+            }
+            if needed.len() == before {
+                break;
+            }
+        }
+        needed
+    }
+
+    /// Dimensions the seed set must cover: queried domains plus needed
+    /// value dimensions that exist as recorded values somewhere.
+    fn coverage_targets(&self, query: &Query, candidates: &[Cand]) -> Vec<(String, bool)> {
+        let mut targets: Vec<(String, bool)> =
+            query.domains.iter().map(|d| (d.clone(), true)).collect();
+        for dim in self.needed_closure(query) {
+            if candidates
+                .iter()
+                .any(|c| c.schema.value_field_on(&dim).is_some())
+            {
+                targets.push((dim, false));
+            }
+        }
+        targets
+    }
+
+    /// Preferred order for widening: datasets sharing the most domain
+    /// dimensions with the seed first.
+    fn addition_order(&self, candidates: &[Cand], seed: &[usize]) -> Vec<usize> {
+        let seed_dims: BTreeSet<String> = seed
+            .iter()
+            .flat_map(|&i| {
+                candidates[i]
+                    .schema
+                    .domain_dimensions()
+                    .into_iter()
+                    .map(String::from)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by_key(|&i| {
+            let shared = candidates[i]
+                .schema
+                .domain_dimensions()
+                .iter()
+                .filter(|d| seed_dims.contains(**d))
+                .count();
+            std::cmp::Reverse(shared)
+        });
+        order
+    }
+
+    /// Fold a set of candidates into one combined candidate, greedily
+    /// picking a combinable partner at each step (memoized pair tests).
+    fn combine_set(
+        &self,
+        candidates: &[Cand],
+        df: &[usize],
+        needed: &BTreeSet<String>,
+        anchored_only: bool,
+    ) -> Option<Cand> {
+        if df.is_empty() {
+            return None;
+        }
+        let mut remaining: Vec<usize> = df.to_vec();
+        let mut acc = candidates[remaining.remove(0)].clone();
+        while !remaining.is_empty() {
+            let mut advanced = false;
+            for pos in 0..remaining.len() {
+                let idx = remaining[pos];
+                if let Some(next) =
+                    self.combine_pair(&acc, &candidates[idx], anchored_only)
+                {
+                    acc = self.saturate(next, needed);
+                    remaining.remove(pos);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Test whether two candidates can be combined (via a short sequence
+    /// of alignment transformations and a single combination), and build
+    /// the resulting candidate if so.
+    fn combine_pair(&self, left: &Cand, right: &Cand, anchored_only: bool) -> Option<Cand> {
+        let key = (
+            left.schema.fingerprint(),
+            right.schema.fingerprint(),
+            anchored_only,
+        );
+        if self.config.memoize {
+            if let Some(hit) = self.pair_memo.lock().get(&key) {
+                self.stats.lock().memo_hits += 1;
+                return hit
+                    .as_ref()
+                    .map(|o| attach_outcome(left, right, o));
+            }
+        }
+        self.stats.lock().pair_tests += 1;
+        let outcome = self.pair_outcome(&left.schema, &right.schema, anchored_only);
+        if self.config.memoize {
+            self.pair_memo.lock().insert(key, outcome.clone());
+        }
+        outcome.map(|o| attach_outcome(left, right, &o))
+    }
+
+    /// The semantics-only pair test: alignment steps + combination choice.
+    fn pair_outcome(
+        &self,
+        left: &Schema,
+        right: &Schema,
+        anchored_only: bool,
+    ) -> Option<PairOutcome> {
+        let dict = self.catalog.dict();
+        // Alignment: explode compound (list/span) columns on shared domain
+        // dimensions so elements become comparable.
+        let mut lschema = left.clone();
+        let mut rschema = right.clone();
+        let mut left_steps = Vec::new();
+        let mut right_steps = Vec::new();
+        let shared_dims = lschema.shared_domain_dimensions(&rschema);
+        if shared_dims.is_empty() {
+            return None;
+        }
+        for dim in &shared_dims {
+            for (schema, steps) in [
+                (&mut lschema, &mut left_steps),
+                (&mut rschema, &mut right_steps),
+            ] {
+                while let Some(field) = schema.domain_field_on(dim) {
+                    let units = dict.units(&field.semantics.units).ok()?;
+                    let spec = match &units.kind {
+                        UnitKind::ListOf { .. } => DerivationSpec::ExplodeDiscrete {
+                            column: field.name.clone(),
+                        },
+                        UnitKind::TimeSpanKind => DerivationSpec::ExplodeContinuous {
+                            column: field.name.clone(),
+                            step_secs: self.config.explode_step_secs,
+                        },
+                        _ => break,
+                    };
+                    let t = spec.as_transformation()?;
+                    *schema = t.derive_schema(schema, dict).ok()?;
+                    steps.push(spec);
+                }
+            }
+        }
+
+        // Classify shared domains and choose the combination.
+        let shared = SharedDomains::analyze(&lschema, &rschema, dict).ok()?;
+        let anchored = !shared.exact.is_empty();
+        if anchored_only && !anchored {
+            return None;
+        }
+        let combine = match shared.continuous.len() {
+            0 => DerivationSpec::NaturalJoin,
+            1 => DerivationSpec::InterpolationJoin {
+                window_secs: self.config.interp_window_secs,
+            },
+            _ => return None,
+        };
+        let schema = combine
+            .as_combination()?
+            .derive_schema(&lschema, &rschema, dict)
+            .ok()?;
+        Some(PairOutcome {
+            left_steps,
+            right_steps,
+            combine,
+            schema,
+        })
+    }
+
+    /// Apply every registered rule that yields a needed dimension, to a
+    /// fixpoint (this derives heat on the rack-temperature dataset and
+    /// rates/active frequency on the counter datasets).
+    fn saturate(&self, mut cand: Cand, needed: &BTreeSet<String>) -> Cand {
+        let dict = self.catalog.dict();
+        for _ in 0..16 {
+            let mut progressed = false;
+            for rule in self.catalog.rules() {
+                if !rule.yields.iter().any(|y| needed.contains(y)) {
+                    continue;
+                }
+                if let Some(t) = (rule.build)(&cand.schema, dict) {
+                    if let Ok(schema) = t.derive_schema(&cand.schema, dict) {
+                        if schema != cand.schema {
+                            cand = Cand {
+                                plan: cand.plan.then(t.spec()),
+                                schema,
+                            };
+                            self.stats.lock().rules_applied += 1;
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        cand
+    }
+
+    /// Append unit conversions for value requests whose units differ from
+    /// what the solution carries, then return the plan.
+    fn finalize(&self, cand: Cand, query: &Query) -> Plan {
+        let dict = self.catalog.dict();
+        let mut plan = cand.plan;
+        let mut schema = cand.schema;
+        for v in &query.values {
+            let Some(want) = &v.units else { continue };
+            let Some(field) = schema.value_field_on(&v.dimension) else {
+                continue;
+            };
+            if &field.semantics.units == want {
+                continue;
+            }
+            let spec = DerivationSpec::ConvertUnits {
+                column: field.name.clone(),
+                to: want.clone(),
+            };
+            if let Some(t) = spec.as_transformation() {
+                if let Ok(s) = t.derive_schema(&schema, dict) {
+                    schema = s;
+                    plan = plan.then(spec);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Dry-run a query: the schema its plan would produce (semantics only,
+    /// no data touched).
+    pub fn solution_schema(&self, query: &Query) -> Result<Schema> {
+        let plan = self.solve(query)?;
+        plan_schema(&plan, self.catalog)
+    }
+}
+
+/// Compute the schema a plan produces, without executing data operations.
+pub(crate) fn plan_schema(plan: &Plan, catalog: &Catalog) -> Result<Schema> {
+    match plan {
+        Plan::Load { dataset } => Ok(catalog.dataset(dataset)?.schema().clone()),
+        Plan::Transform { spec, input } => {
+            let s = plan_schema(input, catalog)?;
+            spec.as_transformation()
+                .ok_or_else(|| SjError::SemanticsInvalid("not a transformation".into()))?
+                .derive_schema(&s, catalog.dict())
+        }
+        Plan::Combine { spec, left, right } => {
+            let l = plan_schema(left, catalog)?;
+            let r = plan_schema(right, catalog)?;
+            spec.as_combination()
+                .ok_or_else(|| SjError::SemanticsInvalid("not a combination".into()))?
+                .derive_schema(&l, &r, catalog.dict())
+        }
+    }
+}
+
+/// Attach a memoized pair outcome to two concrete candidate plans.
+fn attach_outcome(left: &Cand, right: &Cand, o: &PairOutcome) -> Cand {
+    let mut lplan = left.plan.clone();
+    for s in &o.left_steps {
+        lplan = lplan.then(s.clone());
+    }
+    let mut rplan = right.plan.clone();
+    for s in &o.right_steps {
+        rplan = rplan.then(s.clone());
+    }
+    Cand {
+        plan: lplan.combine(o.combine.clone(), rplan),
+        schema: o.schema.clone(),
+    }
+}
+
+/// Greedy set cover: pick candidates covering the most uncovered targets
+/// until all targets are covered (ties: fewer columns first).
+fn greedy_cover(candidates: &[Cand], targets: &[(String, bool)]) -> Vec<usize> {
+    let covers = |c: &Cand, t: &(String, bool)| -> bool {
+        if t.1 {
+            c.schema.domain_field_on(&t.0).is_some()
+        } else {
+            c.schema.value_field_on(&t.0).is_some()
+        }
+    };
+    let mut uncovered: Vec<&(String, bool)> = targets.iter().collect();
+    let mut picked = Vec::new();
+    while !uncovered.is_empty() {
+        let best = (0..candidates.len())
+            .filter(|i| !picked.contains(i))
+            .max_by_key(|&i| {
+                let n = uncovered
+                    .iter()
+                    .filter(|t| covers(&candidates[i], t))
+                    .count();
+                (n, std::cmp::Reverse(candidates[i].schema.len()))
+            });
+        let Some(best) = best else { break };
+        let n = uncovered
+            .iter()
+            .filter(|t| covers(&candidates[best], t))
+            .count();
+        if n == 0 {
+            break;
+        }
+        uncovered.retain(|t| !covers(&candidates[best], t));
+        picked.push(best);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryValue;
+    use crate::row::Row;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+    use crate::units::time::{TimeSpan, Timestamp};
+    use crate::value::Value;
+    use crate::SjDataset;
+    use sjdf::ExecCtx;
+
+    /// A small catalog shaped like the paper's first DAT (§7.1): a job
+    /// queue log, the node/rack layout, and rack temperature sensors.
+    fn dat1_catalog(ctx: &ExecCtx) -> Catalog {
+        let mut c = Catalog::default_hpc();
+
+        let joblog_schema = Schema::new(vec![
+            FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+            FieldDef::new("job_name", FieldSemantics::value("application", "app-name")),
+            FieldDef::new(
+                "nodelist",
+                FieldSemantics::domain("compute-node", "node-list"),
+            ),
+            FieldDef::new("elapsed", FieldSemantics::value("time", "t-seconds")),
+            FieldDef::new("timespan", FieldSemantics::domain("time", "timespan")),
+        ])
+        .unwrap();
+        let joblog_rows = vec![Row::new(vec![
+            Value::str("1001"),
+            Value::str("AMG"),
+            Value::list([Value::str("cab1"), Value::str("cab2")]),
+            Value::Float(240.0),
+            Value::Span(TimeSpan::new(
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(240),
+            )),
+        ])];
+        c.register_dataset(
+            "job_queue_log",
+            SjDataset::from_rows(ctx, joblog_rows, joblog_schema, "job_queue_log", 1),
+        )
+        .unwrap();
+
+        let layout_schema = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        ])
+        .unwrap();
+        let layout_rows = vec![
+            Row::new(vec![Value::str("cab1"), Value::str("rack17")]),
+            Row::new(vec![Value::str("cab2"), Value::str("rack17")]),
+        ];
+        c.register_dataset(
+            "node_layout",
+            SjDataset::from_rows(ctx, layout_rows, layout_schema, "node_layout", 1),
+        )
+        .unwrap();
+
+        let temps_schema = Schema::new(vec![
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+            FieldDef::new(
+                "location",
+                FieldSemantics::domain("rack-location", "location-name"),
+            ),
+            FieldDef::new("aisle", FieldSemantics::domain("aisle", "aisle-name")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let mut temps_rows = Vec::new();
+        for t in [0i64, 120, 240] {
+            for (aisle, base) in [("hot", 35.0), ("cold", 18.0)] {
+                temps_rows.push(Row::new(vec![
+                    Value::str("rack17"),
+                    Value::str("top"),
+                    Value::str(aisle),
+                    Value::Time(Timestamp::from_secs(t)),
+                    Value::Float(base + t as f64 / 100.0),
+                ]));
+            }
+        }
+        c.register_dataset(
+            "rack_temps",
+            SjDataset::from_rows(ctx, temps_rows, temps_schema, "rack_temps", 1),
+        )
+        .unwrap();
+        c
+    }
+
+    fn rack_heat_query() -> Query {
+        Query::new(
+            ["job", "rack"],
+            vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+        )
+    }
+
+    #[test]
+    fn solves_the_figure5_query_with_the_figure5_shape() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let plan = engine.solve(&rack_heat_query()).unwrap();
+
+        let ops: Vec<&str> = plan.ops().iter().map(|s| s.op_name()).collect();
+        // The Figure 5 sequence: explode discrete + explode continuous on
+        // the job log, natural join with the layout, derive heat on the
+        // rack temps, interpolation join at the top.
+        assert!(ops.contains(&"explode_discrete"), "{ops:?}");
+        assert!(ops.contains(&"explode_continuous"), "{ops:?}");
+        assert!(ops.contains(&"natural_join"), "{ops:?}");
+        assert!(ops.contains(&"derive_heat"), "{ops:?}");
+        assert_eq!(*ops.last().unwrap(), "interpolation_join", "{ops:?}");
+        // All three datasets participate.
+        let mut loads = plan.loads();
+        loads.sort();
+        assert_eq!(loads, vec!["job_queue_log", "node_layout", "rack_temps"]);
+    }
+
+    #[test]
+    fn solution_schema_satisfies_the_query() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let q = rack_heat_query().canonicalize(cat.dict()).unwrap();
+        let schema = engine.solution_schema(&rack_heat_query()).unwrap();
+        assert!(q.satisfied_by(&schema, cat.dict()));
+    }
+
+    #[test]
+    fn executing_the_plan_produces_job_heat_relations() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let plan = engine.solve(&rack_heat_query()).unwrap();
+        let ds = plan.execute(&cat, None).unwrap();
+        let rows = ds.collect().unwrap();
+        assert!(!rows.is_empty());
+        let app_idx = ds.schema().index_of("job_name").unwrap();
+        let heat_idx = ds.schema().index_of("heat").unwrap();
+        for r in &rows {
+            assert_eq!(r.get(app_idx).as_str(), Some("AMG"));
+            let heat = r.get(heat_idx).as_f64().unwrap();
+            assert!((16.0..=18.5).contains(&heat), "heat={heat}");
+        }
+    }
+
+    #[test]
+    fn single_dataset_queries_short_circuit() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let q = Query::new(["rack"], vec![QueryValue::dim("temperature")]);
+        let plan = engine.solve(&q).unwrap();
+        assert_eq!(plan.loads(), vec!["rack_temps"]);
+        assert_eq!(plan.num_combines(), 0);
+    }
+
+    #[test]
+    fn unknown_domain_dimension_has_no_solution() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let q = Query::new(["cpu"], vec![QueryValue::dim("temperature")]);
+        assert!(matches!(
+            engine.solve(&q).unwrap_err(),
+            SjError::NoSolution(_)
+        ));
+    }
+
+    #[test]
+    fn unrecorded_underivable_value_has_no_solution() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let q = Query::new(["rack"], vec![QueryValue::dim("power")]);
+        assert!(matches!(
+            engine.solve(&q).unwrap_err(),
+            SjError::NoSolution(_)
+        ));
+    }
+
+    #[test]
+    fn memoization_reduces_pair_tests() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        engine.solve(&rack_heat_query()).unwrap();
+        let first = engine.stats();
+        engine.solve(&rack_heat_query()).unwrap();
+        let second = engine.stats();
+        assert!(second.memo_hits > first.memo_hits);
+        assert_eq!(second.pair_tests, first.pair_tests);
+
+        let no_memo = QueryEngine::with_config(
+            &cat,
+            EngineConfig {
+                memoize: false,
+                ..EngineConfig::default()
+            },
+        );
+        no_memo.solve(&rack_heat_query()).unwrap();
+        no_memo.solve(&rack_heat_query()).unwrap();
+        assert!(no_memo.stats().pair_tests > first.pair_tests);
+        assert_eq!(no_memo.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn unit_conversion_is_appended_when_requested() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let q = Query::new(
+            ["rack"],
+            vec![QueryValue::with_units("temperature", "fahrenheit")],
+        );
+        let plan = engine.solve(&q).unwrap();
+        let ops: Vec<&str> = plan.ops().iter().map(|s| s.op_name()).collect();
+        assert_eq!(ops, vec!["convert_units"]);
+        let ds = plan.execute(&cat, None).unwrap();
+        let f = ds.schema().field("temp").unwrap();
+        assert_eq!(f.semantics.units, "fahrenheit");
+    }
+
+    #[test]
+    fn anchored_paths_are_preferred_over_time_only_joins() {
+        // Even though job_queue_log and rack_temps share `time`, the plan
+        // must route through node_layout (anchored joins only).
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let plan = engine.solve(&rack_heat_query()).unwrap();
+        assert!(plan.loads().contains(&"node_layout"));
+        assert_eq!(plan.num_combines(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for ScrubJay core.
+
+use std::fmt;
+
+/// Errors produced by semantic validation, derivations, wrappers, and the
+/// derivation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SjError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A dimension or units keyword is not present in the active semantic
+    /// dictionary.
+    UnknownKeyword(String),
+    /// Registering a dictionary entry whose name already exists with a
+    /// different definition (a homonym).
+    HomonymConflict(String),
+    /// A dataset failed validation against the active dictionary.
+    SemanticsInvalid(String),
+    /// A derivation cannot apply to the given schema(s).
+    NotApplicable {
+        /// The derivation's name.
+        derivation: String,
+        /// Why it does not apply.
+        reason: String,
+    },
+    /// A unit conversion between incompatible units was requested.
+    IncompatibleUnits {
+        /// Source units keyword.
+        from: String,
+        /// Target units keyword.
+        to: String,
+    },
+    /// The derivation engine found no derivation sequence satisfying the
+    /// query.
+    NoSolution(String),
+    /// A wrapper failed to parse its input.
+    ParseError(String),
+    /// An I/O failure in a wrapper or the result cache.
+    Io(String),
+    /// A value had an unexpected runtime type.
+    TypeError(String),
+    /// An error bubbled up from the data-parallel substrate.
+    Exec(String),
+}
+
+impl fmt::Display for SjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SjError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            SjError::UnknownKeyword(k) => {
+                write!(f, "keyword `{k}` is not in the semantic dictionary")
+            }
+            SjError::HomonymConflict(k) => write!(
+                f,
+                "dictionary entry `{k}` already exists with a different definition"
+            ),
+            SjError::SemanticsInvalid(msg) => write!(f, "invalid semantics: {msg}"),
+            SjError::NotApplicable { derivation, reason } => {
+                write!(f, "derivation `{derivation}` not applicable: {reason}")
+            }
+            SjError::IncompatibleUnits { from, to } => {
+                write!(f, "cannot convert units `{from}` to `{to}`")
+            }
+            SjError::NoSolution(q) => write!(f, "no derivation sequence satisfies query: {q}"),
+            SjError::ParseError(msg) => write!(f, "parse error: {msg}"),
+            SjError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SjError::TypeError(msg) => write!(f, "type error: {msg}"),
+            SjError::Exec(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SjError {}
+
+impl From<sjdf::SjdfError> for SjError {
+    fn from(e: sjdf::SjdfError) -> Self {
+        SjError::Exec(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for SjError {
+    fn from(e: std::io::Error) -> Self {
+        SjError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias for ScrubJay core.
+pub type Result<T> = std::result::Result<T, SjError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_details() {
+        assert!(SjError::UnknownColumn("node".into())
+            .to_string()
+            .contains("node"));
+        assert!(SjError::IncompatibleUnits {
+            from: "celsius".into(),
+            to: "seconds".into()
+        }
+        .to_string()
+        .contains("celsius"));
+    }
+
+    #[test]
+    fn sjdf_errors_convert() {
+        let e: SjError = sjdf::SjdfError::EmptyDataset("reduce").into();
+        assert!(matches!(e, SjError::Exec(_)));
+    }
+}

@@ -1,0 +1,593 @@
+//! Interoperability layer: filtering and aggregation.
+//!
+//! ScrubJay's query language deliberately contains only dimensions of
+//! interest; rather than reinvent relational filtering and aggregation
+//! semantics inside the query system, the paper provides an
+//! interoperability layer for them (§5.1, footnote 1). This module is
+//! that layer: predicates and group-by aggregation over [`SjDataset`]s,
+//! still constrained by data semantics — ordering comparisons are valid
+//! only on *ordered* dimensions (a node ID of 10 is not "less than" a
+//! node ID of 20), and means only on interpolatable ones.
+
+use crate::dataset::SjDataset;
+use crate::error::{Result, SjError};
+use crate::row::Row;
+use crate::schema::{FieldDef, Schema};
+use crate::semantics::{FieldSemantics, RelationType, SemanticDictionary};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A row predicate over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Column equals the value (any dimension).
+    Eq(String, Value),
+    /// Column differs from the value (any dimension).
+    Ne(String, Value),
+    /// Column is strictly less than the value (ordered dimensions only).
+    Lt(String, Value),
+    /// Column is at most the value (ordered dimensions only).
+    Le(String, Value),
+    /// Column is strictly greater than the value (ordered only).
+    Gt(String, Value),
+    /// Column is at least the value (ordered only).
+    Ge(String, Value),
+    /// Column lies in `[lo, hi]` (ordered only).
+    Between(String, Value, Value),
+    /// Column is one of the listed values (any dimension).
+    In(String, Vec<Value>),
+    /// Column is not null.
+    NotNull(String),
+    /// Every sub-predicate holds.
+    All(Vec<Predicate>),
+    /// At least one sub-predicate holds.
+    Any(Vec<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Validate against a schema and dictionary: columns exist, and
+    /// ordering comparisons target ordered dimensions.
+    pub fn validate(&self, schema: &Schema, dict: &SemanticDictionary) -> Result<()> {
+        match self {
+            Predicate::Eq(c, _) | Predicate::Ne(c, _) | Predicate::In(c, _) | Predicate::NotNull(c) => {
+                schema.index_of(c)?;
+                Ok(())
+            }
+            Predicate::Lt(c, _)
+            | Predicate::Le(c, _)
+            | Predicate::Gt(c, _)
+            | Predicate::Ge(c, _)
+            | Predicate::Between(c, _, _) => {
+                let f = schema.field(c)?;
+                let dim = dict.dimension(&f.semantics.dimension)?;
+                if dim.exact_match_only() {
+                    return Err(SjError::SemanticsInvalid(format!(
+                        "ordering comparison on unordered dimension `{}` (column `{c}`)",
+                        dim.name
+                    )));
+                }
+                Ok(())
+            }
+            Predicate::All(ps) | Predicate::Any(ps) => {
+                ps.iter().try_for_each(|p| p.validate(schema, dict))
+            }
+            Predicate::Not(p) => p.validate(schema, dict),
+        }
+    }
+
+    fn eval(&self, row: &Row, schema: &Schema) -> bool {
+        let col = |name: &str| schema.index_of(name).ok().map(|i| row.get(i));
+        let cmp = |name: &str, v: &Value| -> Option<std::cmp::Ordering> {
+            let cell = col(name)?;
+            match (cell.as_f64(), v.as_f64()) {
+                (Some(a), Some(b)) => Some(a.total_cmp(&b)),
+                _ => match (cell.as_str(), v.as_str()) {
+                    (Some(a), Some(b)) => Some(a.cmp(b)),
+                    _ => None,
+                },
+            }
+        };
+        match self {
+            Predicate::Eq(c, v) => col(c).is_some_and(|cell| cell == v),
+            Predicate::Ne(c, v) => col(c).is_some_and(|cell| cell != v),
+            Predicate::Lt(c, v) => cmp(c, v) == Some(std::cmp::Ordering::Less),
+            Predicate::Le(c, v) => {
+                matches!(cmp(c, v), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
+            }
+            Predicate::Gt(c, v) => cmp(c, v) == Some(std::cmp::Ordering::Greater),
+            Predicate::Ge(c, v) => matches!(
+                cmp(c, v),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ),
+            Predicate::Between(c, lo, hi) => {
+                matches!(
+                    cmp(c, lo),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                ) && matches!(
+                    cmp(c, hi),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                )
+            }
+            Predicate::In(c, vs) => col(c).is_some_and(|cell| vs.contains(cell)),
+            Predicate::NotNull(c) => col(c).is_some_and(|cell| !cell.is_null()),
+            Predicate::All(ps) => ps.iter().all(|p| p.eval(row, schema)),
+            Predicate::Any(ps) => ps.iter().any(|p| p.eval(row, schema)),
+            Predicate::Not(p) => !p.eval(row, schema),
+        }
+    }
+}
+
+/// Keep only rows satisfying the predicate (narrow, semantics-checked).
+pub fn filter_rows(
+    ds: &SjDataset,
+    pred: &Predicate,
+    dict: &SemanticDictionary,
+) -> Result<SjDataset> {
+    pred.validate(ds.schema(), dict)?;
+    let schema = ds.schema().clone();
+    let pred = Arc::new(pred.clone());
+    let schema2 = schema.clone();
+    let rdd = ds.rdd().map_partitions_named("filter_rows", move |rows| {
+        rows.into_iter()
+            .filter(|r| pred.eval(r, &schema2))
+            .collect()
+    });
+    Ok(SjDataset::new(
+        rdd,
+        schema,
+        format!("filter({})", ds.name()),
+    ))
+}
+
+/// An aggregation function over one column's values within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Arithmetic mean (interpolatable dimensions only).
+    Mean,
+    /// Minimum (ordered dimensions only).
+    Min,
+    /// Maximum (ordered dimensions only).
+    Max,
+    /// Sum (ordered dimensions only).
+    Sum,
+    /// Number of non-null values (any dimension; output is on the
+    /// `sample-count` dimension).
+    Count,
+}
+
+/// One aggregation request: aggregate `column` with `func` into
+/// `output` in the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregation {
+    /// Input column name.
+    pub column: String,
+    /// The function.
+    pub func: AggFn,
+    /// Output column name.
+    pub output: String,
+}
+
+impl Aggregation {
+    /// Shorthand constructor.
+    pub fn new(column: &str, func: AggFn, output: &str) -> Self {
+        Aggregation {
+            column: column.into(),
+            func,
+            output: output.into(),
+        }
+    }
+}
+
+/// Group by the named columns and aggregate the requested value columns.
+/// Semantics-checked: means require interpolatable dimensions; min, max,
+/// and sum require ordered ones.
+pub fn aggregate(
+    ds: &SjDataset,
+    group_by: &[&str],
+    aggs: &[Aggregation],
+    dict: &SemanticDictionary,
+) -> Result<SjDataset> {
+    if group_by.is_empty() {
+        return Err(SjError::SemanticsInvalid(
+            "aggregate requires at least one group-by column".into(),
+        ));
+    }
+    let schema = ds.schema();
+    let mut group_idx = Vec::with_capacity(group_by.len());
+    let mut out_fields = Vec::new();
+    for g in group_by {
+        let i = schema.index_of(g)?;
+        group_idx.push(i);
+        out_fields.push(schema.fields()[i].clone());
+    }
+    let mut agg_plan: Vec<(usize, AggFn)> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        let i = schema.index_of(&a.column)?;
+        let f = &schema.fields()[i];
+        let dim = dict.dimension(&f.semantics.dimension)?;
+        match a.func {
+            AggFn::Mean if !dim.interpolatable() => {
+                return Err(SjError::SemanticsInvalid(format!(
+                    "cannot take a mean on dimension `{}` (column `{}`)",
+                    dim.name, a.column
+                )))
+            }
+            AggFn::Min | AggFn::Max | AggFn::Sum if dim.exact_match_only() => {
+                return Err(SjError::SemanticsInvalid(format!(
+                    "cannot order/sum dimension `{}` (column `{}`)",
+                    dim.name, a.column
+                )))
+            }
+            _ => {}
+        }
+        let semantics = if a.func == AggFn::Count {
+            FieldSemantics::value("sample-count", "samples")
+        } else {
+            FieldSemantics {
+                relation: RelationType::Value,
+                dimension: f.semantics.dimension.clone(),
+                units: f.semantics.units.clone(),
+            }
+        };
+        out_fields.push(FieldDef::new(&a.output, semantics));
+        agg_plan.push((i, a.func));
+    }
+    let out_schema = Schema::new(out_fields)?;
+
+    let parts = ds.rdd().num_partitions().max(1);
+    let gidx = group_idx.clone();
+    let keyed = ds.rdd().map_partitions_named("key_by_group", move |rows| {
+        rows.into_iter().map(|r| (r.key_of(&gidx), r)).collect()
+    });
+    let rdd = keyed
+        .group_by_key(parts)
+        .map_partitions_named("aggregate", move |groups| {
+            groups
+                .into_iter()
+                .map(|(_, rows)| {
+                    let first = &rows[0];
+                    let mut values: Vec<Value> =
+                        group_idx.iter().map(|&i| first.get(i).clone()).collect();
+                    for &(ci, func) in &agg_plan {
+                        let nums: Vec<f64> =
+                            rows.iter().filter_map(|r| r.get(ci).as_f64()).collect();
+                        let v = match func {
+                            AggFn::Count => Value::Int(
+                                rows.iter().filter(|r| !r.get(ci).is_null()).count() as i64,
+                            ),
+                            AggFn::Mean if nums.is_empty() => Value::Null,
+                            AggFn::Mean => {
+                                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                            }
+                            AggFn::Sum => Value::Float(nums.iter().sum()),
+                            AggFn::Min => nums
+                                .iter()
+                                .cloned()
+                                .min_by(f64::total_cmp)
+                                .map_or(Value::Null, Value::Float),
+                            AggFn::Max => nums
+                                .iter()
+                                .cloned()
+                                .max_by(f64::total_cmp)
+                                .map_or(Value::Null, Value::Float),
+                        };
+                        values.push(v);
+                    }
+                    Row::new(values)
+                })
+                .collect()
+        });
+    Ok(SjDataset::new(
+        rdd,
+        out_schema,
+        format!("aggregate({})", ds.name()),
+    ))
+}
+
+/// Keep only the named columns, in the given order (narrow).
+pub fn project(ds: &SjDataset, columns: &[&str]) -> Result<SjDataset> {
+    let schema = ds.schema();
+    let mut idx = Vec::with_capacity(columns.len());
+    let mut fields = Vec::with_capacity(columns.len());
+    for c in columns {
+        let i = schema.index_of(c)?;
+        idx.push(i);
+        fields.push(schema.fields()[i].clone());
+    }
+    let out_schema = Schema::new(fields)?;
+    let rdd = ds.rdd().map_partitions_named("project", move |rows| {
+        rows.into_iter()
+            .map(|r| idx.iter().map(|&i| r.get(i).clone()).collect())
+            .collect()
+    });
+    Ok(SjDataset::new(
+        rdd,
+        out_schema,
+        format!("project({})", ds.name()),
+    ))
+}
+
+/// Globally sort rows by one column (ordered dimensions only). Wide.
+pub fn sort_rows(ds: &SjDataset, column: &str, dict: &SemanticDictionary) -> Result<SjDataset> {
+    let schema = ds.schema();
+    let i = schema.index_of(column)?;
+    let f = &schema.fields()[i];
+    let dim = dict.dimension(&f.semantics.dimension)?;
+    if dim.exact_match_only() {
+        return Err(SjError::SemanticsInvalid(format!(
+            "cannot sort by unordered dimension `{}` (column `{column}`)",
+            dim.name
+        )));
+    }
+    let parts = ds.rdd().num_partitions().max(1);
+    let keyed = ds.rdd().map_partitions_named("key_for_sort", move |rows| {
+        rows.into_iter()
+            .map(|r| {
+                // Sort key: the bit-ordered encoding of the numeric view
+                // (total order over f64, nulls first).
+                let k = r
+                    .get(i)
+                    .as_f64()
+                    .map(|v| {
+                        let bits = v.to_bits();
+                        if bits >> 63 == 1 {
+                            // Negative: flip everything so magnitude order
+                            // reverses into value order.
+                            !bits
+                        } else {
+                            // Non-negative: set the sign bit so it sorts
+                            // after every negative.
+                            bits | (1 << 63)
+                        }
+                    })
+                    .unwrap_or(0);
+                (k, r)
+            })
+            .collect()
+    });
+    let rdd = keyed.sort_by_key(parts).map_values(|r| r).map(|(_, r)| r);
+    Ok(SjDataset::new(
+        rdd,
+        schema.clone(),
+        format!("sort({})", ds.name()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::time::Timestamp;
+    use sjdf::ExecCtx;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn temps(ctx: &ExecCtx) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let mk = |rack: &str, t: i64, v: f64| {
+            Row::new(vec![
+                Value::str(rack),
+                Value::Time(Timestamp::from_secs(t)),
+                Value::Float(v),
+            ])
+        };
+        let rows = vec![
+            mk("r1", 0, 20.0),
+            mk("r1", 60, 24.0),
+            mk("r1", 120, 28.0),
+            mk("r2", 0, 30.0),
+            mk("r2", 60, 34.0),
+        ];
+        SjDataset::from_rows(ctx, rows, schema, "temps", 2)
+    }
+
+    #[test]
+    fn filter_eq_and_ordering() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let d = dict();
+        let out = filter_rows(&ds, &Predicate::Eq("rack".into(), Value::str("r1")), &d).unwrap();
+        assert_eq!(out.count().unwrap(), 3);
+        let out = filter_rows(&ds, &Predicate::Gt("temp".into(), Value::Float(25.0)), &d).unwrap();
+        assert_eq!(out.count().unwrap(), 3);
+        let out = filter_rows(
+            &ds,
+            &Predicate::All(vec![
+                Predicate::Eq("rack".into(), Value::str("r1")),
+                Predicate::Ge("temp".into(), Value::Float(24.0)),
+            ]),
+            &d,
+        )
+        .unwrap();
+        assert_eq!(out.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn ordering_on_identifiers_is_rejected() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let e = filter_rows(&ds, &Predicate::Lt("rack".into(), Value::str("r2")), &dict())
+            .unwrap_err();
+        assert!(e.to_string().contains("unordered"));
+        // Equality on identifiers is fine.
+        assert!(filter_rows(&ds, &Predicate::Ne("rack".into(), Value::str("r2")), &dict()).is_ok());
+    }
+
+    #[test]
+    fn between_in_and_not() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let d = dict();
+        let out = filter_rows(
+            &ds,
+            &Predicate::Between("temp".into(), Value::Float(24.0), Value::Float(30.0)),
+            &d,
+        )
+        .unwrap();
+        assert_eq!(out.count().unwrap(), 3);
+        let out = filter_rows(
+            &ds,
+            &Predicate::In("rack".into(), vec![Value::str("r2"), Value::str("r9")]),
+            &d,
+        )
+        .unwrap();
+        assert_eq!(out.count().unwrap(), 2);
+        let out = filter_rows(
+            &ds,
+            &Predicate::Not(Box::new(Predicate::Eq("rack".into(), Value::str("r2")))),
+            &d,
+        )
+        .unwrap();
+        assert_eq!(out.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn filter_unknown_column_errors() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        assert!(filter_rows(&ds, &Predicate::NotNull("nope".into()), &dict()).is_err());
+    }
+
+    #[test]
+    fn aggregate_mean_min_max_count() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let out = aggregate(
+            &ds,
+            &["rack"],
+            &[
+                Aggregation::new("temp", AggFn::Mean, "mean_temp"),
+                Aggregation::new("temp", AggFn::Min, "min_temp"),
+                Aggregation::new("temp", AggFn::Max, "max_temp"),
+                Aggregation::new("temp", AggFn::Count, "n"),
+            ],
+            &dict(),
+        )
+        .unwrap();
+        let mut rows = out.collect().unwrap();
+        rows.sort_by_key(|r| r.get(0).as_str().unwrap().to_string());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(1).as_f64(), Some(24.0));
+        assert_eq!(rows[0].get(2).as_f64(), Some(20.0));
+        assert_eq!(rows[0].get(3).as_f64(), Some(28.0));
+        assert_eq!(rows[0].get(4).as_i64(), Some(3));
+        assert_eq!(rows[1].get(1).as_f64(), Some(32.0));
+        // Output schema: count carries the sample-count dimension.
+        assert_eq!(
+            out.schema().field("n").unwrap().semantics.dimension,
+            "sample-count"
+        );
+        out.validate(&dict()).unwrap();
+    }
+
+    #[test]
+    fn mean_on_identifier_dimension_is_rejected() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let e = aggregate(
+            &ds,
+            &["rack"],
+            &[Aggregation::new("rack", AggFn::Mean, "mean_rack")],
+            &dict(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("mean"));
+        // Count on identifiers is allowed.
+        assert!(aggregate(
+            &ds,
+            &["rack"],
+            &[Aggregation::new("rack", AggFn::Count, "n")],
+            &dict(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn aggregate_requires_group_columns() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        assert!(aggregate(&ds, &[], &[], &dict()).is_err());
+        assert!(aggregate(&ds, &["nope"], &[], &dict()).is_err());
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let out = project(&ds, &["temp", "rack"]).unwrap();
+        assert_eq!(out.schema().len(), 2);
+        assert_eq!(out.schema().fields()[0].name, "temp");
+        let row = &out.head(1).unwrap()[0];
+        assert_eq!(row.get(0).as_f64(), Some(20.0));
+        assert_eq!(row.get(1).as_str(), Some("r1"));
+        assert!(project(&ds, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn sort_rows_orders_by_value() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let out = sort_rows(&ds, "temp", &dict()).unwrap();
+        let temps: Vec<f64> = out
+            .collect_column("temp")
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .collect();
+        for w in temps.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(temps.len(), 5);
+        // Sorting by an identifier is rejected.
+        assert!(sort_rows(&ds, "rack", &dict()).is_err());
+    }
+
+    #[test]
+    fn sort_rows_handles_negative_values_and_nulls() {
+        let ctx = ExecCtx::local();
+        let schema = Schema::new(vec![
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+            FieldDef::new("t", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        let rows = vec![
+            Row::new(vec![Value::str("a"), Value::Float(3.0)]),
+            Row::new(vec![Value::str("b"), Value::Float(-7.5)]),
+            Row::new(vec![Value::str("c"), Value::Null]),
+            Row::new(vec![Value::str("d"), Value::Float(-1.0)]),
+            Row::new(vec![Value::str("e"), Value::Float(0.0)]),
+        ];
+        let ds = SjDataset::from_rows(&ctx, rows, schema, "x", 2);
+        let out = sort_rows(&ds, "t", &dict()).unwrap();
+        let got: Vec<Option<f64>> = out
+            .collect_column("t")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64())
+            .collect();
+        assert_eq!(got, vec![None, Some(-7.5), Some(-1.0), Some(0.0), Some(3.0)]);
+    }
+
+    #[test]
+    fn aggregate_by_multiple_columns() {
+        let ctx = ExecCtx::local();
+        let ds = temps(&ctx);
+        let out = aggregate(
+            &ds,
+            &["rack", "time"],
+            &[Aggregation::new("temp", AggFn::Sum, "s")],
+            &dict(),
+        )
+        .unwrap();
+        // Every (rack, time) pair is unique here.
+        assert_eq!(out.count().unwrap(), 5);
+    }
+}

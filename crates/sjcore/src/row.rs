@@ -1,0 +1,163 @@
+//! Rows: positional tuples of [`Value`]s interpreted through a schema.
+//!
+//! ScrubJayRDD rows are named tuples (§4.1). Storing names in every row
+//! would waste distributed memory, so rows are positional and the schema
+//! (stored once per dataset) maps names to positions.
+
+use crate::schema::Schema;
+use crate::value::{KeyAtom, Value};
+use serde::{Deserialize, Serialize};
+use sjdf::ByteSize;
+
+/// One record: values in schema column order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Construct from values in schema order.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Cell at a column index.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All cells in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the cell vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Exact-match key over the given column indices (for joins/grouping).
+    pub fn key_of(&self, indices: &[usize]) -> Vec<KeyAtom> {
+        indices.iter().map(|&i| self.values[i].key()).collect()
+    }
+
+    /// A new row with one cell replaced.
+    pub fn with_value(&self, idx: usize, v: Value) -> Row {
+        let mut values = self.values.clone();
+        values[idx] = v;
+        Row { values }
+    }
+
+    /// A new row with one cell appended.
+    pub fn with_appended(&self, v: Value) -> Row {
+        let mut values = self.values.clone();
+        values.push(v);
+        Row { values }
+    }
+
+    /// A new row without the cell at `idx`.
+    pub fn without(&self, idx: usize) -> Row {
+        let mut values = self.values.clone();
+        values.remove(idx);
+        Row { values }
+    }
+
+    /// Render as a display string using a schema for column names.
+    pub fn display_with(&self, schema: &Schema) -> String {
+        let parts: Vec<String> = schema
+            .fields()
+            .iter()
+            .zip(&self.values)
+            .map(|(f, v)| format!("{}={}", f.name, v))
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+impl ByteSize for Row {
+    fn byte_size(&self) -> usize {
+        24 + self.values.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+
+    fn row() -> Row {
+        Row::new(vec![Value::Int(5), Value::str("cab17"), Value::Float(67.4)])
+    }
+
+    #[test]
+    fn get_and_len() {
+        let r = row();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(0), &Value::Int(5));
+        assert_eq!(r.get(1).as_str(), Some("cab17"));
+    }
+
+    #[test]
+    fn key_of_selected_columns() {
+        let r = row();
+        let k = r.key_of(&[1, 0]);
+        assert_eq!(k, vec![Value::str("cab17").key(), Value::Int(5).key()]);
+    }
+
+    #[test]
+    fn editing_helpers_do_not_mutate_original() {
+        let r = row();
+        let r2 = r.with_value(0, Value::Int(9));
+        assert_eq!(r.get(0), &Value::Int(5));
+        assert_eq!(r2.get(0), &Value::Int(9));
+        let r3 = r.with_appended(Value::Bool(true));
+        assert_eq!(r3.len(), 4);
+        let r4 = r.without(1);
+        assert_eq!(r4.len(), 2);
+        assert_eq!(r4.get(1), &Value::Float(67.4));
+    }
+
+    #[test]
+    fn display_with_schema_names() {
+        let schema = Schema::new(vec![
+            FieldDef::new("id", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("name", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap();
+        assert_eq!(
+            row().display_with(&schema),
+            "(id=5, name=cab17, temp=67.4)"
+        );
+    }
+
+    #[test]
+    fn byte_size_counts_cells() {
+        assert!(row().byte_size() > 24);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let r: Row = [Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert_eq!(r.len(), 2);
+    }
+}

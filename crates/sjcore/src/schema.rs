@@ -1,0 +1,303 @@
+//! Dataset schemas: named, semantically annotated columns.
+//!
+//! A [`Schema`] is the semantics-level view of a dataset — exactly the
+//! information the derivation engine searches over (§5.2: derivations are
+//! first performed "on the data semantics only, rather than on the dataset
+//! itself"). Schemas are cheap to clone, hashable via a stable
+//! [`Schema::fingerprint`], and carry every column's [`FieldSemantics`].
+
+use crate::error::{Result, SjError};
+use crate::semantics::{FieldSemantics, SemanticDictionary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// One named, annotated column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// The column's semantics.
+    pub semantics: FieldSemantics,
+}
+
+impl FieldDef {
+    /// Shorthand constructor.
+    pub fn new(name: &str, semantics: FieldSemantics) -> Self {
+        FieldDef {
+            name: name.into(),
+            semantics,
+        }
+    }
+}
+
+/// An ordered list of annotated columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<Vec<FieldDef>>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<FieldDef>) -> Result<Self> {
+        let mut seen = BTreeSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.as_str()) {
+                return Err(SjError::SemanticsInvalid(format!(
+                    "duplicate column name `{}`",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema {
+            fields: Arc::new(fields),
+        })
+    }
+
+    /// All columns in order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| SjError::UnknownColumn(name.into()))
+    }
+
+    /// Column definition by name.
+    pub fn field(&self, name: &str) -> Result<&FieldDef> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    /// True if a column with this name exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// All domain columns.
+    pub fn domain_fields(&self) -> impl Iterator<Item = &FieldDef> {
+        self.fields.iter().filter(|f| f.semantics.is_domain())
+    }
+
+    /// All value columns.
+    pub fn value_fields(&self) -> impl Iterator<Item = &FieldDef> {
+        self.fields.iter().filter(|f| f.semantics.is_value())
+    }
+
+    /// The set of domain dimensions this dataset is defined over.
+    pub fn domain_dimensions(&self) -> BTreeSet<&str> {
+        self.domain_fields()
+            .map(|f| f.semantics.dimension.as_str())
+            .collect()
+    }
+
+    /// The set of value dimensions this dataset measures.
+    pub fn value_dimensions(&self) -> BTreeSet<&str> {
+        self.value_fields()
+            .map(|f| f.semantics.dimension.as_str())
+            .collect()
+    }
+
+    /// First domain column lying on the given dimension, if any.
+    pub fn domain_field_on(&self, dimension: &str) -> Option<&FieldDef> {
+        self.domain_fields()
+            .find(|f| f.semantics.dimension == dimension)
+    }
+
+    /// First value column lying on the given dimension, if any.
+    pub fn value_field_on(&self, dimension: &str) -> Option<&FieldDef> {
+        self.value_fields()
+            .find(|f| f.semantics.dimension == dimension)
+    }
+
+    /// Domain dimensions shared with another schema — the candidates a
+    /// combination must match on (§4.3).
+    pub fn shared_domain_dimensions(&self, other: &Schema) -> Vec<String> {
+        let mine = self.domain_dimensions();
+        let theirs = other.domain_dimensions();
+        mine.intersection(&theirs).map(|s| s.to_string()).collect()
+    }
+
+    /// A new schema with one column appended.
+    pub fn with_field(&self, field: FieldDef) -> Result<Schema> {
+        let mut fields = self.fields.as_ref().clone();
+        fields.push(field);
+        Schema::new(fields)
+    }
+
+    /// A new schema without the named column.
+    pub fn without_column(&self, name: &str) -> Result<Schema> {
+        let idx = self.index_of(name)?;
+        let mut fields = self.fields.as_ref().clone();
+        fields.remove(idx);
+        Schema::new(fields)
+    }
+
+    /// A new schema with one column replaced.
+    pub fn with_replaced(&self, name: &str, field: FieldDef) -> Result<Schema> {
+        let idx = self.index_of(name)?;
+        let mut fields = self.fields.as_ref().clone();
+        fields[idx] = field;
+        Schema::new(fields)
+    }
+
+    /// Validate every column against the dictionary.
+    pub fn validate(&self, dict: &SemanticDictionary) -> Result<()> {
+        for f in self.fields.iter() {
+            dict.validate(&f.semantics).map_err(|e| {
+                SjError::SemanticsInvalid(format!("column `{}`: {e}", f.name))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Stable 64-bit fingerprint of the schema (column names + semantics,
+    /// order-sensitive). Used as the memoization key in the derivation
+    /// engine and the result cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for f in self.fields.iter() {
+            f.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fd| {
+                format!(
+                    "{}:{}/{}{}",
+                    fd.name,
+                    fd.semantics.dimension,
+                    fd.semantics.units,
+                    if fd.semantics.is_domain() { "*" } else { "" }
+                )
+            })
+            .collect();
+        write!(f, "{{{}}}", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("timestamp", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("node_id", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("node_temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let e = Schema::new(vec![
+            FieldDef::new("a", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("a", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap_err();
+        assert!(matches!(e, SjError::SemanticsInvalid(_)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("node_id").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.has_column("node_temp"));
+        assert_eq!(s.field("node_temp").unwrap().semantics.units, "celsius");
+    }
+
+    #[test]
+    fn domain_and_value_partition() {
+        let s = sample();
+        assert_eq!(s.domain_fields().count(), 2);
+        assert_eq!(s.value_fields().count(), 1);
+        assert!(s.domain_dimensions().contains("time"));
+        assert!(s.value_dimensions().contains("temperature"));
+    }
+
+    #[test]
+    fn shared_domains_intersect() {
+        let a = sample();
+        let b = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        ])
+        .unwrap();
+        assert_eq!(a.shared_domain_dimensions(&b), vec!["compute-node"]);
+    }
+
+    #[test]
+    fn schema_editing() {
+        let s = sample();
+        let s2 = s
+            .with_field(FieldDef::new(
+                "heat",
+                FieldSemantics::value("heat", "delta-celsius"),
+            ))
+            .unwrap();
+        assert_eq!(s2.len(), 4);
+        let s3 = s2.without_column("node_temp").unwrap();
+        assert!(!s3.has_column("node_temp"));
+        let s4 = s3
+            .with_replaced(
+                "timestamp",
+                FieldDef::new("ts", FieldSemantics::domain("time", "datetime")),
+            )
+            .unwrap();
+        assert!(s4.has_column("ts"));
+        assert_eq!(s4.index_of("ts").unwrap(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = a.without_column("node_temp").unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn validate_against_default_dictionary() {
+        let dict = SemanticDictionary::default_hpc();
+        sample().validate(&dict).unwrap();
+        let bad = Schema::new(vec![FieldDef::new(
+            "x",
+            FieldSemantics::value("temperature", "watts"),
+        )])
+        .unwrap();
+        assert!(bad.validate(&dict).is_err());
+    }
+
+    #[test]
+    fn display_marks_domains() {
+        let s = sample();
+        let d = s.to_string();
+        assert!(d.contains("timestamp:time/datetime*"));
+        assert!(d.contains("node_temp:temperature/celsius"));
+        assert!(!d.contains("node_temp:temperature/celsius*"));
+    }
+}

@@ -1,0 +1,389 @@
+//! The semantic dictionary (§4.2).
+//!
+//! Problems arise when multiple keywords mean the same thing (synonyms) or
+//! one keyword means different things (homonyms). The dictionary is the
+//! single authority for dimension and units keywords: homonyms are
+//! rejected at registration, and synonyms are handled by explicit alias
+//! entries that map alternative spellings (`NODEID`, `node`) to one
+//! canonical keyword. Every loaded dataset is validated against the active
+//! dictionary.
+
+use crate::error::{Result, SjError};
+use crate::semantics::{DimensionDef, FieldSemantics};
+use crate::units::{UnitKind, UnitsDef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dictionary of dimension and units keywords, with synonym aliases.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SemanticDictionary {
+    dimensions: HashMap<String, DimensionDef>,
+    units: HashMap<String, UnitsDef>,
+    aliases: HashMap<String, String>,
+}
+
+impl SemanticDictionary {
+    /// An empty dictionary.
+    pub fn empty() -> Self {
+        SemanticDictionary::default()
+    }
+
+    /// Register a dimension. Re-registering an identical definition is a
+    /// no-op; a conflicting definition under the same name is a homonym
+    /// and is rejected.
+    pub fn register_dimension(&mut self, def: DimensionDef) -> Result<()> {
+        if let Some(existing) = self.dimensions.get(&def.name) {
+            if *existing != def {
+                return Err(SjError::HomonymConflict(def.name));
+            }
+            return Ok(());
+        }
+        if self.aliases.contains_key(&def.name) || self.units.contains_key(&def.name) {
+            return Err(SjError::HomonymConflict(def.name));
+        }
+        self.dimensions.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Register a units definition. The referenced dimension must already
+    /// exist; homonyms are rejected.
+    pub fn register_units(&mut self, def: UnitsDef) -> Result<()> {
+        if !self.dimensions.contains_key(&def.dimension) {
+            return Err(SjError::UnknownKeyword(def.dimension));
+        }
+        if let Some(existing) = self.units.get(&def.name) {
+            if *existing != def {
+                return Err(SjError::HomonymConflict(def.name));
+            }
+            return Ok(());
+        }
+        if self.aliases.contains_key(&def.name) || self.dimensions.contains_key(&def.name) {
+            return Err(SjError::HomonymConflict(def.name));
+        }
+        self.units.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Declare `synonym` as an alternative spelling of the existing
+    /// keyword `canonical` (either a dimension or a units keyword).
+    pub fn register_alias(&mut self, synonym: &str, canonical: &str) -> Result<()> {
+        if !self.dimensions.contains_key(canonical) && !self.units.contains_key(canonical) {
+            return Err(SjError::UnknownKeyword(canonical.into()));
+        }
+        if self.dimensions.contains_key(synonym)
+            || self.units.contains_key(synonym)
+            || self
+                .aliases
+                .get(synonym)
+                .is_some_and(|c| c != canonical)
+        {
+            return Err(SjError::HomonymConflict(synonym.into()));
+        }
+        self.aliases.insert(synonym.into(), canonical.into());
+        Ok(())
+    }
+
+    /// Resolve a keyword through the alias table to its canonical form.
+    pub fn resolve<'a>(&'a self, keyword: &'a str) -> &'a str {
+        self.aliases.get(keyword).map_or(keyword, String::as_str)
+    }
+
+    /// Look up a dimension definition (aliases resolved).
+    pub fn dimension(&self, name: &str) -> Result<&DimensionDef> {
+        self.dimensions
+            .get(self.resolve(name))
+            .ok_or_else(|| SjError::UnknownKeyword(name.into()))
+    }
+
+    /// Look up a units definition (aliases resolved).
+    pub fn units(&self, name: &str) -> Result<&UnitsDef> {
+        self.units
+            .get(self.resolve(name))
+            .ok_or_else(|| SjError::UnknownKeyword(name.into()))
+    }
+
+    /// All units defined on a dimension.
+    pub fn units_of_dimension(&self, dimension: &str) -> Vec<&UnitsDef> {
+        let dim = self.resolve(dimension);
+        let mut out: Vec<&UnitsDef> = self
+            .units
+            .values()
+            .filter(|u| u.dimension == dim)
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Validate one column's semantics: dimension and units must exist and
+    /// the units must lie on the declared dimension.
+    pub fn validate(&self, sem: &FieldSemantics) -> Result<()> {
+        let dim = self.dimension(&sem.dimension)?;
+        let units = self.units(&sem.units)?;
+        if units.dimension != dim.name {
+            return Err(SjError::SemanticsInvalid(format!(
+                "units `{}` lie on dimension `{}`, not `{}`",
+                sem.units, units.dimension, sem.dimension
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of registered dimensions.
+    pub fn num_dimensions(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Number of registered units.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The default dictionary: every dimension and unit used by the HPC
+    /// data sources in the paper's case studies (§7).
+    pub fn default_hpc() -> Self {
+        let mut d = SemanticDictionary::empty();
+        let scalar = |factor: f64| UnitKind::Scalar {
+            factor,
+            offset: 0.0,
+        };
+
+        // --- dimensions -----------------------------------------------
+        for dim in [
+            DimensionDef::continuous("time"),
+            DimensionDef::continuous("temperature"),
+            DimensionDef::continuous("humidity"),
+            DimensionDef::continuous("heat"),
+            DimensionDef::continuous("power"),
+            DimensionDef::continuous("frequency"),
+            DimensionDef::continuous("base-frequency"),
+            DimensionDef::continuous("thermal-margin"),
+            DimensionDef::continuous("utilization"),
+            DimensionDef::continuous("memory"),
+            DimensionDef::discrete_ordered("sample-count"),
+            DimensionDef::discrete_ordered("instructions"),
+            DimensionDef::discrete_ordered("cycles"),
+            DimensionDef::discrete_ordered("memory-reads"),
+            DimensionDef::discrete_ordered("memory-writes"),
+            DimensionDef::discrete_ordered("aperf"),
+            DimensionDef::discrete_ordered("mperf"),
+            DimensionDef::identifier("compute-node"),
+            DimensionDef::identifier("cpu"),
+            DimensionDef::identifier("rack"),
+            DimensionDef::identifier("rack-location"),
+            DimensionDef::identifier("aisle"),
+            DimensionDef::identifier("job"),
+            DimensionDef::identifier("application"),
+            DimensionDef::identifier("socket"),
+        ] {
+            d.register_dimension(dim).expect("default dimension");
+        }
+
+        // --- units ----------------------------------------------------
+        let units = [
+            UnitsDef::new("datetime", "time", UnitKind::DateTime),
+            UnitsDef::new("timespan", "time", UnitKind::TimeSpanKind),
+            UnitsDef::new("t-seconds", "time", scalar(1.0)),
+            UnitsDef::new("t-minutes", "time", scalar(60.0)),
+            UnitsDef::new("t-hours", "time", scalar(3600.0)),
+            UnitsDef::new("celsius", "temperature", scalar(1.0)),
+            UnitsDef::new(
+                "fahrenheit",
+                "temperature",
+                UnitKind::Scalar {
+                    factor: 5.0 / 9.0,
+                    offset: -160.0 / 9.0,
+                },
+            ),
+            UnitsDef::new("percent-rh", "humidity", scalar(1.0)),
+            UnitsDef::new("delta-celsius", "heat", scalar(1.0)),
+            UnitsDef::new("watts", "power", scalar(1.0)),
+            UnitsDef::new("kilowatts", "power", scalar(1000.0)),
+            UnitsDef::new("megahertz", "frequency", scalar(1.0)),
+            UnitsDef::new("gigahertz", "frequency", scalar(1000.0)),
+            UnitsDef::new("base-megahertz", "base-frequency", scalar(1.0)),
+            UnitsDef::new("margin-celsius", "thermal-margin", scalar(1.0)),
+            UnitsDef::new("node-id", "compute-node", UnitKind::Identifier),
+            UnitsDef::new(
+                "node-list",
+                "compute-node",
+                UnitKind::ListOf {
+                    element: "node-id".into(),
+                },
+            ),
+            UnitsDef::new("cpu-id", "cpu", UnitKind::Identifier),
+            UnitsDef::new("rack-id", "rack", UnitKind::Identifier),
+            UnitsDef::new("location-name", "rack-location", UnitKind::Identifier),
+            UnitsDef::new("aisle-name", "aisle", UnitKind::Identifier),
+            UnitsDef::new("job-id", "job", UnitKind::Identifier),
+            UnitsDef::new("app-name", "application", UnitKind::Identifier),
+            UnitsDef::new("socket-id", "socket", UnitKind::Identifier),
+            UnitsDef::new("samples", "sample-count", scalar(1.0)),
+            UnitsDef::new("percent-util", "utilization", scalar(1.0)),
+            UnitsDef::new("megabytes", "memory", scalar(1.0)),
+            UnitsDef::new("gigabytes", "memory", scalar(1024.0)),
+        ];
+        for u in units {
+            d.register_units(u).expect("default units");
+        }
+
+        // Cumulative counters and their derived rates (§7.3).
+        for counter in ["instructions", "cycles", "memory-reads", "memory-writes", "aperf", "mperf"]
+        {
+            d.register_units(UnitsDef::new(
+                &format!("{counter}-count"),
+                counter,
+                UnitKind::CumulativeCount,
+            ))
+            .expect("counter units");
+            d.register_units(UnitsDef::new(
+                &format!("{counter}-per-ms"),
+                counter,
+                UnitKind::Rate { per_secs: 0.001 },
+            ))
+            .expect("rate units");
+            d.register_units(UnitsDef::new(
+                &format!("{counter}-per-sec"),
+                counter,
+                UnitKind::Rate { per_secs: 1.0 },
+            ))
+            .expect("rate units");
+        }
+
+        // Synonyms seen in real monitoring exports.
+        d.register_alias("NODEID", "node-id").expect("alias");
+        d.register_alias("node", "compute-node").expect("alias");
+        d.register_alias("degrees-celsius", "celsius").expect("alias");
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::RelationType;
+
+    #[test]
+    fn default_dictionary_is_consistent() {
+        let d = SemanticDictionary::default_hpc();
+        assert!(d.num_dimensions() >= 20);
+        assert!(d.num_units() >= 30);
+        // Every unit's dimension exists.
+        for dim in ["time", "temperature", "compute-node"] {
+            assert!(d.dimension(dim).is_ok());
+        }
+    }
+
+    #[test]
+    fn homonym_dimension_rejected() {
+        let mut d = SemanticDictionary::empty();
+        d.register_dimension(DimensionDef::continuous("time")).unwrap();
+        // Identical re-registration is fine.
+        d.register_dimension(DimensionDef::continuous("time")).unwrap();
+        // Conflicting definition is a homonym.
+        let e = d
+            .register_dimension(DimensionDef::identifier("time"))
+            .unwrap_err();
+        assert!(matches!(e, SjError::HomonymConflict(_)));
+    }
+
+    #[test]
+    fn units_require_existing_dimension() {
+        let mut d = SemanticDictionary::empty();
+        let e = d
+            .register_units(UnitsDef::new("celsius", "temperature", UnitKind::Identifier))
+            .unwrap_err();
+        assert!(matches!(e, SjError::UnknownKeyword(_)));
+    }
+
+    #[test]
+    fn units_and_dimension_namespaces_do_not_collide() {
+        let mut d = SemanticDictionary::empty();
+        d.register_dimension(DimensionDef::continuous("temperature"))
+            .unwrap();
+        // A units keyword equal to a dimension keyword is a homonym.
+        let e = d
+            .register_units(UnitsDef::new(
+                "temperature",
+                "temperature",
+                UnitKind::Identifier,
+            ))
+            .unwrap_err();
+        assert!(matches!(e, SjError::HomonymConflict(_)));
+    }
+
+    #[test]
+    fn aliases_resolve_synonyms() {
+        let d = SemanticDictionary::default_hpc();
+        assert_eq!(d.resolve("NODEID"), "node-id");
+        assert!(d.units("NODEID").is_ok());
+        assert_eq!(d.units("NODEID").unwrap().name, "node-id");
+        assert!(d.dimension("node").is_ok());
+    }
+
+    #[test]
+    fn alias_to_unknown_canonical_rejected() {
+        let mut d = SemanticDictionary::empty();
+        assert!(d.register_alias("x", "missing").is_err());
+    }
+
+    #[test]
+    fn conflicting_alias_rejected() {
+        let mut d = SemanticDictionary::default_hpc();
+        // NODEID already aliases node-id; re-aliasing identically is fine.
+        d.register_alias("NODEID", "node-id").unwrap();
+        // Re-aliasing to something else is a homonym.
+        assert!(d.register_alias("NODEID", "cpu-id").is_err());
+        // Aliasing an existing keyword name is a homonym.
+        assert!(d.register_alias("celsius", "fahrenheit").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_semantics() {
+        let d = SemanticDictionary::default_hpc();
+        d.validate(&FieldSemantics::domain("time", "datetime")).unwrap();
+        d.validate(&FieldSemantics::value("temperature", "celsius"))
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_units_on_wrong_dimension() {
+        let d = SemanticDictionary::default_hpc();
+        let bad = FieldSemantics {
+            relation: RelationType::Value,
+            dimension: "temperature".into(),
+            units: "watts".into(),
+        };
+        assert!(matches!(
+            d.validate(&bad).unwrap_err(),
+            SjError::SemanticsInvalid(_)
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_keywords() {
+        let d = SemanticDictionary::default_hpc();
+        assert!(d
+            .validate(&FieldSemantics::domain("flux-capacitance", "jigawatts"))
+            .is_err());
+    }
+
+    #[test]
+    fn units_of_dimension_lists_all() {
+        let d = SemanticDictionary::default_hpc();
+        let temps: Vec<&str> = d
+            .units_of_dimension("temperature")
+            .iter()
+            .map(|u| u.name.as_str())
+            .collect();
+        assert_eq!(temps, vec!["celsius", "fahrenheit"]);
+    }
+
+    #[test]
+    fn counter_units_exist_for_all_counters() {
+        let d = SemanticDictionary::default_hpc();
+        for c in ["instructions", "aperf", "mperf", "memory-reads"] {
+            assert!(d.units(&format!("{c}-count")).is_ok());
+            assert!(d.units(&format!("{c}-per-ms")).is_ok());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Dimension definitions.
+//!
+//! A dimension is an aspect of something: physical (time, temperature) or
+//! conceptual (the identity of a CPU). Dimensions are **continuous** or
+//! **discrete** (can values along them be halved indefinitely?) and
+//! **ordered** or **unordered** (can values be compared?). These two flags
+//! determine which operations are valid: time interpolates by averaging
+//! neighbours, node identifiers never do (§4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A named dimension in the semantic dictionary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimensionDef {
+    /// Dictionary keyword (unique; no homonyms).
+    pub name: String,
+    /// Whether values along this dimension can be subdivided indefinitely.
+    pub continuous: bool,
+    /// Whether values along this dimension can be compared with `<`.
+    pub ordered: bool,
+}
+
+impl DimensionDef {
+    /// A continuous, ordered dimension (time, temperature, power).
+    pub fn continuous(name: &str) -> Self {
+        DimensionDef {
+            name: name.into(),
+            continuous: true,
+            ordered: true,
+        }
+    }
+
+    /// A discrete, ordered dimension (event counts).
+    pub fn discrete_ordered(name: &str) -> Self {
+        DimensionDef {
+            name: name.into(),
+            continuous: false,
+            ordered: true,
+        }
+    }
+
+    /// A discrete, unordered dimension (identifiers: nodes, CPUs, racks).
+    pub fn identifier(name: &str) -> Self {
+        DimensionDef {
+            name: name.into(),
+            continuous: false,
+            ordered: false,
+        }
+    }
+
+    /// Values on this dimension may be interpolated between neighbours.
+    /// Requires both continuity (fractional positions exist) and order
+    /// (neighbours are defined).
+    pub fn interpolatable(&self) -> bool {
+        self.continuous && self.ordered
+    }
+
+    /// Exact equality is the only valid comparison on this dimension.
+    pub fn exact_match_only(&self) -> bool {
+        !self.ordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_is_continuous_and_ordered() {
+        let d = DimensionDef::continuous("temperature");
+        assert!(d.continuous && d.ordered);
+        assert!(d.interpolatable());
+        assert!(!d.exact_match_only());
+    }
+
+    #[test]
+    fn event_counts_are_discrete_and_ordered() {
+        let d = DimensionDef::discrete_ordered("event-count");
+        assert!(!d.continuous && d.ordered);
+        assert!(!d.interpolatable());
+    }
+
+    #[test]
+    fn identifiers_are_discrete_and_unordered() {
+        let d = DimensionDef::identifier("compute-node");
+        assert!(!d.continuous && !d.ordered);
+        assert!(d.exact_match_only());
+        assert!(!d.interpolatable());
+    }
+}

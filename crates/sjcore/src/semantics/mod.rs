@@ -1,0 +1,101 @@
+//! Data semantics (§4.2): relation types, dimensions, and field semantics.
+//!
+//! Semantics are ScrubJay's common language for describing what a column
+//! *is*: whether it describes the resource being measured (a **domain**)
+//! or the measurement itself (a **value**), which **dimension** it lies on,
+//! and in which **units** it was recorded. Derivations are constrained by
+//! these semantics — two datasets combine only when all their shared
+//! domain dimensions can be matched.
+
+pub mod dictionary;
+pub mod dimension;
+
+pub use dictionary::SemanticDictionary;
+pub use dimension::DimensionDef;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a column describes the measured resource or the measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RelationType {
+    /// A descriptor of the resource being measured (CPU id, rack, time of
+    /// recording). Combinations match datasets on shared domain
+    /// dimensions.
+    Domain,
+    /// The measurement itself (temperature, instruction rate). Elapsed
+    /// time of an execution is a value even though its dimension is time.
+    Value,
+}
+
+/// The semantic annotation of one column: relation type, dimension, units.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldSemantics {
+    /// Domain or value.
+    pub relation: RelationType,
+    /// Dictionary keyword of the dimension (e.g. `time`, `compute-node`).
+    pub dimension: String,
+    /// Dictionary keyword of the units (e.g. `datetime`, `celsius`).
+    pub units: String,
+}
+
+impl FieldSemantics {
+    /// A domain column.
+    pub fn domain(dimension: &str, units: &str) -> Self {
+        FieldSemantics {
+            relation: RelationType::Domain,
+            dimension: dimension.into(),
+            units: units.into(),
+        }
+    }
+
+    /// A value column.
+    pub fn value(dimension: &str, units: &str) -> Self {
+        FieldSemantics {
+            relation: RelationType::Value,
+            dimension: dimension.into(),
+            units: units.into(),
+        }
+    }
+
+    /// True if this column is a domain descriptor.
+    pub fn is_domain(&self) -> bool {
+        self.relation == RelationType::Domain
+    }
+
+    /// True if this column is a measurement value.
+    pub fn is_value(&self) -> bool {
+        self.relation == RelationType::Value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_relation() {
+        let d = FieldSemantics::domain("time", "datetime");
+        assert!(d.is_domain());
+        assert!(!d.is_value());
+        let v = FieldSemantics::value("temperature", "celsius");
+        assert!(v.is_value());
+        assert_eq!(v.dimension, "temperature");
+    }
+
+    #[test]
+    fn same_dimension_different_relation_are_distinct() {
+        // Elapsed time is a value over the time dimension; recording time
+        // is a domain over the time dimension (§4.2).
+        let elapsed = FieldSemantics::value("time", "t-seconds");
+        let recorded = FieldSemantics::domain("time", "datetime");
+        assert_ne!(elapsed, recorded);
+        assert_eq!(elapsed.dimension, recorded.dimension);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = FieldSemantics::domain("compute-node", "node-id");
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<FieldSemantics>(&json).unwrap(), s);
+    }
+}

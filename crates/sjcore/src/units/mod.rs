@@ -1,0 +1,255 @@
+//! The units type system (§4.2).
+//!
+//! Units describe *how* a measurement is recorded: degrees Celsius vs
+//! Fahrenheit, seconds vs minutes, a time span vs a time stamp, a single
+//! identifier vs a list of identifiers. ScrubJay constrains the operations
+//! available on a data element by its units — seconds convert to minutes,
+//! spans explode into stamps, lists explode into elements — and the
+//! derivation engine uses these capabilities to align datasets before
+//! combining them.
+
+pub mod time;
+
+use crate::error::{Result, SjError};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// What kind of quantity a unit denotes, and therefore which operations
+/// apply to values carrying it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// An opaque identifier (node name, job id): only exact comparison.
+    Identifier,
+    /// A calendar instant; ordered, continuous, interpolatable.
+    DateTime,
+    /// A time interval; explodes into a sequence of instants.
+    TimeSpanKind,
+    /// A linear scalar: `base_value = value * factor + offset` converts to
+    /// the dimension's base unit (e.g. Fahrenheit -> Celsius).
+    Scalar {
+        /// Multiplier to the dimension's base unit.
+        factor: f64,
+        /// Additive offset to the dimension's base unit.
+        offset: f64,
+    },
+    /// A count of events since an arbitrary reset point. Absolute values
+    /// are meaningless; only windowed rates are (§7.3).
+    CumulativeCount,
+    /// A derived per-time rate (e.g. instructions per millisecond). The
+    /// payload is the window length in seconds the rate is expressed over.
+    Rate {
+        /// Length of the rate window in seconds (1.0 = per second,
+        /// 0.001 = per millisecond).
+        per_secs: f64,
+    },
+    /// A list of values with the given element units; explodes into
+    /// elements.
+    ListOf {
+        /// Units keyword of the list elements.
+        element: String,
+    },
+}
+
+/// A named unit definition living in the semantic dictionary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitsDef {
+    /// Dictionary keyword (unique; no homonyms).
+    pub name: String,
+    /// The dimension this unit measures (dictionary keyword).
+    pub dimension: String,
+    /// What kind of quantity this unit denotes.
+    pub kind: UnitKind,
+}
+
+impl UnitsDef {
+    /// Shorthand constructor.
+    pub fn new(name: &str, dimension: &str, kind: UnitKind) -> Self {
+        UnitsDef {
+            name: name.into(),
+            dimension: dimension.into(),
+            kind,
+        }
+    }
+
+    /// True if values with these units can be linearly converted.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self.kind, UnitKind::Scalar { .. })
+    }
+
+    /// True if values are time spans.
+    pub fn is_span(&self) -> bool {
+        matches!(self.kind, UnitKind::TimeSpanKind)
+    }
+
+    /// True if values are lists.
+    pub fn is_list(&self) -> bool {
+        matches!(self.kind, UnitKind::ListOf { .. })
+    }
+}
+
+/// Convert a numeric value between two scalar units of the same dimension.
+///
+/// Conversion goes through the dimension's base unit:
+/// `base = v * f_from + o_from`, then `out = (base - o_to) / f_to`.
+pub fn convert_scalar(v: f64, from: &UnitsDef, to: &UnitsDef) -> Result<f64> {
+    if from.dimension != to.dimension {
+        return Err(SjError::IncompatibleUnits {
+            from: from.name.clone(),
+            to: to.name.clone(),
+        });
+    }
+    match (&from.kind, &to.kind) {
+        (
+            UnitKind::Scalar {
+                factor: f1,
+                offset: o1,
+            },
+            UnitKind::Scalar {
+                factor: f2,
+                offset: o2,
+            },
+        ) => {
+            let base = v * f1 + o1;
+            Ok((base - o2) / f2)
+        }
+        _ => Err(SjError::IncompatibleUnits {
+            from: from.name.clone(),
+            to: to.name.clone(),
+        }),
+    }
+}
+
+/// Convert a [`Value`] between scalar units, preserving nulls.
+pub fn convert_value(v: &Value, from: &UnitsDef, to: &UnitsDef) -> Result<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        _ => {
+            let x = v.as_f64().ok_or_else(|| {
+                SjError::TypeError(format!(
+                    "cannot convert non-numeric value of type `{}`",
+                    v.type_name()
+                ))
+            })?;
+            Ok(Value::Float(convert_scalar(x, from, to)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn celsius() -> UnitsDef {
+        UnitsDef::new(
+            "celsius",
+            "temperature",
+            UnitKind::Scalar {
+                factor: 1.0,
+                offset: 0.0,
+            },
+        )
+    }
+
+    fn fahrenheit() -> UnitsDef {
+        UnitsDef::new(
+            "fahrenheit",
+            "temperature",
+            UnitKind::Scalar {
+                factor: 5.0 / 9.0,
+                offset: -160.0 / 9.0,
+            },
+        )
+    }
+
+    fn seconds() -> UnitsDef {
+        UnitsDef::new(
+            "seconds",
+            "duration",
+            UnitKind::Scalar {
+                factor: 1.0,
+                offset: 0.0,
+            },
+        )
+    }
+
+    fn minutes() -> UnitsDef {
+        UnitsDef::new(
+            "minutes",
+            "duration",
+            UnitKind::Scalar {
+                factor: 60.0,
+                offset: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn fahrenheit_to_celsius() {
+        let c = convert_scalar(212.0, &fahrenheit(), &celsius()).unwrap();
+        assert!((c - 100.0).abs() < 1e-9);
+        let c = convert_scalar(32.0, &fahrenheit(), &celsius()).unwrap();
+        assert!(c.abs() < 1e-9);
+    }
+
+    #[test]
+    fn celsius_to_fahrenheit_round_trip() {
+        let f = convert_scalar(67.4, &celsius(), &fahrenheit()).unwrap();
+        let c = convert_scalar(f, &fahrenheit(), &celsius()).unwrap();
+        assert!((c - 67.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_to_minutes() {
+        assert_eq!(convert_scalar(120.0, &seconds(), &minutes()).unwrap(), 2.0);
+        assert_eq!(convert_scalar(2.0, &minutes(), &seconds()).unwrap(), 120.0);
+    }
+
+    #[test]
+    fn cross_dimension_conversion_rejected() {
+        let e = convert_scalar(1.0, &seconds(), &celsius()).unwrap_err();
+        assert!(matches!(e, SjError::IncompatibleUnits { .. }));
+    }
+
+    #[test]
+    fn non_scalar_conversion_rejected() {
+        let dt = UnitsDef::new("datetime", "time", UnitKind::DateTime);
+        let sec = UnitsDef::new(
+            "t_seconds",
+            "time",
+            UnitKind::Scalar {
+                factor: 1.0,
+                offset: 0.0,
+            },
+        );
+        assert!(convert_scalar(1.0, &dt, &sec).is_err());
+    }
+
+    #[test]
+    fn convert_value_preserves_null_and_rejects_strings() {
+        assert_eq!(
+            convert_value(&Value::Null, &seconds(), &minutes()).unwrap(),
+            Value::Null
+        );
+        assert!(convert_value(&Value::str("x"), &seconds(), &minutes()).is_err());
+        assert_eq!(
+            convert_value(&Value::Int(60), &seconds(), &minutes()).unwrap(),
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(celsius().is_scalar());
+        assert!(!celsius().is_span());
+        let span = UnitsDef::new("timespan", "time", UnitKind::TimeSpanKind);
+        assert!(span.is_span());
+        let list = UnitsDef::new(
+            "node-list",
+            "compute-node",
+            UnitKind::ListOf {
+                element: "node-id".into(),
+            },
+        );
+        assert!(list.is_list());
+    }
+}

@@ -1,0 +1,282 @@
+//! Time representation: instants, spans, and civil date conversion.
+//!
+//! ScrubJay's semantics distinguish time *stamps* (an instant a recording
+//! was made — a domain element) from time *spans* (e.g. the scheduled
+//! window of a job). The paper's `explode continuous` transformation turns
+//! a span into the sequence of stamps it contains so span-shaped datasets
+//! can be joined against stamp-shaped ones.
+//!
+//! Instants are microseconds since the Unix epoch. Civil (calendar)
+//! conversion uses Howard Hinnant's `days_from_civil` algorithm so we can
+//! parse and print `YYYY-MM-DD HH:MM:SS` without external crates.
+
+use serde::{Deserialize, Serialize};
+use sjdf::ByteSize;
+use std::fmt;
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+
+/// An instant in time: microseconds since the Unix epoch (UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeSpan {
+    /// Inclusive start instant.
+    pub start: Timestamp,
+    /// Exclusive end instant.
+    pub end: Timestamp,
+}
+
+impl Timestamp {
+    /// Construct from whole seconds since the epoch.
+    pub fn from_secs(secs: i64) -> Self {
+        Timestamp(secs * MICROS_PER_SEC)
+    }
+
+    /// Construct from microseconds since the epoch.
+    pub fn from_micros(micros: i64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Whole seconds since the epoch (truncated).
+    pub fn as_secs(&self) -> i64 {
+        self.0.div_euclid(MICROS_PER_SEC)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(&self) -> i64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for interpolation).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This instant shifted by a (possibly negative) number of seconds.
+    pub fn add_secs(&self, secs: f64) -> Timestamp {
+        Timestamp(self.0 + (secs * MICROS_PER_SEC as f64) as i64)
+    }
+
+    /// Parse `YYYY-MM-DD HH:MM:SS` (UTC).
+    pub fn parse(s: &str) -> Option<Timestamp> {
+        let s = s.trim();
+        let (date, time) = s.split_once([' ', 'T'])?;
+        let mut dit = date.split('-');
+        let y: i64 = dit.next()?.parse().ok()?;
+        let m: u32 = dit.next()?.parse().ok()?;
+        let d: u32 = dit.next()?.parse().ok()?;
+        if dit.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return None;
+        }
+        let mut tit = time.split(':');
+        let hh: i64 = tit.next()?.parse().ok()?;
+        let mm: i64 = tit.next()?.parse().ok()?;
+        let ss: f64 = tit.next().unwrap_or("0").parse().ok()?;
+        if tit.next().is_some() || !(0..24).contains(&hh) || !(0..60).contains(&mm) {
+            return None;
+        }
+        let days = days_from_civil(y, m, d);
+        let micros =
+            (days * 86_400 + hh * 3600 + mm * 60) * MICROS_PER_SEC + (ss * 1e6).round() as i64;
+        Some(Timestamp(micros))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0.div_euclid(MICROS_PER_SEC);
+        let days = secs.div_euclid(86_400);
+        let sod = secs.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+            sod / 3600,
+            (sod % 3600) / 60,
+            sod % 60
+        )
+    }
+}
+
+impl TimeSpan {
+    /// Construct a span; `start` and `end` are swapped if reversed.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        if start <= end {
+            TimeSpan { start, end }
+        } else {
+            TimeSpan {
+                start: end,
+                end: start,
+            }
+        }
+    }
+
+    /// Duration of the span in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.end.0 - self.start.0) as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Whether an instant lies within `[start, end)`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Explode into discrete stamps every `step_secs`, starting at `start`
+    /// (the paper's *explode continuous* primitive). Always yields at least
+    /// the start instant so zero-length spans still produce a row.
+    pub fn explode(&self, step_secs: f64) -> Vec<Timestamp> {
+        let step = (step_secs.max(1e-6) * MICROS_PER_SEC as f64) as i64;
+        let mut out = Vec::new();
+        let mut t = self.start.0;
+        loop {
+            out.push(Timestamp(t));
+            t += step;
+            if t >= self.end.0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.start, self.end)
+    }
+}
+
+impl ByteSize for Timestamp {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl ByteSize for TimeSpan {
+    fn byte_size(&self) -> usize {
+        16
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(Timestamp(0).to_string(), "1970-01-01 00:00:00");
+    }
+
+    #[test]
+    fn civil_round_trip_over_wide_range() {
+        for days in (-200_000..200_000).step_by(137) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "days={days}");
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s = "2017-03-27 16:43:27";
+        let t = Timestamp::parse(s).unwrap();
+        assert_eq!(t.to_string(), s);
+    }
+
+    #[test]
+    fn parse_t_separator_and_fractional_seconds() {
+        let t = Timestamp::parse("2017-03-27T00:00:01.5").unwrap();
+        assert_eq!(t.as_micros(), Timestamp::parse("2017-03-27 00:00:01").unwrap().as_micros() + 500_000);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Timestamp::parse("not a date").is_none());
+        assert!(Timestamp::parse("2017-13-01 00:00:00").is_none());
+        assert!(Timestamp::parse("2017-01-32 00:00:00").is_none());
+        assert!(Timestamp::parse("2017-01-01 25:00:00").is_none());
+    }
+
+    #[test]
+    fn span_normalizes_order() {
+        let a = Timestamp::from_secs(100);
+        let b = Timestamp::from_secs(50);
+        let s = TimeSpan::new(a, b);
+        assert_eq!(s.start, b);
+        assert_eq!(s.end, a);
+        assert_eq!(s.duration_secs(), 50.0);
+    }
+
+    #[test]
+    fn span_contains_is_half_open() {
+        let s = TimeSpan::new(Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(s.contains(Timestamp::from_secs(10)));
+        assert!(s.contains(Timestamp::from_secs(19)));
+        assert!(!s.contains(Timestamp::from_secs(20)));
+        assert!(!s.contains(Timestamp::from_secs(9)));
+    }
+
+    #[test]
+    fn explode_steps_through_span() {
+        let s = TimeSpan::new(Timestamp::from_secs(0), Timestamp::from_secs(10));
+        let stamps = s.explode(2.0);
+        assert_eq!(
+            stamps,
+            vec![0, 2, 4, 6, 8]
+                .into_iter()
+                .map(Timestamp::from_secs)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn explode_zero_length_span_yields_start() {
+        let t = Timestamp::from_secs(5);
+        let s = TimeSpan::new(t, t);
+        assert_eq!(s.explode(60.0), vec![t]);
+    }
+
+    #[test]
+    fn add_secs_shifts() {
+        let t = Timestamp::from_secs(100).add_secs(-0.5);
+        assert_eq!(t.as_micros(), 99_500_000);
+    }
+
+    #[test]
+    fn negative_timestamps_format() {
+        // 1969-12-31 23:59:59
+        assert_eq!(
+            Timestamp::from_secs(-1).to_string(),
+            "1969-12-31 23:59:59"
+        );
+    }
+}

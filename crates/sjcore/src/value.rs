@@ -1,0 +1,300 @@
+//! Dynamic values: the cells of a ScrubJay row.
+//!
+//! ScrubJayRDD rows are variable-length tuples with named elements of
+//! varied types (§4.1). [`Value`] is the dynamic cell type; [`KeyAtom`] is
+//! its hashable/orderable encoding used as a join key for exact-match
+//! (natural join) comparisons on domain columns.
+
+use crate::units::time::{TimeSpan, Timestamp};
+use serde::{Deserialize, Serialize};
+use sjdf::ByteSize;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / not applicable.
+    Null,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer (counters, identifiers).
+    Int(i64),
+    /// Floating-point measurement.
+    Float(f64),
+    /// Text (names, identifiers).
+    Str(Arc<str>),
+    /// An instant in time.
+    Time(Timestamp),
+    /// A time interval.
+    Span(TimeSpan),
+    /// A list of values (e.g. a job's node list) — the input of the
+    /// *explode discrete* transformation.
+    List(Arc<[Value]>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a list value.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Time(t) => Some(t.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Timestamp view; `None` for non-times.
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Span view; `None` for non-spans.
+    pub fn as_span(&self) -> Option<TimeSpan> {
+        match self {
+            Value::Span(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// List view; `None` for non-lists.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Exact-match key encoding for joins and grouping. Floats are encoded
+    /// bit-exactly (exact matching on continuous values is only used when
+    /// semantics say the domain is discrete; continuous ordered domains go
+    /// through the interpolation join instead).
+    pub fn key(&self) -> KeyAtom {
+        match self {
+            Value::Null => KeyAtom::Null,
+            Value::Bool(b) => KeyAtom::Bool(*b),
+            Value::Int(i) => KeyAtom::Int(*i),
+            Value::Float(f) => KeyAtom::Bits(f.to_bits()),
+            Value::Str(s) => KeyAtom::Str(Arc::clone(s)),
+            Value::Time(t) => KeyAtom::Time(t.as_micros()),
+            Value::Span(s) => KeyAtom::SpanKey(s.start.as_micros(), s.end.as_micros()),
+            Value::List(l) => KeyAtom::List(l.iter().map(Value::key).collect()),
+        }
+    }
+
+    /// Short name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Time(_) => "time",
+            Value::Span(_) => "span",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Span(s) => write!(f, "{s}"),
+            Value::List(l) => {
+                let items: Vec<String> = l.iter().map(|v| v.to_string()).collect();
+                write!(f, "[{}]", items.join("|"))
+            }
+        }
+    }
+}
+
+impl ByteSize for Value {
+    fn byte_size(&self) -> usize {
+        16 + match self {
+            Value::Str(s) => s.len(),
+            Value::List(l) => l.iter().map(ByteSize::byte_size).sum(),
+            _ => 0,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(v: Timestamp) -> Self {
+        Value::Time(v)
+    }
+}
+impl From<TimeSpan> for Value {
+    fn from(v: TimeSpan) -> Self {
+        Value::Span(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Hashable, orderable encoding of a [`Value`] used as a join key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum KeyAtom {
+    /// Null key.
+    Null,
+    /// Boolean key.
+    Bool(bool),
+    /// Integer key.
+    Int(i64),
+    /// Bit-exact float key.
+    Bits(u64),
+    /// String key.
+    Str(Arc<str>),
+    /// Timestamp key (micros).
+    Time(i64),
+    /// Span key (start, end micros).
+    SpanKey(i64, i64),
+    /// List key.
+    List(Vec<KeyAtom>),
+}
+
+impl ByteSize for KeyAtom {
+    fn byte_size(&self) -> usize {
+        16 + match self {
+            KeyAtom::Str(s) => s.len(),
+            KeyAtom::List(l) => l.iter().map(ByteSize::byte_size).sum(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_i64(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn keys_are_equal_for_equal_values() {
+        assert_eq!(Value::Int(5).key(), Value::Int(5).key());
+        assert_eq!(Value::str("a").key(), Value::str("a").key());
+        assert_ne!(Value::Int(5).key(), Value::Float(5.0).key());
+    }
+
+    #[test]
+    fn float_keys_are_bit_exact() {
+        assert_eq!(Value::Float(1.5).key(), Value::Float(1.5).key());
+        assert_ne!(Value::Float(1.5).key(), Value::Float(1.5000001).key());
+    }
+
+    #[test]
+    fn list_values_display_with_pipe() {
+        let v = Value::list([Value::Int(1), Value::str("a")]);
+        assert_eq!(v.to_string(), "[1|a]");
+    }
+
+    #[test]
+    fn key_of_list_is_elementwise() {
+        let a = Value::list([Value::Int(1), Value::Int(2)]).key();
+        let b = Value::list([Value::Int(1), Value::Int(2)]).key();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byte_size_scales_with_content() {
+        assert!(Value::str("a long string value").byte_size() > Value::Int(1).byte_size());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(0.5), Value::Float(0.5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn time_values_expose_time() {
+        let t = Timestamp::from_secs(42);
+        assert_eq!(Value::Time(t).as_time(), Some(t));
+        assert_eq!(Value::Time(t).as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::list([
+            Value::Int(1),
+            Value::str("n2"),
+            Value::Time(Timestamp::from_secs(7)),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

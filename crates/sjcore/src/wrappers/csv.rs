@@ -1,0 +1,373 @@
+//! CSV wrapper and unwrapper.
+//!
+//! A minimal, dependency-free CSV dialect: comma separation, double-quote
+//! quoting with `""` escapes, and `\n`/`\r\n` record separators. Cell
+//! parsing is driven by the column's *units* looked up in the semantic
+//! dictionary — datetimes parse as `YYYY-MM-DD HH:MM:SS`, spans as
+//! `start .. end`, lists as `a|b|c`, scalars as numbers, identifiers as
+//! text — so the same wrapper handles every tabular source.
+
+use crate::dataset::SjDataset;
+use crate::error::{Result, SjError};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::semantics::SemanticDictionary;
+use crate::units::time::{TimeSpan, Timestamp};
+use crate::units::UnitKind;
+use crate::value::Value;
+use sjdf::ExecCtx;
+
+/// Wrapping options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Whether the first record is a header naming the columns. When true
+    /// the header order may differ from the schema order.
+    pub has_header: bool,
+    /// Number of partitions for the wrapped dataset.
+    pub partitions: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            has_header: true,
+            partitions: 4,
+        }
+    }
+}
+
+/// Split a CSV text into records of fields (quote-aware).
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(SjError::ParseError(
+                            "quote inside unquoted field".into(),
+                        ));
+                    }
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(SjError::ParseError("unterminated quoted field".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parse one cell according to its units.
+fn parse_cell(raw: &str, kind: &UnitKind, dict: &SemanticDictionary) -> Result<Value> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    match kind {
+        UnitKind::Identifier => Ok(Value::str(raw)),
+        UnitKind::DateTime => Timestamp::parse(raw)
+            .map(Value::Time)
+            .ok_or_else(|| SjError::ParseError(format!("bad datetime `{raw}`"))),
+        UnitKind::TimeSpanKind => {
+            let (a, b) = raw
+                .split_once("..")
+                .ok_or_else(|| SjError::ParseError(format!("bad span `{raw}`")))?;
+            let start = Timestamp::parse(a.trim())
+                .ok_or_else(|| SjError::ParseError(format!("bad span start `{a}`")))?;
+            let end = Timestamp::parse(b.trim())
+                .ok_or_else(|| SjError::ParseError(format!("bad span end `{b}`")))?;
+            Ok(Value::Span(TimeSpan::new(start, end)))
+        }
+        UnitKind::ListOf { element } => {
+            let elem_units = dict.units(element)?;
+            let items: Result<Vec<Value>> = raw
+                .split('|')
+                .map(|item| parse_cell(item, &elem_units.kind, dict))
+                .collect();
+            Ok(Value::list(items?))
+        }
+        UnitKind::CumulativeCount => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .or_else(|_| raw.parse::<f64>().map(Value::Float))
+            .map_err(|_| SjError::ParseError(format!("bad count `{raw}`"))),
+        UnitKind::Scalar { .. } | UnitKind::Rate { .. } => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| SjError::ParseError(format!("bad number `{raw}`"))),
+    }
+}
+
+/// Wrap a CSV text into a dataset with the given schema.
+pub fn wrap_csv(
+    ctx: &ExecCtx,
+    text: &str,
+    schema: Schema,
+    dict: &SemanticDictionary,
+    name: &str,
+    opts: &CsvOptions,
+) -> Result<SjDataset> {
+    schema.validate(dict)?;
+    let mut records = parse_records(text)?;
+    // Map CSV column positions to schema positions.
+    let order: Vec<usize> = if opts.has_header {
+        if records.is_empty() {
+            return Err(SjError::ParseError("missing header record".into()));
+        }
+        let header = records.remove(0);
+        let mut order = Vec::with_capacity(schema.len());
+        for f in schema.fields() {
+            let pos = header
+                .iter()
+                .position(|h| h.trim() == f.name)
+                .ok_or_else(|| {
+                    SjError::ParseError(format!("header is missing column `{}`", f.name))
+                })?;
+            order.push(pos);
+        }
+        order
+    } else {
+        (0..schema.len()).collect()
+    };
+
+    let kinds: Vec<UnitKind> = schema
+        .fields()
+        .iter()
+        .map(|f| dict.units(&f.semantics.units).map(|u| u.kind.clone()))
+        .collect::<Result<_>>()?;
+
+    let mut rows = Vec::with_capacity(records.len());
+    for (lineno, rec) in records.iter().enumerate() {
+        let mut values = Vec::with_capacity(schema.len());
+        for (slot, &pos) in order.iter().enumerate() {
+            let raw = rec.get(pos).ok_or_else(|| {
+                SjError::ParseError(format!(
+                    "record {} has {} fields, expected at least {}",
+                    lineno + 1,
+                    rec.len(),
+                    pos + 1
+                ))
+            })?;
+            values.push(parse_cell(raw, &kinds[slot], dict).map_err(|e| {
+                SjError::ParseError(format!("record {}: {e}", lineno + 1))
+            })?);
+        }
+        rows.push(Row::new(values));
+    }
+    Ok(SjDataset::from_rows(
+        ctx,
+        rows,
+        schema,
+        name,
+        opts.partitions,
+    ))
+}
+
+fn escape_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Span(s) => format!("{} .. {}", s.start, s.end),
+        other => other.to_string(),
+    }
+}
+
+/// Unwrap a dataset into CSV text (with header).
+pub fn unwrap_csv(ds: &SjDataset) -> Result<String> {
+    let mut out = String::new();
+    let header: Vec<String> = ds
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape_cell(&f.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in ds.collect()? {
+        let cells: Vec<String> = row
+            .values()
+            .iter()
+            .map(|v| escape_cell(&render_cell(v)))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Unwrap a dataset into a CSV file on disk.
+pub fn write_csv_file(ds: &SjDataset, path: impl AsRef<std::path::Path>) -> Result<()> {
+    let text = unwrap_csv(ds)?;
+    std::fs::write(path, text).map_err(|e| SjError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn temp_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("timestamp", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("node_id", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("node_temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn wraps_basic_csv_with_header() {
+        let ctx = ExecCtx::local();
+        let text = "timestamp,node_id,node_temp\n\
+                    2017-03-27 16:43:27,cab5,67.4\n\
+                    2017-03-27 16:45:27,cab6,61.2\n";
+        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "temps", &CsvOptions::default())
+            .unwrap();
+        let rows = ds.collect().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(1).as_str(), Some("cab5"));
+        assert_eq!(rows[0].get(2).as_f64(), Some(67.4));
+        assert_eq!(
+            rows[0].get(0).as_time(),
+            Timestamp::parse("2017-03-27 16:43:27")
+        );
+    }
+
+    #[test]
+    fn header_order_may_differ_from_schema() {
+        let ctx = ExecCtx::local();
+        let text = "node_temp,timestamp,node_id\n67.4,2017-03-27 16:43:27,cab5\n";
+        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
+            .unwrap();
+        let rows = ds.collect().unwrap();
+        assert_eq!(rows[0].get(1).as_str(), Some("cab5"));
+        assert_eq!(rows[0].get(2).as_f64(), Some(67.4));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let recs = parse_records("a,\"b,c\",\"d\"\"e\"\nf,,\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], vec!["a", "b,c", "d\"e"]);
+        assert_eq!(recs[1], vec!["f", "", ""]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(parse_records("a,\"bc\n").is_err());
+    }
+
+    #[test]
+    fn lists_and_spans_parse() {
+        let ctx = ExecCtx::local();
+        let schema = Schema::new(vec![
+            FieldDef::new("nodelist", FieldSemantics::domain("compute-node", "node-list")),
+            FieldDef::new("window", FieldSemantics::domain("time", "timespan")),
+        ])
+        .unwrap();
+        let text = "nodelist,window\n\
+                    cab1|cab2|cab3,2017-03-27 10:00:00 .. 2017-03-27 11:00:00\n";
+        let ds = wrap_csv(&ctx, text, schema, &dict(), "jobs", &CsvOptions::default()).unwrap();
+        let rows = ds.collect().unwrap();
+        assert_eq!(rows[0].get(0).as_list().unwrap().len(), 3);
+        let span = rows[0].get(1).as_span().unwrap();
+        assert_eq!(span.duration_secs(), 3600.0);
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let ctx = ExecCtx::local();
+        let text = "timestamp,node_id,node_temp\n2017-01-01 00:00:00,cab5,\n";
+        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
+            .unwrap();
+        assert!(ds.collect().unwrap()[0].get(2).is_null());
+    }
+
+    #[test]
+    fn malformed_cells_report_record_number() {
+        let ctx = ExecCtx::local();
+        let text = "timestamp,node_id,node_temp\n2017-01-01 00:00:00,cab5,not-a-number\n";
+        let e = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
+            .unwrap_err();
+        assert!(e.to_string().contains("record 1"));
+    }
+
+    #[test]
+    fn missing_header_column_is_an_error() {
+        let ctx = ExecCtx::local();
+        let text = "timestamp,node_temp\n2017-01-01 00:00:00,4.2\n";
+        assert!(wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn unwrap_round_trips() {
+        let ctx = ExecCtx::local();
+        let text = "timestamp,node_id,node_temp\n\
+                    2017-03-27 16:43:27,cab5,67.4\n\
+                    2017-03-27 16:45:27,\"we,ird\",61.2\n";
+        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
+            .unwrap();
+        let csv = unwrap_csv(&ds).unwrap();
+        let ds2 = wrap_csv(&ctx, &csv, temp_schema(), &dict(), "t2", &CsvOptions::default())
+            .unwrap();
+        assert_eq!(ds.collect().unwrap(), ds2.collect().unwrap());
+    }
+
+    #[test]
+    fn headerless_mode_uses_schema_order() {
+        let ctx = ExecCtx::local();
+        let text = "2017-03-27 16:43:27,cab5,67.4\n";
+        let opts = CsvOptions {
+            has_header: false,
+            partitions: 1,
+        };
+        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &opts).unwrap();
+        assert_eq!(ds.count().unwrap(), 1);
+    }
+}

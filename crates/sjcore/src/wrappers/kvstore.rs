@@ -1,0 +1,286 @@
+//! An embedded NoSQL-style key-value table store.
+//!
+//! Stands in for the Cassandra cluster the paper's deployment ingests
+//! monitoring streams into: tables of string-keyed documents with a
+//! wrap/unwrap path into ScrubJay datasets. Only the ingestion-facing
+//! behaviour matters to ScrubJay, so the store is in-process and
+//! append-oriented with per-table scans.
+
+use crate::dataset::SjDataset;
+use crate::error::{Result, SjError};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::semantics::SemanticDictionary;
+use crate::units::time::{TimeSpan, Timestamp};
+use crate::units::UnitKind;
+use crate::value::Value;
+use parking_lot::RwLock;
+use sjdf::ExecCtx;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One table: an append-ordered list of string-keyed documents.
+#[derive(Debug, Clone, Default)]
+pub struct KvTable {
+    docs: Vec<BTreeMap<String, String>>,
+}
+
+impl KvTable {
+    /// Append a document.
+    pub fn insert(&mut self, doc: BTreeMap<String, String>) {
+        self.docs.push(doc);
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if the table holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate documents in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = &BTreeMap<String, String>> {
+        self.docs.iter()
+    }
+
+    /// The union of keys appearing in any document (the implicit schema).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .docs
+            .iter()
+            .flat_map(|d| d.keys().cloned())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+/// A thread-safe store of named tables.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    tables: Arc<RwLock<BTreeMap<String, KvTable>>>,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Append a document to a table, creating the table on first use.
+    pub fn insert(&self, table: &str, doc: BTreeMap<String, String>) {
+        self.tables
+            .write()
+            .entry(table.to_string())
+            .or_default()
+            .insert(doc);
+    }
+
+    /// Snapshot a table's contents.
+    pub fn table(&self, name: &str) -> Result<KvTable> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SjError::UnknownKeyword(format!("table `{name}`")))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Wrap a table into a dataset: each schema column is read from the
+    /// document field of the same name and parsed according to its units.
+    /// Missing fields become nulls (NoSQL documents are sparse).
+    pub fn wrap(
+        &self,
+        ctx: &ExecCtx,
+        table: &str,
+        schema: Schema,
+        dict: &SemanticDictionary,
+        partitions: usize,
+    ) -> Result<SjDataset> {
+        schema.validate(dict)?;
+        let t = self.table(table)?;
+        let kinds: Vec<UnitKind> = schema
+            .fields()
+            .iter()
+            .map(|f| dict.units(&f.semantics.units).map(|u| u.kind.clone()))
+            .collect::<Result<_>>()?;
+        let mut rows = Vec::with_capacity(t.len());
+        for doc in t.scan() {
+            let mut values = Vec::with_capacity(schema.len());
+            for (f, kind) in schema.fields().iter().zip(&kinds) {
+                match doc.get(&f.name) {
+                    None => values.push(Value::Null),
+                    Some(raw) => values.push(parse_doc_value(raw, kind, dict)?),
+                }
+            }
+            rows.push(Row::new(values));
+        }
+        Ok(SjDataset::from_rows(ctx, rows, schema, table, partitions))
+    }
+
+    /// Unwrap a dataset into a (new or existing) table, one document per
+    /// row, skipping null cells.
+    pub fn unwrap(&self, table: &str, ds: &SjDataset) -> Result<usize> {
+        let rows = ds.collect()?;
+        let names: Vec<String> = ds
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let n = rows.len();
+        for row in rows {
+            let mut doc = BTreeMap::new();
+            for (name, v) in names.iter().zip(row.values()) {
+                if !v.is_null() {
+                    doc.insert(name.clone(), render_doc_value(v));
+                }
+            }
+            self.insert(table, doc);
+        }
+        Ok(n)
+    }
+}
+
+fn parse_doc_value(raw: &str, kind: &UnitKind, dict: &SemanticDictionary) -> Result<Value> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    match kind {
+        UnitKind::Identifier => Ok(Value::str(raw)),
+        UnitKind::DateTime => Timestamp::parse(raw)
+            .map(Value::Time)
+            .ok_or_else(|| SjError::ParseError(format!("bad datetime `{raw}`"))),
+        UnitKind::TimeSpanKind => {
+            let (a, b) = raw
+                .split_once("..")
+                .ok_or_else(|| SjError::ParseError(format!("bad span `{raw}`")))?;
+            match (Timestamp::parse(a.trim()), Timestamp::parse(b.trim())) {
+                (Some(s), Some(e)) => Ok(Value::Span(TimeSpan::new(s, e))),
+                _ => Err(SjError::ParseError(format!("bad span `{raw}`"))),
+            }
+        }
+        UnitKind::ListOf { element } => {
+            let elem = dict.units(element)?;
+            let items: Result<Vec<Value>> = raw
+                .split('|')
+                .map(|i| parse_doc_value(i, &elem.kind, dict))
+                .collect();
+            Ok(Value::list(items?))
+        }
+        UnitKind::CumulativeCount => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .or_else(|_| raw.parse::<f64>().map(Value::Float))
+            .map_err(|_| SjError::ParseError(format!("bad count `{raw}`"))),
+        UnitKind::Scalar { .. } | UnitKind::Rate { .. } => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| SjError::ParseError(format!("bad number `{raw}`"))),
+    }
+}
+
+fn render_doc_value(v: &Value) -> String {
+    match v {
+        Value::Span(s) => format!("{} .. {}", s.start, s.end),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldDef;
+    use crate::semantics::FieldSemantics;
+
+    fn dict() -> SemanticDictionary {
+        SemanticDictionary::default_hpc()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("watts", FieldSemantics::value("power", "watts")),
+        ])
+        .unwrap()
+    }
+
+    fn doc(time: &str, node: &str, watts: &str) -> BTreeMap<String, String> {
+        let mut d = BTreeMap::new();
+        d.insert("time".into(), time.into());
+        d.insert("node".into(), node.into());
+        if !watts.is_empty() {
+            d.insert("watts".into(), watts.into());
+        }
+        d
+    }
+
+    #[test]
+    fn insert_scan_round_trip() {
+        let store = KvStore::new();
+        store.insert("ldms", doc("2017-01-01 00:00:00", "n1", "250"));
+        store.insert("ldms", doc("2017-01-01 00:00:01", "n2", "260"));
+        let t = store.table("ldms").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.keys(), vec!["node", "time", "watts"]);
+        assert!(store.table("missing").is_err());
+    }
+
+    #[test]
+    fn wrap_parses_by_units_and_handles_sparse_docs() {
+        let ctx = ExecCtx::local();
+        let store = KvStore::new();
+        store.insert("ldms", doc("2017-01-01 00:00:00", "n1", "250"));
+        store.insert("ldms", doc("2017-01-01 00:00:01", "n2", ""));
+        let ds = store.wrap(&ctx, "ldms", schema(), &dict(), 2).unwrap();
+        let rows = ds.collect().unwrap();
+        assert_eq!(rows[0].get(2).as_f64(), Some(250.0));
+        assert!(rows[1].get(2).is_null());
+    }
+
+    #[test]
+    fn unwrap_then_wrap_round_trips() {
+        let ctx = ExecCtx::local();
+        let store = KvStore::new();
+        store.insert("ldms", doc("2017-01-01 00:00:00", "n1", "250"));
+        let ds = store.wrap(&ctx, "ldms", schema(), &dict(), 1).unwrap();
+        let n = store.unwrap("copy", &ds).unwrap();
+        assert_eq!(n, 1);
+        let ds2 = store.wrap(&ctx, "copy", schema(), &dict(), 1).unwrap();
+        assert_eq!(ds.collect().unwrap(), ds2.collect().unwrap());
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let store = KvStore::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for j in 0..50 {
+                        store.insert("t", doc("2017-01-01 00:00:00", &format!("n{i}-{j}"), "1"));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.table("t").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn bad_values_error_with_context() {
+        let ctx = ExecCtx::local();
+        let store = KvStore::new();
+        store.insert("ldms", doc("yesterday-ish", "n1", "250"));
+        assert!(store.wrap(&ctx, "ldms", schema(), &dict(), 1).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Data wrappers and unwrappers (§4.1, §5.4).
+//!
+//! Wrappers parse data stored in some external format into a ScrubJayRDD;
+//! unwrappers convert a derived dataset back into a storage format for
+//! sharing or analysis with other tools. ScrubJay provides wrappers for
+//! CSV files and NoSQL-style key-value tables; tool experts can add custom
+//! wrappers by producing an [`crate::SjDataset`] from any source.
+
+mod csv;
+mod kvstore;
+
+pub use csv::{unwrap_csv, wrap_csv, write_csv_file, CsvOptions};
+pub use kvstore::{KvStore, KvTable};

@@ -1,0 +1,55 @@
+//! Property tests for the LZSS codec backing the cold cache tier.
+
+use proptest::prelude::*;
+use sjcore::compress::{compress, decompress};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any byte sequence round-trips.
+    #[test]
+    fn arbitrary_bytes_round_trip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Highly repetitive sequences round-trip and shrink.
+    #[test]
+    fn repetitive_bytes_round_trip_and_shrink(
+        unit in prop::collection::vec(any::<u8>(), 1..32),
+        reps in 50usize..300,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).cloned().collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data.clone());
+        prop_assert!(c.len() < data.len() / 2 + 64, "{} -> {}", data.len(), c.len());
+    }
+
+    /// Truncating a compressed stream never produces a bogus success.
+    #[test]
+    fn truncation_is_detected(
+        data in prop::collection::vec(any::<u8>(), 16..512),
+        cut in 1usize..8,
+    ) {
+        let mut c = compress(&data);
+        let keep = c.len().saturating_sub(cut);
+        c.truncate(keep);
+        match decompress(&c) {
+            None => {}
+            Some(out) => prop_assert_ne!(out, data, "truncated stream decoded to the original"),
+        }
+    }
+
+    /// Concatenated row-set JSON (the real cold-tier payload) round-trips.
+    #[test]
+    fn jsonish_payloads_round_trip(rows in 1usize..200, rack in 0u32..40) {
+        let json: String = (0..rows)
+            .map(|i| format!(
+                "{{\"node\":\"cab{i}\",\"rack\":\"rack{rack}\",\"temp\":{}.5}}",
+                60 + (i % 9)
+            ))
+            .collect();
+        let c = compress(json.as_bytes());
+        prop_assert_eq!(decompress(&c).unwrap(), json.as_bytes());
+    }
+}

@@ -1,0 +1,339 @@
+//! DAT scenario builders: complete ScrubJay catalogs for the paper's two
+//! dedicated-access-time sessions (§7).
+
+use crate::facility::Facility;
+use crate::jobs::{dat1_schedule, dat2_schedule, job_log_dataset, ScheduleConfig};
+use crate::layout::{rack_name, FacilityLayout};
+use crate::sources::{
+    cpu_spec_dataset, ipmi_dataset, ldms_ingest, ldms_wrap, papi_dataset,
+    rack_temperature_dataset, SamplingConfig,
+};
+use sjcore::wrappers::KvStore;
+use sjcore::catalog::Catalog;
+use sjcore::{Result, TimeSpan, Timestamp};
+use sjdf::ExecCtx;
+
+/// Configuration of the first DAT (facility-level sources, §7.2).
+#[derive(Debug, Clone)]
+pub struct Dat1Config {
+    /// Number of racks in the simulated machine.
+    pub racks: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Rack index the AMG job is pinned to (the paper's rack 17).
+    pub amg_rack_index: usize,
+    /// Number of nodes AMG occupies on its rack.
+    pub amg_nodes: usize,
+    /// Background jobs to schedule on other racks.
+    pub background_jobs: usize,
+    /// DAT length in seconds.
+    pub duration_secs: i64,
+    /// Rack sensor interval in seconds (the paper: two minutes).
+    pub sensor_interval_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Partitions for the generated datasets.
+    pub partitions: usize,
+}
+
+impl Default for Dat1Config {
+    fn default() -> Self {
+        Dat1Config {
+            racks: 20,
+            nodes_per_rack: 12,
+            amg_rack_index: 17,
+            amg_nodes: 10,
+            background_jobs: 12,
+            duration_secs: 4 * 3600,
+            sensor_interval_secs: 120.0,
+            seed: 0x5C8B,
+            partitions: 4,
+        }
+    }
+}
+
+/// Ground truth for DAT1 test assertions.
+#[derive(Debug, Clone)]
+pub struct Dat1Truth {
+    /// The facility model the datasets were sampled from.
+    pub facility: Facility,
+    /// The rack hosting the AMG job.
+    pub amg_rack: String,
+    /// The DAT window.
+    pub window: TimeSpan,
+}
+
+/// Build the first DAT: a catalog with `job_queue_log`, `node_layout`,
+/// and `rack_temps` registered.
+pub fn dat1(ctx: &ExecCtx, cfg: &Dat1Config) -> Result<(Catalog, Dat1Truth)> {
+    let layout = FacilityLayout::regular(cfg.racks, cfg.nodes_per_rack);
+    let amg_rack = rack_name(cfg.amg_rack_index % cfg.racks.max(1));
+    let start = Timestamp::parse("2017-03-27 10:00:00").expect("valid start");
+    let schedule_cfg = ScheduleConfig {
+        background_jobs: cfg.background_jobs,
+        start,
+        duration_secs: cfg.duration_secs,
+        seed: cfg.seed,
+        ..ScheduleConfig::default()
+    };
+    let jobs = dat1_schedule(&layout, &amg_rack, cfg.amg_nodes, &schedule_cfg);
+    let window = TimeSpan::new(start, start.add_secs(cfg.duration_secs as f64));
+    let facility = Facility::new(layout.clone(), jobs.clone());
+
+    let mut catalog = Catalog::default_hpc();
+    catalog.register_dataset(
+        "job_queue_log",
+        job_log_dataset(ctx, &jobs, cfg.partitions),
+    )?;
+    catalog.register_dataset("node_layout", layout.dataset(ctx, cfg.partitions))?;
+    catalog.register_dataset(
+        "rack_temps",
+        rack_temperature_dataset(
+            ctx,
+            &facility,
+            &SamplingConfig {
+                window,
+                interval_secs: cfg.sensor_interval_secs,
+                seed: cfg.seed ^ 0xA15E,
+                partitions: cfg.partitions,
+            },
+        ),
+    )?;
+    Ok((
+        catalog,
+        Dat1Truth {
+            facility,
+            amg_rack,
+            window,
+        },
+    ))
+}
+
+/// Configuration of the second DAT (node/CPU-level sources, §7.3).
+#[derive(Debug, Clone)]
+pub struct Dat2Config {
+    /// Nodes in the test allocation.
+    pub nodes: usize,
+    /// CPUs per node.
+    pub cpus_per_node: usize,
+    /// Sockets per node.
+    pub sockets_per_node: usize,
+    /// Base CPU frequency in MHz.
+    pub base_mhz: f64,
+    /// Length of each of the six runs, seconds.
+    pub run_secs: i64,
+    /// Idle gap between runs, seconds.
+    pub gap_secs: i64,
+    /// CPU/node sampling interval, seconds (the paper: one to three).
+    pub sample_interval_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Partitions for the generated datasets.
+    pub partitions: usize,
+}
+
+impl Default for Dat2Config {
+    fn default() -> Self {
+        Dat2Config {
+            nodes: 2,
+            cpus_per_node: 4,
+            sockets_per_node: 2,
+            base_mhz: 3200.0,
+            run_secs: 600,
+            gap_secs: 60,
+            sample_interval_secs: 2.0,
+            seed: 0xDA72,
+            partitions: 4,
+        }
+    }
+}
+
+/// Ground truth for DAT2 test assertions.
+#[derive(Debug, Clone)]
+pub struct Dat2Truth {
+    /// The facility model the datasets were sampled from.
+    pub facility: Facility,
+    /// The node names in the allocation.
+    pub nodes: Vec<String>,
+    /// The six run windows in order (3× mg.C then 3× prime95).
+    pub runs: Vec<TimeSpan>,
+    /// The full sampling window.
+    pub window: TimeSpan,
+}
+
+/// Build the second DAT: a catalog with `papi`, `ipmi`, `cpu_specs`,
+/// `ldms` (ingested through the NoSQL store, as in §7.1), and the DAT's
+/// own `job_queue_log` registered.
+pub fn dat2(ctx: &ExecCtx, cfg: &Dat2Config) -> Result<(Catalog, Dat2Truth)> {
+    let layout = FacilityLayout::regular(1, cfg.nodes);
+    let nodes: Vec<String> = layout.all_nodes().map(String::from).collect();
+    let start = Timestamp::parse("2017-06-12 09:00:00").expect("valid start");
+    let jobs = dat2_schedule(&nodes, start, cfg.run_secs, cfg.gap_secs);
+    let runs: Vec<TimeSpan> = jobs.iter().map(|j| j.span).collect();
+    let end = runs.last().expect("six runs").end.add_secs(60.0);
+    let window = TimeSpan::new(start.add_secs(-60.0), end);
+    let facility = Facility::new(layout, jobs);
+
+    let sampling = SamplingConfig {
+        window,
+        interval_secs: cfg.sample_interval_secs,
+        seed: cfg.seed,
+        partitions: cfg.partitions,
+    };
+    let mut catalog = Catalog::default_hpc();
+    catalog.register_dataset(
+        "papi",
+        papi_dataset(
+            ctx,
+            &facility,
+            &nodes,
+            cfg.cpus_per_node,
+            cfg.base_mhz,
+            &sampling,
+        ),
+    )?;
+    catalog.register_dataset(
+        "ipmi",
+        ipmi_dataset(
+            ctx,
+            &facility,
+            &nodes,
+            cfg.sockets_per_node,
+            &SamplingConfig {
+                seed: cfg.seed ^ 0x19A1,
+                ..sampling.clone()
+            },
+        ),
+    )?;
+    catalog.register_dataset(
+        "cpu_specs",
+        cpu_spec_dataset(ctx, &nodes, cfg.cpus_per_node, cfg.base_mhz, cfg.partitions),
+    )?;
+    // LDMS node data arrives through the NoSQL ingestion path (§7.1):
+    // documents in the KV store, wrapped into an annotated dataset.
+    let store = KvStore::new();
+    ldms_ingest(
+        &store,
+        &facility,
+        &nodes,
+        &SamplingConfig {
+            interval_secs: cfg.sample_interval_secs * 2.0,
+            seed: cfg.seed ^ 0x7D35,
+            ..sampling.clone()
+        },
+    );
+    catalog.register_dataset("ldms", ldms_wrap(ctx, &store, catalog.dict(), cfg.partitions)?)?;
+    // The DAT's own job queue log (the six runs).
+    catalog.register_dataset(
+        "job_queue_log",
+        crate::jobs::job_log_dataset(ctx, facility.jobs(), cfg.partitions),
+    )?;
+    Ok((
+        catalog,
+        Dat2Truth {
+            facility,
+            nodes,
+            runs,
+            window,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dat1_registers_the_three_sources() {
+        let ctx = ExecCtx::local();
+        let cfg = Dat1Config {
+            racks: 4,
+            nodes_per_rack: 4,
+            amg_rack_index: 2,
+            amg_nodes: 3,
+            background_jobs: 3,
+            duration_secs: 1800,
+            ..Dat1Config::default()
+        };
+        let (catalog, truth) = dat1(&ctx, &cfg).unwrap();
+        assert_eq!(
+            catalog.dataset_names(),
+            vec!["job_queue_log", "node_layout", "rack_temps"]
+        );
+        assert_eq!(truth.amg_rack, "rack2");
+        assert!(catalog.dataset("rack_temps").unwrap().count().unwrap() > 0);
+        assert_eq!(
+            catalog.dataset("node_layout").unwrap().count().unwrap(),
+            16
+        );
+    }
+
+    #[test]
+    fn dat2_registers_the_three_sources() {
+        let ctx = ExecCtx::local();
+        let cfg = Dat2Config {
+            nodes: 1,
+            cpus_per_node: 2,
+            run_secs: 120,
+            gap_secs: 20,
+            sample_interval_secs: 4.0,
+            ..Dat2Config::default()
+        };
+        let (catalog, truth) = dat2(&ctx, &cfg).unwrap();
+        assert_eq!(
+            catalog.dataset_names(),
+            vec!["cpu_specs", "ipmi", "job_queue_log", "ldms", "papi"]
+        );
+        assert_eq!(truth.runs.len(), 6);
+        assert_eq!(catalog.dataset("cpu_specs").unwrap().count().unwrap(), 2);
+        assert!(catalog.dataset("papi").unwrap().count().unwrap() > 100);
+        assert!(catalog.dataset("ldms").unwrap().count().unwrap() > 50);
+        assert_eq!(catalog.dataset("job_queue_log").unwrap().count().unwrap(), 6);
+    }
+
+    #[test]
+    fn dat2_ldms_power_tracks_workloads() {
+        let ctx = ExecCtx::local();
+        let cfg = Dat2Config {
+            nodes: 1,
+            cpus_per_node: 1,
+            run_secs: 200,
+            gap_secs: 20,
+            sample_interval_secs: 5.0,
+            ..Dat2Config::default()
+        };
+        let (catalog, truth) = dat2(&ctx, &cfg).unwrap();
+        let ldms = catalog.dataset("ldms").unwrap();
+        let schema = ldms.schema().clone();
+        let t_i = schema.index_of("time").unwrap();
+        let p_i = schema.index_of("node_power").unwrap();
+        let rows = ldms.collect().unwrap();
+        let mean_power = |run: usize| -> f64 {
+            let span = truth.runs[run];
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.get(t_i).as_time().is_some_and(|t| span.contains(t)))
+                .filter_map(|r| r.get(p_i).as_f64())
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        // prime95 (run 4) draws more node power than mg.C (run 1).
+        assert!(mean_power(3) > mean_power(0) + 20.0);
+    }
+
+    #[test]
+    fn dat1_amg_rack_wraps_around_small_layouts() {
+        let ctx = ExecCtx::local();
+        let cfg = Dat1Config {
+            racks: 3,
+            nodes_per_rack: 2,
+            amg_rack_index: 17,
+            amg_nodes: 2,
+            background_jobs: 1,
+            duration_secs: 1800,
+            ..Dat1Config::default()
+        };
+        let (_, truth) = dat1(&ctx, &cfg).unwrap();
+        assert_eq!(truth.amg_rack, "rack2");
+    }
+}

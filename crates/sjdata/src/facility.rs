@@ -1,0 +1,140 @@
+//! The coupled facility model.
+//!
+//! Ties the static layout and the job schedule into time-varying physical
+//! state: which job runs on a node at an instant, how much heat a rack's
+//! workload pushes into the hot aisle, and what the node/CPU activity
+//! levels are. The monitoring-source generators in [`crate::sources`]
+//! sample this model (with noise) the way real sensors sample a real
+//! machine room.
+
+use crate::jobs::Job;
+use crate::layout::FacilityLayout;
+use crate::workloads::Workload;
+use sjcore::Timestamp;
+
+/// The simulated facility: topology plus schedule.
+#[derive(Debug, Clone)]
+pub struct Facility {
+    layout: FacilityLayout,
+    jobs: Vec<Job>,
+}
+
+impl Facility {
+    /// Couple a layout with a schedule.
+    pub fn new(layout: FacilityLayout, jobs: Vec<Job>) -> Self {
+        Facility { layout, jobs }
+    }
+
+    /// The facility topology.
+    pub fn layout(&self) -> &FacilityLayout {
+        &self.layout
+    }
+
+    /// The job schedule.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The job active on `node` at `t` (with its run progress), if any.
+    pub fn activity(&self, node: &str, t: Timestamp) -> Option<(&Job, f64)> {
+        self.jobs.iter().find_map(|j| {
+            if !j.nodes.iter().any(|n| n == node) {
+                return None;
+            }
+            j.progress_at(t).map(|frac| (j, frac))
+        })
+    }
+
+    /// The workload on `node` at `t`, if any.
+    pub fn workload_on(&self, node: &str, t: Timestamp) -> Option<(Workload, f64)> {
+        self.activity(node, t).map(|(j, frac)| (j.app, frac))
+    }
+
+    /// Aggregate heat load on a rack at `t`: mean per-active-node heat
+    /// delta, scaled by the fraction of the rack's nodes that are busy.
+    /// This is what separates the hot aisle from the cold aisle.
+    pub fn rack_heat_load(&self, rack: &str, t: Timestamp) -> f64 {
+        let nodes = self.layout.nodes_of(rack);
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = nodes
+            .iter()
+            .filter_map(|n| self.workload_on(n, t))
+            .map(|(w, frac)| w.heat_delta(frac))
+            .sum();
+        total / nodes.len() as f64
+    }
+
+    /// Sensor positions: vertical location name and its heat exposure
+    /// factor (heat rises — top sensors read hotter).
+    pub fn sensor_locations() -> [(&'static str, f64); 3] {
+        [("bottom", 0.8), ("middle", 1.0), ("top", 1.25)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::dat2_schedule;
+    use sjcore::TimeSpan;
+
+    fn facility() -> Facility {
+        let layout = FacilityLayout::regular(2, 4);
+        let jobs = vec![Job {
+            id: 1,
+            app: Workload::Amg,
+            nodes: vec!["cab0".into(), "cab1".into()],
+            span: TimeSpan::new(Timestamp::from_secs(100), Timestamp::from_secs(200)),
+        }];
+        Facility::new(layout, jobs)
+    }
+
+    #[test]
+    fn activity_respects_schedule_and_allocation() {
+        let f = facility();
+        assert!(f.activity("cab0", Timestamp::from_secs(150)).is_some());
+        assert!(f.activity("cab0", Timestamp::from_secs(50)).is_none());
+        assert!(f.activity("cab2", Timestamp::from_secs(150)).is_none());
+        let (w, frac) = f.workload_on("cab1", Timestamp::from_secs(150)).unwrap();
+        assert_eq!(w, Workload::Amg);
+        assert!((frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rack_heat_load_scales_with_busy_nodes() {
+        let f = facility();
+        // rack0 has 2 of 4 nodes busy at t=150.
+        let load = f.rack_heat_load("rack0", Timestamp::from_secs(150));
+        let expected = 2.0 * Workload::Amg.heat_delta(0.5) / 4.0;
+        assert!((load - expected).abs() < 1e-9);
+        // Idle rack produces no load.
+        assert_eq!(f.rack_heat_load("rack1", Timestamp::from_secs(150)), 0.0);
+        // Idle time produces no load.
+        assert_eq!(f.rack_heat_load("rack0", Timestamp::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn dat2_sequence_activity_transitions() {
+        let nodes: Vec<String> = vec!["cab0".into()];
+        let jobs = dat2_schedule(&nodes, Timestamp::from_secs(0), 100, 10);
+        let f = Facility::new(FacilityLayout::regular(1, 1), jobs);
+        assert_eq!(
+            f.workload_on("cab0", Timestamp::from_secs(50)).unwrap().0,
+            Workload::MgC
+        );
+        // In the gap between runs: idle.
+        assert!(f.workload_on("cab0", Timestamp::from_secs(105)).is_none());
+        // Fourth run (index 3) is prime95: starts at 3*(110) = 330.
+        assert_eq!(
+            f.workload_on("cab0", Timestamp::from_secs(380)).unwrap().0,
+            Workload::Prime95
+        );
+    }
+
+    #[test]
+    fn sensor_locations_order_heat_exposure() {
+        let locs = Facility::sensor_locations();
+        assert!(locs[0].1 < locs[1].1 && locs[1].1 < locs[2].1);
+    }
+}

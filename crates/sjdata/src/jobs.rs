@@ -1,0 +1,301 @@
+//! SLURM-style job queue logs (§7.1).
+//!
+//! The resource scheduler records, per job: an id, the application name,
+//! the allocated node list (a compound cell — one of the reasons explode
+//! transformations exist), the elapsed time, and the scheduled time span.
+
+use crate::layout::FacilityLayout;
+use crate::workloads::Workload;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sjcore::{FieldDef, FieldSemantics, Row, Schema, SjDataset, TimeSpan, Timestamp, Value};
+use sjdf::ExecCtx;
+
+/// One scheduled job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Scheduler job id.
+    pub id: u64,
+    /// The application.
+    pub app: Workload,
+    /// Allocated nodes.
+    pub nodes: Vec<String>,
+    /// Scheduled execution window.
+    pub span: TimeSpan,
+}
+
+impl Job {
+    /// Elapsed wall-clock seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.span.duration_secs()
+    }
+
+    /// Run progress at an instant, if the job is active then.
+    pub fn progress_at(&self, t: Timestamp) -> Option<f64> {
+        if !self.span.contains(t) {
+            return None;
+        }
+        let total = self.span.duration_secs();
+        if total <= 0.0 {
+            return Some(0.0);
+        }
+        Some((t.as_secs_f64() - self.span.start.as_secs_f64()) / total)
+    }
+}
+
+/// Configuration for random background schedules.
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Number of background jobs to place.
+    pub background_jobs: usize,
+    /// DAT window start.
+    pub start: Timestamp,
+    /// DAT window length in seconds.
+    pub duration_secs: i64,
+    /// Min/max nodes per background job.
+    pub nodes_per_job: (usize, usize),
+    /// Min/max job runtime in seconds.
+    pub job_secs: (i64, i64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            background_jobs: 12,
+            start: Timestamp::parse("2017-03-27 10:00:00").unwrap(),
+            duration_secs: 4 * 3600,
+            nodes_per_job: (2, 8),
+            job_secs: (600, 3600),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Build a schedule: one pinned AMG job on `amg_nodes` nodes of
+/// `amg_rack`, plus random background jobs on other racks (no node runs
+/// two jobs at once).
+pub fn dat1_schedule(
+    layout: &FacilityLayout,
+    amg_rack: &str,
+    amg_nodes: usize,
+    cfg: &ScheduleConfig,
+) -> Vec<Job> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut jobs = Vec::new();
+    let mut next_id = 1000u64;
+
+    // The pinned AMG job spans most of the DAT on one rack (§7.2: AMG on
+    // 60 of rack 17's nodes generated the most heat).
+    let amg_span = TimeSpan::new(
+        cfg.start.add_secs(600.0),
+        cfg.start.add_secs((cfg.duration_secs - 600) as f64),
+    );
+    let amg_alloc: Vec<String> = layout
+        .nodes_of(amg_rack)
+        .iter()
+        .take(amg_nodes)
+        .cloned()
+        .collect();
+    assert!(!amg_alloc.is_empty(), "AMG rack has no nodes");
+    jobs.push(Job {
+        id: next_id,
+        app: Workload::Amg,
+        nodes: amg_alloc,
+        span: amg_span,
+    });
+    next_id += 1;
+
+    // Background jobs on the remaining racks, one job per node at a time.
+    let mut free_at: std::collections::HashMap<String, Timestamp> = std::collections::HashMap::new();
+    let background = [Workload::Lulesh, Workload::Kripke, Workload::MgC];
+    let other_racks: Vec<&str> = layout
+        .rack_names()
+        .filter(|r| *r != amg_rack)
+        .collect();
+    // `next_id` is not a loop counter: placements that do not fit the DAT
+    // window are skipped without consuming an id, keeping job ids dense.
+    #[allow(clippy::explicit_counter_loop)]
+    for _ in 0..cfg.background_jobs {
+        let rack = other_racks[rng.gen_range(0..other_racks.len())];
+        let mut nodes: Vec<String> = layout.nodes_of(rack).to_vec();
+        nodes.shuffle(&mut rng);
+        let want = rng.gen_range(cfg.nodes_per_job.0..=cfg.nodes_per_job.1);
+        let run_secs = rng.gen_range(cfg.job_secs.0..=cfg.job_secs.1);
+        let earliest = cfg.start.add_secs(rng.gen_range(0..cfg.duration_secs / 2) as f64);
+        let alloc: Vec<String> = nodes.into_iter().take(want).collect();
+        let start = alloc
+            .iter()
+            .filter_map(|n| free_at.get(n))
+            .max()
+            .copied()
+            .unwrap_or(earliest)
+            .max(earliest);
+        let end = start.add_secs(run_secs as f64);
+        if end > cfg.start.add_secs(cfg.duration_secs as f64) {
+            continue;
+        }
+        for n in &alloc {
+            free_at.insert(n.clone(), end);
+        }
+        jobs.push(Job {
+            id: next_id,
+            app: background[rng.gen_range(0..background.len())],
+            nodes: alloc,
+            span: TimeSpan::new(start, end),
+        });
+        next_id += 1;
+    }
+    jobs
+}
+
+/// A back-to-back run sequence on a fixed node set (the second DAT's
+/// 3×mg.C then 3×prime95 workloads, §7.3).
+pub fn dat2_schedule(
+    nodes: &[String],
+    start: Timestamp,
+    run_secs: i64,
+    gap_secs: i64,
+) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let mut t = start;
+    let apps = [
+        Workload::MgC,
+        Workload::MgC,
+        Workload::MgC,
+        Workload::Prime95,
+        Workload::Prime95,
+        Workload::Prime95,
+    ];
+    for (i, app) in apps.into_iter().enumerate() {
+        let end = t.add_secs(run_secs as f64);
+        jobs.push(Job {
+            id: 2000 + i as u64,
+            app,
+            nodes: nodes.to_vec(),
+            span: TimeSpan::new(t, end),
+        });
+        t = end.add_secs(gap_secs as f64);
+    }
+    jobs
+}
+
+/// Render a schedule as the SLURM-flavoured job queue log dataset.
+pub fn job_log_dataset(ctx: &ExecCtx, jobs: &[Job], partitions: usize) -> SjDataset {
+    let schema = Schema::new(vec![
+        FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+        FieldDef::new("job_name", FieldSemantics::value("application", "app-name")),
+        FieldDef::new(
+            "nodelist",
+            FieldSemantics::domain("compute-node", "node-list"),
+        ),
+        FieldDef::new("elapsed", FieldSemantics::value("time", "t-seconds")),
+        FieldDef::new("timespan", FieldSemantics::domain("time", "timespan")),
+    ])
+    .expect("job log schema");
+    let rows: Vec<Row> = jobs
+        .iter()
+        .map(|j| {
+            Row::new(vec![
+                Value::str(j.id.to_string()),
+                Value::str(j.app.name()),
+                Value::list(j.nodes.iter().map(Value::str)),
+                Value::Float(j.elapsed_secs()),
+                Value::Span(j.span),
+            ])
+        })
+        .collect();
+    SjDataset::from_rows(ctx, rows, schema, "job_queue_log", partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> FacilityLayout {
+        FacilityLayout::regular(4, 8)
+    }
+
+    #[test]
+    fn dat1_schedule_pins_amg() {
+        let cfg = ScheduleConfig::default();
+        let jobs = dat1_schedule(&layout(), "rack2", 6, &cfg);
+        let amg: Vec<&Job> = jobs.iter().filter(|j| j.app == Workload::Amg).collect();
+        assert_eq!(amg.len(), 1);
+        assert_eq!(amg[0].nodes.len(), 6);
+        assert!(amg[0].nodes.iter().all(|n| layout().rack_of(n) == Some("rack2")));
+        // No background job lands on the AMG rack.
+        for j in jobs.iter().filter(|j| j.app != Workload::Amg) {
+            assert!(j.nodes.iter().all(|n| layout().rack_of(n) != Some("rack2")));
+        }
+    }
+
+    #[test]
+    fn dat1_schedule_has_no_node_overlap() {
+        let cfg = ScheduleConfig::default();
+        let jobs = dat1_schedule(&layout(), "rack0", 4, &cfg);
+        for (i, a) in jobs.iter().enumerate() {
+            for b in &jobs[i + 1..] {
+                let share_node = a.nodes.iter().any(|n| b.nodes.contains(n));
+                if share_node {
+                    let overlap = a.span.start < b.span.end && b.span.start < a.span.end;
+                    assert!(!overlap, "jobs {} and {} overlap on a node", a.id, b.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dat1_schedule_is_deterministic() {
+        let cfg = ScheduleConfig::default();
+        let a = dat1_schedule(&layout(), "rack1", 4, &cfg);
+        let b = dat1_schedule(&layout(), "rack1", 4, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dat2_schedule_orders_mgc_before_prime95() {
+        let nodes = vec!["cab0".to_string(), "cab1".to_string()];
+        let start = Timestamp::from_secs(0);
+        let jobs = dat2_schedule(&nodes, start, 600, 60);
+        assert_eq!(jobs.len(), 6);
+        assert!(jobs[..3].iter().all(|j| j.app == Workload::MgC));
+        assert!(jobs[3..].iter().all(|j| j.app == Workload::Prime95));
+        for pair in jobs.windows(2) {
+            assert!(pair[0].span.end <= pair[1].span.start);
+        }
+    }
+
+    #[test]
+    fn progress_tracks_span() {
+        let j = Job {
+            id: 1,
+            app: Workload::Amg,
+            nodes: vec![],
+            span: TimeSpan::new(Timestamp::from_secs(0), Timestamp::from_secs(100)),
+        };
+        assert_eq!(j.progress_at(Timestamp::from_secs(50)), Some(0.5));
+        assert_eq!(j.progress_at(Timestamp::from_secs(100)), None);
+        assert_eq!(j.elapsed_secs(), 100.0);
+    }
+
+    #[test]
+    fn job_log_dataset_has_compound_cells() {
+        let ctx = ExecCtx::local();
+        let jobs = dat2_schedule(
+            &["cab0".to_string(), "cab1".to_string()],
+            Timestamp::from_secs(0),
+            60,
+            0,
+        );
+        let ds = job_log_dataset(&ctx, &jobs, 2);
+        assert_eq!(ds.count().unwrap(), 6);
+        let row = &ds.head(1).unwrap()[0];
+        assert_eq!(row.get(2).as_list().unwrap().len(), 2);
+        assert!(row.get(4).as_span().is_some());
+        ds.validate(&sjcore::SemanticDictionary::default_hpc()).unwrap();
+    }
+}

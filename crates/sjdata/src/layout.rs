@@ -1,0 +1,143 @@
+//! Node/rack layout: the static facility topology (§7.1).
+//!
+//! "Which nodes reside on which racks" is the glue information that lets
+//! ScrubJay attribute node-level activity to rack-level sensors. The paper
+//! obtained it from a facility administrator as a table; we generate it.
+
+use sjcore::{FieldDef, FieldSemantics, Row, Schema, SjDataset, Value};
+use sjdf::ExecCtx;
+use std::collections::HashMap;
+
+/// The facility topology: racks, each holding a fixed set of nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacilityLayout {
+    racks: Vec<(String, Vec<String>)>,
+    node_to_rack: HashMap<String, String>,
+}
+
+/// Node name for a global node index (Cab-style `cabN`).
+pub fn node_name(i: usize) -> String {
+    format!("cab{i}")
+}
+
+/// Rack name for a rack index.
+pub fn rack_name(i: usize) -> String {
+    format!("rack{i}")
+}
+
+impl FacilityLayout {
+    /// A regular layout: `racks` racks of `nodes_per_rack` nodes each.
+    pub fn regular(racks: usize, nodes_per_rack: usize) -> Self {
+        let mut out = Vec::with_capacity(racks);
+        let mut node_to_rack = HashMap::new();
+        for r in 0..racks {
+            let rname = rack_name(r);
+            let nodes: Vec<String> = (0..nodes_per_rack)
+                .map(|n| node_name(r * nodes_per_rack + n))
+                .collect();
+            for n in &nodes {
+                node_to_rack.insert(n.clone(), rname.clone());
+            }
+            out.push((rname, nodes));
+        }
+        FacilityLayout {
+            racks: out,
+            node_to_rack,
+        }
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_to_rack.len()
+    }
+
+    /// All rack names in order.
+    pub fn rack_names(&self) -> impl Iterator<Item = &str> {
+        self.racks.iter().map(|(r, _)| r.as_str())
+    }
+
+    /// Nodes on one rack.
+    pub fn nodes_of(&self, rack: &str) -> &[String] {
+        self.racks
+            .iter()
+            .find(|(r, _)| r == rack)
+            .map(|(_, ns)| ns.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All node names in rack order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = &str> {
+        self.racks.iter().flat_map(|(_, ns)| ns.iter().map(String::as_str))
+    }
+
+    /// Rack hosting a node, if known.
+    pub fn rack_of(&self, node: &str) -> Option<&str> {
+        self.node_to_rack.get(node).map(String::as_str)
+    }
+
+    /// The layout as a ScrubJay dataset (node, rack) — note the column is
+    /// deliberately named `NODEID` as real administrator exports are,
+    /// exercising the dictionary's synonym handling.
+    pub fn dataset(&self, ctx: &ExecCtx, partitions: usize) -> SjDataset {
+        let schema = Schema::new(vec![
+            FieldDef::new("NODEID", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        ])
+        .expect("layout schema");
+        let rows: Vec<Row> = self
+            .racks
+            .iter()
+            .flat_map(|(rack, nodes)| {
+                nodes.iter().map(move |n| {
+                    Row::new(vec![Value::str(n), Value::str(rack)])
+                })
+            })
+            .collect();
+        SjDataset::from_rows(ctx, rows, schema, "node_layout", partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_layout_partitions_nodes() {
+        let l = FacilityLayout::regular(4, 8);
+        assert_eq!(l.num_racks(), 4);
+        assert_eq!(l.num_nodes(), 32);
+        assert_eq!(l.nodes_of("rack2").len(), 8);
+        assert_eq!(l.rack_of("cab16"), Some("rack2"));
+        assert_eq!(l.rack_of("nope"), None);
+    }
+
+    #[test]
+    fn nodes_are_globally_unique() {
+        let l = FacilityLayout::regular(3, 5);
+        let mut names: Vec<&str> = l.all_nodes().collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 15);
+    }
+
+    #[test]
+    fn dataset_round_trips() {
+        let ctx = ExecCtx::local();
+        let l = FacilityLayout::regular(2, 3);
+        let ds = l.dataset(&ctx, 2);
+        assert_eq!(ds.count().unwrap(), 6);
+        let rows = ds.collect().unwrap();
+        for r in rows {
+            let node = r.get(0).as_str().unwrap();
+            let rack = r.get(1).as_str().unwrap();
+            assert_eq!(l.rack_of(node), Some(rack));
+        }
+    }
+}

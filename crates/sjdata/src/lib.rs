@@ -1,0 +1,55 @@
+//! # sjdata — synthetic HPC facility data for ScrubJay
+//!
+//! The paper's case studies (§7) ran against production monitoring data
+//! from LLNL's Cab cluster during two dedicated-access-time (DAT)
+//! sessions. That data is not available, so this crate simulates the
+//! facility: a node/rack layout, a SLURM-like job schedule, workload
+//! signature models (AMG's steadily rising heat, mg.C's memory-bound full
+//! frequency, prime95's aggressively throttled compute), and the
+//! monitoring sources the paper ingests — job queue logs, rack
+//! temperature sensors (OSIsoft PI), node/rack layout tables, IPMI
+//! motherboard counters, PAPI CPU counters, and /proc/cpuinfo CPU
+//! specifications.
+//!
+//! The generated tables are *raw and disordered* on purpose: different
+//! sampling intervals, different column names for the same things,
+//! cumulative counters with resets, and compound cells (node lists, time
+//! spans). Deriving the case-study correlations out of them is ScrubJay's
+//! job, not the generator's.
+//!
+//! Everything is deterministic under a seed ([`rand_chacha`]).
+//!
+//! ```
+//! use sjdata::{dat1, Dat1Config};
+//! use sjdf::ExecCtx;
+//!
+//! let ctx = ExecCtx::local();
+//! let cfg = Dat1Config {
+//!     racks: 3, nodes_per_rack: 2, amg_rack_index: 1, amg_nodes: 2,
+//!     background_jobs: 1, duration_secs: 900,
+//!     ..Dat1Config::default()
+//! };
+//! let (catalog, truth) = dat1(&ctx, &cfg).unwrap();
+//! assert_eq!(
+//!     catalog.dataset_names(),
+//!     vec!["job_queue_log", "node_layout", "rack_temps"],
+//! );
+//! assert_eq!(truth.amg_rack, "rack1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dat;
+pub mod facility;
+pub mod jobs;
+pub mod layout;
+pub mod sources;
+pub mod synth;
+pub mod workloads;
+
+pub use dat::{dat1, dat2, Dat1Config, Dat2Config};
+pub use facility::Facility;
+pub use jobs::Job;
+pub use layout::FacilityLayout;
+pub use workloads::Workload;

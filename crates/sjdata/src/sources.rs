@@ -1,0 +1,499 @@
+//! Monitoring-source generators: sampled views of the facility model.
+//!
+//! Each generator mimics one of the paper's ingestion paths (§7.1):
+//!
+//! * [`rack_temperature_dataset`] — OSIsoft-PI-style rack sensors: 6 per
+//!   rack (bottom/middle/top × hot/cold aisle), an instantaneous reading
+//!   every two minutes.
+//! * [`papi_dataset`] — per-(node, CPU) cumulative counters at one-to-
+//!   three-second intervals: APERF, MPERF, instructions; counters reset
+//!   at arbitrary intervals.
+//! * [`ipmi_dataset`] — per-(node, socket) motherboard data: cumulative
+//!   memory read/write counters plus instantaneous power and thermal
+//!   margin.
+//! * [`cpu_spec_dataset`] — static `/proc/cpuinfo`-style CPU
+//!   specifications: the base frequency of every CPU.
+
+use crate::facility::Facility;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sjcore::{FieldDef, FieldSemantics, Row, Schema, SjDataset, TimeSpan, Timestamp, Value};
+use sjdf::ExecCtx;
+
+/// Common sampling parameters.
+#[derive(Debug, Clone)]
+pub struct SamplingConfig {
+    /// Sampling window.
+    pub window: TimeSpan,
+    /// Seconds between samples.
+    pub interval_secs: f64,
+    /// RNG seed for measurement noise.
+    pub seed: u64,
+    /// Partitions of the produced dataset.
+    pub partitions: usize,
+}
+
+impl SamplingConfig {
+    /// Sample instants across the window.
+    fn instants(&self) -> Vec<Timestamp> {
+        self.window.explode(self.interval_secs)
+    }
+}
+
+/// Ambient cold-aisle temperature with slow drift.
+fn cold_aisle_temp(t: Timestamp, rng: &mut ChaCha8Rng) -> f64 {
+    17.5 + 0.5 * (t.as_secs_f64() / 3600.0).sin() + rng.gen_range(-0.2..0.2)
+}
+
+/// OSIsoft-PI-style rack temperature/humidity sensor table.
+///
+/// Schema: `rack, location, aisle, time, temp, humidity` — note the hot
+/// and cold aisle readings arrive as separate rows; turning them into a
+/// heat measure is the `derive_heat` rule's job, not the generator's.
+pub fn rack_temperature_dataset(
+    ctx: &ExecCtx,
+    facility: &Facility,
+    cfg: &SamplingConfig,
+) -> SjDataset {
+    let schema = Schema::new(vec![
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        FieldDef::new(
+            "location",
+            FieldSemantics::domain("rack-location", "location-name"),
+        ),
+        FieldDef::new("aisle", FieldSemantics::domain("aisle", "aisle-name")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        FieldDef::new("humidity", FieldSemantics::value("humidity", "percent-rh")),
+    ])
+    .expect("rack sensor schema");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rows = Vec::new();
+    for t in cfg.instants() {
+        for rack in facility.layout().rack_names() {
+            let load = facility.rack_heat_load(rack, t);
+            for (loc, exposure) in Facility::sensor_locations() {
+                let cold = cold_aisle_temp(t, &mut rng);
+                let hot = cold + 2.0 + load * exposure + rng.gen_range(-0.3..0.3);
+                let humidity = 35.0 + rng.gen_range(-3.0..3.0);
+                for (aisle, temp) in [("cold", cold), ("hot", hot)] {
+                    rows.push(Row::new(vec![
+                        Value::str(rack),
+                        Value::str(loc),
+                        Value::str(aisle),
+                        Value::Time(t),
+                        Value::Float(temp),
+                        Value::Float(humidity),
+                    ]));
+                }
+            }
+        }
+    }
+    SjDataset::from_rows(ctx, rows, schema, "rack_temps", cfg.partitions)
+}
+
+/// PAPI-style per-(node, CPU) cumulative counters.
+///
+/// APERF increments at the active frequency, MPERF at the base frequency;
+/// instructions at the workload's instruction rate. Counters reset to
+/// zero at pseudo-random sample boundaries (roughly one in 200), as real
+/// counters do.
+pub fn papi_dataset(
+    ctx: &ExecCtx,
+    facility: &Facility,
+    nodes: &[String],
+    cpus_per_node: usize,
+    base_mhz: f64,
+    cfg: &SamplingConfig,
+) -> SjDataset {
+    let schema = Schema::new(vec![
+        FieldDef::new("nodeid", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("cpuid", FieldSemantics::domain("cpu", "cpu-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("aperf", FieldSemantics::value("aperf", "aperf-count")),
+        FieldDef::new("mperf", FieldSemantics::value("mperf", "mperf-count")),
+        FieldDef::new(
+            "instructions",
+            FieldSemantics::value("instructions", "instructions-count"),
+        ),
+    ])
+    .expect("papi schema");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rows = Vec::new();
+    let instants = cfg.instants();
+    for node in nodes {
+        for cpu in 0..cpus_per_node {
+            let cpu_id = format!("{node}-cpu{cpu}");
+            let (mut aperf, mut mperf, mut instr) = (0f64, 0f64, 0f64);
+            let mut last: Option<Timestamp> = None;
+            for &t in &instants {
+                if let Some(prev) = last {
+                    let dt_ms = (t.as_secs_f64() - prev.as_secs_f64()) * 1e3;
+                    // Idle CPUs tick MPERF slowly and retire few
+                    // instructions; busy ones follow the workload model.
+                    let (ratio, ipms) = match facility.workload_on(node, t) {
+                        Some((w, frac)) => {
+                            let jitter = rng.gen_range(0.97..1.03);
+                            (w.freq_ratio(frac), w.instr_per_ms(frac) * jitter)
+                        }
+                        None => (0.35, 2.0e4),
+                    };
+                    mperf += base_mhz * 1e3 * dt_ms;
+                    aperf += base_mhz * 1e3 * dt_ms * ratio;
+                    instr += ipms * dt_ms;
+                }
+                // Occasional counter reset.
+                if rng.gen_ratio(1, 200) {
+                    aperf = 0.0;
+                    mperf = 0.0;
+                    instr = 0.0;
+                }
+                rows.push(Row::new(vec![
+                    Value::str(node),
+                    Value::str(&cpu_id),
+                    Value::Time(t),
+                    Value::Int(aperf as i64),
+                    Value::Int(mperf as i64),
+                    Value::Int(instr as i64),
+                ]));
+                last = Some(t);
+            }
+        }
+    }
+    SjDataset::from_rows(ctx, rows, schema, "papi", cfg.partitions)
+}
+
+/// IPMI-style per-(node, socket) motherboard table: cumulative memory
+/// read/write counters, instantaneous socket power and thermal margin.
+pub fn ipmi_dataset(
+    ctx: &ExecCtx,
+    facility: &Facility,
+    nodes: &[String],
+    sockets_per_node: usize,
+    cfg: &SamplingConfig,
+) -> SjDataset {
+    let schema = Schema::new(vec![
+        FieldDef::new("nodeid", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("socket", FieldSemantics::domain("socket", "socket-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "mem_reads",
+            FieldSemantics::value("memory-reads", "memory-reads-count"),
+        ),
+        FieldDef::new(
+            "mem_writes",
+            FieldSemantics::value("memory-writes", "memory-writes-count"),
+        ),
+        FieldDef::new("power", FieldSemantics::value("power", "watts")),
+        FieldDef::new(
+            "thermal_margin",
+            FieldSemantics::value("thermal-margin", "margin-celsius"),
+        ),
+    ])
+    .expect("ipmi schema");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rows = Vec::new();
+    let instants = cfg.instants();
+    for node in nodes {
+        for socket in 0..sockets_per_node {
+            let socket_id = format!("{node}-s{socket}");
+            let (mut reads, mut writes) = (0f64, 0f64);
+            let mut last: Option<Timestamp> = None;
+            for &t in &instants {
+                if let Some(prev) = last {
+                    let dt_ms = (t.as_secs_f64() - prev.as_secs_f64()) * 1e3;
+                    let (rd, wr) = match facility.workload_on(node, t) {
+                        Some((w, frac)) => {
+                            let jitter = rng.gen_range(0.95..1.05);
+                            (
+                                w.mem_reads_per_ms(frac) * jitter,
+                                w.mem_writes_per_ms(frac) * jitter,
+                            )
+                        }
+                        None => (1.0e3, 5.0e2),
+                    };
+                    reads += rd * dt_ms;
+                    writes += wr * dt_ms;
+                }
+                let (power, margin) = match facility.workload_on(node, t) {
+                    Some((w, frac)) => (
+                        w.socket_power(frac) + rng.gen_range(-2.0..2.0),
+                        w.thermal_margin(frac) + rng.gen_range(-0.5..0.5),
+                    ),
+                    None => (42.0 + rng.gen_range(-1.0..1.0), 45.0),
+                };
+                if rng.gen_ratio(1, 250) {
+                    reads = 0.0;
+                    writes = 0.0;
+                }
+                rows.push(Row::new(vec![
+                    Value::str(node),
+                    Value::str(&socket_id),
+                    Value::Time(t),
+                    Value::Int(reads as i64),
+                    Value::Int(writes as i64),
+                    Value::Float(power),
+                    Value::Float(margin),
+                ]));
+                last = Some(t);
+            }
+        }
+    }
+    SjDataset::from_rows(ctx, rows, schema, "ipmi", cfg.partitions)
+}
+
+/// LDMS-style node metrics, continuously ingested into a NoSQL store.
+///
+/// The paper's second DAT "employed a distributed ingestion framework to
+/// continuously collect LDMS data into a distributed NoSQL database
+/// store" (§7.1). This generator writes per-(node, time) documents —
+/// CPU utilization, memory used, node power — into a
+/// [`sjcore::wrappers::KvStore`] table;
+/// wrap it with [`ldms_wrap`] to obtain the annotated dataset.
+pub fn ldms_ingest(
+    store: &sjcore::wrappers::KvStore,
+    facility: &Facility,
+    nodes: &[String],
+    cfg: &SamplingConfig,
+) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut count = 0usize;
+    for t in cfg.instants() {
+        for node in nodes {
+            let (util, mem_mb, power) = match facility.workload_on(node, t) {
+                Some((w, frac)) => (
+                    (92.0f64 + rng.gen_range(-4.0..4.0)).min(100.0),
+                    24_000.0 + 4_000.0 * w.mem_reads_per_ms(frac) / 1.0e6,
+                    2.0 * w.socket_power(frac) + 60.0 + rng.gen_range(-5.0..5.0),
+                ),
+                None => (
+                    rng.gen_range(0.5..3.0),
+                    6_000.0 + rng.gen_range(-500.0..500.0),
+                    100.0 + rng.gen_range(-3.0..3.0),
+                ),
+            };
+            let mut doc = std::collections::BTreeMap::new();
+            doc.insert("node".to_string(), node.clone());
+            doc.insert("time".to_string(), t.to_string());
+            doc.insert("cpu_util".to_string(), format!("{util:.2}"));
+            doc.insert("mem_used".to_string(), format!("{mem_mb:.1}"));
+            doc.insert("node_power".to_string(), format!("{power:.1}"));
+            store.insert("ldms", doc);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Schema for the LDMS table written by [`ldms_ingest`].
+pub fn ldms_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "cpu_util",
+            FieldSemantics::value("utilization", "percent-util"),
+        ),
+        FieldDef::new("mem_used", FieldSemantics::value("memory", "megabytes")),
+        FieldDef::new("node_power", FieldSemantics::value("power", "watts")),
+    ])
+    .expect("ldms schema")
+}
+
+/// Wrap the LDMS table out of the NoSQL store into an annotated dataset.
+pub fn ldms_wrap(
+    ctx: &ExecCtx,
+    store: &sjcore::wrappers::KvStore,
+    dict: &sjcore::SemanticDictionary,
+    partitions: usize,
+) -> sjcore::Result<SjDataset> {
+    store.wrap(ctx, "ldms", ldms_schema(), dict, partitions)
+}
+
+/// `/proc/cpuinfo`-style static CPU specifications.
+pub fn cpu_spec_dataset(
+    ctx: &ExecCtx,
+    nodes: &[String],
+    cpus_per_node: usize,
+    base_mhz: f64,
+    partitions: usize,
+) -> SjDataset {
+    let schema = Schema::new(vec![
+        FieldDef::new("nodeid", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("cpuid", FieldSemantics::domain("cpu", "cpu-id")),
+        FieldDef::new(
+            "base_frequency",
+            FieldSemantics::value("base-frequency", "base-megahertz"),
+        ),
+    ])
+    .expect("cpu spec schema");
+    let rows: Vec<Row> = nodes
+        .iter()
+        .flat_map(|node| {
+            (0..cpus_per_node).map(move |cpu| {
+                Row::new(vec![
+                    Value::str(node),
+                    Value::str(format!("{node}-cpu{cpu}")),
+                    Value::Float(base_mhz),
+                ])
+            })
+        })
+        .collect();
+    SjDataset::from_rows(ctx, rows, schema, "cpu_specs", partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{dat2_schedule, Job};
+    use crate::layout::FacilityLayout;
+    use crate::workloads::Workload;
+    use sjcore::SemanticDictionary;
+
+    fn window(secs: i64) -> TimeSpan {
+        TimeSpan::new(Timestamp::from_secs(0), Timestamp::from_secs(secs))
+    }
+
+    fn amg_facility() -> Facility {
+        let layout = FacilityLayout::regular(2, 2);
+        let jobs = vec![Job {
+            id: 1,
+            app: Workload::Amg,
+            nodes: vec!["cab0".into(), "cab1".into()],
+            span: window(1200),
+        }];
+        Facility::new(layout, jobs)
+    }
+
+    fn cfg(interval: f64) -> SamplingConfig {
+        SamplingConfig {
+            window: window(1200),
+            interval_secs: interval,
+            seed: 7,
+            partitions: 2,
+        }
+    }
+
+    #[test]
+    fn rack_sensors_emit_six_rows_per_rack_per_instant() {
+        let ctx = ExecCtx::local();
+        let ds = rack_temperature_dataset(&ctx, &amg_facility(), &cfg(120.0));
+        // 10 instants x 2 racks x 3 locations x 2 aisles.
+        assert_eq!(ds.count().unwrap(), 10 * 2 * 6);
+        ds.validate(&SemanticDictionary::default_hpc()).unwrap();
+    }
+
+    #[test]
+    fn busy_rack_hot_aisle_exceeds_cold_aisle() {
+        let ctx = ExecCtx::local();
+        let ds = rack_temperature_dataset(&ctx, &amg_facility(), &cfg(120.0));
+        let rows = ds.collect().unwrap();
+        let mean = |rack: &str, aisle: &str| -> f64 {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| {
+                    r.get(0).as_str() == Some(rack) && r.get(2).as_str() == Some(aisle)
+                })
+                .map(|r| r.get(4).as_f64().unwrap())
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        // The busy rack's separation clearly exceeds the idle rack's.
+        let busy = mean("rack0", "hot") - mean("rack0", "cold");
+        let idle = mean("rack1", "hot") - mean("rack1", "cold");
+        assert!(busy > idle + 3.0, "busy={busy} idle={idle}");
+    }
+
+    #[test]
+    fn papi_counters_are_cumulative_with_resets() {
+        let ctx = ExecCtx::local();
+        let nodes = vec!["cab0".to_string()];
+        let jobs = dat2_schedule(&nodes, Timestamp::from_secs(0), 300, 0);
+        let f = Facility::new(FacilityLayout::regular(1, 1), jobs);
+        let ds = papi_dataset(&ctx, &f, &nodes, 2, 3200.0, &cfg(2.0));
+        ds.validate(&SemanticDictionary::default_hpc()).unwrap();
+        let rows = ds.collect().unwrap();
+        // Counters mostly increase over consecutive samples of one CPU.
+        let cpu0: Vec<i64> = rows
+            .iter()
+            .filter(|r| r.get(1).as_str() == Some("cab0-cpu0"))
+            .map(|r| r.get(3).as_i64().unwrap())
+            .collect();
+        let increasing = cpu0.windows(2).filter(|w| w[1] >= w[0]).count();
+        assert!(increasing as f64 > cpu0.len() as f64 * 0.95);
+    }
+
+    #[test]
+    fn papi_mgc_runs_at_full_frequency_prime95_throttles() {
+        let ctx = ExecCtx::local();
+        let nodes = vec!["cab0".to_string()];
+        let jobs = dat2_schedule(&nodes, Timestamp::from_secs(0), 300, 30);
+        let f = Facility::new(FacilityLayout::regular(1, 1), jobs.clone());
+        let ds = papi_dataset(&ctx, &f, &nodes, 1, 3200.0, &cfg(2.0));
+        let rows = ds.collect().unwrap();
+        // Estimate APERF/MPERF ratio over windows inside run 1 (mg.C) and
+        // run 4 (prime95).
+        let ratio_at = |lo: i64, hi: i64| -> f64 {
+            let samples: Vec<(i64, i64, i64)> = rows
+                .iter()
+                .filter_map(|r| {
+                    let t = r.get(2).as_time()?.as_secs();
+                    ((lo..hi).contains(&t)).then(|| {
+                        (t, r.get(3).as_i64().unwrap(), r.get(4).as_i64().unwrap())
+                    })
+                })
+                .collect();
+            let (first, last) = (samples.first().unwrap(), samples.last().unwrap());
+            (last.1 - first.1) as f64 / (last.2 - first.2) as f64
+        };
+        let mgc = ratio_at(50, 250);
+        assert!(mgc > 0.97, "mg.C ratio {mgc}");
+        // Run 4 starts at 3*330=990.
+        let prime = ratio_at(1040, 1200);
+        assert!(prime < 0.75, "prime95 ratio {prime}");
+    }
+
+    #[test]
+    fn ipmi_shows_mgc_memory_traffic_dominance() {
+        let ctx = ExecCtx::local();
+        let nodes = vec!["cab0".to_string()];
+        let jobs = dat2_schedule(&nodes, Timestamp::from_secs(0), 300, 30);
+        let f = Facility::new(FacilityLayout::regular(1, 1), jobs);
+        let ds = ipmi_dataset(&ctx, &f, &nodes, 1, &cfg(2.0));
+        ds.validate(&SemanticDictionary::default_hpc()).unwrap();
+        let rows = ds.collect().unwrap();
+        let reads_rate = |lo: i64, hi: i64| -> f64 {
+            let s: Vec<(i64, i64)> = rows
+                .iter()
+                .filter_map(|r| {
+                    let t = r.get(2).as_time()?.as_secs();
+                    ((lo..hi).contains(&t)).then(|| (t, r.get(3).as_i64().unwrap()))
+                })
+                .collect();
+            let (first, last) = (s.first().unwrap(), s.last().unwrap());
+            (last.1 - first.1) as f64 / (last.0 - first.0) as f64
+        };
+        assert!(reads_rate(50, 250) > 3.0 * reads_rate(1040, 1200));
+    }
+
+    #[test]
+    fn cpu_specs_cover_every_cpu() {
+        let ctx = ExecCtx::local();
+        let nodes = vec!["cab0".to_string(), "cab1".to_string()];
+        let ds = cpu_spec_dataset(&ctx, &nodes, 4, 3200.0, 1);
+        assert_eq!(ds.count().unwrap(), 8);
+        ds.validate(&SemanticDictionary::default_hpc()).unwrap();
+        let rows = ds.collect().unwrap();
+        assert!(rows.iter().all(|r| r.get(2).as_f64() == Some(3200.0)));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let ctx = ExecCtx::local();
+        let f = amg_facility();
+        let a = rack_temperature_dataset(&ctx, &f, &cfg(120.0)).collect().unwrap();
+        let b = rack_temperature_dataset(&ctx, &f, &cfg(120.0)).collect().unwrap();
+        assert_eq!(a, b);
+    }
+}

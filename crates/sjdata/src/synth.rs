@@ -1,0 +1,180 @@
+//! Synthetic join workloads for the Figure 3 performance study.
+//!
+//! The paper's scaling study times the two most expensive derivations —
+//! Natural Join and Interpolation Join — on synthetic row sweeps (2 M to
+//! 40 M rows) over the 10-node cluster. These generators build pairs of
+//! datasets with controlled row counts, key cardinalities, and time
+//! densities, using [`sjdf::Rdd::generate`] so rows are produced inside
+//! the partitions rather than on the driver.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sjcore::{FieldDef, FieldSemantics, Row, Schema, SjDataset, Timestamp, Value};
+use sjdf::{ExecCtx, Rdd};
+
+/// Parameters for the Figure 3 workloads.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// Rows in each input dataset.
+    pub rows: usize,
+    /// Distinct node identifiers (join-key cardinality).
+    pub nodes: usize,
+    /// Time range covered by the samples, in seconds.
+    pub time_range_secs: i64,
+    /// Partitions per dataset.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for JoinWorkload {
+    fn default() -> Self {
+        JoinWorkload {
+            rows: 100_000,
+            nodes: 1_000,
+            time_range_secs: 4 * 3600,
+            partitions: 8,
+            seed: 42,
+        }
+    }
+}
+
+fn left_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("power", FieldSemantics::value("power", "watts")),
+    ])
+    .expect("left schema")
+}
+
+fn right_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("NODEID", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .expect("right schema")
+}
+
+fn gen_rows(
+    ctx: &ExecCtx,
+    w: &JoinWorkload,
+    seed_salt: u64,
+    exact_times: bool,
+    schema: Schema,
+    name: &str,
+) -> SjDataset {
+    let rows = w.rows;
+    let nodes = w.nodes.max(1);
+    let range = w.time_range_secs.max(1);
+    let parts = w.partitions.max(1);
+    let per_part = rows.div_ceil(parts);
+    let seed = w.seed ^ seed_salt;
+    let rdd = Rdd::generate(ctx, parts, move |p| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(p as u64));
+        let count = per_part.min(rows.saturating_sub(p * per_part));
+        (0..count)
+            .map(|_| {
+                let node = format!("cab{}", rng.gen_range(0..nodes));
+                let secs = rng.gen_range(0..range);
+                let t = if exact_times {
+                    // Snap to 60 s boundaries so both sides share exact
+                    // timestamps (the natural-join workload).
+                    Timestamp::from_secs(secs - secs % 60)
+                } else {
+                    Timestamp::from_micros(secs * 1_000_000 + rng.gen_range(0..1_000_000))
+                };
+                Row::new(vec![
+                    Value::str(&node),
+                    Value::Time(t),
+                    Value::Float(rng.gen_range(0.0..100.0)),
+                ])
+            })
+            .collect()
+    });
+    SjDataset::new(rdd, schema, name)
+}
+
+/// Two datasets sharing (node, time) domains with *exactly matching*
+/// timestamps — the Natural Join workload of Figure 3 (left/top).
+pub fn natural_join_inputs(ctx: &ExecCtx, w: &JoinWorkload) -> (SjDataset, SjDataset) {
+    (
+        gen_rows(ctx, w, 0x1EF7, true, left_schema(), "nj_left"),
+        gen_rows(ctx, w, 0x819B7, true, right_schema(), "nj_right"),
+    )
+}
+
+/// Two datasets sharing (node, time) domains with *continuous* timestamps
+/// requiring windowed matching — the Interpolation Join workload of
+/// Figure 3 (bottom).
+pub fn interp_join_inputs(ctx: &ExecCtx, w: &JoinWorkload) -> (SjDataset, SjDataset) {
+    (
+        gen_rows(ctx, w, 0x1EF7, false, left_schema(), "ij_left"),
+        gen_rows(ctx, w, 0x819B7, false, right_schema(), "ij_right"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjcore::derivations::combine::{InterpolationJoin, NaturalJoin};
+    use sjcore::derivations::Combination;
+    use sjcore::SemanticDictionary;
+
+    fn small() -> JoinWorkload {
+        JoinWorkload {
+            rows: 2_000,
+            nodes: 20,
+            time_range_secs: 600,
+            partitions: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generators_hit_requested_row_counts() {
+        let ctx = ExecCtx::local();
+        let (l, r) = natural_join_inputs(&ctx, &small());
+        assert_eq!(l.count().unwrap(), 2_000);
+        assert_eq!(r.count().unwrap(), 2_000);
+        l.validate(&SemanticDictionary::default_hpc()).unwrap();
+        r.validate(&SemanticDictionary::default_hpc()).unwrap();
+    }
+
+    #[test]
+    fn natural_join_workload_produces_matches() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let (l, r) = natural_join_inputs(&ctx, &small());
+        let out = NaturalJoin.apply(&l, &r, &dict).unwrap();
+        assert!(out.count().unwrap() > 0);
+    }
+
+    #[test]
+    fn interp_join_workload_produces_matches() {
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let (l, r) = interp_join_inputs(&ctx, &small());
+        let out = InterpolationJoin::new(30.0).apply(&l, &r, &dict).unwrap();
+        assert!(out.count().unwrap() > 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let ctx = ExecCtx::local();
+        let (a, _) = interp_join_inputs(&ctx, &small());
+        let (b, _) = interp_join_inputs(&ctx, &small());
+        assert_eq!(a.collect().unwrap(), b.collect().unwrap());
+    }
+
+    #[test]
+    fn row_count_scales_linearly() {
+        let ctx = ExecCtx::local();
+        let mut w = small();
+        w.rows = 4_000;
+        let (l, _) = natural_join_inputs(&ctx, &w);
+        assert_eq!(l.count().unwrap(), 4_000);
+    }
+}

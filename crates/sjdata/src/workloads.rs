@@ -1,0 +1,229 @@
+//! Workload signature models.
+//!
+//! Each workload the case studies exercise has a distinct performance and
+//! thermal signature (§7.2–7.3):
+//!
+//! * **AMG** — adaptive mesh refinement; a fairly regularly *increasing*
+//!   heat curve over the run (Figure 4's outlier on rack 17).
+//! * **mg.C** — memory-intensive NAS MG class C; runs at *full* CPU
+//!   frequency with a comparatively *low* instruction rate and heavy
+//!   memory traffic (Figure 6, runs 1–3).
+//! * **prime95** — compute-intensive stress test; *high* instruction rate
+//!   that triggers *aggressive CPU throttling* (Figure 6, runs 4–6).
+//! * **Lulesh / Kripke** — background phase-structured workloads whose
+//!   heat rises and falls with application phases.
+//!
+//! Signatures are smooth functions of run progress `frac ∈ [0, 1]`; the
+//! generators add sampling noise on top.
+
+use serde::{Deserialize, Serialize};
+
+/// A modeled application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Adaptive mesh refinement (steadily rising heat).
+    Amg,
+    /// NAS MG class C (memory-bound, full frequency, low IPC).
+    MgC,
+    /// prime95 torture test (compute-bound, heavy throttling).
+    Prime95,
+    /// LULESH hydrodynamics proxy (phased).
+    Lulesh,
+    /// Kripke transport proxy (phased).
+    Kripke,
+}
+
+impl Workload {
+    /// SLURM job-name string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Amg => "AMG",
+            Workload::MgC => "mg.C",
+            Workload::Prime95 => "prime95",
+            Workload::Lulesh => "lulesh",
+            Workload::Kripke => "kripke",
+        }
+    }
+
+    /// Parse a job-name string.
+    pub fn parse(name: &str) -> Option<Workload> {
+        match name {
+            "AMG" => Some(Workload::Amg),
+            "mg.C" => Some(Workload::MgC),
+            "prime95" => Some(Workload::Prime95),
+            "lulesh" => Some(Workload::Lulesh),
+            "kripke" => Some(Workload::Kripke),
+            _ => None,
+        }
+    }
+
+    /// Per-node heat contribution (°C of hot/cold aisle separation) at
+    /// run progress `frac`.
+    pub fn heat_delta(&self, frac: f64) -> f64 {
+        let frac = frac.clamp(0.0, 1.0);
+        match self {
+            // Fairly regularly increasing heat curve (Figure 4).
+            Workload::Amg => 6.0 + 9.0 * frac,
+            // Moderate, flat-ish heat.
+            Workload::MgC => 5.0 + 1.0 * phase_wave(frac, 3.0),
+            // Hot but capped by throttling.
+            Workload::Prime95 => 8.0 + 1.5 * phase_wave(frac, 5.0),
+            // Rise-and-fall application phases.
+            Workload::Lulesh => 4.0 + 2.5 * phase_wave(frac, 2.0),
+            Workload::Kripke => 3.5 + 2.0 * phase_wave(frac, 4.0),
+        }
+    }
+
+    /// Active/base frequency ratio (the APERF/MPERF ratio) at progress
+    /// `frac`. prime95 throttles aggressively; mg.C holds full frequency.
+    pub fn freq_ratio(&self, frac: f64) -> f64 {
+        let frac = frac.clamp(0.0, 1.0);
+        match self {
+            Workload::MgC => 1.0,
+            Workload::Prime95 => 0.62 + 0.06 * phase_wave(frac, 6.0),
+            Workload::Amg => 0.95,
+            Workload::Lulesh => 0.9,
+            Workload::Kripke => 0.92,
+        }
+    }
+
+    /// Instructions retired per millisecond per CPU at progress `frac`.
+    pub fn instr_per_ms(&self, frac: f64) -> f64 {
+        let frac = frac.clamp(0.0, 1.0);
+        match self {
+            // Memory-bound: low instruction rate despite full frequency.
+            Workload::MgC => 1.1e6 + 0.1e6 * phase_wave(frac, 3.0),
+            // Compute-bound: high instruction rate even while throttled.
+            Workload::Prime95 => 3.4e6 + 0.2e6 * phase_wave(frac, 6.0),
+            Workload::Amg => 1.8e6 + 0.2e6 * frac,
+            Workload::Lulesh => 2.0e6 + 0.3e6 * phase_wave(frac, 2.0),
+            Workload::Kripke => 1.6e6 + 0.2e6 * phase_wave(frac, 4.0),
+        }
+    }
+
+    /// Memory reads per millisecond per socket.
+    pub fn mem_reads_per_ms(&self, frac: f64) -> f64 {
+        match self {
+            Workload::MgC => 9.0e5 + 1.0e5 * phase_wave(frac, 3.0),
+            Workload::Prime95 => 1.2e5,
+            Workload::Amg => 5.0e5 + 0.5e5 * frac,
+            Workload::Lulesh => 6.0e5,
+            Workload::Kripke => 5.5e5,
+        }
+    }
+
+    /// Memory writes per millisecond per socket.
+    pub fn mem_writes_per_ms(&self, frac: f64) -> f64 {
+        self.mem_reads_per_ms(frac) * 0.45
+    }
+
+    /// Socket power draw in watts.
+    pub fn socket_power(&self, frac: f64) -> f64 {
+        match self {
+            Workload::MgC => 95.0 + 5.0 * phase_wave(frac, 3.0),
+            // Throttling caps prime95's power near the socket limit.
+            Workload::Prime95 => 128.0 + 2.0 * phase_wave(frac, 6.0),
+            Workload::Amg => 105.0 + 10.0 * frac,
+            Workload::Lulesh => 100.0,
+            Workload::Kripke => 92.0,
+        }
+    }
+
+    /// CPU thermal margin (°C below the trip point; smaller = hotter).
+    pub fn thermal_margin(&self, frac: f64) -> f64 {
+        match self {
+            Workload::MgC => 28.0 - 2.0 * phase_wave(frac, 3.0),
+            Workload::Prime95 => 9.0 - 2.0 * phase_wave(frac, 6.0),
+            Workload::Amg => 20.0 - 4.0 * frac,
+            Workload::Lulesh => 22.0,
+            Workload::Kripke => 24.0,
+        }
+    }
+}
+
+/// A smooth 0-centred wave with `cycles` peaks over the run — the
+/// rise-and-fall of application phases.
+fn phase_wave(frac: f64, cycles: f64) -> f64 {
+    (frac * cycles * std::f64::consts::TAU).sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for w in [
+            Workload::Amg,
+            Workload::MgC,
+            Workload::Prime95,
+            Workload::Lulesh,
+            Workload::Kripke,
+        ] {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+        }
+        assert_eq!(Workload::parse("hpl"), None);
+    }
+
+    #[test]
+    fn amg_heat_rises_monotonically() {
+        let w = Workload::Amg;
+        let mut last = f64::MIN;
+        for i in 0..=10 {
+            let h = w.heat_delta(i as f64 / 10.0);
+            assert!(h > last);
+            last = h;
+        }
+    }
+
+    #[test]
+    fn amg_is_the_hottest_average_workload() {
+        let avg = |w: Workload| -> f64 {
+            (0..=100).map(|i| w.heat_delta(i as f64 / 100.0)).sum::<f64>() / 101.0
+        };
+        let amg = avg(Workload::Amg);
+        for w in [Workload::MgC, Workload::Lulesh, Workload::Kripke] {
+            assert!(amg > avg(w), "AMG should out-heat {}", w.name());
+        }
+    }
+
+    #[test]
+    fn prime95_throttles_and_mgc_does_not() {
+        for i in 0..=10 {
+            let frac = i as f64 / 10.0;
+            assert!(Workload::Prime95.freq_ratio(frac) < 0.75);
+            assert_eq!(Workload::MgC.freq_ratio(frac), 1.0);
+        }
+    }
+
+    #[test]
+    fn prime95_has_higher_instruction_rate_than_mgc() {
+        for i in 0..=10 {
+            let frac = i as f64 / 10.0;
+            assert!(
+                Workload::Prime95.instr_per_ms(frac) > 2.0 * Workload::MgC.instr_per_ms(frac)
+            );
+        }
+    }
+
+    #[test]
+    fn mgc_dominates_memory_traffic() {
+        for i in 0..=10 {
+            let frac = i as f64 / 10.0;
+            assert!(
+                Workload::MgC.mem_reads_per_ms(frac)
+                    > 4.0 * Workload::Prime95.mem_reads_per_ms(frac)
+            );
+        }
+    }
+
+    #[test]
+    fn prime95_runs_hot_on_thermal_margin() {
+        for i in 0..=10 {
+            let frac = i as f64 / 10.0;
+            assert!(
+                Workload::Prime95.thermal_margin(frac) < Workload::MgC.thermal_margin(frac)
+            );
+        }
+    }
+}

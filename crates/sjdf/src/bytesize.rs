@@ -1,0 +1,157 @@
+//! Cheap, conservative byte-size estimation for shuffle accounting.
+//!
+//! The virtual-cluster cost model ([`crate::simtime`]) charges shuffle time
+//! proportionally to the bytes moved between nodes. Rust has no runtime
+//! object-size introspection, so every type that flows through a shuffle
+//! provides an estimate via [`ByteSize`]. Estimates only need to be
+//! *proportional* to real serialized sizes — the cost model is calibrated
+//! end-to-end.
+
+/// Estimate of the in-flight (serialized) size of a value in bytes.
+pub trait ByteSize {
+    /// Approximate serialized size of `self` in bytes.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! impl_bytesize_fixed {
+    ($($t:ty),* $(,)?) => {
+        $(impl ByteSize for $t {
+            #[inline]
+            fn byte_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_bytesize_fixed!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+);
+
+impl ByteSize for String {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        // String header (ptr/len/cap) plus payload.
+        24 + self.len()
+    }
+}
+
+impl ByteSize for &str {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        16 + self.len()
+    }
+}
+
+impl ByteSize for std::sync::Arc<str> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        16 + self.len()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Option<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, ByteSize::byte_size)
+    }
+}
+
+impl<T: ByteSize> ByteSize for Vec<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        24 + self.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for std::sync::Arc<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        8 + (**self).byte_size()
+    }
+}
+
+impl<T: ByteSize> ByteSize for std::sync::Arc<[T]> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        16 + self.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Box<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        8 + (**self).byte_size()
+    }
+}
+
+macro_rules! impl_bytesize_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: ByteSize),+> ByteSize for ($($name,)+) {
+            #[inline]
+            #[allow(non_snake_case)]
+            fn byte_size(&self) -> usize {
+                let ($($name,)+) = self;
+                0 $(+ $name.byte_size())+
+            }
+        }
+    };
+}
+
+impl_bytesize_tuple!(A);
+impl_bytesize_tuple!(A, B);
+impl_bytesize_tuple!(A, B, C);
+impl_bytesize_tuple!(A, B, C, D);
+impl_bytesize_tuple!(A, B, C, D, E);
+impl_bytesize_tuple!(A, B, C, D, E, F);
+
+/// Sum the byte sizes of a slice of values.
+pub fn slice_byte_size<T: ByteSize>(items: &[T]) -> usize {
+    items.iter().map(ByteSize::byte_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_use_size_of() {
+        assert_eq!(0u64.byte_size(), 8);
+        assert_eq!(0u8.byte_size(), 1);
+        assert_eq!(1.5f64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+    }
+
+    #[test]
+    fn strings_scale_with_length() {
+        let short = String::from("ab");
+        let long = String::from("abcdefghij");
+        assert!(long.byte_size() > short.byte_size());
+        assert_eq!(long.byte_size() - short.byte_size(), 8);
+    }
+
+    #[test]
+    fn vec_sums_elements_plus_header() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.byte_size(), 24 + 3 * 8);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1u64, 2u32).byte_size(), 12);
+        assert_eq!((1u8, 2u8, 3u8).byte_size(), 3);
+    }
+
+    #[test]
+    fn option_accounts_for_discriminant() {
+        let some: Option<u64> = Some(1);
+        let none: Option<u64> = None;
+        assert_eq!(some.byte_size(), 9);
+        assert_eq!(none.byte_size(), 1);
+    }
+
+    #[test]
+    fn slice_helper_sums() {
+        assert_eq!(slice_byte_size(&[1u32, 2, 3, 4]), 16);
+    }
+}

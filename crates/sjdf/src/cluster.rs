@@ -1,0 +1,145 @@
+//! Virtual cluster description.
+//!
+//! The paper evaluates ScrubJay on a dedicated data cluster (10 nodes,
+//! 32 cores and 64 GB per node, Intel Xeon E5-2667 v3). We reproduce that
+//! environment with a *virtual* cluster: operations execute for real on
+//! local threads, while a [`ClusterSpec`] drives (a) the default partition
+//! count and local thread budget and (b) the analytic cost model in
+//! [`crate::simtime`] that converts task metrics into simulated wall-clock
+//! time for the configured node count.
+
+use crate::error::{Result, SjdfError};
+use serde::{Deserialize, Serialize};
+
+/// Description of the (virtual) cluster a computation is costed against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes in the cluster.
+    pub nodes: usize,
+    /// Worker cores per node available to the executor.
+    pub cores_per_node: usize,
+    /// Memory per node in bytes (used for spill warnings only).
+    pub mem_per_node: u64,
+}
+
+impl ClusterSpec {
+    /// The cluster used throughout the paper's evaluation: 10 nodes with
+    /// 32 cores and 64 GB of memory each.
+    pub fn paper_cluster() -> Self {
+        ClusterSpec {
+            nodes: 10,
+            cores_per_node: 32,
+            mem_per_node: 64 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A single-machine cluster sized to the local host.
+    pub fn local() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ClusterSpec {
+            nodes: 1,
+            cores_per_node: cores,
+            mem_per_node: 8 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Build a spec with the given shape, validating it.
+    pub fn new(nodes: usize, cores_per_node: usize) -> Result<Self> {
+        if nodes == 0 || cores_per_node == 0 {
+            return Err(SjdfError::InvalidConfig(format!(
+                "cluster must have >= 1 node and >= 1 core (got {nodes} x {cores_per_node})"
+            )));
+        }
+        Ok(ClusterSpec {
+            nodes,
+            cores_per_node,
+            mem_per_node: 64 * 1024 * 1024 * 1024,
+        })
+    }
+
+    /// Same cluster with a different node count (for strong-scaling sweeps).
+    pub fn with_nodes(&self, nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            ..self.clone()
+        }
+    }
+
+    /// Total worker slots across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Default number of partitions for datasets created under this spec:
+    /// two waves of tasks per core, the common Spark guideline.
+    pub fn default_partitions(&self) -> usize {
+        (self.total_cores() * 2).max(1)
+    }
+
+    /// Number of *local* threads to actually run tasks on. Capped by the
+    /// host's parallelism so a 320-core virtual cluster does not spawn 320
+    /// threads on a laptop.
+    pub fn local_threads(&self) -> usize {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.total_cores().min(host).max(1)
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_evaluation_setup() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.cores_per_node, 32);
+        assert_eq!(c.total_cores(), 320);
+    }
+
+    #[test]
+    fn zero_sized_clusters_are_rejected() {
+        assert!(ClusterSpec::new(0, 32).is_err());
+        assert!(ClusterSpec::new(10, 0).is_err());
+        assert!(ClusterSpec::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn default_partitions_are_two_waves() {
+        let c = ClusterSpec::new(2, 4).unwrap();
+        assert_eq!(c.default_partitions(), 16);
+    }
+
+    #[test]
+    fn local_threads_never_zero_and_bounded_by_host() {
+        let c = ClusterSpec::paper_cluster();
+        let host = std::thread::available_parallelism().unwrap().get();
+        assert!(c.local_threads() >= 1);
+        assert!(c.local_threads() <= host);
+    }
+
+    #[test]
+    fn with_nodes_preserves_other_fields() {
+        let c = ClusterSpec::paper_cluster().with_nodes(3);
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.cores_per_node, 32);
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let c = ClusterSpec::paper_cluster();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the data-parallel framework.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating distributed datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SjdfError {
+    /// An evaluation was requested on a dataset with zero partitions where
+    /// at least one is required (e.g. `reduce` on an empty lineage).
+    EmptyDataset(&'static str),
+    /// A worker task panicked; the payload message is preserved.
+    TaskPanic(String),
+    /// An invalid configuration value (e.g. a cluster with zero nodes).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SjdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SjdfError::EmptyDataset(what) => {
+                write!(f, "operation `{what}` requires a non-empty dataset")
+            }
+            SjdfError::TaskPanic(msg) => write!(f, "worker task panicked: {msg}"),
+            SjdfError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SjdfError {}
+
+/// Convenience result alias used throughout `sjdf`.
+pub type Result<T> = std::result::Result<T, SjdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SjdfError::EmptyDataset("reduce");
+        assert!(e.to_string().contains("reduce"));
+        let e = SjdfError::TaskPanic("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e = SjdfError::InvalidConfig("nodes=0".into());
+        assert!(e.to_string().contains("nodes=0"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SjdfError::EmptyDataset("x"),
+            SjdfError::EmptyDataset("x")
+        );
+        assert_ne!(
+            SjdfError::TaskPanic("a".into()),
+            SjdfError::TaskPanic("b".into())
+        );
+    }
+}

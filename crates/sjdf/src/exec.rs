@@ -1,0 +1,189 @@
+//! Task execution: run per-partition tasks on a bounded set of local
+//! threads.
+//!
+//! Each evaluation wave spawns scoped worker threads (via
+//! `crossbeam::thread::scope`) and distributes partition indices over them
+//! with a shared atomic cursor — a minimal work-stealing-free dynamic
+//! scheduler. Shuffle materialization inside an evaluation triggers nested
+//! waves; because every wave owns its threads and joins them before
+//! returning, nesting cannot deadlock.
+
+use crate::cluster::ClusterSpec;
+use crate::error::{Result, SjdfError};
+use crate::metrics::MetricsCollector;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared execution context: the virtual cluster and the metrics sink.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    /// The virtual cluster this computation is configured (and costed) for.
+    pub cluster: ClusterSpec,
+    /// Sink that all tasks report metrics into.
+    pub metrics: Arc<MetricsCollector>,
+}
+
+impl ExecCtx {
+    /// Context for the given virtual cluster.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        ExecCtx {
+            cluster,
+            metrics: MetricsCollector::new(),
+        }
+    }
+
+    /// Context for a single-machine cluster sized to the host.
+    pub fn local() -> Self {
+        ExecCtx::new(ClusterSpec::local())
+    }
+
+    /// Run `task(i)` for every `i in 0..parts`, in parallel on up to
+    /// [`ClusterSpec::local_threads`] threads, returning results in
+    /// partition order.
+    pub fn run_wave<T, F>(&self, parts: usize, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        if parts == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self.cluster.local_threads().min(parts);
+        if threads <= 1 {
+            // Fast path: no thread spawn overhead for serial execution.
+            let mut out = Vec::with_capacity(parts);
+            for i in 0..parts {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
+                    Ok(v) => out.push(v),
+                    Err(p) => return Err(SjdfError::TaskPanic(panic_message(&*p))),
+                }
+            }
+            return Ok(out);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..parts).map(|_| Mutex::new(None)).collect();
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= parts {
+                        break;
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
+                        Ok(v) => *slots[i].lock() = Some(v),
+                        Err(p) => {
+                            let msg = panic_message(&*p);
+                            *panicked.lock() = Some(msg);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .map_err(|_| SjdfError::TaskPanic("executor scope panicked".into()))?;
+
+        if let Some(msg) = panicked.into_inner() {
+            return Err(SjdfError::TaskPanic(msg));
+        }
+        let mut out = Vec::with_capacity(parts);
+        for slot in slots {
+            match slot.into_inner() {
+                Some(v) => out.push(v),
+                // A sibling panicked after this task was claimed but before
+                // it produced a value.
+                None => return Err(SjdfError::TaskPanic("task did not complete".into())),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        ExecCtx::local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_preserves_partition_order() {
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
+        let out = ctx.run_wave(16, |i| i * 2).unwrap();
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_wave_is_ok() {
+        let ctx = ExecCtx::local();
+        let out: Vec<usize> = ctx.run_wave(0, |i| i).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_fast_path_works() {
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 1).unwrap());
+        let out = ctx.run_wave(5, |i| i + 1).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn panics_are_converted_to_errors() {
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
+        let res: Result<Vec<usize>> = ctx.run_wave(8, |i| {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+            i
+        });
+        match res {
+            Err(SjdfError::TaskPanic(msg)) => assert!(msg.contains("exploded") || msg.contains("complete")),
+            other => panic!("expected TaskPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_waves_do_not_deadlock() {
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+        let outer = ctx
+            .run_wave(4, |i| {
+                let inner = ctx.run_wave(4, |j| i * 10 + j).unwrap();
+                inner.into_iter().sum::<usize>()
+            })
+            .unwrap();
+        assert_eq!(outer, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn wave_uses_multiple_threads_when_available() {
+        // With 4 local threads and 4 tasks, at least two distinct thread
+        // ids should appear (unless the host is single-core).
+        if std::thread::available_parallelism().unwrap().get() < 2 {
+            return;
+        }
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
+        let barrier = std::sync::Barrier::new(2);
+        let ids = ctx
+            .run_wave(2, |_| {
+                barrier.wait();
+                std::thread::current().id()
+            })
+            .unwrap();
+        assert_ne!(ids[0], ids[1]);
+    }
+}

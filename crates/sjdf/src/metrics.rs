@@ -1,0 +1,212 @@
+//! Per-evaluation task metrics.
+//!
+//! Every task executed by the framework reports what it did — records read
+//! and produced, bytes shuffled — into a [`MetricsCollector`]. The resulting
+//! [`MetricsReport`] is the input to the virtual-cluster cost model in
+//! [`crate::simtime`], and is also useful for ad-hoc inspection of where a
+//! derivation pipeline spends its work.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Whether a stage's tasks depend on a single parent partition (narrow),
+/// on all parent partitions via a shuffle (wide), or read a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A data source (parallelized collection, file read, generator).
+    Source,
+    /// One-to-one partition dependency — no data movement between nodes.
+    Narrow,
+    /// All-to-all dependency — data is repartitioned across the cluster.
+    Wide,
+}
+
+/// Aggregated metrics for one logical operation in a lineage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpMetrics {
+    /// Records consumed from parent datasets.
+    pub records_in: u64,
+    /// Records produced for downstream consumers.
+    pub records_out: u64,
+    /// Bytes that crossed the (virtual) network in a shuffle.
+    pub shuffle_bytes: u64,
+    /// Records that crossed the shuffle boundary.
+    pub shuffle_records: u64,
+    /// Number of tasks that executed for this op.
+    pub tasks: u64,
+}
+
+impl OpMetrics {
+    fn merge(&mut self, other: &OpMetrics) {
+        self.records_in += other.records_in;
+        self.records_out += other.records_out;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.shuffle_records += other.shuffle_records;
+        self.tasks += other.tasks;
+    }
+}
+
+/// One entry of a [`MetricsReport`]: an op name, its kind, and totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpEntry {
+    /// Human-readable operation name (`map`, `group_by_key`, ...).
+    pub name: String,
+    /// Narrow/wide/source classification.
+    pub kind: OpKind,
+    /// Aggregated counters.
+    pub metrics: OpMetrics,
+}
+
+/// Finalized, immutable metrics for one evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Per-op aggregates, sorted by op name for determinism.
+    pub ops: Vec<OpEntry>,
+}
+
+impl MetricsReport {
+    /// Total records produced across all ops.
+    pub fn total_records_out(&self) -> u64 {
+        self.ops.iter().map(|o| o.metrics.records_out).sum()
+    }
+
+    /// Total bytes moved through shuffles.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.metrics.shuffle_bytes).sum()
+    }
+
+    /// Number of wide (shuffle) ops in the evaluation.
+    pub fn wide_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == OpKind::Wide).count()
+    }
+
+    /// Look up an op's metrics by name, if present.
+    pub fn op(&self, name: &str) -> Option<&OpEntry> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+}
+
+/// Thread-safe sink that tasks report into during an evaluation.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    inner: Mutex<BTreeMap<(String, OpKind), OpMetrics>>,
+}
+
+impl MetricsCollector {
+    /// Create an empty collector.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one task's contribution to an op.
+    pub fn record(&self, name: &str, kind: OpKind, m: OpMetrics) {
+        let mut inner = self.inner.lock();
+        inner
+            .entry((name.to_string(), kind))
+            .or_default()
+            .merge(&m);
+    }
+
+    /// Snapshot the collected metrics into an immutable report.
+    pub fn report(&self) -> MetricsReport {
+        let inner = self.inner.lock();
+        MetricsReport {
+            ops: inner
+                .iter()
+                .map(|((name, kind), metrics)| OpEntry {
+                    name: name.clone(),
+                    kind: *kind,
+                    metrics: metrics.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop all collected metrics (used between benchmark iterations).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(records_in: u64, records_out: u64, shuffle_bytes: u64) -> OpMetrics {
+        OpMetrics {
+            records_in,
+            records_out,
+            shuffle_bytes,
+            shuffle_records: 0,
+            tasks: 1,
+        }
+    }
+
+    #[test]
+    fn collector_merges_same_op() {
+        let c = MetricsCollector::new();
+        c.record("map", OpKind::Narrow, m(10, 10, 0));
+        c.record("map", OpKind::Narrow, m(5, 5, 0));
+        let r = c.report();
+        assert_eq!(r.ops.len(), 1);
+        let op = r.op("map").unwrap();
+        assert_eq!(op.metrics.records_in, 15);
+        assert_eq!(op.metrics.tasks, 2);
+    }
+
+    #[test]
+    fn collector_separates_distinct_ops() {
+        let c = MetricsCollector::new();
+        c.record("map", OpKind::Narrow, m(10, 10, 0));
+        c.record("group_by_key", OpKind::Wide, m(10, 4, 800));
+        let r = c.report();
+        assert_eq!(r.ops.len(), 2);
+        assert_eq!(r.wide_ops(), 1);
+        assert_eq!(r.total_shuffle_bytes(), 800);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let c = MetricsCollector::new();
+        c.record("map", OpKind::Narrow, m(10, 10, 0));
+        c.reset();
+        assert!(c.report().ops.is_empty());
+    }
+
+    #[test]
+    fn report_totals_sum_over_ops() {
+        let c = MetricsCollector::new();
+        c.record("a", OpKind::Narrow, m(1, 2, 0));
+        c.record("b", OpKind::Wide, m(3, 4, 100));
+        let r = c.report();
+        assert_eq!(r.total_records_out(), 6);
+        assert_eq!(r.total_shuffle_bytes(), 100);
+    }
+
+    #[test]
+    fn report_is_deterministically_ordered() {
+        let c = MetricsCollector::new();
+        c.record("zeta", OpKind::Narrow, m(1, 1, 0));
+        c.record("alpha", OpKind::Narrow, m(1, 1, 0));
+        let names: Vec<_> = c.report().ops.into_iter().map(|o| o.name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let c = MetricsCollector::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.record("map", OpKind::Narrow, m(1, 1, 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.report().op("map").unwrap().metrics.records_in, 800);
+    }
+}

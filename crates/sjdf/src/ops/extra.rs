@@ -1,0 +1,211 @@
+//! Additional dataset operations: indexing, sampling, and top-k.
+
+use crate::bytesize::ByteSize;
+use crate::error::Result;
+use crate::rdd::{Data, Rdd};
+use std::hash::Hash;
+
+impl<T: Data> Rdd<T> {
+    /// Pair every element with its global index (two passes: a count wave
+    /// to compute partition offsets, then a narrow map).
+    pub fn zip_with_index(&self) -> Result<Rdd<(u64, T)>> {
+        let op = std::sync::Arc::clone(&self.op);
+        let ctx = self.ctx.clone();
+        let counts = self
+            .ctx
+            .run_wave(self.op.num_partitions(), move |i| op.compute(i, &ctx).len() as u64)?;
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut acc = 0u64;
+        for c in counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        Ok(self.map_partitions_with_index(move |p, rows| {
+            let base = offsets[p];
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, r)| (base + i as u64, r))
+                .collect()
+        }))
+    }
+
+    /// Deterministic pseudo-random sample keeping roughly `fraction` of
+    /// the elements (seeded; narrow).
+    pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        self.map_partitions_with_index(move |p, rows| {
+            rows.into_iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    // splitmix64 over (seed, partition, index).
+                    let mut x = seed
+                        .wrapping_add((p as u64) << 32)
+                        .wrapping_add(*i as u64)
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    (x ^ (x >> 31)) <= threshold
+                })
+                .map(|(_, r)| r)
+                .collect()
+        })
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Data + Ord,
+{
+    /// The `k` smallest elements (per-partition top-k then a driver-side
+    /// merge — no shuffle).
+    pub fn take_ordered(&self, k: usize) -> Result<Vec<T>> {
+        let partials = self
+            .map_partitions_named("take_ordered", move |mut rows| {
+                rows.sort();
+                rows.truncate(k);
+                rows
+            })
+            .glom()?;
+        let mut all: Vec<T> = partials.into_iter().flatten().collect();
+        all.sort();
+        all.truncate(k);
+        Ok(all)
+    }
+
+    /// The `k` largest elements.
+    pub fn top(&self, k: usize) -> Result<Vec<T>> {
+        let partials = self
+            .map_partitions_named("top", move |mut rows| {
+                rows.sort_by(|a, b| b.cmp(a));
+                rows.truncate(k);
+                rows
+            })
+            .glom()?;
+        let mut all: Vec<T> = partials.into_iter().flatten().collect();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Data + Hash + Eq + ByteSize,
+{
+    /// Count occurrences of each distinct element. Wide (one shuffle of
+    /// map-side-combined counts).
+    pub fn count_by_value(&self, out_parts: usize) -> Rdd<(T, u64)> {
+        self.map(|x| (x, 1u64)).reduce_by_key(out_parts, |a, b| a + b)
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+{
+    /// Aggregate values per key with a per-partition fold and a merge of
+    /// partial aggregates (Spark's `aggregateByKey`). Wide, but only the
+    /// combined partials are shuffled.
+    pub fn aggregate_by_key<A, F, G>(&self, out_parts: usize, zero: A, fold: F, merge: G) -> Rdd<(K, A)>
+    where
+        A: Data + ByteSize,
+        F: Fn(A, V) -> A + Send + Sync + 'static,
+        G: Fn(A, A) -> A + Send + Sync + 'static,
+    {
+        use std::collections::HashMap;
+        let pre = self.map_partitions_named("aggregate_by_key_fold", move |rows| {
+            let mut acc: HashMap<K, A> = HashMap::new();
+            for (k, v) in rows {
+                let a = acc.remove(&k).unwrap_or_else(|| zero.clone());
+                acc.insert(k, fold(a, v));
+            }
+            acc.into_iter().collect()
+        });
+        pre.reduce_by_key(out_parts, merge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::ClusterSpec;
+    use crate::exec::ExecCtx;
+    use crate::rdd::Rdd;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(ClusterSpec::new(1, 4).unwrap())
+    }
+
+    #[test]
+    fn zip_with_index_is_global_and_ordered() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (100..150u64).collect(), 7);
+        let indexed = rdd.zip_with_index().unwrap().collect().unwrap();
+        for (i, (idx, v)) in indexed.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*v, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_sized() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0..10_000u64).collect(), 8);
+        let a = rdd.sample(0.3, 7).collect().unwrap();
+        let b = rdd.sample(0.3, 7).collect().unwrap();
+        assert_eq!(a, b);
+        assert!((2_000..4_000).contains(&a.len()), "{}", a.len());
+        assert!(rdd.sample(0.0, 7).collect().unwrap().is_empty());
+        assert_eq!(rdd.sample(1.0, 7).count().unwrap(), 10_000);
+    }
+
+    #[test]
+    fn take_ordered_and_top() {
+        let c = ctx();
+        let data: Vec<i64> = vec![5, 3, 9, 1, 7, 2, 8, 4, 6, 0];
+        let rdd = Rdd::parallelize(&c, data, 3);
+        assert_eq!(rdd.take_ordered(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(rdd.top(2).unwrap(), vec![9, 8]);
+        assert_eq!(rdd.take_ordered(100).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn count_by_value_counts() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, vec!["a", "b", "a", "a", "c"], 2)
+            .map(|s| s.to_string());
+        let mut got = rdd.count_by_value(2).collect().unwrap();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 1),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_by_key_computes_means() {
+        let c = ctx();
+        let pairs: Vec<(u64, f64)> = (0..100).map(|i| (i % 4, i as f64)).collect();
+        let rdd = Rdd::parallelize(&c, pairs, 8);
+        let sums = rdd.aggregate_by_key(
+            2,
+            (0.0f64, 0u64),
+            |(s, n), v| (s + v, n + 1),
+            |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
+        );
+        let mut got: Vec<(u64, f64)> = sums
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+            .unwrap();
+        got.sort_by_key(|a| a.0);
+        assert_eq!(got.len(), 4);
+        // Keys 0..3 hold arithmetic progressions with means 48..51.
+        assert_eq!(got[0].1, 48.0);
+        assert_eq!(got[3].1, 51.0);
+    }
+}

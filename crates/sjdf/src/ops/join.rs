@@ -1,0 +1,281 @@
+//! Keyed joins: `cogroup`, inner `join`, and `left_outer_join`.
+//!
+//! These are the substrate under ScrubJay's Natural Join combination: both
+//! sides are hash-shuffled on the key, then matching groups are paired
+//! within each reduce partition.
+
+use crate::bytesize::{slice_byte_size, ByteSize};
+use crate::exec::ExecCtx;
+use crate::metrics::{OpKind, OpMetrics};
+use crate::ops::bucket_of;
+use crate::ops::shuffle::ShuffleCell;
+use crate::rdd::{Data, PartitionOp, Rdd};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A cogrouped record: all left and right values for one key.
+pub type CoGrouped<K, V, W> = (K, (Vec<V>, Vec<W>));
+
+struct CoGroupOp<K: Data, V: Data, W: Data> {
+    left: Arc<dyn PartitionOp<(K, V)>>,
+    right: Arc<dyn PartitionOp<(K, W)>>,
+    out_parts: usize,
+    cell: ShuffleCell<CoGrouped<K, V, W>>,
+}
+
+/// Scatter one side of a cogroup into per-output-partition buckets,
+/// returning the buckets plus (records, bytes) shuffled.
+type Scattered<K, X> = (Vec<Vec<(K, X)>>, u64, u64);
+
+fn scatter_side<K, X>(
+    parent: &Arc<dyn PartitionOp<(K, X)>>,
+    out_parts: usize,
+    ctx: &ExecCtx,
+) -> Scattered<K, X>
+where
+    K: Data + Hash + Eq + ByteSize,
+    X: Data + ByteSize,
+{
+    let parent = Arc::clone(parent);
+    let ctx2 = ctx.clone();
+    let map_outputs = ctx
+        .run_wave(parent.num_partitions(), move |i| {
+            let records = parent.compute(i, &ctx2);
+            let mut buckets: Vec<Vec<(K, X)>> = (0..out_parts).map(|_| Vec::new()).collect();
+            for (k, v) in records {
+                buckets[bucket_of(&k, out_parts)].push((k, v));
+            }
+            buckets
+        })
+        .expect("cogroup map stage failed");
+    let mut merged: Vec<Vec<(K, X)>> = (0..out_parts).map(|_| Vec::new()).collect();
+    let mut records = 0u64;
+    let mut bytes = 0u64;
+    for map_out in map_outputs {
+        for (o, bucket) in map_out.into_iter().enumerate() {
+            records += bucket.len() as u64;
+            bytes += slice_byte_size(&bucket) as u64;
+            merged[o].extend(bucket);
+        }
+    }
+    (merged, records, bytes)
+}
+
+impl<K, V, W> PartitionOp<(K, (Vec<V>, Vec<W>))> for CoGroupOp<K, V, W>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+    W: Data + ByteSize,
+{
+    fn num_partitions(&self) -> usize {
+        self.out_parts
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, (Vec<V>, Vec<W>))> {
+        let buckets = self.cell.get_or_init(|| {
+            let (left, lrec, lbytes) = scatter_side(&self.left, self.out_parts, ctx);
+            let (right, rrec, rbytes) = scatter_side(&self.right, self.out_parts, ctx);
+            ctx.metrics.record(
+                "cogroup",
+                OpKind::Wide,
+                OpMetrics {
+                    records_in: lrec + rrec,
+                    records_out: 0,
+                    shuffle_bytes: lbytes + rbytes,
+                    shuffle_records: lrec + rrec,
+                    tasks: self.out_parts as u64,
+                },
+            );
+            left.into_iter()
+                .zip(right)
+                .map(|(lbucket, rbucket)| {
+                    let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+                    for (k, v) in lbucket {
+                        groups.entry(k).or_default().0.push(v);
+                    }
+                    for (k, w) in rbucket {
+                        groups.entry(k).or_default().1.push(w);
+                    }
+                    groups.into_iter().collect()
+                })
+                .collect()
+        });
+        buckets[idx].as_ref().clone()
+    }
+    fn name(&self) -> &'static str {
+        "cogroup"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Wide
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+{
+    /// Group this dataset with another by key: each output record carries
+    /// all left values and all right values for one key. Wide.
+    pub fn cogroup<W>(&self, other: &Rdd<(K, W)>, out_parts: usize) -> Rdd<CoGrouped<K, V, W>>
+    where
+        W: Data + ByteSize,
+    {
+        Rdd::from_op(
+            Arc::new(CoGroupOp {
+                left: Arc::clone(&self.op),
+                right: Arc::clone(&other.op),
+                out_parts: out_parts.max(1),
+                cell: ShuffleCell::new(),
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Inner equi-join: the cross product of left and right values per key.
+    /// Wide (one shuffle per side).
+    pub fn join<W>(&self, other: &Rdd<(K, W)>, out_parts: usize) -> Rdd<(K, (V, W))>
+    where
+        W: Data + ByteSize,
+    {
+        self.cogroup(other, out_parts)
+            .map_partitions_named("join", |part| {
+                part.into_iter()
+                    .flat_map(|(k, (vs, ws))| {
+                        let mut out = Vec::with_capacity(vs.len() * ws.len());
+                        for v in &vs {
+                            for w in &ws {
+                                out.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                        }
+                        out
+                    })
+                    .collect()
+            })
+    }
+
+    /// Left outer join: every left value appears; unmatched keys pair with
+    /// `None`. Wide.
+    pub fn left_outer_join<W>(
+        &self,
+        other: &Rdd<(K, W)>,
+        out_parts: usize,
+    ) -> Rdd<(K, (V, Option<W>))>
+    where
+        W: Data + ByteSize,
+    {
+        self.cogroup(other, out_parts)
+            .map_partitions_named("left_outer_join", |part| {
+                part.into_iter()
+                    .flat_map(|(k, (vs, ws))| {
+                        let mut out = Vec::new();
+                        for v in &vs {
+                            if ws.is_empty() {
+                                out.push((k.clone(), (v.clone(), None)));
+                            } else {
+                                for w in &ws {
+                                    out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                                }
+                            }
+                        }
+                        out
+                    })
+                    .collect()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(ClusterSpec::new(1, 4).unwrap())
+    }
+
+    #[test]
+    fn cogroup_collects_both_sides() {
+        let c = ctx();
+        let left = Rdd::parallelize(&c, vec![(1u64, 10u64), (1, 11), (2, 20)], 2);
+        let right = Rdd::parallelize(&c, vec![(1u64, 100u64), (3, 300)], 2);
+        let mut got = left.cogroup(&right, 3).collect().unwrap();
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got.len(), 3);
+        let (k1, (vs1, ws1)) = &got[0];
+        assert_eq!(*k1, 1);
+        let mut vs1 = vs1.clone();
+        vs1.sort();
+        assert_eq!(vs1, vec![10, 11]);
+        assert_eq!(ws1, &vec![100]);
+        assert_eq!(got[1], (2, (vec![20], vec![])));
+        assert_eq!(got[2], (3, (vec![], vec![300])));
+    }
+
+    #[test]
+    fn inner_join_is_cross_product_per_key() {
+        let c = ctx();
+        let left = Rdd::parallelize(&c, vec![(1u64, "a"), (1, "b"), (2, "c")], 2);
+        let right = Rdd::parallelize(&c, vec![(1u64, 10u64), (1, 20)], 2);
+        let mut got = left
+            .map(|(k, v)| (k, v.to_string()))
+            .join(&right, 2)
+            .collect()
+            .unwrap();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (1, ("a".to_string(), 10)),
+                (1, ("a".to_string(), 20)),
+                (1, ("b".to_string(), 10)),
+                (1, ("b".to_string(), 20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left() {
+        let c = ctx();
+        let left = Rdd::parallelize(&c, vec![(1u64, 1u64), (2, 2)], 1);
+        let right = Rdd::parallelize(&c, vec![(1u64, 10u64)], 1);
+        let mut got = left.left_outer_join(&right, 2).collect().unwrap();
+        got.sort();
+        assert_eq!(got, vec![(1, (1, Some(10))), (2, (2, None))]);
+    }
+
+    #[test]
+    fn join_on_disjoint_keys_is_empty() {
+        let c = ctx();
+        let left = Rdd::parallelize(&c, vec![(1u64, 1u64)], 1);
+        let right = Rdd::parallelize(&c, vec![(2u64, 2u64)], 1);
+        assert!(left.join(&right, 2).collect().unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_records_shuffle_from_both_sides() {
+        let c = ctx();
+        let left = Rdd::parallelize(&c, (0..30u64).map(|i| (i, i)).collect::<Vec<_>>(), 3);
+        let right = Rdd::parallelize(&c, (0..20u64).map(|i| (i, i)).collect::<Vec<_>>(), 2);
+        left.join(&right, 4).collect().unwrap();
+        let r = c.metrics.report();
+        assert_eq!(r.op("cogroup").unwrap().metrics.shuffle_records, 50);
+    }
+
+    #[test]
+    fn join_with_string_keys() {
+        let c = ctx();
+        let left = Rdd::parallelize(
+            &c,
+            vec![("node1".to_string(), 1u64), ("node2".to_string(), 2)],
+            2,
+        );
+        let right = Rdd::parallelize(
+            &c,
+            vec![("node1".to_string(), "rack A".to_string())],
+            1,
+        );
+        let got = left.join(&right, 2).collect().unwrap();
+        assert_eq!(got, vec![("node1".to_string(), (1, "rack A".to_string()))]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Wide (shuffle) operations over key-value datasets.
+//!
+//! These mirror the Spark operations ScrubJay's derivations are built on:
+//! `group_by_key`, `reduce_by_key`, `cogroup`, `join`, `sort_by_key`, and
+//! `repartition`. Each materializes its parents, hash- or range-partitions
+//! the records into output buckets (the "shuffle"), and serves output
+//! partitions from the materialized buckets. Shuffle volume is recorded for
+//! the virtual-cluster cost model.
+
+mod extra;
+mod join;
+pub(crate) mod shuffle;
+mod sort;
+
+pub use join::CoGrouped;
+
+use std::hash::{Hash, Hasher};
+
+/// Deterministic 64-bit hash (fixed-key SipHash via `DefaultHasher::new`),
+/// so partition placement is stable across runs and processes.
+pub fn hash64<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Bucket index for a key under `parts` output partitions.
+#[inline]
+pub fn bucket_of<K: Hash + ?Sized>(key: &K, parts: usize) -> usize {
+    (hash64(key) % parts as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash64(&"node17"), hash64(&"node17"));
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+    }
+
+    #[test]
+    fn buckets_are_in_range() {
+        for k in 0u64..1000 {
+            assert!(bucket_of(&k, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn buckets_spread_keys() {
+        let mut counts = [0usize; 8];
+        for k in 0u64..8000 {
+            counts[bucket_of(&k, 8)] += 1;
+        }
+        // Each bucket should receive a reasonable share (no empty bucket).
+        assert!(counts.iter().all(|&c| c > 500), "skewed: {counts:?}");
+    }
+}

@@ -1,0 +1,510 @@
+//! Hash-shuffle operations: `group_by_key`, `reduce_by_key`, `distinct`,
+//! `repartition`, and `count_by_key`.
+
+use crate::bytesize::{slice_byte_size, ByteSize};
+use crate::exec::ExecCtx;
+use crate::metrics::{OpKind, OpMetrics};
+use crate::ops::bucket_of;
+use crate::rdd::{Data, PartitionOp, Rdd};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Shared materialization slot for a shuffle's reduce-side buckets.
+type Buckets<T> = Arc<Vec<Arc<Vec<T>>>>;
+
+pub(crate) struct ShuffleCell<T> {
+    slot: Mutex<Option<Buckets<T>>>,
+}
+
+impl<T> ShuffleCell<T> {
+    pub(crate) fn new() -> Self {
+        ShuffleCell {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Compute-once accessor: the first caller materializes, later callers
+    /// (and later evaluations) reuse the buckets.
+    pub(crate) fn get_or_init<F>(&self, init: F) -> Buckets<T>
+    where
+        F: FnOnce() -> Vec<Vec<T>>,
+    {
+        let mut slot = self.slot.lock();
+        if let Some(b) = slot.as_ref() {
+            return Arc::clone(b);
+        }
+        let buckets: Buckets<T> = Arc::new(init().into_iter().map(Arc::new).collect());
+        *slot = Some(Arc::clone(&buckets));
+        buckets
+    }
+}
+
+/// Map-side shuffle: compute every parent partition and scatter its records
+/// into `out_parts` buckets by key hash. Returns the per-output-partition
+/// record lists and records shuffle metrics.
+fn scatter_by_key<K, V>(
+    name: &'static str,
+    parent: &Arc<dyn PartitionOp<(K, V)>>,
+    out_parts: usize,
+    ctx: &ExecCtx,
+) -> Vec<Vec<(K, V)>>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+{
+    let parent = Arc::clone(parent);
+    let ctx2 = ctx.clone();
+    let map_outputs = ctx
+        .run_wave(parent.num_partitions(), move |i| {
+            let records = parent.compute(i, &ctx2);
+            let mut buckets: Vec<Vec<(K, V)>> = (0..out_parts).map(|_| Vec::new()).collect();
+            for (k, v) in records {
+                buckets[bucket_of(&k, out_parts)].push((k, v));
+            }
+            buckets
+        })
+        .expect("shuffle map stage failed");
+
+    let mut merged: Vec<Vec<(K, V)>> = (0..out_parts).map(|_| Vec::new()).collect();
+    let mut shuffle_records = 0u64;
+    let mut shuffle_bytes = 0u64;
+    for map_out in map_outputs {
+        for (o, bucket) in map_out.into_iter().enumerate() {
+            shuffle_records += bucket.len() as u64;
+            shuffle_bytes += slice_byte_size(&bucket) as u64;
+            merged[o].extend(bucket);
+        }
+    }
+    ctx.metrics.record(
+        name,
+        OpKind::Wide,
+        OpMetrics {
+            records_in: shuffle_records,
+            records_out: 0,
+            shuffle_bytes,
+            shuffle_records,
+            tasks: out_parts as u64,
+        },
+    );
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// group_by_key
+// ---------------------------------------------------------------------------
+
+struct GroupByKeyOp<K: Data, V: Data> {
+    parent: Arc<dyn PartitionOp<(K, V)>>,
+    out_parts: usize,
+    cell: ShuffleCell<(K, Vec<V>)>,
+}
+
+impl<K, V> PartitionOp<(K, Vec<V>)> for GroupByKeyOp<K, V>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+{
+    fn num_partitions(&self) -> usize {
+        self.out_parts
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, Vec<V>)> {
+        let buckets = self.cell.get_or_init(|| {
+            let scattered = scatter_by_key("group_by_key", &self.parent, self.out_parts, ctx);
+            scattered
+                .into_iter()
+                .map(|bucket| {
+                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in bucket {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    groups.into_iter().collect()
+                })
+                .collect()
+        });
+        buckets[idx].as_ref().clone()
+    }
+    fn name(&self) -> &'static str {
+        "group_by_key"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Wide
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reduce_by_key (map-side combine)
+// ---------------------------------------------------------------------------
+
+struct ReduceByKeyOp<K: Data, V: Data> {
+    parent: Arc<dyn PartitionOp<(K, V)>>,
+    out_parts: usize,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(V, V) -> V + Send + Sync>,
+    cell: ShuffleCell<(K, V)>,
+}
+
+impl<K, V> PartitionOp<(K, V)> for ReduceByKeyOp<K, V>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+{
+    fn num_partitions(&self) -> usize {
+        self.out_parts
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, V)> {
+        let buckets = self.cell.get_or_init(|| {
+            // Map-side combine first: shrink each parent partition to one
+            // record per key before shuffling — the classic reduceByKey
+            // optimization that cuts shuffle volume.
+            let parent = Arc::clone(&self.parent);
+            let f = Arc::clone(&self.f);
+            let out_parts = self.out_parts;
+            let ctx2 = ctx.clone();
+            let combined = ctx
+                .run_wave(parent.num_partitions(), move |i| {
+                    let mut acc: HashMap<K, V> = HashMap::new();
+                    for (k, v) in parent.compute(i, &ctx2) {
+                        match acc.remove(&k) {
+                            Some(prev) => {
+                                acc.insert(k, f(prev, v));
+                            }
+                            None => {
+                                acc.insert(k, v);
+                            }
+                        }
+                    }
+                    let mut buckets: Vec<Vec<(K, V)>> =
+                        (0..out_parts).map(|_| Vec::new()).collect();
+                    for (k, v) in acc {
+                        buckets[bucket_of(&k, out_parts)].push((k, v));
+                    }
+                    buckets
+                })
+                .expect("reduce_by_key map stage failed");
+
+            let mut shuffle_records = 0u64;
+            let mut shuffle_bytes = 0u64;
+            let mut merged: Vec<HashMap<K, V>> =
+                (0..self.out_parts).map(|_| HashMap::new()).collect();
+            for map_out in combined {
+                for (o, bucket) in map_out.into_iter().enumerate() {
+                    shuffle_records += bucket.len() as u64;
+                    shuffle_bytes += slice_byte_size(&bucket) as u64;
+                    for (k, v) in bucket {
+                        match merged[o].remove(&k) {
+                            Some(prev) => {
+                                merged[o].insert(k, (self.f)(prev, v));
+                            }
+                            None => {
+                                merged[o].insert(k, v);
+                            }
+                        }
+                    }
+                }
+            }
+            ctx.metrics.record(
+                "reduce_by_key",
+                OpKind::Wide,
+                OpMetrics {
+                    records_in: shuffle_records,
+                    records_out: merged.iter().map(|m| m.len() as u64).sum(),
+                    shuffle_bytes,
+                    shuffle_records,
+                    tasks: self.out_parts as u64,
+                },
+            );
+            merged
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect()
+        });
+        buckets[idx].as_ref().clone()
+    }
+    fn name(&self) -> &'static str {
+        "reduce_by_key"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Wide
+    }
+}
+
+// ---------------------------------------------------------------------------
+// repartition (round-robin shuffle)
+// ---------------------------------------------------------------------------
+
+struct RepartitionOp<T: Data> {
+    parent: Arc<dyn PartitionOp<T>>,
+    out_parts: usize,
+    cell: ShuffleCell<T>,
+}
+
+impl<T> PartitionOp<T> for RepartitionOp<T>
+where
+    T: Data + ByteSize,
+{
+    fn num_partitions(&self) -> usize {
+        self.out_parts
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let buckets = self.cell.get_or_init(|| {
+            let parent = Arc::clone(&self.parent);
+            let out_parts = self.out_parts;
+            let ctx2 = ctx.clone();
+            let map_outputs = ctx
+                .run_wave(parent.num_partitions(), move |i| {
+                    let records = parent.compute(i, &ctx2);
+                    let mut buckets: Vec<Vec<T>> = (0..out_parts).map(|_| Vec::new()).collect();
+                    // Offset round-robin by the partition index so data from
+                    // different partitions interleaves across buckets.
+                    for (j, r) in records.into_iter().enumerate() {
+                        buckets[(i + j) % out_parts].push(r);
+                    }
+                    buckets
+                })
+                .expect("repartition map stage failed");
+            let mut merged: Vec<Vec<T>> = (0..self.out_parts).map(|_| Vec::new()).collect();
+            let mut shuffle_records = 0u64;
+            let mut shuffle_bytes = 0u64;
+            for map_out in map_outputs {
+                for (o, bucket) in map_out.into_iter().enumerate() {
+                    shuffle_records += bucket.len() as u64;
+                    shuffle_bytes += slice_byte_size(&bucket) as u64;
+                    merged[o].extend(bucket);
+                }
+            }
+            ctx.metrics.record(
+                "repartition",
+                OpKind::Wide,
+                OpMetrics {
+                    records_in: shuffle_records,
+                    records_out: shuffle_records,
+                    shuffle_bytes,
+                    shuffle_records,
+                    tasks: self.out_parts as u64,
+                },
+            );
+            merged
+        });
+        buckets[idx].as_ref().clone()
+    }
+    fn name(&self) -> &'static str {
+        "repartition"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Wide
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public extension methods
+// ---------------------------------------------------------------------------
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Data + Hash + Eq + ByteSize,
+    V: Data + ByteSize,
+{
+    /// Group all values sharing a key into one record. Wide (shuffle).
+    pub fn group_by_key(&self, out_parts: usize) -> Rdd<(K, Vec<V>)> {
+        Rdd::from_op(
+            Arc::new(GroupByKeyOp {
+                parent: Arc::clone(&self.op),
+                out_parts: out_parts.max(1),
+                cell: ShuffleCell::new(),
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Merge values per key with an associative, commutative operator,
+    /// combining map-side before the shuffle. Wide.
+    pub fn reduce_by_key<F>(&self, out_parts: usize, f: F) -> Rdd<(K, V)>
+    where
+        F: Fn(V, V) -> V + Send + Sync + 'static,
+    {
+        Rdd::from_op(
+            Arc::new(ReduceByKeyOp {
+                parent: Arc::clone(&self.op),
+                out_parts: out_parts.max(1),
+                f: Arc::new(f),
+                cell: ShuffleCell::new(),
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Number of records per key (built on `reduce_by_key`).
+    pub fn count_by_key(&self, out_parts: usize) -> Rdd<(K, u64)> {
+        self.map(|(k, _)| (k, 1u64)).reduce_by_key(out_parts, |a, b| a + b)
+    }
+
+    /// Apply `f` to each value, preserving keys (narrow).
+    pub fn map_values<W: Data, F>(&self, f: F) -> Rdd<(K, W)>
+    where
+        F: Fn(V) -> W + Send + Sync + 'static,
+    {
+        self.map_partitions_named("map_values", move |part| {
+            part.into_iter().map(|(k, v)| (k, f(v))).collect()
+        })
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Data + ByteSize + Hash + Eq,
+{
+    /// Remove duplicate elements. Wide (one shuffle).
+    pub fn distinct(&self, out_parts: usize) -> Rdd<T> {
+        self.map(|x| (x, ()))
+            .reduce_by_key(out_parts, |a, _| a)
+            .map(|(x, ())| x)
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Data + ByteSize,
+{
+    /// Redistribute records round-robin over `out_parts` partitions. Wide.
+    pub fn repartition(&self, out_parts: usize) -> Rdd<T> {
+        Rdd::from_op(
+            Arc::new(RepartitionOp {
+                parent: Arc::clone(&self.op),
+                out_parts: out_parts.max(1),
+                cell: ShuffleCell::new(),
+            }),
+            self.ctx.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(ClusterSpec::new(1, 4).unwrap())
+    }
+
+    #[test]
+    fn group_by_key_groups_all_values() {
+        let c = ctx();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, i)).collect();
+        let grouped = Rdd::parallelize(&c, pairs, 8).group_by_key(4);
+        let mut got = grouped.collect().unwrap();
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got.len(), 5);
+        for (k, vs) in got {
+            assert_eq!(vs.len(), 20);
+            assert!(vs.iter().all(|v| v % 5 == k));
+        }
+    }
+
+    #[test]
+    fn group_by_key_records_shuffle_metrics() {
+        let c = ctx();
+        let pairs: Vec<(u64, String)> = (0..50).map(|i| (i % 3, format!("v{i}"))).collect();
+        Rdd::parallelize(&c, pairs, 4)
+            .group_by_key(4)
+            .collect()
+            .unwrap();
+        let r = c.metrics.report();
+        let g = r.op("group_by_key").unwrap();
+        assert_eq!(g.kind, OpKind::Wide);
+        assert_eq!(g.metrics.shuffle_records, 50);
+        assert!(g.metrics.shuffle_bytes > 0);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let c = ctx();
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, 1)).collect();
+        let mut got = Rdd::parallelize(&c, pairs, 8)
+            .reduce_by_key(4, |a, b| a + b)
+            .collect()
+            .unwrap();
+        got.sort();
+        assert_eq!(got, (0..10).map(|k| (k, 100u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_by_key_shuffles_less_than_group_by_key() {
+        // Map-side combine: 1000 records with 10 keys over 8 partitions
+        // should shuffle at most 80 combined records.
+        let c = ctx();
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, 1)).collect();
+        Rdd::parallelize(&c, pairs, 8)
+            .reduce_by_key(4, |a, b| a + b)
+            .collect()
+            .unwrap();
+        let r = c.metrics.report();
+        let m = r.op("reduce_by_key").unwrap();
+        assert!(m.metrics.shuffle_records <= 80, "{}", m.metrics.shuffle_records);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let c = ctx();
+        let pairs: Vec<(String, u64)> =
+            vec![("a".into(), 1), ("b".into(), 2), ("a".into(), 3)];
+        let mut got = Rdd::parallelize(&c, pairs, 2).count_by_key(2).collect().unwrap();
+        got.sort();
+        assert_eq!(got, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+    }
+
+    #[test]
+    fn map_values_preserves_keys() {
+        let c = ctx();
+        let got = Rdd::parallelize(&c, vec![(1u64, 2u64), (3, 4)], 1)
+            .map_values(|v| v * 10)
+            .collect()
+            .unwrap();
+        assert_eq!(got, vec![(1, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let c = ctx();
+        let mut got = Rdd::parallelize(&c, vec![1u64, 2, 2, 3, 3, 3], 3)
+            .distinct(2)
+            .collect()
+            .unwrap();
+        got.sort();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn repartition_changes_partition_count_not_content() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0..100u64).collect(), 2).repartition(7);
+        assert_eq!(rdd.num_partitions(), 7);
+        let mut got = rdd.collect().unwrap();
+        got.sort();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        // All partitions should receive data.
+        assert!(rdd.glom().unwrap().iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn shuffle_materializes_once_across_partitions_and_evaluations() {
+        let c = ctx();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, i)).collect();
+        let grouped = Rdd::parallelize(&c, pairs, 4).group_by_key(4);
+        grouped.collect().unwrap();
+        grouped.count().unwrap();
+        let r = c.metrics.report();
+        // Shuffle metrics recorded exactly once (50*2 would mean twice).
+        assert_eq!(r.op("group_by_key").unwrap().metrics.shuffle_records, 100);
+    }
+
+    #[test]
+    fn empty_input_shuffles_cleanly() {
+        let c = ctx();
+        let empty: Vec<(u64, u64)> = vec![];
+        let got = Rdd::parallelize(&c, empty, 3).group_by_key(3).collect().unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Distributed sort via sampled range partitioning.
+//!
+//! `sort_by_key` samples the input to pick partition boundaries, scatters
+//! records into contiguous key ranges (the shuffle), and sorts each range
+//! locally — so concatenating output partitions in order yields a globally
+//! sorted dataset. Ordered-domain derivations (and the interpolation join's
+//! validation path) build on this.
+
+use crate::bytesize::{slice_byte_size, ByteSize};
+use crate::exec::ExecCtx;
+use crate::metrics::{OpKind, OpMetrics};
+use crate::ops::shuffle::ShuffleCell;
+use crate::rdd::{Data, PartitionOp, Rdd};
+use std::sync::Arc;
+
+struct SortByKeyOp<K: Data, V: Data> {
+    parent: Arc<dyn PartitionOp<(K, V)>>,
+    out_parts: usize,
+    cell: ShuffleCell<(K, V)>,
+}
+
+impl<K, V> PartitionOp<(K, V)> for SortByKeyOp<K, V>
+where
+    K: Data + Ord + ByteSize,
+    V: Data + ByteSize,
+{
+    fn num_partitions(&self) -> usize {
+        self.out_parts
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, V)> {
+        let buckets = self.cell.get_or_init(|| {
+            // Stage 1: compute parent partitions once and hold them.
+            let parent = Arc::clone(&self.parent);
+            let ctx2 = ctx.clone();
+            let parts = ctx
+                .run_wave(parent.num_partitions(), move |i| parent.compute(i, &ctx2))
+                .expect("sort input stage failed");
+
+            // Stage 2: sample keys to choose out_parts-1 range boundaries.
+            // A deterministic stride sample (every k-th record) is adequate
+            // and keeps results reproducible.
+            let total: usize = parts.iter().map(Vec::len).sum();
+            let sample_target = (self.out_parts * 20).max(1);
+            let stride = (total / sample_target).max(1);
+            let mut sample: Vec<K> = parts
+                .iter()
+                .flatten()
+                .step_by(stride)
+                .map(|(k, _)| k.clone())
+                .collect();
+            sample.sort();
+            let boundaries: Vec<K> = (1..self.out_parts)
+                .filter_map(|i| {
+                    let pos = i * sample.len() / self.out_parts;
+                    sample.get(pos).cloned()
+                })
+                .collect();
+
+            // Stage 3: scatter records into range buckets.
+            let mut merged: Vec<Vec<(K, V)>> = (0..self.out_parts).map(|_| Vec::new()).collect();
+            let mut shuffle_records = 0u64;
+            let mut shuffle_bytes = 0u64;
+            for part in parts {
+                shuffle_records += part.len() as u64;
+                shuffle_bytes += slice_byte_size(&part) as u64;
+                for (k, v) in part {
+                    let bucket = boundaries.partition_point(|b| *b <= k);
+                    merged[bucket].push((k, v));
+                }
+            }
+            ctx.metrics.record(
+                "sort_by_key",
+                OpKind::Wide,
+                OpMetrics {
+                    records_in: shuffle_records,
+                    records_out: shuffle_records,
+                    shuffle_bytes,
+                    shuffle_records,
+                    tasks: self.out_parts as u64,
+                },
+            );
+
+            // Stage 4: local sort per bucket (parallel).
+            let merged: Vec<parking_lot::Mutex<Vec<(K, V)>>> =
+                merged.into_iter().map(parking_lot::Mutex::new).collect();
+            let sorted = ctx
+                .run_wave(merged.len(), |i| {
+                    let mut bucket = std::mem::take(&mut *merged[i].lock());
+                    bucket.sort_by(|(a, _), (b, _)| a.cmp(b));
+                    bucket
+                })
+                .expect("sort stage failed");
+            sorted
+        });
+        buckets[idx].as_ref().clone()
+    }
+    fn name(&self) -> &'static str {
+        "sort_by_key"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Wide
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Data + Ord + ByteSize,
+    V: Data + ByteSize,
+{
+    /// Globally sort by key: output partition `i` holds a contiguous,
+    /// locally sorted key range, and ranges are ordered across partitions.
+    /// Wide (one shuffle).
+    pub fn sort_by_key(&self, out_parts: usize) -> Rdd<(K, V)> {
+        Rdd::from_op(
+            Arc::new(SortByKeyOp {
+                parent: Arc::clone(&self.op),
+                out_parts: out_parts.max(1),
+                cell: ShuffleCell::new(),
+            }),
+            self.ctx.clone(),
+        )
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Data + Ord + ByteSize,
+{
+    /// Globally sort elements (via `sort_by_key` on the identity key).
+    pub fn sort(&self, out_parts: usize) -> Rdd<T> {
+        self.map(|x| (x, ())).sort_by_key(out_parts).map(|(x, ())| x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(ClusterSpec::new(1, 4).unwrap())
+    }
+
+    #[test]
+    fn sort_by_key_yields_global_order() {
+        let c = ctx();
+        let data: Vec<(i64, u64)> = (0..500).map(|i| (((i * 7919) % 500) as i64, i as u64)).collect();
+        let sorted = Rdd::parallelize(&c, data, 8).sort_by_key(4);
+        let got = sorted.collect().unwrap();
+        assert_eq!(got.len(), 500);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn sort_partitions_hold_contiguous_ranges() {
+        let c = ctx();
+        let data: Vec<(i64, ())> = (0..1000).rev().map(|i| (i as i64, ())).collect();
+        let parts = Rdd::parallelize(&c, data, 8).sort_by_key(4).glom().unwrap();
+        assert_eq!(parts.len(), 4);
+        let mut last_max: Option<i64> = None;
+        for p in &parts {
+            if p.is_empty() {
+                continue;
+            }
+            let min = p.first().unwrap().0;
+            let max = p.last().unwrap().0;
+            if let Some(lm) = last_max {
+                assert!(min >= lm);
+            }
+            last_max = Some(max);
+        }
+        // With 1000 uniform keys, every range should be populated.
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn sort_plain_elements() {
+        let c = ctx();
+        let got = Rdd::parallelize(&c, vec![5u64, 3, 1, 4, 2], 3).sort(2).collect().unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sort_with_duplicate_keys() {
+        let c = ctx();
+        let data: Vec<(u64, u64)> = (0..100).map(|i| (i % 3, i)).collect();
+        let got = Rdd::parallelize(&c, data, 5).sort_by_key(3).collect().unwrap();
+        assert_eq!(got.len(), 100);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn sort_empty_dataset() {
+        let c = ctx();
+        let got: Vec<(u64, u64)> = Rdd::parallelize(&c, vec![], 3)
+            .sort_by_key(3)
+            .collect()
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn sort_records_shuffle_metrics() {
+        let c = ctx();
+        let data: Vec<(u64, u64)> = (0..200).map(|i| (i, i)).collect();
+        Rdd::parallelize(&c, data, 4).sort_by_key(4).collect().unwrap();
+        let r = c.metrics.report();
+        assert_eq!(r.op("sort_by_key").unwrap().metrics.shuffle_records, 200);
+    }
+}

@@ -1,0 +1,647 @@
+//! `Rdd<T>`: a lazy, lineage-based, partitioned in-memory dataset.
+//!
+//! This is the Rust analogue of the Spark RDD that backs the paper's
+//! ScrubJayRDD (§4.1): a distributed collection of records on which
+//! operations are *enqueued but not run until their results are explicitly
+//! requested*. Narrow operations (`map`, `filter`, `flat_map`, `union`)
+//! chain per-partition; wide operations (`group_by_key`, `join`,
+//! `sort_by_key`, `repartition`) shuffle data between partitions and are
+//! implemented in [`crate::ops`].
+//!
+//! Evaluation runs every partition as a task on the local thread pool
+//! ([`crate::exec::ExecCtx`]), and all tasks report metrics that feed the
+//! virtual-cluster cost model ([`crate::simtime`]).
+
+use crate::error::{Result, SjdfError};
+use crate::exec::ExecCtx;
+use crate::metrics::{OpKind, OpMetrics};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Marker for element types that can flow through a dataset.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// One node of a dataset lineage: computes a partition on demand.
+pub trait PartitionOp<T: Data>: Send + Sync {
+    /// Number of partitions this op produces.
+    fn num_partitions(&self) -> usize;
+    /// Compute partition `idx` (0-based). May recursively compute parents.
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T>;
+    /// Short human-readable name for metrics and debugging.
+    fn name(&self) -> &'static str;
+    /// Narrow/wide/source classification.
+    fn kind(&self) -> OpKind;
+}
+
+/// A lazy, partitioned, immutable dataset with recorded lineage.
+pub struct Rdd<T: Data> {
+    pub(crate) op: Arc<dyn PartitionOp<T>>,
+    pub(crate) ctx: ExecCtx,
+}
+
+impl<T: Data> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            op: Arc::clone(&self.op),
+            ctx: self.ctx.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+struct ParallelizeOp<T> {
+    parts: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Data> PartitionOp<T> for ParallelizeOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let out = self.parts[idx].as_ref().clone();
+        ctx.metrics.record(
+            self.name(),
+            self.kind(),
+            OpMetrics {
+                records_out: out.len() as u64,
+                tasks: 1,
+                ..Default::default()
+            },
+        );
+        out
+    }
+    fn name(&self) -> &'static str {
+        "parallelize"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Source
+    }
+}
+
+struct GenerateOp<T> {
+    parts: usize,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+}
+
+impl<T: Data> PartitionOp<T> for GenerateOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parts
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let out = (self.f)(idx);
+        ctx.metrics.record(
+            self.name(),
+            self.kind(),
+            OpMetrics {
+                records_out: out.len() as u64,
+                tasks: 1,
+                ..Default::default()
+            },
+        );
+        out
+    }
+    fn name(&self) -> &'static str {
+        "generate"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Source
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Narrow ops
+// ---------------------------------------------------------------------------
+
+struct MapPartitionsOp<S: Data, T: Data> {
+    parent: Arc<dyn PartitionOp<S>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize, Vec<S>) -> Vec<T> + Send + Sync>,
+    op_name: &'static str,
+}
+
+impl<S: Data, T: Data> PartitionOp<T> for MapPartitionsOp<S, T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let input = self.parent.compute(idx, ctx);
+        let n_in = input.len() as u64;
+        let out = (self.f)(idx, input);
+        ctx.metrics.record(
+            self.op_name,
+            OpKind::Narrow,
+            OpMetrics {
+                records_in: n_in,
+                records_out: out.len() as u64,
+                tasks: 1,
+                ..Default::default()
+            },
+        );
+        out
+    }
+    fn name(&self) -> &'static str {
+        self.op_name
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Narrow
+    }
+}
+
+struct UnionOp<T: Data> {
+    parents: Vec<Arc<dyn PartitionOp<T>>>,
+}
+
+impl<T: Data> PartitionOp<T> for UnionOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let mut offset = idx;
+        for p in &self.parents {
+            if offset < p.num_partitions() {
+                return p.compute(offset, ctx);
+            }
+            offset -= p.num_partitions();
+        }
+        panic!("union partition index {idx} out of range");
+    }
+    fn name(&self) -> &'static str {
+        "union"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Narrow
+    }
+}
+
+/// Narrow N→1 merge of adjacent partitions (no shuffle).
+struct CoalesceOp<T: Data> {
+    parent: Arc<dyn PartitionOp<T>>,
+    target: usize,
+}
+
+impl<T: Data> PartitionOp<T> for CoalesceOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.target.min(self.parent.num_partitions()).max(1)
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let n = self.parent.num_partitions();
+        let target = self.num_partitions();
+        // Partition idx owns the contiguous range of parent partitions
+        // [idx*n/target, (idx+1)*n/target).
+        let lo = idx * n / target;
+        let hi = (idx + 1) * n / target;
+        let mut out = Vec::new();
+        for p in lo..hi {
+            out.extend(self.parent.compute(p, ctx));
+        }
+        out
+    }
+    fn name(&self) -> &'static str {
+        "coalesce"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Narrow
+    }
+}
+
+/// Lazily caches each computed partition so repeated evaluations (or
+/// multiple downstream consumers) compute the parent only once.
+struct CacheOp<T: Data> {
+    parent: Arc<dyn PartitionOp<T>>,
+    slots: Vec<Mutex<Option<Arc<Vec<T>>>>>,
+}
+
+impl<T: Data> PartitionOp<T> for CacheOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let mut slot = self.slots[idx].lock();
+        if let Some(cached) = slot.as_ref() {
+            return cached.as_ref().clone();
+        }
+        let computed = Arc::new(self.parent.compute(idx, ctx));
+        *slot = Some(Arc::clone(&computed));
+        computed.as_ref().clone()
+    }
+    fn name(&self) -> &'static str {
+        "cache"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Narrow
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl<T: Data> Rdd<T> {
+    /// Wrap a raw op into a dataset handle (used by `ops::*`).
+    pub(crate) fn from_op(op: Arc<dyn PartitionOp<T>>, ctx: ExecCtx) -> Self {
+        Rdd { op, ctx }
+    }
+
+    /// Distribute an in-memory collection over `parts` partitions.
+    pub fn parallelize(ctx: &ExecCtx, data: Vec<T>, parts: usize) -> Self {
+        let parts = parts.max(1);
+        let per = data.len().div_ceil(parts).max(1);
+        let mut chunks: Vec<Arc<Vec<T>>> = Vec::with_capacity(parts);
+        let mut it = data.into_iter();
+        for _ in 0..parts {
+            let chunk: Vec<T> = it.by_ref().take(per).collect();
+            chunks.push(Arc::new(chunk));
+        }
+        Rdd::from_op(Arc::new(ParallelizeOp { parts: chunks }), ctx.clone())
+    }
+
+    /// Create a dataset whose partition `i` is produced by `f(i)` — the
+    /// preferred source for large synthetic workloads because nothing is
+    /// materialized on the driver.
+    pub fn generate<F>(ctx: &ExecCtx, parts: usize, f: F) -> Self
+    where
+        F: Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    {
+        Rdd::from_op(
+            Arc::new(GenerateOp {
+                parts: parts.max(1),
+                f: Arc::new(f),
+            }),
+            ctx.clone(),
+        )
+    }
+
+    /// The execution context this dataset is bound to.
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
+    }
+
+    /// Number of partitions in this dataset.
+    pub fn num_partitions(&self) -> usize {
+        self.op.num_partitions()
+    }
+
+    /// Apply `f` to every element (narrow).
+    pub fn map<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        self.map_partitions_named("map", move |part| part.into_iter().map(&f).collect())
+    }
+
+    /// Keep only elements matching `pred` (narrow).
+    pub fn filter<F>(&self, pred: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        self.map_partitions_named("filter", move |part| {
+            part.into_iter().filter(|x| pred(x)).collect()
+        })
+    }
+
+    /// Map each element to zero or more outputs (narrow). This is the
+    /// workhorse behind the paper's explode transformations.
+    pub fn flat_map<U: Data, I, F>(&self, f: F) -> Rdd<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync + 'static,
+    {
+        self.map_partitions_named("flat_map", move |part| {
+            part.into_iter().flat_map(&f).collect()
+        })
+    }
+
+    /// Apply a whole-partition function (narrow).
+    pub fn map_partitions<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        self.map_partitions_named("map_partitions", f)
+    }
+
+    /// Apply a whole-partition function with a custom metrics name.
+    pub fn map_partitions_named<U: Data, F>(&self, name: &'static str, f: F) -> Rdd<U>
+    where
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        Rdd::from_op(
+            Arc::new(MapPartitionsOp {
+                parent: Arc::clone(&self.op),
+                f: Arc::new(move |_idx, part| f(part)),
+                op_name: name,
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Apply a whole-partition function that also sees the partition index.
+    pub fn map_partitions_with_index<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        Rdd::from_op(
+            Arc::new(MapPartitionsOp {
+                parent: Arc::clone(&self.op),
+                f: Arc::new(f),
+                op_name: "map_partitions_with_index",
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Concatenate this dataset with another (narrow; partitions are
+    /// appended).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        Rdd::from_op(
+            Arc::new(UnionOp {
+                parents: vec![Arc::clone(&self.op), Arc::clone(&other.op)],
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Reduce the partition count without a shuffle by merging adjacent
+    /// partitions.
+    pub fn coalesce(&self, target: usize) -> Rdd<T> {
+        Rdd::from_op(
+            Arc::new(CoalesceOp {
+                parent: Arc::clone(&self.op),
+                target: target.max(1),
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Cache computed partitions in memory for reuse across evaluations.
+    pub fn cache(&self) -> Rdd<T> {
+        let slots = (0..self.op.num_partitions())
+            .map(|_| Mutex::new(None))
+            .collect();
+        Rdd::from_op(
+            Arc::new(CacheOp {
+                parent: Arc::clone(&self.op),
+                slots,
+            }),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Pair every element with a key (narrow).
+    pub fn key_by<K: Data, F>(&self, f: F) -> Rdd<(K, T)>
+    where
+        F: Fn(&T) -> K + Send + Sync + 'static,
+    {
+        self.map_partitions_named("key_by", move |part| {
+            part.into_iter().map(|x| (f(&x), x)).collect()
+        })
+    }
+
+    // -- actions ------------------------------------------------------------
+
+    /// Evaluate and gather all elements in partition order.
+    pub fn collect(&self) -> Result<Vec<T>> {
+        let parts = self.glom()?;
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        Ok(out)
+    }
+
+    /// Evaluate and return each partition separately.
+    pub fn glom(&self) -> Result<Vec<Vec<T>>> {
+        let op = Arc::clone(&self.op);
+        let ctx = self.ctx.clone();
+        self.ctx
+            .run_wave(self.op.num_partitions(), move |i| op.compute(i, &ctx))
+    }
+
+    /// Number of elements in the dataset.
+    pub fn count(&self) -> Result<usize> {
+        let op = Arc::clone(&self.op);
+        let ctx = self.ctx.clone();
+        let counts = self
+            .ctx
+            .run_wave(self.op.num_partitions(), move |i| op.compute(i, &ctx).len())?;
+        Ok(counts.into_iter().sum())
+    }
+
+    /// Reduce all elements with an associative, commutative operator.
+    pub fn reduce<F>(&self, f: F) -> Result<T>
+    where
+        F: Fn(T, T) -> T + Send + Sync,
+    {
+        let op = Arc::clone(&self.op);
+        let ctx = self.ctx.clone();
+        let f = &f;
+        let partials = self.ctx.run_wave(self.op.num_partitions(), move |i| {
+            op.compute(i, &ctx).into_iter().reduce(f)
+        })?;
+        partials
+            .into_iter()
+            .flatten()
+            .reduce(f)
+            .ok_or(SjdfError::EmptyDataset("reduce"))
+    }
+
+    /// Fold all elements starting from `zero` in each partition, then merge
+    /// partials with `merge`.
+    pub fn fold<A, F, G>(&self, zero: A, f: F, merge: G) -> Result<A>
+    where
+        A: Data,
+        F: Fn(A, T) -> A + Send + Sync,
+        G: Fn(A, A) -> A,
+    {
+        let op = Arc::clone(&self.op);
+        let ctx = self.ctx.clone();
+        let f = &f;
+        let z = zero.clone();
+        let partials = self.ctx.run_wave(self.op.num_partitions(), move |i| {
+            op.compute(i, &ctx).into_iter().fold(z.clone(), f)
+        })?;
+        Ok(partials.into_iter().fold(zero, merge))
+    }
+
+    /// First `n` elements in partition order.
+    pub fn take(&self, n: usize) -> Result<Vec<T>> {
+        // Evaluate partitions lazily from the front until n are gathered.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..self.op.num_partitions() {
+            if out.len() >= n {
+                break;
+            }
+            let part = self.op.compute(i, &self.ctx);
+            out.extend(part.into_iter().take(n - out.len()));
+        }
+        Ok(out)
+    }
+
+    /// The first element, if any.
+    pub fn first(&self) -> Result<Option<T>> {
+        Ok(self.take(1)?.into_iter().next())
+    }
+
+    /// True if the dataset has no elements.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.first()?.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(crate::cluster::ClusterSpec::new(1, 4).unwrap())
+    }
+
+    #[test]
+    fn parallelize_splits_evenly_and_collect_round_trips() {
+        let c = ctx();
+        let data: Vec<u64> = (0..100).collect();
+        let rdd = Rdd::parallelize(&c, data.clone(), 8);
+        assert_eq!(rdd.num_partitions(), 8);
+        assert_eq!(rdd.collect().unwrap(), data);
+    }
+
+    #[test]
+    fn parallelize_handles_fewer_elements_than_partitions() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, vec![1, 2, 3], 10);
+        assert_eq!(rdd.collect().unwrap(), vec![1, 2, 3]);
+        assert_eq!(rdd.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn generate_produces_per_partition_data() {
+        let c = ctx();
+        let rdd = Rdd::generate(&c, 4, |i| vec![i as u64; 2]);
+        assert_eq!(rdd.collect().unwrap(), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn map_filter_flat_map_chain() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0u64..20).collect(), 4)
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1]);
+        let got = rdd.collect().unwrap();
+        assert_eq!(got.len(), 20);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 1);
+    }
+
+    #[test]
+    fn lazy_until_action() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, vec![1u64, 2, 3], 1).map(|x| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(CALLS.load(Ordering::SeqCst), 0);
+        rdd.collect().unwrap();
+        assert_eq!(CALLS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = Rdd::parallelize(&c, vec![1, 2], 2);
+        let b = Rdd::parallelize(&c, vec![3, 4], 2);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 4);
+        assert_eq!(u.collect().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn coalesce_reduces_partitions_preserving_order() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0..16).collect::<Vec<i32>>(), 8).coalesce(3);
+        assert_eq!(rdd.num_partitions(), 3);
+        assert_eq!(rdd.collect().unwrap(), (0..16).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn cache_computes_parent_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = ctx();
+        let calls2 = Arc::clone(&calls);
+        let rdd = Rdd::parallelize(&c, vec![1u64, 2, 3, 4], 2)
+            .map(move |x| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .cache();
+        rdd.collect().unwrap();
+        rdd.collect().unwrap();
+        rdd.count().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn reduce_and_fold() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (1u64..=10).collect(), 3);
+        assert_eq!(rdd.reduce(|a, b| a + b).unwrap(), 55);
+        assert_eq!(
+            rdd.fold(0u64, |a, x| a + x, |a, b| a + b).unwrap(),
+            55
+        );
+    }
+
+    #[test]
+    fn reduce_on_empty_errors() {
+        let c = ctx();
+        let rdd: Rdd<u64> = Rdd::parallelize(&c, vec![], 2);
+        assert_eq!(
+            rdd.reduce(|a, b| a + b).unwrap_err(),
+            SjdfError::EmptyDataset("reduce")
+        );
+    }
+
+    #[test]
+    fn take_stops_early() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0..1000).collect::<Vec<i32>>(), 10);
+        assert_eq!(rdd.take(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(rdd.first().unwrap(), Some(0));
+        assert!(!rdd.is_empty().unwrap());
+    }
+
+    #[test]
+    fn key_by_pairs_elements() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, vec![1u64, 2, 3], 1).key_by(|x| x % 2);
+        assert_eq!(rdd.collect().unwrap(), vec![(1, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn metrics_are_recorded() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0..50u64).collect(), 4).map(|x| x + 1);
+        rdd.collect().unwrap();
+        let report = c.metrics.report();
+        let map = report.op("map").unwrap();
+        assert_eq!(map.metrics.records_in, 50);
+        assert_eq!(map.metrics.records_out, 50);
+        assert_eq!(map.metrics.tasks, 4);
+    }
+
+    #[test]
+    fn glom_exposes_partition_structure() {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, (0..10).collect::<Vec<i32>>(), 5);
+        let parts = rdd.glom().unwrap();
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|p| p.len() == 2));
+    }
+}

@@ -1,0 +1,311 @@
+//! Analytic cost model: task metrics + cluster spec → simulated wall-clock.
+//!
+//! The paper's Figure 3 was measured on a 10-node × 32-core Spark cluster.
+//! We reproduce the *shape* of those curves on a single machine by running
+//! the real data-parallel algorithms (which records a [`MetricsReport`])
+//! and then costing the recorded task graph against a [`ClusterSpec`]:
+//!
+//! * **Compute**: each op processes `records_in + records_out` records at
+//!   a per-kind rate (with per-op-name overrides for genuinely expensive
+//!   stages like the interpolation join's in-bin pairwise matching),
+//!   parallelized over `nodes × cores` slots.
+//! * **Serialization/driver**: every record crossing a shuffle passes a
+//!   fixed-rate serialization/coordination path that does *not* scale
+//!   with node count. This term is why Natural Join's strong scaling
+//!   saturates in the paper (13 s → 8.5 s for 10× the nodes) while the
+//!   compute-heavy Interpolation Join keeps scaling (240 s → 45 s).
+//! * **Network**: a fraction `(n-1)/n` of shuffled bytes crosses the
+//!   network at an aggregate bandwidth of `n × per-node bandwidth`.
+//! * **Barriers/startup**: a fixed job startup plus a per-wide-op barrier
+//!   growing slowly (logarithmically) with the node count.
+//!
+//! Constants are calibrated once, in [`CostParams::paper`], by solving the
+//! model against the endpoints the paper reports (see the constant-by-
+//! constant derivation there); the curve *shapes* then emerge from the
+//! model structure and the actually-measured record/byte counts.
+
+use crate::cluster::ClusterSpec;
+use crate::metrics::{MetricsReport, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Calibration constants for the cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Seconds of compute per record for source ops, per core.
+    pub source_secs_per_record: f64,
+    /// Seconds of compute per record for narrow ops, per core.
+    pub narrow_secs_per_record: f64,
+    /// Seconds of compute per record for wide (shuffle) ops, per core.
+    /// Higher than narrow: hashing, grouping and allocation per record.
+    pub wide_secs_per_record: f64,
+    /// Per-op-name overrides of the per-record compute cost, for stages
+    /// whose per-record work dwarfs ordinary map/shuffle handling.
+    pub op_overrides: Vec<(String, f64)>,
+    /// Records/second through the non-scaling serialization/driver path.
+    pub driver_records_per_sec: f64,
+    /// Per-node network bandwidth (bytes/second) for shuffle traffic.
+    pub net_bytes_per_sec: f64,
+    /// Fixed job startup cost in seconds.
+    pub job_startup_secs: f64,
+    /// Per-wide-op barrier in seconds at one node.
+    pub barrier_secs: f64,
+    /// Growth factor of the barrier with `ln(nodes)`.
+    pub barrier_node_factor: f64,
+}
+
+impl CostParams {
+    /// Constants calibrated against the paper's Figure 3 endpoints.
+    ///
+    /// Derivation (using the task metrics the `sjdata::synth` workloads
+    /// record — Natural Join: ~10.5 records of op work and 2 shuffle
+    /// records per input row; Interpolation Join: ~27.6 op records,
+    /// ~10.6 shuffle records, and ~6.9 match-stage records per input
+    /// row):
+    ///
+    /// * Natural Join strong scaling (13 s → 8.5 s at 40 M rows) fixes
+    ///   the scalable compute at ≈5 s on one node → ~3.9×10⁻⁷ s per
+    ///   record-core for ordinary ops.
+    /// * The Natural Join row sweep (2 s → 8 s over 2–40 M rows at 10
+    ///   nodes) then fixes the non-scaling serialization path at
+    ///   ≈1.4×10⁷ records/s and the fixed overhead at ≈1.7 s.
+    /// * Interpolation Join strong scaling (240 s → ~45 s at 16 M rows)
+    ///   fixes the match-stage override at ≈6×10⁻⁵ s per record-core —
+    ///   the in-bin pairwise matching is the expensive part, exactly as
+    ///   the paper's 10–120 s row sweep (≈15× Natural Join) implies.
+    pub fn paper() -> Self {
+        CostParams {
+            source_secs_per_record: 2.8e-7,
+            narrow_secs_per_record: 3.9e-7,
+            wide_secs_per_record: 6.7e-7,
+            op_overrides: vec![("interp_match".to_string(), 6.1e-5)],
+            driver_records_per_sec: 13.9e6,
+            net_bytes_per_sec: 10.0e9,
+            job_startup_secs: 1.45,
+            barrier_secs: 0.2,
+            barrier_node_factor: 0.35,
+        }
+    }
+
+    fn rate_for(&self, name: &str, kind: OpKind) -> f64 {
+        if let Some((_, r)) = self.op_overrides.iter().find(|(n, _)| n == name) {
+            return *r;
+        }
+        match kind {
+            OpKind::Source => self.source_secs_per_record,
+            OpKind::Narrow => self.narrow_secs_per_record,
+            OpKind::Wide => self.wide_secs_per_record,
+        }
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::paper()
+    }
+}
+
+/// Per-component breakdown of a simulated time estimate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimTime {
+    /// Parallel compute seconds.
+    pub compute: f64,
+    /// Non-scaling serialization/driver seconds.
+    pub driver: f64,
+    /// Network shuffle seconds.
+    pub network: f64,
+    /// Startup + barrier seconds.
+    pub overhead: f64,
+}
+
+impl SimTime {
+    /// Total simulated seconds.
+    pub fn total(&self) -> f64 {
+        self.compute + self.driver + self.network + self.overhead
+    }
+}
+
+/// Cost a recorded task graph against a virtual cluster.
+pub fn estimate(report: &MetricsReport, cluster: &ClusterSpec, params: &CostParams) -> SimTime {
+    let slots = cluster.total_cores() as f64;
+    let n = cluster.nodes as f64;
+
+    let mut compute = 0.0;
+    let mut driver = 0.0;
+    let mut network = 0.0;
+    let mut wide_ops = 0usize;
+
+    for op in &report.ops {
+        let records = (op.metrics.records_in + op.metrics.records_out) as f64;
+        compute += records * params.rate_for(&op.name, op.kind) / slots;
+
+        if op.kind == OpKind::Wide {
+            wide_ops += 1;
+            driver += op.metrics.shuffle_records as f64 / params.driver_records_per_sec;
+            if cluster.nodes > 1 {
+                let bytes = op.metrics.shuffle_bytes as f64;
+                let cross = bytes * (n - 1.0) / n;
+                network += cross / (n * params.net_bytes_per_sec);
+            }
+        }
+    }
+
+    let overhead = params.job_startup_secs
+        + wide_ops as f64 * params.barrier_secs * (1.0 + params.barrier_node_factor * n.ln());
+
+    SimTime {
+        compute,
+        driver,
+        network,
+        overhead,
+    }
+}
+
+/// Linearly scale a report's record and byte counts by `factor`.
+///
+/// The joins ScrubJay runs are linear in input rows (Figure 3 left
+/// panels), so metrics measured at a tractable local size can be
+/// extrapolated to the paper's 2 M – 40 M row range before costing.
+pub fn scale_report(report: &MetricsReport, factor: f64) -> MetricsReport {
+    let mut out = report.clone();
+    for op in &mut out.ops {
+        let m = &mut op.metrics;
+        m.records_in = (m.records_in as f64 * factor).round() as u64;
+        m.records_out = (m.records_out as f64 * factor).round() as u64;
+        m.shuffle_bytes = (m.shuffle_bytes as f64 * factor).round() as u64;
+        m.shuffle_records = (m.shuffle_records as f64 * factor).round() as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{OpEntry, OpMetrics};
+
+    fn report(records: u64, shuffle_records: u64, shuffle_bytes: u64) -> MetricsReport {
+        MetricsReport {
+            ops: vec![
+                OpEntry {
+                    name: "map".into(),
+                    kind: OpKind::Narrow,
+                    metrics: OpMetrics {
+                        records_in: records,
+                        records_out: records,
+                        ..Default::default()
+                    },
+                },
+                OpEntry {
+                    name: "group_by_key".into(),
+                    kind: OpKind::Wide,
+                    metrics: OpMetrics {
+                        records_in: records,
+                        records_out: records / 2,
+                        shuffle_bytes,
+                        shuffle_records,
+                        ..Default::default()
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn more_nodes_reduce_total_time() {
+        let r = report(40_000_000, 40_000_000, 4_000_000_000);
+        let p = CostParams::paper();
+        let t1 = estimate(&r, &ClusterSpec::new(1, 32).unwrap(), &p);
+        let t10 = estimate(&r, &ClusterSpec::new(10, 32).unwrap(), &p);
+        assert!(t10.compute < t1.compute);
+        assert!(t10.total() < t1.total());
+    }
+
+    #[test]
+    fn strong_scaling_is_monotonic_in_nodes() {
+        let r = report(40_000_000, 40_000_000, 2_000_000_000);
+        let p = CostParams::paper();
+        let mut last = f64::INFINITY;
+        for n in 1..=10 {
+            let t = estimate(&r, &ClusterSpec::new(n, 32).unwrap(), &p).total();
+            assert!(
+                t < last,
+                "time should decrease with nodes: n={n} t={t} last={last}"
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn driver_term_does_not_scale_with_nodes() {
+        let r = report(1_000_000, 1_000_000, 1_000_000_000);
+        let p = CostParams::paper();
+        let t1 = estimate(&r, &ClusterSpec::new(1, 32).unwrap(), &p);
+        let t10 = estimate(&r, &ClusterSpec::new(10, 32).unwrap(), &p);
+        assert!((t1.driver - t10.driver).abs() < 1e-9);
+        assert!(t1.driver > 0.0);
+    }
+
+    #[test]
+    fn single_node_has_no_network_cost() {
+        let r = report(1_000_000, 1_000_000, 1_000_000_000);
+        let t = estimate(&r, &ClusterSpec::new(1, 32).unwrap(), &CostParams::paper());
+        assert_eq!(t.network, 0.0);
+    }
+
+    #[test]
+    fn time_is_linear_in_rows() {
+        let p = CostParams::paper();
+        let c = ClusterSpec::paper_cluster();
+        let t1 = estimate(&report(2_000_000, 2_000_000, 100_000_000), &c, &p).total();
+        let t2 = estimate(&report(4_000_000, 4_000_000, 200_000_000), &c, &p).total();
+        let t4 = estimate(&report(8_000_000, 8_000_000, 400_000_000), &c, &p).total();
+        let d1 = t2 - t1;
+        let d2 = t4 - t2;
+        assert!((d2 / d1 - 2.0).abs() < 0.05, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn op_overrides_make_named_stages_expensive() {
+        let p = CostParams::paper();
+        let cheap = MetricsReport {
+            ops: vec![OpEntry {
+                name: "flat_map".into(),
+                kind: OpKind::Narrow,
+                metrics: OpMetrics {
+                    records_in: 1_000_000,
+                    records_out: 1_000_000,
+                    ..Default::default()
+                },
+            }],
+        };
+        let mut expensive = cheap.clone();
+        expensive.ops[0].name = "interp_match".into();
+        let c = ClusterSpec::new(1, 32).unwrap();
+        let tc = estimate(&cheap, &c, &p).compute;
+        let te = estimate(&expensive, &c, &p).compute;
+        assert!(te > 50.0 * tc, "override should dominate: {te} vs {tc}");
+    }
+
+    #[test]
+    fn scale_report_scales_counters() {
+        let r = report(1000, 1000, 5000);
+        let s = scale_report(&r, 2.5);
+        assert_eq!(s.ops[0].metrics.records_in, 2500);
+        assert_eq!(s.ops[1].metrics.shuffle_bytes, 12500);
+        assert_eq!(s.ops[1].metrics.shuffle_records, 2500);
+    }
+
+    #[test]
+    fn wide_ops_cost_more_than_narrow_per_record() {
+        let p = CostParams::paper();
+        assert!(p.wide_secs_per_record > p.narrow_secs_per_record);
+        assert!(p.narrow_secs_per_record > p.source_secs_per_record);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let r = report(5_000_000, 5_000_000, 500_000_000);
+        let t = estimate(&r, &ClusterSpec::paper_cluster(), &CostParams::paper());
+        let sum = t.compute + t.driver + t.network + t.overhead;
+        assert!((t.total() - sum).abs() < 1e-12);
+    }
+}

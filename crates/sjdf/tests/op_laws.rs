@@ -1,0 +1,230 @@
+//! Property tests: the data-parallel operations obey the laws their
+//! sequential counterparts do, independent of partitioning.
+
+use proptest::prelude::*;
+use sjdf::{ClusterSpec, ExecCtx, Rdd};
+use std::collections::BTreeMap;
+
+fn ctx() -> ExecCtx {
+    ExecCtx::new(ClusterSpec::new(1, 3).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// map/filter/flat_map agree with the sequential iterator semantics
+    /// regardless of the partition count.
+    #[test]
+    fn narrow_ops_match_sequential(
+        data in prop::collection::vec(0u64..1000, 0..200),
+        parts in 1usize..9,
+    ) {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, data.clone(), parts);
+        let got = rdd
+            .map(|x| x * 3)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect()
+            .unwrap();
+        let expected: Vec<u64> = data
+            .iter()
+            .map(|x| x * 3)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// count and collect().len() agree; union concatenates.
+    #[test]
+    fn count_and_union_laws(
+        a in prop::collection::vec(0i64..100, 0..100),
+        b in prop::collection::vec(0i64..100, 0..100),
+        parts in 1usize..6,
+    ) {
+        let c = ctx();
+        let ra = Rdd::parallelize(&c, a.clone(), parts);
+        let rb = Rdd::parallelize(&c, b.clone(), parts);
+        prop_assert_eq!(ra.count().unwrap(), a.len());
+        let u = ra.union(&rb);
+        prop_assert_eq!(u.count().unwrap(), a.len() + b.len());
+        let mut expected = a.clone();
+        expected.extend(&b);
+        prop_assert_eq!(u.collect().unwrap(), expected);
+    }
+
+    /// group_by_key groups exactly like a sequential BTreeMap fold,
+    /// for any partitioning on either side of the shuffle.
+    #[test]
+    fn group_by_key_matches_reference(
+        pairs in prop::collection::vec((0u64..10, 0u64..100), 0..150),
+        in_parts in 1usize..6,
+        out_parts in 1usize..6,
+    ) {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, pairs.clone(), in_parts);
+        let mut got: Vec<(u64, Vec<u64>)> = rdd
+            .group_by_key(out_parts)
+            .map(|(k, mut vs)| { vs.sort(); (k, vs) })
+            .collect()
+            .unwrap();
+        got.sort();
+        let mut expected: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (k, v) in pairs {
+            expected.entry(k).or_default().push(v);
+        }
+        let mut expected: Vec<(u64, Vec<u64>)> = expected
+            .into_iter()
+            .map(|(k, mut vs)| { vs.sort(); (k, vs) })
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// reduce_by_key(+) equals group_by_key + sum.
+    #[test]
+    fn reduce_by_key_equals_grouped_sum(
+        pairs in prop::collection::vec((0u64..8, 0u64..100), 0..150),
+        parts in 1usize..6,
+    ) {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, pairs, 4);
+        let mut a = rdd.reduce_by_key(parts, |x, y| x + y).collect().unwrap();
+        a.sort();
+        let mut b: Vec<(u64, u64)> = rdd
+            .group_by_key(parts)
+            .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
+            .collect()
+            .unwrap();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// sort_by_key yields a globally sorted permutation of the input.
+    #[test]
+    fn sort_by_key_is_a_sorted_permutation(
+        pairs in prop::collection::vec((-50i64..50, 0u64..100), 0..200),
+        parts in 1usize..6,
+    ) {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, pairs.clone(), 5);
+        let got = rdd.sort_by_key(parts).collect().unwrap();
+        prop_assert_eq!(got.len(), pairs.len());
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        let mut expected = pairs.clone();
+        expected.sort();
+        prop_assert_eq!(got_sorted, expected);
+    }
+
+    /// join equals the nested-loop reference with multiplicities.
+    #[test]
+    fn join_matches_nested_loop(
+        left in prop::collection::vec((0u64..6, 0u64..50), 0..60),
+        right in prop::collection::vec((0u64..6, 0u64..50), 0..60),
+        parts in 1usize..5,
+    ) {
+        let c = ctx();
+        let l = Rdd::parallelize(&c, left.clone(), 3);
+        let r = Rdd::parallelize(&c, right.clone(), 2);
+        let mut got = l.join(&r, parts).collect().unwrap();
+        got.sort();
+        let mut expected: Vec<(u64, (u64, u64))> = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rv) in &right {
+                if lk == rk {
+                    expected.push((lk, (lv, rv)));
+                }
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// distinct equals the set of inputs.
+    #[test]
+    fn distinct_matches_set(
+        data in prop::collection::vec(0u32..40, 0..200),
+        parts in 1usize..6,
+    ) {
+        let c = ctx();
+        let mut got = Rdd::parallelize(&c, data.clone(), 4)
+            .distinct(parts)
+            .collect()
+            .unwrap();
+        got.sort();
+        let mut expected: Vec<u32> = data;
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Repartitioning never changes the multiset of elements.
+    #[test]
+    fn repartition_preserves_content(
+        data in prop::collection::vec(0u64..1000, 0..200),
+        from in 1usize..6,
+        to in 1usize..9,
+    ) {
+        let c = ctx();
+        let mut got = Rdd::parallelize(&c, data.clone(), from)
+            .repartition(to)
+            .collect()
+            .unwrap();
+        got.sort();
+        let mut expected = data;
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// fold with (0, +) equals the sum, for any partitioning.
+    #[test]
+    fn fold_sums(data in prop::collection::vec(0u64..1000, 0..200), parts in 1usize..8) {
+        let c = ctx();
+        let rdd = Rdd::parallelize(&c, data.clone(), parts);
+        let got = rdd.fold(0u64, |a, x| a + x, |a, b| a + b).unwrap();
+        prop_assert_eq!(got, data.iter().sum::<u64>());
+    }
+
+    /// The simulated time estimate is monotone in both data volume and
+    /// (inversely) node count for any workload.
+    #[test]
+    fn simtime_monotonicity(
+        records in 1_000u64..50_000_000,
+        shuffle in 1_000u64..50_000_000,
+    ) {
+        use sjdf::metrics::{MetricsReport, OpEntry, OpKind, OpMetrics};
+        use sjdf::simtime::{estimate, scale_report, CostParams};
+        let report = MetricsReport {
+            ops: vec![OpEntry {
+                name: "group_by_key".into(),
+                kind: OpKind::Wide,
+                metrics: OpMetrics {
+                    records_in: records,
+                    records_out: records,
+                    shuffle_records: shuffle,
+                    shuffle_bytes: shuffle * 32,
+                    tasks: 8,
+                },
+            }],
+        };
+        let p = CostParams::paper();
+        let c1 = ClusterSpec::new(1, 32).unwrap();
+        let c10 = ClusterSpec::new(10, 32).unwrap();
+        let t1 = estimate(&report, &c1, &p);
+        let t10 = estimate(&report, &c10, &p);
+        // Compute always shrinks with more nodes; the *total* only does
+        // once the workload outweighs the added coordination overhead
+        // (for tiny inputs more nodes genuinely cost time).
+        prop_assert!(t10.compute <= t1.compute);
+        if records >= 20_000_000 {
+            prop_assert!(t10.total() <= t1.total());
+        }
+        let bigger = scale_report(&report, 2.0);
+        prop_assert!(estimate(&bigger, &c1, &p).total() > t1.total());
+    }
+}

@@ -1,0 +1,175 @@
+//! Case study §7.3: CPU frequency throttling impact on node power
+//! consumption (reproduces Figures 6 and 7).
+//!
+//! Builds the second DAT's catalog (PAPI CPU counters, IPMI motherboard
+//! data, CPU specifications), queries active CPU frequency plus CPU and
+//! node counter rates, prints the derivation sequence (Figure 7),
+//! executes it, and writes the per-run derived series (Figure 6) to
+//! `target/fig6_throttling.csv`. The expected signatures: mg.C runs at
+//! full frequency with a low instruction rate and heavy memory traffic;
+//! prime95 throttles aggressively while retiring instructions fast.
+//!
+//! Run with: `cargo run --release --example cpu_throttling`
+
+use scrubjay::prelude::*;
+use sjdata::{dat2, Dat2Config};
+
+fn main() -> sjcore::Result<()> {
+    let ctx = ExecCtx::local();
+    let cfg = Dat2Config::default();
+    println!(
+        "Simulating DAT 2: {} nodes x {} cpus, 3x mg.C then 3x prime95, {}s runs",
+        cfg.nodes, cfg.cpus_per_node, cfg.run_secs
+    );
+    let (catalog, truth) = dat2(&ctx, &cfg)?;
+    for name in catalog.dataset_names() {
+        println!(
+            "  dataset `{name}`: {} rows, schema {}",
+            catalog.dataset(name)?.count()?,
+            catalog.dataset(name)?.schema()
+        );
+    }
+
+    // The Figure 7 query: active CPU frequency for CPUs, plus CPU
+    // instruction rates and node memory read/write rates.
+    let query = Query::new(
+        ["cpu", "node", "socket"],
+        vec![
+            QueryValue::dim("frequency"),
+            QueryValue::with_units("instructions", "instructions-per-ms"),
+            QueryValue::with_units("memory-reads", "memory-reads-per-ms"),
+            QueryValue::with_units("memory-writes", "memory-writes-per-ms"),
+            QueryValue::dim("power"),
+            QueryValue::dim("thermal-margin"),
+        ],
+    );
+    let engine = QueryEngine::new(&catalog);
+    let plan = engine.solve(&query)?;
+    println!("\nQuery: {}", query.describe());
+    println!("\nDerivation sequence (Figure 7):\n{}", plan.describe());
+
+    let result = plan.execute(&catalog, None)?;
+    let schema = result.schema().clone();
+    let rows = result.collect()?;
+    println!("Derived dataset: {} rows, schema {}", rows.len(), schema);
+
+    let time_i = schema.index_of("time")?;
+    let freq_i = schema.index_of("active_frequency")?;
+    let instr_i = schema.index_of("instructions_rate")?;
+    let reads_i = schema.index_of("mem_reads_rate")?;
+    let margin_i = schema.index_of("thermal_margin")?;
+
+    // Figure 6 series: per-sample derived values tagged with the run.
+    let run_of = |secs: i64| -> Option<(usize, &'static str)> {
+        truth.runs.iter().enumerate().find_map(|(i, span)| {
+            span.contains(Timestamp::from_secs(secs)).then(|| {
+                (i + 1, if i < 3 { "mg.C" } else { "prime95" })
+            })
+        })
+    };
+    let mut csv =
+        String::from("time_secs,run,app,active_freq_mhz,instr_per_ms,mem_reads_per_ms,thermal_margin\n");
+    let mut per_run: Vec<Vec<(f64, f64, f64, f64)>> = vec![Vec::new(); 6];
+    let mut points = 0usize;
+    let mut sorted: Vec<&Row> = rows.iter().collect();
+    sorted.sort_by_key(|r| r.get(time_i).as_time().map(|t| t.as_micros()));
+    for r in sorted {
+        let Some(t) = r.get(time_i).as_time() else { continue };
+        let Some((run, app)) = run_of(t.as_secs()) else { continue };
+        let (Some(f), Some(i), Some(m), Some(g)) = (
+            r.get(freq_i).as_f64(),
+            r.get(instr_i).as_f64(),
+            r.get(reads_i).as_f64(),
+            r.get(margin_i).as_f64(),
+        ) else {
+            continue;
+        };
+        csv.push_str(&format!(
+            "{},{run},{app},{f:.1},{i:.0},{m:.0},{g:.2}\n",
+            t.as_secs()
+        ));
+        per_run[run - 1].push((f, i, m, g));
+        points += 1;
+    }
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/fig6_throttling.csv", &csv)
+        .map_err(|e| sjcore::SjError::Io(e.to_string()))?;
+    println!("Figure 6 series ({points} points) written to target/fig6_throttling.csv");
+
+    // Terminal rendering of the Figure 6 frequency panel: per-minute mean
+    // active frequency across the six runs (mg.C flat at base, prime95
+    // throttled).
+    {
+        use std::collections::BTreeMap;
+        let mut bins: BTreeMap<i64, (f64, u32)> = BTreeMap::new();
+        for line in csv.lines().skip(1) {
+            let mut cols = line.split(',');
+            let (Some(t), Some(f)) = (cols.next(), cols.nth(2)) else { continue };
+            let (Ok(t), Ok(f)) = (t.parse::<i64>(), f.parse::<f64>()) else { continue };
+            let e = bins.entry(t / 60).or_insert((0.0, 0));
+            e.0 += f;
+            e.1 += 1;
+        }
+        let freq_series = scrubjay::textplot::Series::new(
+            "freq(MHz)",
+            bins.iter()
+                .map(|(m, (s, n))| ((*m * 60) as f64, s / *n as f64))
+                .collect(),
+        );
+        println!(
+            "\nFigure 6 — active CPU frequency over the six runs:\n{}",
+            scrubjay::textplot::render(&[freq_series], 72, 12)
+        );
+    }
+
+    // Per-run means — the Figure 6 signatures.
+    println!("\nPer-run derived means:");
+    println!("run  app       freq(MHz)  instr/ms     mem-reads/ms  margin(dC)");
+    let mut means = Vec::new();
+    for (i, samples) in per_run.iter().enumerate() {
+        let n = samples.len().max(1) as f64;
+        let mean =
+            |f: fn(&(f64, f64, f64, f64)) -> f64| samples.iter().map(f).sum::<f64>() / n;
+        let (f, instr, m, g) = (
+            mean(|s| s.0),
+            mean(|s| s.1),
+            mean(|s| s.2),
+            mean(|s| s.3),
+        );
+        println!(
+            "{:3}  {:8}  {f:9.0}  {instr:11.0}  {m:12.0}  {g:9.1}",
+            i + 1,
+            if i < 3 { "mg.C" } else { "prime95" },
+        );
+        means.push((f, instr, m, g));
+    }
+
+    // Assert the paper's qualitative result.
+    let mgc = &means[0..3];
+    let prime = &means[3..6];
+    let avg = |s: &[(f64, f64, f64, f64)], f: fn(&(f64, f64, f64, f64)) -> f64| {
+        s.iter().map(f).sum::<f64>() / s.len() as f64
+    };
+    let mgc_freq = avg(mgc, |s| s.0);
+    let prime_freq = avg(prime, |s| s.0);
+    let mgc_instr = avg(mgc, |s| s.1);
+    let prime_instr = avg(prime, |s| s.1);
+    println!(
+        "\nmg.C:    full frequency ({mgc_freq:.0} MHz ~ base {}), low instruction rate",
+        cfg.base_mhz
+    );
+    println!(
+        "prime95: throttled ({prime_freq:.0} MHz), high instruction rate ({:.1}x mg.C)",
+        prime_instr / mgc_instr
+    );
+    assert!(mgc_freq > 0.95 * cfg.base_mhz, "mg.C should not throttle");
+    assert!(
+        prime_freq < 0.75 * cfg.base_mhz,
+        "prime95 should throttle aggressively"
+    );
+    assert!(
+        prime_instr > 2.0 * mgc_instr,
+        "prime95 should retire instructions faster"
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Quickstart: wrap a CSV, annotate it, query by dimensions, and unwrap
+//! the derived result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use scrubjay::prelude::*;
+use sjcore::wrappers::{unwrap_csv, wrap_csv, CsvOptions};
+
+fn main() -> sjcore::Result<()> {
+    let ctx = ExecCtx::local();
+    let mut catalog = Catalog::default_hpc();
+
+    // --- 1. Wrap raw tables ------------------------------------------------
+    // Node temperature samples (note the column names differ between
+    // sources — ScrubJay matches them through semantics, not names).
+    let temps_csv = "\
+timestamp,node_id,node_temp
+2017-03-27 16:43:27,cab5,67.4
+2017-03-27 16:43:27,cab6,61.2
+2017-03-27 16:45:27,cab5,68.1
+2017-03-27 16:45:27,cab6,60.9
+";
+    let temps_schema = Schema::new(vec![
+        FieldDef::new("timestamp", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("node_id", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("node_temp", FieldSemantics::value("temperature", "celsius")),
+    ])?;
+    let temps = wrap_csv(
+        &ctx,
+        temps_csv,
+        temps_schema,
+        catalog.dict(),
+        "node_temps",
+        &CsvOptions::default(),
+    )?;
+
+    // The node/rack layout, from a facility administrator.
+    let layout_csv = "\
+NODEID,rack
+cab5,rack17
+cab6,rack18
+";
+    let layout_schema = Schema::new(vec![
+        FieldDef::new("NODEID", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])?;
+    let layout = wrap_csv(
+        &ctx,
+        layout_csv,
+        layout_schema,
+        catalog.dict(),
+        "node_layout",
+        &CsvOptions::default(),
+    )?;
+
+    catalog.register_dataset("node_temps", temps)?;
+    catalog.register_dataset("node_layout", layout)?;
+
+    // --- 2. Query by dimensions --------------------------------------------
+    // "Temperatures per rack" — no table names, no join conditions.
+    let query = Query::new(["rack"], vec![QueryValue::dim("temperature")]);
+    let engine = QueryEngine::new(&catalog);
+    let plan = engine.solve(&query)?;
+
+    println!("Query: {}", query.describe());
+    println!("\nDerivation sequence found by the engine:\n{}", plan.describe());
+    println!("Reproducible JSON plan:\n{}\n", plan.to_json());
+
+    // --- 3. Execute and unwrap ----------------------------------------------
+    let result = plan.execute(&catalog, None)?;
+    println!("Result ({} rows):\n{}", result.count()?, result.show(10)?);
+    println!("Unwrapped back to CSV:\n{}", unwrap_csv(&result)?);
+    Ok(())
+}

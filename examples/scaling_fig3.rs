@@ -1,0 +1,128 @@
+//! Figure 3 series printer: performance scaling of Natural Join and
+//! Interpolation Join.
+//!
+//! Runs the real data-parallel joins locally at a tractable size to
+//! record their task metrics, scales those metrics linearly to the
+//! paper's row counts (both joins are linear in rows — validated by the
+//! criterion benches), and costs them against the paper's virtual
+//! cluster (10 nodes x 32 cores) with the calibrated cost model. Prints
+//! all four panels of Figure 3 and writes them to
+//! `target/fig3_scaling.csv`.
+//!
+//! Run with: `cargo run --release --example scaling_fig3`
+
+use scrubjay::prelude::*;
+use sjcore::derivations::combine::{InterpolationJoin, NaturalJoin};
+use sjcore::derivations::Combination;
+use sjdata::synth::{interp_join_inputs, natural_join_inputs, JoinWorkload};
+use sjdf::metrics::MetricsReport;
+use sjdf::simtime::{estimate, scale_report, CostParams};
+
+/// Measure one join's task metrics at the calibration size.
+fn measure(join: &str, calib_rows: usize) -> (MetricsReport, usize) {
+    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).expect("cluster"));
+    let dict = SemanticDictionary::default_hpc();
+    let out_rows = match join {
+        "natural" => {
+            // Density-constant workload: time range scales with rows so
+            // per-row cost is constant and metrics extrapolate linearly.
+            let w = JoinWorkload {
+                rows: calib_rows,
+                nodes: 500,
+                time_range_secs: ((calib_rows as f64 * 0.36) as i64).max(600),
+                partitions: 8,
+                seed: 42,
+            };
+            let (l, r) = natural_join_inputs(&ctx, &w);
+            NaturalJoin.apply(&l, &r, &dict).expect("join").count().expect("count")
+        }
+        _ => {
+            // Denser in time than the natural-join workload: sensor-style
+            // data where each left element matches several right samples
+            // inside the window — the regime where the paper's
+            // interpolation join is ~15x costlier per row.
+            let w = JoinWorkload {
+                rows: calib_rows,
+                nodes: 100,
+                time_range_secs: ((calib_rows as f64 * 0.18) as i64).max(600),
+                partitions: 8,
+                seed: 42,
+            };
+            let (l, r) = interp_join_inputs(&ctx, &w);
+            InterpolationJoin::new(60.0)
+                .apply(&l, &r, &dict)
+                .expect("join")
+                .count()
+                .expect("count")
+        }
+    };
+    (ctx.metrics.report(), out_rows)
+}
+
+fn main() {
+    let params = CostParams::paper();
+    let calib_rows = 40_000;
+    println!("Calibrating against real local runs at {calib_rows} rows/side...");
+    let (nj_report, nj_out) = measure("natural", calib_rows);
+    let (ij_report, ij_out) = measure("interp", calib_rows);
+    println!(
+        "  natural join: {} output rows, {} shuffle bytes",
+        nj_out,
+        nj_report.total_shuffle_bytes()
+    );
+    println!(
+        "  interp join:  {} output rows, {} shuffle bytes",
+        ij_out,
+        ij_report.total_shuffle_bytes()
+    );
+
+    let mut csv = String::from("panel,x,seconds\n");
+
+    // Panel (a): Natural Join, 10 nodes, 2M..40M rows.
+    let ten_nodes = ClusterSpec::paper_cluster();
+    println!("\nFigure 3a — Natural Join, 10 nodes, 32 cores/node");
+    println!("{:>12} {:>10}", "rows", "time (s)");
+    for rows in (2..=40).step_by(4).map(|m| m * 1_000_000usize) {
+        let scaled = scale_report(&nj_report, rows as f64 / calib_rows as f64);
+        let t = estimate(&scaled, &ten_nodes, &params).total();
+        println!("{rows:>12} {t:>10.2}");
+        csv.push_str(&format!("natural_rows,{rows},{t:.3}\n"));
+    }
+
+    // Panel (b): Natural Join strong scaling, 40M rows, 1..10 nodes.
+    println!("\nFigure 3b — Natural Join strong scaling, 40M rows");
+    println!("{:>6} {:>10}", "nodes", "time (s)");
+    let nj40 = scale_report(&nj_report, 40_000_000.0 / calib_rows as f64);
+    for nodes in 1..=10 {
+        let t = estimate(&nj40, &ten_nodes.with_nodes(nodes), &params).total();
+        println!("{nodes:>6} {t:>10.2}");
+        csv.push_str(&format!("natural_nodes,{nodes},{t:.3}\n"));
+    }
+
+    // Panel (c): Interpolation Join, 10 nodes, 2M..40M rows.
+    println!("\nFigure 3c — Interpolation Join, 10 nodes, 32 cores/node");
+    println!("{:>12} {:>10}", "rows", "time (s)");
+    for rows in (2..=40).step_by(4).map(|m| m * 1_000_000usize) {
+        let scaled = scale_report(&ij_report, rows as f64 / calib_rows as f64);
+        let t = estimate(&scaled, &ten_nodes, &params).total();
+        println!("{rows:>12} {t:>10.2}");
+        csv.push_str(&format!("interp_rows,{rows},{t:.3}\n"));
+    }
+
+    // Panel (d): Interpolation Join strong scaling, 16M rows, 1..10 nodes.
+    println!("\nFigure 3d — Interpolation Join strong scaling, 16M rows");
+    println!("{:>6} {:>10}", "nodes", "time (s)");
+    let ij16 = scale_report(&ij_report, 16_000_000.0 / calib_rows as f64);
+    for nodes in 1..=10 {
+        let t = estimate(&ij16, &ten_nodes.with_nodes(nodes), &params).total();
+        println!("{nodes:>6} {t:>10.2}");
+        csv.push_str(&format!("interp_nodes,{nodes},{t:.3}\n"));
+    }
+
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/fig3_scaling.csv", &csv).expect("write csv");
+    println!("\nAll four panels written to target/fig3_scaling.csv");
+    println!(
+        "Paper endpoints for comparison: 3a 2-8s, 3b 13->8.5s, 3c 10-120s, 3d 240->45s"
+    );
+}

@@ -1,0 +1,253 @@
+//! `sjq` — the ScrubJay query command-line tool.
+//!
+//! Loads a directory of annotated CSV datasets (see
+//! [`scrubjay::catalog_io`]), solves a dimension-level query with the
+//! derivation engine, and prints the plan and/or the derived dataset.
+//!
+//! ```text
+//! sjq --data DIR --domains job,rack --values application,heat
+//!     [--units heat=delta-celsius] [--plan-only] [--window SECS]
+//!     [--step SECS] [--out FILE.csv] [--limit N]
+//! ```
+
+use scrubjay::catalog_io::load_catalog_dir;
+use scrubjay::prelude::*;
+use sjcore::engine::EngineConfig;
+use sjcore::wrappers::{unwrap_csv, write_csv_file};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    data: String,
+    domains: Vec<String>,
+    values: Vec<String>,
+    units: HashMap<String, String>,
+    plan_only: bool,
+    window_secs: f64,
+    step_secs: f64,
+    out: Option<String>,
+    limit: usize,
+}
+
+const USAGE: &str = "\
+sjq — ScrubJay query tool
+
+USAGE:
+  sjq --data DIR --domains D1,D2 --values V1,V2 [OPTIONS]
+
+OPTIONS:
+  --data DIR        directory of <name>.csv + <name>.schema.json pairs
+  --domains LIST    comma-separated domain dimensions of interest
+  --values LIST     comma-separated value dimensions of interest
+  --units V=U,...   units constraints for value dimensions
+  --plan-only       print the derivation sequence without executing it
+  --window SECS     interpolation-join window W (default 120)
+  --step SECS       explode-continuous step (default 60)
+  --out FILE        write the derived dataset to FILE as CSV
+  --limit N         rows to print when no --out is given (default 20)
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        data: String::new(),
+        domains: Vec::new(),
+        values: Vec::new(),
+        units: HashMap::new(),
+        plan_only: false,
+        window_secs: 120.0,
+        step_secs: 60.0,
+        out: None,
+        limit: 20,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--data" => args.data = value("--data")?,
+            "--domains" => {
+                args.domains = value("--domains")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--values" => {
+                args.values = value("--values")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--units" => {
+                for pair in value("--units")?.split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad --units entry `{pair}` (want dim=units)"))?;
+                    args.units.insert(k.trim().to_string(), v.trim().to_string());
+                }
+            }
+            "--plan-only" => args.plan_only = true,
+            "--window" => {
+                args.window_secs = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?
+            }
+            "--step" => {
+                args.step_secs = value("--step")?
+                    .parse()
+                    .map_err(|e| format!("bad --step: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--limit" => {
+                args.limit = value("--limit")?
+                    .parse()
+                    .map_err(|e| format!("bad --limit: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.data.is_empty() {
+        return Err("--data is required".into());
+    }
+    if args.domains.is_empty() || args.values.is_empty() {
+        return Err("--domains and --values are required".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let ctx = ExecCtx::local();
+    let catalog = load_catalog_dir(&ctx, &args.data).map_err(|e| e.to_string())?;
+    eprintln!("Loaded datasets: {:?}", catalog.dataset_names());
+
+    let values: Vec<QueryValue> = args
+        .values
+        .iter()
+        .map(|v| match args.units.get(v) {
+            Some(u) => QueryValue::with_units(v, u),
+            None => QueryValue::dim(v),
+        })
+        .collect();
+    let query = Query {
+        domains: args.domains.clone(),
+        values,
+    };
+
+    let engine = QueryEngine::with_config(
+        &catalog,
+        EngineConfig {
+            interp_window_secs: args.window_secs,
+            explode_step_secs: args.step_secs,
+            ..EngineConfig::default()
+        },
+    );
+    let plan = engine.solve(&query).map_err(|e| e.to_string())?;
+    eprintln!("\nQuery: {}", query.describe());
+    eprintln!("\nDerivation sequence:\n{}", plan.describe());
+    eprintln!("Reproducible plan JSON follows on stdout when --plan-only.\n");
+    if args.plan_only {
+        println!("{}", plan.to_json());
+        return Ok(());
+    }
+
+    let result = plan.execute(&catalog, None).map_err(|e| e.to_string())?;
+    match &args.out {
+        Some(path) => {
+            write_csv_file(&result, path).map_err(|e| e.to_string())?;
+            eprintln!(
+                "Wrote {} rows to {path}",
+                result.count().map_err(|e| e.to_string())?
+            );
+        }
+        None => {
+            let n = result.count().map_err(|e| e.to_string())?;
+            if n <= args.limit {
+                print!("{}", unwrap_csv(&result).map_err(|e| e.to_string())?);
+            } else {
+                print!(
+                    "{}",
+                    result.show(args.limit).map_err(|e| e.to_string())?
+                );
+                eprintln!("... {n} rows total (use --out to save all)");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let args = parse_args(&argv(
+            "--data /tmp/x --domains job,rack --values application,heat \
+             --units heat=delta-celsius --window 300 --step 30 --limit 5",
+        ))
+        .unwrap();
+        assert_eq!(args.data, "/tmp/x");
+        assert_eq!(args.domains, vec!["job", "rack"]);
+        assert_eq!(args.values, vec!["application", "heat"]);
+        assert_eq!(args.units.get("heat").map(String::as_str), Some("delta-celsius"));
+        assert_eq!(args.window_secs, 300.0);
+        assert_eq!(args.step_secs, 30.0);
+        assert_eq!(args.limit, 5);
+        assert!(!args.plan_only);
+    }
+
+    #[test]
+    fn requires_data_domains_and_values() {
+        assert!(parse_args(&argv("--domains a --values b")).is_err());
+        assert!(parse_args(&argv("--data d --values b")).is_err());
+        assert!(parse_args(&argv("--data d --domains a")).is_err());
+        assert!(parse_args(&argv("--data d --domains a --values b")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_args(&argv("--data d --domains a --values b --frobnicate")).is_err());
+        assert!(parse_args(&argv("--data d --domains a --values b --window soon")).is_err());
+        assert!(parse_args(&argv("--data d --domains a --values b --units heat")).is_err());
+        assert!(parse_args(&argv("--data")).is_err());
+    }
+
+    #[test]
+    fn plan_only_and_out_flags() {
+        let args = parse_args(&argv(
+            "--data d --domains a --values b --plan-only --out f.csv",
+        ))
+        .unwrap();
+        assert!(args.plan_only);
+        assert_eq!(args.out.as_deref(), Some("f.csv"));
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

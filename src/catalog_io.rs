@@ -1,0 +1,121 @@
+//! Loading a ScrubJay catalog from a directory of CSV files with JSON
+//! schema sidecars.
+//!
+//! Layout: every dataset is a pair `<name>.csv` + `<name>.schema.json`
+//! (a serialized [`Schema`]). This is the on-disk knowledge-base format
+//! the `sjq` command-line tool consumes, and a convenient way to share
+//! annotated datasets between analysts.
+
+use sjcore::catalog::Catalog;
+use sjcore::wrappers::{wrap_csv, CsvOptions};
+use sjcore::{Result, Schema, SjError};
+use sjdf::ExecCtx;
+use std::path::Path;
+
+/// Load every `<name>.csv` + `<name>.schema.json` pair under `dir` into
+/// a catalog over the default HPC dictionary (with the default rules).
+pub fn load_catalog_dir(ctx: &ExecCtx, dir: impl AsRef<Path>) -> Result<Catalog> {
+    let dir = dir.as_ref();
+    let mut catalog = Catalog::default_hpc();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| SjError::Io(format!("{}: {e}", dir.display())))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(SjError::Io(format!(
+            "no .csv datasets found under {}",
+            dir.display()
+        )));
+    }
+    for csv_path in entries {
+        let name = csv_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| SjError::Io(format!("bad file name {}", csv_path.display())))?
+            .to_string();
+        let schema_path = csv_path.with_extension("schema.json");
+        let schema_text = std::fs::read_to_string(&schema_path).map_err(|e| {
+            SjError::Io(format!(
+                "dataset `{name}` needs a schema sidecar {}: {e}",
+                schema_path.display()
+            ))
+        })?;
+        let schema: Schema = serde_json::from_str(&schema_text)
+            .map_err(|e| SjError::ParseError(format!("{}: {e}", schema_path.display())))?;
+        let text = std::fs::read_to_string(&csv_path)
+            .map_err(|e| SjError::Io(format!("{}: {e}", csv_path.display())))?;
+        let ds = wrap_csv(
+            ctx,
+            &text,
+            schema,
+            catalog.dict(),
+            &name,
+            &CsvOptions::default(),
+        )?;
+        catalog.register_dataset(&name, ds)?;
+    }
+    Ok(catalog)
+}
+
+/// Write a dataset's schema sidecar next to a CSV (helper for exporting
+/// shareable catalogs).
+pub fn write_schema_sidecar(schema: &Schema, csv_path: impl AsRef<Path>) -> Result<()> {
+    let path = csv_path.as_ref().with_extension("schema.json");
+    let text = serde_json::to_string_pretty(schema)
+        .map_err(|e| SjError::Io(e.to_string()))?;
+    std::fs::write(path, text).map_err(|e| SjError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjcore::{FieldDef, FieldSemantics};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sj-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn temps_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn loads_csv_plus_sidecar_pairs() {
+        let dir = tmp_dir("load");
+        std::fs::write(dir.join("temps.csv"), "node,temp\nn1,61.5\nn2,64.0\n").unwrap();
+        write_schema_sidecar(&temps_schema(), dir.join("temps.csv")).unwrap();
+        let ctx = ExecCtx::local();
+        let catalog = load_catalog_dir(&ctx, &dir).unwrap();
+        assert_eq!(catalog.dataset_names(), vec!["temps"]);
+        assert_eq!(catalog.dataset("temps").unwrap().count().unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_sidecar_is_a_clear_error() {
+        let dir = tmp_dir("nosidecar");
+        std::fs::write(dir.join("temps.csv"), "node,temp\nn1,61.5\n").unwrap();
+        let ctx = ExecCtx::local();
+        let e = load_catalog_dir(&ctx, &dir).unwrap_err();
+        assert!(e.to_string().contains("schema sidecar"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_is_an_error() {
+        let dir = tmp_dir("empty");
+        let ctx = ExecCtx::local();
+        assert!(load_catalog_dir(&ctx, &dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,73 @@
+//! # ScrubJay — deriving knowledge from the disarray of HPC performance data
+//!
+//! A Rust reproduction of the SC '17 ScrubJay system (Giménez et al.):
+//! a framework for automatic analysis of disparate HPC performance data
+//! that decouples specifying data relationships from analyzing data.
+//!
+//! The workspace splits into three crates, re-exported here:
+//!
+//! * [`sjdf`] — the data-parallel substrate (a Spark-like lazy
+//!   partitioned-dataset engine with a virtual-cluster cost model);
+//! * [`sjcore`] — ScrubJay proper: semantic annotation, derivations
+//!   (including the interpolation join), the derivation engine, and
+//!   reproducible JSON plans;
+//! * [`sjdata`] — a synthetic LLNL-style facility simulator generating
+//!   the monitoring sources the paper's case studies analyze.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scrubjay::prelude::*;
+//!
+//! // A catalog shaped like the paper's first DAT session.
+//! let ctx = ExecCtx::local();
+//! let cfg = sjdata::Dat1Config {
+//!     racks: 4, nodes_per_rack: 4, amg_rack_index: 2, amg_nodes: 3,
+//!     background_jobs: 2, duration_secs: 1800,
+//!     ..Default::default()
+//! };
+//! let (catalog, _truth) = sjdata::dat1(&ctx, &cfg).unwrap();
+//!
+//! // Ask for application names per job and heat per rack — no table or
+//! // column names, just dimensions.
+//! let query = Query::new(
+//!     ["job", "rack"],
+//!     vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+//! );
+//! let engine = QueryEngine::new(&catalog);
+//! let plan = engine.solve(&query).unwrap();
+//! let result = plan.execute(&catalog, None).unwrap();
+//! assert!(result.count().unwrap() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sjcore;
+pub use sjdata;
+pub use sjdf;
+
+pub mod catalog_io;
+pub mod textplot;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sjcore::cache::ResultCache;
+    pub use sjcore::catalog::Catalog;
+    pub use sjcore::engine::{EngineConfig, Plan, Query, QueryEngine, QueryValue};
+    pub use sjcore::{
+        FieldDef, FieldSemantics, RelationType, Row, Schema, SemanticDictionary, SjDataset,
+        TimeSpan, Timestamp, Value,
+    };
+    pub use sjdata;
+    pub use sjdf::{ClusterSpec, ExecCtx, Rdd};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ctx = ExecCtx::local();
+        let _q = Query::new(["rack"], vec![QueryValue::dim("heat")]);
+    }
+}

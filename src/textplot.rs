@@ -1,0 +1,145 @@
+//! Minimal ASCII line charts for terminal output.
+//!
+//! The case-study examples regenerate the paper's figures as CSV series;
+//! this module additionally renders them as quick terminal plots so the
+//! shapes (AMG's rising heat curve, prime95's throttling steps) are
+//! visible without leaving the shell.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; the first character is the plot glyph.
+    pub label: String,
+    /// Data points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Shorthand constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Render series into a `width` × `height` character grid with y-axis
+/// labels and a legend line. Returns an empty string if no series has
+/// points.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let pts = || series.iter().flat_map(|s| s.points.iter());
+    if pts().next().is_none() {
+        return String::new();
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &(x, y) in pts() {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:>9.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    let mut xlabel = format!("x: {x0:.0} .. {x1:.0}");
+    xlabel.truncate(width);
+    out.push_str(&format!("{:>10}{xlabel}\n", ""));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "{} = {}",
+                s.label.chars().next().unwrap_or('*'),
+                s.label
+            )
+        })
+        .collect();
+    out.push_str(&format!("{:>10}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_render_empty() {
+        assert!(render(&[], 40, 10).is_empty());
+        assert!(render(&[Series::new("a", vec![])], 40, 10).is_empty());
+    }
+
+    #[test]
+    fn rising_line_puts_last_point_top_right() {
+        let s = Series::new(
+            "heat",
+            (0..20).map(|i| (i as f64, i as f64)).collect(),
+        );
+        let out = render(&[s], 40, 8);
+        let lines: Vec<&str> = out.lines().collect();
+        // Top row (after the y label) contains the glyph near the right.
+        let top = lines[0];
+        assert!(top.trim_end().ends_with('h'), "{top:?}");
+        // Bottom data row contains the glyph near the left.
+        let bottom = lines[7];
+        let data = &bottom[11..];
+        assert!(data.trim_start().starts_with('h') || data.starts_with('h'));
+        // Legend present.
+        assert!(out.contains("h = heat"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = Series::new("alpha", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("beta", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let out = render(&[a, b], 30, 6);
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::new("flat", vec![(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        let out = render(&[s], 30, 5);
+        assert!(out.contains('f'));
+    }
+
+    #[test]
+    fn axis_labels_reflect_ranges() {
+        let s = Series::new("x", vec![(100.0, 2.0), (200.0, 8.0)]);
+        let out = render(&[s], 30, 5);
+        assert!(out.contains("x: 100 .. 200"));
+        assert!(out.contains("8.00"));
+        assert!(out.contains("2.00"));
+    }
+}

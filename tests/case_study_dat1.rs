@@ -1,0 +1,155 @@
+//! End-to-end integration test of the first case study (§7.2):
+//! application impact on rack heat generation, Figures 4 and 5.
+//!
+//! Raw generated tables go in; the derivation engine must find the
+//! Figure 5 plan, and executing it must expose the paper's finding — the
+//! AMG job's rack is the heat outlier, with a steadily rising profile.
+
+use scrubjay::prelude::*;
+use sjdata::{dat1, Dat1Config};
+use std::collections::HashMap;
+
+fn small_cfg() -> Dat1Config {
+    Dat1Config {
+        racks: 6,
+        nodes_per_rack: 6,
+        amg_rack_index: 4,
+        amg_nodes: 5,
+        background_jobs: 5,
+        duration_secs: 3600,
+        sensor_interval_secs: 120.0,
+        seed: 0x5C8B,
+        partitions: 3,
+    }
+}
+
+fn rack_heat_query() -> Query {
+    Query::new(
+        ["job", "rack"],
+        vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+    )
+}
+
+#[test]
+fn engine_finds_the_figure5_sequence() {
+    let ctx = ExecCtx::local();
+    let (catalog, _) = dat1(&ctx, &small_cfg()).unwrap();
+    let engine = QueryEngine::new(&catalog);
+    let plan = engine.solve(&rack_heat_query()).unwrap();
+
+    // All three datasets participate, connected by two combinations.
+    let mut loads = plan.loads();
+    loads.sort();
+    assert_eq!(loads, vec!["job_queue_log", "node_layout", "rack_temps"]);
+    assert_eq!(plan.num_combines(), 2);
+
+    // The Figure 5 operations all appear, and the top combination is the
+    // interpolation join over time.
+    let ops: Vec<&str> = plan.ops().iter().map(|s| s.op_name()).collect();
+    for expected in [
+        "explode_discrete",
+        "explode_continuous",
+        "derive_heat",
+        "natural_join",
+        "interpolation_join",
+    ] {
+        assert!(ops.contains(&expected), "missing {expected} in {ops:?}");
+    }
+    assert_eq!(*ops.last().unwrap(), "interpolation_join");
+}
+
+#[test]
+fn amg_rack_is_the_heat_outlier_with_rising_profile() {
+    let ctx = ExecCtx::local();
+    let (catalog, truth) = dat1(&ctx, &small_cfg()).unwrap();
+    let engine = QueryEngine::new(&catalog);
+    let plan = engine.solve(&rack_heat_query()).unwrap();
+    let result = plan.execute(&catalog, None).unwrap();
+    let schema = result.schema().clone();
+    let rows = result.collect().unwrap();
+    assert!(!rows.is_empty());
+
+    let app_i = schema.index_of("job_name").unwrap();
+    let rack_i = schema.index_of("rack").unwrap();
+    let heat_i = schema.index_of("heat").unwrap();
+    let time_col = schema.domain_field_on("time").unwrap().name.clone();
+    let time_i = schema.index_of(&time_col).unwrap();
+
+    // Mean heat per (app, rack): the AMG pair must rank first.
+    let mut agg: HashMap<(String, String), (f64, usize)> = HashMap::new();
+    for r in &rows {
+        if let (Some(app), Some(rack), Some(h)) = (
+            r.get(app_i).as_str(),
+            r.get(rack_i).as_str(),
+            r.get(heat_i).as_f64(),
+        ) {
+            let e = agg.entry((app.into(), rack.into())).or_insert((0.0, 0));
+            e.0 += h;
+            e.1 += 1;
+        }
+    }
+    let mut ranked: Vec<((String, String), f64)> = agg
+        .into_iter()
+        .map(|(k, (s, n))| (k, s / n as f64))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let ((top_app, top_rack), top_heat) = &ranked[0];
+    assert_eq!(top_app, "AMG");
+    assert_eq!(top_rack, &truth.amg_rack);
+    assert!(*top_heat > 5.0, "AMG mean heat too low: {top_heat}");
+
+    // AMG's signature: heat rises over the run (Figure 4).
+    let mut amg_series: Vec<(i64, f64)> = rows
+        .iter()
+        .filter(|r| r.get(app_i).as_str() == Some("AMG"))
+        .filter_map(|r| Some((r.get(time_i).as_time()?.as_secs(), r.get(heat_i).as_f64()?)))
+        .collect();
+    amg_series.sort_by_key(|(t, _)| *t);
+    assert!(amg_series.len() > 10);
+    let half = amg_series.len() / 2;
+    let mean = |s: &[(i64, f64)]| s.iter().map(|(_, h)| h).sum::<f64>() / s.len() as f64;
+    let early = mean(&amg_series[..half]);
+    let late = mean(&amg_series[half..]);
+    assert!(
+        late > early + 1.0,
+        "AMG heat should rise: early={early:.2} late={late:.2}"
+    );
+}
+
+#[test]
+fn derived_rows_respect_the_node_rack_containment() {
+    // Every derived (node, rack) pair must agree with the ground-truth
+    // layout — the engine may not relate a job to a rack it did not run
+    // on (this is why the anchored layout join matters).
+    let ctx = ExecCtx::local();
+    let (catalog, truth) = dat1(&ctx, &small_cfg()).unwrap();
+    let plan = QueryEngine::new(&catalog).solve(&rack_heat_query()).unwrap();
+    let result = plan.execute(&catalog, None).unwrap();
+    let schema = result.schema().clone();
+    let rack_i = schema.index_of("rack").unwrap();
+    let node_col = schema.domain_field_on("compute-node").unwrap().name.clone();
+    let node_i = schema.index_of(&node_col).unwrap();
+    for r in result.collect().unwrap() {
+        let node = r.get(node_i).as_str().unwrap();
+        let rack = r.get(rack_i).as_str().unwrap();
+        assert_eq!(
+            truth.facility.layout().rack_of(node),
+            Some(rack),
+            "derived row places {node} on {rack}"
+        );
+    }
+}
+
+#[test]
+fn the_figure5_plan_round_trips_through_json() {
+    let ctx = ExecCtx::local();
+    let (catalog, _) = dat1(&ctx, &small_cfg()).unwrap();
+    let plan = QueryEngine::new(&catalog).solve(&rack_heat_query()).unwrap();
+    let json = plan.to_json();
+    let back = Plan::from_json(&json).unwrap();
+    assert_eq!(plan, back);
+    // The reloaded plan executes to the same number of rows.
+    let a = plan.execute(&catalog, None).unwrap().count().unwrap();
+    let b = back.execute(&catalog, None).unwrap().count().unwrap();
+    assert_eq!(a, b);
+}

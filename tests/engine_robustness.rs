@@ -1,0 +1,172 @@
+//! Engine robustness: large catalogs, the dataset-count cap, repeated
+//! solving, and schema-prediction consistency on every solvable query.
+
+use scrubjay::prelude::*;
+use sjcore::engine::EngineConfig;
+use sjcore::SjError;
+
+/// A chain catalog: dataset i shares a domain with dataset i+1 only, so
+/// relating the ends requires every link.
+fn chain_catalog(ctx: &ExecCtx, links: usize) -> Catalog {
+    let mut catalog = Catalog::default_hpc();
+    // Chain through alternating identifier dimensions.
+    let dims = [
+        ("compute-node", "node-id"),
+        ("rack", "rack-id"),
+        ("cpu", "cpu-id"),
+        ("socket", "socket-id"),
+        ("job", "job-id"),
+    ];
+    for i in 0..links {
+        let (d1, u1) = dims[i % dims.len()];
+        let (d2, u2) = dims[(i + 1) % dims.len()];
+        let schema = Schema::new(vec![
+            FieldDef::new("a", FieldSemantics::domain(d1, u1)),
+            FieldDef::new("b", FieldSemantics::domain(d2, u2)),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..4)
+            .map(|k| {
+                Row::new(vec![
+                    Value::str(format!("{d1}-{k}")),
+                    Value::str(format!("{d2}-{k}")),
+                ])
+            })
+            .collect();
+        catalog
+            .register_dataset(
+                &format!("link{i}"),
+                SjDataset::from_rows(ctx, rows, schema, format!("link{i}"), 1),
+            )
+            .unwrap();
+    }
+    // A value at the far end of the chain.
+    let (dl, ul) = dims[links % dims.len()];
+    let schema = Schema::new(vec![
+        FieldDef::new("x", FieldSemantics::domain(dl, ul)),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap();
+    let rows: Vec<Row> = (0..4)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("{dl}-{k}")),
+                Value::Float(60.0 + k as f64),
+            ])
+        })
+        .collect();
+    catalog
+        .register_dataset(
+            "sensor",
+            SjDataset::from_rows(ctx, rows, schema, "sensor", 1),
+        )
+        .unwrap();
+    catalog
+}
+
+#[test]
+fn chains_are_followed_link_by_link() {
+    let ctx = ExecCtx::local();
+    // 3 links: node->rack->cpu->socket, sensor on socket; query relates
+    // the chain's first domain to the sensor's value.
+    let catalog = chain_catalog(&ctx, 3);
+    let query = Query::new(["node"], vec![QueryValue::dim("temperature")]);
+    let plan = QueryEngine::new(&catalog).solve(&query).unwrap();
+    // Needs all three links plus the sensor.
+    assert_eq!(plan.loads().len(), 4);
+    assert_eq!(plan.num_combines(), 3);
+    let ds = plan.execute(&catalog, None).unwrap();
+    assert_eq!(ds.count().unwrap(), 4);
+}
+
+#[test]
+fn max_datasets_cap_limits_the_widening() {
+    let ctx = ExecCtx::local();
+    let catalog = chain_catalog(&ctx, 4);
+    let query = Query::new(["node"], vec![QueryValue::dim("temperature")]);
+    // The full chain needs 5 datasets; cap at 2 and it must fail.
+    let engine = QueryEngine::with_config(
+        &catalog,
+        EngineConfig {
+            max_datasets: 2,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(matches!(
+        engine.solve(&query).unwrap_err(),
+        SjError::NoSolution(_)
+    ));
+    // With the default cap it solves.
+    assert!(QueryEngine::new(&catalog).solve(&query).is_ok());
+}
+
+#[test]
+fn repeated_solving_is_stable() {
+    let ctx = ExecCtx::local();
+    let catalog = chain_catalog(&ctx, 3);
+    let query = Query::new(["node"], vec![QueryValue::dim("temperature")]);
+    let engine = QueryEngine::new(&catalog);
+    let first = engine.solve(&query).unwrap();
+    for _ in 0..5 {
+        assert_eq!(engine.solve(&query).unwrap(), first);
+    }
+}
+
+#[test]
+fn predicted_schema_matches_execution_on_many_queries() {
+    let ctx = ExecCtx::local();
+    let catalog = chain_catalog(&ctx, 4);
+    let engine = QueryEngine::new(&catalog);
+    for domain in ["node", "rack", "cpu", "socket", "job"] {
+        let query = Query::new(
+            match domain {
+                "node" => ["node"],
+                "rack" => ["rack"],
+                "cpu" => ["cpu"],
+                "socket" => ["socket"],
+                _ => ["job"],
+            },
+            vec![QueryValue::dim("temperature")],
+        );
+        match engine.solve(&query) {
+            Ok(plan) => {
+                let predicted = engine.solution_schema(&query).unwrap();
+                let ds = plan.execute(&catalog, None).unwrap();
+                assert_eq!(ds.schema(), &predicted, "domain {domain}");
+            }
+            Err(SjError::NoSolution(_)) => {}
+            Err(e) => panic!("unexpected error for {domain}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn a_wide_catalog_solves_quickly() {
+    // 40 datasets (over the 32-dataset cap for one query, but the cover
+    // seeds small); solving must stay interactive.
+    let ctx = ExecCtx::local();
+    let mut catalog = chain_catalog(&ctx, 3);
+    for i in 0..36 {
+        let schema = Schema::new(vec![
+            FieldDef::new("n", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new("p", FieldSemantics::value("power", "watts")),
+        ])
+        .unwrap();
+        catalog
+            .register_dataset(
+                &format!("noise{i}"),
+                SjDataset::from_rows(&ctx, vec![], schema, format!("noise{i}"), 1),
+            )
+            .unwrap();
+    }
+    let query = Query::new(["node"], vec![QueryValue::dim("temperature")]);
+    let start = std::time::Instant::now();
+    let plan = QueryEngine::new(&catalog).solve(&query).unwrap();
+    let elapsed = start.elapsed();
+    assert!(plan.loads().len() >= 4);
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "solve took {elapsed:?}"
+    );
+}

@@ -1,0 +1,259 @@
+//! Failure-injection integration tests: malformed inputs, semantic
+//! conflicts, unsolvable queries, empty data, and counter pathologies
+//! must fail loudly (or degrade gracefully), never panic or silently
+//! corrupt results.
+
+use scrubjay::prelude::*;
+use sjcore::derivations::combine::{InterpolationJoin, NaturalJoin};
+use sjcore::derivations::transform::DeriveRate;
+use sjcore::derivations::{Combination, Transformation};
+use sjcore::semantics::DimensionDef;
+use sjcore::wrappers::{wrap_csv, CsvOptions, KvStore};
+use sjcore::SjError;
+
+fn dict() -> SemanticDictionary {
+    SemanticDictionary::default_hpc()
+}
+
+fn temp_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn malformed_csv_fails_with_context() {
+    let ctx = ExecCtx::local();
+    // Bad datetime.
+    let e = wrap_csv(
+        &ctx,
+        "time,node,temp\nnot-a-time,n1,4.2\n",
+        temp_schema(),
+        &dict(),
+        "t",
+        &CsvOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(e, SjError::ParseError(_)));
+    assert!(e.to_string().contains("record 1"));
+
+    // Short record.
+    let e = wrap_csv(
+        &ctx,
+        "time,node,temp\n2017-01-01 00:00:00,n1\n",
+        temp_schema(),
+        &dict(),
+        "t",
+        &CsvOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(e, SjError::ParseError(_)));
+
+    // Unterminated quote.
+    let e = wrap_csv(
+        &ctx,
+        "time,node,temp\n2017-01-01 00:00:00,\"n1,4.2\n",
+        temp_schema(),
+        &dict(),
+        "t",
+        &CsvOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(e, SjError::ParseError(_)));
+}
+
+#[test]
+fn missing_semantics_fail_catalog_registration() {
+    let ctx = ExecCtx::local();
+    let mut catalog = Catalog::default_hpc();
+    // A schema referencing a dimension the dictionary does not know.
+    let schema = Schema::new(vec![FieldDef::new(
+        "q",
+        FieldSemantics::value("quantum-flux", "jigawatts"),
+    )])
+    .unwrap();
+    let ds = SjDataset::from_rows(&ctx, vec![], schema, "weird", 1);
+    let e = catalog.register_dataset("weird", ds).unwrap_err();
+    assert!(matches!(e, SjError::SemanticsInvalid(_)));
+}
+
+#[test]
+fn dictionary_conflicts_are_rejected_not_merged() {
+    let mut d = dict();
+    // Homonym dimension.
+    assert!(matches!(
+        d.register_dimension(DimensionDef::identifier("time")),
+        Err(SjError::HomonymConflict(_))
+    ));
+    // Alias shadowing an existing keyword.
+    assert!(d.register_alias("celsius", "fahrenheit").is_err());
+    // Alias to nowhere.
+    assert!(matches!(
+        d.register_alias("warmth", "heatish"),
+        Err(SjError::UnknownKeyword(_))
+    ));
+}
+
+#[test]
+fn unsolvable_queries_explain_why() {
+    let ctx = ExecCtx::local();
+    let mut catalog = Catalog::default_hpc();
+    let ds = SjDataset::from_rows(&ctx, vec![], temp_schema(), "temps", 1);
+    catalog.register_dataset("temps", ds).unwrap();
+    let engine = QueryEngine::new(&catalog);
+
+    // Unknown domain dimension: no dataset carries `rack`.
+    let e = engine
+        .solve(&Query::new(["rack"], vec![QueryValue::dim("temperature")]))
+        .unwrap_err();
+    match e {
+        SjError::NoSolution(msg) => assert!(msg.contains("rack"), "{msg}"),
+        other => panic!("expected NoSolution, got {other}"),
+    }
+
+    // Value neither recorded nor derivable (power).
+    let e = engine
+        .solve(&Query::new(["node"], vec![QueryValue::dim("power")]))
+        .unwrap_err();
+    match e {
+        SjError::NoSolution(msg) => assert!(msg.contains("power"), "{msg}"),
+        other => panic!("expected NoSolution, got {other}"),
+    }
+
+    // Dimension not in the dictionary at all: fails at canonicalization.
+    let e = engine
+        .solve(&Query::new(["warp-core"], vec![]))
+        .unwrap_err();
+    assert!(matches!(e, SjError::UnknownKeyword(_)));
+}
+
+#[test]
+fn empty_datasets_flow_through_whole_pipelines() {
+    let ctx = ExecCtx::local();
+    let d = dict();
+    let empty = SjDataset::from_rows(&ctx, vec![], temp_schema(), "empty", 2);
+    let other_schema = Schema::new(vec![
+        FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])
+    .unwrap();
+    let layout = SjDataset::from_rows(
+        &ctx,
+        vec![Row::new(vec![Value::str("n1"), Value::str("r1")])],
+        other_schema,
+        "layout",
+        1,
+    );
+    let joined = NaturalJoin.apply(&empty, &layout, &d).unwrap();
+    assert_eq!(joined.count().unwrap(), 0);
+
+    let ij = InterpolationJoin::new(60.0).apply(&empty, &empty, &d);
+    // Empty vs itself: shares node and time, still valid, still empty.
+    assert_eq!(ij.unwrap().count().unwrap(), 0);
+}
+
+#[test]
+fn all_resets_yield_empty_rates_not_garbage() {
+    // A counter that resets at every sample has no valid rate window.
+    let ctx = ExecCtx::local();
+    let schema = Schema::new(vec![
+        FieldDef::new("cpu", FieldSemantics::domain("cpu", "cpu-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "instr",
+            FieldSemantics::value("instructions", "instructions-count"),
+        ),
+    ])
+    .unwrap();
+    let rows: Vec<Row> = (0..10)
+        .map(|i| {
+            Row::new(vec![
+                Value::str("c0"),
+                Value::Time(Timestamp::from_secs(i)),
+                // Strictly decreasing counter: every window is a reset.
+                Value::Int(1000 - i * 100),
+            ])
+        })
+        .collect();
+    let ds = SjDataset::from_rows(&ctx, rows, schema, "papi", 2);
+    let out = DeriveRate::new(0.001).apply(&ds, &dict()).unwrap();
+    assert_eq!(out.count().unwrap(), 0);
+}
+
+#[test]
+fn duplicate_timestamps_do_not_break_rates() {
+    let ctx = ExecCtx::local();
+    let schema = Schema::new(vec![
+        FieldDef::new("cpu", FieldSemantics::domain("cpu", "cpu-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "instr",
+            FieldSemantics::value("instructions", "instructions-count"),
+        ),
+    ])
+    .unwrap();
+    let mk = |secs: i64, count: i64| {
+        Row::new(vec![
+            Value::str("c0"),
+            Value::Time(Timestamp::from_secs(secs)),
+            Value::Int(count),
+        ])
+    };
+    // Two samples at the same instant (dt = 0 must be skipped).
+    let rows = vec![mk(0, 0), mk(1, 100), mk(1, 120), mk(2, 300)];
+    let ds = SjDataset::from_rows(&ctx, rows, schema, "papi", 1);
+    let out = DeriveRate::new(1.0).apply(&ds, &dict()).unwrap();
+    let rates: Vec<f64> = out
+        .collect_column("instr_rate")
+        .unwrap()
+        .iter()
+        .filter_map(|v| v.as_f64())
+        .collect();
+    assert!(rates.iter().all(|r| r.is_finite() && *r >= 0.0));
+}
+
+#[test]
+fn kv_store_unknown_table_and_bad_values() {
+    let ctx = ExecCtx::local();
+    let store = KvStore::new();
+    assert!(matches!(
+        store.wrap(&ctx, "nope", temp_schema(), &dict(), 1),
+        Err(SjError::UnknownKeyword(_))
+    ));
+    let mut doc = std::collections::BTreeMap::new();
+    doc.insert("time".to_string(), "garbage".to_string());
+    store.insert("t", doc);
+    assert!(matches!(
+        store.wrap(&ctx, "t", temp_schema(), &dict(), 1),
+        Err(SjError::ParseError(_))
+    ));
+}
+
+#[test]
+fn plan_execution_against_the_wrong_catalog_fails_cleanly() {
+    let ctx = ExecCtx::local();
+    let plan = Plan::load("not_registered");
+    let catalog = Catalog::default_hpc();
+    assert!(plan.execute(&catalog, None).is_err());
+
+    // A plan JSON with an op that is not a transformation where one is
+    // required.
+    let bad = r#"{
+        "node": "transform",
+        "spec": { "op": "natural_join" },
+        "input": { "node": "load", "dataset": "x" }
+    }"#;
+    let plan = Plan::from_json(bad).unwrap();
+    let mut catalog = Catalog::default_hpc();
+    catalog
+        .register_dataset(
+            "x",
+            SjDataset::from_rows(&ctx, vec![], temp_schema(), "x", 1),
+        )
+        .unwrap();
+    let e = plan.execute(&catalog, None).unwrap_err();
+    assert!(e.to_string().contains("not a transformation"));
+}

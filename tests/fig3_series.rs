@@ -1,0 +1,124 @@
+//! Integration test pinning the Figure 3 reproduction: the simulated
+//! series produced by (real local execution → metric scaling → cost
+//! model) must keep the paper's shapes and approximate magnitudes.
+
+use sjcore::derivations::combine::{InterpolationJoin, NaturalJoin};
+use sjcore::derivations::Combination;
+use sjcore::SemanticDictionary;
+use sjdata::synth::{interp_join_inputs, natural_join_inputs, JoinWorkload};
+use sjdf::metrics::MetricsReport;
+use sjdf::simtime::{estimate, scale_report, CostParams};
+use sjdf::{ClusterSpec, ExecCtx};
+
+const CALIB_ROWS: usize = 20_000;
+
+fn measure(natural: bool) -> MetricsReport {
+    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+    let dict = SemanticDictionary::default_hpc();
+    if natural {
+        let w = JoinWorkload {
+            rows: CALIB_ROWS,
+            nodes: 500,
+            time_range_secs: ((CALIB_ROWS as f64 * 0.36) as i64).max(600),
+            partitions: 8,
+            seed: 42,
+        };
+        let (l, r) = natural_join_inputs(&ctx, &w);
+        NaturalJoin.apply(&l, &r, &dict).unwrap().count().unwrap();
+    } else {
+        let w = JoinWorkload {
+            rows: CALIB_ROWS,
+            nodes: 100,
+            time_range_secs: ((CALIB_ROWS as f64 * 0.18) as i64).max(600),
+            partitions: 8,
+            seed: 42,
+        };
+        let (l, r) = interp_join_inputs(&ctx, &w);
+        InterpolationJoin::new(60.0)
+            .apply(&l, &r, &dict)
+            .unwrap()
+            .count()
+            .unwrap();
+    }
+    ctx.metrics.report()
+}
+
+fn sim(report: &MetricsReport, rows: usize, nodes: usize) -> f64 {
+    let scaled = scale_report(report, rows as f64 / CALIB_ROWS as f64);
+    estimate(
+        &scaled,
+        &ClusterSpec::paper_cluster().with_nodes(nodes),
+        &CostParams::paper(),
+    )
+    .total()
+}
+
+#[test]
+fn fig3a_natural_join_row_sweep_matches_paper_shape() {
+    let report = measure(true);
+    // Paper: ~2 s at 2 M rows, ~8 s at 40 M rows, linear.
+    let t2m = sim(&report, 2_000_000, 10);
+    let t40m = sim(&report, 40_000_000, 10);
+    assert!((1.0..4.0).contains(&t2m), "t(2M)={t2m}");
+    assert!((6.0..11.0).contains(&t40m), "t(40M)={t40m}");
+    // Linearity: the midpoint lies on the chord within 5%.
+    let t21m = sim(&report, 21_000_000, 10);
+    let chord = (t2m + t40m) / 2.0;
+    assert!((t21m - chord).abs() / chord < 0.05, "mid {t21m} vs {chord}");
+}
+
+#[test]
+fn fig3b_natural_join_strong_scaling_saturates() {
+    let report = measure(true);
+    // Paper: ~13 s at 1 node -> ~8.5 s at 10 nodes (factor ~1.5).
+    let t1 = sim(&report, 40_000_000, 1);
+    let t10 = sim(&report, 40_000_000, 10);
+    assert!((10.0..17.0).contains(&t1), "t(1)={t1}");
+    assert!((6.5..11.0).contains(&t10), "t(10)={t10}");
+    let speedup = t1 / t10;
+    assert!((1.2..2.2).contains(&speedup), "speedup {speedup}");
+    // Monotone decrease.
+    let mut last = f64::INFINITY;
+    for n in 1..=10 {
+        let t = sim(&report, 40_000_000, n);
+        assert!(t < last, "n={n}");
+        last = t;
+    }
+}
+
+#[test]
+fn fig3c_interp_join_costs_an_order_more_than_natural() {
+    let nj = measure(true);
+    let ij = measure(false);
+    // Paper: ~10 s vs ~2 s at 2M; ~120 s vs ~8 s at 40 M (about 15x).
+    let ratio = sim(&ij, 40_000_000, 10) / sim(&nj, 40_000_000, 10);
+    assert!((5.0..25.0).contains(&ratio), "interp/natural ratio {ratio}");
+    let t40m = sim(&ij, 40_000_000, 10);
+    assert!((60.0..160.0).contains(&t40m), "t(40M)={t40m}");
+}
+
+#[test]
+fn fig3d_interp_join_strong_scaling_keeps_scaling() {
+    let report = measure(false);
+    // Paper: ~240 s at 1 node -> ~45 s at 10 nodes (factor ~5.3).
+    let t1 = sim(&report, 16_000_000, 1);
+    let t10 = sim(&report, 16_000_000, 10);
+    assert!((170.0..320.0).contains(&t1), "t(1)={t1}");
+    assert!((25.0..70.0).contains(&t10), "t(10)={t10}");
+    let speedup = t1 / t10;
+    assert!((4.0..8.5).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn the_two_joins_strong_scale_differently() {
+    // The structural claim behind 3b vs 3d: natural join is bound by the
+    // non-scaling serialization path, interpolation join by compute.
+    let nj = measure(true);
+    let ij = measure(false);
+    let nj_speedup = sim(&nj, 40_000_000, 1) / sim(&nj, 40_000_000, 10);
+    let ij_speedup = sim(&ij, 16_000_000, 1) / sim(&ij, 16_000_000, 10);
+    assert!(
+        ij_speedup > 2.5 * nj_speedup,
+        "interp should scale much better: {ij_speedup} vs {nj_speedup}"
+    );
+}

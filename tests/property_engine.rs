@@ -1,0 +1,223 @@
+//! Property tests on the derivation engine and the data model.
+//!
+//! Invariants: every plan the engine returns produces (semantics-only) a
+//! schema satisfying the query; executing a plan yields rows matching the
+//! predicted schema; plans round-trip through JSON; explode round-trips;
+//! unit conversions round-trip.
+
+use proptest::prelude::*;
+use scrubjay::prelude::*;
+use sjcore::derivations::transform::{ConvertUnits, ExplodeDiscrete};
+use sjcore::derivations::Transformation;
+use sjcore::units::{convert_scalar, UnitKind, UnitsDef};
+
+fn dict() -> SemanticDictionary {
+    SemanticDictionary::default_hpc()
+}
+
+/// Layout rows: (node, rack) pairs.
+type LayoutSpec = Vec<(u8, u8)>;
+/// Sensor datasets: (kind, samples of (node, time, value)).
+type SensorSpec = Vec<(u8, Vec<(u8, i64, i64)>)>;
+
+/// A random mini-catalog: a layout dataset plus N sensor datasets over
+/// random subsets of domains.
+fn catalog_strategy() -> impl Strategy<Value = (LayoutSpec, SensorSpec)> {
+    (
+        prop::collection::vec((0u8..6, 0u8..3), 1..12), // (node, rack) layout
+        prop::collection::vec(
+            (0u8..2, prop::collection::vec((0u8..6, 0i64..600, 0i64..100), 1..20)),
+            1..4,
+        ),
+    )
+}
+
+fn build_catalog(ctx: &ExecCtx, layout: &LayoutSpec, sensors: &SensorSpec) -> Catalog {
+    let mut c = Catalog::default_hpc();
+    let layout_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])
+    .unwrap();
+    let mut seen = std::collections::BTreeSet::new();
+    let rows: Vec<Row> = layout
+        .iter()
+        .filter(|(n, _)| seen.insert(*n))
+        .map(|(n, r)| Row::new(vec![Value::str(format!("n{n}")), Value::str(format!("r{r}"))]))
+        .collect();
+    c.register_dataset(
+        "layout",
+        SjDataset::from_rows(ctx, rows, layout_schema, "layout", 2),
+    )
+    .unwrap();
+
+    for (i, (kind, samples)) in sensors.iter().enumerate() {
+        let (vname, vdim, vunits) = if *kind == 0 {
+            ("temp", "temperature", "celsius")
+        } else {
+            ("power", "power", "watts")
+        };
+        let schema = Schema::new(vec![
+            FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+            FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new(vname, FieldSemantics::value(vdim, vunits)),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = samples
+            .iter()
+            .map(|(n, t, v)| {
+                Row::new(vec![
+                    Value::str(format!("n{n}")),
+                    Value::Time(Timestamp::from_secs(*t)),
+                    Value::Int(*v),
+                ])
+            })
+            .collect();
+        c.register_dataset(
+            &format!("sensor{i}"),
+            SjDataset::from_rows(ctx, rows, schema, format!("sensor{i}"), 2),
+        )
+        .unwrap();
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whenever the engine returns a plan, the plan's predicted schema
+    /// satisfies the query, and executing the plan produces rows whose
+    /// width matches that schema.
+    #[test]
+    fn solutions_always_satisfy_their_query(
+        (layout, sensors) in catalog_strategy(),
+        want_power in prop::bool::ANY,
+    ) {
+        let ctx = ExecCtx::local();
+        let catalog = build_catalog(&ctx, &layout, &sensors);
+        let value = if want_power { "power" } else { "temperature" };
+        let query = Query::new(["rack"], vec![QueryValue::dim(value)]);
+        let engine = QueryEngine::new(&catalog);
+        match engine.solve(&query) {
+            Ok(plan) => {
+                let schema = engine.solution_schema(&query).unwrap();
+                let canon = query.canonicalize(catalog.dict()).unwrap();
+                prop_assert!(canon.satisfied_by(&schema, catalog.dict()));
+                let ds = plan.execute(&catalog, None).unwrap();
+                prop_assert_eq!(ds.schema(), &schema);
+                for row in ds.collect().unwrap() {
+                    prop_assert_eq!(row.len(), schema.len());
+                }
+            }
+            Err(sjcore::SjError::NoSolution(_)) => {
+                // Acceptable: the random sensors may not provide the value.
+                prop_assert!(
+                    !sensors.iter().any(|(k, _)|
+                        (*k == 1) == want_power
+                    ),
+                    "engine said no-solution but a sensor provides `{}`",
+                    value
+                );
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    /// Plans returned by the engine always round-trip through JSON.
+    #[test]
+    fn plans_round_trip_through_json(
+        (layout, sensors) in catalog_strategy(),
+    ) {
+        let ctx = ExecCtx::local();
+        let catalog = build_catalog(&ctx, &layout, &sensors);
+        let query = Query::new(["rack"], vec![QueryValue::dim("temperature")]);
+        if let Ok(plan) = QueryEngine::new(&catalog).solve(&query) {
+            let back = Plan::from_json(&plan.to_json()).unwrap();
+            prop_assert_eq!(plan, back);
+        }
+    }
+
+    /// Exploding a list column yields exactly the flattened elements, in
+    /// order, with all other cells replicated.
+    #[test]
+    fn explode_discrete_flattens_exactly(
+        lists in prop::collection::vec(
+            prop::collection::vec(0u8..10, 0..6), 1..10),
+    ) {
+        let ctx = ExecCtx::local();
+        let schema = Schema::new(vec![
+            FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+            FieldDef::new("nodelist", FieldSemantics::domain("compute-node", "node-list")),
+        ]).unwrap();
+        let rows: Vec<Row> = lists.iter().enumerate().map(|(i, l)| Row::new(vec![
+            Value::str(format!("j{i}")),
+            Value::list(l.iter().map(|n| Value::str(format!("n{n}")))),
+        ])).collect();
+        let ds = SjDataset::from_rows(&ctx, rows, schema, "jobs", 3);
+        let out = ExplodeDiscrete::new("nodelist").apply(&ds, &dict()).unwrap();
+        let got = out.collect().unwrap();
+        let expected: Vec<(String, String)> = lists.iter().enumerate()
+            .flat_map(|(i, l)| l.iter().map(move |n| (format!("j{i}"), format!("n{n}"))))
+            .collect();
+        let got_pairs: Vec<(String, String)> = got.iter().map(|r| (
+            r.get(0).as_str().unwrap().to_string(),
+            r.get(1).as_str().unwrap().to_string(),
+        )).collect();
+        prop_assert_eq!(got_pairs, expected);
+    }
+
+    /// Scalar unit conversions round-trip within float tolerance.
+    #[test]
+    fn unit_conversions_round_trip(v in -1000.0f64..1000.0) {
+        let d = dict();
+        let c = d.units("celsius").unwrap();
+        let f = d.units("fahrenheit").unwrap();
+        let there = convert_scalar(v, c, f).unwrap();
+        let back = convert_scalar(there, f, c).unwrap();
+        prop_assert!((back - v).abs() < 1e-9);
+
+        let s = d.units("t-seconds").unwrap();
+        let m = d.units("t-minutes").unwrap();
+        let there = convert_scalar(v, s, m).unwrap();
+        let back = convert_scalar(there, m, s).unwrap();
+        prop_assert!((back - v).abs() < 1e-9);
+    }
+
+    /// A conversion through a third scalar unit equals the direct
+    /// conversion (conversions compose).
+    #[test]
+    fn unit_conversions_compose(v in -1000.0f64..1000.0) {
+        let w = UnitsDef::new("w", "power", UnitKind::Scalar { factor: 1.0, offset: 0.0 });
+        let kw = UnitsDef::new("kw", "power", UnitKind::Scalar { factor: 1000.0, offset: 0.0 });
+        let mw = UnitsDef::new("mw", "power", UnitKind::Scalar { factor: 1e6, offset: 0.0 });
+        let direct = convert_scalar(v, &w, &mw).unwrap();
+        let via = convert_scalar(convert_scalar(v, &w, &kw).unwrap(), &kw, &mw).unwrap();
+        prop_assert!((direct - via).abs() < 1e-12 * v.abs().max(1.0));
+    }
+
+    /// ConvertUnits on a dataset applies the same function as the scalar
+    /// conversion, cell by cell.
+    #[test]
+    fn convert_units_transformation_is_cellwise(
+        temps in prop::collection::vec(-50.0f64..150.0, 1..20),
+    ) {
+        let ctx = ExecCtx::local();
+        let d = dict();
+        let schema = Schema::new(vec![
+            FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+            FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+        ]).unwrap();
+        let rows: Vec<Row> = temps.iter().enumerate().map(|(i, t)| Row::new(vec![
+            Value::str(format!("r{i}")), Value::Float(*t),
+        ])).collect();
+        let ds = SjDataset::from_rows(&ctx, rows, schema, "t", 2);
+        let out = ConvertUnits::new("temp", "fahrenheit").apply(&ds, &d).unwrap();
+        let got = out.collect_column("temp").unwrap();
+        let c = d.units("celsius").unwrap();
+        let f = d.units("fahrenheit").unwrap();
+        for (orig, conv) in temps.iter().zip(&got) {
+            let expected = convert_scalar(*orig, c, f).unwrap();
+            prop_assert!((conv.as_f64().unwrap() - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: the data-parallel combinations agree with naive
+//! reference implementations on arbitrary inputs.
+//!
+//! The interpolation join's 2W-binning scheme (§5.3) guarantees that any
+//! pair within W shares a bin on at least one grid — the central
+//! correctness claim — so we check the set of (left, matched-right-set)
+//! correspondences against an O(n²) pairwise scan, plus natural join
+//! against a nested loop.
+
+use proptest::prelude::*;
+use scrubjay::prelude::*;
+use sjcore::derivations::combine::{InterpolationJoin, NaturalJoin};
+use sjcore::derivations::Combination;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn dict() -> SemanticDictionary {
+    SemanticDictionary::default_hpc()
+}
+
+fn event_schema(time_name: &str, value_name: &str, value_dim: &str, units: &str) -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new(time_name, FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(value_name, FieldSemantics::value(value_dim, units)),
+    ])
+    .unwrap()
+}
+
+fn rows_from(samples: &[(u8, i64, i64)]) -> Vec<Row> {
+    samples
+        .iter()
+        .map(|&(node, secs, v)| {
+            Row::new(vec![
+                Value::str(format!("n{node}")),
+                Value::Time(Timestamp::from_secs(secs)),
+                Value::Int(v),
+            ])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interpolation join finds exactly the pairs a naive O(n^2) scan
+    /// finds: same matched left rows, same per-left match candidates.
+    #[test]
+    fn interp_join_matches_naive_pairwise(
+        left in prop::collection::vec((0u8..3, 0i64..400, 0i64..100), 1..40),
+        right in prop::collection::vec((0u8..3, 0i64..400, 0i64..100), 1..40),
+        w in 1i64..120,
+        parts in 1usize..5,
+    ) {
+        let ctx = ExecCtx::local();
+        let d = dict();
+        let lds = SjDataset::from_rows(
+            &ctx, rows_from(&left),
+            event_schema("time", "power", "power", "watts"), "l", parts);
+        let rds = SjDataset::from_rows(
+            &ctx, rows_from(&right),
+            event_schema("t", "temp", "temperature", "celsius"), "r", parts);
+        let out = InterpolationJoin::new(w as f64).apply(&lds, &rds, &d).unwrap();
+        let got_rows = out.collect().unwrap();
+
+        // Naive reference: a left row is matched iff some right row with
+        // the same node is within w seconds.
+        let mut expected_matched: BTreeSet<(u8, i64, i64)> = BTreeSet::new();
+        for &(ln, lt, lv) in &left {
+            let any = right.iter().any(|&(rn, rt, _)| rn == ln && (rt - lt).abs() <= w);
+            if any {
+                expected_matched.insert((ln, lt, lv));
+            }
+        }
+
+        // Every expected-matched left row appears at least once, and no
+        // unexpected left rows appear. (Duplicates in the input may
+        // produce fewer output rows than input duplicates because equal
+        // left rows share matches; compare as sets.)
+        let got_matched: BTreeSet<(u8, i64, i64)> = got_rows.iter().map(|r| {
+            let node: u8 = r.get(0).as_str().unwrap()[1..].parse().unwrap();
+            (node, r.get(1).as_time().unwrap().as_secs(), r.get(2).as_i64().unwrap())
+        }).collect();
+        prop_assert_eq!(&got_matched, &expected_matched);
+
+        // Interpolated values stay within the envelope of the matched
+        // right values per node (linear interpolation cannot overshoot).
+        for row in &got_rows {
+            let node = row.get(0).as_str().unwrap().to_string();
+            let lt = row.get(1).as_time().unwrap().as_secs();
+            let interp = row.get(3).as_f64();
+            let candidates: Vec<f64> = right.iter()
+                .filter(|&&(rn, rt, _)| format!("n{rn}") == node && (rt - lt).abs() <= w)
+                .map(|&(_, _, rv)| rv as f64)
+                .collect();
+            if let Some(v) = interp {
+                let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "interpolated {v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Natural join equals the nested-loop join on (node, time) keys,
+    /// including multiplicities.
+    #[test]
+    fn natural_join_matches_nested_loop(
+        left in prop::collection::vec((0u8..3, 0i64..20, 0i64..100), 0..30),
+        right in prop::collection::vec((0u8..3, 0i64..20, 0i64..100), 0..30),
+        parts in 1usize..5,
+    ) {
+        let ctx = ExecCtx::local();
+        let d = dict();
+        let lds = SjDataset::from_rows(
+            &ctx, rows_from(&left),
+            event_schema("time", "power", "power", "watts"), "l", parts);
+        let rds = SjDataset::from_rows(
+            &ctx, rows_from(&right),
+            event_schema("t", "temp", "temperature", "celsius"), "r", parts);
+        let out = NaturalJoin.apply(&lds, &rds, &d).unwrap();
+
+        let mut expected: BTreeMap<(u8, i64, i64, i64), usize> = BTreeMap::new();
+        for &(ln, lt, lv) in &left {
+            for &(rn, rt, rv) in &right {
+                if ln == rn && lt == rt {
+                    *expected.entry((ln, lt, lv, rv)).or_default() += 1;
+                }
+            }
+        }
+        let mut got: BTreeMap<(u8, i64, i64, i64), usize> = BTreeMap::new();
+        for r in out.collect().unwrap() {
+            let node: u8 = r.get(0).as_str().unwrap()[1..].parse().unwrap();
+            *got.entry((
+                node,
+                r.get(1).as_time().unwrap().as_secs(),
+                r.get(2).as_i64().unwrap(),
+                r.get(3).as_i64().unwrap(),
+            )).or_default() += 1;
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Partition count never changes join results.
+    #[test]
+    fn interp_join_is_partition_invariant(
+        left in prop::collection::vec((0u8..2, 0i64..200, 0i64..50), 1..25),
+        right in prop::collection::vec((0u8..2, 0i64..200, 0i64..50), 1..25),
+    ) {
+        let ctx = ExecCtx::local();
+        let d = dict();
+        let run = |parts: usize| -> Vec<Vec<String>> {
+            let lds = SjDataset::from_rows(
+                &ctx, rows_from(&left),
+                event_schema("time", "power", "power", "watts"), "l", parts);
+            let rds = SjDataset::from_rows(
+                &ctx, rows_from(&right),
+                event_schema("t", "temp", "temperature", "celsius"), "r", parts);
+            let out = InterpolationJoin::new(30.0).apply(&lds, &rds, &d).unwrap();
+            let mut rows: Vec<Vec<String>> = out.collect().unwrap().iter()
+                .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(run(1), run(4));
+    }
+}
