@@ -41,34 +41,30 @@ fn bench(c: &mut Criterion) {
     for rows in [4_000usize, 8_000, 16_000, 32_000, 64_000] {
         group.throughput(Throughput::Elements(rows as u64));
         for (label, naive) in [("binned", false), ("naive", true)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, rows),
-                &rows,
-                |b, &rows| {
-                    b.iter_batched(
-                        || {
-                            let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
-                            interp_join_inputs(&ctx, &low_cardinality(rows))
-                        },
-                        |(l, r)| {
-                            if naive {
-                                NaiveInterpolationJoin::new(NARROW_WINDOW_SECS)
-                                    .apply(&l, &r, &dict)
-                                    .expect("join")
-                                    .count()
-                                    .expect("count")
-                            } else {
-                                InterpolationJoin::new(NARROW_WINDOW_SECS)
-                                    .apply(&l, &r, &dict)
-                                    .expect("join")
-                                    .count()
-                                    .expect("count")
-                            }
-                        },
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, &rows| {
+                b.iter_batched(
+                    || {
+                        let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+                        interp_join_inputs(&ctx, &low_cardinality(rows))
+                    },
+                    |(l, r)| {
+                        if naive {
+                            NaiveInterpolationJoin::new(NARROW_WINDOW_SECS)
+                                .apply(&l, &r, &dict)
+                                .expect("join")
+                                .count()
+                                .expect("count")
+                        } else {
+                            InterpolationJoin::new(NARROW_WINDOW_SECS)
+                                .apply(&l, &r, &dict)
+                                .expect("join")
+                                .count()
+                                .expect("count")
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();

@@ -21,34 +21,35 @@ fn bench(c: &mut Criterion) {
             ["cpu", "socket"],
             vec![QueryValue::dim("humidity"), QueryValue::dim("power")],
         ),
-        Query::new(
-            ["job", "node"],
-            vec![QueryValue::dim("thermal-margin")],
-        ),
+        Query::new(["job", "node"], vec![QueryValue::dim("thermal-margin")]),
     ];
 
     let mut group = c.benchmark_group("ablation_search_memoization");
     group.sample_size(20);
     for memoize in [true, false] {
         let label = if memoize { "memo_on" } else { "memo_off" };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &memoize, |b, &memoize| {
-            b.iter(|| {
-                // One engine across a query batch — the memo pays off
-                // within and across queries.
-                let engine = QueryEngine::with_config(
-                    &catalog,
-                    EngineConfig {
-                        memoize,
-                        ..EngineConfig::default()
-                    },
-                );
-                for q in &queries {
-                    engine.solve(q).expect("solvable");
-                    engine.solve(q).expect("solvable");
-                }
-                engine.stats().pair_tests
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &memoize,
+            |b, &memoize| {
+                b.iter(|| {
+                    // One engine across a query batch — the memo pays off
+                    // within and across queries.
+                    let engine = QueryEngine::with_config(
+                        &catalog,
+                        EngineConfig {
+                            memoize,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    for q in &queries {
+                        engine.solve(q).expect("solvable");
+                        engine.solve(q).expect("solvable");
+                    }
+                    engine.stats().pair_tests
+                })
+            },
+        );
     }
     group.finish();
 }

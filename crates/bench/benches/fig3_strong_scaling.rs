@@ -21,7 +21,11 @@ fn measure(join: &str, rows: usize) -> MetricsReport {
     match join {
         "natural" => {
             let (l, r) = natural_join_inputs(&ctx, &natural_workload(rows));
-            NaturalJoin.apply(&l, &r, &dict).expect("join").count().expect("count");
+            NaturalJoin
+                .apply(&l, &r, &dict)
+                .expect("join")
+                .count()
+                .expect("count");
         }
         _ => {
             let (l, r) = interp_join_inputs(&ctx, &interp_workload(rows));

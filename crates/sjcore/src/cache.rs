@@ -89,9 +89,7 @@ impl ResultCache {
         if let Some(dir) = &self.spill_dir {
             let path = dir.join(format!("{key:016x}.json"));
             if let Ok(text) = std::fs::read_to_string(&path) {
-                if let Ok((schema, rows)) =
-                    serde_json::from_str::<(Schema, Vec<Row>)>(&text)
-                {
+                if let Ok((schema, rows)) = serde_json::from_str::<(Schema, Vec<Row>)>(&text) {
                     inner.stats.hits += 1;
                     return Some((schema, rows));
                 }
@@ -131,11 +129,7 @@ impl ResultCache {
         inner.bytes += bytes;
         // Evict least-recently-used entries until within capacity.
         while inner.bytes > self.capacity_bytes {
-            let Some((&victim, _)) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            else {
+            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
             if let Some(e) = inner.entries.remove(&victim) {
@@ -274,7 +268,9 @@ impl TieredCache {
             let Some((&victim, _)) = inner.hot.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
-            let Some(e) = inner.hot.remove(&victim) else { break };
+            let Some(e) = inner.hot.remove(&victim) else {
+                break;
+            };
             inner.hot_bytes -= e.bytes;
             inner.stats.demotions += 1;
             drop(inner);
@@ -349,7 +345,9 @@ mod tests {
     }
 
     fn rows(n: usize) -> Vec<Row> {
-        (0..n).map(|i| Row::new(vec![Value::Int(i as i64)])).collect()
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64)]))
+            .collect()
     }
 
     #[test]

@@ -144,9 +144,9 @@ pub fn default_rules() -> Vec<DeriveRule> {
             needs: counter_dims,
             build: Arc::new(|schema, dict| {
                 let t = DeriveRate::new(0.001);
-                t.derive_schema(schema, dict).ok().map(|_| {
-                    Box::new(DeriveRate::new(0.001)) as Box<dyn Transformation>
-                })
+                t.derive_schema(schema, dict)
+                    .ok()
+                    .map(|_| Box::new(DeriveRate::new(0.001)) as Box<dyn Transformation>)
             }),
         },
         DeriveRule {
@@ -236,11 +236,7 @@ mod tests {
     fn heat_rule_builds_only_on_matching_schema() {
         let ctx = ExecCtx::local();
         let c = Catalog::default_hpc();
-        let heat = c
-            .rules()
-            .iter()
-            .find(|r| r.name == "derive_heat")
-            .unwrap();
+        let heat = c.rules().iter().find(|r| r.name == "derive_heat").unwrap();
         assert!((heat.build)(sample(&ctx).schema(), c.dict()).is_none());
     }
 }

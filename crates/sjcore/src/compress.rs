@@ -157,7 +157,13 @@ mod tests {
     #[test]
     fn repetitive_data_compresses_well() {
         let json: String = (0..200)
-            .map(|i| format!("{{\"node\":\"cab{}\",\"rack\":\"rack17\",\"temp\":6{}.4}}", i % 12, i % 10))
+            .map(|i| {
+                format!(
+                    "{{\"node\":\"cab{}\",\"rack\":\"rack17\",\"temp\":6{}.4}}",
+                    i % 12,
+                    i % 10
+                )
+            })
             .collect();
         let data = json.as_bytes();
         let c = compress(data);
@@ -185,7 +191,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let data: Vec<u8> = (0..5_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();

@@ -51,10 +51,7 @@ impl SharedDomains {
                 .expect("shared dimension present on right");
             for (side, f) in [("left", lf), ("right", rf)] {
                 let units = dict.units(&f.semantics.units)?;
-                if matches!(
-                    units.kind,
-                    UnitKind::ListOf { .. } | UnitKind::TimeSpanKind
-                ) {
+                if matches!(units.kind, UnitKind::ListOf { .. } | UnitKind::TimeSpanKind) {
                     return Err(not_applicable(
                         "combination",
                         format!(

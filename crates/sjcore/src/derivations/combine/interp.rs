@@ -159,10 +159,7 @@ impl Combination for InterpolationJoin {
                     let key = r.key_of(&exact_l);
                     for grid in 0u8..2 {
                         let b = bin_of(pos, grid as f64 * w, width);
-                        out.push((
-                            (key.clone(), grid, b),
-                            Side::L(id, r.clone(), pos),
-                        ));
+                        out.push(((key.clone(), grid, b), Side::L(id, r.clone(), pos)));
                     }
                 }
                 out
@@ -178,8 +175,7 @@ impl Combination for InterpolationJoin {
                         continue;
                     };
                     let key = r.key_of(&exact_r);
-                    let vals: Vec<Value> =
-                        kept_right.iter().map(|&i| r.get(i).clone()).collect();
+                    let vals: Vec<Value> = kept_right.iter().map(|&i| r.get(i).clone()).collect();
                     for grid in 0u8..2 {
                         let b = bin_of(pos, grid as f64 * w, width);
                         out.push(((key.clone(), grid, b), Side::R(vals.clone(), pos)));
@@ -192,62 +188,62 @@ impl Combination for InterpolationJoin {
         // --- stage 2: match within bins, dedupe across grids ------------
         type MatchKey = (u64, Vec<KeyAtom>);
         type MatchVal = (Row, f64, f64, Vec<Value>);
-        let matches = lk
-            .union(&rk)
-            .group_by_key(parts)
-            .map_partitions_named("interp_match", move |groups| {
-                let mut out: Vec<(MatchKey, MatchVal)> = Vec::new();
-                for ((_, grid, _), members) in groups {
-                    let mut lefts: Vec<(u64, Row, f64)> = Vec::new();
-                    let mut rights: Vec<(Vec<Value>, f64)> = Vec::new();
-                    for m in members {
-                        match m {
-                            Side::L(id, row, pos) => lefts.push((id, row, pos)),
-                            Side::R(vals, pos) => rights.push((vals, pos)),
-                        }
-                    }
-                    rights.sort_by(|a, b| a.1.total_cmp(&b.1));
-                    for (id, lrow, lpos) in lefts {
-                        let lo = rights.partition_point(|(_, p)| *p < lpos - w);
-                        for (rvals, rpos) in rights[lo..]
-                            .iter()
-                            .take_while(|(_, p)| *p <= lpos + w)
-                        {
-                            // Deduplicate: the offset grid only reports
-                            // pairs that do NOT share a base-grid bin.
-                            if grid == 1
-                                && bin_of(lpos, 0.0, width) == bin_of(*rpos, 0.0, width)
-                            {
-                                continue;
+        let matches =
+            lk.union(&rk)
+                .group_by_key(parts)
+                .map_partitions_named("interp_match", move |groups| {
+                    let mut out: Vec<(MatchKey, MatchVal)> = Vec::new();
+                    for ((_, grid, _), members) in groups {
+                        let mut lefts: Vec<(u64, Row, f64)> = Vec::new();
+                        let mut rights: Vec<(Vec<Value>, f64)> = Vec::new();
+                        for m in members {
+                            match m {
+                                Side::L(id, row, pos) => lefts.push((id, row, pos)),
+                                Side::R(vals, pos) => rights.push((vals, pos)),
                             }
-                            let residual: Vec<KeyAtom> =
-                                residual_domain.iter().map(|&j| rvals[j].key()).collect();
-                            out.push((
-                                (id, residual),
-                                (lrow.clone(), lpos, *rpos, rvals.clone()),
-                            ));
+                        }
+                        rights.sort_by(|a, b| a.1.total_cmp(&b.1));
+                        for (id, lrow, lpos) in lefts {
+                            let lo = rights.partition_point(|(_, p)| *p < lpos - w);
+                            for (rvals, rpos) in
+                                rights[lo..].iter().take_while(|(_, p)| *p <= lpos + w)
+                            {
+                                // Deduplicate: the offset grid only reports
+                                // pairs that do NOT share a base-grid bin.
+                                if grid == 1
+                                    && bin_of(lpos, 0.0, width) == bin_of(*rpos, 0.0, width)
+                                {
+                                    continue;
+                                }
+                                let residual: Vec<KeyAtom> =
+                                    residual_domain.iter().map(|&j| rvals[j].key()).collect();
+                                out.push((
+                                    (id, residual),
+                                    (lrow.clone(), lpos, *rpos, rvals.clone()),
+                                ));
+                            }
                         }
                     }
-                }
-                out
-            });
+                    out
+                });
 
         // --- stage 3: aggregate & interpolate per (left row, residual) --
-        let rdd = matches
-            .group_by_key(parts)
-            .map_partitions_named("interp_aggregate", move |groups| {
-                let mut out = Vec::with_capacity(groups.len());
-                for (_, mut ms) in groups {
-                    ms.sort_by(|a, b| a.2.total_cmp(&b.2));
-                    let (lrow, lpos) = (ms[0].0.clone(), ms[0].1);
-                    let mut values = lrow.into_values();
-                    for (j, is_interp) in interp_col.iter().enumerate() {
-                        values.push(aggregate_matches(&ms, j, lpos, *is_interp));
+        let rdd =
+            matches
+                .group_by_key(parts)
+                .map_partitions_named("interp_aggregate", move |groups| {
+                    let mut out = Vec::with_capacity(groups.len());
+                    for (_, mut ms) in groups {
+                        ms.sort_by(|a, b| a.2.total_cmp(&b.2));
+                        let (lrow, lpos) = (ms[0].0.clone(), ms[0].1);
+                        let mut values = lrow.into_values();
+                        for (j, is_interp) in interp_col.iter().enumerate() {
+                            values.push(aggregate_matches(&ms, j, lpos, *is_interp));
+                        }
+                        out.push(Row::new(values));
                     }
-                    out.push(Row::new(values));
-                }
-                out
-            });
+                    out
+                });
 
         Ok(SjDataset::new(
             rdd,
@@ -283,7 +279,9 @@ pub(crate) fn aggregate_matches(
         let mut below: Option<(f64, f64)> = None;
         let mut above: Option<(f64, f64)> = None;
         for (_, _, rpos, vals) in ms {
-            let Some(v) = vals[col].as_f64() else { continue };
+            let Some(v) = vals[col].as_f64() else {
+                continue;
+            };
             if *rpos <= lpos {
                 below = Some((*rpos, v));
             }
@@ -305,9 +303,7 @@ pub(crate) fn aggregate_matches(
     } else {
         // Nearest match by |rpos - lpos|.
         ms.iter()
-            .min_by(|a, b| {
-                (a.2 - lpos).abs().total_cmp(&(b.2 - lpos).abs())
-            })
+            .min_by(|a, b| (a.2 - lpos).abs().total_cmp(&(b.2 - lpos).abs()))
             .map(|(_, _, _, vals)| vals[col].clone())
             .unwrap_or(Value::Null)
     }

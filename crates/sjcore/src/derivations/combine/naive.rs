@@ -203,7 +203,14 @@ mod tests {
         SemanticDictionary::default_hpc()
     }
 
-    fn events(ctx: &ExecCtx, name: &str, tcol: &str, vdim: &str, vu: &str, samples: &[(u8, i64, f64)]) -> SjDataset {
+    fn events(
+        ctx: &ExecCtx,
+        name: &str,
+        tcol: &str,
+        vdim: &str,
+        vu: &str,
+        samples: &[(u8, i64, f64)],
+    ) -> SjDataset {
         let schema = Schema::new(vec![
             FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
             FieldDef::new(tcol, FieldSemantics::domain("time", "datetime")),

@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn joins_on_shared_node_dimension_despite_column_names() {
         let ctx = ExecCtx::local();
-        let out = NaturalJoin.apply(&node_temps(&ctx), &layout(&ctx), &dict()).unwrap();
+        let out = NaturalJoin
+            .apply(&node_temps(&ctx), &layout(&ctx), &dict())
+            .unwrap();
         let mut rows = out.collect().unwrap();
         rows.sort_by_key(|r| r.get(0).as_str().unwrap().to_string());
         assert_eq!(rows.len(), 2);

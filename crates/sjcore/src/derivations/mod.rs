@@ -226,9 +226,7 @@ mod tests {
 
     #[test]
     fn spec_instantiation_dispatches() {
-        let t = DerivationSpec::ExplodeDiscrete {
-            column: "x".into(),
-        };
+        let t = DerivationSpec::ExplodeDiscrete { column: "x".into() };
         assert!(t.as_transformation().is_some());
         assert!(t.as_combination().is_none());
         let c = DerivationSpec::NaturalJoin;

@@ -36,7 +36,10 @@ impl ConvertUnits {
         if !from.is_scalar() || !to.is_scalar() {
             return Err(not_applicable(
                 "convert_units",
-                format!("`{}` -> `{}` is not a scalar conversion", from.name, to.name),
+                format!(
+                    "`{}` -> `{}` is not a scalar conversion",
+                    from.name, to.name
+                ),
             ));
         }
         if from.dimension != to.dimension {
@@ -128,7 +131,10 @@ mod tests {
         let out = ConvertUnits::new("temp", "celsius")
             .apply(&temps(&ctx), &dict)
             .unwrap();
-        assert_eq!(out.schema().field("temp").unwrap().semantics.units, "celsius");
+        assert_eq!(
+            out.schema().field("temp").unwrap().semantics.units,
+            "celsius"
+        );
         let vals = out.collect_column("temp").unwrap();
         assert!((vals[0].as_f64().unwrap() - 100.0).abs() < 1e-9);
         assert!(vals[1].as_f64().unwrap().abs() < 1e-9);

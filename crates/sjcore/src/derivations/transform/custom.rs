@@ -404,7 +404,9 @@ mod tests {
     #[test]
     fn active_frequency_scales_base_by_aperf_mperf() {
         let ctx = ExecCtx::local();
-        let out = DeriveActiveFrequency.apply(&freq_input(&ctx), &dict()).unwrap();
+        let out = DeriveActiveFrequency
+            .apply(&freq_input(&ctx), &dict())
+            .unwrap();
         let vals = out.collect_column("active_frequency").unwrap();
         // Throttled to half and at full speed.
         assert_eq!(vals[0].as_f64(), Some(1600.0));

@@ -48,7 +48,10 @@ impl Transformation for ExplodeDiscrete {
             _ => {
                 return Err(not_applicable(
                     self.name(),
-                    format!("column `{}` has non-list units `{}`", self.column, units.name),
+                    format!(
+                        "column `{}` has non-list units `{}`",
+                        self.column, units.name
+                    ),
                 ))
             }
         };
@@ -232,7 +235,9 @@ mod tests {
     fn explode_discrete_produces_row_per_element() {
         let ctx = ExecCtx::local();
         let ds = job_log(&ctx);
-        let out = ExplodeDiscrete::new("nodelist").apply(&ds, &dict()).unwrap();
+        let out = ExplodeDiscrete::new("nodelist")
+            .apply(&ds, &dict())
+            .unwrap();
         let rows = out.collect().unwrap();
         assert_eq!(rows.len(), 2);
         let nodes: Vec<&str> = rows.iter().filter_map(|r| r.get(1).as_str()).collect();
@@ -264,7 +269,11 @@ mod tests {
         assert_eq!(rows[0].get(2).as_time(), Some(Timestamp::from_secs(0)));
         assert_eq!(rows[1].get(2).as_time(), Some(Timestamp::from_secs(60)));
         assert_eq!(
-            out.schema().field("window_exploded").unwrap().semantics.units,
+            out.schema()
+                .field("window_exploded")
+                .unwrap()
+                .semantics
+                .units,
             "datetime"
         );
     }
@@ -303,7 +312,9 @@ mod tests {
         .unwrap();
         let rows = vec![Row::new(vec![Value::Null])];
         let ds = SjDataset::from_rows(&ctx, rows, schema, "x", 1);
-        let out = ExplodeDiscrete::new("nodelist").apply(&ds, &dict()).unwrap();
+        let out = ExplodeDiscrete::new("nodelist")
+            .apply(&ds, &dict())
+            .unwrap();
         assert_eq!(out.count().unwrap(), 0);
     }
 }

@@ -178,8 +178,8 @@ impl Transformation for DeriveRate {
 
 #[cfg(test)]
 mod tests {
-    use crate::row::Row;
     use super::*;
+    use crate::row::Row;
     use crate::units::time::Timestamp;
     use sjdf::ExecCtx;
 
@@ -231,7 +231,9 @@ mod tests {
     fn rates_are_deltas_over_windows() {
         let ctx = ExecCtx::local();
         let dict = SemanticDictionary::default_hpc();
-        let out = DeriveRate::new(0.001).apply(&counters(&ctx), &dict).unwrap();
+        let out = DeriveRate::new(0.001)
+            .apply(&counters(&ctx), &dict)
+            .unwrap();
         let mut rows = out.collect().unwrap();
         rows.sort_by_key(|r| {
             (
@@ -277,7 +279,9 @@ mod tests {
         ])
         .unwrap();
         let ds = SjDataset::from_rows(&ctx, vec![], schema, "x", 1);
-        assert!(DeriveRate::new(0.001).derive_schema(ds.schema(), &dict).is_err());
+        assert!(DeriveRate::new(0.001)
+            .derive_schema(ds.schema(), &dict)
+            .is_err());
         // No time domain.
         let schema = Schema::new(vec![FieldDef::new(
             "instr",
@@ -285,7 +289,9 @@ mod tests {
         )])
         .unwrap();
         let ds = SjDataset::from_rows(&ctx, vec![], schema, "x", 1);
-        assert!(DeriveRate::new(0.001).derive_schema(ds.schema(), &dict).is_err());
+        assert!(DeriveRate::new(0.001)
+            .derive_schema(ds.schema(), &dict)
+            .is_err());
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl QueryValue {
 
 /// A ScrubJay query: the domain dimensions and value dimensions of
 /// interest (§5.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Query {
     /// Domain dimensions the result must be defined over.
     pub domains: Vec<String>,
@@ -65,6 +65,21 @@ impl Query {
             domains: domains.into_iter().map(String::from).collect(),
             values,
         }
+    }
+
+    /// A canonical ordering for cache keys: domains and values sorted and
+    /// deduplicated. Two queries asking for the same thing in different
+    /// orders normalize to the same `Query`, and therefore the same hash —
+    /// which is what lets a service-side plan cache recognize them as one
+    /// entry.
+    pub fn normalized(&self) -> Query {
+        let mut domains = self.domains.clone();
+        domains.sort();
+        domains.dedup();
+        let mut values = self.values.clone();
+        values.sort_by(|a, b| (&a.dimension, &a.units).cmp(&(&b.dimension, &b.units)));
+        values.dedup();
+        Query { domains, values }
     }
 
     /// Validate every keyword against the dictionary, resolving aliases
@@ -233,7 +248,10 @@ mod tests {
         .unwrap();
         let q = Query::new(
             ["cpu"],
-            vec![QueryValue::with_units("instructions", "instructions-per-ms")],
+            vec![QueryValue::with_units(
+                "instructions",
+                "instructions-per-ms",
+            )],
         )
         .canonicalize(&d)
         .unwrap();

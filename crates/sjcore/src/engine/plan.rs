@@ -117,11 +117,9 @@ impl Plan {
     /// All operation specs in execution (post-)order.
     pub fn ops(&self) -> Vec<&DerivationSpec> {
         let mut out = Vec::new();
-        self.visit(&mut |p| {
-            match p {
-                Plan::Transform { spec, .. } | Plan::Combine { spec, .. } => out.push(spec),
-                Plan::Load { .. } => {}
-            }
+        self.visit(&mut |p| match p {
+            Plan::Transform { spec, .. } | Plan::Combine { spec, .. } => out.push(spec),
+            Plan::Load { .. } => {}
         });
         out
     }
@@ -200,10 +198,7 @@ impl Plan {
                 let l = left.execute_cached(catalog, cache)?;
                 let r = right.execute_cached(catalog, cache)?;
                 let c = spec.as_combination().ok_or_else(|| {
-                    SjError::SemanticsInvalid(format!(
-                        "`{}` is not a combination",
-                        spec.op_name()
-                    ))
+                    SjError::SemanticsInvalid(format!("`{}` is not a combination", spec.op_name()))
                 })?;
                 let out = c.apply(&l, &r, catalog.dict())?;
                 self.store(catalog, cache, &out)?;

@@ -204,9 +204,7 @@ impl<'c> QueryEngine<'c> {
             }
             let mut df: Vec<usize> = seed.clone();
             loop {
-                if let Some(result) =
-                    self.combine_set(&candidates, &df, &needed, anchored_only)
-                {
+                if let Some(result) = self.combine_set(&candidates, &df, &needed, anchored_only) {
                     if query.satisfied_by(&result.schema, dict) {
                         return Ok(self.finalize(result, &query));
                     }
@@ -302,9 +300,7 @@ impl<'c> QueryEngine<'c> {
             let mut advanced = false;
             for pos in 0..remaining.len() {
                 let idx = remaining[pos];
-                if let Some(next) =
-                    self.combine_pair(&acc, &candidates[idx], anchored_only)
-                {
+                if let Some(next) = self.combine_pair(&acc, &candidates[idx], anchored_only) {
                     acc = self.saturate(next, needed);
                     remaining.remove(pos);
                     advanced = true;
@@ -330,9 +326,7 @@ impl<'c> QueryEngine<'c> {
         if self.config.memoize {
             if let Some(hit) = self.pair_memo.lock().get(&key) {
                 self.stats.lock().memo_hits += 1;
-                return hit
-                    .as_ref()
-                    .map(|o| attach_outcome(left, right, o));
+                return hit.as_ref().map(|o| attach_outcome(left, right, o));
             }
         }
         self.stats.lock().pair_tests += 1;

@@ -51,7 +51,10 @@ impl Predicate {
     /// ordering comparisons target ordered dimensions.
     pub fn validate(&self, schema: &Schema, dict: &SemanticDictionary) -> Result<()> {
         match self {
-            Predicate::Eq(c, _) | Predicate::Ne(c, _) | Predicate::In(c, _) | Predicate::NotNull(c) => {
+            Predicate::Eq(c, _)
+            | Predicate::Ne(c, _)
+            | Predicate::In(c, _)
+            | Predicate::NotNull(c) => {
                 schema.index_of(c)?;
                 Ok(())
             }
@@ -94,7 +97,10 @@ impl Predicate {
             Predicate::Ne(c, v) => col(c).is_some_and(|cell| cell != v),
             Predicate::Lt(c, v) => cmp(c, v) == Some(std::cmp::Ordering::Less),
             Predicate::Le(c, v) => {
-                matches!(cmp(c, v), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
+                matches!(
+                    cmp(c, v),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                )
             }
             Predicate::Gt(c, v) => cmp(c, v) == Some(std::cmp::Ordering::Greater),
             Predicate::Ge(c, v) => matches!(
@@ -414,11 +420,20 @@ mod tests {
     fn ordering_on_identifiers_is_rejected() {
         let ctx = ExecCtx::local();
         let ds = temps(&ctx);
-        let e = filter_rows(&ds, &Predicate::Lt("rack".into(), Value::str("r2")), &dict())
-            .unwrap_err();
+        let e = filter_rows(
+            &ds,
+            &Predicate::Lt("rack".into(), Value::str("r2")),
+            &dict(),
+        )
+        .unwrap_err();
         assert!(e.to_string().contains("unordered"));
         // Equality on identifiers is fine.
-        assert!(filter_rows(&ds, &Predicate::Ne("rack".into(), Value::str("r2")), &dict()).is_ok());
+        assert!(filter_rows(
+            &ds,
+            &Predicate::Ne("rack".into(), Value::str("r2")),
+            &dict()
+        )
+        .is_ok());
     }
 
     #[test]
@@ -573,7 +588,10 @@ mod tests {
             .iter()
             .map(|v| v.as_f64())
             .collect();
-        assert_eq!(got, vec![None, Some(-7.5), Some(-1.0), Some(0.0), Some(3.0)]);
+        assert_eq!(
+            got,
+            vec![None, Some(-7.5), Some(-1.0), Some(0.0), Some(3.0)]
+        );
     }
 
     #[test]

@@ -144,10 +144,7 @@ mod tests {
             FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
         ])
         .unwrap();
-        assert_eq!(
-            row().display_with(&schema),
-            "(id=5, name=cab17, temp=67.4)"
-        );
+        assert_eq!(row().display_with(&schema), "(id=5, name=cab17, temp=67.4)");
     }
 
     #[test]

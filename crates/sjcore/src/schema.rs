@@ -159,9 +159,8 @@ impl Schema {
     /// Validate every column against the dictionary.
     pub fn validate(&self, dict: &SemanticDictionary) -> Result<()> {
         for f in self.fields.iter() {
-            dict.validate(&f.semantics).map_err(|e| {
-                SjError::SemanticsInvalid(format!("column `{}`: {e}", f.name))
-            })?;
+            dict.validate(&f.semantics)
+                .map_err(|e| SjError::SemanticsInvalid(format!("column `{}`: {e}", f.name)))?;
         }
         Ok(())
     }

@@ -72,10 +72,7 @@ impl SemanticDictionary {
         }
         if self.dimensions.contains_key(synonym)
             || self.units.contains_key(synonym)
-            || self
-                .aliases
-                .get(synonym)
-                .is_some_and(|c| c != canonical)
+            || self.aliases.get(synonym).is_some_and(|c| c != canonical)
         {
             return Err(SjError::HomonymConflict(synonym.into()));
         }
@@ -105,11 +102,7 @@ impl SemanticDictionary {
     /// All units defined on a dimension.
     pub fn units_of_dimension(&self, dimension: &str) -> Vec<&UnitsDef> {
         let dim = self.resolve(dimension);
-        let mut out: Vec<&UnitsDef> = self
-            .units
-            .values()
-            .filter(|u| u.dimension == dim)
-            .collect();
+        let mut out: Vec<&UnitsDef> = self.units.values().filter(|u| u.dimension == dim).collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
     }
@@ -227,8 +220,14 @@ impl SemanticDictionary {
         }
 
         // Cumulative counters and their derived rates (§7.3).
-        for counter in ["instructions", "cycles", "memory-reads", "memory-writes", "aperf", "mperf"]
-        {
+        for counter in [
+            "instructions",
+            "cycles",
+            "memory-reads",
+            "memory-writes",
+            "aperf",
+            "mperf",
+        ] {
             d.register_units(UnitsDef::new(
                 &format!("{counter}-count"),
                 counter,
@@ -252,7 +251,8 @@ impl SemanticDictionary {
         // Synonyms seen in real monitoring exports.
         d.register_alias("NODEID", "node-id").expect("alias");
         d.register_alias("node", "compute-node").expect("alias");
-        d.register_alias("degrees-celsius", "celsius").expect("alias");
+        d.register_alias("degrees-celsius", "celsius")
+            .expect("alias");
         d
     }
 }
@@ -276,9 +276,11 @@ mod tests {
     #[test]
     fn homonym_dimension_rejected() {
         let mut d = SemanticDictionary::empty();
-        d.register_dimension(DimensionDef::continuous("time")).unwrap();
+        d.register_dimension(DimensionDef::continuous("time"))
+            .unwrap();
         // Identical re-registration is fine.
-        d.register_dimension(DimensionDef::continuous("time")).unwrap();
+        d.register_dimension(DimensionDef::continuous("time"))
+            .unwrap();
         // Conflicting definition is a homonym.
         let e = d
             .register_dimension(DimensionDef::identifier("time"))
@@ -290,7 +292,11 @@ mod tests {
     fn units_require_existing_dimension() {
         let mut d = SemanticDictionary::empty();
         let e = d
-            .register_units(UnitsDef::new("celsius", "temperature", UnitKind::Identifier))
+            .register_units(UnitsDef::new(
+                "celsius",
+                "temperature",
+                UnitKind::Identifier,
+            ))
             .unwrap_err();
         assert!(matches!(e, SjError::UnknownKeyword(_)));
     }
@@ -340,7 +346,8 @@ mod tests {
     #[test]
     fn validate_accepts_consistent_semantics() {
         let d = SemanticDictionary::default_hpc();
-        d.validate(&FieldSemantics::domain("time", "datetime")).unwrap();
+        d.validate(&FieldSemantics::domain("time", "datetime"))
+            .unwrap();
         d.validate(&FieldSemantics::value("temperature", "celsius"))
             .unwrap();
     }

@@ -215,7 +215,10 @@ mod tests {
     #[test]
     fn parse_t_separator_and_fractional_seconds() {
         let t = Timestamp::parse("2017-03-27T00:00:01.5").unwrap();
-        assert_eq!(t.as_micros(), Timestamp::parse("2017-03-27 00:00:01").unwrap().as_micros() + 500_000);
+        assert_eq!(
+            t.as_micros(),
+            Timestamp::parse("2017-03-27 00:00:01").unwrap().as_micros() + 500_000
+        );
     }
 
     #[test]
@@ -274,9 +277,6 @@ mod tests {
     #[test]
     fn negative_timestamps_format() {
         // 1969-12-31 23:59:59
-        assert_eq!(
-            Timestamp::from_secs(-1).to_string(),
-            "1969-12-31 23:59:59"
-        );
+        assert_eq!(Timestamp::from_secs(-1).to_string(), "1969-12-31 23:59:59");
     }
 }

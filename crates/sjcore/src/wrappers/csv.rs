@@ -64,9 +64,7 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
                     if field.is_empty() {
                         in_quotes = true;
                     } else {
-                        return Err(SjError::ParseError(
-                            "quote inside unquoted field".into(),
-                        ));
+                        return Err(SjError::ParseError("quote inside unquoted field".into()));
                     }
                 }
                 ',' => {
@@ -182,9 +180,10 @@ pub fn wrap_csv(
                     pos + 1
                 ))
             })?;
-            values.push(parse_cell(raw, &kinds[slot], dict).map_err(|e| {
-                SjError::ParseError(format!("record {}: {e}", lineno + 1))
-            })?);
+            values.push(
+                parse_cell(raw, &kinds[slot], dict)
+                    .map_err(|e| SjError::ParseError(format!("record {}: {e}", lineno + 1)))?,
+            );
         }
         rows.push(Row::new(values));
     }
@@ -266,8 +265,15 @@ mod tests {
         let text = "timestamp,node_id,node_temp\n\
                     2017-03-27 16:43:27,cab5,67.4\n\
                     2017-03-27 16:45:27,cab6,61.2\n";
-        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "temps", &CsvOptions::default())
-            .unwrap();
+        let ds = wrap_csv(
+            &ctx,
+            text,
+            temp_schema(),
+            &dict(),
+            "temps",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         let rows = ds.collect().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(1).as_str(), Some("cab5"));
@@ -282,8 +288,15 @@ mod tests {
     fn header_order_may_differ_from_schema() {
         let ctx = ExecCtx::local();
         let text = "node_temp,timestamp,node_id\n67.4,2017-03-27 16:43:27,cab5\n";
-        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
-            .unwrap();
+        let ds = wrap_csv(
+            &ctx,
+            text,
+            temp_schema(),
+            &dict(),
+            "t",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         let rows = ds.collect().unwrap();
         assert_eq!(rows[0].get(1).as_str(), Some("cab5"));
         assert_eq!(rows[0].get(2).as_f64(), Some(67.4));
@@ -306,7 +319,10 @@ mod tests {
     fn lists_and_spans_parse() {
         let ctx = ExecCtx::local();
         let schema = Schema::new(vec![
-            FieldDef::new("nodelist", FieldSemantics::domain("compute-node", "node-list")),
+            FieldDef::new(
+                "nodelist",
+                FieldSemantics::domain("compute-node", "node-list"),
+            ),
             FieldDef::new("window", FieldSemantics::domain("time", "timespan")),
         ])
         .unwrap();
@@ -323,8 +339,15 @@ mod tests {
     fn empty_cells_become_null() {
         let ctx = ExecCtx::local();
         let text = "timestamp,node_id,node_temp\n2017-01-01 00:00:00,cab5,\n";
-        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
-            .unwrap();
+        let ds = wrap_csv(
+            &ctx,
+            text,
+            temp_schema(),
+            &dict(),
+            "t",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert!(ds.collect().unwrap()[0].get(2).is_null());
     }
 
@@ -332,8 +355,15 @@ mod tests {
     fn malformed_cells_report_record_number() {
         let ctx = ExecCtx::local();
         let text = "timestamp,node_id,node_temp\n2017-01-01 00:00:00,cab5,not-a-number\n";
-        let e = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
-            .unwrap_err();
+        let e = wrap_csv(
+            &ctx,
+            text,
+            temp_schema(),
+            &dict(),
+            "t",
+            &CsvOptions::default(),
+        )
+        .unwrap_err();
         assert!(e.to_string().contains("record 1"));
     }
 
@@ -341,8 +371,15 @@ mod tests {
     fn missing_header_column_is_an_error() {
         let ctx = ExecCtx::local();
         let text = "timestamp,node_temp\n2017-01-01 00:00:00,4.2\n";
-        assert!(wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
-            .is_err());
+        assert!(wrap_csv(
+            &ctx,
+            text,
+            temp_schema(),
+            &dict(),
+            "t",
+            &CsvOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -351,11 +388,25 @@ mod tests {
         let text = "timestamp,node_id,node_temp\n\
                     2017-03-27 16:43:27,cab5,67.4\n\
                     2017-03-27 16:45:27,\"we,ird\",61.2\n";
-        let ds = wrap_csv(&ctx, text, temp_schema(), &dict(), "t", &CsvOptions::default())
-            .unwrap();
+        let ds = wrap_csv(
+            &ctx,
+            text,
+            temp_schema(),
+            &dict(),
+            "t",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         let csv = unwrap_csv(&ds).unwrap();
-        let ds2 = wrap_csv(&ctx, &csv, temp_schema(), &dict(), "t2", &CsvOptions::default())
-            .unwrap();
+        let ds2 = wrap_csv(
+            &ctx,
+            &csv,
+            temp_schema(),
+            &dict(),
+            "t2",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(ds.collect().unwrap(), ds2.collect().unwrap());
     }
 

@@ -48,11 +48,7 @@ impl KvTable {
 
     /// The union of keys appearing in any document (the implicit schema).
     pub fn keys(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self
-            .docs
-            .iter()
-            .flat_map(|d| d.keys().cloned())
-            .collect();
+        let mut keys: Vec<String> = self.docs.iter().flat_map(|d| d.keys().cloned()).collect();
         keys.sort();
         keys.dedup();
         keys

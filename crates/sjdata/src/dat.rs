@@ -5,11 +5,11 @@ use crate::facility::Facility;
 use crate::jobs::{dat1_schedule, dat2_schedule, job_log_dataset, ScheduleConfig};
 use crate::layout::{rack_name, FacilityLayout};
 use crate::sources::{
-    cpu_spec_dataset, ipmi_dataset, ldms_ingest, ldms_wrap, papi_dataset,
-    rack_temperature_dataset, SamplingConfig,
+    cpu_spec_dataset, ipmi_dataset, ldms_ingest, ldms_wrap, papi_dataset, rack_temperature_dataset,
+    SamplingConfig,
 };
-use sjcore::wrappers::KvStore;
 use sjcore::catalog::Catalog;
+use sjcore::wrappers::KvStore;
 use sjcore::{Result, TimeSpan, Timestamp};
 use sjdf::ExecCtx;
 
@@ -81,10 +81,7 @@ pub fn dat1(ctx: &ExecCtx, cfg: &Dat1Config) -> Result<(Catalog, Dat1Truth)> {
     let facility = Facility::new(layout.clone(), jobs.clone());
 
     let mut catalog = Catalog::default_hpc();
-    catalog.register_dataset(
-        "job_queue_log",
-        job_log_dataset(ctx, &jobs, cfg.partitions),
-    )?;
+    catalog.register_dataset("job_queue_log", job_log_dataset(ctx, &jobs, cfg.partitions))?;
     catalog.register_dataset("node_layout", layout.dataset(ctx, cfg.partitions))?;
     catalog.register_dataset(
         "rack_temps",
@@ -222,7 +219,10 @@ pub fn dat2(ctx: &ExecCtx, cfg: &Dat2Config) -> Result<(Catalog, Dat2Truth)> {
             ..sampling.clone()
         },
     );
-    catalog.register_dataset("ldms", ldms_wrap(ctx, &store, catalog.dict(), cfg.partitions)?)?;
+    catalog.register_dataset(
+        "ldms",
+        ldms_wrap(ctx, &store, catalog.dict(), cfg.partitions)?,
+    )?;
     // The DAT's own job queue log (the six runs).
     catalog.register_dataset(
         "job_queue_log",
@@ -262,10 +262,7 @@ mod tests {
         );
         assert_eq!(truth.amg_rack, "rack2");
         assert!(catalog.dataset("rack_temps").unwrap().count().unwrap() > 0);
-        assert_eq!(
-            catalog.dataset("node_layout").unwrap().count().unwrap(),
-            16
-        );
+        assert_eq!(catalog.dataset("node_layout").unwrap().count().unwrap(), 16);
     }
 
     #[test]
@@ -288,7 +285,10 @@ mod tests {
         assert_eq!(catalog.dataset("cpu_specs").unwrap().count().unwrap(), 2);
         assert!(catalog.dataset("papi").unwrap().count().unwrap() > 100);
         assert!(catalog.dataset("ldms").unwrap().count().unwrap() > 50);
-        assert_eq!(catalog.dataset("job_queue_log").unwrap().count().unwrap(), 6);
+        assert_eq!(
+            catalog.dataset("job_queue_log").unwrap().count().unwrap(),
+            6
+        );
     }
 
     #[test]

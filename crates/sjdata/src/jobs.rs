@@ -110,12 +110,10 @@ pub fn dat1_schedule(
     next_id += 1;
 
     // Background jobs on the remaining racks, one job per node at a time.
-    let mut free_at: std::collections::HashMap<String, Timestamp> = std::collections::HashMap::new();
+    let mut free_at: std::collections::HashMap<String, Timestamp> =
+        std::collections::HashMap::new();
     let background = [Workload::Lulesh, Workload::Kripke, Workload::MgC];
-    let other_racks: Vec<&str> = layout
-        .rack_names()
-        .filter(|r| *r != amg_rack)
-        .collect();
+    let other_racks: Vec<&str> = layout.rack_names().filter(|r| *r != amg_rack).collect();
     // `next_id` is not a loop counter: placements that do not fit the DAT
     // window are skipped without consuming an id, keeping job ids dense.
     #[allow(clippy::explicit_counter_loop)]
@@ -125,7 +123,9 @@ pub fn dat1_schedule(
         nodes.shuffle(&mut rng);
         let want = rng.gen_range(cfg.nodes_per_job.0..=cfg.nodes_per_job.1);
         let run_secs = rng.gen_range(cfg.job_secs.0..=cfg.job_secs.1);
-        let earliest = cfg.start.add_secs(rng.gen_range(0..cfg.duration_secs / 2) as f64);
+        let earliest = cfg
+            .start
+            .add_secs(rng.gen_range(0..cfg.duration_secs / 2) as f64);
         let alloc: Vec<String> = nodes.into_iter().take(want).collect();
         let start = alloc
             .iter()
@@ -154,12 +154,7 @@ pub fn dat1_schedule(
 
 /// A back-to-back run sequence on a fixed node set (the second DAT's
 /// 3×mg.C then 3×prime95 workloads, §7.3).
-pub fn dat2_schedule(
-    nodes: &[String],
-    start: Timestamp,
-    run_secs: i64,
-    gap_secs: i64,
-) -> Vec<Job> {
+pub fn dat2_schedule(nodes: &[String], start: Timestamp, run_secs: i64, gap_secs: i64) -> Vec<Job> {
     let mut jobs = Vec::new();
     let mut t = start;
     let apps = [
@@ -226,7 +221,10 @@ mod tests {
         let amg: Vec<&Job> = jobs.iter().filter(|j| j.app == Workload::Amg).collect();
         assert_eq!(amg.len(), 1);
         assert_eq!(amg[0].nodes.len(), 6);
-        assert!(amg[0].nodes.iter().all(|n| layout().rack_of(n) == Some("rack2")));
+        assert!(amg[0]
+            .nodes
+            .iter()
+            .all(|n| layout().rack_of(n) == Some("rack2")));
         // No background job lands on the AMG rack.
         for j in jobs.iter().filter(|j| j.app != Workload::Amg) {
             assert!(j.nodes.iter().all(|n| layout().rack_of(n) != Some("rack2")));
@@ -296,6 +294,7 @@ mod tests {
         let row = &ds.head(1).unwrap()[0];
         assert_eq!(row.get(2).as_list().unwrap().len(), 2);
         assert!(row.get(4).as_span().is_some());
-        ds.validate(&sjcore::SemanticDictionary::default_hpc()).unwrap();
+        ds.validate(&sjcore::SemanticDictionary::default_hpc())
+            .unwrap();
     }
 }

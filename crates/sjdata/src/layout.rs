@@ -72,7 +72,9 @@ impl FacilityLayout {
 
     /// All node names in rack order.
     pub fn all_nodes(&self) -> impl Iterator<Item = &str> {
-        self.racks.iter().flat_map(|(_, ns)| ns.iter().map(String::as_str))
+        self.racks
+            .iter()
+            .flat_map(|(_, ns)| ns.iter().map(String::as_str))
     }
 
     /// Rack hosting a node, if known.
@@ -93,9 +95,9 @@ impl FacilityLayout {
             .racks
             .iter()
             .flat_map(|(rack, nodes)| {
-                nodes.iter().map(move |n| {
-                    Row::new(vec![Value::str(n), Value::str(rack)])
-                })
+                nodes
+                    .iter()
+                    .map(move |n| Row::new(vec![Value::str(n), Value::str(rack)]))
             })
             .collect();
         SjDataset::from_rows(ctx, rows, schema, "node_layout", partitions)

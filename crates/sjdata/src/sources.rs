@@ -392,9 +392,7 @@ mod tests {
         let mean = |rack: &str, aisle: &str| -> f64 {
             let vals: Vec<f64> = rows
                 .iter()
-                .filter(|r| {
-                    r.get(0).as_str() == Some(rack) && r.get(2).as_str() == Some(aisle)
-                })
+                .filter(|r| r.get(0).as_str() == Some(rack) && r.get(2).as_str() == Some(aisle))
                 .map(|r| r.get(4).as_f64().unwrap())
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
@@ -439,9 +437,8 @@ mod tests {
                 .iter()
                 .filter_map(|r| {
                     let t = r.get(2).as_time()?.as_secs();
-                    ((lo..hi).contains(&t)).then(|| {
-                        (t, r.get(3).as_i64().unwrap(), r.get(4).as_i64().unwrap())
-                    })
+                    ((lo..hi).contains(&t))
+                        .then(|| (t, r.get(3).as_i64().unwrap(), r.get(4).as_i64().unwrap()))
                 })
                 .collect();
             let (first, last) = (samples.first().unwrap(), samples.last().unwrap());
@@ -492,8 +489,12 @@ mod tests {
     fn generators_are_deterministic() {
         let ctx = ExecCtx::local();
         let f = amg_facility();
-        let a = rack_temperature_dataset(&ctx, &f, &cfg(120.0)).collect().unwrap();
-        let b = rack_temperature_dataset(&ctx, &f, &cfg(120.0)).collect().unwrap();
+        let a = rack_temperature_dataset(&ctx, &f, &cfg(120.0))
+            .collect()
+            .unwrap();
+        let b = rack_temperature_dataset(&ctx, &f, &cfg(120.0))
+            .collect()
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn amg_is_the_hottest_average_workload() {
         let avg = |w: Workload| -> f64 {
-            (0..=100).map(|i| w.heat_delta(i as f64 / 100.0)).sum::<f64>() / 101.0
+            (0..=100)
+                .map(|i| w.heat_delta(i as f64 / 100.0))
+                .sum::<f64>()
+                / 101.0
         };
         let amg = avg(Workload::Amg);
         for w in [Workload::MgC, Workload::Lulesh, Workload::Kripke] {
@@ -200,9 +203,7 @@ mod tests {
     fn prime95_has_higher_instruction_rate_than_mgc() {
         for i in 0..=10 {
             let frac = i as f64 / 10.0;
-            assert!(
-                Workload::Prime95.instr_per_ms(frac) > 2.0 * Workload::MgC.instr_per_ms(frac)
-            );
+            assert!(Workload::Prime95.instr_per_ms(frac) > 2.0 * Workload::MgC.instr_per_ms(frac));
         }
     }
 
@@ -221,9 +222,7 @@ mod tests {
     fn prime95_runs_hot_on_thermal_margin() {
         for i in 0..=10 {
             let frac = i as f64 / 10.0;
-            assert!(
-                Workload::Prime95.thermal_margin(frac) < Workload::MgC.thermal_margin(frac)
-            );
+            assert!(Workload::Prime95.thermal_margin(frac) < Workload::MgC.thermal_margin(frac));
         }
     }
 }

@@ -47,10 +47,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            SjdfError::EmptyDataset("x"),
-            SjdfError::EmptyDataset("x")
-        );
+        assert_eq!(SjdfError::EmptyDataset("x"), SjdfError::EmptyDataset("x"));
         assert_ne!(
             SjdfError::TaskPanic("a".into()),
             SjdfError::TaskPanic("b".into())

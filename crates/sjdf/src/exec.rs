@@ -38,6 +38,18 @@ impl ExecCtx {
         ExecCtx::new(ClusterSpec::local())
     }
 
+    /// The same cluster with a fresh, empty metrics sink. A query service
+    /// hands each request one of these so per-request [`MetricsReport`]s
+    /// are isolated instead of accumulating into one shared collector.
+    ///
+    /// [`MetricsReport`]: crate::metrics::MetricsReport
+    pub fn with_fresh_metrics(&self) -> Self {
+        ExecCtx {
+            cluster: self.cluster.clone(),
+            metrics: MetricsCollector::new(),
+        }
+    }
+
     /// Run `task(i)` for every `i in 0..parts`, in parallel on up to
     /// [`ClusterSpec::local_threads`] threads, returning results in
     /// partition order.
@@ -152,7 +164,9 @@ mod tests {
             i
         });
         match res {
-            Err(SjdfError::TaskPanic(msg)) => assert!(msg.contains("exploded") || msg.contains("complete")),
+            Err(SjdfError::TaskPanic(msg)) => {
+                assert!(msg.contains("exploded") || msg.contains("complete"))
+            }
             other => panic!("expected TaskPanic, got {other:?}"),
         }
     }

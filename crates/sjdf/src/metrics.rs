@@ -86,6 +86,45 @@ impl MetricsReport {
     pub fn op(&self, name: &str) -> Option<&OpEntry> {
         self.ops.iter().find(|o| o.name == name)
     }
+
+    /// Per-op difference against an earlier snapshot of the same
+    /// collector: the activity attributable to evaluations that ran
+    /// between the two reports. Ops absent from the baseline appear
+    /// whole; counters subtract saturating, so interleaved concurrent
+    /// evaluations can never produce negative (wrapped) counts.
+    pub fn delta_since(&self, baseline: &MetricsReport) -> MetricsReport {
+        let diff = |a: u64, b: u64| a.saturating_sub(b);
+        let ops = self
+            .ops
+            .iter()
+            .filter_map(|o| {
+                let base = baseline
+                    .ops
+                    .iter()
+                    .find(|b| b.name == o.name && b.kind == o.kind);
+                let m = match base {
+                    None => o.metrics.clone(),
+                    Some(b) => OpMetrics {
+                        records_in: diff(o.metrics.records_in, b.metrics.records_in),
+                        records_out: diff(o.metrics.records_out, b.metrics.records_out),
+                        shuffle_bytes: diff(o.metrics.shuffle_bytes, b.metrics.shuffle_bytes),
+                        shuffle_records: diff(o.metrics.shuffle_records, b.metrics.shuffle_records),
+                        tasks: diff(o.metrics.tasks, b.metrics.tasks),
+                    },
+                };
+                if m == OpMetrics::default() {
+                    None
+                } else {
+                    Some(OpEntry {
+                        name: o.name.clone(),
+                        kind: o.kind,
+                        metrics: m,
+                    })
+                }
+            })
+            .collect();
+        MetricsReport { ops }
+    }
 }
 
 /// Thread-safe sink that tasks report into during an evaluation.
@@ -103,10 +142,7 @@ impl MetricsCollector {
     /// Record one task's contribution to an op.
     pub fn record(&self, name: &str, kind: OpKind, m: OpMetrics) {
         let mut inner = self.inner.lock();
-        inner
-            .entry((name.to_string(), kind))
-            .or_default()
-            .merge(&m);
+        inner.entry((name.to_string(), kind)).or_default().merge(&m);
     }
 
     /// Snapshot the collected metrics into an immutable report.

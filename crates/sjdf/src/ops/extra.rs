@@ -11,9 +11,9 @@ impl<T: Data> Rdd<T> {
     pub fn zip_with_index(&self) -> Result<Rdd<(u64, T)>> {
         let op = std::sync::Arc::clone(&self.op);
         let ctx = self.ctx.clone();
-        let counts = self
-            .ctx
-            .run_wave(self.op.num_partitions(), move |i| op.compute(i, &ctx).len() as u64)?;
+        let counts = self.ctx.run_wave(self.op.num_partitions(), move |i| {
+            op.compute(i, &ctx).len() as u64
+        })?;
         let mut offsets = Vec::with_capacity(counts.len());
         let mut acc = 0u64;
         for c in counts {
@@ -96,7 +96,8 @@ where
     /// Count occurrences of each distinct element. Wide (one shuffle of
     /// map-side-combined counts).
     pub fn count_by_value(&self, out_parts: usize) -> Rdd<(T, u64)> {
-        self.map(|x| (x, 1u64)).reduce_by_key(out_parts, |a, b| a + b)
+        self.map(|x| (x, 1u64))
+            .reduce_by_key(out_parts, |a, b| a + b)
     }
 }
 
@@ -108,7 +109,13 @@ where
     /// Aggregate values per key with a per-partition fold and a merge of
     /// partial aggregates (Spark's `aggregateByKey`). Wide, but only the
     /// combined partials are shuffled.
-    pub fn aggregate_by_key<A, F, G>(&self, out_parts: usize, zero: A, fold: F, merge: G) -> Rdd<(K, A)>
+    pub fn aggregate_by_key<A, F, G>(
+        &self,
+        out_parts: usize,
+        zero: A,
+        fold: F,
+        merge: G,
+    ) -> Rdd<(K, A)>
     where
         A: Data + ByteSize,
         F: Fn(A, V) -> A + Send + Sync + 'static,
@@ -173,8 +180,7 @@ mod tests {
     #[test]
     fn count_by_value_counts() {
         let c = ctx();
-        let rdd = Rdd::parallelize(&c, vec!["a", "b", "a", "a", "c"], 2)
-            .map(|s| s.to_string());
+        let rdd = Rdd::parallelize(&c, vec!["a", "b", "a", "a", "c"], 2).map(|s| s.to_string());
         let mut got = rdd.count_by_value(2).collect().unwrap();
         got.sort();
         assert_eq!(
@@ -198,10 +204,7 @@ mod tests {
             |(s, n), v| (s + v, n + 1),
             |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
         );
-        let mut got: Vec<(u64, f64)> = sums
-            .map(|(k, (s, n))| (k, s / n as f64))
-            .collect()
-            .unwrap();
+        let mut got: Vec<(u64, f64)> = sums.map(|(k, (s, n))| (k, s / n as f64)).collect().unwrap();
         got.sort_by_key(|a| a.0);
         assert_eq!(got.len(), 4);
         // Keys 0..3 hold arithmetic progressions with means 48..51.

@@ -270,11 +270,7 @@ mod tests {
             vec![("node1".to_string(), 1u64), ("node2".to_string(), 2)],
             2,
         );
-        let right = Rdd::parallelize(
-            &c,
-            vec![("node1".to_string(), "rack A".to_string())],
-            1,
-        );
+        let right = Rdd::parallelize(&c, vec![("node1".to_string(), "rack A".to_string())], 1);
         let got = left.join(&right, 2).collect().unwrap();
         assert_eq!(got, vec![("node1".to_string(), (1, "rack A".to_string()))]);
     }

@@ -337,7 +337,8 @@ where
 
     /// Number of records per key (built on `reduce_by_key`).
     pub fn count_by_key(&self, out_parts: usize) -> Rdd<(K, u64)> {
-        self.map(|(k, _)| (k, 1u64)).reduce_by_key(out_parts, |a, b| a + b)
+        self.map(|(k, _)| (k, 1u64))
+            .reduce_by_key(out_parts, |a, b| a + b)
     }
 
     /// Apply `f` to each value, preserving keys (narrow).
@@ -442,15 +443,21 @@ mod tests {
             .unwrap();
         let r = c.metrics.report();
         let m = r.op("reduce_by_key").unwrap();
-        assert!(m.metrics.shuffle_records <= 80, "{}", m.metrics.shuffle_records);
+        assert!(
+            m.metrics.shuffle_records <= 80,
+            "{}",
+            m.metrics.shuffle_records
+        );
     }
 
     #[test]
     fn count_by_key_counts() {
         let c = ctx();
-        let pairs: Vec<(String, u64)> =
-            vec![("a".into(), 1), ("b".into(), 2), ("a".into(), 3)];
-        let mut got = Rdd::parallelize(&c, pairs, 2).count_by_key(2).collect().unwrap();
+        let pairs: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), 2), ("a".into(), 3)];
+        let mut got = Rdd::parallelize(&c, pairs, 2)
+            .count_by_key(2)
+            .collect()
+            .unwrap();
         got.sort();
         assert_eq!(got, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
     }
@@ -504,7 +511,10 @@ mod tests {
     fn empty_input_shuffles_cleanly() {
         let c = ctx();
         let empty: Vec<(u64, u64)> = vec![];
-        let got = Rdd::parallelize(&c, empty, 3).group_by_key(3).collect().unwrap();
+        let got = Rdd::parallelize(&c, empty, 3)
+            .group_by_key(3)
+            .collect()
+            .unwrap();
         assert!(got.is_empty());
     }
 }

@@ -128,7 +128,9 @@ where
 {
     /// Globally sort elements (via `sort_by_key` on the identity key).
     pub fn sort(&self, out_parts: usize) -> Rdd<T> {
-        self.map(|x| (x, ())).sort_by_key(out_parts).map(|(x, ())| x)
+        self.map(|x| (x, ()))
+            .sort_by_key(out_parts)
+            .map(|(x, ())| x)
     }
 }
 
@@ -144,7 +146,9 @@ mod tests {
     #[test]
     fn sort_by_key_yields_global_order() {
         let c = ctx();
-        let data: Vec<(i64, u64)> = (0..500).map(|i| (((i * 7919) % 500) as i64, i as u64)).collect();
+        let data: Vec<(i64, u64)> = (0..500)
+            .map(|i| (((i * 7919) % 500) as i64, i as u64))
+            .collect();
         let sorted = Rdd::parallelize(&c, data, 8).sort_by_key(4);
         let got = sorted.collect().unwrap();
         assert_eq!(got.len(), 500);
@@ -178,7 +182,10 @@ mod tests {
     #[test]
     fn sort_plain_elements() {
         let c = ctx();
-        let got = Rdd::parallelize(&c, vec![5u64, 3, 1, 4, 2], 3).sort(2).collect().unwrap();
+        let got = Rdd::parallelize(&c, vec![5u64, 3, 1, 4, 2], 3)
+            .sort(2)
+            .collect()
+            .unwrap();
         assert_eq!(got, vec![1, 2, 3, 4, 5]);
     }
 
@@ -186,7 +193,10 @@ mod tests {
     fn sort_with_duplicate_keys() {
         let c = ctx();
         let data: Vec<(u64, u64)> = (0..100).map(|i| (i % 3, i)).collect();
-        let got = Rdd::parallelize(&c, data, 5).sort_by_key(3).collect().unwrap();
+        let got = Rdd::parallelize(&c, data, 5)
+            .sort_by_key(3)
+            .collect()
+            .unwrap();
         assert_eq!(got.len(), 100);
         for w in got.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -207,7 +217,10 @@ mod tests {
     fn sort_records_shuffle_metrics() {
         let c = ctx();
         let data: Vec<(u64, u64)> = (0..200).map(|i| (i, i)).collect();
-        Rdd::parallelize(&c, data, 4).sort_by_key(4).collect().unwrap();
+        Rdd::parallelize(&c, data, 4)
+            .sort_by_key(4)
+            .collect()
+            .unwrap();
         let r = c.metrics.report();
         assert_eq!(r.op("sort_by_key").unwrap().metrics.shuffle_records, 200);
     }

@@ -592,10 +592,7 @@ mod tests {
         let c = ctx();
         let rdd = Rdd::parallelize(&c, (1u64..=10).collect(), 3);
         assert_eq!(rdd.reduce(|a, b| a + b).unwrap(), 55);
-        assert_eq!(
-            rdd.fold(0u64, |a, x| a + x, |a, b| a + b).unwrap(),
-            55
-        );
+        assert_eq!(rdd.fold(0u64, |a, x| a + x, |a, b| a + b).unwrap(), 55);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! The plan-compilation cache: the upper level of the service's
+//! two-level cache.
+//!
+//! Level 1 (here) memoizes the *derivation search*: a normalized,
+//! canonicalized [`Query`] plus the engine knobs that shape plans maps to
+//! the solved [`Plan`]. The search is the expensive combinatorial part of
+//! ScrubJay (§5.2), and two clients asking for the same dimensions in a
+//! different order land on the same entry. Level 2 is the existing
+//! [`sjcore::cache::ResultCache`], keyed by [`Plan::fingerprint`], which
+//! memoizes *materialized rows*; the service wires both together.
+
+use parking_lot::Mutex;
+use sjcore::engine::{Plan, Query};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: the normalized query plus every engine knob that can change
+/// the solved plan. Window and step are carried as microsecond integers
+/// so the key stays `Eq + Hash` without hashing raw floats.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    query: Query,
+    window_us: u64,
+    step_us: u64,
+}
+
+impl PlanKey {
+    /// Build a key from a *canonicalized* query (aliases resolved) and
+    /// the effective engine knobs. Normalization makes domain/value order
+    /// irrelevant.
+    pub fn new(canonical_query: &Query, window_secs: f64, step_secs: f64) -> Self {
+        PlanKey {
+            query: canonical_query.normalized(),
+            window_us: (window_secs * 1e6) as u64,
+            step_us: (step_secs * 1e6) as u64,
+        }
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: u64,
+}
+
+/// Thread-safe memo of solved plans.
+#[derive(Debug, Default)]
+pub struct PlanCacheLayer {
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCacheLayer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a solved plan, counting the hit or miss.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<Plan>> {
+        let found = self.plans.lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a freshly solved plan. If another thread solved the same
+    /// query first, its entry wins and is returned — both plans satisfy
+    /// the query, and keeping one maximizes downstream result-cache hits.
+    pub fn insert(&self, key: PlanKey, plan: Plan) -> Arc<Plan> {
+        let mut plans = self.plans.lock();
+        Arc::clone(plans.entry(key).or_insert_with(|| Arc::new(plan)))
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().len() as u64,
+        }
+    }
+
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjcore::engine::QueryValue;
+
+    fn q(domains: &[&str], values: &[&str]) -> Query {
+        Query {
+            domains: domains.iter().map(|s| s.to_string()).collect(),
+            values: values.iter().map(|v| QueryValue::dim(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn order_insensitive_keys() {
+        let a = PlanKey::new(&q(&["rack", "job"], &["heat", "application"]), 120.0, 60.0);
+        let b = PlanKey::new(&q(&["job", "rack"], &["application", "heat"]), 120.0, 60.0);
+        assert_eq!(a, b);
+        let c = PlanKey::new(&q(&["job", "rack"], &["application", "heat"]), 300.0, 60.0);
+        assert_ne!(a, c, "different window must be a different key");
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let cache = PlanCacheLayer::new();
+        let key = PlanKey::new(&q(&["rack"], &["heat"]), 120.0, 60.0);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), Plan::load("sensors"));
+        assert!(cache.get(&key).is_some());
+        assert!(cache.get(&key).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn first_insert_wins_races() {
+        let cache = PlanCacheLayer::new();
+        let key = PlanKey::new(&q(&["rack"], &["heat"]), 120.0, 60.0);
+        let first = cache.insert(key.clone(), Plan::load("a"));
+        let second = cache.insert(key, Plan::load("b"));
+        assert_eq!(first, second, "racing insert must return the winner");
+    }
+}

@@ -1,0 +1,156 @@
+//! Typed blocking client for the JSON-lines protocol.
+//!
+//! One TCP connection, requests answered in order. Used by
+//! `sjq --server` and by the integration tests; embedders wanting
+//! zero-copy access should hold a [`QueryService`] directly instead.
+//!
+//! [`QueryService`]: crate::service::QueryService
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{ErrorBody, QuerySpec, Request, Response, Verb};
+
+/// Client-side failure: transport, framing, or a server-reported error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or read/write failure.
+    Io(std::io::Error),
+    /// The server sent something unparsable.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(ErrorBody),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(e) => write!(f, "server: code={} {}", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    tenant: String,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect as the anonymous tenant.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Self::connect_as(addr, "")
+    }
+
+    /// Connect with a tenant name (the fair-queueing bucket).
+    pub fn connect_as(addr: impl ToSocketAddrs, tenant: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            tenant: tenant.to_string(),
+            next_id: 0,
+        })
+    }
+
+    /// Cap how long a read may block (useful in tests).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("{}-{}", self.tenant, self.next_id)
+    }
+
+    /// Send one request and block for its response. The response's `id`
+    /// must echo the request's; anything else is a protocol error.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("encode: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let response: Response = serde_json::from_str(reply.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("decode: {e}")))?;
+        if !response.id.is_empty() && response.id != request.id {
+            return Err(ClientError::Protocol(format!(
+                "response id `{}` does not match request id `{}`",
+                response.id, request.id
+            )));
+        }
+        Ok(response)
+    }
+
+    /// `query`: execute and return the ok-response, or the server error.
+    pub fn query(
+        &mut self,
+        spec: QuerySpec,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let mut request = Request::query(&id, &self.tenant, spec);
+        request.timeout_ms = timeout_ms;
+        let response = self.call(&request)?;
+        Self::expect_ok(response)
+    }
+
+    /// `explain`: solve without executing.
+    pub fn explain(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::explain(&id, &self.tenant, spec);
+        let response = self.call(&request)?;
+        Self::expect_ok(response)
+    }
+
+    /// `stats`: service metrics snapshot.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::bare(&id, Verb::Stats))?;
+        Self::expect_ok(response)
+    }
+
+    /// `health`: liveness probe.
+    pub fn health(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::bare(&id, Verb::Health))?;
+        Self::expect_ok(response)
+    }
+
+    /// `shutdown`: ask the server to stop.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::bare(&id, Verb::Shutdown))?;
+        Self::expect_ok(response)
+    }
+
+    fn expect_ok(response: Response) -> Result<Response, ClientError> {
+        if response.is_ok() {
+            Ok(response)
+        } else {
+            Err(ClientError::Server(response.error.unwrap_or_else(|| {
+                ErrorBody::new("internal", "error response without body")
+            })))
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! ScrubJay as a service: a concurrent query server over a loaded catalog.
+//!
+//! The batch tools (`sjq`) pay the full cost of every query: load the
+//! catalog, run the derivation search, execute the plan, exit. A
+//! monitoring dashboard or a team of analysts asking overlapping
+//! questions wants the opposite shape — load the catalog **once**, keep
+//! the derivation search's results **warm**, and multiplex many small
+//! queries over the same in-memory state. This crate provides that shape:
+//!
+//! - [`service::QueryService`] — owns the catalog, an admission-controlled
+//!   scheduler, and a two-level cache (solved [`Plan`]s keyed by
+//!   normalized query, materialized results keyed by plan fingerprint).
+//! - [`server`] — a JSON-lines TCP front end (`query` / `explain` /
+//!   `stats` / `health` / `shutdown` verbs) with one thread per
+//!   connection and a bounded worker pool behind it.
+//! - [`client::Client`] — the typed blocking client `sjq --server` uses.
+//! - [`metrics::ServiceMetrics`] — request, rejection, timeout, queue
+//!   depth, latency-percentile, and cache-hit accounting, exposed through
+//!   the `stats` verb and dumped on shutdown.
+//!
+//! Admission control is deliberately simple and fully structural: a
+//! bounded queue (excess requests are rejected immediately with a
+//! machine-readable error), a fixed-size worker pool, per-tenant
+//! round-robin dispatch so one chatty tenant cannot starve the rest, and
+//! per-request deadlines enforced both at dequeue and while the client
+//! waits.
+//!
+//! [`Plan`]: sjcore::engine::Plan
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use metrics::{ServiceMetrics, StatsReport};
+pub use protocol::{ErrorBody, QuerySpec, Request, Response, ValueSpec, Verb};
+pub use scheduler::SchedulerConfig;
+pub use server::{serve, serve_until_shutdown, ServerHandle};
+pub use service::{QueryService, ServiceConfig};

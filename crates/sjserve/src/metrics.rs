@@ -1,0 +1,388 @@
+//! Service-level metrics: request counters, queue depth, latency
+//! percentiles, cache hit rates, and per-tenant accounting.
+//!
+//! Counters are lock-free atomics; the latency histogram and the
+//! per-tenant table take a short mutex only on record and snapshot. The
+//! histogram uses power-of-two buckets over microseconds — 64 buckets
+//! cover 1µs to ~584000 years, and a quantile is read by walking the
+//! cumulative counts and reporting the bucket's geometric midpoint, which
+//! bounds the relative error at √2.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+const BUCKETS: usize = 64;
+
+/// Log₂-bucketed latency histogram (microsecond resolution).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, latency: Duration) {
+        let us = (latency.as_micros() as u64).max(1);
+        self.buckets[us.ilog2() as usize] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// The q-quantile (0 < q ≤ 1) in milliseconds, 0.0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Geometric midpoint of [2^i, 2^(i+1)) microseconds.
+                let mid_us = (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+                return mid_us / 1000.0;
+            }
+        }
+        self.max_us as f64 / 1000.0
+    }
+
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1000.0
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Per-tenant admission accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    pub tenant: String,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Requests that produced a response (ok or error).
+    pub completed: u64,
+}
+
+/// A serializable point-in-time snapshot of every service metric,
+/// returned by the `stats` verb and dumped on shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    pub uptime_ms: u64,
+    pub requests_total: u64,
+    pub requests_ok: u64,
+    pub requests_error: u64,
+    pub rejected_queue_full: u64,
+    pub timeouts: u64,
+    /// Requests currently executing on workers.
+    pub in_flight: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: u64,
+    pub queue_depth_peak: u64,
+    pub latency_count: u64,
+    pub latency_ms_p50: f64,
+    pub latency_ms_p90: f64,
+    pub latency_ms_p99: f64,
+    pub latency_ms_max: f64,
+    pub plan_cache_entries: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    pub result_cache_entries: u64,
+    pub result_cache_bytes: u64,
+    pub result_cache_hits: u64,
+    pub result_cache_misses: u64,
+    pub result_cache_evictions: u64,
+    pub per_tenant: Vec<TenantStats>,
+}
+
+impl StatsReport {
+    /// Multi-line human-readable rendering (the shutdown dump).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests: {} total, {} ok, {} error, {} rejected (queue full), {} timed out\n",
+            self.requests_total,
+            self.requests_ok,
+            self.requests_error,
+            self.rejected_queue_full,
+            self.timeouts
+        ));
+        out.push_str(&format!(
+            "queue: depth {} (peak {}), in-flight {}\n",
+            self.queue_depth, self.queue_depth_peak, self.in_flight
+        ));
+        out.push_str(&format!(
+            "latency: p50 {:.2}ms, p90 {:.2}ms, p99 {:.2}ms, max {:.2}ms over {} requests\n",
+            self.latency_ms_p50,
+            self.latency_ms_p90,
+            self.latency_ms_p99,
+            self.latency_ms_max,
+            self.latency_count
+        ));
+        out.push_str(&format!(
+            "plan cache: {} entries, {} hits, {} misses\n",
+            self.plan_cache_entries, self.plan_cache_hits, self.plan_cache_misses
+        ));
+        out.push_str(&format!(
+            "result cache: {} entries ({} bytes), {} hits, {} misses, {} evictions\n",
+            self.result_cache_entries,
+            self.result_cache_bytes,
+            self.result_cache_hits,
+            self.result_cache_misses,
+            self.result_cache_evictions
+        ));
+        for t in &self.per_tenant {
+            out.push_str(&format!(
+                "tenant `{}`: {} admitted, {} rejected, {} completed\n",
+                t.tenant, t.admitted, t.rejected, t.completed
+            ));
+        }
+        out
+    }
+}
+
+/// The live registry all request paths report into.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_error: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    timeouts: AtomicU64,
+    in_flight: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    latency: Mutex<Histogram>,
+    tenants: Mutex<BTreeMap<String, TenantStats>>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_error: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::default()),
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl ServiceMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    pub fn request_started(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn request_finished(&self, ok: bool, latency: Duration) {
+        if ok {
+            self.requests_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.requests_error.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.lock().record(latency);
+    }
+
+    pub fn rejected_full(&self, tenant: &str) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        self.tenant_entry(tenant, |t| t.rejected += 1);
+    }
+
+    pub fn timed_out(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn admitted(&self, tenant: &str) {
+        self.tenant_entry(tenant, |t| t.admitted += 1);
+    }
+
+    pub fn completed(&self, tenant: &str) {
+        self.tenant_entry(tenant, |t| t.completed += 1);
+    }
+
+    fn tenant_entry(&self, tenant: &str, f: impl FnOnce(&mut TenantStats)) {
+        let mut map = self.tenants.lock();
+        let entry = map
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantStats {
+                tenant: tenant.to_string(),
+                ..TenantStats::default()
+            });
+        f(entry);
+    }
+
+    pub fn queue_depth_changed(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub fn exec_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn exec_finished(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn timeouts_count(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected_queue_full.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot everything; cache numbers are supplied by the owner of
+    /// the caches so this module stays dependency-free.
+    pub fn snapshot(&self, caches: CacheCounters) -> StatsReport {
+        let latency = self.latency.lock();
+        let per_tenant = self.tenants.lock().values().cloned().collect();
+        StatsReport {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_error: self.requests_error.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            latency_count: latency.count(),
+            latency_ms_p50: latency.quantile_ms(0.50),
+            latency_ms_p90: latency.quantile_ms(0.90),
+            latency_ms_p99: latency.quantile_ms(0.99),
+            latency_ms_max: latency.max_ms(),
+            plan_cache_entries: caches.plan_entries,
+            plan_cache_hits: caches.plan_hits,
+            plan_cache_misses: caches.plan_misses,
+            result_cache_entries: caches.result_entries,
+            result_cache_bytes: caches.result_bytes,
+            result_cache_hits: caches.result_hits,
+            result_cache_misses: caches.result_misses,
+            result_cache_evictions: caches.result_evictions,
+            per_tenant,
+        }
+    }
+}
+
+/// Cache counters handed to [`ServiceMetrics::snapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheCounters {
+    pub plan_entries: u64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub result_entries: u64,
+    pub result_bytes: u64,
+    pub result_hits: u64,
+    pub result_misses: u64,
+    pub result_evictions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let mut h = Histogram::default();
+        for ms in [1u64, 2, 2, 3, 5, 8, 13, 100, 400] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile_ms(0.5);
+        let p99 = h.quantile_ms(0.99);
+        assert!(p50 > 0.0);
+        assert!(p50 <= p99, "p50={p50} p99={p99}");
+        assert!(h.max_ms() >= 400.0);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(10_000)); // 10ms exactly
+        }
+        let p50 = h.quantile_ms(0.5);
+        assert!(
+            (5.0..20.0).contains(&p50),
+            "p50={p50} should be within one bucket of 10ms"
+        );
+    }
+
+    #[test]
+    fn snapshot_collects_counters_and_tenants() {
+        let m = ServiceMetrics::new();
+        m.request_started();
+        m.request_started();
+        m.admitted("a");
+        m.admitted("b");
+        m.completed("a");
+        m.rejected_full("b");
+        m.timed_out();
+        m.queue_depth_changed(7);
+        m.queue_depth_changed(2);
+        m.request_finished(true, Duration::from_millis(3));
+        m.request_finished(false, Duration::from_millis(9));
+        let s = m.snapshot(CacheCounters {
+            plan_entries: 1,
+            plan_hits: 4,
+            plan_misses: 2,
+            ..CacheCounters::default()
+        });
+        assert_eq!(s.requests_total, 2);
+        assert_eq!(s.requests_ok, 1);
+        assert_eq!(s.requests_error, 1);
+        assert_eq!(s.rejected_queue_full, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_peak, 7);
+        assert_eq!(s.plan_cache_hits, 4);
+        assert_eq!(s.per_tenant.len(), 2);
+        let a = &s.per_tenant[0];
+        assert_eq!((a.tenant.as_str(), a.admitted, a.completed), ("a", 1, 1));
+        assert!(s.render().contains("p50"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let m = ServiceMetrics::new();
+        m.request_started();
+        m.request_finished(true, Duration::from_millis(5));
+        let s = m.snapshot(CacheCounters::default());
+        let back: StatsReport = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

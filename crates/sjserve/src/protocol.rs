@@ -1,0 +1,292 @@
+//! The wire protocol: JSON-lines requests and responses.
+//!
+//! Every message is one JSON object on one line, terminated by `\n`.
+//! Requests carry a client-chosen `id` that is echoed on the response, so
+//! a client may pipeline several requests over one connection and match
+//! replies by id. All the payload variants live on [`Response`] as
+//! optional fields rather than an enum, which keeps the format obvious in
+//! a network capture and trivially extensible.
+
+use serde::{Deserialize, Serialize};
+use sjdf::metrics::MetricsReport;
+
+use crate::metrics::StatsReport;
+
+/// What the client wants done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Verb {
+    /// Solve and execute; returns rows.
+    Query,
+    /// Solve only; returns the plan without executing it.
+    Explain,
+    /// Service metrics snapshot.
+    Stats,
+    /// Liveness probe: dataset names and uptime.
+    Health,
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// One requested value dimension, optionally units-constrained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueSpec {
+    pub dimension: String,
+    pub units: Option<String>,
+}
+
+impl ValueSpec {
+    pub fn dim(dimension: &str) -> Self {
+        ValueSpec {
+            dimension: dimension.into(),
+            units: None,
+        }
+    }
+
+    pub fn with_units(dimension: &str, units: &str) -> Self {
+        ValueSpec {
+            dimension: dimension.into(),
+            units: Some(units.into()),
+        }
+    }
+}
+
+/// The query payload for `query` and `explain` verbs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Domain dimensions the result must be defined over.
+    pub domains: Vec<String>,
+    /// Value dimensions the result must measure.
+    pub values: Vec<ValueSpec>,
+    /// Interpolation-join window override (seconds).
+    pub window_secs: Option<f64>,
+    /// Explode-continuous step override (seconds).
+    pub step_secs: Option<f64>,
+    /// Maximum rows returned; further rows are dropped and the response
+    /// is marked `truncated`.
+    pub limit: Option<usize>,
+}
+
+impl QuerySpec {
+    /// A spec over plain dimension names with service defaults.
+    pub fn new(
+        domains: impl IntoIterator<Item = &'static str>,
+        values: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        QuerySpec {
+            domains: domains.into_iter().map(String::from).collect(),
+            values: values.into_iter().map(ValueSpec::dim).collect(),
+            window_secs: None,
+            step_secs: None,
+            limit: None,
+        }
+    }
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: String,
+    pub verb: Verb,
+    /// Fair-queueing bucket; empty string means the anonymous tenant.
+    pub tenant: String,
+    /// Payload for `query` / `explain`; ignored by other verbs.
+    pub query: Option<QuerySpec>,
+    /// Per-request deadline; the service default applies when absent.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Request {
+    pub fn query(id: &str, tenant: &str, spec: QuerySpec) -> Self {
+        Request {
+            id: id.into(),
+            verb: Verb::Query,
+            tenant: tenant.into(),
+            query: Some(spec),
+            timeout_ms: None,
+        }
+    }
+
+    pub fn explain(id: &str, tenant: &str, spec: QuerySpec) -> Self {
+        Request {
+            verb: Verb::Explain,
+            ..Request::query(id, tenant, spec)
+        }
+    }
+
+    /// A payload-less request (`stats` / `health` / `shutdown`).
+    pub fn bare(id: &str, verb: Verb) -> Self {
+        Request {
+            id: id.into(),
+            verb,
+            tenant: String::new(),
+            query: None,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// Machine-readable error codes. Stable strings, not an enum, so old
+/// clients degrade gracefully when a server grows new codes.
+pub mod codes {
+    /// The admission queue was full; retry later.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The request's deadline elapsed before a result was produced.
+    pub const TIMEOUT: &str = "timeout";
+    /// The engine proved no derivation sequence satisfies the query.
+    pub const NO_SOLUTION: &str = "no_solution";
+    /// The request was malformed (bad JSON, missing payload, unknown
+    /// keyword, ...).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Plan execution failed after a successful solve.
+    pub const EXEC_FAILED: &str = "exec_failed";
+    /// The server is shutting down.
+    pub const SHUTDOWN: &str = "shutdown";
+}
+
+/// A structured error: a stable code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    pub code: String,
+    pub message: String,
+}
+
+impl ErrorBody {
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        ErrorBody {
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Executed-query payload: the derived dataset plus cache/latency facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Column names, in schema order.
+    pub columns: Vec<String>,
+    /// Row cells rendered to display form, at most `limit` rows.
+    pub rows: Vec<Vec<String>>,
+    /// Total rows the query produced (before `limit`).
+    pub row_count: usize,
+    /// Whether `rows` was cut off at the limit.
+    pub truncated: bool,
+    /// The solved plan came from the plan cache.
+    pub plan_cache_hit: bool,
+    /// The materialized result came from the result cache.
+    pub result_cache_hit: bool,
+    /// End-to-end service latency for this request (queue + execute).
+    pub elapsed_ms: f64,
+    /// Dataflow activity attributed to this evaluation (absent on a
+    /// result-cache hit — nothing executed).
+    pub engine_metrics: Option<MetricsReport>,
+}
+
+/// `explain` payload: the plan without execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanInfo {
+    /// The reproducible plan, as its canonical JSON tree.
+    pub plan_json: String,
+    /// Human-readable derivation sequence.
+    pub plan_text: String,
+    /// [`Plan::fingerprint`](sjcore::engine::Plan::fingerprint) — the
+    /// result-cache key.
+    pub fingerprint: u64,
+    pub plan_cache_hit: bool,
+}
+
+/// `health` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    pub status: String,
+    pub datasets: Vec<String>,
+    pub uptime_ms: u64,
+}
+
+/// One response line. Exactly one of the payload fields is populated on
+/// success (matching the request verb); `error` is populated on failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id (empty when the request was unparsable).
+    pub id: String,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    pub error: Option<ErrorBody>,
+    pub result: Option<QueryResult>,
+    pub plan: Option<PlanInfo>,
+    pub stats: Option<StatsReport>,
+    pub health: Option<HealthReport>,
+}
+
+impl Response {
+    pub fn ok(id: &str) -> Self {
+        Response {
+            id: id.into(),
+            status: "ok".into(),
+            error: None,
+            result: None,
+            plan: None,
+            stats: None,
+            health: None,
+        }
+    }
+
+    pub fn fail(id: &str, error: ErrorBody) -> Self {
+        Response {
+            status: "error".into(),
+            error: Some(error),
+            ..Response::ok(id)
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// The error code, if this is an error response.
+    pub fn code(&self) -> Option<&str> {
+        self.error.as_ref().map(|e| e.code.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let mut spec = QuerySpec::new(["job", "rack"], ["application", "heat"]);
+        spec.values[1].units = Some("delta-celsius".into());
+        spec.window_secs = Some(300.0);
+        spec.limit = Some(10);
+        let req = Request::query("r-1", "teamA", spec);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(req, back);
+        assert!(line.contains("\"verb\":\"query\""), "{line}");
+    }
+
+    #[test]
+    fn bare_verbs_round_trip() {
+        for verb in [Verb::Stats, Verb::Health, Verb::Shutdown, Verb::Explain] {
+            let req = Request::bare("x", verb);
+            let back: Request =
+                serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+            assert_eq!(back.verb, verb);
+            assert_eq!(back.query, None);
+        }
+    }
+
+    #[test]
+    fn error_responses_round_trip() {
+        let resp = Response::fail(
+            "r-9",
+            ErrorBody::new(codes::QUEUE_FULL, "queue is at capacity (32)"),
+        );
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert!(!back.is_ok());
+        assert_eq!(back.code(), Some(codes::QUEUE_FULL));
+        assert_eq!(back.id, "r-9");
+    }
+}

@@ -1,0 +1,340 @@
+//! Admission control and fair dispatch.
+//!
+//! The scheduler is a bounded multi-queue: one FIFO per tenant, a global
+//! bound on total queued work, and a round-robin rotation over tenants so
+//! a single chatty client cannot starve the others. Submission never
+//! blocks — when the queue is full the request is rejected immediately
+//! with a structured error, which is the behavior a load balancer wants
+//! (fail fast, retry elsewhere) and the behavior an analyst understands.
+//!
+//! Deadlines are enforced twice. The waiting client gives up at its
+//! deadline (and marks the job cancelled so a worker never starts it);
+//! a worker that dequeues an already-expired job completes it as a
+//! timeout without executing. A job that is already *running* when its
+//! deadline passes is allowed to finish — execution is a blocking engine
+//! call — but its result is discarded because the waiter is gone.
+//!
+//! Uses `std::sync::{Mutex, Condvar}` rather than `parking_lot` because
+//! the wait paths genuinely need condition variables.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Request, Response};
+
+/// Queue and pool sizing.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads executing queries (max concurrency).
+    pub workers: usize,
+    /// Maximum requests waiting for a worker across all tenants; further
+    /// submissions are rejected.
+    pub max_queue: usize,
+    /// Deadline applied when a request does not carry `timeout_ms`.
+    pub default_timeout: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 4,
+            max_queue: 32,
+            default_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One-shot rendezvous between the waiting client thread and the worker.
+#[derive(Debug)]
+pub struct ResponseSlot {
+    state: Mutex<Option<Response>>,
+    ready: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl ResponseSlot {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Worker side: deliver the response (a no-op for the client if it
+    /// already gave up, but harmless).
+    pub fn fulfill(&self, response: Response) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state = Some(response);
+        self.ready.notify_all();
+    }
+
+    /// Client side: wait until fulfilled or the deadline passes. On
+    /// timeout the slot is marked cancelled so a worker that reaches the
+    /// job later can skip execution.
+    pub fn wait_until(&self, deadline: Instant) -> Option<Response> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(resp) = state.take() {
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.cancelled.store(true, Ordering::Release);
+                return None;
+            }
+            let (next, _) = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            state = next;
+        }
+    }
+
+    /// Whether the waiting client already gave up on this job.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// A queued request plus everything needed to answer it.
+#[derive(Debug)]
+pub struct Job {
+    pub request: Request,
+    pub tenant: String,
+    pub enqueued: Instant,
+    pub deadline: Instant,
+    pub slot: Arc<ResponseSlot>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded queue is at capacity (`depth` jobs waiting).
+    QueueFull { depth: usize, capacity: usize },
+    /// The scheduler is draining for shutdown.
+    ShuttingDown,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    /// Round-robin order over tenants that currently have queued work.
+    rotation: VecDeque<String>,
+    /// Per-tenant FIFOs. An entry exists iff its queue is non-empty.
+    queues: HashMap<String, VecDeque<Job>>,
+    queued: usize,
+    shutdown: bool,
+}
+
+/// The bounded, tenant-fair admission queue.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    work: Condvar,
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState::default()),
+            work: Condvar::new(),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Enqueue a job, or reject immediately. Returns the queue depth
+    /// after the push on success.
+    pub fn submit(&self, job: Job) -> Result<usize, AdmissionError> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.shutdown {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if state.queued >= self.config.max_queue {
+            return Err(AdmissionError::QueueFull {
+                depth: state.queued,
+                capacity: self.config.max_queue,
+            });
+        }
+        let tenant = job.tenant.clone();
+        if !state.queues.contains_key(&tenant) {
+            state.rotation.push_back(tenant.clone());
+        }
+        state.queues.entry(tenant).or_default().push_back(job);
+        state.queued += 1;
+        let depth = state.queued;
+        drop(state);
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Worker side: block for the next job, round-robining across
+    /// tenants. Returns `None` when the scheduler shuts down (remaining
+    /// jobs are drained by [`Scheduler::drain`]).
+    pub fn next_job(&self) -> Option<(Job, usize)> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = Self::pop_fair(&mut state) {
+                let depth = state.queued;
+                return Some((job, depth));
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.work.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn pop_fair(state: &mut SchedState) -> Option<Job> {
+        while let Some(tenant) = state.rotation.pop_front() {
+            if let Some(queue) = state.queues.get_mut(&tenant) {
+                if let Some(job) = queue.pop_front() {
+                    state.queued -= 1;
+                    if queue.is_empty() {
+                        state.queues.remove(&tenant);
+                    } else {
+                        // Still has work: go to the back of the rotation.
+                        state.rotation.push_back(tenant);
+                    }
+                    return Some(job);
+                }
+                state.queues.remove(&tenant);
+            }
+        }
+        None
+    }
+
+    /// Current number of queued (not yet dispatched) jobs.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).queued
+    }
+
+    /// Stop accepting work and wake every worker so they can exit.
+    /// Returns the jobs still queued so the caller can answer them.
+    pub fn shutdown(&self) -> Vec<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.shutdown = true;
+        let mut orphans = Vec::with_capacity(state.queued);
+        let tenants: Vec<String> = state.queues.keys().cloned().collect();
+        for t in tenants {
+            if let Some(q) = state.queues.remove(&t) {
+                orphans.extend(q);
+            }
+        }
+        state.rotation.clear();
+        state.queued = 0;
+        drop(state);
+        self.work.notify_all();
+        orphans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Verb;
+
+    fn job(tenant: &str, id: &str) -> Job {
+        Job {
+            request: Request::bare(id, Verb::Query),
+            tenant: tenant.to_string(),
+            enqueued: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(5),
+            slot: ResponseSlot::new(),
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let s = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            max_queue: 2,
+            default_timeout: Duration::from_secs(1),
+        });
+        s.submit(job("a", "1")).unwrap();
+        s.submit(job("a", "2")).unwrap();
+        match s.submit(job("a", "3")) {
+            Err(AdmissionError::QueueFull { depth, capacity }) => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(s.depth(), 2);
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let s = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            max_queue: 16,
+            default_timeout: Duration::from_secs(1),
+        });
+        // Tenant a floods first; b submits two.
+        for i in 0..4 {
+            s.submit(job("a", &format!("a{i}"))).unwrap();
+        }
+        for i in 0..2 {
+            s.submit(job("b", &format!("b{i}"))).unwrap();
+        }
+        let order: Vec<String> = (0..6).map(|_| s.next_job().unwrap().0.request.id).collect();
+        // b's first job must come out second, not fifth: a0 b0 a1 b1 a2 a3.
+        assert_eq!(order, vec!["a0", "b0", "a1", "b1", "a2", "a3"]);
+    }
+
+    #[test]
+    fn shutdown_wakes_workers_and_drains() {
+        let s = Arc::new(Scheduler::new(SchedulerConfig::default()));
+        let worker = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.next_job().map(|(j, _)| j.request.id))
+        };
+        // Give the worker a moment to block, then shut down.
+        std::thread::sleep(Duration::from_millis(50));
+        s.submit(job("t", "will-drain")).ok();
+        std::thread::sleep(Duration::from_millis(50));
+        let drained = s.shutdown();
+        let got = worker.join().unwrap();
+        // Either the worker dispatched the job or shutdown drained it.
+        match got {
+            Some(id) => {
+                assert_eq!(id, "will-drain");
+                assert!(drained.is_empty());
+            }
+            None => assert_eq!(drained.len(), 1),
+        }
+        assert!(matches!(
+            s.submit(job("t", "late")),
+            Err(AdmissionError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn slot_times_out_and_cancels() {
+        let slot = ResponseSlot::new();
+        let got = slot.wait_until(Instant::now() + Duration::from_millis(30));
+        assert!(got.is_none());
+        assert!(slot.is_cancelled());
+        // A late fulfill is harmless.
+        slot.fulfill(Response::ok("late"));
+    }
+
+    #[test]
+    fn slot_delivers_across_threads() {
+        let slot = ResponseSlot::new();
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait_until(Instant::now() + Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        slot.fulfill(Response::ok("r1"));
+        let got = waiter.join().unwrap().expect("delivered");
+        assert_eq!(got.id, "r1");
+        assert!(!slot.is_cancelled());
+    }
+}

@@ -1,0 +1,172 @@
+//! The JSON-lines TCP front end.
+//!
+//! One accept thread, one handler thread per connection, std networking
+//! only. Each inbound line is parsed as a [`Request`]; the corresponding
+//! [`Response`] is written back as one line. Malformed lines get a
+//! structured `bad_request` error instead of a dropped connection, so a
+//! client with one bad message does not lose its pipeline.
+//!
+//! A `shutdown` request acknowledges, then stops the accept loop, the
+//! worker pool, and dumps the final metrics snapshot to stderr — the
+//! service equivalent of a batch tool printing its summary on exit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{codes, ErrorBody, Request, Response, Verb};
+use crate::service::QueryService;
+
+/// Handle to a running server; dropping it does NOT stop the server —
+/// call [`ServerHandle::stop`] (or send a `shutdown` request).
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    service: QueryService,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Block until the accept loop exits (i.e. until a `shutdown`
+    /// request arrives or [`ServerHandle::stop`] is called elsewhere).
+    pub fn wait(mut self) -> crate::metrics::StatsReport {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.service.shutdown()
+    }
+
+    /// Stop accepting, stop the workers, and return the final metrics.
+    pub fn stop(mut self) -> crate::metrics::StatsReport {
+        self.shutdown.store(true, Ordering::Release);
+        // Nudge the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.service.shutdown()
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `service` on it.
+pub fn serve(service: QueryService, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let service = service.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("sjserve-accept".into())
+            .spawn(move || accept_loop(listener, addr, service, shutdown))?
+    };
+    Ok(ServerHandle {
+        addr,
+        service,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: QueryService,
+    shutdown: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let service = service.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let _ = std::thread::Builder::new()
+            .name("sjserve-conn".into())
+            .spawn(move || handle_connection(stream, addr, service, shutdown));
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    addr: SocketAddr,
+    service: QueryService,
+    shutdown: Arc<AtomicBool>,
+) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => {
+                let wants_shutdown = request.verb == Verb::Shutdown;
+                let response = service.handle(request);
+                if wants_shutdown {
+                    if write_line(&mut writer, &response).is_err() {
+                        // Ack failed; shut down regardless.
+                    }
+                    shutdown.store(true, Ordering::Release);
+                    // Nudge accept() so the loop observes the flag.
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+                response
+            }
+            Err(e) => Response::fail(
+                "",
+                ErrorBody::new(codes::BAD_REQUEST, format!("unparsable request: {e}")),
+            ),
+        };
+        if write_line(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut text = serde_json::to_string(response)
+        .unwrap_or_else(|e| format!("{{\"id\":\"\",\"status\":\"error\",\"error\":{{\"code\":\"internal\",\"message\":\"serialize: {e}\"}}}}"));
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+/// Convenience for binaries: serve until shutdown, then dump metrics to
+/// stderr and return them.
+pub fn serve_until_shutdown(
+    service: QueryService,
+    addr: &str,
+) -> std::io::Result<crate::metrics::StatsReport> {
+    let handle = serve(service, addr)?;
+    eprintln!("sjserved listening on {}", handle.addr);
+    let report = handle.wait();
+    eprintln!("--- final service metrics ---\n{}", report.render());
+    Ok(report)
+}
+
+/// Poll until a freshly spawned server accepts connections (test helper).
+pub fn wait_ready(addr: SocketAddr, budget: Duration) -> bool {
+    let deadline = std::time::Instant::now() + budget;
+    while std::time::Instant::now() < deadline {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(100)).is_ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}

@@ -1,0 +1,417 @@
+//! The query service: catalog session, worker pool, two-level cache, and
+//! request execution.
+//!
+//! A [`QueryService`] owns one loaded [`Catalog`] for its whole lifetime
+//! (the session/catalog manager), shares it read-only with every worker,
+//! and answers [`Request`]s:
+//!
+//! - `query` / `explain` pass through admission control
+//!   ([`crate::scheduler`]) and execute on the bounded worker pool;
+//! - `stats` / `health` are answered inline — monitoring must keep
+//!   working when the queue is saturated, which is exactly when you need
+//!   it.
+//!
+//! Execution consults the two cache levels in order: the plan cache
+//! (memoized derivation search, keyed by normalized query + engine
+//! knobs) and the result cache (materialized rows, keyed by plan
+//! fingerprint). Each response reports which levels hit, its end-to-end
+//! latency, and the dataflow metrics attributable to its evaluation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sjcore::cache::ResultCache;
+use sjcore::catalog::Catalog;
+use sjcore::engine::{EngineConfig, Query, QueryEngine, QueryValue};
+use sjcore::SjError;
+use sjdf::ExecCtx;
+
+use crate::cache::{PlanCacheLayer, PlanKey};
+use crate::metrics::{CacheCounters, ServiceMetrics, StatsReport};
+use crate::protocol::{
+    codes, ErrorBody, HealthReport, PlanInfo, QueryResult, Request, Response, Verb,
+};
+use crate::scheduler::{AdmissionError, Job, ResponseSlot, Scheduler, SchedulerConfig};
+
+/// Service-wide tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission and worker-pool sizing.
+    pub scheduler: SchedulerConfig,
+    /// Byte budget for the materialized-result cache.
+    pub result_cache_bytes: usize,
+    /// Rows returned per query when the request has no `limit`.
+    pub default_limit: usize,
+    /// Engine defaults; per-request `window_secs` / `step_secs` override
+    /// the corresponding knobs.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            scheduler: SchedulerConfig::default(),
+            result_cache_bytes: 64 << 20,
+            default_limit: 1000,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+struct ServiceInner {
+    catalog: Catalog,
+    ctx: ExecCtx,
+    config: ServiceConfig,
+    plan_cache: PlanCacheLayer,
+    result_cache: ResultCache,
+    metrics: ServiceMetrics,
+    scheduler: Scheduler,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running ScrubJay query service. Cheap to clone; all clones share
+/// one catalog, scheduler, and cache.
+#[derive(Clone)]
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+}
+
+impl QueryService {
+    /// Build a service over an already-loaded catalog and start its
+    /// worker pool. `ctx` must be the context the catalog's datasets
+    /// were wrapped with (its metrics sink is where evaluations report).
+    pub fn new(ctx: ExecCtx, catalog: Catalog, config: ServiceConfig) -> Self {
+        let scheduler = Scheduler::new(config.scheduler.clone());
+        let inner = Arc::new(ServiceInner {
+            catalog,
+            ctx,
+            config: config.clone(),
+            plan_cache: PlanCacheLayer::new(),
+            result_cache: ResultCache::new(config.result_cache_bytes),
+            metrics: ServiceMetrics::new(),
+            scheduler,
+            workers: Mutex::new(Vec::new()),
+        });
+        let service = QueryService { inner };
+        service.start_workers();
+        service
+    }
+
+    fn start_workers(&self) {
+        let mut workers = self.inner.workers.lock();
+        for i in 0..self.inner.config.scheduler.workers.max(1) {
+            let inner = Arc::clone(&self.inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sjserve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread"),
+            );
+        }
+    }
+
+    /// Handle one request end to end, blocking until the response is
+    /// ready or the request's deadline passes. This is the entry point
+    /// used both by the TCP front end and by in-process embedders.
+    pub fn handle(&self, request: Request) -> Response {
+        let inner = &self.inner;
+        inner.metrics.request_started();
+        let started = Instant::now();
+        let response = match request.verb {
+            // Monitoring verbs never queue: they must answer while the
+            // service is saturated.
+            Verb::Stats => {
+                let mut r = Response::ok(&request.id);
+                r.stats = Some(self.stats_report());
+                r
+            }
+            Verb::Health => {
+                let mut r = Response::ok(&request.id);
+                r.health = Some(HealthReport {
+                    status: "ok".into(),
+                    datasets: inner
+                        .catalog
+                        .dataset_names()
+                        .into_iter()
+                        .map(String::from)
+                        .collect(),
+                    uptime_ms: inner.metrics.uptime().as_millis() as u64,
+                });
+                r
+            }
+            Verb::Shutdown => {
+                // The front end decides what shutdown means; the service
+                // just acknowledges and stops its own workers.
+                Response::ok(&request.id)
+            }
+            Verb::Query | Verb::Explain => self.enqueue_and_wait(request, started),
+        };
+        inner
+            .metrics
+            .request_finished(response.is_ok(), started.elapsed());
+        response
+    }
+
+    fn enqueue_and_wait(&self, request: Request, started: Instant) -> Response {
+        let inner = &self.inner;
+        let id = request.id.clone();
+        let tenant = request.tenant.clone();
+        let timeout = request
+            .timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or(inner.config.scheduler.default_timeout);
+        let deadline = started + timeout;
+        let slot = ResponseSlot::new();
+        let job = Job {
+            request,
+            tenant: tenant.clone(),
+            enqueued: started,
+            deadline,
+            slot: Arc::clone(&slot),
+        };
+        match inner.scheduler.submit(job) {
+            Ok(depth) => {
+                inner.metrics.admitted(&tenant);
+                inner.metrics.queue_depth_changed(depth);
+            }
+            Err(AdmissionError::QueueFull { depth, capacity }) => {
+                inner.metrics.rejected_full(&tenant);
+                return Response::fail(
+                    &id,
+                    ErrorBody::new(
+                        codes::QUEUE_FULL,
+                        format!("admission queue at capacity ({depth}/{capacity}); retry later"),
+                    ),
+                );
+            }
+            Err(AdmissionError::ShuttingDown) => {
+                return Response::fail(
+                    &id,
+                    ErrorBody::new(codes::SHUTDOWN, "service is shutting down"),
+                );
+            }
+        }
+        match slot.wait_until(deadline) {
+            Some(response) => {
+                inner.metrics.completed(&tenant);
+                response
+            }
+            None => {
+                inner.metrics.timed_out();
+                inner.metrics.completed(&tenant);
+                Response::fail(
+                    &id,
+                    ErrorBody::new(
+                        codes::TIMEOUT,
+                        format!("deadline of {}ms elapsed", timeout.as_millis()),
+                    ),
+                )
+            }
+        }
+    }
+
+    /// Current service metrics, including both cache levels.
+    pub fn stats_report(&self) -> StatsReport {
+        let inner = &self.inner;
+        let plan = inner.plan_cache.stats();
+        let result = inner.result_cache.stats();
+        inner.metrics.queue_depth_changed(inner.scheduler.depth());
+        inner.metrics.snapshot(CacheCounters {
+            plan_entries: plan.entries,
+            plan_hits: plan.hits,
+            plan_misses: plan.misses,
+            result_entries: inner.result_cache.len() as u64,
+            result_bytes: inner.result_cache.bytes() as u64,
+            result_hits: result.hits,
+            result_misses: result.misses,
+            result_evictions: result.evictions,
+        })
+    }
+
+    /// Dataset names served by this session's catalog.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.inner
+            .catalog
+            .dataset_names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// Stop the worker pool, answering still-queued jobs with a shutdown
+    /// error, and return the final metrics snapshot.
+    pub fn shutdown(&self) -> StatsReport {
+        for job in self.inner.scheduler.shutdown() {
+            job.slot.fulfill(Response::fail(
+                &job.request.id,
+                ErrorBody::new(codes::SHUTDOWN, "service is shutting down"),
+            ));
+        }
+        let workers = std::mem::take(&mut *self.inner.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.stats_report()
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    while let Some((job, depth)) = inner.scheduler.next_job() {
+        inner.metrics.queue_depth_changed(depth);
+        if job.slot.is_cancelled() {
+            // The client's deadline passed while the job sat in the
+            // queue; it was already answered with a timeout.
+            continue;
+        }
+        if Instant::now() >= job.deadline {
+            inner.metrics.timed_out();
+            job.slot.fulfill(Response::fail(
+                &job.request.id,
+                ErrorBody::new(codes::TIMEOUT, "deadline elapsed while queued"),
+            ));
+            continue;
+        }
+        inner.metrics.exec_started();
+        let response = execute(inner, &job);
+        inner.metrics.exec_finished();
+        job.slot.fulfill(response);
+    }
+}
+
+/// Solve (through the plan cache) and, for `query`, execute (through the
+/// result cache).
+fn execute(inner: &ServiceInner, job: &Job) -> Response {
+    let id = &job.request.id;
+    let spec = match &job.request.query {
+        Some(spec) => spec,
+        None => {
+            return Response::fail(
+                id,
+                ErrorBody::new(
+                    codes::BAD_REQUEST,
+                    "query/explain requires a `query` payload",
+                ),
+            )
+        }
+    };
+    if spec.domains.is_empty() || spec.values.is_empty() {
+        return Response::fail(
+            id,
+            ErrorBody::new(codes::BAD_REQUEST, "query needs domains and values"),
+        );
+    }
+
+    let window = spec
+        .window_secs
+        .unwrap_or(inner.config.engine.interp_window_secs);
+    let step = spec
+        .step_secs
+        .unwrap_or(inner.config.engine.explode_step_secs);
+    let query = Query {
+        domains: spec.domains.clone(),
+        values: spec
+            .values
+            .iter()
+            .map(|v| QueryValue {
+                dimension: v.dimension.clone(),
+                units: v.units.clone(),
+            })
+            .collect(),
+    };
+    let canonical = match query.canonicalize(inner.catalog.dict()) {
+        Ok(q) => q,
+        Err(e) => return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string())),
+    };
+    let key = PlanKey::new(&canonical, window, step);
+
+    // Level 1: memoized derivation search.
+    let (plan, plan_cache_hit) = match inner.plan_cache.get(&key) {
+        Some(plan) => (plan, true),
+        None => {
+            let engine = QueryEngine::with_config(
+                &inner.catalog,
+                EngineConfig {
+                    interp_window_secs: window,
+                    explode_step_secs: step,
+                    ..inner.config.engine.clone()
+                },
+            );
+            match engine.solve(&canonical) {
+                Ok(plan) => (inner.plan_cache.insert(key, plan), false),
+                Err(SjError::NoSolution(msg)) => {
+                    return Response::fail(id, ErrorBody::new(codes::NO_SOLUTION, msg))
+                }
+                Err(e) => {
+                    return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string()))
+                }
+            }
+        }
+    };
+
+    if job.request.verb == Verb::Explain {
+        let mut r = Response::ok(id);
+        r.plan = Some(PlanInfo {
+            plan_json: plan.to_json(),
+            plan_text: plan.describe(),
+            fingerprint: plan.fingerprint(),
+            plan_cache_hit,
+        });
+        return r;
+    }
+
+    // Level 2: materialized rows keyed by plan fingerprint.
+    let fingerprint = plan.fingerprint();
+    let (schema, rows, result_cache_hit, engine_metrics) = match inner.result_cache.get(fingerprint)
+    {
+        Some((schema, rows)) => (schema, rows, true, None),
+        None => {
+            let baseline = inner.ctx.metrics.report();
+            let ds = match plan.execute(&inner.catalog, None) {
+                Ok(ds) => ds,
+                Err(e) => {
+                    return Response::fail(id, ErrorBody::new(codes::EXEC_FAILED, e.to_string()))
+                }
+            };
+            let rows = match ds.collect() {
+                Ok(rows) => rows,
+                Err(e) => {
+                    return Response::fail(id, ErrorBody::new(codes::EXEC_FAILED, e.to_string()))
+                }
+            };
+            let schema = ds.schema().clone();
+            inner
+                .result_cache
+                .put(fingerprint, schema.clone(), rows.clone());
+            // Attribute the collector's growth to this evaluation.
+            // Concurrent evaluations may interleave (the collector is
+            // shared), so this is an attribution, not an isolation.
+            let delta = inner.ctx.metrics.report().delta_since(&baseline);
+            (schema, rows, false, Some(delta))
+        }
+    };
+
+    let limit = spec.limit.unwrap_or(inner.config.default_limit);
+    let row_count = rows.len();
+    let truncated = row_count > limit;
+    let columns: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
+    let ncols = schema.len();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .take(limit)
+        .map(|row| (0..ncols).map(|i| row.get(i).to_string()).collect())
+        .collect();
+
+    let mut r = Response::ok(id);
+    r.result = Some(QueryResult {
+        columns,
+        rows: rendered,
+        row_count,
+        truncated,
+        plan_cache_hit,
+        result_cache_hit,
+        elapsed_ms: job.enqueued.elapsed().as_secs_f64() * 1e3,
+        engine_metrics,
+    });
+    r
+}

@@ -62,20 +62,24 @@ fn main() -> sjcore::Result<()> {
     // Figure 6 series: per-sample derived values tagged with the run.
     let run_of = |secs: i64| -> Option<(usize, &'static str)> {
         truth.runs.iter().enumerate().find_map(|(i, span)| {
-            span.contains(Timestamp::from_secs(secs)).then(|| {
-                (i + 1, if i < 3 { "mg.C" } else { "prime95" })
-            })
+            span.contains(Timestamp::from_secs(secs))
+                .then(|| (i + 1, if i < 3 { "mg.C" } else { "prime95" }))
         })
     };
-    let mut csv =
-        String::from("time_secs,run,app,active_freq_mhz,instr_per_ms,mem_reads_per_ms,thermal_margin\n");
+    let mut csv = String::from(
+        "time_secs,run,app,active_freq_mhz,instr_per_ms,mem_reads_per_ms,thermal_margin\n",
+    );
     let mut per_run: Vec<Vec<(f64, f64, f64, f64)>> = vec![Vec::new(); 6];
     let mut points = 0usize;
     let mut sorted: Vec<&Row> = rows.iter().collect();
     sorted.sort_by_key(|r| r.get(time_i).as_time().map(|t| t.as_micros()));
     for r in sorted {
-        let Some(t) = r.get(time_i).as_time() else { continue };
-        let Some((run, app)) = run_of(t.as_secs()) else { continue };
+        let Some(t) = r.get(time_i).as_time() else {
+            continue;
+        };
+        let Some((run, app)) = run_of(t.as_secs()) else {
+            continue;
+        };
         let (Some(f), Some(i), Some(m), Some(g)) = (
             r.get(freq_i).as_f64(),
             r.get(instr_i).as_f64(),
@@ -104,8 +108,12 @@ fn main() -> sjcore::Result<()> {
         let mut bins: BTreeMap<i64, (f64, u32)> = BTreeMap::new();
         for line in csv.lines().skip(1) {
             let mut cols = line.split(',');
-            let (Some(t), Some(f)) = (cols.next(), cols.nth(2)) else { continue };
-            let (Ok(t), Ok(f)) = (t.parse::<i64>(), f.parse::<f64>()) else { continue };
+            let (Some(t), Some(f)) = (cols.next(), cols.nth(2)) else {
+                continue;
+            };
+            let (Ok(t), Ok(f)) = (t.parse::<i64>(), f.parse::<f64>()) else {
+                continue;
+            };
             let e = bins.entry(t / 60).or_insert((0.0, 0));
             e.0 += f;
             e.1 += 1;
@@ -128,14 +136,8 @@ fn main() -> sjcore::Result<()> {
     let mut means = Vec::new();
     for (i, samples) in per_run.iter().enumerate() {
         let n = samples.len().max(1) as f64;
-        let mean =
-            |f: fn(&(f64, f64, f64, f64)) -> f64| samples.iter().map(f).sum::<f64>() / n;
-        let (f, instr, m, g) = (
-            mean(|s| s.0),
-            mean(|s| s.1),
-            mean(|s| s.2),
-            mean(|s| s.3),
-        );
+        let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| samples.iter().map(f).sum::<f64>() / n;
+        let (f, instr, m, g) = (mean(|s| s.0), mean(|s| s.1), mean(|s| s.2), mean(|s| s.3));
         println!(
             "{:3}  {:8}  {f:9.0}  {instr:11.0}  {m:12.0}  {g:9.1}",
             i + 1,

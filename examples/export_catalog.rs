@@ -1,0 +1,42 @@
+//! Export the DAT1 scenario catalog to a directory of CSV + schema
+//! sidecar pairs — the on-disk format `sjq --data` and `sjserved --data`
+//! consume.
+//!
+//! Run with: `cargo run --release --example export_catalog -- DIR`
+
+use scrubjay::catalog_io::write_schema_sidecar;
+use scrubjay::prelude::*;
+use sjcore::wrappers::unwrap_csv;
+use sjdata::{dat1, Dat1Config};
+
+fn main() -> sjcore::Result<()> {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dat1-catalog".into());
+    std::fs::create_dir_all(&dir).map_err(|e| sjcore::SjError::Io(e.to_string()))?;
+
+    let ctx = ExecCtx::local();
+    let cfg = Dat1Config {
+        racks: 6,
+        nodes_per_rack: 6,
+        amg_rack_index: 3,
+        amg_nodes: 4,
+        background_jobs: 4,
+        duration_secs: 3600,
+        ..Dat1Config::default()
+    };
+    let (catalog, truth) = dat1(&ctx, &cfg)?;
+    for name in catalog.dataset_names() {
+        let ds = catalog.dataset(name)?;
+        let path = format!("{dir}/{name}.csv");
+        std::fs::write(&path, unwrap_csv(ds)?).map_err(|e| sjcore::SjError::Io(e.to_string()))?;
+        write_schema_sidecar(ds.schema(), &path)?;
+        println!("wrote {path} (+ .schema.json), {} rows", ds.count()?);
+    }
+    println!(
+        "DAT window {}..{}; AMG on {}",
+        truth.window.start, truth.window.end, truth.amg_rack
+    );
+    println!("try: sjserved --data {dir}");
+    Ok(())
+}

@@ -63,7 +63,10 @@ cab6,rack18
     let plan = engine.solve(&query)?;
 
     println!("Query: {}", query.describe());
-    println!("\nDerivation sequence found by the engine:\n{}", plan.describe());
+    println!(
+        "\nDerivation sequence found by the engine:\n{}",
+        plan.describe()
+    );
     println!("Reproducible JSON plan:\n{}\n", plan.to_json());
 
     // --- 3. Execute and unwrap ----------------------------------------------

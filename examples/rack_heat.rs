@@ -150,7 +150,9 @@ fn main() -> sjcore::Result<()> {
     };
     let early = third(0.1, 0.35);
     let late = third(0.65, 0.9);
-    println!("AMG heat profile: early mean {early:.2} dC -> late mean {late:.2} dC (rising: {})",
-        late > early);
+    println!(
+        "AMG heat profile: early mean {early:.2} dC -> late mean {late:.2} dC (rising: {})",
+        late > early
+    );
     Ok(())
 }

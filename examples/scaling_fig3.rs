@@ -34,7 +34,11 @@ fn measure(join: &str, calib_rows: usize) -> (MetricsReport, usize) {
                 seed: 42,
             };
             let (l, r) = natural_join_inputs(&ctx, &w);
-            NaturalJoin.apply(&l, &r, &dict).expect("join").count().expect("count")
+            NaturalJoin
+                .apply(&l, &r, &dict)
+                .expect("join")
+                .count()
+                .expect("count")
         }
         _ => {
             // Denser in time than the natural-join workload: sensor-style
@@ -122,7 +126,5 @@ fn main() {
     std::fs::create_dir_all("target").ok();
     std::fs::write("target/fig3_scaling.csv", &csv).expect("write csv");
     println!("\nAll four panels written to target/fig3_scaling.csv");
-    println!(
-        "Paper endpoints for comparison: 3a 2-8s, 3b 13->8.5s, 3c 10-120s, 3d 240->45s"
-    );
+    println!("Paper endpoints for comparison: 3a 2-8s, 3b 13->8.5s, 3c 10-120s, 3d 240->45s");
 }

@@ -3,30 +3,88 @@
 //! Loads a directory of annotated CSV datasets (see
 //! [`scrubjay::catalog_io`]), solves a dimension-level query with the
 //! derivation engine, and prints the plan and/or the derived dataset.
+//! With `--server ADDR` the query is sent to a running `sjserved`
+//! instead of executing locally.
 //!
 //! ```text
 //! sjq --data DIR --domains job,rack --values application,heat
 //!     [--units heat=delta-celsius] [--plan-only] [--window SECS]
-//!     [--step SECS] [--out FILE.csv] [--limit N]
+//!     [--step SECS] [--out FILE.csv] [--limit N] [--json]
+//! sjq --server HOST:PORT --domains ... --values ... [--tenant NAME]
+//!     [--timeout-ms MS] [--json]
 //! ```
+//!
+//! Exit codes: 0 success, 1 execution failure, 2 usage error,
+//! 3 no derivation exists, 4 service unavailable (queue full, timeout,
+//! connection refused). Errors print one structured line on stderr:
+//! `error: code=<code> <message>`.
 
 use scrubjay::catalog_io::load_catalog_dir;
 use scrubjay::prelude::*;
 use sjcore::engine::EngineConfig;
 use sjcore::wrappers::{unwrap_csv, write_csv_file};
+use sjcore::SjError;
+use sjserve::protocol::QueryResult;
+use sjserve::{Client, ClientError, QuerySpec, ValueSpec};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 struct Args {
     data: String,
+    server: Option<String>,
+    tenant: String,
+    timeout_ms: Option<u64>,
+    json: bool,
     domains: Vec<String>,
     values: Vec<String>,
     units: HashMap<String, String>,
     plan_only: bool,
-    window_secs: f64,
-    step_secs: f64,
+    window_secs: Option<f64>,
+    step_secs: Option<f64>,
     out: Option<String>,
     limit: usize,
+}
+
+/// A failure with a stable machine-readable code (mirrors the service's
+/// [`sjserve::protocol::codes`]) that maps onto the process exit code.
+struct CliError {
+    code: String,
+    message: String,
+}
+
+impl CliError {
+    fn new(code: &str, message: impl Into<String>) -> Self {
+        CliError {
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+
+    fn failed(message: impl Into<String>) -> Self {
+        Self::new("failed", message)
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self.code.as_str() {
+            "usage" | "bad_request" => 2,
+            "no_solution" => 3,
+            "queue_full" | "timeout" | "shutdown" | "unavailable" => 4,
+            _ => 1,
+        }
+    }
+}
+
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Server(body) => CliError {
+                code: body.code,
+                message: body.message,
+            },
+            ClientError::Io(e) => Self::new("unavailable", format!("server unreachable: {e}")),
+            ClientError::Protocol(m) => Self::failed(format!("protocol error: {m}")),
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -34,9 +92,14 @@ sjq — ScrubJay query tool
 
 USAGE:
   sjq --data DIR --domains D1,D2 --values V1,V2 [OPTIONS]
+  sjq --server HOST:PORT --domains D1,D2 --values V1,V2 [OPTIONS]
 
 OPTIONS:
   --data DIR        directory of <name>.csv + <name>.schema.json pairs
+  --server ADDR     send the query to a running sjserved instead of
+                    executing locally
+  --tenant NAME     fair-queueing bucket for --server mode
+  --timeout-ms MS   per-request deadline for --server mode
   --domains LIST    comma-separated domain dimensions of interest
   --values LIST     comma-separated value dimensions of interest
   --units V=U,...   units constraints for value dimensions
@@ -45,17 +108,25 @@ OPTIONS:
   --step SECS       explode-continuous step (default 60)
   --out FILE        write the derived dataset to FILE as CSV
   --limit N         rows to print when no --out is given (default 20)
+  --json            print the result as one JSON object on stdout
+
+EXIT CODES:
+  0 ok   1 execution failed   2 usage   3 no solution   4 unavailable
 ";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         data: String::new(),
+        server: None,
+        tenant: String::new(),
+        timeout_ms: None,
+        json: false,
         domains: Vec::new(),
         values: Vec::new(),
         units: HashMap::new(),
         plan_only: false,
-        window_secs: 120.0,
-        step_secs: 60.0,
+        window_secs: None,
+        step_secs: None,
         out: None,
         limit: 20,
     };
@@ -68,6 +139,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match flag.as_str() {
             "--data" => args.data = value("--data")?,
+            "--server" => args.server = Some(value("--server")?),
+            "--tenant" => args.tenant = value("--tenant")?,
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                )
+            }
+            "--json" => args.json = true,
             "--domains" => {
                 args.domains = value("--domains")?
                     .split(',')
@@ -87,19 +168,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     let (k, v) = pair
                         .split_once('=')
                         .ok_or_else(|| format!("bad --units entry `{pair}` (want dim=units)"))?;
-                    args.units.insert(k.trim().to_string(), v.trim().to_string());
+                    args.units
+                        .insert(k.trim().to_string(), v.trim().to_string());
                 }
             }
             "--plan-only" => args.plan_only = true,
             "--window" => {
-                args.window_secs = value("--window")?
-                    .parse()
-                    .map_err(|e| format!("bad --window: {e}"))?
+                args.window_secs = Some(
+                    value("--window")?
+                        .parse()
+                        .map_err(|e| format!("bad --window: {e}"))?,
+                )
             }
             "--step" => {
-                args.step_secs = value("--step")?
-                    .parse()
-                    .map_err(|e| format!("bad --step: {e}"))?
+                args.step_secs = Some(
+                    value("--step")?
+                        .parse()
+                        .map_err(|e| format!("bad --step: {e}"))?,
+                )
             }
             "--out" => args.out = Some(value("--out")?),
             "--limit" => {
@@ -111,8 +197,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.data.is_empty() {
-        return Err("--data is required".into());
+    if args.data.is_empty() && args.server.is_none() {
+        return Err("--data or --server is required".into());
     }
     if args.domains.is_empty() || args.values.is_empty() {
         return Err("--domains and --values are required".into());
@@ -120,9 +206,96 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), CliError> {
+    match &args.server {
+        Some(addr) => run_remote(args, addr),
+        None => run_local(args),
+    }
+}
+
+/// Execute against a running `sjserved` over the JSON-lines protocol.
+fn run_remote(args: &Args, addr: &str) -> Result<(), CliError> {
+    let spec = QuerySpec {
+        domains: args.domains.clone(),
+        values: args
+            .values
+            .iter()
+            .map(|v| match args.units.get(v) {
+                Some(u) => ValueSpec::with_units(v, u),
+                None => ValueSpec::dim(v),
+            })
+            .collect(),
+        window_secs: args.window_secs,
+        step_secs: args.step_secs,
+        limit: Some(args.limit),
+    };
+    let mut client = Client::connect_as(addr, &args.tenant)
+        .map_err(|e| CliError::new("unavailable", format!("connect {addr}: {e}")))?;
+
+    if args.plan_only {
+        let response = client.explain(spec)?;
+        if args.json {
+            println!("{}", encode(&response)?);
+            return Ok(());
+        }
+        let plan = response
+            .plan
+            .ok_or_else(|| CliError::failed("ok response without a plan payload"))?;
+        eprintln!(
+            "Plan (fingerprint {:016x}, cache {}):\n{}",
+            plan.fingerprint,
+            if plan.plan_cache_hit { "hit" } else { "miss" },
+            plan.plan_text
+        );
+        println!("{}", plan.plan_json);
+        return Ok(());
+    }
+
+    let response = client.query(spec, args.timeout_ms)?;
+    if args.json {
+        println!("{}", encode(&response)?);
+        return Ok(());
+    }
+    let result = response
+        .result
+        .ok_or_else(|| CliError::failed("ok response without a result payload"))?;
+    eprintln!(
+        "{} rows in {:.1}ms (plan cache {}, result cache {})",
+        result.row_count,
+        result.elapsed_ms,
+        if result.plan_cache_hit { "hit" } else { "miss" },
+        if result.result_cache_hit {
+            "hit"
+        } else {
+            "miss"
+        },
+    );
+    let rendered = render_csv(&result.columns, &result.rows);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, rendered)
+                .map_err(|e| CliError::failed(format!("write {path}: {e}")))?;
+            eprintln!("Wrote {} rows to {path}", result.rows.len());
+        }
+        None => {
+            print!("{rendered}");
+            if result.truncated {
+                eprintln!(
+                    "... {} rows total (raise --limit or use --out to save all)",
+                    result.row_count
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute in-process against a locally loaded catalog.
+fn run_local(args: &Args) -> Result<(), CliError> {
+    let started = std::time::Instant::now();
     let ctx = ExecCtx::local();
-    let catalog = load_catalog_dir(&ctx, &args.data).map_err(|e| e.to_string())?;
+    let catalog =
+        load_catalog_dir(&ctx, &args.data).map_err(|e| CliError::failed(e.to_string()))?;
     eprintln!("Loaded datasets: {:?}", catalog.dataset_names());
 
     let values: Vec<QueryValue> = args
@@ -141,43 +314,137 @@ fn run(args: &Args) -> Result<(), String> {
     let engine = QueryEngine::with_config(
         &catalog,
         EngineConfig {
-            interp_window_secs: args.window_secs,
-            explode_step_secs: args.step_secs,
+            interp_window_secs: args.window_secs.unwrap_or(120.0),
+            explode_step_secs: args.step_secs.unwrap_or(60.0),
             ..EngineConfig::default()
         },
     );
-    let plan = engine.solve(&query).map_err(|e| e.to_string())?;
-    eprintln!("\nQuery: {}", query.describe());
-    eprintln!("\nDerivation sequence:\n{}", plan.describe());
-    eprintln!("Reproducible plan JSON follows on stdout when --plan-only.\n");
+    let plan = engine.solve(&query).map_err(|e| match e {
+        SjError::NoSolution(msg) => CliError::new("no_solution", msg),
+        other => CliError::failed(other.to_string()),
+    })?;
     if args.plan_only {
+        if !args.json {
+            eprintln!("\nQuery: {}", query.describe());
+            eprintln!("\nDerivation sequence:\n{}", plan.describe());
+        }
         println!("{}", plan.to_json());
         return Ok(());
     }
+    eprintln!("\nQuery: {}", query.describe());
+    eprintln!("\nDerivation sequence:\n{}", plan.describe());
 
-    let result = plan.execute(&catalog, None).map_err(|e| e.to_string())?;
+    let result = plan
+        .execute(&catalog, None)
+        .map_err(|e| CliError::new("exec_failed", e.to_string()))?;
+    if args.json {
+        let rows = result
+            .collect()
+            .map_err(|e| CliError::failed(e.to_string()))?;
+        let schema = result.schema();
+        let columns: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
+        let ncols = schema.len();
+        let row_count = rows.len();
+        let truncated = row_count > args.limit;
+        let rendered: Vec<Vec<String>> = rows
+            .iter()
+            .take(args.limit)
+            .map(|row| (0..ncols).map(|i| row.get(i).to_string()).collect())
+            .collect();
+        let payload = QueryResult {
+            columns,
+            rows: rendered,
+            row_count,
+            truncated,
+            plan_cache_hit: false,
+            result_cache_hit: false,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            engine_metrics: Some(ctx.metrics.report()),
+        };
+        println!("{}", encode(&payload)?);
+        return Ok(());
+    }
     match &args.out {
         Some(path) => {
-            write_csv_file(&result, path).map_err(|e| e.to_string())?;
+            write_csv_file(&result, path).map_err(|e| CliError::failed(e.to_string()))?;
             eprintln!(
                 "Wrote {} rows to {path}",
-                result.count().map_err(|e| e.to_string())?
+                result
+                    .count()
+                    .map_err(|e| CliError::failed(e.to_string()))?
             );
         }
         None => {
-            let n = result.count().map_err(|e| e.to_string())?;
+            let n = result
+                .count()
+                .map_err(|e| CliError::failed(e.to_string()))?;
             if n <= args.limit {
-                print!("{}", unwrap_csv(&result).map_err(|e| e.to_string())?);
+                print!(
+                    "{}",
+                    unwrap_csv(&result).map_err(|e| CliError::failed(e.to_string()))?
+                );
             } else {
                 print!(
                     "{}",
-                    result.show(args.limit).map_err(|e| e.to_string())?
+                    result
+                        .show(args.limit)
+                        .map_err(|e| CliError::failed(e.to_string()))?
                 );
                 eprintln!("... {n} rows total (use --out to save all)");
             }
         }
     }
     Ok(())
+}
+
+fn encode<T: serde::Serialize>(value: &T) -> Result<String, CliError> {
+    serde_json::to_string(value).map_err(|e| CliError::failed(format!("encode: {e}")))
+}
+
+/// Minimal CSV rendering for server-mode results (cells are already
+/// display strings; quote only when necessary).
+fn render_csv(columns: &[String], rows: &[Vec<String>]) -> String {
+    fn cell(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &columns
+            .iter()
+            .map(|c| cell(c))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: code={} {}", e.code, e.message);
+                ExitCode::from(e.exit_code())
+            }
+        },
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: code=usage {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,11 +465,16 @@ mod tests {
         assert_eq!(args.data, "/tmp/x");
         assert_eq!(args.domains, vec!["job", "rack"]);
         assert_eq!(args.values, vec!["application", "heat"]);
-        assert_eq!(args.units.get("heat").map(String::as_str), Some("delta-celsius"));
-        assert_eq!(args.window_secs, 300.0);
-        assert_eq!(args.step_secs, 30.0);
+        assert_eq!(
+            args.units.get("heat").map(String::as_str),
+            Some("delta-celsius")
+        );
+        assert_eq!(args.window_secs, Some(300.0));
+        assert_eq!(args.step_secs, Some(30.0));
         assert_eq!(args.limit, 5);
         assert!(!args.plan_only);
+        assert!(!args.json);
+        assert!(args.server.is_none());
     }
 
     #[test]
@@ -214,10 +486,26 @@ mod tests {
     }
 
     #[test]
+    fn server_mode_replaces_data() {
+        let args = parse_args(&argv(
+            "--server 127.0.0.1:7227 --tenant teamA --timeout-ms 5000 \
+             --domains a --values b --json",
+        ))
+        .unwrap();
+        assert_eq!(args.server.as_deref(), Some("127.0.0.1:7227"));
+        assert_eq!(args.tenant, "teamA");
+        assert_eq!(args.timeout_ms, Some(5000));
+        assert!(args.json);
+        // --server without --data is valid; neither is not.
+        assert!(parse_args(&argv("--domains a --values b")).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_bad_values() {
         assert!(parse_args(&argv("--data d --domains a --values b --frobnicate")).is_err());
         assert!(parse_args(&argv("--data d --domains a --values b --window soon")).is_err());
         assert!(parse_args(&argv("--data d --domains a --values b --units heat")).is_err());
+        assert!(parse_args(&argv("--data d --domains a --values b --timeout-ms x")).is_err());
         assert!(parse_args(&argv("--data")).is_err());
     }
 
@@ -230,24 +518,25 @@ mod tests {
         assert!(args.plan_only);
         assert_eq!(args.out.as_deref(), Some("f.csv"));
     }
-}
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&argv) {
-        Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
-        }
+    #[test]
+    fn exit_codes_are_distinct_per_failure_class() {
+        assert_eq!(CliError::new("usage", "").exit_code(), 2);
+        assert_eq!(CliError::new("bad_request", "").exit_code(), 2);
+        assert_eq!(CliError::new("no_solution", "").exit_code(), 3);
+        assert_eq!(CliError::new("queue_full", "").exit_code(), 4);
+        assert_eq!(CliError::new("timeout", "").exit_code(), 4);
+        assert_eq!(CliError::new("unavailable", "").exit_code(), 4);
+        assert_eq!(CliError::new("exec_failed", "").exit_code(), 1);
+        assert_eq!(CliError::failed("").exit_code(), 1);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_when_needed() {
+        let out = render_csv(
+            &["a".into(), "b,c".into()],
+            &[vec!["1".into(), "x\"y".into()]],
+        );
+        assert_eq!(out, "a,\"b,c\"\n1,\"x\"\"y\"\n");
     }
 }

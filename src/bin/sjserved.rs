@@ -1,0 +1,190 @@
+//! `sjserved` — the ScrubJay query service daemon.
+//!
+//! Loads a catalog directory once at startup, then serves the JSON-lines
+//! protocol over TCP until a `shutdown` request (or SIGINT via process
+//! kill) arrives. See `crates/sjserve` for the protocol and the
+//! scheduling model.
+//!
+//! ```text
+//! sjserved --data DIR [--addr HOST:PORT] [--workers N] [--queue N]
+//!          [--timeout-ms MS] [--window SECS] [--step SECS]
+//!          [--cache-mb MB] [--limit N]
+//! ```
+
+use scrubjay::catalog_io::load_catalog_dir;
+use scrubjay::prelude::*;
+use sjcore::engine::EngineConfig;
+use sjserve::{serve_until_shutdown, QueryService, SchedulerConfig, ServiceConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    data: String,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    timeout_ms: u64,
+    window_secs: f64,
+    step_secs: f64,
+    cache_mb: usize,
+    limit: usize,
+}
+
+const USAGE: &str = "\
+sjserved — ScrubJay query service
+
+USAGE:
+  sjserved --data DIR [OPTIONS]
+
+OPTIONS:
+  --data DIR        directory of <name>.csv + <name>.schema.json pairs
+  --addr HOST:PORT  listen address (default 127.0.0.1:7227; use port 0
+                    to pick a free port, printed on startup)
+  --workers N       concurrent query executions (default 4)
+  --queue N         admission queue capacity; requests beyond it are
+                    rejected with a structured error (default 32)
+  --timeout-ms MS   default per-request deadline (default 30000)
+  --window SECS     interpolation-join window W (default 120)
+  --step SECS       explode-continuous step (default 60)
+  --cache-mb MB     result-cache byte budget (default 64)
+  --limit N         default rows per response (default 1000)
+
+PROTOCOL:
+  newline-delimited JSON requests, one response line per request:
+    {\"id\":\"1\",\"verb\":\"query\",\"query\":{\"domains\":[\"job\",\"time\"],
+     \"values\":[{\"dimension\":\"heat\"}]}}
+  verbs: query | explain | stats | health | shutdown
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        data: String::new(),
+        addr: "127.0.0.1:7227".into(),
+        workers: 4,
+        queue: 32,
+        timeout_ms: 30_000,
+        window_secs: 120.0,
+        step_secs: 60.0,
+        cache_mb: 64,
+        limit: 1000,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        fn num<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().map_err(|e| format!("bad {name}: {e}"))
+        }
+        match flag.as_str() {
+            "--data" => args.data = value("--data")?,
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = num("--workers", value("--workers")?)?,
+            "--queue" => args.queue = num("--queue", value("--queue")?)?,
+            "--timeout-ms" => args.timeout_ms = num("--timeout-ms", value("--timeout-ms")?)?,
+            "--window" => args.window_secs = num("--window", value("--window")?)?,
+            "--step" => args.step_secs = num("--step", value("--step")?)?,
+            "--cache-mb" => args.cache_mb = num("--cache-mb", value("--cache-mb")?)?,
+            "--limit" => args.limit = num("--limit", value("--limit")?)?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.data.is_empty() {
+        return Err("--data is required".into());
+    }
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let ctx = ExecCtx::local();
+    let catalog = load_catalog_dir(&ctx, &args.data).map_err(|e| e.to_string())?;
+    eprintln!("Loaded datasets: {:?}", catalog.dataset_names());
+
+    let config = ServiceConfig {
+        scheduler: SchedulerConfig {
+            workers: args.workers,
+            max_queue: args.queue,
+            default_timeout: Duration::from_millis(args.timeout_ms),
+        },
+        result_cache_bytes: args.cache_mb << 20,
+        default_limit: args.limit,
+        engine: EngineConfig {
+            interp_window_secs: args.window_secs,
+            explode_step_secs: args.step_secs,
+            ..EngineConfig::default()
+        },
+    };
+    let service = QueryService::new(ctx, catalog, config);
+    serve_until_shutdown(service, &args.addr).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let args = parse_args(&argv(
+            "--data /tmp/x --addr 0.0.0.0:9000 --workers 8 --queue 64 \
+             --timeout-ms 5000 --window 300 --step 30 --cache-mb 128 --limit 50",
+        ))
+        .unwrap();
+        assert_eq!(args.data, "/tmp/x");
+        assert_eq!(args.addr, "0.0.0.0:9000");
+        assert_eq!(args.workers, 8);
+        assert_eq!(args.queue, 64);
+        assert_eq!(args.timeout_ms, 5000);
+        assert_eq!(args.window_secs, 300.0);
+        assert_eq!(args.step_secs, 30.0);
+        assert_eq!(args.cache_mb, 128);
+        assert_eq!(args.limit, 50);
+    }
+
+    #[test]
+    fn requires_data_and_sane_workers() {
+        assert!(parse_args(&argv("--addr :0")).is_err());
+        assert!(parse_args(&argv("--data d --workers 0")).is_err());
+        assert!(parse_args(&argv("--data d")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_numbers() {
+        assert!(parse_args(&argv("--data d --frobnicate")).is_err());
+        assert!(parse_args(&argv("--data d --workers many")).is_err());
+        assert!(parse_args(&argv("--data d --timeout-ms -5")).is_err());
+    }
+}

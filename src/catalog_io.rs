@@ -64,8 +64,7 @@ pub fn load_catalog_dir(ctx: &ExecCtx, dir: impl AsRef<Path>) -> Result<Catalog>
 /// shareable catalogs).
 pub fn write_schema_sidecar(schema: &Schema, csv_path: impl AsRef<Path>) -> Result<()> {
     let path = csv_path.as_ref().with_extension("schema.json");
-    let text = serde_json::to_string_pretty(schema)
-        .map_err(|e| SjError::Io(e.to_string()))?;
+    let text = serde_json::to_string_pretty(schema).map_err(|e| SjError::Io(e.to_string()))?;
     std::fs::write(path, text).map_err(|e| SjError::Io(e.to_string()))
 }
 

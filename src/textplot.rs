@@ -77,13 +77,7 @@ pub fn render(series: &[Series], width: usize, height: usize) -> String {
     out.push_str(&format!("{:>10}{xlabel}\n", ""));
     let legend: Vec<String> = series
         .iter()
-        .map(|s| {
-            format!(
-                "{} = {}",
-                s.label.chars().next().unwrap_or('*'),
-                s.label
-            )
-        })
+        .map(|s| format!("{} = {}", s.label.chars().next().unwrap_or('*'), s.label))
         .collect();
     out.push_str(&format!("{:>10}{}\n", "", legend.join("   ")));
     out
@@ -101,10 +95,7 @@ mod tests {
 
     #[test]
     fn rising_line_puts_last_point_top_right() {
-        let s = Series::new(
-            "heat",
-            (0..20).map(|i| (i as f64, i as f64)).collect(),
-        );
+        let s = Series::new("heat", (0..20).map(|i| (i as f64, i as f64)).collect());
         let out = render(&[s], 40, 8);
         let lines: Vec<&str> = out.lines().collect();
         // Top row (after the y label) contains the glyph near the right.

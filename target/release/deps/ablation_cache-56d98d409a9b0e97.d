@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_cache-56d98d409a9b0e97.d: crates/bench/benches/ablation_cache.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_cache-56d98d409a9b0e97.rmeta: crates/bench/benches/ablation_cache.rs Cargo.toml
+
+crates/bench/benches/ablation_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_interp_binning-129c62425078151e.d: crates/bench/benches/ablation_interp_binning.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_interp_binning-129c62425078151e.rmeta: crates/bench/benches/ablation_interp_binning.rs Cargo.toml
+
+crates/bench/benches/ablation_interp_binning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_interp_window-ef299a64dc254582.d: crates/bench/benches/ablation_interp_window.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_interp_window-ef299a64dc254582.rmeta: crates/bench/benches/ablation_interp_window.rs Cargo.toml
+
+crates/bench/benches/ablation_interp_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

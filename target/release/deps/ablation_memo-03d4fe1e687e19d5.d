@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_memo-03d4fe1e687e19d5.d: crates/bench/benches/ablation_memo.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_memo-03d4fe1e687e19d5.rmeta: crates/bench/benches/ablation_memo.rs Cargo.toml
+
+crates/bench/benches/ablation_memo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

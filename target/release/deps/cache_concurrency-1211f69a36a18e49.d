@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cache_concurrency-1211f69a36a18e49.d: crates/sjcore/tests/cache_concurrency.rs Cargo.toml
+
+/root/repo/target/release/deps/libcache_concurrency-1211f69a36a18e49.rmeta: crates/sjcore/tests/cache_concurrency.rs Cargo.toml
+
+crates/sjcore/tests/cache_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

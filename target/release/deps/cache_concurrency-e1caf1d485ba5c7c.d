@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_concurrency-e1caf1d485ba5c7c.d: crates/sjcore/tests/cache_concurrency.rs
+
+/root/repo/target/release/deps/cache_concurrency-e1caf1d485ba5c7c: crates/sjcore/tests/cache_concurrency.rs
+
+crates/sjcore/tests/cache_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/caching_and_config-2e9656a3b1b05361.d: tests/caching_and_config.rs Cargo.toml
+
+/root/repo/target/release/deps/libcaching_and_config-2e9656a3b1b05361.rmeta: tests/caching_and_config.rs Cargo.toml
+
+tests/caching_and_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/caching_and_config-ce22f30793b10505.d: tests/caching_and_config.rs
+
+/root/repo/target/release/deps/caching_and_config-ce22f30793b10505: tests/caching_and_config.rs
+
+tests/caching_and_config.rs:

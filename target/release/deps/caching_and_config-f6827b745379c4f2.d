@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/caching_and_config-f6827b745379c4f2.d: tests/caching_and_config.rs
+
+/root/repo/target/release/deps/caching_and_config-f6827b745379c4f2: tests/caching_and_config.rs
+
+tests/caching_and_config.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/case_study_dat1-27e6859786a441cd.d: tests/case_study_dat1.rs Cargo.toml
+
+/root/repo/target/release/deps/libcase_study_dat1-27e6859786a441cd.rmeta: tests/case_study_dat1.rs Cargo.toml
+
+tests/case_study_dat1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

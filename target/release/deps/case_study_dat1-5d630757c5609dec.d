@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study_dat1-5d630757c5609dec.d: tests/case_study_dat1.rs
+
+/root/repo/target/release/deps/case_study_dat1-5d630757c5609dec: tests/case_study_dat1.rs
+
+tests/case_study_dat1.rs:

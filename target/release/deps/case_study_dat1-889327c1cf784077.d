@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study_dat1-889327c1cf784077.d: tests/case_study_dat1.rs
+
+/root/repo/target/release/deps/case_study_dat1-889327c1cf784077: tests/case_study_dat1.rs
+
+tests/case_study_dat1.rs:

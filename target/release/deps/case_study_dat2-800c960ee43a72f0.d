@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study_dat2-800c960ee43a72f0.d: tests/case_study_dat2.rs
+
+/root/repo/target/release/deps/case_study_dat2-800c960ee43a72f0: tests/case_study_dat2.rs
+
+tests/case_study_dat2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/case_study_dat2-90630d835e85097e.d: tests/case_study_dat2.rs Cargo.toml
+
+/root/repo/target/release/deps/libcase_study_dat2-90630d835e85097e.rmeta: tests/case_study_dat2.rs Cargo.toml
+
+tests/case_study_dat2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

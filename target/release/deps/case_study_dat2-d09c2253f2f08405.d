@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study_dat2-d09c2253f2f08405.d: tests/case_study_dat2.rs
+
+/root/repo/target/release/deps/case_study_dat2-d09c2253f2f08405: tests/case_study_dat2.rs
+
+tests/case_study_dat2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compress_props-41255f40b78bf9c7.d: crates/sjcore/tests/compress_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompress_props-41255f40b78bf9c7.rmeta: crates/sjcore/tests/compress_props.rs Cargo.toml
+
+crates/sjcore/tests/compress_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compress_props-47416cd5dd9ef693.d: crates/sjcore/tests/compress_props.rs
+
+/root/repo/target/release/deps/compress_props-47416cd5dd9ef693: crates/sjcore/tests/compress_props.rs
+
+crates/sjcore/tests/compress_props.rs:

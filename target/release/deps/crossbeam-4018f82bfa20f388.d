@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-4018f82bfa20f388.d: vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-4018f82bfa20f388.rmeta: vendor/crossbeam/src/lib.rs Cargo.toml
+
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

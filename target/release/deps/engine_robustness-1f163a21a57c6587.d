@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_robustness-1f163a21a57c6587.d: tests/engine_robustness.rs
+
+/root/repo/target/release/deps/engine_robustness-1f163a21a57c6587: tests/engine_robustness.rs
+
+tests/engine_robustness.rs:

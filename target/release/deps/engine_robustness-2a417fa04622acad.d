@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_robustness-2a417fa04622acad.d: tests/engine_robustness.rs
+
+/root/repo/target/release/deps/engine_robustness-2a417fa04622acad: tests/engine_robustness.rs
+
+tests/engine_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_robustness-df8dcf93fc85ca16.d: tests/engine_robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_robustness-df8dcf93fc85ca16.rmeta: tests/engine_robustness.rs Cargo.toml
+
+tests/engine_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-5774ddd705b7c674.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-5774ddd705b7c674: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-92a1dcc3b6cb1f5e.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-92a1dcc3b6cb1f5e: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/failure_injection-eccdae64bd1e3a11.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libfailure_injection-eccdae64bd1e3a11.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

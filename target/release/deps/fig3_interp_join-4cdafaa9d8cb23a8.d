@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_interp_join-4cdafaa9d8cb23a8.d: crates/bench/benches/fig3_interp_join.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_interp_join-4cdafaa9d8cb23a8.rmeta: crates/bench/benches/fig3_interp_join.rs Cargo.toml
+
+crates/bench/benches/fig3_interp_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

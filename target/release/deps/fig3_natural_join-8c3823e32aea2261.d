@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_natural_join-8c3823e32aea2261.d: crates/bench/benches/fig3_natural_join.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_natural_join-8c3823e32aea2261.rmeta: crates/bench/benches/fig3_natural_join.rs Cargo.toml
+
+crates/bench/benches/fig3_natural_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

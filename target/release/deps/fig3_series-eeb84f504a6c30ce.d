@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_series-eeb84f504a6c30ce.d: tests/fig3_series.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_series-eeb84f504a6c30ce.rmeta: tests/fig3_series.rs Cargo.toml
+
+tests/fig3_series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

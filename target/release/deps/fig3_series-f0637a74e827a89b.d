@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_series-f0637a74e827a89b.d: tests/fig3_series.rs
+
+/root/repo/target/release/deps/fig3_series-f0637a74e827a89b: tests/fig3_series.rs
+
+tests/fig3_series.rs:

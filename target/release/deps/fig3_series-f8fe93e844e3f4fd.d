@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_series-f8fe93e844e3f4fd.d: tests/fig3_series.rs
+
+/root/repo/target/release/deps/fig3_series-f8fe93e844e3f4fd: tests/fig3_series.rs
+
+tests/fig3_series.rs:

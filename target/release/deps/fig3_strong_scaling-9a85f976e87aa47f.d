@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_strong_scaling-9a85f976e87aa47f.d: crates/bench/benches/fig3_strong_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_strong_scaling-9a85f976e87aa47f.rmeta: crates/bench/benches/fig3_strong_scaling.rs Cargo.toml
+
+crates/bench/benches/fig3_strong_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

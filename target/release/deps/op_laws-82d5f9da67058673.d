@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/op_laws-82d5f9da67058673.d: crates/sjdf/tests/op_laws.rs
+
+/root/repo/target/release/deps/op_laws-82d5f9da67058673: crates/sjdf/tests/op_laws.rs
+
+crates/sjdf/tests/op_laws.rs:

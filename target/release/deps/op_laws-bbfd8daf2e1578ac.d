@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/op_laws-bbfd8daf2e1578ac.d: crates/sjdf/tests/op_laws.rs Cargo.toml
+
+/root/repo/target/release/deps/libop_laws-bbfd8daf2e1578ac.rmeta: crates/sjdf/tests/op_laws.rs Cargo.toml
+
+crates/sjdf/tests/op_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

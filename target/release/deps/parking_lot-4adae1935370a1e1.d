@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-4adae1935370a1e1.d: vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-4adae1935370a1e1.rmeta: vendor/parking_lot/src/lib.rs Cargo.toml
+
+vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

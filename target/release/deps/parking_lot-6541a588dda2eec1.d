@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-6541a588dda2eec1.d: vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-6541a588dda2eec1.rmeta: vendor/parking_lot/src/lib.rs Cargo.toml
+
+vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

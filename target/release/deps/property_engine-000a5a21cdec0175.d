@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_engine-000a5a21cdec0175.d: tests/property_engine.rs
+
+/root/repo/target/release/deps/property_engine-000a5a21cdec0175: tests/property_engine.rs
+
+tests/property_engine.rs:

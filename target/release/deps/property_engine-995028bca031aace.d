@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_engine-995028bca031aace.d: tests/property_engine.rs
+
+/root/repo/target/release/deps/property_engine-995028bca031aace: tests/property_engine.rs
+
+tests/property_engine.rs:

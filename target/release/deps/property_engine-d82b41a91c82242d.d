@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_engine-d82b41a91c82242d.d: tests/property_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_engine-d82b41a91c82242d.rmeta: tests/property_engine.rs Cargo.toml
+
+tests/property_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

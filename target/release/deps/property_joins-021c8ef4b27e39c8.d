@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_joins-021c8ef4b27e39c8.d: tests/property_joins.rs
+
+/root/repo/target/release/deps/property_joins-021c8ef4b27e39c8: tests/property_joins.rs
+
+tests/property_joins.rs:

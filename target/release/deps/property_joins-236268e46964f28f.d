@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_joins-236268e46964f28f.d: tests/property_joins.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_joins-236268e46964f28f.rmeta: tests/property_joins.rs Cargo.toml
+
+tests/property_joins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

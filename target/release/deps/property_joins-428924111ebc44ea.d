@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_joins-428924111ebc44ea.d: tests/property_joins.rs
+
+/root/repo/target/release/deps/property_joins-428924111ebc44ea: tests/property_joins.rs
+
+tests/property_joins.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-263e0ff2d0e7a22a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-263e0ff2d0e7a22a: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

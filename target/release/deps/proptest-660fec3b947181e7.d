@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-660fec3b947181e7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-660fec3b947181e7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-660fec3b947181e7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

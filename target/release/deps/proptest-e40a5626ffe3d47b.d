@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-e40a5626ffe3d47b.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-e40a5626ffe3d47b.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/query_latency-53c2cbf59ac73e3f.d: crates/bench/benches/query_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libquery_latency-53c2cbf59ac73e3f.rmeta: crates/bench/benches/query_latency.rs Cargo.toml
+
+crates/bench/benches/query_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

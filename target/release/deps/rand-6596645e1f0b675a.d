@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-6596645e1f0b675a.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-6596645e1f0b675a.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-a3a6bc182c7f893a.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-a3a6bc182c7f893a.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-92bff3b8a2aad0e2.d: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-92bff3b8a2aad0e2.rmeta: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+vendor/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-c5d3545e15eb4a4c.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-c5d3545e15eb4a4c: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-cbdf4946ada78e27.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-cbdf4946ada78e27.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-cbdf4946ada78e27.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-d86702622b352e90.d: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-d86702622b352e90.rmeta: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+vendor/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

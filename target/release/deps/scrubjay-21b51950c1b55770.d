@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scrubjay-21b51950c1b55770.d: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/release/deps/libscrubjay-21b51950c1b55770.rlib: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/release/deps/libscrubjay-21b51950c1b55770.rmeta: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scrubjay-24fc1fb98a5ba074.d: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/release/deps/scrubjay-24fc1fb98a5ba074: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:

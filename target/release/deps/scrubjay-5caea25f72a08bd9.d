@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scrubjay-5caea25f72a08bd9.d: src/lib.rs src/catalog_io.rs src/textplot.rs Cargo.toml
+
+/root/repo/target/release/deps/libscrubjay-5caea25f72a08bd9.rmeta: src/lib.rs src/catalog_io.rs src/textplot.rs Cargo.toml
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scrubjay-7fc931c40e46a19c.d: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/release/deps/scrubjay-7fc931c40e46a19c: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scrubjay-bdd7d51583e28cdd.d: src/lib.rs src/catalog_io.rs src/textplot.rs Cargo.toml
+
+/root/repo/target/release/deps/libscrubjay-bdd7d51583e28cdd.rmeta: src/lib.rs src/catalog_io.rs src/textplot.rs Cargo.toml
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

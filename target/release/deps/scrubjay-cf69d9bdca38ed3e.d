@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scrubjay-cf69d9bdca38ed3e.d: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/release/deps/libscrubjay-cf69d9bdca38ed3e.rlib: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/release/deps/libscrubjay-cf69d9bdca38ed3e.rmeta: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:

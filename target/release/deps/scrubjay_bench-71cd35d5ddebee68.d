@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scrubjay_bench-71cd35d5ddebee68.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscrubjay_bench-71cd35d5ddebee68.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

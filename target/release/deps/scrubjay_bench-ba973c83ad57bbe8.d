@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scrubjay_bench-ba973c83ad57bbe8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libscrubjay_bench-ba973c83ad57bbe8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libscrubjay_bench-ba973c83ad57bbe8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scrubjay_bench-bf3c181913a5abb2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscrubjay_bench-bf3c181913a5abb2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

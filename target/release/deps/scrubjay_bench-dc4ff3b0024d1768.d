@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scrubjay_bench-dc4ff3b0024d1768.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/scrubjay_bench-dc4ff3b0024d1768: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

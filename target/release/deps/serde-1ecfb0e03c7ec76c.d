@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-1ecfb0e03c7ec76c.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-1ecfb0e03c7ec76c.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

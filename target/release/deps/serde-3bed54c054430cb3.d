@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-3bed54c054430cb3.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-3bed54c054430cb3.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

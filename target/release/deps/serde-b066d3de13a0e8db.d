@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-b066d3de13a0e8db.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-b066d3de13a0e8db: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-bf488cad411c89e1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-bf488cad411c89e1.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-bf488cad411c89e1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-58fb37a891c544d0.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-58fb37a891c544d0.rmeta: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

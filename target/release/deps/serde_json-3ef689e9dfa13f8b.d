@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-3ef689e9dfa13f8b.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-3ef689e9dfa13f8b.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

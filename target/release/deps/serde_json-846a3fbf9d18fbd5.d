@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-846a3fbf9d18fbd5.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-846a3fbf9d18fbd5: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

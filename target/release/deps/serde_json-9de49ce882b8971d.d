@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-9de49ce882b8971d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9de49ce882b8971d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9de49ce882b8971d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

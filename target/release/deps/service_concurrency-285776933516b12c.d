@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/service_concurrency-285776933516b12c.d: tests/service_concurrency.rs Cargo.toml
+
+/root/repo/target/release/deps/libservice_concurrency-285776933516b12c.rmeta: tests/service_concurrency.rs Cargo.toml
+
+tests/service_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

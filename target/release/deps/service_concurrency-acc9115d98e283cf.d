@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_concurrency-acc9115d98e283cf.d: tests/service_concurrency.rs
+
+/root/repo/target/release/deps/service_concurrency-acc9115d98e283cf: tests/service_concurrency.rs
+
+tests/service_concurrency.rs:

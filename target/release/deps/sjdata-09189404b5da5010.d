@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sjdata-09189404b5da5010.d: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+/root/repo/target/release/deps/sjdata-09189404b5da5010: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+crates/sjdata/src/lib.rs:
+crates/sjdata/src/dat.rs:
+crates/sjdata/src/facility.rs:
+crates/sjdata/src/jobs.rs:
+crates/sjdata/src/layout.rs:
+crates/sjdata/src/sources.rs:
+crates/sjdata/src/synth.rs:
+crates/sjdata/src/workloads.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sjdata-62f2fe9584b70c9d.d: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+/root/repo/target/release/deps/libsjdata-62f2fe9584b70c9d.rlib: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+/root/repo/target/release/deps/libsjdata-62f2fe9584b70c9d.rmeta: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+crates/sjdata/src/lib.rs:
+crates/sjdata/src/dat.rs:
+crates/sjdata/src/facility.rs:
+crates/sjdata/src/jobs.rs:
+crates/sjdata/src/layout.rs:
+crates/sjdata/src/sources.rs:
+crates/sjdata/src/synth.rs:
+crates/sjdata/src/workloads.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sjdata-e989f7e3495a8bd4.d: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjdata-e989f7e3495a8bd4.rmeta: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs Cargo.toml
+
+crates/sjdata/src/lib.rs:
+crates/sjdata/src/dat.rs:
+crates/sjdata/src/facility.rs:
+crates/sjdata/src/jobs.rs:
+crates/sjdata/src/layout.rs:
+crates/sjdata/src/sources.rs:
+crates/sjdata/src/synth.rs:
+crates/sjdata/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/sjdf-d4fb041595f9b71d.d: crates/sjdf/src/lib.rs crates/sjdf/src/bytesize.rs crates/sjdf/src/cluster.rs crates/sjdf/src/error.rs crates/sjdf/src/exec.rs crates/sjdf/src/metrics.rs crates/sjdf/src/ops/mod.rs crates/sjdf/src/ops/extra.rs crates/sjdf/src/ops/join.rs crates/sjdf/src/ops/shuffle.rs crates/sjdf/src/ops/sort.rs crates/sjdf/src/rdd.rs crates/sjdf/src/simtime.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjdf-d4fb041595f9b71d.rmeta: crates/sjdf/src/lib.rs crates/sjdf/src/bytesize.rs crates/sjdf/src/cluster.rs crates/sjdf/src/error.rs crates/sjdf/src/exec.rs crates/sjdf/src/metrics.rs crates/sjdf/src/ops/mod.rs crates/sjdf/src/ops/extra.rs crates/sjdf/src/ops/join.rs crates/sjdf/src/ops/shuffle.rs crates/sjdf/src/ops/sort.rs crates/sjdf/src/rdd.rs crates/sjdf/src/simtime.rs Cargo.toml
+
+crates/sjdf/src/lib.rs:
+crates/sjdf/src/bytesize.rs:
+crates/sjdf/src/cluster.rs:
+crates/sjdf/src/error.rs:
+crates/sjdf/src/exec.rs:
+crates/sjdf/src/metrics.rs:
+crates/sjdf/src/ops/mod.rs:
+crates/sjdf/src/ops/extra.rs:
+crates/sjdf/src/ops/join.rs:
+crates/sjdf/src/ops/shuffle.rs:
+crates/sjdf/src/ops/sort.rs:
+crates/sjdf/src/rdd.rs:
+crates/sjdf/src/simtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

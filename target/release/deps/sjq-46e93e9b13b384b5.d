@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sjq-46e93e9b13b384b5.d: src/bin/sjq.rs
+
+/root/repo/target/release/deps/sjq-46e93e9b13b384b5: src/bin/sjq.rs
+
+src/bin/sjq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sjq-81497ef022bada33.d: src/bin/sjq.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjq-81497ef022bada33.rmeta: src/bin/sjq.rs Cargo.toml
+
+src/bin/sjq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sjq-a01450d3f567261e.d: src/bin/sjq.rs
+
+/root/repo/target/release/deps/sjq-a01450d3f567261e: src/bin/sjq.rs
+
+src/bin/sjq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sjq-cf05669a0f85d5d2.d: src/bin/sjq.rs
+
+/root/repo/target/release/deps/sjq-cf05669a0f85d5d2: src/bin/sjq.rs
+
+src/bin/sjq.rs:

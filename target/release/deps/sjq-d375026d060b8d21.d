@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sjq-d375026d060b8d21.d: src/bin/sjq.rs
+
+/root/repo/target/release/deps/sjq-d375026d060b8d21: src/bin/sjq.rs
+
+src/bin/sjq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sjq-f0085cf59ef80362.d: src/bin/sjq.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjq-f0085cf59ef80362.rmeta: src/bin/sjq.rs Cargo.toml
+
+src/bin/sjq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sjserve-0b8b7ce26ca45ae1.d: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+/root/repo/target/release/deps/sjserve-0b8b7ce26ca45ae1: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+crates/sjserve/src/lib.rs:
+crates/sjserve/src/cache.rs:
+crates/sjserve/src/client.rs:
+crates/sjserve/src/metrics.rs:
+crates/sjserve/src/protocol.rs:
+crates/sjserve/src/scheduler.rs:
+crates/sjserve/src/server.rs:
+crates/sjserve/src/service.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sjserve-555f6c51709413af.d: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjserve-555f6c51709413af.rmeta: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs Cargo.toml
+
+crates/sjserve/src/lib.rs:
+crates/sjserve/src/cache.rs:
+crates/sjserve/src/client.rs:
+crates/sjserve/src/metrics.rs:
+crates/sjserve/src/protocol.rs:
+crates/sjserve/src/scheduler.rs:
+crates/sjserve/src/server.rs:
+crates/sjserve/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

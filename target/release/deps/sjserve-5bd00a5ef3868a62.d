@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sjserve-5bd00a5ef3868a62.d: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+/root/repo/target/release/deps/libsjserve-5bd00a5ef3868a62.rlib: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+/root/repo/target/release/deps/libsjserve-5bd00a5ef3868a62.rmeta: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+crates/sjserve/src/lib.rs:
+crates/sjserve/src/cache.rs:
+crates/sjserve/src/client.rs:
+crates/sjserve/src/metrics.rs:
+crates/sjserve/src/protocol.rs:
+crates/sjserve/src/scheduler.rs:
+crates/sjserve/src/server.rs:
+crates/sjserve/src/service.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sjserve-7c1b8d75cacf2f8b.d: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjserve-7c1b8d75cacf2f8b.rmeta: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs Cargo.toml
+
+crates/sjserve/src/lib.rs:
+crates/sjserve/src/cache.rs:
+crates/sjserve/src/client.rs:
+crates/sjserve/src/metrics.rs:
+crates/sjserve/src/protocol.rs:
+crates/sjserve/src/scheduler.rs:
+crates/sjserve/src/server.rs:
+crates/sjserve/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sjserved-29c53d578a636caa.d: src/bin/sjserved.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjserved-29c53d578a636caa.rmeta: src/bin/sjserved.rs Cargo.toml
+
+src/bin/sjserved.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sjserved-423f058518b04fff.d: src/bin/sjserved.rs
+
+/root/repo/target/release/deps/sjserved-423f058518b04fff: src/bin/sjserved.rs
+
+src/bin/sjserved.rs:

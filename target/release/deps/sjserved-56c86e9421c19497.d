@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sjserved-56c86e9421c19497.d: src/bin/sjserved.rs
+
+/root/repo/target/release/deps/sjserved-56c86e9421c19497: src/bin/sjserved.rs
+
+src/bin/sjserved.rs:

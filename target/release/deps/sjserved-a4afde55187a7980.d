@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sjserved-a4afde55187a7980.d: src/bin/sjserved.rs Cargo.toml
+
+/root/repo/target/release/deps/libsjserved-a4afde55187a7980.rmeta: src/bin/sjserved.rs Cargo.toml
+
+src/bin/sjserved.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/cpu_throttling-a12e4bd7a837bf0a.d: examples/cpu_throttling.rs Cargo.toml
+
+/root/repo/target/release/examples/libcpu_throttling-a12e4bd7a837bf0a.rmeta: examples/cpu_throttling.rs Cargo.toml
+
+examples/cpu_throttling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

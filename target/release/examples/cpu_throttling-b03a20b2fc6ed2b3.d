@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cpu_throttling-b03a20b2fc6ed2b3.d: examples/cpu_throttling.rs
+
+/root/repo/target/release/examples/cpu_throttling-b03a20b2fc6ed2b3: examples/cpu_throttling.rs
+
+examples/cpu_throttling.rs:

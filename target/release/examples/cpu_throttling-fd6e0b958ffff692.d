@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cpu_throttling-fd6e0b958ffff692.d: examples/cpu_throttling.rs
+
+/root/repo/target/release/examples/cpu_throttling-fd6e0b958ffff692: examples/cpu_throttling.rs
+
+examples/cpu_throttling.rs:

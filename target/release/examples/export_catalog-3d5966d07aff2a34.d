@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/export_catalog-3d5966d07aff2a34.d: examples/export_catalog.rs Cargo.toml
+
+/root/repo/target/release/examples/libexport_catalog-3d5966d07aff2a34.rmeta: examples/export_catalog.rs Cargo.toml
+
+examples/export_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

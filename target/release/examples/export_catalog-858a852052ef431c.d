@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/export_catalog-858a852052ef431c.d: examples/export_catalog.rs
+
+/root/repo/target/release/examples/export_catalog-858a852052ef431c: examples/export_catalog.rs
+
+examples/export_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_jobs-09eb15117ab555a8.d: examples/power_jobs.rs
+
+/root/repo/target/release/examples/power_jobs-09eb15117ab555a8: examples/power_jobs.rs
+
+examples/power_jobs.rs:

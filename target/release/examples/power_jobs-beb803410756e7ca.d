@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/power_jobs-beb803410756e7ca.d: examples/power_jobs.rs Cargo.toml
+
+/root/repo/target/release/examples/libpower_jobs-beb803410756e7ca.rmeta: examples/power_jobs.rs Cargo.toml
+
+examples/power_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

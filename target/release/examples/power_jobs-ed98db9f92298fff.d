@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_jobs-ed98db9f92298fff.d: examples/power_jobs.rs
+
+/root/repo/target/release/examples/power_jobs-ed98db9f92298fff: examples/power_jobs.rs
+
+examples/power_jobs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-59e1782529f4b93f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-59e1782529f4b93f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-5ae25fd121dc322b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-5ae25fd121dc322b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5e217e55d705dbac.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5e217e55d705dbac: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/rack_heat-1cbab1035ea8b5fd.d: examples/rack_heat.rs Cargo.toml
+
+/root/repo/target/release/examples/librack_heat-1cbab1035ea8b5fd.rmeta: examples/rack_heat.rs Cargo.toml
+
+examples/rack_heat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rack_heat-79f63c11342ae428.d: examples/rack_heat.rs
+
+/root/repo/target/release/examples/rack_heat-79f63c11342ae428: examples/rack_heat.rs
+
+examples/rack_heat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rack_heat-81222b3a4e2e9a92.d: examples/rack_heat.rs
+
+/root/repo/target/release/examples/rack_heat-81222b3a4e2e9a92: examples/rack_heat.rs
+
+examples/rack_heat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reproducible_pipeline-1662cc27af6dd95c.d: examples/reproducible_pipeline.rs
+
+/root/repo/target/release/examples/reproducible_pipeline-1662cc27af6dd95c: examples/reproducible_pipeline.rs
+
+examples/reproducible_pipeline.rs:

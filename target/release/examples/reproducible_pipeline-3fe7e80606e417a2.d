@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reproducible_pipeline-3fe7e80606e417a2.d: examples/reproducible_pipeline.rs
+
+/root/repo/target/release/examples/reproducible_pipeline-3fe7e80606e417a2: examples/reproducible_pipeline.rs
+
+examples/reproducible_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/reproducible_pipeline-8a43916721555719.d: examples/reproducible_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libreproducible_pipeline-8a43916721555719.rmeta: examples/reproducible_pipeline.rs Cargo.toml
+
+examples/reproducible_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

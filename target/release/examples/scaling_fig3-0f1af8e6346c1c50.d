@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_fig3-0f1af8e6346c1c50.d: examples/scaling_fig3.rs
+
+/root/repo/target/release/examples/scaling_fig3-0f1af8e6346c1c50: examples/scaling_fig3.rs
+
+examples/scaling_fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/scaling_fig3-9f83b436fd4b092d.d: examples/scaling_fig3.rs Cargo.toml
+
+/root/repo/target/release/examples/libscaling_fig3-9f83b436fd4b092d.rmeta: examples/scaling_fig3.rs Cargo.toml
+
+examples/scaling_fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_fig3-d06dfb76ff068585.d: examples/scaling_fig3.rs
+
+/root/repo/target/release/examples/scaling_fig3-d06dfb76ff068585: examples/scaling_fig3.rs
+
+examples/scaling_fig3.rs:

@@ -30,7 +30,9 @@ fn rack_heat_query() -> Query {
 fn tiered_cache_serves_repeat_executions() {
     let ctx = ExecCtx::local();
     let (catalog, _) = dat1(&ctx, &small_cfg()).unwrap();
-    let plan = QueryEngine::new(&catalog).solve(&rack_heat_query()).unwrap();
+    let plan = QueryEngine::new(&catalog)
+        .solve(&rack_heat_query())
+        .unwrap();
 
     // A hot tier too small for the final result forces demotion through
     // the compressed cold tier.
@@ -59,7 +61,9 @@ fn tiered_cache_serves_repeat_executions() {
 fn flat_and_tiered_caches_agree_with_uncached_execution() {
     let ctx = ExecCtx::local();
     let (catalog, _) = dat1(&ctx, &small_cfg()).unwrap();
-    let plan = QueryEngine::new(&catalog).solve(&rack_heat_query()).unwrap();
+    let plan = QueryEngine::new(&catalog)
+        .solve(&rack_heat_query())
+        .unwrap();
 
     let sort = |ds: &SjDataset| {
         let mut rows = ds.collect().unwrap();
@@ -128,7 +132,10 @@ fn disallowing_unanchored_joins_blocks_time_only_relations() {
 
     let query = Query::new(
         ["job", "rack"],
-        vec![QueryValue::dim("application"), QueryValue::dim("temperature")],
+        vec![
+            QueryValue::dim("application"),
+            QueryValue::dim("temperature"),
+        ],
     );
 
     // Default config: the time-only interpolation join is a valid (if

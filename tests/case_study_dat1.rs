@@ -123,7 +123,9 @@ fn derived_rows_respect_the_node_rack_containment() {
     // on (this is why the anchored layout join matters).
     let ctx = ExecCtx::local();
     let (catalog, truth) = dat1(&ctx, &small_cfg()).unwrap();
-    let plan = QueryEngine::new(&catalog).solve(&rack_heat_query()).unwrap();
+    let plan = QueryEngine::new(&catalog)
+        .solve(&rack_heat_query())
+        .unwrap();
     let result = plan.execute(&catalog, None).unwrap();
     let schema = result.schema().clone();
     let rack_i = schema.index_of("rack").unwrap();
@@ -144,7 +146,9 @@ fn derived_rows_respect_the_node_rack_containment() {
 fn the_figure5_plan_round_trips_through_json() {
     let ctx = ExecCtx::local();
     let (catalog, _) = dat1(&ctx, &small_cfg()).unwrap();
-    let plan = QueryEngine::new(&catalog).solve(&rack_heat_query()).unwrap();
+    let plan = QueryEngine::new(&catalog)
+        .solve(&rack_heat_query())
+        .unwrap();
     let json = plan.to_json();
     let back = Plan::from_json(&json).unwrap();
     assert_eq!(plan, back);

@@ -26,7 +26,10 @@ fn catalog_strategy() -> impl Strategy<Value = (LayoutSpec, SensorSpec)> {
     (
         prop::collection::vec((0u8..6, 0u8..3), 1..12), // (node, rack) layout
         prop::collection::vec(
-            (0u8..2, prop::collection::vec((0u8..6, 0i64..600, 0i64..100), 1..20)),
+            (
+                0u8..2,
+                prop::collection::vec((0u8..6, 0i64..600, 0i64..100), 1..20),
+            ),
             1..4,
         ),
     )
@@ -43,7 +46,12 @@ fn build_catalog(ctx: &ExecCtx, layout: &LayoutSpec, sensors: &SensorSpec) -> Ca
     let rows: Vec<Row> = layout
         .iter()
         .filter(|(n, _)| seen.insert(*n))
-        .map(|(n, r)| Row::new(vec![Value::str(format!("n{n}")), Value::str(format!("r{r}"))]))
+        .map(|(n, r)| {
+            Row::new(vec![
+                Value::str(format!("n{n}")),
+                Value::str(format!("r{r}")),
+            ])
+        })
         .collect();
     c.register_dataset(
         "layout",

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam signature
+//! (closures receive a `&Scope`, the call returns a `Result` that is `Err`
+//! when any thread in the scope panicked), implemented over
+//! `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _env: PhantomData<&'env ()>,
+    }
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// so it can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let s = Scope {
+                        inner,
+                        _env: PhantomData,
+                    };
+                    f(&s)
+                }),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack. Returns `Err` if the closure or any unjoined spawned thread
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope {
+                    inner: s,
+                    _env: PhantomData,
+                };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_thread_yields_err() {
+        let res = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

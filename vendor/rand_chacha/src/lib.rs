@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 keystream generator (Bernstein's ChaCha
+//! with 8 rounds) exposing the `ChaCha8Rng` name and the `rand_core`
+//! trait re-exports the workspace imports. Streams are deterministic for
+//! a given seed, which is all the synthetic-data generators require; the
+//! word stream is not bit-compatible with the real `rand_chacha` crate.
+
+#![forbid(unsafe_code)]
+
+pub use rand::RngCore;
+
+/// Re-export of the core traits under the path `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// A ChaCha generator with 8 rounds, seeded from 32 bytes.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (state[4..12]).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..4 {
+            // One double round = column round + diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input) {
+            *out = out.wrapping_add(inp);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl rand::SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn usable_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut mean = 0.0;
+        for _ in 0..1000 {
+            mean += rng.gen_range(0.0..1.0);
+        }
+        mean /= 1000.0;
+        assert!((0.4..0.6).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn words_look_uniform_per_bit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut ones = [0u32; 64];
+        for _ in 0..256 {
+            let w = rng.next_u64();
+            for (i, count) in ones.iter_mut().enumerate() {
+                *count += ((w >> i) & 1) as u32;
+            }
+        }
+        for (i, &count) in ones.iter().enumerate() {
+            assert!((64..192).contains(&count), "bit {i}: {count}/256");
+        }
+    }
+}

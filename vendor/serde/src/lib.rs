@@ -1,0 +1,522 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde cannot be fetched in this environment, so this crate
+//! reimplements the *shape* of serde the workspace relies on: a
+//! [`Serialize`]/[`Deserialize`] trait pair with `#[derive]` support and
+//! container attributes (`#[serde(tag = "...", rename_all =
+//! "snake_case")]`). Instead of serde's visitor architecture, both traits
+//! go through an owned tree type, [`Content`], which `serde_json` renders
+//! to and parses from JSON text. This trades streaming performance for a
+//! radically smaller implementation; the workspace's payloads (plans,
+//! schemas, cached row sets, service requests) are all tree-friendly.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// The self-describing value tree both traits convert through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with ordered string keys (JSON objects).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map view.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in a map.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Short description of the tree's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a message plus nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Build a deserialization error (used by generated code).
+pub fn derr(msg: impl Into<String>) -> Error {
+    Error(msg.into())
+}
+
+/// Types convertible into the [`Content`] tree.
+pub trait Serialize {
+    /// Convert to a content tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a content tree.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+/// Fetch and deserialize a struct field from a map; a missing key
+/// deserializes as `Content::Null` so `Option` fields default to `None`
+/// (matching serde_derive's treatment of `Option`).
+pub fn field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::deserialize(v).map_err(|e| derr(format!("field `{key}`: {e}"))),
+        None => T::deserialize(&Content::Null).map_err(|_| derr(format!("missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Content::I64(v as i64) } else { Content::U64(v) }
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        // Sort keys so serialization (and anything hashed from it) is
+        // deterministic across runs despite HashMap's random state.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for std types
+// ---------------------------------------------------------------------------
+
+fn int_from(content: &Content) -> Option<i128> {
+    match content {
+        Content::I64(i) => Some(*i as i128),
+        Content::U64(u) => Some(*u as i128),
+        Content::F64(f) if f.fract() == 0.0 && f.abs() < 9.3e18 => Some(*f as i128),
+        _ => None,
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let v = int_from(content)
+                    .ok_or_else(|| derr(format!("expected integer, found {}", content.kind())))?;
+                <$t>::try_from(v).map_err(|_| derr(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(derr(format!("expected bool, found {}", content.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            _ => Err(derr(format!("expected number, found {}", content.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        f64::deserialize(content).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(derr(format!("expected string, found {}", content.kind()))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let s = String::deserialize(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(derr("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(()),
+            _ => Err(derr(format!("expected null, found {}", content.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        T::deserialize(content).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(Arc::from(s.as_str())),
+            _ => Err(derr(format!("expected string, found {}", content.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        Vec::<T>::deserialize(content).map(Arc::from)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(derr(format!("expected sequence, found {}", content.kind()))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| derr(format!("expected sequence, found {}", content.kind())))?;
+                if seq.len() != $len {
+                    return Err(derr(format!("expected tuple of {}, found {} items", $len, seq.len())));
+                }
+                Ok(($($t::deserialize(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| derr(format!("expected map, found {}", content.kind())))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| derr(format!("expected map, found {}", content.kind())))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_round_trips() {
+        let v: Vec<(String, Option<u32>)> = vec![("a".into(), Some(3)), ("b".into(), None)];
+        let c = v.serialize();
+        let back: Vec<(String, Option<u32>)> = Deserialize::deserialize(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_from_missing_field_is_none() {
+        let map = vec![("present".to_string(), Content::I64(1))];
+        let missing: Option<i64> = field(&map, "absent").unwrap();
+        assert_eq!(missing, None);
+        let present: Option<i64> = field(&map, "present").unwrap();
+        assert_eq!(present, Some(1));
+        let err = field::<i64>(&map, "absent").unwrap_err();
+        assert!(err.0.contains("missing field"));
+    }
+
+    #[test]
+    fn hashmap_serializes_with_sorted_keys() {
+        let mut m = HashMap::new();
+        m.insert("zeta".to_string(), 1u8);
+        m.insert("alpha".to_string(), 2u8);
+        match m.serialize() {
+            Content::Map(entries) => {
+                assert_eq!(entries[0].0, "alpha");
+                assert_eq!(entries[1].0, "zeta");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arc_str_round_trips() {
+        let s: Arc<str> = Arc::from("hello");
+        let back: Arc<str> = Deserialize::deserialize(&s.serialize()).unwrap();
+        assert_eq!(&*back, "hello");
+    }
+
+    #[test]
+    fn numbers_cross_deserialize() {
+        assert_eq!(f64::deserialize(&Content::I64(3)).unwrap(), 3.0);
+        assert_eq!(u8::deserialize(&Content::F64(7.0)).unwrap(), 7);
+        assert!(u8::deserialize(&Content::I64(300)).is_err());
+        assert!(u8::deserialize(&Content::F64(1.5)).is_err());
+    }
+}

@@ -1,0 +1,549 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored tree-model serde, without syn/quote (neither is available
+//! offline). The input item is parsed directly from the token stream.
+//!
+//! Supported shapes: unit/newtype/tuple/named structs; enums with
+//! unit/newtype/tuple/named variants; externally tagged representation by
+//! default plus the container attributes the workspace uses:
+//! `#[serde(tag = "...")]` (internal tagging, unit+named variants only)
+//! and `#[serde(rename_all = "snake_case")]`. Generic types are not
+//! supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    kind: Kind,
+    tag: Option<String>,
+    snake_case: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut snake_case = false;
+
+    // Leading attributes; harvest #[serde(...)] container attributes.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut tag, &mut snake_case);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+
+    let kind = if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde derive: expected enum body, found {other}"),
+        };
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        }
+    };
+
+    Container {
+        name,
+        kind,
+        tag,
+        snake_case,
+    }
+}
+
+/// Recognize `serde ( tag = "...", rename_all = "..." )` attribute bodies.
+fn parse_serde_attr(stream: TokenStream, tag: &mut Option<String>, snake_case: &mut bool) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let key = match &inner[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        if matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                let raw = lit.to_string();
+                let value = raw.trim_matches('"').to_string();
+                match key.as_str() {
+                    "tag" => *tag = Some(value),
+                    "rename_all" => {
+                        if value == "snake_case" {
+                            *snake_case = true;
+                        } else {
+                            panic!("serde derive (vendored): unsupported rename_all = {value:?}");
+                        }
+                    }
+                    other => panic!("serde derive (vendored): unsupported attribute `{other}`"),
+                }
+            }
+            j += 4; // key = "lit" ,
+        } else {
+            panic!("serde derive (vendored): unsupported attribute form `{key}`");
+        }
+    }
+}
+
+/// Skip one `#[...]` attribute starting at `i`; return the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + bracket group
+    }
+    i
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(&tokens, i);
+        i += 1; // ','
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        i += 1; // ','
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Optional discriminant: `= expr` until the separating comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+/// serde's SnakeCase rename rule: `_` before every non-leading uppercase.
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn wire_name(c: &Container, variant: &str) -> String {
+    if c.snake_case {
+        snake(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let wire = wire_name(c, &v.name);
+                let vn = &v.name;
+                let arm = if let Some(tag) = &c.tag {
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Map(vec![(::std::string::String::from(\"{tag}\"), ::serde::Content::Str(::std::string::String::from(\"{wire}\")))])"
+                        ),
+                        Shape::Named(fields) => {
+                            let mut items = vec![format!(
+                                "(::std::string::String::from(\"{tag}\"), ::serde::Content::Str(::std::string::String::from(\"{wire}\")))"
+                            )];
+                            items.extend(fields.iter().map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                )
+                            }));
+                            let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![{}])",
+                                pat.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Tuple(_) => panic!(
+                            "serde derive (vendored): internally tagged tuple variants are unsupported"
+                        ),
+                    }
+                } else {
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{wire}\"))"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Content::Map(vec![(::std::string::String::from(\"{wire}\"), ::serde::Serialize::serialize(x0))])"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![(::std::string::String::from(\"{wire}\"), ::serde::Content::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(::std::string::String::from(\"{wire}\"), ::serde::Content::Map(vec![{}]))])",
+                                pat.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Struct(Shape::Unit) => format!(
+            "match content {{ ::serde::Content::Null => Ok({name}), _ => Err(::serde::derr(\"expected null for unit struct {name}\")) }}"
+        ),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(content)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&seq[{i}])?"))
+                .collect();
+            format!(
+                "{{ let seq = content.as_seq().ok_or_else(|| ::serde::derr(\"expected sequence for {name}\"))?;\n\
+                   if seq.len() != {n} {{ return Err(::serde::derr(\"wrong tuple arity for {name}\")); }}\n\
+                   Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(map, \"{f}\")?"))
+                .collect();
+            format!(
+                "{{ let map = content.as_map().ok_or_else(|| ::serde::derr(\"expected map for {name}\"))?;\n\
+                   Ok({name} {{ {} }}) }}",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            if let Some(tag) = &c.tag {
+                let mut arms = Vec::new();
+                for v in variants {
+                    let wire = wire_name(c, &v.name);
+                    let vn = &v.name;
+                    let arm = match &v.shape {
+                        Shape::Unit => format!("\"{wire}\" => Ok({name}::{vn})"),
+                        Shape::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(map, \"{f}\")?"))
+                                .collect();
+                            format!("\"{wire}\" => Ok({name}::{vn} {{ {} }})", items.join(", "))
+                        }
+                        Shape::Tuple(_) => panic!(
+                            "serde derive (vendored): internally tagged tuple variants are unsupported"
+                        ),
+                    };
+                    arms.push(arm);
+                }
+                format!(
+                    "{{ let map = content.as_map().ok_or_else(|| ::serde::derr(\"expected map for {name}\"))?;\n\
+                       let tagv = content.get(\"{tag}\").and_then(|c| c.as_str()).ok_or_else(|| ::serde::derr(\"missing tag `{tag}` for {name}\"))?;\n\
+                       match tagv {{ {} , other => Err(::serde::derr(format!(\"unknown {name} variant `{{other}}`\"))) }} }}",
+                    arms.join(", ")
+                )
+            } else {
+                let mut unit_arms = Vec::new();
+                let mut data_arms = Vec::new();
+                for v in variants {
+                    let wire = wire_name(c, &v.name);
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            unit_arms.push(format!("\"{wire}\" => Ok({name}::{vn})"));
+                        }
+                        Shape::Tuple(1) => data_arms.push(format!(
+                            "\"{wire}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(value)?))"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&seq[{i}])?"))
+                                .collect();
+                            data_arms.push(format!(
+                                "\"{wire}\" => {{ let seq = value.as_seq().ok_or_else(|| ::serde::derr(\"expected sequence for {name}::{vn}\"))?;\n\
+                                   if seq.len() != {n} {{ return Err(::serde::derr(\"wrong arity for {name}::{vn}\")); }}\n\
+                                   Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(vmap, \"{f}\")?"))
+                                .collect();
+                            data_arms.push(format!(
+                                "\"{wire}\" => {{ let vmap = value.as_map().ok_or_else(|| ::serde::derr(\"expected map for {name}::{vn}\"))?;\n\
+                                   Ok({name}::{vn} {{ {} }}) }}",
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+                let unit_match = if unit_arms.is_empty() {
+                    String::from(
+                        "::serde::Content::Str(_) => Err(::serde::derr(\"unexpected string\")),",
+                    )
+                } else {
+                    format!(
+                        "::serde::Content::Str(s) => match s.as_str() {{ {} , other => Err(::serde::derr(format!(\"unknown {name} variant `{{other}}`\"))) }},",
+                        unit_arms.join(", ")
+                    )
+                };
+                let data_match = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                           let (key, value) = &m[0];\n\
+                           match key.as_str() {{ {} , other => Err(::serde::derr(format!(\"unknown {name} variant `{{other}}`\"))) }} }},",
+                        data_arms.join(", ")
+                    )
+                };
+                format!(
+                    "match content {{ {unit_match} {data_match} other => Err(::serde::derr(format!(\"cannot deserialize {name} from {{}}\", other.kind()))) }}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
