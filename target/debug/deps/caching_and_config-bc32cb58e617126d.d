@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/caching_and_config-bc32cb58e617126d.d: tests/caching_and_config.rs
+
+/root/repo/target/debug/deps/caching_and_config-bc32cb58e617126d: tests/caching_and_config.rs
+
+tests/caching_and_config.rs:

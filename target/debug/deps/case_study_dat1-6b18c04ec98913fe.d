@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_dat1-6b18c04ec98913fe.d: tests/case_study_dat1.rs
+
+/root/repo/target/debug/deps/case_study_dat1-6b18c04ec98913fe: tests/case_study_dat1.rs
+
+tests/case_study_dat1.rs:

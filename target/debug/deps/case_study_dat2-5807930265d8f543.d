@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_dat2-5807930265d8f543.d: tests/case_study_dat2.rs
+
+/root/repo/target/debug/deps/case_study_dat2-5807930265d8f543: tests/case_study_dat2.rs
+
+tests/case_study_dat2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_robustness-e5e6cb3f9aac3e3b.d: tests/engine_robustness.rs
+
+/root/repo/target/debug/deps/engine_robustness-e5e6cb3f9aac3e3b: tests/engine_robustness.rs
+
+tests/engine_robustness.rs:

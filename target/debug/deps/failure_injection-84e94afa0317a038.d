@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-84e94afa0317a038.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-84e94afa0317a038: tests/failure_injection.rs
+
+tests/failure_injection.rs:

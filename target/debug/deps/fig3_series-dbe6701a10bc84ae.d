@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_series-dbe6701a10bc84ae.d: tests/fig3_series.rs
+
+/root/repo/target/debug/deps/fig3_series-dbe6701a10bc84ae: tests/fig3_series.rs
+
+tests/fig3_series.rs:

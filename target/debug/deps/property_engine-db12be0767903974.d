@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_engine-db12be0767903974.d: tests/property_engine.rs
+
+/root/repo/target/debug/deps/property_engine-db12be0767903974: tests/property_engine.rs
+
+tests/property_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_joins-bbf0e735cc7dd244.d: tests/property_joins.rs
+
+/root/repo/target/debug/deps/property_joins-bbf0e735cc7dd244: tests/property_joins.rs
+
+tests/property_joins.rs:

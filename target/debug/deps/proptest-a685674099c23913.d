@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a685674099c23913.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a685674099c23913.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a685674099c23913.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-f25cb89db5614bca.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f25cb89db5614bca.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f25cb89db5614bca.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scrubjay-c373d745c37d9538.d: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/debug/deps/libscrubjay-c373d745c37d9538.rlib: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/debug/deps/libscrubjay-c373d745c37d9538.rmeta: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:

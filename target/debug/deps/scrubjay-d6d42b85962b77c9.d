@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scrubjay-d6d42b85962b77c9.d: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+/root/repo/target/debug/deps/scrubjay-d6d42b85962b77c9: src/lib.rs src/catalog_io.rs src/textplot.rs
+
+src/lib.rs:
+src/catalog_io.rs:
+src/textplot.rs:

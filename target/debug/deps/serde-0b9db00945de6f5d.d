@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-0b9db00945de6f5d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0b9db00945de6f5d.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0b9db00945de6f5d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

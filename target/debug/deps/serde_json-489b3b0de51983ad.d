@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-489b3b0de51983ad.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-489b3b0de51983ad.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-489b3b0de51983ad.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_concurrency-2293369aed49eadb.d: tests/service_concurrency.rs
+
+/root/repo/target/debug/deps/service_concurrency-2293369aed49eadb: tests/service_concurrency.rs
+
+tests/service_concurrency.rs:

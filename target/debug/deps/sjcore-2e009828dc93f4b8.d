@@ -1,0 +1,38 @@
+/root/repo/target/debug/deps/sjcore-2e009828dc93f4b8.d: crates/sjcore/src/lib.rs crates/sjcore/src/cache.rs crates/sjcore/src/catalog.rs crates/sjcore/src/compress.rs crates/sjcore/src/dataset.rs crates/sjcore/src/derivations/mod.rs crates/sjcore/src/derivations/combine/mod.rs crates/sjcore/src/derivations/combine/common.rs crates/sjcore/src/derivations/combine/interp.rs crates/sjcore/src/derivations/combine/naive.rs crates/sjcore/src/derivations/combine/natural.rs crates/sjcore/src/derivations/transform/mod.rs crates/sjcore/src/derivations/transform/convert.rs crates/sjcore/src/derivations/transform/custom.rs crates/sjcore/src/derivations/transform/explode.rs crates/sjcore/src/derivations/transform/rate.rs crates/sjcore/src/engine/mod.rs crates/sjcore/src/engine/plan.rs crates/sjcore/src/engine/search.rs crates/sjcore/src/error.rs crates/sjcore/src/interop.rs crates/sjcore/src/row.rs crates/sjcore/src/schema.rs crates/sjcore/src/semantics/mod.rs crates/sjcore/src/semantics/dictionary.rs crates/sjcore/src/semantics/dimension.rs crates/sjcore/src/units/mod.rs crates/sjcore/src/units/time.rs crates/sjcore/src/value.rs crates/sjcore/src/wrappers/mod.rs crates/sjcore/src/wrappers/csv.rs crates/sjcore/src/wrappers/kvstore.rs
+
+/root/repo/target/debug/deps/libsjcore-2e009828dc93f4b8.rlib: crates/sjcore/src/lib.rs crates/sjcore/src/cache.rs crates/sjcore/src/catalog.rs crates/sjcore/src/compress.rs crates/sjcore/src/dataset.rs crates/sjcore/src/derivations/mod.rs crates/sjcore/src/derivations/combine/mod.rs crates/sjcore/src/derivations/combine/common.rs crates/sjcore/src/derivations/combine/interp.rs crates/sjcore/src/derivations/combine/naive.rs crates/sjcore/src/derivations/combine/natural.rs crates/sjcore/src/derivations/transform/mod.rs crates/sjcore/src/derivations/transform/convert.rs crates/sjcore/src/derivations/transform/custom.rs crates/sjcore/src/derivations/transform/explode.rs crates/sjcore/src/derivations/transform/rate.rs crates/sjcore/src/engine/mod.rs crates/sjcore/src/engine/plan.rs crates/sjcore/src/engine/search.rs crates/sjcore/src/error.rs crates/sjcore/src/interop.rs crates/sjcore/src/row.rs crates/sjcore/src/schema.rs crates/sjcore/src/semantics/mod.rs crates/sjcore/src/semantics/dictionary.rs crates/sjcore/src/semantics/dimension.rs crates/sjcore/src/units/mod.rs crates/sjcore/src/units/time.rs crates/sjcore/src/value.rs crates/sjcore/src/wrappers/mod.rs crates/sjcore/src/wrappers/csv.rs crates/sjcore/src/wrappers/kvstore.rs
+
+/root/repo/target/debug/deps/libsjcore-2e009828dc93f4b8.rmeta: crates/sjcore/src/lib.rs crates/sjcore/src/cache.rs crates/sjcore/src/catalog.rs crates/sjcore/src/compress.rs crates/sjcore/src/dataset.rs crates/sjcore/src/derivations/mod.rs crates/sjcore/src/derivations/combine/mod.rs crates/sjcore/src/derivations/combine/common.rs crates/sjcore/src/derivations/combine/interp.rs crates/sjcore/src/derivations/combine/naive.rs crates/sjcore/src/derivations/combine/natural.rs crates/sjcore/src/derivations/transform/mod.rs crates/sjcore/src/derivations/transform/convert.rs crates/sjcore/src/derivations/transform/custom.rs crates/sjcore/src/derivations/transform/explode.rs crates/sjcore/src/derivations/transform/rate.rs crates/sjcore/src/engine/mod.rs crates/sjcore/src/engine/plan.rs crates/sjcore/src/engine/search.rs crates/sjcore/src/error.rs crates/sjcore/src/interop.rs crates/sjcore/src/row.rs crates/sjcore/src/schema.rs crates/sjcore/src/semantics/mod.rs crates/sjcore/src/semantics/dictionary.rs crates/sjcore/src/semantics/dimension.rs crates/sjcore/src/units/mod.rs crates/sjcore/src/units/time.rs crates/sjcore/src/value.rs crates/sjcore/src/wrappers/mod.rs crates/sjcore/src/wrappers/csv.rs crates/sjcore/src/wrappers/kvstore.rs
+
+crates/sjcore/src/lib.rs:
+crates/sjcore/src/cache.rs:
+crates/sjcore/src/catalog.rs:
+crates/sjcore/src/compress.rs:
+crates/sjcore/src/dataset.rs:
+crates/sjcore/src/derivations/mod.rs:
+crates/sjcore/src/derivations/combine/mod.rs:
+crates/sjcore/src/derivations/combine/common.rs:
+crates/sjcore/src/derivations/combine/interp.rs:
+crates/sjcore/src/derivations/combine/naive.rs:
+crates/sjcore/src/derivations/combine/natural.rs:
+crates/sjcore/src/derivations/transform/mod.rs:
+crates/sjcore/src/derivations/transform/convert.rs:
+crates/sjcore/src/derivations/transform/custom.rs:
+crates/sjcore/src/derivations/transform/explode.rs:
+crates/sjcore/src/derivations/transform/rate.rs:
+crates/sjcore/src/engine/mod.rs:
+crates/sjcore/src/engine/plan.rs:
+crates/sjcore/src/engine/search.rs:
+crates/sjcore/src/error.rs:
+crates/sjcore/src/interop.rs:
+crates/sjcore/src/row.rs:
+crates/sjcore/src/schema.rs:
+crates/sjcore/src/semantics/mod.rs:
+crates/sjcore/src/semantics/dictionary.rs:
+crates/sjcore/src/semantics/dimension.rs:
+crates/sjcore/src/units/mod.rs:
+crates/sjcore/src/units/time.rs:
+crates/sjcore/src/value.rs:
+crates/sjcore/src/wrappers/mod.rs:
+crates/sjcore/src/wrappers/csv.rs:
+crates/sjcore/src/wrappers/kvstore.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sjdata-3fcb93a9665cdb92.d: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+/root/repo/target/debug/deps/libsjdata-3fcb93a9665cdb92.rlib: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+/root/repo/target/debug/deps/libsjdata-3fcb93a9665cdb92.rmeta: crates/sjdata/src/lib.rs crates/sjdata/src/dat.rs crates/sjdata/src/facility.rs crates/sjdata/src/jobs.rs crates/sjdata/src/layout.rs crates/sjdata/src/sources.rs crates/sjdata/src/synth.rs crates/sjdata/src/workloads.rs
+
+crates/sjdata/src/lib.rs:
+crates/sjdata/src/dat.rs:
+crates/sjdata/src/facility.rs:
+crates/sjdata/src/jobs.rs:
+crates/sjdata/src/layout.rs:
+crates/sjdata/src/sources.rs:
+crates/sjdata/src/synth.rs:
+crates/sjdata/src/workloads.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sjdf-040659ad75209887.d: crates/sjdf/src/lib.rs crates/sjdf/src/bytesize.rs crates/sjdf/src/cluster.rs crates/sjdf/src/error.rs crates/sjdf/src/exec.rs crates/sjdf/src/metrics.rs crates/sjdf/src/ops/mod.rs crates/sjdf/src/ops/extra.rs crates/sjdf/src/ops/join.rs crates/sjdf/src/ops/shuffle.rs crates/sjdf/src/ops/sort.rs crates/sjdf/src/rdd.rs crates/sjdf/src/simtime.rs
+
+/root/repo/target/debug/deps/libsjdf-040659ad75209887.rlib: crates/sjdf/src/lib.rs crates/sjdf/src/bytesize.rs crates/sjdf/src/cluster.rs crates/sjdf/src/error.rs crates/sjdf/src/exec.rs crates/sjdf/src/metrics.rs crates/sjdf/src/ops/mod.rs crates/sjdf/src/ops/extra.rs crates/sjdf/src/ops/join.rs crates/sjdf/src/ops/shuffle.rs crates/sjdf/src/ops/sort.rs crates/sjdf/src/rdd.rs crates/sjdf/src/simtime.rs
+
+/root/repo/target/debug/deps/libsjdf-040659ad75209887.rmeta: crates/sjdf/src/lib.rs crates/sjdf/src/bytesize.rs crates/sjdf/src/cluster.rs crates/sjdf/src/error.rs crates/sjdf/src/exec.rs crates/sjdf/src/metrics.rs crates/sjdf/src/ops/mod.rs crates/sjdf/src/ops/extra.rs crates/sjdf/src/ops/join.rs crates/sjdf/src/ops/shuffle.rs crates/sjdf/src/ops/sort.rs crates/sjdf/src/rdd.rs crates/sjdf/src/simtime.rs
+
+crates/sjdf/src/lib.rs:
+crates/sjdf/src/bytesize.rs:
+crates/sjdf/src/cluster.rs:
+crates/sjdf/src/error.rs:
+crates/sjdf/src/exec.rs:
+crates/sjdf/src/metrics.rs:
+crates/sjdf/src/ops/mod.rs:
+crates/sjdf/src/ops/extra.rs:
+crates/sjdf/src/ops/join.rs:
+crates/sjdf/src/ops/shuffle.rs:
+crates/sjdf/src/ops/sort.rs:
+crates/sjdf/src/rdd.rs:
+crates/sjdf/src/simtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sjq-0be45b59d560bf3b.d: src/bin/sjq.rs
+
+/root/repo/target/debug/deps/sjq-0be45b59d560bf3b: src/bin/sjq.rs
+
+src/bin/sjq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sjq-8fadc99ee31be16e.d: src/bin/sjq.rs
+
+/root/repo/target/debug/deps/sjq-8fadc99ee31be16e: src/bin/sjq.rs
+
+src/bin/sjq.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sjserve-03296199ace7c2aa.d: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+/root/repo/target/debug/deps/libsjserve-03296199ace7c2aa.rlib: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+/root/repo/target/debug/deps/libsjserve-03296199ace7c2aa.rmeta: crates/sjserve/src/lib.rs crates/sjserve/src/cache.rs crates/sjserve/src/client.rs crates/sjserve/src/metrics.rs crates/sjserve/src/protocol.rs crates/sjserve/src/scheduler.rs crates/sjserve/src/server.rs crates/sjserve/src/service.rs
+
+crates/sjserve/src/lib.rs:
+crates/sjserve/src/cache.rs:
+crates/sjserve/src/client.rs:
+crates/sjserve/src/metrics.rs:
+crates/sjserve/src/protocol.rs:
+crates/sjserve/src/scheduler.rs:
+crates/sjserve/src/server.rs:
+crates/sjserve/src/service.rs:

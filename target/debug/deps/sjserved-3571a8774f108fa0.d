@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sjserved-3571a8774f108fa0.d: src/bin/sjserved.rs
+
+/root/repo/target/debug/deps/sjserved-3571a8774f108fa0: src/bin/sjserved.rs
+
+src/bin/sjserved.rs:

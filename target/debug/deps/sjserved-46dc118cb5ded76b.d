@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sjserved-46dc118cb5ded76b.d: src/bin/sjserved.rs
+
+/root/repo/target/debug/deps/sjserved-46dc118cb5ded76b: src/bin/sjserved.rs
+
+src/bin/sjserved.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cpu_throttling-2685024c2fdd2e6d.d: examples/cpu_throttling.rs
+
+/root/repo/target/debug/examples/cpu_throttling-2685024c2fdd2e6d: examples/cpu_throttling.rs
+
+examples/cpu_throttling.rs:

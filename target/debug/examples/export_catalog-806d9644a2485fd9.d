@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_catalog-806d9644a2485fd9.d: examples/export_catalog.rs
+
+/root/repo/target/debug/examples/export_catalog-806d9644a2485fd9: examples/export_catalog.rs
+
+examples/export_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_jobs-be0de778b27a44d1.d: examples/power_jobs.rs
+
+/root/repo/target/debug/examples/power_jobs-be0de778b27a44d1: examples/power_jobs.rs
+
+examples/power_jobs.rs:

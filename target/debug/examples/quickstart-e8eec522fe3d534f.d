@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e8eec522fe3d534f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e8eec522fe3d534f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rack_heat-9021b0aa5e67e1b9.d: examples/rack_heat.rs
+
+/root/repo/target/debug/examples/rack_heat-9021b0aa5e67e1b9: examples/rack_heat.rs
+
+examples/rack_heat.rs:

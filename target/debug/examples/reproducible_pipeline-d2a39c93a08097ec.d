@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproducible_pipeline-d2a39c93a08097ec.d: examples/reproducible_pipeline.rs
+
+/root/repo/target/debug/examples/reproducible_pipeline-d2a39c93a08097ec: examples/reproducible_pipeline.rs
+
+examples/reproducible_pipeline.rs:

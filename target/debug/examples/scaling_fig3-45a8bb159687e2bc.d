@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_fig3-45a8bb159687e2bc.d: examples/scaling_fig3.rs
+
+/root/repo/target/debug/examples/scaling_fig3-45a8bb159687e2bc: examples/scaling_fig3.rs
+
+examples/scaling_fig3.rs:
