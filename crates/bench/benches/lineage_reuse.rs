@@ -1,0 +1,103 @@
+//! Lineage-reuse benchmark: the cost of re-evaluating a shuffle-bearing
+//! lineage with and without [`Rdd::persist`].
+//!
+//! "Cold" rebuilds the lineage from scratch for every evaluation, so each
+//! one pays the full shuffle. "Persisted" builds the lineage once, calls
+//! `persist()`, and re-evaluates the same handle, so warm evaluations are
+//! served from the stage cache. The run asserts the warm path is at least
+//! 5x faster and performs zero shuffle-task work, then writes both rates
+//! to `BENCH_lineage.json` so CI can archive the numbers.
+//!
+//! Custom harness (`harness = false`); does nothing unless `--bench` is
+//! on the command line, matching the vendored criterion's behaviour.
+
+use scrubjay_bench::bench_ctx;
+use sjdf::{ExecCtx, Rdd};
+use std::time::Instant;
+
+const PARTS: usize = 8;
+const PAIRS_PER_PART: u64 = 20_000;
+const COLD_EVALS: usize = 5;
+const WARM_EVALS: usize = 50;
+
+/// The measured lineage: a generated pair source into a shuffle
+/// (`reduce_by_key`) and a narrow map on the reduced side.
+fn build_lineage(ctx: &ExecCtx) -> Rdd<(u64, u64)> {
+    Rdd::generate(ctx, PARTS, |i| {
+        let base = i as u64 * PAIRS_PER_PART;
+        (base..base + PAIRS_PER_PART)
+            .map(|x| (x % 512, x))
+            .collect()
+    })
+    .reduce_by_key(PARTS, |a, b| a + b)
+    .map(|(k, v)| (k, v / 2))
+}
+
+fn evals_per_sec(evals: usize, elapsed_secs: f64) -> f64 {
+    evals as f64 / elapsed_secs.max(1e-9)
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+
+    // Cold: a fresh lineage per evaluation — every pass shuffles.
+    let cold_ctx = bench_ctx();
+    let expected = build_lineage(&cold_ctx).count().expect("warm-up eval");
+    let start = Instant::now();
+    for _ in 0..COLD_EVALS {
+        let n = build_lineage(&cold_ctx).count().expect("cold eval");
+        assert_eq!(n, expected);
+    }
+    let cold_rate = evals_per_sec(COLD_EVALS, start.elapsed().as_secs_f64());
+
+    // Persisted: one lineage, one shuffle, warm re-evaluations after.
+    let warm_ctx = bench_ctx();
+    let persisted = build_lineage(&warm_ctx).persist();
+    assert_eq!(persisted.count().expect("populating eval"), expected);
+    let baseline = warm_ctx.metrics.report();
+    let start = Instant::now();
+    for _ in 0..WARM_EVALS {
+        assert_eq!(persisted.count().expect("warm eval"), expected);
+    }
+    let warm_rate = evals_per_sec(WARM_EVALS, start.elapsed().as_secs_f64());
+    let delta = warm_ctx.metrics.report().delta_since(&baseline);
+
+    assert_eq!(
+        delta.wide_ops(),
+        0,
+        "persisted re-evaluations must not reach the shuffle: {delta:?}"
+    );
+    assert!(
+        delta.cache_hits > 0,
+        "persisted re-evaluations must be served by the stage cache"
+    );
+    let speedup = warm_rate / cold_rate;
+    assert!(
+        speedup >= 5.0,
+        "persist() must make re-evaluation at least 5x faster \
+         (cold {cold_rate:.1}/s, persisted {warm_rate:.1}/s, {speedup:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"lineage_reuse\",\n  \"pairs\": {},\n  \"partitions\": {},\n  \
+         \"cold_evals_per_sec\": {:.3},\n  \"persisted_evals_per_sec\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"warm_wide_ops\": {},\n  \"warm_cache_hits\": {}\n}}\n",
+        PARTS as u64 * PAIRS_PER_PART,
+        PARTS,
+        cold_rate,
+        warm_rate,
+        speedup,
+        delta.wide_ops(),
+        delta.cache_hits,
+    );
+    // Anchor the output at the workspace root regardless of the cwd
+    // cargo picked for the bench binary.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lineage.json");
+    std::fs::write(out, &json).expect("write BENCH_lineage.json");
+    println!(
+        "lineage_reuse: cold {cold_rate:.1} evals/s, persisted {warm_rate:.1} evals/s \
+         ({speedup:.1}x) -> BENCH_lineage.json"
+    );
+}

@@ -1,35 +1,45 @@
-//! Task execution: run per-partition tasks on a bounded set of local
-//! threads.
+//! Task execution: run per-partition tasks on a persistent executor pool.
 //!
-//! Each evaluation wave spawns scoped worker threads (via
-//! `crossbeam::thread::scope`) and distributes partition indices over them
-//! with a shared atomic cursor — a minimal work-stealing-free dynamic
-//! scheduler. Shuffle materialization inside an evaluation triggers nested
-//! waves; because every wave owns its threads and joins them before
-//! returning, nesting cannot deadlock.
+//! Each [`ExecCtx`] owns one long-lived [`WorkerPool`] (sized by
+//! [`ClusterSpec::local_threads`]) that is shared by every clone of the
+//! context — evaluation waves no longer spawn threads. A wave distributes
+//! partition indices over runners with a shared atomic cursor; the thread
+//! that starts the wave always runs tasks itself (caller-helping), which
+//! is what keeps nested waves deadlock-free — see [`crate::pool`] for the
+//! argument. The context also carries the [`StageCache`], the byte-
+//! budgeted memory layer behind [`Rdd::persist`](crate::Rdd::persist) and
+//! auto-persisted shuffle outputs.
 
 use crate::cluster::ClusterSpec;
 use crate::error::{Result, SjdfError};
 use crate::metrics::MetricsCollector;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::pool::WorkerPool;
+use crate::stagecache::StageCache;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Shared execution context: the virtual cluster and the metrics sink.
+/// Shared execution context: the virtual cluster, the executor pool, the
+/// stage cache, and the metrics sink.
 #[derive(Debug, Clone)]
 pub struct ExecCtx {
     /// The virtual cluster this computation is configured (and costed) for.
     pub cluster: ClusterSpec,
     /// Sink that all tasks report metrics into.
     pub metrics: Arc<MetricsCollector>,
+    pool: Arc<WorkerPool>,
+    stage_cache: Arc<StageCache>,
 }
 
 impl ExecCtx {
-    /// Context for the given virtual cluster.
+    /// Context for the given virtual cluster, spawning its executor pool.
     pub fn new(cluster: ClusterSpec) -> Self {
+        let pool = WorkerPool::new(cluster.local_threads());
         ExecCtx {
             cluster,
             metrics: MetricsCollector::new(),
+            pool,
+            stage_cache: StageCache::new(),
         }
     }
 
@@ -41,32 +51,47 @@ impl ExecCtx {
     /// The same cluster with a fresh, empty metrics sink. A query service
     /// hands each request one of these so per-request [`MetricsReport`]s
     /// are isolated instead of accumulating into one shared collector.
+    /// The executor pool and stage cache are shared, not re-created.
     ///
     /// [`MetricsReport`]: crate::metrics::MetricsReport
     pub fn with_fresh_metrics(&self) -> Self {
         ExecCtx {
             cluster: self.cluster.clone(),
             metrics: MetricsCollector::new(),
+            pool: Arc::clone(&self.pool),
+            stage_cache: Arc::clone(&self.stage_cache),
         }
     }
 
+    /// The byte-budgeted memory layer behind `persist()` and shuffle
+    /// auto-persist, shared by all clones of this context.
+    pub fn stage_cache(&self) -> &Arc<StageCache> {
+        &self.stage_cache
+    }
+
+    /// Set the stage-cache byte budget (LRU entries beyond it are
+    /// evicted and recomputed on next use). Convenience passthrough.
+    pub fn set_cache_budget(&self, bytes: u64) {
+        self.stage_cache.set_budget(bytes);
+    }
+
     /// Run `task(i)` for every `i in 0..parts`, in parallel on up to
-    /// [`ClusterSpec::local_threads`] threads, returning results in
-    /// partition order.
+    /// [`ClusterSpec::local_threads`] runners (the calling thread plus
+    /// pool workers), returning results in partition order.
     pub fn run_wave<T, F>(&self, parts: usize, task: F) -> Result<Vec<T>>
     where
-        T: Send,
-        F: Fn(usize) -> T + Send + Sync,
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
     {
         if parts == 0 {
             return Ok(Vec::new());
         }
         let threads = self.cluster.local_threads().min(parts);
         if threads <= 1 {
-            // Fast path: no thread spawn overhead for serial execution.
+            // Fast path: no queue traffic for serial execution.
             let mut out = Vec::with_capacity(parts);
             for i in 0..parts {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
+                match catch_unwind(AssertUnwindSafe(|| task(i))) {
                     Ok(v) => out.push(v),
                     Err(p) => return Err(SjdfError::TaskPanic(panic_message(&*p))),
                 }
@@ -74,43 +99,125 @@ impl ExecCtx {
             return Ok(out);
         }
 
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..parts).map(|_| Mutex::new(None)).collect();
-        let panicked: Mutex<Option<String>> = Mutex::new(None);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= parts {
-                        break;
-                    }
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
-                        Ok(v) => *slots[i].lock() = Some(v),
-                        Err(p) => {
-                            let msg = panic_message(&*p);
-                            *panicked.lock() = Some(msg);
-                            break;
-                        }
-                    }
-                });
-            }
-        })
-        .map_err(|_| SjdfError::TaskPanic("executor scope panicked".into()))?;
+        let wave = Arc::new(Wave::new(parts, task));
+        // One runner job per extra thread; the caller is the last runner.
+        // Correctness never depends on a job being picked up — stale jobs
+        // from an already-finished wave exit via the exhausted cursor.
+        for _ in 0..threads - 1 {
+            let wave = Arc::clone(&wave);
+            self.pool.submit(Box::new(move || wave.run()));
+        }
+        wave.run();
+        wave.wait();
+        wave.finish()
+    }
+}
 
-        if let Some(msg) = panicked.into_inner() {
+/// Shared state of one evaluation wave.
+struct Wave<T, F> {
+    task: F,
+    parts: usize,
+    /// Next unclaimed partition index.
+    cursor: AtomicUsize,
+    /// Results, one slot per partition.
+    slots: Vec<Mutex<Option<T>>>,
+    /// Count of settled partitions (completed, panicked, or drained).
+    done: AtomicUsize,
+    /// Set on the first panic; runners then drain instead of computing.
+    failed: AtomicBool,
+    /// The *first* panic's message — later panics never overwrite it.
+    first_panic: Mutex<Option<String>>,
+    complete: Mutex<bool>,
+    completed: Condvar,
+}
+
+impl<T, F> Wave<T, F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    fn new(parts: usize, task: F) -> Self {
+        Wave {
+            task,
+            parts,
+            cursor: AtomicUsize::new(0),
+            slots: (0..parts).map(|_| Mutex::new(None)).collect(),
+            done: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            first_panic: Mutex::new(None),
+            complete: Mutex::new(false),
+            completed: Condvar::new(),
+        }
+    }
+
+    /// Claim and run task indices until the cursor is exhausted. Called
+    /// by pool workers and by the wave's initiating thread alike.
+    fn run(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.parts {
+                return;
+            }
+            if !self.failed.load(Ordering::Acquire) {
+                match catch_unwind(AssertUnwindSafe(|| (self.task)(i))) {
+                    Ok(v) => *lock(&self.slots[i]) = Some(v),
+                    Err(p) => {
+                        let msg = panic_message(&*p);
+                        let mut first = lock(&self.first_panic);
+                        if first.is_none() {
+                            *first = Some(msg);
+                        }
+                        drop(first);
+                        self.failed.store(true, Ordering::Release);
+                    }
+                }
+            }
+            // Settle the index whether it computed, panicked, or was
+            // drained after a failure elsewhere.
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.parts {
+                let mut complete = lock(&self.complete);
+                *complete = true;
+                self.completed.notify_all();
+            }
+        }
+    }
+
+    /// Block until every partition settled. The caller has already run
+    /// [`Wave::run`], so it only ever waits on tasks claimed by live pool
+    /// workers — never on an unclaimed task.
+    fn wait(&self) {
+        let mut complete = lock(&self.complete);
+        while !*complete {
+            complete = self
+                .completed
+                .wait(complete)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+
+    /// Gather results in partition order, preferring the first real panic
+    /// message over the empty-slot placeholder.
+    fn finish(self: Arc<Self>) -> Result<Vec<T>> {
+        if let Some(msg) = lock(&self.first_panic).take() {
             return Err(SjdfError::TaskPanic(msg));
         }
-        let mut out = Vec::with_capacity(parts);
-        for slot in slots {
-            match slot.into_inner() {
+        let mut out = Vec::with_capacity(self.parts);
+        for slot in &self.slots {
+            match lock(slot).take() {
                 Some(v) => out.push(v),
-                // A sibling panicked after this task was claimed but before
-                // it produced a value.
+                // Unreachable in practice: a slot can only be empty when a
+                // panic was recorded, which returns above.
                 None => return Err(SjdfError::TaskPanic("task did not complete".into())),
             }
         }
         Ok(out)
     }
+}
+
+/// Recover from std mutex poisoning: wave slots hold plain values and the
+/// panic bookkeeping is monotonic, so the data is always consistent.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
@@ -164,8 +271,27 @@ mod tests {
             i
         });
         match res {
+            // The real payload must surface — not the generic
+            // "task did not complete" placeholder.
             Err(SjdfError::TaskPanic(msg)) => {
-                assert!(msg.contains("exploded") || msg.contains("complete"))
+                assert!(msg.contains("task 3 exploded"), "got: {msg}")
+            }
+            other => panic!("expected TaskPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_panic_wins_over_later_panics() {
+        // Every task panics with its own message; whatever surfaced must
+        // be one of the real messages, never the placeholder.
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
+        let res: Result<Vec<usize>> = ctx.run_wave(8, |i| panic!("task {i} failed"));
+        match res {
+            Err(SjdfError::TaskPanic(msg)) => {
+                assert!(
+                    msg.starts_with("task ") && msg.ends_with(" failed"),
+                    "{msg}"
+                )
             }
             other => panic!("expected TaskPanic, got {other:?}"),
         }
@@ -174,9 +300,10 @@ mod tests {
     #[test]
     fn nested_waves_do_not_deadlock() {
         let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+        let inner_ctx = ctx.clone();
         let outer = ctx
-            .run_wave(4, |i| {
-                let inner = ctx.run_wave(4, |j| i * 10 + j).unwrap();
+            .run_wave(4, move |i| {
+                let inner = inner_ctx.run_wave(4, move |j| i * 10 + j).unwrap();
                 inner.into_iter().sum::<usize>()
             })
             .unwrap();
@@ -184,20 +311,91 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_waves_complete() {
+        // Three levels of nesting on a 2-thread pool: progress must come
+        // from caller-helping, not from free workers.
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+        let c1 = ctx.clone();
+        let sums = ctx
+            .run_wave(3, move |i| {
+                let c2 = c1.clone();
+                c1.run_wave(3, move |j| {
+                    let inner = c2.run_wave(3, move |k| i + j + k).unwrap();
+                    inner.into_iter().sum::<usize>()
+                })
+                .unwrap()
+                .into_iter()
+                .sum::<usize>()
+            })
+            .unwrap();
+        // sum over j,k in 0..3 of (i+j+k) = 9i + 18
+        assert_eq!(sums, vec![18, 27, 36]);
+    }
+
+    #[test]
+    fn pool_is_reused_across_waves() {
+        // Two waves on the same context run on the same long-lived pool
+        // threads (named sjdf-worker-*), not freshly spawned ones.
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
+        let names = |v: Vec<Option<String>>| {
+            let mut v: Vec<String> = v.into_iter().flatten().collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let first = names(
+            ctx.run_wave(8, |_| std::thread::current().name().map(String::from))
+                .unwrap(),
+        );
+        let second = names(
+            ctx.run_wave(8, |_| std::thread::current().name().map(String::from))
+                .unwrap(),
+        );
+        let workers_seen = |v: &[String]| v.iter().any(|n| n.starts_with("sjdf-worker-"));
+        if workers_seen(&first) && workers_seen(&second) {
+            let w1: Vec<&String> = first
+                .iter()
+                .filter(|n| n.starts_with("sjdf-worker-"))
+                .collect();
+            assert!(
+                w1.iter().all(|n| second.contains(n)),
+                "{first:?} {second:?}"
+            );
+        }
+    }
+
+    #[test]
     fn wave_uses_multiple_threads_when_available() {
-        // With 4 local threads and 4 tasks, at least two distinct thread
-        // ids should appear (unless the host is single-core).
+        // With 4 local threads and 2 barrier-synced tasks, two distinct
+        // thread ids must appear (unless the host is single-core).
         if std::thread::available_parallelism().unwrap().get() < 2 {
             return;
         }
         let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
-        let barrier = std::sync::Barrier::new(2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
         let ids = ctx
-            .run_wave(2, |_| {
+            .run_wave(2, move |_| {
                 barrier.wait();
                 std::thread::current().id()
             })
             .unwrap();
         assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn concurrent_waves_share_one_pool() {
+        let ctx = ExecCtx::new(ClusterSpec::new(1, 4).unwrap());
+        let outputs: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let ctx = ctx.clone();
+                    s.spawn(move || ctx.run_wave(16, move |i| w * 100 + i).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (w, out) in outputs.into_iter().enumerate() {
+            assert_eq!(out, (0..16).map(|i| w * 100 + i).collect::<Vec<_>>());
+        }
     }
 }

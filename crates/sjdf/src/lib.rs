@@ -32,13 +32,17 @@ pub mod error;
 pub mod exec;
 pub mod metrics;
 pub mod ops;
+pub mod pool;
 pub mod rdd;
 pub mod simtime;
+pub mod stagecache;
 
 pub use bytesize::ByteSize;
 pub use cluster::ClusterSpec;
 pub use error::{Result, SjdfError};
 pub use exec::ExecCtx;
 pub use metrics::{MetricsCollector, MetricsReport, OpKind};
+pub use pool::WorkerPool;
 pub use rdd::{Data, Rdd};
 pub use simtime::{estimate, CostParams, SimTime};
+pub use stagecache::{StageCache, StageCacheStats};

@@ -9,6 +9,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Whether a stage's tasks depend on a single parent partition (narrow),
@@ -64,6 +65,17 @@ pub struct OpEntry {
 pub struct MetricsReport {
     /// Per-op aggregates, sorted by op name for determinism.
     pub ops: Vec<OpEntry>,
+    /// Stage-cache lookups served from memory (persisted partitions and
+    /// already-materialized shuffle outputs).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Stage-cache lookups that had to compute and materialize.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Cached stages dropped to respect the byte budget during this
+    /// collector's evaluations.
+    #[serde(default)]
+    pub cache_evictions: u64,
 }
 
 impl MetricsReport {
@@ -123,7 +135,12 @@ impl MetricsReport {
                 }
             })
             .collect();
-        MetricsReport { ops }
+        MetricsReport {
+            ops,
+            cache_hits: diff(self.cache_hits, baseline.cache_hits),
+            cache_misses: diff(self.cache_misses, baseline.cache_misses),
+            cache_evictions: diff(self.cache_evictions, baseline.cache_evictions),
+        }
     }
 }
 
@@ -131,6 +148,9 @@ impl MetricsReport {
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
     inner: Mutex<BTreeMap<(String, OpKind), OpMetrics>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl MetricsCollector {
@@ -145,6 +165,21 @@ impl MetricsCollector {
         inner.entry((name.to_string(), kind)).or_default().merge(&m);
     }
 
+    /// Record one stage-cache lookup served from memory.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one stage-cache lookup that had to compute.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` budget evictions triggered by this evaluation.
+    pub fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Snapshot the collected metrics into an immutable report.
     pub fn report(&self) -> MetricsReport {
         let inner = self.inner.lock();
@@ -157,12 +192,18 @@ impl MetricsCollector {
                     metrics: metrics.clone(),
                 })
                 .collect(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drop all collected metrics (used between benchmark iterations).
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -228,6 +269,27 @@ mod tests {
         c.record("alpha", OpKind::Narrow, m(1, 1, 0));
         let names: Vec<_> = c.report().ops.into_iter().map(|o| o.name).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn cache_counters_roundtrip_and_delta() {
+        let c = MetricsCollector::new();
+        c.record_cache_miss();
+        c.record_cache_miss();
+        c.record_cache_hit();
+        c.record_cache_evictions(3);
+        let base = c.report();
+        assert_eq!(base.cache_hits, 1);
+        assert_eq!(base.cache_misses, 2);
+        assert_eq!(base.cache_evictions, 3);
+        c.record_cache_hit();
+        c.record_cache_hit();
+        let delta = c.report().delta_since(&base);
+        assert_eq!(delta.cache_hits, 2);
+        assert_eq!(delta.cache_misses, 0);
+        assert_eq!(delta.cache_evictions, 0);
+        c.reset();
+        assert_eq!(c.report().cache_hits, 0);
     }
 
     #[test]

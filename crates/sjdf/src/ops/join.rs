@@ -72,7 +72,7 @@ where
         self.out_parts
     }
     fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, (Vec<V>, Vec<W>))> {
-        let buckets = self.cell.get_or_init(|| {
+        let buckets = self.cell.get_or_materialize(ctx, || {
             let (left, lrec, lbytes) = scatter_side(&self.left, self.out_parts, ctx);
             let (right, rrec, rbytes) = scatter_side(&self.right, self.out_parts, ctx);
             ctx.metrics.record(
@@ -126,7 +126,7 @@ where
                 left: Arc::clone(&self.op),
                 right: Arc::clone(&other.op),
                 out_parts: out_parts.max(1),
-                cell: ShuffleCell::new(),
+                cell: ShuffleCell::new(&self.ctx),
             }),
             self.ctx.clone(),
         )

@@ -6,37 +6,138 @@ use crate::exec::ExecCtx;
 use crate::metrics::{OpKind, OpMetrics};
 use crate::ops::bucket_of;
 use crate::rdd::{Data, PartitionOp, Rdd};
-use parking_lot::Mutex;
+use crate::stagecache::{next_owner_id, EvictableSlot, StageCache};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Shared materialization slot for a shuffle's reduce-side buckets.
 type Buckets<T> = Arc<Vec<Arc<Vec<T>>>>;
 
-pub(crate) struct ShuffleCell<T> {
-    slot: Mutex<Option<Buckets<T>>>,
+enum CellState<T> {
+    Empty,
+    InProgress,
+    Full(Buckets<T>),
 }
 
-impl<T> ShuffleCell<T> {
-    pub(crate) fn new() -> Self {
+/// The shareable half of a [`ShuffleCell`]: the state machine the stage
+/// cache clears on eviction. The lock is never held across the shuffle
+/// itself (waiters park on the condvar), and never while calling into
+/// the [`StageCache`].
+struct CellInner<T> {
+    state: Mutex<CellState<T>>,
+    ready: Condvar,
+}
+
+/// Cell state transitions are rolled back on unwind, so poisoning never
+/// leaves an inconsistent value behind.
+fn lock_cell<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl<T: Send + Sync> EvictableSlot for CellInner<T> {
+    fn evict(&self, _part: usize) {
+        let mut state = lock_cell(&self.state);
+        if let CellState::Full(_) = &*state {
+            *state = CellState::Empty;
+        }
+    }
+}
+
+/// Rolls an `InProgress` cell back to `Empty` if the shuffle unwinds.
+struct CellResetOnUnwind<'a, T> {
+    inner: &'a CellInner<T>,
+    armed: bool,
+}
+
+impl<T> Drop for CellResetOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            *lock_cell(&self.inner.state) = CellState::Empty;
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+/// Auto-persisted materialization slot for a shuffle's reduce-side
+/// buckets. Every wide op's output registers with the context's
+/// [`StageCache`] (one entry per cell, sized by [`slice_byte_size`]), so
+/// a lineage evaluated twice shuffles once, and an evicted shuffle is
+/// transparently re-materialized on its next access.
+pub(crate) struct ShuffleCell<T> {
+    inner: Arc<CellInner<T>>,
+    owner_id: u64,
+    cache: Arc<StageCache>,
+}
+
+impl<T> Drop for ShuffleCell<T> {
+    fn drop(&mut self) {
+        self.cache.release_owner(self.owner_id);
+    }
+}
+
+impl<T: Data + ByteSize> ShuffleCell<T> {
+    pub(crate) fn new(ctx: &ExecCtx) -> Self {
         ShuffleCell {
-            slot: Mutex::new(None),
+            inner: Arc::new(CellInner {
+                state: Mutex::new(CellState::Empty),
+                ready: Condvar::new(),
+            }),
+            owner_id: next_owner_id(),
+            cache: Arc::clone(ctx.stage_cache()),
         }
     }
 
-    /// Compute-once accessor: the first caller materializes, later callers
-    /// (and later evaluations) reuse the buckets.
-    pub(crate) fn get_or_init<F>(&self, init: F) -> Buckets<T>
+    /// Compute-once accessor: the first caller materializes (concurrent
+    /// callers wait on the condvar rather than re-shuffling), later
+    /// callers — and later evaluations, until eviction — reuse the
+    /// buckets straight from memory.
+    pub(crate) fn get_or_materialize<F>(&self, ctx: &ExecCtx, init: F) -> Buckets<T>
     where
         F: FnOnce() -> Vec<Vec<T>>,
     {
-        let mut slot = self.slot.lock();
-        if let Some(b) = slot.as_ref() {
-            return Arc::clone(b);
+        let mut state = lock_cell(&self.inner.state);
+        loop {
+            match &*state {
+                CellState::Full(b) => {
+                    let b = Arc::clone(b);
+                    drop(state);
+                    self.cache.record_hit(self.owner_id, 0);
+                    ctx.metrics.record_cache_hit();
+                    return b;
+                }
+                CellState::InProgress => {
+                    state = self
+                        .inner
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                }
+                CellState::Empty => {
+                    *state = CellState::InProgress;
+                    drop(state);
+                    break;
+                }
+            }
         }
+        let mut guard = CellResetOnUnwind {
+            inner: &self.inner,
+            armed: true,
+        };
         let buckets: Buckets<T> = Arc::new(init().into_iter().map(Arc::new).collect());
-        *slot = Some(Arc::clone(&buckets));
+        let bytes: usize = buckets.iter().map(|b| slice_byte_size(b)).sum();
+        {
+            let mut state = lock_cell(&self.inner.state);
+            *state = CellState::Full(Arc::clone(&buckets));
+            self.inner.ready.notify_all();
+        }
+        guard.armed = false;
+        ctx.metrics.record_cache_miss();
+        let erased: Arc<dyn EvictableSlot> = Arc::clone(&self.inner) as Arc<dyn EvictableSlot>;
+        let evicted = self.cache.insert(self.owner_id, 0, bytes, &erased);
+        if evicted > 0 {
+            ctx.metrics.record_cache_evictions(evicted as u64);
+        }
         buckets
     }
 }
@@ -110,7 +211,7 @@ where
         self.out_parts
     }
     fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, Vec<V>)> {
-        let buckets = self.cell.get_or_init(|| {
+        let buckets = self.cell.get_or_materialize(ctx, || {
             let scattered = scatter_by_key("group_by_key", &self.parent, self.out_parts, ctx);
             scattered
                 .into_iter()
@@ -154,7 +255,7 @@ where
         self.out_parts
     }
     fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, V)> {
-        let buckets = self.cell.get_or_init(|| {
+        let buckets = self.cell.get_or_materialize(ctx, || {
             // Map-side combine first: shrink each parent partition to one
             // record per key before shuffling — the classic reduceByKey
             // optimization that cuts shuffle volume.
@@ -248,7 +349,7 @@ where
         self.out_parts
     }
     fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
-        let buckets = self.cell.get_or_init(|| {
+        let buckets = self.cell.get_or_materialize(ctx, || {
             let parent = Arc::clone(&self.parent);
             let out_parts = self.out_parts;
             let ctx2 = ctx.clone();
@@ -312,7 +413,7 @@ where
             Arc::new(GroupByKeyOp {
                 parent: Arc::clone(&self.op),
                 out_parts: out_parts.max(1),
-                cell: ShuffleCell::new(),
+                cell: ShuffleCell::new(&self.ctx),
             }),
             self.ctx.clone(),
         )
@@ -329,7 +430,7 @@ where
                 parent: Arc::clone(&self.op),
                 out_parts: out_parts.max(1),
                 f: Arc::new(f),
-                cell: ShuffleCell::new(),
+                cell: ShuffleCell::new(&self.ctx),
             }),
             self.ctx.clone(),
         )
@@ -374,7 +475,7 @@ where
             Arc::new(RepartitionOp {
                 parent: Arc::clone(&self.op),
                 out_parts: out_parts.max(1),
-                cell: ShuffleCell::new(),
+                cell: ShuffleCell::new(&self.ctx),
             }),
             self.ctx.clone(),
         )

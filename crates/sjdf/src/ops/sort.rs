@@ -28,7 +28,7 @@ where
         self.out_parts
     }
     fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, V)> {
-        let buckets = self.cell.get_or_init(|| {
+        let buckets = self.cell.get_or_materialize(ctx, || {
             // Stage 1: compute parent partitions once and hold them.
             let parent = Arc::clone(&self.parent);
             let ctx2 = ctx.clone();
@@ -80,12 +80,16 @@ where
                 },
             );
 
-            // Stage 4: local sort per bucket (parallel).
-            let merged: Vec<parking_lot::Mutex<Vec<(K, V)>>> =
-                merged.into_iter().map(parking_lot::Mutex::new).collect();
+            // Stage 4: local sort per bucket (parallel). The buckets are
+            // shared with the wave tasks via Arc'd mutexes so the task
+            // closure is 'static for the executor pool.
+            type SharedBuckets<K, V> = Arc<Vec<parking_lot::Mutex<Vec<(K, V)>>>>;
+            let merged: SharedBuckets<K, V> =
+                Arc::new(merged.into_iter().map(parking_lot::Mutex::new).collect());
+            let buckets = Arc::clone(&merged);
             let sorted = ctx
-                .run_wave(merged.len(), |i| {
-                    let mut bucket = std::mem::take(&mut *merged[i].lock());
+                .run_wave(merged.len(), move |i| {
+                    let mut bucket = std::mem::take(&mut *buckets[i].lock());
                     bucket.sort_by(|(a, _), (b, _)| a.cmp(b));
                     bucket
                 })
@@ -115,7 +119,7 @@ where
             Arc::new(SortByKeyOp {
                 parent: Arc::clone(&self.op),
                 out_parts: out_parts.max(1),
-                cell: ShuffleCell::new(),
+                cell: ShuffleCell::new(&self.ctx),
             }),
             self.ctx.clone(),
         )

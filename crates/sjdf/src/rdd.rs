@@ -12,11 +12,13 @@
 //! ([`crate::exec::ExecCtx`]), and all tasks report metrics that feed the
 //! virtual-cluster cost model ([`crate::simtime`]).
 
+use crate::bytesize::{slice_byte_size, ByteSize};
 use crate::error::{Result, SjdfError};
 use crate::exec::ExecCtx;
 use crate::metrics::{OpKind, OpMetrics};
+use crate::stagecache::{next_owner_id, EvictableSlot, StageCache};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Marker for element types that can flow through a dataset.
 pub trait Data: Clone + Send + Sync + 'static {}
@@ -38,6 +40,9 @@ pub trait PartitionOp<T: Data>: Send + Sync {
 pub struct Rdd<T: Data> {
     pub(crate) op: Arc<dyn PartitionOp<T>>,
     pub(crate) ctx: ExecCtx,
+    /// Stage-cache owner id when this handle was produced by
+    /// [`Rdd::persist`]; lets [`Rdd::unpersist`] release the entries.
+    persist_id: Option<u64>,
 }
 
 impl<T: Data> Clone for Rdd<T> {
@@ -45,6 +50,7 @@ impl<T: Data> Clone for Rdd<T> {
         Rdd {
             op: Arc::clone(&self.op),
             ctx: self.ctx.clone(),
+            persist_id: self.persist_id,
         }
     }
 }
@@ -238,13 +244,147 @@ impl<T: Data> PartitionOp<T> for CacheOp<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Persist: stage-cache backed per-partition memoization
+// ---------------------------------------------------------------------------
+
+enum SlotState<T> {
+    /// Not cached; the next reader computes.
+    Empty,
+    /// Another task is computing this partition; readers wait.
+    InProgress,
+    /// Cached and accounted in the stage cache.
+    Full(Arc<Vec<T>>),
+}
+
+/// The typed partition slots behind one persisted dataset. Lock order:
+/// a slot lock is never held while calling into the [`StageCache`], and
+/// never held across a parent compute — so eviction callbacks (which
+/// take only the slot lock) can never deadlock against evaluation.
+struct PersistSlots<T> {
+    slots: Vec<(StdMutex<SlotState<T>>, Condvar)>,
+}
+
+/// Slot data stays consistent across panics (the in-progress marker is
+/// rolled back by a guard), so poisoning is recoverable.
+fn lock_slot<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl<T: Data> EvictableSlot for PersistSlots<T> {
+    fn evict(&self, part: usize) {
+        let (m, _) = &self.slots[part];
+        let mut state = lock_slot(m);
+        // Only a Full slot can be evicted; an InProgress slot will be
+        // re-inserted (and re-accounted) by its computing task anyway.
+        if let SlotState::Full(_) = &*state {
+            *state = SlotState::Empty;
+        }
+    }
+}
+
+/// Rolls an `InProgress` slot back to `Empty` if the parent compute
+/// unwinds, so waiting readers retry instead of hanging forever.
+struct ResetOnUnwind<'a, T> {
+    slots: &'a PersistSlots<T>,
+    idx: usize,
+    armed: bool,
+}
+
+impl<T> Drop for ResetOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let (m, cv) = &self.slots.slots[self.idx];
+            *lock_slot(m) = SlotState::Empty;
+            cv.notify_all();
+        }
+    }
+}
+
+/// `persist()`: memoizes each computed partition, registered with the
+/// context's [`StageCache`] for byte accounting and LRU eviction.
+struct CachedOp<T: Data + ByteSize> {
+    parent: Arc<dyn PartitionOp<T>>,
+    owner_id: u64,
+    slots: Arc<PersistSlots<T>>,
+    cache: Arc<StageCache>,
+}
+
+impl<T: Data + ByteSize> Drop for CachedOp<T> {
+    fn drop(&mut self) {
+        // Release the accounted bytes when the lineage itself goes away.
+        self.cache.release_owner(self.owner_id);
+    }
+}
+
+impl<T: Data + ByteSize> PartitionOp<T> for CachedOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let (m, cv) = &self.slots.slots[idx];
+        let mut state = lock_slot(m);
+        loop {
+            match &*state {
+                SlotState::Full(cached) => {
+                    let cached = Arc::clone(cached);
+                    drop(state);
+                    self.cache.record_hit(self.owner_id, idx);
+                    ctx.metrics.record_cache_hit();
+                    return cached.as_ref().clone();
+                }
+                SlotState::InProgress => {
+                    state = cv.wait(state).unwrap_or_else(|poison| poison.into_inner());
+                }
+                SlotState::Empty => {
+                    *state = SlotState::InProgress;
+                    drop(state);
+                    break;
+                }
+            }
+        }
+        let mut guard = ResetOnUnwind {
+            slots: &self.slots,
+            idx,
+            armed: true,
+        };
+        let value = Arc::new(self.parent.compute(idx, ctx));
+        let bytes = slice_byte_size(&value);
+        {
+            let mut state = lock_slot(m);
+            *state = SlotState::Full(Arc::clone(&value));
+            cv.notify_all();
+        }
+        guard.armed = false;
+        ctx.metrics.record_cache_miss();
+        let erased: Arc<dyn EvictableSlot> = Arc::clone(&self.slots) as Arc<dyn EvictableSlot>;
+        let evicted = self.cache.insert(self.owner_id, idx, bytes, &erased);
+        if evicted > 0 {
+            ctx.metrics.record_cache_evictions(evicted as u64);
+        }
+        value.as_ref().clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "persist"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Narrow
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Public API
 // ---------------------------------------------------------------------------
 
 impl<T: Data> Rdd<T> {
     /// Wrap a raw op into a dataset handle (used by `ops::*`).
     pub(crate) fn from_op(op: Arc<dyn PartitionOp<T>>, ctx: ExecCtx) -> Self {
-        Rdd { op, ctx }
+        Rdd {
+            op,
+            ctx,
+            persist_id: None,
+        }
     }
 
     /// Distribute an in-memory collection over `parts` partitions.
@@ -391,6 +531,48 @@ impl<T: Data> Rdd<T> {
         )
     }
 
+    /// Persist computed partitions in the context's [`StageCache`]: each
+    /// partition is computed at most once (even under concurrent
+    /// evaluation), its bytes are accounted against the cache budget, and
+    /// least-recently-used partitions are transparently evicted — and
+    /// recomputed from lineage on next access — when the budget is
+    /// exceeded. Compare [`Rdd::cache`], which memoizes unconditionally
+    /// with no accounting or eviction.
+    pub fn persist(&self) -> Rdd<T>
+    where
+        T: ByteSize,
+    {
+        let n = self.op.num_partitions();
+        let slots = Arc::new(PersistSlots {
+            slots: (0..n)
+                .map(|_| (StdMutex::new(SlotState::Empty), Condvar::new()))
+                .collect(),
+        });
+        let owner_id = next_owner_id();
+        let mut rdd = Rdd::from_op(
+            Arc::new(CachedOp {
+                parent: Arc::clone(&self.op),
+                owner_id,
+                slots,
+                cache: Arc::clone(self.ctx.stage_cache()),
+            }),
+            self.ctx.clone(),
+        );
+        rdd.persist_id = Some(owner_id);
+        rdd
+    }
+
+    /// Drop this dataset's cached partitions from the stage cache,
+    /// returning the bytes released. The handle stays usable: later
+    /// evaluations recompute (and re-cache) from lineage. A no-op (0)
+    /// on a dataset that was never [`persist`](Rdd::persist)ed.
+    pub fn unpersist(&self) -> usize {
+        match self.persist_id {
+            Some(id) => self.ctx.stage_cache().release_owner(id),
+            None => 0,
+        }
+    }
+
     /// Pair every element with a key (narrow).
     pub fn key_by<K: Data, F>(&self, f: F) -> Rdd<(K, T)>
     where
@@ -434,18 +616,19 @@ impl<T: Data> Rdd<T> {
     /// Reduce all elements with an associative, commutative operator.
     pub fn reduce<F>(&self, f: F) -> Result<T>
     where
-        F: Fn(T, T) -> T + Send + Sync,
+        F: Fn(T, T) -> T + Send + Sync + 'static,
     {
         let op = Arc::clone(&self.op);
         let ctx = self.ctx.clone();
-        let f = &f;
+        let f = Arc::new(f);
+        let task_f = Arc::clone(&f);
         let partials = self.ctx.run_wave(self.op.num_partitions(), move |i| {
-            op.compute(i, &ctx).into_iter().reduce(f)
+            op.compute(i, &ctx).into_iter().reduce(|a, b| task_f(a, b))
         })?;
         partials
             .into_iter()
             .flatten()
-            .reduce(f)
+            .reduce(|a, b| f(a, b))
             .ok_or(SjdfError::EmptyDataset("reduce"))
     }
 
@@ -454,15 +637,17 @@ impl<T: Data> Rdd<T> {
     pub fn fold<A, F, G>(&self, zero: A, f: F, merge: G) -> Result<A>
     where
         A: Data,
-        F: Fn(A, T) -> A + Send + Sync,
+        F: Fn(A, T) -> A + Send + Sync + 'static,
         G: Fn(A, A) -> A,
     {
         let op = Arc::clone(&self.op);
         let ctx = self.ctx.clone();
-        let f = &f;
+        let f = Arc::new(f);
         let z = zero.clone();
         let partials = self.ctx.run_wave(self.op.num_partitions(), move |i| {
-            op.compute(i, &ctx).into_iter().fold(z.clone(), f)
+            op.compute(i, &ctx)
+                .into_iter()
+                .fold(z.clone(), |a, x| f(a, x))
         })?;
         Ok(partials.into_iter().fold(zero, merge))
     }

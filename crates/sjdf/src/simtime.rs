@@ -51,6 +51,11 @@ pub struct CostParams {
     pub barrier_secs: f64,
     /// Growth factor of the barrier with `ln(nodes)`.
     pub barrier_node_factor: f64,
+    /// Seconds charged per stage-cache hit: the block-manager fetch that
+    /// replaces a recomputation. Tiny, but keeps cached re-evaluations
+    /// from costing exactly zero.
+    #[serde(default)]
+    pub cache_hit_secs: f64,
 }
 
 impl CostParams {
@@ -83,6 +88,7 @@ impl CostParams {
             job_startup_secs: 1.45,
             barrier_secs: 0.2,
             barrier_node_factor: 0.35,
+            cache_hit_secs: 5.0e-4,
         }
     }
 
@@ -150,7 +156,8 @@ pub fn estimate(report: &MetricsReport, cluster: &ClusterSpec, params: &CostPara
     }
 
     let overhead = params.job_startup_secs
-        + wide_ops as f64 * params.barrier_secs * (1.0 + params.barrier_node_factor * n.ln());
+        + wide_ops as f64 * params.barrier_secs * (1.0 + params.barrier_node_factor * n.ln())
+        + report.cache_hits as f64 * params.cache_hit_secs;
 
     SimTime {
         compute,
@@ -206,6 +213,7 @@ mod tests {
                     },
                 },
             ],
+            ..Default::default()
         }
     }
 
@@ -276,6 +284,7 @@ mod tests {
                     ..Default::default()
                 },
             }],
+            ..Default::default()
         };
         let mut expensive = cheap.clone();
         expensive.ops[0].name = "interp_match".into();
@@ -299,6 +308,25 @@ mod tests {
         let p = CostParams::paper();
         assert!(p.wide_secs_per_record > p.narrow_secs_per_record);
         assert!(p.narrow_secs_per_record > p.source_secs_per_record);
+    }
+
+    #[test]
+    fn cache_hits_cost_a_small_fetch_not_a_recompute() {
+        let p = CostParams::paper();
+        let c = ClusterSpec::new(1, 32).unwrap();
+        let cold = report(1_000_000, 1_000_000, 100_000_000);
+        let mut warm = MetricsReport {
+            cache_hits: 100,
+            ..Default::default()
+        };
+        let t_cold = estimate(&cold, &c, &p).total();
+        let t_warm = estimate(&warm, &c, &p).total();
+        assert!(t_warm < t_cold, "warm={t_warm} cold={t_cold}");
+        // Hits are not free either.
+        let baseline = estimate(&MetricsReport::default(), &c, &p).total();
+        assert!(t_warm > baseline);
+        warm.cache_hits = 0;
+        assert!((estimate(&warm, &c, &p).total() - baseline).abs() < 1e-12);
     }
 
     #[test]

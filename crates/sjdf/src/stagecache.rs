@@ -1,0 +1,367 @@
+//! Byte-budgeted memory manager for materialized stages.
+//!
+//! Spark's `persist()` keeps computed partitions in executor memory under
+//! a block-manager budget; this module is the analogue for `sjdf`. Two
+//! kinds of stage register here:
+//!
+//! * explicitly persisted datasets ([`Rdd::persist`](crate::Rdd::persist)),
+//!   one entry per partition, and
+//! * shuffle outputs (auto-persisted by every wide op), one entry per
+//!   materialized bucket set.
+//!
+//! The cache never owns the data — the typed slots live inside the ops —
+//! it only *accounts* for it (sizes come from [`crate::bytesize`]) and
+//! decides what to drop. When an insertion pushes the total past the
+//! budget, least-recently-used entries are evicted via a type-erased
+//! callback that clears the owning slot; the lineage simply recomputes an
+//! evicted stage on its next access, so eviction is always safe.
+//!
+//! # Locking
+//!
+//! The registry lock is a leaf-free zone: eviction callbacks are invoked
+//! only *after* the registry lock is released, and slot implementations
+//! must never call back into the registry while holding their slot lock.
+//! This makes the lock order `registry → slot` acyclic even though
+//! computing a partition (slot business) triggers insertions (registry
+//! business).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Globally unique id for one cache owner (a persisted dataset or one
+/// shuffle cell).
+pub(crate) fn next_owner_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A typed slot table that can drop one of its materialized entries.
+///
+/// Implementations must only take their own slot lock — never a
+/// [`StageCache`] lock — inside [`evict`](EvictableSlot::evict), and must
+/// treat an evict of an in-progress or already-empty slot as a no-op.
+pub trait EvictableSlot: Send + Sync {
+    /// Drop the cached value for `part`, if present.
+    fn evict(&self, part: usize);
+}
+
+#[derive(Debug)]
+struct Entry {
+    bytes: usize,
+    last_used: u64,
+    owner: Weak<dyn EvictableSlot>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// Keyed by (owner id, partition index).
+    entries: HashMap<(u64, usize), Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Point-in-time counters for the stage cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCacheStats {
+    /// Partition (or bucket-set) lookups served from memory.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries dropped to respect the byte budget (or by `unpersist`).
+    pub evictions: u64,
+    /// Bytes currently accounted.
+    pub bytes: u64,
+    /// Entries currently accounted.
+    pub entries: u64,
+    /// Configured budget in bytes (`u64::MAX` = unlimited).
+    pub budget: u64,
+}
+
+/// The per-context accounting/eviction layer. Shared (via `Arc`) by every
+/// clone of an [`ExecCtx`](crate::exec::ExecCtx).
+#[derive(Debug)]
+pub struct StageCache {
+    registry: Mutex<Registry>,
+    budget: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for StageCache {
+    fn default() -> Self {
+        StageCache {
+            registry: Mutex::new(Registry::default()),
+            budget: AtomicU64::new(u64::MAX),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+impl StageCache {
+    /// An unlimited-budget cache.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Set the byte budget, evicting LRU entries immediately if the
+    /// current contents exceed it. `u64::MAX` means unlimited.
+    pub fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        let victims = {
+            let mut reg = self.registry.lock();
+            self.collect_victims(&mut reg, None)
+        };
+        self.run_evictions(victims);
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Record a lookup served from a cached slot and refresh its LRU
+    /// position.
+    pub fn record_hit(&self, owner_id: u64, part: usize) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let mut reg = self.registry.lock();
+        reg.tick += 1;
+        let tick = reg.tick;
+        if let Some(entry) = reg.entries.get_mut(&(owner_id, part)) {
+            entry.last_used = tick;
+        }
+    }
+
+    /// Account a freshly materialized slot, evicting older entries if the
+    /// budget is now exceeded. The new entry itself is only evicted when
+    /// it alone exceeds the whole budget (an oversized partition must not
+    /// pin the cache over budget forever). Returns how many entries were
+    /// evicted to make room.
+    pub fn insert(
+        &self,
+        owner_id: u64,
+        part: usize,
+        bytes: usize,
+        owner: &Arc<dyn EvictableSlot>,
+    ) -> usize {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let victims = {
+            let mut reg = self.registry.lock();
+            reg.tick += 1;
+            let tick = reg.tick;
+            let old = reg.entries.insert(
+                (owner_id, part),
+                Entry {
+                    bytes,
+                    last_used: tick,
+                    owner: Arc::downgrade(owner),
+                },
+            );
+            reg.bytes += bytes;
+            if let Some(old) = old {
+                reg.bytes = reg.bytes.saturating_sub(old.bytes);
+            }
+            self.collect_victims(&mut reg, Some((owner_id, part)))
+        };
+        self.run_evictions(victims)
+    }
+
+    /// Drop every entry belonging to `owner_id` (used by `unpersist` and
+    /// by owners' `Drop`), returning the bytes released.
+    pub fn release_owner(&self, owner_id: u64) -> usize {
+        let (victims, released) = {
+            let mut reg = self.registry.lock();
+            let keys: Vec<(u64, usize)> = reg
+                .entries
+                .keys()
+                .filter(|(id, _)| *id == owner_id)
+                .copied()
+                .collect();
+            let mut victims = Vec::with_capacity(keys.len());
+            let mut released = 0usize;
+            for key in keys {
+                if let Some(entry) = reg.entries.remove(&key) {
+                    reg.bytes = reg.bytes.saturating_sub(entry.bytes);
+                    released += entry.bytes;
+                    victims.push((key.1, entry.owner));
+                }
+            }
+            (victims, released)
+        };
+        for (part, owner) in victims {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(owner) = owner.upgrade() {
+                owner.evict(part);
+            }
+        }
+        released
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StageCacheStats {
+        let reg = self.registry.lock();
+        StageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: reg.bytes as u64,
+            entries: reg.entries.len() as u64,
+            budget: self.budget(),
+        }
+    }
+
+    /// Under the registry lock: pop LRU entries until the total fits the
+    /// budget. `protect` (the entry just inserted) is spared unless it is
+    /// the only entry left.
+    fn collect_victims(
+        &self,
+        reg: &mut Registry,
+        protect: Option<(u64, usize)>,
+    ) -> Vec<(usize, Weak<dyn EvictableSlot>)> {
+        let budget = self.budget();
+        let mut victims = Vec::new();
+        while (reg.bytes as u64) > budget {
+            let candidate = reg
+                .entries
+                .iter()
+                .filter(|(key, _)| Some(**key) != protect)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(key, _)| *key)
+                .or_else(|| reg.entries.keys().next().copied());
+            let Some(key) = candidate else { break };
+            if let Some(entry) = reg.entries.remove(&key) {
+                reg.bytes = reg.bytes.saturating_sub(entry.bytes);
+                victims.push((key.1, entry.owner));
+            }
+        }
+        victims
+    }
+
+    /// Outside the registry lock: clear the victims' typed slots.
+    /// Returns the number of victims.
+    fn run_evictions(&self, victims: Vec<(usize, Weak<dyn EvictableSlot>)>) -> usize {
+        let n = victims.len();
+        for (part, owner) in victims {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(owner) = owner.upgrade() {
+                owner.evict(part);
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[derive(Default)]
+    struct CountingSlot {
+        evicted: AtomicUsize,
+    }
+
+    impl EvictableSlot for CountingSlot {
+        fn evict(&self, _part: usize) {
+            self.evicted.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn slot() -> (Arc<CountingSlot>, Arc<dyn EvictableSlot>) {
+        let s = Arc::new(CountingSlot::default());
+        let erased: Arc<dyn EvictableSlot> = Arc::clone(&s) as Arc<dyn EvictableSlot>;
+        (s, erased)
+    }
+
+    #[test]
+    fn unlimited_budget_never_evicts() {
+        let cache = StageCache::new();
+        let (counting, erased) = slot();
+        let id = next_owner_id();
+        for part in 0..32 {
+            cache.insert(id, part, 1 << 20, &erased);
+        }
+        assert_eq!(counting.evicted.load(Ordering::SeqCst), 0);
+        let s = cache.stats();
+        assert_eq!(s.entries, 32);
+        assert_eq!(s.bytes, 32 << 20);
+        assert_eq!(s.misses, 32);
+    }
+
+    #[test]
+    fn over_budget_evicts_lru_first() {
+        let cache = StageCache::new();
+        cache.set_budget(250);
+        let (counting, erased) = slot();
+        let id = next_owner_id();
+        cache.insert(id, 0, 100, &erased);
+        cache.insert(id, 1, 100, &erased);
+        cache.record_hit(id, 0); // partition 0 is now most recent
+        cache.insert(id, 2, 100, &erased); // must evict partition 1
+        assert_eq!(counting.evicted.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 200);
+        assert_eq!(s.evictions, 1);
+        // Partition 0 survived: a hit on it does not touch the counter.
+        cache.record_hit(id, 0);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn oversized_entry_is_self_evicted() {
+        let cache = StageCache::new();
+        cache.set_budget(50);
+        let (counting, erased) = slot();
+        cache.insert(next_owner_id(), 0, 1000, &erased);
+        assert_eq!(counting.evicted.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn release_owner_frees_bytes_and_clears_slots() {
+        let cache = StageCache::new();
+        let (counting, erased) = slot();
+        let id = next_owner_id();
+        cache.insert(id, 0, 10, &erased);
+        cache.insert(id, 1, 20, &erased);
+        let (other_counting, other) = slot();
+        let other_id = next_owner_id();
+        cache.insert(other_id, 0, 5, &other);
+        assert_eq!(cache.release_owner(id), 30);
+        assert_eq!(counting.evicted.load(Ordering::SeqCst), 2);
+        assert_eq!(other_counting.evicted.load(Ordering::SeqCst), 0);
+        let s = cache.stats();
+        assert_eq!(s.bytes, 5);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_immediately() {
+        let cache = StageCache::new();
+        let (counting, erased) = slot();
+        let id = next_owner_id();
+        for part in 0..4 {
+            cache.insert(id, part, 100, &erased);
+        }
+        cache.set_budget(150);
+        assert_eq!(counting.evicted.load(Ordering::SeqCst), 3);
+        assert!(cache.stats().bytes <= 150);
+    }
+
+    #[test]
+    fn reinserting_same_key_replaces_accounting() {
+        let cache = StageCache::new();
+        let (_counting, erased) = slot();
+        let id = next_owner_id();
+        cache.insert(id, 0, 100, &erased);
+        cache.insert(id, 0, 40, &erased);
+        let s = cache.stats();
+        assert_eq!(s.bytes, 40);
+        assert_eq!(s.entries, 1);
+    }
+}

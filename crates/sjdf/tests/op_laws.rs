@@ -211,6 +211,7 @@ proptest! {
                     tasks: 8,
                 },
             }],
+            ..Default::default()
         };
         let p = CostParams::paper();
         let c1 = ClusterSpec::new(1, 32).unwrap();

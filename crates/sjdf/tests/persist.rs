@@ -1,0 +1,214 @@
+//! Integration tests for `Rdd::persist` / `Rdd::unpersist`: exactly-once
+//! partition computation, byte accounting and LRU eviction in the
+//! context's [`StageCache`], and shuffle-output reuse across repeated
+//! lineage evaluations.
+
+use sjdf::{ClusterSpec, ExecCtx, Rdd};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn ctx() -> ExecCtx {
+    ExecCtx::new(ClusterSpec::new(1, 4).unwrap())
+}
+
+/// A generated source that counts how many times any partition closure
+/// actually ran.
+fn counted_source(c: &ExecCtx, parts: usize, per_part: u64) -> (Rdd<u64>, Arc<AtomicUsize>) {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let probe = Arc::clone(&runs);
+    let rdd = Rdd::generate(c, parts, move |i| {
+        probe.fetch_add(1, Ordering::SeqCst);
+        let base = i as u64 * per_part;
+        (base..base + per_part).collect()
+    });
+    (rdd, runs)
+}
+
+#[test]
+fn persist_computes_each_partition_exactly_once() {
+    let c = ctx();
+    let (source, runs) = counted_source(&c, 6, 10);
+    let expected: Vec<u64> = (0..60).collect();
+
+    let persisted = source.persist();
+    assert_eq!(persisted.collect().unwrap(), expected);
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        6,
+        "cold run computes every partition"
+    );
+    assert_eq!(persisted.collect().unwrap(), expected);
+    assert_eq!(persisted.count().unwrap(), 60);
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        6,
+        "warm evaluations must serve every partition from the stage cache"
+    );
+
+    let stats = c.stage_cache().stats();
+    assert_eq!(stats.misses, 6);
+    assert!(stats.hits >= 12, "two warm evaluations over 6 partitions");
+    assert!(
+        stats.bytes > 0,
+        "cached partitions must be accounted in bytes"
+    );
+}
+
+#[test]
+fn without_persist_every_evaluation_recomputes() {
+    let c = ctx();
+    let (source, runs) = counted_source(&c, 4, 5);
+    source.collect().unwrap();
+    source.collect().unwrap();
+    assert_eq!(runs.load(Ordering::SeqCst), 8);
+}
+
+#[test]
+fn eviction_keeps_bytes_under_a_small_budget() {
+    let c = ctx();
+    // Each partition holds 1000 u64s => ~8 KB; budget fits only ~2.
+    c.set_cache_budget(20 * 1024);
+    let (source, runs) = counted_source(&c, 8, 1000);
+    let persisted = source.persist();
+
+    persisted.collect().unwrap();
+    let stats = c.stage_cache().stats();
+    assert!(
+        stats.bytes <= 20 * 1024,
+        "cache bytes {} exceed the configured budget",
+        stats.bytes
+    );
+    assert!(
+        stats.evictions > 0,
+        "a budget smaller than the dataset must evict"
+    );
+    assert!(stats.entries < 8, "not all 8 partitions can stay resident");
+
+    // Evicted partitions are recomputed from lineage, transparently.
+    let expected: Vec<u64> = (0..8000).collect();
+    assert_eq!(persisted.collect().unwrap(), expected);
+    assert!(
+        runs.load(Ordering::SeqCst) > 8,
+        "evicted partitions must be recomputed on the second pass"
+    );
+}
+
+#[test]
+fn unpersist_releases_accounted_bytes() {
+    let c = ctx();
+    let (source, runs) = counted_source(&c, 4, 100);
+    let persisted = source.persist();
+    persisted.collect().unwrap();
+
+    let before = c.stage_cache().stats();
+    assert_eq!(before.entries, 4);
+    assert!(before.bytes > 0);
+
+    let released = persisted.unpersist();
+    assert!(released > 0, "unpersist must report the bytes it freed");
+    let after = c.stage_cache().stats();
+    assert_eq!(after.entries, 0);
+    assert_eq!(after.bytes, 0);
+
+    // The handle stays usable and re-caches from lineage.
+    assert_eq!(persisted.count().unwrap(), 400);
+    assert_eq!(runs.load(Ordering::SeqCst), 8);
+    assert_eq!(c.stage_cache().stats().entries, 4);
+}
+
+#[test]
+fn unpersist_on_never_persisted_rdd_is_a_noop() {
+    let c = ctx();
+    let rdd = Rdd::parallelize(&c, vec![1u64, 2, 3], 2);
+    assert_eq!(rdd.unpersist(), 0);
+}
+
+#[test]
+fn concurrent_collects_share_one_computation() {
+    let c = ctx();
+    let (source, runs) = counted_source(&c, 8, 50);
+    let persisted = Arc::new(source.map(|x| x * 2).persist());
+    let expected: Vec<u64> = (0..400).map(|x| x * 2).collect();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let rdd = Arc::clone(&persisted);
+            let want = expected.clone();
+            std::thread::spawn(move || assert_eq!(rdd.collect().unwrap(), want))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        8,
+        "eight concurrent evaluations must compute each partition once"
+    );
+    let stats = c.stage_cache().stats();
+    assert_eq!(
+        stats.misses, 8,
+        "one miss per partition, however many racers"
+    );
+}
+
+#[test]
+fn cached_re_evaluation_runs_zero_shuffle_tasks() {
+    let c = ctx();
+    let pairs = Rdd::generate(&c, 4, |i| {
+        (0..100u64)
+            .map(|x| (x % 7, x + i as u64))
+            .collect::<Vec<_>>()
+    });
+    let grouped = pairs.reduce_by_key(4, |a, b| a + b).persist();
+
+    let mut cold = grouped.collect().unwrap();
+    let baseline = c.metrics.report();
+    assert!(baseline.wide_ops() > 0, "the cold run must have shuffled");
+
+    let mut warm = grouped.collect().unwrap();
+    let delta = c.metrics.report().delta_since(&baseline);
+    assert_eq!(
+        delta.wide_ops(),
+        0,
+        "a persisted lineage re-evaluation must not reach the shuffle: {delta:?}"
+    );
+    assert!(
+        delta.cache_hits > 0,
+        "warm run must be served by the stage cache"
+    );
+    assert_eq!(delta.cache_misses, 0);
+
+    cold.sort();
+    warm.sort();
+    assert_eq!(cold, warm);
+}
+
+#[test]
+fn shuffle_outputs_are_reused_across_evaluations_even_without_persist() {
+    // The shuffle cell itself registers with the stage cache, so a
+    // lineage evaluated twice shuffles once even when the user never
+    // calls persist().
+    let c = ctx();
+    let pairs = Rdd::generate(&c, 4, |i| {
+        (0..100u64)
+            .map(|x| (x % 5, x + i as u64))
+            .collect::<Vec<_>>()
+    });
+    let grouped = pairs.group_by_key(4);
+
+    grouped.count().unwrap();
+    let baseline = c.metrics.report();
+    let shuffled_cold = baseline.total_shuffle_bytes();
+    assert!(shuffled_cold > 0);
+
+    grouped.count().unwrap();
+    let delta = c.metrics.report().delta_since(&baseline);
+    assert_eq!(
+        delta.total_shuffle_bytes(),
+        0,
+        "second evaluation must reuse the materialized shuffle: {delta:?}"
+    );
+    assert!(delta.cache_hits > 0);
+}

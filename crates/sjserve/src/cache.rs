@@ -29,13 +29,29 @@ impl PlanKey {
     /// Build a key from a *canonicalized* query (aliases resolved) and
     /// the effective engine knobs. Normalization makes domain/value order
     /// irrelevant.
-    pub fn new(canonical_query: &Query, window_secs: f64, step_secs: f64) -> Self {
-        PlanKey {
+    ///
+    /// Returns `None` for knobs no plan can be keyed on — NaN, infinite,
+    /// or negative values — instead of silently collapsing them all to
+    /// key 0 where they would collide with each other and with legitimate
+    /// zero-window queries. Finite values beyond ~5.8e5 years saturate to
+    /// `u64::MAX` microseconds (the `as` cast saturates), which keeps
+    /// them distinct from every practical knob.
+    pub fn new(canonical_query: &Query, window_secs: f64, step_secs: f64) -> Option<Self> {
+        Some(PlanKey {
             query: canonical_query.normalized(),
-            window_us: (window_secs * 1e6) as u64,
-            step_us: (step_secs * 1e6) as u64,
-        }
+            window_us: knob_to_us(window_secs)?,
+            step_us: knob_to_us(step_secs)?,
+        })
     }
+}
+
+/// Microsecond representation of a window/step knob; `None` when the
+/// knob is not a usable duration (non-finite or negative).
+fn knob_to_us(secs: f64) -> Option<u64> {
+    if !secs.is_finite() || secs < 0.0 {
+        return None;
+    }
+    Some((secs * 1e6) as u64)
 }
 
 /// Hit/miss counters for one cache level.
@@ -104,17 +120,17 @@ mod tests {
 
     #[test]
     fn order_insensitive_keys() {
-        let a = PlanKey::new(&q(&["rack", "job"], &["heat", "application"]), 120.0, 60.0);
-        let b = PlanKey::new(&q(&["job", "rack"], &["application", "heat"]), 120.0, 60.0);
+        let a = PlanKey::new(&q(&["rack", "job"], &["heat", "application"]), 120.0, 60.0).unwrap();
+        let b = PlanKey::new(&q(&["job", "rack"], &["application", "heat"]), 120.0, 60.0).unwrap();
         assert_eq!(a, b);
-        let c = PlanKey::new(&q(&["job", "rack"], &["application", "heat"]), 300.0, 60.0);
+        let c = PlanKey::new(&q(&["job", "rack"], &["application", "heat"]), 300.0, 60.0).unwrap();
         assert_ne!(a, c, "different window must be a different key");
     }
 
     #[test]
     fn counts_hits_and_misses() {
         let cache = PlanCacheLayer::new();
-        let key = PlanKey::new(&q(&["rack"], &["heat"]), 120.0, 60.0);
+        let key = PlanKey::new(&q(&["rack"], &["heat"]), 120.0, 60.0).unwrap();
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), Plan::load("sensors"));
         assert!(cache.get(&key).is_some());
@@ -124,9 +140,28 @@ mod tests {
     }
 
     #[test]
+    fn invalid_knobs_are_rejected_not_collapsed_to_zero() {
+        // Regression: NaN, infinities, and negatives used to all cast to
+        // key 0 via `as u64`, colliding with each other and with a real
+        // zero-window query.
+        let query = q(&["rack"], &["heat"]);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-9] {
+            assert!(PlanKey::new(&query, bad, 60.0).is_none(), "window {bad}");
+            assert!(PlanKey::new(&query, 60.0, bad).is_none(), "step {bad}");
+        }
+        // A genuine zero window remains a valid, unique key.
+        let zero = PlanKey::new(&query, 0.0, 0.0).unwrap();
+        let normal = PlanKey::new(&query, 120.0, 60.0).unwrap();
+        assert_ne!(zero, normal);
+        // Huge finite knobs saturate but stay distinct from zero.
+        let huge = PlanKey::new(&query, 1e300, 60.0).unwrap();
+        assert_ne!(huge, PlanKey::new(&query, 0.0, 60.0).unwrap());
+    }
+
+    #[test]
     fn first_insert_wins_races() {
         let cache = PlanCacheLayer::new();
-        let key = PlanKey::new(&q(&["rack"], &["heat"]), 120.0, 60.0);
+        let key = PlanKey::new(&q(&["rack"], &["heat"]), 120.0, 60.0).unwrap();
         let first = cache.insert(key.clone(), Plan::load("a"));
         let second = cache.insert(key, Plan::load("b"));
         assert_eq!(first, second, "racing insert must return the winner");

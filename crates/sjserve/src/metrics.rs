@@ -110,6 +110,17 @@ pub struct StatsReport {
     pub result_cache_hits: u64,
     pub result_cache_misses: u64,
     pub result_cache_evictions: u64,
+    /// Dataflow stage cache (persisted partitions + shuffle outputs).
+    #[serde(default)]
+    pub stage_cache_entries: u64,
+    #[serde(default)]
+    pub stage_cache_bytes: u64,
+    #[serde(default)]
+    pub stage_cache_hits: u64,
+    #[serde(default)]
+    pub stage_cache_misses: u64,
+    #[serde(default)]
+    pub stage_cache_evictions: u64,
     pub per_tenant: Vec<TenantStats>,
 }
 
@@ -148,6 +159,14 @@ impl StatsReport {
             self.result_cache_hits,
             self.result_cache_misses,
             self.result_cache_evictions
+        ));
+        out.push_str(&format!(
+            "stage cache: {} entries ({} bytes), {} hits, {} misses, {} evictions\n",
+            self.stage_cache_entries,
+            self.stage_cache_bytes,
+            self.stage_cache_hits,
+            self.stage_cache_misses,
+            self.stage_cache_evictions
         ));
         for t in &self.per_tenant {
             out.push_str(&format!(
@@ -293,6 +312,11 @@ impl ServiceMetrics {
             result_cache_hits: caches.result_hits,
             result_cache_misses: caches.result_misses,
             result_cache_evictions: caches.result_evictions,
+            stage_cache_entries: caches.stage_entries,
+            stage_cache_bytes: caches.stage_bytes,
+            stage_cache_hits: caches.stage_hits,
+            stage_cache_misses: caches.stage_misses,
+            stage_cache_evictions: caches.stage_evictions,
             per_tenant,
         }
     }
@@ -309,6 +333,11 @@ pub struct CacheCounters {
     pub result_hits: u64,
     pub result_misses: u64,
     pub result_evictions: u64,
+    pub stage_entries: u64,
+    pub stage_bytes: u64,
+    pub stage_hits: u64,
+    pub stage_misses: u64,
+    pub stage_evictions: u64,
 }
 
 #[cfg(test)]

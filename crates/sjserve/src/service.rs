@@ -41,6 +41,10 @@ pub struct ServiceConfig {
     pub scheduler: SchedulerConfig,
     /// Byte budget for the materialized-result cache.
     pub result_cache_bytes: usize,
+    /// Byte budget for the dataflow stage cache (persisted partitions and
+    /// auto-persisted shuffle outputs in the shared [`ExecCtx`]); applied
+    /// to the context at service construction. `u64::MAX` = unlimited.
+    pub stage_cache_bytes: u64,
     /// Rows returned per query when the request has no `limit`.
     pub default_limit: usize,
     /// Engine defaults; per-request `window_secs` / `step_secs` override
@@ -53,6 +57,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             scheduler: SchedulerConfig::default(),
             result_cache_bytes: 64 << 20,
+            stage_cache_bytes: 256 << 20,
             default_limit: 1000,
             engine: EngineConfig::default(),
         }
@@ -83,6 +88,7 @@ impl QueryService {
     /// were wrapped with (its metrics sink is where evaluations report).
     pub fn new(ctx: ExecCtx, catalog: Catalog, config: ServiceConfig) -> Self {
         let scheduler = Scheduler::new(config.scheduler.clone());
+        ctx.set_cache_budget(config.stage_cache_bytes);
         let inner = Arc::new(ServiceInner {
             catalog,
             ctx,
@@ -216,6 +222,7 @@ impl QueryService {
         let inner = &self.inner;
         let plan = inner.plan_cache.stats();
         let result = inner.result_cache.stats();
+        let stage = inner.ctx.stage_cache().stats();
         inner.metrics.queue_depth_changed(inner.scheduler.depth());
         inner.metrics.snapshot(CacheCounters {
             plan_entries: plan.entries,
@@ -226,6 +233,11 @@ impl QueryService {
             result_hits: result.hits,
             result_misses: result.misses,
             result_evictions: result.evictions,
+            stage_entries: stage.entries,
+            stage_bytes: stage.bytes,
+            stage_hits: stage.hits,
+            stage_misses: stage.misses,
+            stage_evictions: stage.evictions,
         })
     }
 
@@ -308,6 +320,20 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
     let step = spec
         .step_secs
         .unwrap_or(inner.config.engine.explode_step_secs);
+    // Admission-time knob validation: NaN/infinite/negative windows can
+    // neither key a plan cache entry nor drive interpolation sensibly.
+    if !window.is_finite() || window < 0.0 || !step.is_finite() || step < 0.0 {
+        return Response::fail(
+            id,
+            ErrorBody::new(
+                codes::BAD_REQUEST,
+                format!(
+                    "window_secs and step_secs must be finite and non-negative \
+                     (got window={window}, step={step})"
+                ),
+            ),
+        );
+    }
     let query = Query {
         domains: spec.domains.clone(),
         values: spec
@@ -323,7 +349,17 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
         Ok(q) => q,
         Err(e) => return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string())),
     };
-    let key = PlanKey::new(&canonical, window, step);
+    let key = match PlanKey::new(&canonical, window, step) {
+        Some(key) => key,
+        // Unreachable after the validation above, but never panic a
+        // worker over a key.
+        None => {
+            return Response::fail(
+                id,
+                ErrorBody::new(codes::BAD_REQUEST, "window/step do not form a plan key"),
+            )
+        }
+    };
 
     // Level 1: memoized derivation search.
     let (plan, plan_cache_hit) = match inner.plan_cache.get(&key) {

@@ -27,6 +27,7 @@ struct Args {
     window_secs: f64,
     step_secs: f64,
     cache_mb: usize,
+    stage_cache_mb: u64,
     limit: usize,
 }
 
@@ -47,6 +48,8 @@ OPTIONS:
   --window SECS     interpolation-join window W (default 120)
   --step SECS       explode-continuous step (default 60)
   --cache-mb MB     result-cache byte budget (default 64)
+  --stage-cache-mb MB
+                    persisted-partition stage-cache budget (default 256)
   --limit N         default rows per response (default 1000)
 
 PROTOCOL:
@@ -66,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         window_secs: 120.0,
         step_secs: 60.0,
         cache_mb: 64,
+        stage_cache_mb: 256,
         limit: 1000,
     };
     let mut it = argv.iter();
@@ -90,6 +94,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--window" => args.window_secs = num("--window", value("--window")?)?,
             "--step" => args.step_secs = num("--step", value("--step")?)?,
             "--cache-mb" => args.cache_mb = num("--cache-mb", value("--cache-mb")?)?,
+            "--stage-cache-mb" => {
+                args.stage_cache_mb = num("--stage-cache-mb", value("--stage-cache-mb")?)?
+            }
             "--limit" => args.limit = num("--limit", value("--limit")?)?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -116,6 +123,7 @@ fn run(args: &Args) -> Result<(), String> {
             default_timeout: Duration::from_millis(args.timeout_ms),
         },
         result_cache_bytes: args.cache_mb << 20,
+        stage_cache_bytes: args.stage_cache_mb << 20,
         default_limit: args.limit,
         engine: EngineConfig {
             interp_window_secs: args.window_secs,
