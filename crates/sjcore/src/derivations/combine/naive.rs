@@ -138,22 +138,29 @@ impl Combination for NaiveInterpolationJoin {
                             continue;
                         };
                         // All-pairs distance computation (the point of
-                        // this baseline: no bins, no pruning).
+                        // this baseline: no bins, no pruning). Residual
+                        // groups stay in first-occurrence order — a
+                        // `HashMap` drain would emit output rows in a
+                        // per-run-random order, which breaks plan
+                        // determinism and byte-identical fault replays.
                         use std::collections::HashMap;
                         type Match = (Row, f64, f64, Vec<Value>);
-                        let mut by_residual: HashMap<Vec<crate::value::KeyAtom>, Vec<Match>> =
-                            HashMap::new();
+                        type ResidualKey = Vec<crate::value::KeyAtom>;
+                        let mut index: HashMap<ResidualKey, usize> = HashMap::new();
+                        let mut by_residual: Vec<(ResidualKey, Vec<Match>)> = Vec::new();
                         for (rpos, rvals) in &rights {
                             let Some(rpos) = rpos else { continue };
                             if (rpos - lpos).abs() <= w {
-                                let residual: Vec<crate::value::KeyAtom> =
+                                let residual: ResidualKey =
                                     residual_domain.iter().map(|&j| rvals[j].key()).collect();
-                                by_residual.entry(residual).or_default().push((
-                                    lrow.clone(),
-                                    lpos,
-                                    *rpos,
-                                    rvals.clone(),
-                                ));
+                                let m = (lrow.clone(), lpos, *rpos, rvals.clone());
+                                match index.get(&residual) {
+                                    Some(&i) => by_residual[i].1.push(m),
+                                    None => {
+                                        index.insert(residual.clone(), by_residual.len());
+                                        by_residual.push((residual, vec![m]));
+                                    }
+                                }
                             }
                         }
                         for (_, mut ms) in by_residual {

@@ -1,0 +1,173 @@
+//! Planner determinism: `engine::search` must return the same plan for
+//! the same catalog every time — across repeated solves, fresh engines,
+//! and dataset registration orders.
+//!
+//! This is load-bearing for the whole service stack: the plan
+//! fingerprint keys the result cache, and the chaos suite's
+//! byte-identical-replay guarantee assumes a fault-free run and a
+//! faulted run of the *same query* execute the *same plan*. Rust's
+//! `HashMap` seeds its iteration order per instance, so any map-order
+//! leak shows up here as a flaky fingerprint.
+
+use sjcore::catalog::Catalog;
+use sjcore::engine::{Query, QueryEngine, QueryValue};
+use sjcore::row::Row;
+use sjcore::schema::{FieldDef, Schema};
+use sjcore::semantics::FieldSemantics;
+use sjcore::units::time::{TimeSpan, Timestamp};
+use sjcore::value::Value;
+use sjcore::SjDataset;
+use sjdf::ExecCtx;
+
+/// The three DAT-1 style tables, returned as (name, dataset) pairs so
+/// callers can register them in any order.
+fn tables(ctx: &ExecCtx) -> Vec<(&'static str, SjDataset)> {
+    let joblog_schema = Schema::new(vec![
+        FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+        FieldDef::new("job_name", FieldSemantics::value("application", "app-name")),
+        FieldDef::new(
+            "nodelist",
+            FieldSemantics::domain("compute-node", "node-list"),
+        ),
+        FieldDef::new("elapsed", FieldSemantics::value("time", "t-seconds")),
+        FieldDef::new("timespan", FieldSemantics::domain("time", "timespan")),
+    ])
+    .unwrap();
+    let joblog_rows = vec![Row::new(vec![
+        Value::str("1001"),
+        Value::str("AMG"),
+        Value::list([Value::str("cab1"), Value::str("cab2")]),
+        Value::Float(240.0),
+        Value::Span(TimeSpan::new(
+            Timestamp::from_secs(0),
+            Timestamp::from_secs(240),
+        )),
+    ])];
+    let joblog = SjDataset::from_rows(ctx, joblog_rows, joblog_schema, "job_queue_log", 1);
+
+    let layout_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])
+    .unwrap();
+    let layout_rows = vec![
+        Row::new(vec![Value::str("cab1"), Value::str("rack17")]),
+        Row::new(vec![Value::str("cab2"), Value::str("rack17")]),
+    ];
+    let layout = SjDataset::from_rows(ctx, layout_rows, layout_schema, "node_layout", 1);
+
+    let temps_schema = Schema::new(vec![
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        FieldDef::new(
+            "location",
+            FieldSemantics::domain("rack-location", "location-name"),
+        ),
+        FieldDef::new("aisle", FieldSemantics::domain("aisle", "aisle-name")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap();
+    let mut temps_rows = Vec::new();
+    for t in [0i64, 120, 240] {
+        for (aisle, base) in [("hot", 35.0), ("cold", 18.0)] {
+            temps_rows.push(Row::new(vec![
+                Value::str("rack17"),
+                Value::str("top"),
+                Value::str(aisle),
+                Value::Time(Timestamp::from_secs(t)),
+                Value::Float(base + t as f64 / 100.0),
+            ]));
+        }
+    }
+    let temps = SjDataset::from_rows(ctx, temps_rows, temps_schema, "rack_temps", 1);
+
+    vec![
+        ("job_queue_log", joblog),
+        ("node_layout", layout),
+        ("rack_temps", temps),
+    ]
+}
+
+fn catalog_in_order(ctx: &ExecCtx, order: &[usize]) -> Catalog {
+    let mut c = Catalog::default_hpc();
+    let tables = tables(ctx);
+    for &i in order {
+        let (name, ds) = &tables[i];
+        c.register_dataset(name, ds.clone()).unwrap();
+    }
+    c
+}
+
+fn rack_heat_query() -> Query {
+    Query::new(
+        ["job", "rack"],
+        vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+    )
+}
+
+/// One solve's identity: the canonical JSON tree plus the fingerprint
+/// that keys the result cache.
+fn solve_identity(catalog: &Catalog) -> (String, u64, String) {
+    let plan = QueryEngine::new(catalog).solve(&rack_heat_query()).unwrap();
+    (plan.to_json(), plan.fingerprint(), plan.describe())
+}
+
+/// Repeated solves over one catalog — and over freshly rebuilt catalogs,
+/// whose internal maps get fresh random iteration seeds — agree exactly.
+#[test]
+fn repeated_solves_agree_byte_for_byte() {
+    let ctx = ExecCtx::local();
+    let catalog = catalog_in_order(&ctx, &[0, 1, 2]);
+    let first = solve_identity(&catalog);
+    for round in 0..10 {
+        assert_eq!(
+            solve_identity(&catalog),
+            first,
+            "solve {round} over one catalog diverged"
+        );
+        let rebuilt = catalog_in_order(&ctx, &[0, 1, 2]);
+        assert_eq!(
+            solve_identity(&rebuilt),
+            first,
+            "solve over rebuilt catalog {round} diverged"
+        );
+    }
+}
+
+/// Every registration order of the catalog's datasets produces the same
+/// plan, fingerprint, and description.
+#[test]
+fn registration_order_does_not_change_the_plan() {
+    let ctx = ExecCtx::local();
+    let reference = solve_identity(&catalog_in_order(&ctx, &[0, 1, 2]));
+    for order in [[0usize, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+        let got = solve_identity(&catalog_in_order(&ctx, &order));
+        assert_eq!(
+            got, reference,
+            "registration order {order:?} changed the plan"
+        );
+    }
+}
+
+/// The executed rows are identical across registration orders too — the
+/// property the chaos suite's byte-identical replays stand on.
+#[test]
+fn executed_rows_agree_across_registration_orders() {
+    let ctx = ExecCtx::local();
+    let run = |order: &[usize]| -> Vec<String> {
+        let catalog = catalog_in_order(&ctx, order);
+        let plan = QueryEngine::new(&catalog)
+            .solve(&rack_heat_query())
+            .unwrap();
+        let ds = plan.execute(&catalog, None).unwrap();
+        ds.collect()
+            .unwrap()
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect()
+    };
+    let reference = run(&[0, 1, 2]);
+    assert!(!reference.is_empty());
+    assert_eq!(run(&[2, 1, 0]), reference);
+    assert_eq!(run(&[1, 2, 0]), reference);
+}

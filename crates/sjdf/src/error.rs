@@ -10,6 +10,18 @@ pub enum SjdfError {
     EmptyDataset(&'static str),
     /// A worker task panicked; the payload message is preserved.
     TaskPanic(String),
+    /// A task failed on every attempt its retry budget allowed. The
+    /// Display form always contains the phrase `exhausted retry budget`,
+    /// which downstream crates (receiving this flattened to a string)
+    /// rely on to classify the failure — keep it stable.
+    ExhaustedRetries {
+        /// Partition index whose task could not be completed.
+        partition: usize,
+        /// Number of attempts made (the full budget).
+        attempts: u32,
+        /// Panic message of the last failed attempt.
+        last_error: String,
+    },
     /// An invalid configuration value (e.g. a cluster with zero nodes).
     InvalidConfig(String),
 }
@@ -21,6 +33,15 @@ impl fmt::Display for SjdfError {
                 write!(f, "operation `{what}` requires a non-empty dataset")
             }
             SjdfError::TaskPanic(msg) => write!(f, "worker task panicked: {msg}"),
+            SjdfError::ExhaustedRetries {
+                partition,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "task for partition {partition} exhausted retry budget \
+                 after {attempts} attempts; last error: {last_error}"
+            ),
             SjdfError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -43,6 +64,21 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = SjdfError::InvalidConfig("nodes=0".into());
         assert!(e.to_string().contains("nodes=0"));
+    }
+
+    #[test]
+    fn exhausted_retries_display_keeps_its_stable_marker() {
+        let e = SjdfError::ExhaustedRetries {
+            partition: 3,
+            attempts: 4,
+            last_error: "injected fault: task failure".into(),
+        };
+        let s = e.to_string();
+        // Downstream crates detect this failure class by substring after
+        // the error has been flattened to a string; the phrase is API.
+        assert!(s.contains("exhausted retry budget"), "{s}");
+        assert!(s.contains("partition 3"), "{s}");
+        assert!(s.contains("injected fault"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Deterministic fault injection for chaos testing the executor.
+//!
+//! A [`FaultPlan`] is a pure function from an injection site — a task
+//! attempt for a partition, or a shuffle-fetch for a partition — to a
+//! [`Fault`] decision, derived from a seed by splitmix64 hashing. The
+//! same seed always produces the same fault schedule on every platform,
+//! so a chaotic run can be replayed exactly from nothing but its seed.
+//!
+//! Crucially, decisions are *per attempt*: retrying a failed task rolls
+//! the dice again with a fresh attempt number, so a plan with failure
+//! probability `p` and retry budget `k` fails a partition permanently
+//! with probability ~`p^k`. Poisoned partitions are the exception — they
+//! fail every attempt, which is how tests exercise the
+//! [`ExhaustedRetries`](crate::SjdfError::ExhaustedRetries) path.
+//!
+//! Plans are threaded through [`ExecCtx`](crate::ExecCtx) via
+//! [`ExecCtx::with_faults`](crate::ExecCtx::with_faults); production
+//! contexts carry no plan and pay only an `Option` check per task.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Prefix of every panic message raised by injected faults, so tests and
+/// logs can tell injected failures from genuine bugs.
+pub const INJECTED: &str = "injected fault:";
+
+/// Where in the executor a fault decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Running one task attempt for a partition.
+    Task,
+    /// Fetching a materialized shuffle bucket for an output partition.
+    ShuffleFetch,
+}
+
+/// What the plan wants to happen at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the attempt (the executor sees a task panic).
+    Fail,
+    /// Delay the attempt by the given duration before running it — the
+    /// straggler injection used to exercise speculative execution.
+    Delay(Duration),
+}
+
+/// A seeded, deterministic schedule of faults.
+///
+/// ```
+/// use sjdf::faults::{FaultPlan, FaultSite};
+///
+/// let plan = FaultPlan::seeded(42).with_task_fail_rate(0.2);
+/// // Decisions are pure: same site, same answer, forever.
+/// assert_eq!(
+///     plan.decide(FaultSite::Task, 3, 0),
+///     plan.decide(FaultSite::Task, 3, 0),
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    task_fail_rate: f64,
+    shuffle_fail_rate: f64,
+    delay_rate: f64,
+    delay: Duration,
+    poisoned: BTreeSet<usize>,
+    killed_attempts: BTreeSet<(usize, u32)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) for the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed this plan derives its schedule from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fail each task attempt independently with probability `p`.
+    pub fn with_task_fail_rate(mut self, p: f64) -> Self {
+        self.task_fail_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fail each shuffle-bucket fetch independently with probability `p`.
+    pub fn with_shuffle_fail_rate(mut self, p: f64) -> Self {
+        self.shuffle_fail_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delay each task attempt by `delay` with probability `rate` —
+    /// injected stragglers for speculative-execution tests.
+    pub fn with_delays(mut self, rate: f64, delay: Duration) -> Self {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay = delay;
+        self
+    }
+
+    /// Fail *every* attempt of tasks for this partition index. Note that
+    /// nested stages (e.g. a shuffle's map wave) share partition indices
+    /// with the outer wave, so a poisoned index poisons it at every
+    /// stage it appears in.
+    pub fn poison_partition(mut self, part: usize) -> Self {
+        self.poisoned.insert(part);
+        self
+    }
+
+    /// Fail exactly one specific `(partition, attempt)` pair — surgical
+    /// injection for retry-path tests.
+    pub fn kill_attempt(mut self, part: usize, attempt: u32) -> Self {
+        self.killed_attempts.insert((part, attempt));
+        self
+    }
+
+    /// True if the plan can never produce a fault.
+    pub fn is_inert(&self) -> bool {
+        self.task_fail_rate == 0.0
+            && self.shuffle_fail_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.poisoned.is_empty()
+            && self.killed_attempts.is_empty()
+    }
+
+    /// Decide the fate of one attempt at one site. Pure: depends only on
+    /// the plan and the `(site, part, attempt)` coordinates.
+    pub fn decide(&self, site: FaultSite, part: usize, attempt: u32) -> Option<Fault> {
+        self.decide_at(site, 0, part, attempt)
+    }
+
+    /// Like [`FaultPlan::decide`], but with an extra `stream`
+    /// discriminator mixed into the draw. Distinct streams (e.g. the
+    /// hash of the operator name, via [`stream_of`]) get independent
+    /// fault schedules — without it every shuffle stage of a job would
+    /// share one coarse per-partition schedule.
+    pub fn decide_at(
+        &self,
+        site: FaultSite,
+        stream: u64,
+        part: usize,
+        attempt: u32,
+    ) -> Option<Fault> {
+        let salt = stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        match site {
+            FaultSite::Task => {
+                if self.poisoned.contains(&part) || self.killed_attempts.contains(&(part, attempt))
+                {
+                    return Some(Fault::Fail);
+                }
+                if self.roll(salt, part, attempt) < self.task_fail_rate {
+                    return Some(Fault::Fail);
+                }
+                if self.roll(salt.wrapping_add(1), part, attempt) < self.delay_rate {
+                    return Some(Fault::Delay(self.delay));
+                }
+                None
+            }
+            FaultSite::ShuffleFetch => {
+                if self.roll(salt.wrapping_add(2), part, attempt) < self.shuffle_fail_rate {
+                    Some(Fault::Fail)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// A uniform draw in `[0, 1)` for the given coordinates — splitmix64
+    /// finalization over the mixed seed, platform-independent.
+    fn roll(&self, salt: u64, part: usize, attempt: u32) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((part as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Top 53 bits → an exactly representable f64 in [0, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of an operator name, used as the `stream` discriminator
+/// for [`FaultPlan::decide_at`]. Stable across platforms and runs.
+pub fn stream_of(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::seeded(7).with_task_fail_rate(0.3);
+        let b = FaultPlan::seeded(7).with_task_fail_rate(0.3);
+        for part in 0..50 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    a.decide(FaultSite::Task, part, attempt),
+                    b.decide(FaultSite::Task, part, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::seeded(1).with_task_fail_rate(0.5);
+        let b = FaultPlan::seeded(2).with_task_fail_rate(0.5);
+        let schedule = |p: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|i| p.decide(FaultSite::Task, i, 0).is_some())
+                .collect()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+    }
+
+    #[test]
+    fn fail_rate_is_roughly_honored() {
+        let plan = FaultPlan::seeded(99).with_task_fail_rate(0.2);
+        let fails = (0..10_000)
+            .filter(|&i| plan.decide(FaultSite::Task, i, 0) == Some(Fault::Fail))
+            .count();
+        // 20% ± generous tolerance over 10k draws.
+        assert!((1500..2500).contains(&fails), "observed {fails}");
+    }
+
+    #[test]
+    fn attempts_reroll_independently() {
+        // With p=0.5, some partition must fail attempt 0 and pass attempt 1.
+        let plan = FaultPlan::seeded(3).with_task_fail_rate(0.5);
+        let recovered = (0..100).any(|i| {
+            plan.decide(FaultSite::Task, i, 0) == Some(Fault::Fail)
+                && plan.decide(FaultSite::Task, i, 1).is_none()
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn poisoned_partitions_always_fail() {
+        let plan = FaultPlan::seeded(0).poison_partition(5);
+        for attempt in 0..10 {
+            assert_eq!(plan.decide(FaultSite::Task, 5, attempt), Some(Fault::Fail));
+        }
+        assert_eq!(plan.decide(FaultSite::Task, 4, 0), None);
+    }
+
+    #[test]
+    fn killed_attempt_hits_exactly_once() {
+        let plan = FaultPlan::seeded(0).kill_attempt(2, 0);
+        assert_eq!(plan.decide(FaultSite::Task, 2, 0), Some(Fault::Fail));
+        assert_eq!(plan.decide(FaultSite::Task, 2, 1), None);
+        assert_eq!(plan.decide(FaultSite::Task, 3, 0), None);
+    }
+
+    #[test]
+    fn sites_roll_independently() {
+        let plan = FaultPlan::seeded(11)
+            .with_task_fail_rate(1.0)
+            .with_shuffle_fail_rate(0.0);
+        assert_eq!(plan.decide(FaultSite::Task, 0, 0), Some(Fault::Fail));
+        assert_eq!(plan.decide(FaultSite::ShuffleFetch, 0, 0), None);
+    }
+
+    #[test]
+    fn inert_plan_decides_nothing() {
+        let plan = FaultPlan::seeded(123);
+        assert!(plan.is_inert());
+        for i in 0..100 {
+            assert_eq!(plan.decide(FaultSite::Task, i, 0), None);
+            assert_eq!(plan.decide(FaultSite::ShuffleFetch, i, 0), None);
+        }
+    }
+}

@@ -30,6 +30,7 @@ pub mod bytesize;
 pub mod cluster;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod metrics;
 pub mod ops;
 pub mod pool;
@@ -40,8 +41,9 @@ pub mod stagecache;
 pub use bytesize::ByteSize;
 pub use cluster::ClusterSpec;
 pub use error::{Result, SjdfError};
-pub use exec::ExecCtx;
-pub use metrics::{MetricsCollector, MetricsReport, OpKind};
+pub use exec::{ExecCtx, RetryPolicy, SpeculationPolicy};
+pub use faults::{Fault, FaultPlan, FaultSite};
+pub use metrics::{FailureReport, MetricsCollector, MetricsReport, OpKind};
 pub use pool::WorkerPool;
 pub use rdd::{Data, Rdd};
 pub use simtime::{estimate, CostParams, SimTime};

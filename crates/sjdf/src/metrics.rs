@@ -49,6 +49,65 @@ impl OpMetrics {
     }
 }
 
+/// Failure and recovery activity observed during an evaluation: injected
+/// faults, retries, exhausted budgets, and speculative execution. All
+/// zeros on a healthy run with no fault plan installed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Task attempts failed by an injected [`FaultPlan`](crate::faults::FaultPlan).
+    #[serde(default)]
+    pub injected_task_faults: u64,
+    /// Shuffle-bucket fetches failed by an injected fault plan.
+    #[serde(default)]
+    pub injected_shuffle_faults: u64,
+    /// Task attempts delayed (straggler injection) by a fault plan.
+    #[serde(default)]
+    pub injected_delays: u64,
+    /// Task attempts that failed, injected or genuine.
+    #[serde(default)]
+    pub task_failures: u64,
+    /// Failed attempts that were retried (budget permitting).
+    #[serde(default)]
+    pub task_retries: u64,
+    /// Tasks whose entire retry budget was consumed without success.
+    #[serde(default)]
+    pub tasks_exhausted: u64,
+    /// Speculative attempts launched against suspected stragglers.
+    #[serde(default)]
+    pub speculative_launched: u64,
+    /// Speculative attempts that settled their partition first.
+    #[serde(default)]
+    pub speculative_wins: u64,
+    /// Total wall-clock spent sleeping in retry backoff.
+    #[serde(default)]
+    pub backoff_secs: f64,
+}
+
+impl FailureReport {
+    /// True when no failure or recovery activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == FailureReport::default()
+    }
+
+    fn delta_since(&self, baseline: &FailureReport) -> FailureReport {
+        let diff = |a: u64, b: u64| a.saturating_sub(b);
+        FailureReport {
+            injected_task_faults: diff(self.injected_task_faults, baseline.injected_task_faults),
+            injected_shuffle_faults: diff(
+                self.injected_shuffle_faults,
+                baseline.injected_shuffle_faults,
+            ),
+            injected_delays: diff(self.injected_delays, baseline.injected_delays),
+            task_failures: diff(self.task_failures, baseline.task_failures),
+            task_retries: diff(self.task_retries, baseline.task_retries),
+            tasks_exhausted: diff(self.tasks_exhausted, baseline.tasks_exhausted),
+            speculative_launched: diff(self.speculative_launched, baseline.speculative_launched),
+            speculative_wins: diff(self.speculative_wins, baseline.speculative_wins),
+            backoff_secs: (self.backoff_secs - baseline.backoff_secs).max(0.0),
+        }
+    }
+}
+
 /// One entry of a [`MetricsReport`]: an op name, its kind, and totals.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpEntry {
@@ -76,6 +135,10 @@ pub struct MetricsReport {
     /// collector's evaluations.
     #[serde(default)]
     pub cache_evictions: u64,
+    /// Failure and recovery activity (injected faults, retries,
+    /// speculation) during this collector's evaluations.
+    #[serde(default)]
+    pub failures: FailureReport,
 }
 
 impl MetricsReport {
@@ -140,6 +203,7 @@ impl MetricsReport {
             cache_hits: diff(self.cache_hits, baseline.cache_hits),
             cache_misses: diff(self.cache_misses, baseline.cache_misses),
             cache_evictions: diff(self.cache_evictions, baseline.cache_evictions),
+            failures: self.failures.delta_since(&baseline.failures),
         }
     }
 }
@@ -151,6 +215,15 @@ pub struct MetricsCollector {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    injected_task_faults: AtomicU64,
+    injected_shuffle_faults: AtomicU64,
+    injected_delays: AtomicU64,
+    task_failures: AtomicU64,
+    task_retries: AtomicU64,
+    tasks_exhausted: AtomicU64,
+    speculative_launched: AtomicU64,
+    speculative_wins: AtomicU64,
+    backoff_us: AtomicU64,
 }
 
 impl MetricsCollector {
@@ -180,6 +253,63 @@ impl MetricsCollector {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one task attempt failed by an injected fault plan.
+    pub fn record_injected_task_fault(&self) {
+        self.injected_task_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one shuffle fetch failed by an injected fault plan.
+    pub fn record_injected_shuffle_fault(&self) {
+        self.injected_shuffle_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one task attempt delayed by an injected fault plan.
+    pub fn record_injected_delay(&self) {
+        self.injected_delays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failed task attempt (injected or genuine).
+    pub fn record_task_failure(&self) {
+        self.task_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retried attempt and the backoff slept before it.
+    pub fn record_task_retry(&self, backoff: std::time::Duration) {
+        self.task_retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_us
+            .fetch_add(backoff.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one task that consumed its whole retry budget.
+    pub fn record_task_exhausted(&self) {
+        self.tasks_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one speculative attempt launched against a straggler.
+    pub fn record_speculative_launch(&self) {
+        self.speculative_launched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one speculative attempt that settled its partition first.
+    pub fn record_speculative_win(&self) {
+        self.speculative_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot only the failure/recovery counters.
+    pub fn failure_report(&self) -> FailureReport {
+        FailureReport {
+            injected_task_faults: self.injected_task_faults.load(Ordering::Relaxed),
+            injected_shuffle_faults: self.injected_shuffle_faults.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+            task_failures: self.task_failures.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            tasks_exhausted: self.tasks_exhausted.load(Ordering::Relaxed),
+            speculative_launched: self.speculative_launched.load(Ordering::Relaxed),
+            speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
+            backoff_secs: self.backoff_us.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+
     /// Snapshot the collected metrics into an immutable report.
     pub fn report(&self) -> MetricsReport {
         let inner = self.inner.lock();
@@ -195,6 +325,7 @@ impl MetricsCollector {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            failures: self.failure_report(),
         }
     }
 
@@ -204,6 +335,15 @@ impl MetricsCollector {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.injected_task_faults.store(0, Ordering::Relaxed);
+        self.injected_shuffle_faults.store(0, Ordering::Relaxed);
+        self.injected_delays.store(0, Ordering::Relaxed);
+        self.task_failures.store(0, Ordering::Relaxed);
+        self.task_retries.store(0, Ordering::Relaxed);
+        self.tasks_exhausted.store(0, Ordering::Relaxed);
+        self.speculative_launched.store(0, Ordering::Relaxed);
+        self.speculative_wins.store(0, Ordering::Relaxed);
+        self.backoff_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -290,6 +430,29 @@ mod tests {
         assert_eq!(delta.cache_evictions, 0);
         c.reset();
         assert_eq!(c.report().cache_hits, 0);
+    }
+
+    #[test]
+    fn failure_counters_roundtrip_and_delta() {
+        let c = MetricsCollector::new();
+        c.record_injected_task_fault();
+        c.record_task_failure();
+        c.record_task_retry(std::time::Duration::from_millis(2));
+        let base = c.report();
+        assert_eq!(base.failures.injected_task_faults, 1);
+        assert_eq!(base.failures.task_retries, 1);
+        assert!(base.failures.backoff_secs > 0.0);
+        assert!(!base.failures.is_empty());
+        c.record_task_exhausted();
+        c.record_speculative_launch();
+        c.record_speculative_win();
+        let delta = c.report().delta_since(&base);
+        assert_eq!(delta.failures.tasks_exhausted, 1);
+        assert_eq!(delta.failures.speculative_launched, 1);
+        assert_eq!(delta.failures.speculative_wins, 1);
+        assert_eq!(delta.failures.injected_task_faults, 0);
+        c.reset();
+        assert!(c.report().failures.is_empty());
     }
 
     #[test]

@@ -123,12 +123,24 @@ where
     {
         use std::collections::HashMap;
         let pre = self.map_partitions_named("aggregate_by_key_fold", move |rows| {
-            let mut acc: HashMap<K, A> = HashMap::new();
+            // First-occurrence key order, not HashMap drain order, so the
+            // partials are a pure function of the input sequence (see
+            // `ops::group_in_order`).
+            let mut index: HashMap<K, usize> = HashMap::new();
+            let mut acc: Vec<(K, A)> = Vec::new();
             for (k, v) in rows {
-                let a = acc.remove(&k).unwrap_or_else(|| zero.clone());
-                acc.insert(k, fold(a, v));
+                match index.get(&k) {
+                    Some(&i) => {
+                        let slot = &mut acc[i].1;
+                        *slot = fold(std::mem::replace(slot, zero.clone()), v);
+                    }
+                    None => {
+                        index.insert(k.clone(), acc.len());
+                        acc.push((k, fold(zero.clone(), v)));
+                    }
+                }
             }
-            acc.into_iter().collect()
+            acc
         });
         pre.reduce_by_key(out_parts, merge)
     }

@@ -14,6 +14,37 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
+/// Pair each key's left and right values, keeping keys in first-seen
+/// order (left bucket first) so re-materialization after a fault or
+/// eviction reproduces the bucket exactly — `HashMap` drain order would
+/// differ per instance.
+fn cogroup_in_order<K, V, W>(lbucket: Vec<(K, V)>, rbucket: Vec<(K, W)>) -> Vec<CoGrouped<K, V, W>>
+where
+    K: Hash + Eq + Clone,
+{
+    let mut index: HashMap<K, usize> = HashMap::new();
+    let mut out: Vec<CoGrouped<K, V, W>> = Vec::new();
+    for (k, v) in lbucket {
+        match index.get(&k) {
+            Some(&i) => out[i].1 .0.push(v),
+            None => {
+                index.insert(k.clone(), out.len());
+                out.push((k, (vec![v], Vec::new())));
+            }
+        }
+    }
+    for (k, w) in rbucket {
+        match index.get(&k) {
+            Some(&i) => out[i].1 .1.push(w),
+            None => {
+                index.insert(k.clone(), out.len());
+                out.push((k, (Vec::new(), vec![w])));
+            }
+        }
+    }
+    out
+}
+
 /// A cogrouped record: all left and right values for one key.
 pub type CoGrouped<K, V, W> = (K, (Vec<V>, Vec<W>));
 
@@ -88,18 +119,10 @@ where
             );
             left.into_iter()
                 .zip(right)
-                .map(|(lbucket, rbucket)| {
-                    let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
-                    for (k, v) in lbucket {
-                        groups.entry(k).or_default().0.push(v);
-                    }
-                    for (k, w) in rbucket {
-                        groups.entry(k).or_default().1.push(w);
-                    }
-                    groups.into_iter().collect()
-                })
+                .map(|(lbucket, rbucket)| cogroup_in_order(lbucket, rbucket))
                 .collect()
         });
+        ctx.check_shuffle_fetch("cogroup", idx);
         buckets[idx].as_ref().clone()
     }
     fn name(&self) -> &'static str {

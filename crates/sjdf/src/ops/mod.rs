@@ -14,6 +14,7 @@ mod sort;
 
 pub use join::CoGrouped;
 
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Deterministic 64-bit hash (fixed-key SipHash via `DefaultHasher::new`),
@@ -28,6 +29,76 @@ pub fn hash64<K: Hash + ?Sized>(key: &K) -> u64 {
 #[inline]
 pub fn bucket_of<K: Hash + ?Sized>(key: &K, parts: usize) -> usize {
     (hash64(key) % parts as u64) as usize
+}
+
+/// Group pairs by key, keeping keys in first-occurrence order.
+///
+/// `HashMap::into_iter()` order is per-instance random (the std hasher is
+/// seeded), so building shuffle output by draining a map makes the row
+/// order differ every time a stage is (re)materialized — which breaks
+/// byte-identical replay after a fault-triggered recompute. Grouping via
+/// an index into an insertion-ordered vector keeps the output a pure
+/// function of the input sequence.
+pub(crate) fn group_in_order<K, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)>
+where
+    K: Hash + Eq + Clone,
+{
+    let mut index: HashMap<K, usize> = HashMap::with_capacity(pairs.len().min(64));
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match index.get(&k) {
+            Some(&i) => out[i].1.push(v),
+            None => {
+                index.insert(k.clone(), out.len());
+                out.push((k, vec![v]));
+            }
+        }
+    }
+    out
+}
+
+/// Reduce pairs by key with `f`, keeping keys in first-occurrence order —
+/// the combining analogue of [`group_in_order`], for the same
+/// determinism reason.
+pub(crate) struct OrderedReduce<K, V> {
+    index: HashMap<K, usize>,
+    // `Option` is a placeholder so merged values can be taken by value;
+    // every slot is `Some` outside `push`.
+    items: Vec<(K, Option<V>)>,
+}
+
+impl<K: Hash + Eq + Clone, V> OrderedReduce<K, V> {
+    pub(crate) fn new() -> Self {
+        OrderedReduce {
+            index: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, k: K, v: V, f: impl Fn(V, V) -> V) {
+        match self.index.get(&k) {
+            Some(&i) => {
+                let slot = &mut self.items[i].1;
+                let prev = slot.take().expect("slot holds a value");
+                *slot = Some(f(prev, v));
+            }
+            None => {
+                self.index.insert(k.clone(), self.items.len());
+                self.items.push((k, Some(v)));
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub(crate) fn into_pairs(self) -> Vec<(K, V)> {
+        self.items
+            .into_iter()
+            .map(|(k, v)| (k, v.expect("slot holds a value")))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -45,6 +116,26 @@ mod tests {
         for k in 0u64..1000 {
             assert!(bucket_of(&k, 7) < 7);
         }
+    }
+
+    #[test]
+    fn group_in_order_is_first_occurrence_ordered() {
+        let pairs = vec![(3, 'a'), (1, 'b'), (3, 'c'), (2, 'd'), (1, 'e')];
+        let grouped = group_in_order(pairs);
+        assert_eq!(
+            grouped,
+            vec![(3, vec!['a', 'c']), (1, vec!['b', 'e']), (2, vec!['d'])]
+        );
+    }
+
+    #[test]
+    fn ordered_reduce_combines_in_first_occurrence_order() {
+        let mut r = OrderedReduce::new();
+        for (k, v) in [("b", 1u64), ("a", 2), ("b", 3), ("a", 4)] {
+            r.push(k, v, |x, y| x + y);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.into_pairs(), vec![("b", 4), ("a", 6)]);
     }
 
     #[test]

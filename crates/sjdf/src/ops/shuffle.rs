@@ -4,10 +4,9 @@
 use crate::bytesize::{slice_byte_size, ByteSize};
 use crate::exec::ExecCtx;
 use crate::metrics::{OpKind, OpMetrics};
-use crate::ops::bucket_of;
+use crate::ops::{bucket_of, group_in_order, OrderedReduce};
 use crate::rdd::{Data, PartitionOp, Rdd};
 use crate::stagecache::{next_owner_id, EvictableSlot, StageCache};
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -213,17 +212,11 @@ where
     fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<(K, Vec<V>)> {
         let buckets = self.cell.get_or_materialize(ctx, || {
             let scattered = scatter_by_key("group_by_key", &self.parent, self.out_parts, ctx);
-            scattered
-                .into_iter()
-                .map(|bucket| {
-                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
-                    for (k, v) in bucket {
-                        groups.entry(k).or_default().push(v);
-                    }
-                    groups.into_iter().collect()
-                })
-                .collect()
+            // Insertion-order grouping keeps the bucket deterministic, so
+            // a fault-triggered re-materialization reproduces it exactly.
+            scattered.into_iter().map(group_in_order).collect()
         });
+        ctx.check_shuffle_fetch("group_by_key", idx);
         buckets[idx].as_ref().clone()
     }
     fn name(&self) -> &'static str {
@@ -265,20 +258,16 @@ where
             let ctx2 = ctx.clone();
             let combined = ctx
                 .run_wave(parent.num_partitions(), move |i| {
-                    let mut acc: HashMap<K, V> = HashMap::new();
+                    // First-occurrence-ordered combine: the map output must
+                    // be a pure function of the input sequence so a retried
+                    // stage reproduces it byte for byte.
+                    let mut acc: OrderedReduce<K, V> = OrderedReduce::new();
                     for (k, v) in parent.compute(i, &ctx2) {
-                        match acc.remove(&k) {
-                            Some(prev) => {
-                                acc.insert(k, f(prev, v));
-                            }
-                            None => {
-                                acc.insert(k, v);
-                            }
-                        }
+                        acc.push(k, v, &*f);
                     }
                     let mut buckets: Vec<Vec<(K, V)>> =
                         (0..out_parts).map(|_| Vec::new()).collect();
-                    for (k, v) in acc {
+                    for (k, v) in acc.into_pairs() {
                         buckets[bucket_of(&k, out_parts)].push((k, v));
                     }
                     buckets
@@ -287,21 +276,14 @@ where
 
             let mut shuffle_records = 0u64;
             let mut shuffle_bytes = 0u64;
-            let mut merged: Vec<HashMap<K, V>> =
-                (0..self.out_parts).map(|_| HashMap::new()).collect();
+            let mut merged: Vec<OrderedReduce<K, V>> =
+                (0..self.out_parts).map(|_| OrderedReduce::new()).collect();
             for map_out in combined {
                 for (o, bucket) in map_out.into_iter().enumerate() {
                     shuffle_records += bucket.len() as u64;
                     shuffle_bytes += slice_byte_size(&bucket) as u64;
                     for (k, v) in bucket {
-                        match merged[o].remove(&k) {
-                            Some(prev) => {
-                                merged[o].insert(k, (self.f)(prev, v));
-                            }
-                            None => {
-                                merged[o].insert(k, v);
-                            }
-                        }
+                        merged[o].push(k, v, &*self.f);
                     }
                 }
             }
@@ -316,11 +298,9 @@ where
                     tasks: self.out_parts as u64,
                 },
             );
-            merged
-                .into_iter()
-                .map(|m| m.into_iter().collect())
-                .collect()
+            merged.into_iter().map(|m| m.into_pairs()).collect()
         });
+        ctx.check_shuffle_fetch("reduce_by_key", idx);
         buckets[idx].as_ref().clone()
     }
     fn name(&self) -> &'static str {
@@ -388,6 +368,7 @@ where
             );
             merged
         });
+        ctx.check_shuffle_fetch("repartition", idx);
         buckets[idx].as_ref().clone()
     }
     fn name(&self) -> &'static str {

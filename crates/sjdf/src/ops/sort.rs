@@ -96,6 +96,7 @@ where
                 .expect("sort stage failed");
             sorted
         });
+        ctx.check_shuffle_fetch("sort_by_key", idx);
         buckets[idx].as_ref().clone()
     }
     fn name(&self) -> &'static str {

@@ -24,6 +24,15 @@
 //! wave, so the wait chain always bottoms out at a thread doing real
 //! work — the `nested_waves_do_not_deadlock` guarantee holds with zero
 //! free workers.
+//!
+//! # Fault isolation
+//!
+//! Every job a worker runs is wrapped in `catch_unwind`, so a panicking
+//! task (genuine, or injected by a [`FaultPlan`](crate::faults::FaultPlan))
+//! never kills a pool thread: the wave that submitted the job observes
+//! the failure through its own result slots and decides whether to retry
+//! the task (see [`RetryPolicy`](crate::exec::RetryPolicy)), while the
+//! worker moves on to the next job.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -655,12 +655,15 @@ impl<T: Data> Rdd<T> {
     /// First `n` elements in partition order.
     pub fn take(&self, n: usize) -> Result<Vec<T>> {
         // Evaluate partitions lazily from the front until n are gathered.
+        // Each compute runs through `run_inline` so a task panic (genuine
+        // or injected) becomes a retried/reported error instead of
+        // unwinding through the caller.
         let mut out = Vec::with_capacity(n);
         for i in 0..self.op.num_partitions() {
             if out.len() >= n {
                 break;
             }
-            let part = self.op.compute(i, &self.ctx);
+            let part = self.ctx.run_inline(i, || self.op.compute(i, &self.ctx))?;
             out.extend(part.into_iter().take(n - out.len()));
         }
         Ok(out)

@@ -56,6 +56,12 @@ pub struct CostParams {
     /// from costing exactly zero.
     #[serde(default)]
     pub cache_hit_secs: f64,
+    /// Seconds of scheduler/re-dispatch overhead charged per task retry,
+    /// on top of the measured backoff sleeps — so recovered runs are
+    /// slower than fault-free ones in simulated time, not just in
+    /// counters.
+    #[serde(default)]
+    pub retry_overhead_secs: f64,
 }
 
 impl CostParams {
@@ -89,6 +95,7 @@ impl CostParams {
             barrier_secs: 0.2,
             barrier_node_factor: 0.35,
             cache_hit_secs: 5.0e-4,
+            retry_overhead_secs: 0.05,
         }
     }
 
@@ -157,7 +164,9 @@ pub fn estimate(report: &MetricsReport, cluster: &ClusterSpec, params: &CostPara
 
     let overhead = params.job_startup_secs
         + wide_ops as f64 * params.barrier_secs * (1.0 + params.barrier_node_factor * n.ln())
-        + report.cache_hits as f64 * params.cache_hit_secs;
+        + report.cache_hits as f64 * params.cache_hit_secs
+        + report.failures.task_retries as f64 * params.retry_overhead_secs
+        + report.failures.backoff_secs;
 
     SimTime {
         compute,
@@ -327,6 +336,20 @@ mod tests {
         assert!(t_warm > baseline);
         warm.cache_hits = 0;
         assert!((estimate(&warm, &c, &p).total() - baseline).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_cost_simulated_time() {
+        let p = CostParams::paper();
+        let c = ClusterSpec::new(1, 32).unwrap();
+        let baseline = estimate(&MetricsReport::default(), &c, &p).total();
+        let mut faulty = MetricsReport::default();
+        faulty.failures.task_retries = 10;
+        faulty.failures.backoff_secs = 0.25;
+        let t = estimate(&faulty, &c, &p).total();
+        let expected = baseline + 10.0 * p.retry_overhead_secs + 0.25;
+        assert!((t - expected).abs() < 1e-9, "t={t} expected={expected}");
+        assert!(t > baseline);
     }
 
     #[test]

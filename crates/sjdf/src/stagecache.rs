@@ -24,6 +24,20 @@
 //! This makes the lock order `registry → slot` acyclic even though
 //! computing a partition (slot business) triggers insertions (registry
 //! business).
+//!
+//! # Interaction with the fault model
+//!
+//! Recovery leans on the cache for partition-level recompute: when a task
+//! attempt fails (genuinely or via an injected fault) and is retried, any
+//! shuffle stage it consumes that is already `Full` is served from its
+//! slot — the retry re-fetches, it does not re-shuffle. If the failure
+//! happened *inside* a shuffle materialization, the cell's unwind guard
+//! rolls the slot back from `InProgress` to `Empty`, so the next attempt
+//! re-materializes from lineage and the exactly-once-compute invariant
+//! (per successful materialization) is preserved. Eviction under fault
+//! injection is likewise safe: a retried task that finds its input
+//! evicted simply recomputes it, paying the cost but never changing the
+//! result.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;

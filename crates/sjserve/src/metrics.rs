@@ -121,6 +121,15 @@ pub struct StatsReport {
     pub stage_cache_misses: u64,
     #[serde(default)]
     pub stage_cache_evictions: u64,
+    /// Queries answered `degraded` (retry budget exhausted under faults).
+    #[serde(default)]
+    pub requests_degraded: u64,
+    /// Engine task retries accumulated across all executed queries.
+    #[serde(default)]
+    pub engine_task_retries: u64,
+    /// Engine task attempts that exhausted their retry budget.
+    #[serde(default)]
+    pub engine_tasks_exhausted: u64,
     pub per_tenant: Vec<TenantStats>,
 }
 
@@ -168,6 +177,10 @@ impl StatsReport {
             self.stage_cache_misses,
             self.stage_cache_evictions
         ));
+        out.push_str(&format!(
+            "faults: {} degraded responses, {} task retries, {} tasks exhausted\n",
+            self.requests_degraded, self.engine_task_retries, self.engine_tasks_exhausted
+        ));
         for t in &self.per_tenant {
             out.push_str(&format!(
                 "tenant `{}`: {} admitted, {} rejected, {} completed\n",
@@ -190,6 +203,9 @@ pub struct ServiceMetrics {
     in_flight: AtomicU64,
     queue_depth: AtomicU64,
     queue_depth_peak: AtomicU64,
+    requests_degraded: AtomicU64,
+    engine_task_retries: AtomicU64,
+    engine_tasks_exhausted: AtomicU64,
     latency: Mutex<Histogram>,
     tenants: Mutex<BTreeMap<String, TenantStats>>,
 }
@@ -206,6 +222,9 @@ impl Default for ServiceMetrics {
             in_flight: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
+            requests_degraded: AtomicU64::new(0),
+            engine_task_retries: AtomicU64::new(0),
+            engine_tasks_exhausted: AtomicU64::new(0),
             latency: Mutex::new(Histogram::default()),
             tenants: Mutex::new(BTreeMap::new()),
         }
@@ -241,6 +260,23 @@ impl ServiceMetrics {
 
     pub fn timed_out(&self) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn degraded(&self) {
+        self.requests_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one execution's fault/retry accounting into the service
+    /// totals (called for successful and degraded queries alike).
+    pub fn engine_failures(&self, failures: &sjdf::FailureReport) {
+        self.engine_task_retries
+            .fetch_add(failures.task_retries, Ordering::Relaxed);
+        self.engine_tasks_exhausted
+            .fetch_add(failures.tasks_exhausted, Ordering::Relaxed);
+    }
+
+    pub fn degraded_count(&self) -> u64 {
+        self.requests_degraded.load(Ordering::Relaxed)
     }
 
     pub fn admitted(&self, tenant: &str) {
@@ -317,6 +353,9 @@ impl ServiceMetrics {
             stage_cache_hits: caches.stage_hits,
             stage_cache_misses: caches.stage_misses,
             stage_cache_evictions: caches.stage_evictions,
+            requests_degraded: self.requests_degraded.load(Ordering::Relaxed),
+            engine_task_retries: self.engine_task_retries.load(Ordering::Relaxed),
+            engine_tasks_exhausted: self.engine_tasks_exhausted.load(Ordering::Relaxed),
             per_tenant,
         }
     }
@@ -403,6 +442,25 @@ mod tests {
         let a = &s.per_tenant[0];
         assert_eq!((a.tenant.as_str(), a.admitted, a.completed), ("a", 1, 1));
         assert!(s.render().contains("p50"));
+    }
+
+    #[test]
+    fn fault_counters_reach_the_snapshot_and_render() {
+        let m = ServiceMetrics::new();
+        m.degraded();
+        let f = sjdf::FailureReport {
+            task_retries: 5,
+            tasks_exhausted: 2,
+            ..sjdf::FailureReport::default()
+        };
+        m.engine_failures(&f);
+        m.engine_failures(&f);
+        let s = m.snapshot(CacheCounters::default());
+        assert_eq!(s.requests_degraded, 1);
+        assert_eq!(s.engine_task_retries, 10);
+        assert_eq!(s.engine_tasks_exhausted, 4);
+        assert_eq!(m.degraded_count(), 1);
+        assert!(s.render().contains("degraded"));
     }
 
     #[test]

@@ -141,6 +141,10 @@ pub mod codes {
     pub const BAD_REQUEST: &str = "bad_request";
     /// Plan execution failed after a successful solve.
     pub const EXEC_FAILED: &str = "exec_failed";
+    /// Plan execution exhausted its task-retry budget under faults: the
+    /// query failed but the service itself is healthy. Degraded results
+    /// are never cached.
+    pub const DEGRADED: &str = "degraded";
     /// The server is shutting down.
     pub const SHUTDOWN: &str = "shutdown";
 }
@@ -210,13 +214,16 @@ pub struct HealthReport {
 pub struct Response {
     /// Echo of the request id (empty when the request was unparsable).
     pub id: String,
-    /// `"ok"` or `"error"`.
+    /// `"ok"`, `"degraded"`, or `"error"`.
     pub status: String,
     pub error: Option<ErrorBody>,
     pub result: Option<QueryResult>,
     pub plan: Option<PlanInfo>,
     pub stats: Option<StatsReport>,
     pub health: Option<HealthReport>,
+    /// Fault/retry accounting for this request's execution, when the
+    /// engine reported any (always present on `degraded` responses).
+    pub failure: Option<sjdf::FailureReport>,
 }
 
 impl Response {
@@ -229,6 +236,7 @@ impl Response {
             plan: None,
             stats: None,
             health: None,
+            failure: None,
         }
     }
 
@@ -240,8 +248,24 @@ impl Response {
         }
     }
 
+    /// A query that exhausted its retry budget under faults: structured
+    /// like an error, but flagged `degraded` so clients can distinguish
+    /// "this run lost the fault lottery" from "this query is broken".
+    pub fn degraded(id: &str, error: ErrorBody, failure: sjdf::FailureReport) -> Self {
+        Response {
+            status: "degraded".into(),
+            error: Some(error),
+            failure: Some(failure),
+            ..Response::ok(id)
+        }
+    }
+
     pub fn is_ok(&self) -> bool {
         self.status == "ok"
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        self.status == "degraded"
     }
 
     /// The error code, if this is an error response.
@@ -276,6 +300,31 @@ mod tests {
             assert_eq!(back.verb, verb);
             assert_eq!(back.query, None);
         }
+    }
+
+    #[test]
+    fn degraded_responses_round_trip_with_failure_report() {
+        let failure = sjdf::FailureReport {
+            injected_task_faults: 7,
+            task_retries: 6,
+            tasks_exhausted: 1,
+            ..sjdf::FailureReport::default()
+        };
+        let resp = Response::degraded(
+            "r-3",
+            ErrorBody::new(codes::DEGRADED, "partition 2 exhausted retry budget"),
+            failure.clone(),
+        );
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert!(back.is_degraded());
+        assert!(!back.is_ok());
+        assert_eq!(back.code(), Some(codes::DEGRADED));
+        assert_eq!(back.failure, Some(failure));
+        // Older responses without the field still parse.
+        let legacy: Response =
+            serde_json::from_str(r#"{"id":"r","status":"ok","error":null,"result":null,"plan":null,"stats":null,"health":null}"#)
+                .unwrap();
+        assert_eq!(legacy.failure, None);
     }
 
     #[test]

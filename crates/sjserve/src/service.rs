@@ -50,6 +50,15 @@ pub struct ServiceConfig {
     /// Engine defaults; per-request `window_secs` / `step_secs` override
     /// the corresponding knobs.
     pub engine: EngineConfig,
+    /// Task retry policy installed on the execution context at service
+    /// construction (shared by all of its clones, so it also governs the
+    /// catalog's already-wrapped datasets). `None` leaves the context's
+    /// current policy untouched.
+    pub retry: Option<sjdf::RetryPolicy>,
+    /// Deterministic fault plan installed on the execution context at
+    /// service construction — the chaos-testing hook behind the
+    /// `--chaos-seed` flag. `None` leaves the context untouched.
+    pub faults: Option<sjdf::FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +69,8 @@ impl Default for ServiceConfig {
             stage_cache_bytes: 256 << 20,
             default_limit: 1000,
             engine: EngineConfig::default(),
+            retry: None,
+            faults: None,
         }
     }
 }
@@ -89,6 +100,12 @@ impl QueryService {
     pub fn new(ctx: ExecCtx, catalog: Catalog, config: ServiceConfig) -> Self {
         let scheduler = Scheduler::new(config.scheduler.clone());
         ctx.set_cache_budget(config.stage_cache_bytes);
+        if let Some(retry) = config.retry.clone() {
+            ctx.set_retry(retry);
+        }
+        if let Some(faults) = config.faults.clone() {
+            ctx.set_faults(Some(faults));
+        }
         let inner = Arc::new(ServiceInner {
             catalog,
             ctx,
@@ -268,6 +285,30 @@ impl QueryService {
     }
 }
 
+/// Classify a plan-execution failure. A task that exhausted its retry
+/// budget under an installed fault plan is an expected, per-request
+/// outcome — the service is healthy, the query lost the fault lottery —
+/// so it becomes a structured `degraded` response carrying the request's
+/// fault/retry accounting. Anything else is a plain `exec_failed`.
+/// Neither outcome reaches the result cache (both return before `put`).
+fn exec_error(
+    inner: &ServiceInner,
+    id: &str,
+    baseline: &sjdf::metrics::MetricsReport,
+    message: &str,
+) -> Response {
+    let delta = inner.ctx.metrics.report().delta_since(baseline);
+    inner.metrics.engine_failures(&delta.failures);
+    // The stable marker in `SjdfError::ExhaustedRetries`'s Display; the
+    // error crosses the sjcore boundary as a string, so classification
+    // happens on the rendered message.
+    if message.contains("exhausted retry budget") {
+        inner.metrics.degraded();
+        return Response::degraded(id, ErrorBody::new(codes::DEGRADED, message), delta.failures);
+    }
+    Response::fail(id, ErrorBody::new(codes::EXEC_FAILED, message))
+}
+
 fn worker_loop(inner: &ServiceInner) {
     while let Some((job, depth)) = inner.scheduler.next_job() {
         inner.metrics.queue_depth_changed(depth);
@@ -405,15 +446,11 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
             let baseline = inner.ctx.metrics.report();
             let ds = match plan.execute(&inner.catalog, None) {
                 Ok(ds) => ds,
-                Err(e) => {
-                    return Response::fail(id, ErrorBody::new(codes::EXEC_FAILED, e.to_string()))
-                }
+                Err(e) => return exec_error(inner, id, &baseline, &e.to_string()),
             };
             let rows = match ds.collect() {
                 Ok(rows) => rows,
-                Err(e) => {
-                    return Response::fail(id, ErrorBody::new(codes::EXEC_FAILED, e.to_string()))
-                }
+                Err(e) => return exec_error(inner, id, &baseline, &e.to_string()),
             };
             let schema = ds.schema().clone();
             inner
@@ -423,6 +460,7 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
             // Concurrent evaluations may interleave (the collector is
             // shared), so this is an attribution, not an isolation.
             let delta = inner.ctx.metrics.report().delta_since(&baseline);
+            inner.metrics.engine_failures(&delta.failures);
             (schema, rows, false, Some(delta))
         }
     };

@@ -8,7 +8,8 @@
 //! ```text
 //! sjserved --data DIR [--addr HOST:PORT] [--workers N] [--queue N]
 //!          [--timeout-ms MS] [--window SECS] [--step SECS]
-//!          [--cache-mb MB] [--limit N]
+//!          [--cache-mb MB] [--limit N] [--retries N]
+//!          [--chaos-seed SEED] [--chaos-fail-rate P]
 //! ```
 
 use scrubjay::catalog_io::load_catalog_dir;
@@ -29,6 +30,9 @@ struct Args {
     cache_mb: usize,
     stage_cache_mb: u64,
     limit: usize,
+    retries: u32,
+    chaos_seed: Option<u64>,
+    chaos_fail_rate: f64,
 }
 
 const USAGE: &str = "\
@@ -51,6 +55,16 @@ OPTIONS:
   --stage-cache-mb MB
                     persisted-partition stage-cache budget (default 256)
   --limit N         default rows per response (default 1000)
+  --retries N       task attempts before a query degrades (default 3;
+                    1 restores fail-fast execution)
+  --chaos-seed SEED install a deterministic fault-injection plan seeded
+                    with SEED (testing only): task attempts fail at
+                    --chaos-fail-rate and are retried per --retries;
+                    queries that exhaust the budget answer `degraded`
+                    while the daemon stays up
+  --chaos-fail-rate P
+                    probability an attempt is killed under --chaos-seed
+                    (default 0.2)
 
 PROTOCOL:
   newline-delimited JSON requests, one response line per request:
@@ -71,6 +85,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache_mb: 64,
         stage_cache_mb: 256,
         limit: 1000,
+        retries: 3,
+        chaos_seed: None,
+        chaos_fail_rate: 0.2,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -98,6 +115,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.stage_cache_mb = num("--stage-cache-mb", value("--stage-cache-mb")?)?
             }
             "--limit" => args.limit = num("--limit", value("--limit")?)?,
+            "--retries" => args.retries = num("--retries", value("--retries")?)?,
+            "--chaos-seed" => args.chaos_seed = Some(num("--chaos-seed", value("--chaos-seed")?)?),
+            "--chaos-fail-rate" => {
+                args.chaos_fail_rate = num("--chaos-fail-rate", value("--chaos-fail-rate")?)?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -107,6 +129,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.workers == 0 {
         return Err("--workers must be at least 1".into());
+    }
+    if args.retries == 0 {
+        return Err("--retries must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&args.chaos_fail_rate) {
+        return Err("--chaos-fail-rate must be within [0, 1]".into());
     }
     Ok(args)
 }
@@ -130,6 +158,14 @@ fn run(args: &Args) -> Result<(), String> {
             explode_step_secs: args.step_secs,
             ..EngineConfig::default()
         },
+        retry: Some(sjdf::RetryPolicy::retries(args.retries)),
+        faults: args.chaos_seed.map(|seed| {
+            eprintln!(
+                "CHAOS: injecting task faults (seed {seed}, rate {}, {} attempts)",
+                args.chaos_fail_rate, args.retries
+            );
+            sjdf::FaultPlan::seeded(seed).with_task_fail_rate(args.chaos_fail_rate)
+        }),
     };
     let service = QueryService::new(ctx, catalog, config);
     serve_until_shutdown(service, &args.addr).map_err(|e| e.to_string())?;
@@ -180,6 +216,26 @@ mod tests {
         assert_eq!(args.step_secs, 30.0);
         assert_eq!(args.cache_mb, 128);
         assert_eq!(args.limit, 50);
+        assert_eq!(args.retries, 3);
+        assert_eq!(args.chaos_seed, None);
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let args = parse_args(&argv(
+            "--data d --retries 5 --chaos-seed 42 --chaos-fail-rate 0.3",
+        ))
+        .unwrap();
+        assert_eq!(args.retries, 5);
+        assert_eq!(args.chaos_seed, Some(42));
+        assert_eq!(args.chaos_fail_rate, 0.3);
+    }
+
+    #[test]
+    fn rejects_bad_chaos_flags() {
+        assert!(parse_args(&argv("--data d --retries 0")).is_err());
+        assert!(parse_args(&argv("--data d --chaos-fail-rate 1.5")).is_err());
+        assert!(parse_args(&argv("--data d --chaos-seed nope")).is_err());
     }
 
     #[test]
