@@ -1,0 +1,129 @@
+//! Tracing overhead on the lineage-reuse workload.
+//!
+//! The tracer is always compiled in; its disabled cost is one relaxed
+//! atomic load per instrumentation site. This bench quantifies both
+//! modes on the shuffle-bearing lineage from `lineage_reuse`:
+//!
+//! - "disabled": tracing compiled in but off — the production default,
+//!   whose evals/sec must stay within the 3% overhead budget of the
+//!   pre-instrumentation baseline tracked in `BENCH_lineage.json`;
+//! - "enabled": every job/wave/task/shuffle span recorded and drained
+//!   per evaluation.
+//!
+//! Rounds interleave the two modes so frequency scaling and cache state
+//! bias neither side. The run asserts the enabled trace parses as
+//! Chrome trace-event JSON with the expected span vocabulary and that
+//! recording costs less than half the workload's throughput, then
+//! writes both rates to `BENCH_trace.json` for CI to archive.
+//!
+//! Custom harness (`harness = false`); does nothing unless `--bench` is
+//! on the command line, matching the vendored criterion's behaviour.
+
+use scrubjay_bench::bench_ctx;
+use sjdf::{ExecCtx, Rdd};
+use sjtrace::export::ChromeTrace;
+use std::time::{Duration, Instant};
+
+const PARTS: usize = 8;
+const PAIRS_PER_PART: u64 = 10_000;
+const ROUNDS: usize = 10;
+
+/// The measured lineage (same shape as `lineage_reuse`): a generated
+/// pair source into a shuffle and a narrow map. Rebuilt per evaluation
+/// so every pass records the full job/wave/task/shuffle span tree.
+fn build_lineage(ctx: &ExecCtx) -> Rdd<(u64, u64)> {
+    Rdd::generate(ctx, PARTS, |i| {
+        let base = i as u64 * PAIRS_PER_PART;
+        (base..base + PAIRS_PER_PART)
+            .map(|x| (x % 512, x))
+            .collect()
+    })
+    .reduce_by_key(PARTS, |a, b| a + b)
+    .map(|(k, v)| (k, v / 2))
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+
+    let disabled_ctx = bench_ctx();
+    let enabled_ctx = bench_ctx();
+    enabled_ctx.tracer().enable();
+    let expected = build_lineage(&disabled_ctx).count().expect("warm-up eval");
+
+    let mut disabled_time = Duration::ZERO;
+    let mut enabled_time = Duration::ZERO;
+    let mut spans_per_eval = 0usize;
+    let mut last_trace: Vec<sjtrace::SpanEvent> = Vec::new();
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        assert_eq!(
+            build_lineage(&disabled_ctx).count().expect("disabled eval"),
+            expected
+        );
+        disabled_time += start.elapsed();
+        assert!(
+            disabled_ctx.tracer().is_empty(),
+            "a disabled tracer must record nothing"
+        );
+
+        let start = Instant::now();
+        assert_eq!(
+            build_lineage(&enabled_ctx).count().expect("enabled eval"),
+            expected
+        );
+        enabled_time += start.elapsed();
+        last_trace = enabled_ctx.tracer().drain();
+        spans_per_eval = last_trace.len();
+        assert!(spans_per_eval > 0, "an enabled tracer must record spans");
+    }
+
+    // The recorded tree must be well formed and export as loadable
+    // Chrome trace-event JSON carrying the span vocabulary the ISSUE's
+    // acceptance gate greps for.
+    sjtrace::validate(&last_trace).expect("span tree invariants");
+    let json = sjtrace::export::chrome_trace_json(
+        &last_trace,
+        &enabled_ctx.tracer().thread_names(),
+        "bench",
+    );
+    let chrome: ChromeTrace = serde_json::from_str(&json).expect("chrome trace parses");
+    for name in ["job", "wave", "task", "shuffle_fetch"] {
+        assert!(
+            chrome.traceEvents.iter().any(|e| e.name.starts_with(name)),
+            "chrome trace lacks `{name}` spans"
+        );
+    }
+
+    let disabled_rate = ROUNDS as f64 / disabled_time.as_secs_f64().max(1e-9);
+    let enabled_rate = ROUNDS as f64 / enabled_time.as_secs_f64().max(1e-9);
+    let overhead_pct = (disabled_rate / enabled_rate - 1.0) * 100.0;
+    assert!(
+        enabled_rate > 0.5 * disabled_rate,
+        "recording spans must cost less than half the throughput \
+         (disabled {disabled_rate:.1}/s, enabled {enabled_rate:.1}/s)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"pairs\": {},\n  \"partitions\": {},\n  \
+         \"rounds\": {},\n  \"untraced_evals_per_sec\": {:.3},\n  \
+         \"traced_evals_per_sec\": {:.3},\n  \"enabled_overhead_pct\": {:.2},\n  \
+         \"spans_per_eval\": {},\n  \"disabled_budget_pct\": 3.0\n}}\n",
+        PARTS as u64 * PAIRS_PER_PART,
+        PARTS,
+        ROUNDS,
+        disabled_rate,
+        enabled_rate,
+        overhead_pct,
+        spans_per_eval,
+    );
+    // Anchor the output at the workspace root regardless of the cwd
+    // cargo picked for the bench binary.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(out, &json).expect("write BENCH_trace.json");
+    println!(
+        "trace_overhead: disabled {disabled_rate:.1} evals/s, enabled {enabled_rate:.1} evals/s \
+         ({overhead_pct:+.1}% to record {spans_per_eval} spans) -> BENCH_trace.json"
+    );
+}

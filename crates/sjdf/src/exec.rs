@@ -36,6 +36,7 @@ use crate::faults::{Fault, FaultPlan, FaultSite, INJECTED};
 use crate::metrics::{FailureReport, MetricsCollector};
 use crate::pool::WorkerPool;
 use crate::stagecache::StageCache;
+use sjtrace::{SpanId, Tracer};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -207,6 +208,7 @@ pub struct ExecCtx {
     pool: Arc<WorkerPool>,
     stage_cache: Arc<StageCache>,
     opts: Arc<Mutex<ExecOpts>>,
+    tracer: Tracer,
 }
 
 impl ExecCtx {
@@ -219,6 +221,7 @@ impl ExecCtx {
             pool,
             stage_cache: StageCache::new(),
             opts: Arc::new(Mutex::new(ExecOpts::default())),
+            tracer: Tracer::new(),
         }
     }
 
@@ -241,6 +244,7 @@ impl ExecCtx {
             pool: Arc::clone(&self.pool),
             stage_cache: Arc::clone(&self.stage_cache),
             opts: Arc::clone(&self.opts),
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -289,6 +293,41 @@ impl ExecCtx {
         lock(&self.opts).faults.clone()
     }
 
+    /// The span tracer shared by every clone of this context (including
+    /// [`ExecCtx::with_fresh_metrics`] clones, so a service can trace all
+    /// requests through one sink). Created disabled; call
+    /// [`Tracer::enable`] to start recording.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Tag the metrics collector with a correlation id; it is echoed on
+    /// every [`FailureReport`] the collector produces, so executor-side
+    /// failure accounting can be matched to the originating request even
+    /// when requests run concurrently.
+    pub fn set_query_id(&self, id: Option<String>) {
+        self.metrics.set_query_id(id);
+    }
+
+    /// Open a `job` span for one action (`collect`, `count`, ...) on the
+    /// calling thread. A no-op guard when tracing is disabled.
+    pub(crate) fn job_span(&self, action: &'static str) -> sjtrace::SpanGuard {
+        let mut span = self.tracer.span("job");
+        if span.is_recording() {
+            span.set_detail(format!("action={action}"));
+        }
+        span
+    }
+
+    /// Open a `shuffle_fetch` span around one bucket fetch.
+    pub(crate) fn shuffle_fetch_span(&self, op: &'static str, part: usize) -> sjtrace::SpanGuard {
+        let mut span = self.tracer.span("shuffle_fetch");
+        if span.is_recording() {
+            span.set_detail(format!("op={op} part={part}"));
+        }
+        span
+    }
+
     /// Snapshot of the failure/recovery counters recorded so far.
     pub fn failure_report(&self) -> FailureReport {
         self.metrics.failure_report()
@@ -316,6 +355,12 @@ impl ExecCtx {
             let stream = crate::faults::stream_of(op);
             if plan.decide_at(FaultSite::ShuffleFetch, stream, part, attempt) == Some(Fault::Fail) {
                 self.metrics.record_injected_shuffle_fault();
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        "fault_injected",
+                        format!("shuffle_fetch op={op} part={part} attempt={attempt}"),
+                    );
+                }
                 panic!(
                     "{INJECTED} shuffle fetch failure \
                      (op `{op}`, partition {part}, attempt {attempt})"
@@ -334,14 +379,32 @@ impl ExecCtx {
         let max_attempts = policy.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
-            let outcome =
-                match injected_task_failure(faults.as_deref(), &self.metrics, part, attempt) {
-                    Some(msg) => Err(msg),
-                    None => {
-                        let _scope = AttemptScope::enter(attempt);
-                        catch_unwind(AssertUnwindSafe(&task)).map_err(|p| panic_message(&*p))
-                    }
-                };
+            let outcome = {
+                let mut span = self.tracer.span("task");
+                if span.is_recording() {
+                    span.set_detail(format!("part={part} attempt={attempt} inline"));
+                }
+                let result =
+                    match injected_task_failure(faults.as_deref(), &self.metrics, part, attempt) {
+                        Some(msg) => {
+                            if span.is_recording() {
+                                self.tracer.instant(
+                                    "fault_injected",
+                                    format!("task part={part} attempt={attempt}"),
+                                );
+                            }
+                            Err(msg)
+                        }
+                        None => {
+                            let _scope = AttemptScope::enter(attempt);
+                            catch_unwind(AssertUnwindSafe(&task)).map_err(|p| panic_message(&*p))
+                        }
+                    };
+                if result.is_err() {
+                    span.fail();
+                }
+                result
+            };
             match outcome {
                 Ok(v) => return Ok(v),
                 Err(msg) => {
@@ -361,7 +424,17 @@ impl ExecCtx {
                     }
                     let backoff = policy.backoff_for(attempt - 1);
                     self.metrics.record_task_retry(backoff);
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            "retry",
+                            format!("part={part} next_attempt={attempt} inline"),
+                        );
+                    }
                     if !backoff.is_zero() {
+                        let mut pause = self.tracer.span("backoff");
+                        if pause.is_recording() {
+                            pause.set_detail(format!("part={part} inline"));
+                        }
                         std::thread::sleep(backoff);
                     }
                 }
@@ -382,12 +455,17 @@ impl ExecCtx {
             return Ok(Vec::new());
         }
         let threads = self.cluster.local_threads().min(parts);
+        let mut wave_span = self.tracer.span("wave");
+        if wave_span.is_recording() {
+            wave_span.set_detail(format!("parts={parts} threads={threads}"));
+        }
         let wave = Arc::new(Wave::new(
             parts,
             task,
             self.retry_policy(),
             self.faults(),
             Arc::clone(&self.metrics),
+            (self.tracer.clone(), wave_span.id(), wave_span.root()),
         ));
         // One runner job per extra thread; the caller is the last runner.
         // Correctness never depends on a job being picked up — stale jobs
@@ -410,7 +488,11 @@ impl ExecCtx {
         if let Some(monitor) = monitor {
             let _ = monitor.join();
         }
-        wave.finish()
+        let result = wave.finish();
+        if result.is_err() {
+            wave_span.fail();
+        }
+        result
     }
 }
 
@@ -452,6 +534,12 @@ struct Wave<T, F> {
     epoch: Instant,
     /// Durations (µs) of completed tasks, for the straggler median.
     durations_us: Mutex<Vec<u64>>,
+    tracer: Tracer,
+    /// The wave span's id and root, passed explicitly to task spans
+    /// because attempts run on pool threads whose span stacks do not hold
+    /// the wave span (it lives on the initiating thread).
+    span: SpanId,
+    root: SpanId,
 }
 
 impl<T, F> Wave<T, F>
@@ -465,6 +553,7 @@ where
         policy: RetryPolicy,
         faults: Option<Arc<FaultPlan>>,
         metrics: Arc<MetricsCollector>,
+        trace: (Tracer, SpanId, SpanId),
     ) -> Self {
         Wave {
             task,
@@ -489,6 +578,9 @@ where
             metrics,
             epoch: Instant::now(),
             durations_us: Mutex::new(Vec::new()),
+            tracer: trace.0,
+            span: trace.1,
+            root: trace.2,
         }
     }
 
@@ -527,7 +619,7 @@ where
                 self.settle_drained(i);
                 return;
             }
-            match self.execute_attempt(i, attempt) {
+            match self.execute_attempt(i, attempt, false) {
                 Ok(v) => {
                     self.settle_value(i, v, false);
                     return;
@@ -562,7 +654,22 @@ where
                     }
                     let backoff = self.policy.backoff_for(attempt - 1);
                     self.metrics.record_task_retry(backoff);
+                    if self.tracer.enabled() {
+                        self.tracer.instant_under(
+                            "retry",
+                            format!(
+                                "part={i} next_attempt={attempt} backoff_us={}",
+                                backoff.as_micros()
+                            ),
+                            self.span,
+                            self.root,
+                        );
+                    }
                     if !backoff.is_zero() {
+                        let mut pause = self.tracer.child_span("backoff", self.span, self.root);
+                        if pause.is_recording() {
+                            pause.set_detail(format!("part={i}"));
+                        }
                         std::thread::sleep(backoff);
                     }
                 }
@@ -571,14 +678,43 @@ where
     }
 
     /// One attempt: consult the fault plan, then run the task under
-    /// `catch_unwind`. Returns the panic message on failure.
-    fn execute_attempt(&self, i: usize, attempt: u32) -> std::result::Result<T, String> {
+    /// `catch_unwind`. Returns the panic message on failure. The whole
+    /// attempt — injection check included — runs under a `task` span that
+    /// is closed and marked failed on any error, so a killed attempt
+    /// still produces a well-formed span. Speculative attempts are
+    /// detached: they may outlive the wave span when they lose the race.
+    fn execute_attempt(
+        &self,
+        i: usize,
+        attempt: u32,
+        speculative: bool,
+    ) -> std::result::Result<T, String> {
+        let mut span = self.tracer.child_span("task", self.span, self.root);
+        if span.is_recording() {
+            if speculative {
+                span.detach();
+            }
+            span.set_detail(format!(
+                "part={i} attempt={attempt}{}",
+                if speculative { " speculative" } else { "" }
+            ));
+        }
         if let Some(msg) = injected_task_failure(self.faults.as_deref(), &self.metrics, i, attempt)
         {
+            if span.is_recording() {
+                self.tracer
+                    .instant("fault_injected", format!("task part={i} attempt={attempt}"));
+            }
+            span.fail();
             return Err(msg);
         }
         let _scope = AttemptScope::enter(attempt);
-        catch_unwind(AssertUnwindSafe(|| (self.task)(i))).map_err(|p| panic_message(&*p))
+        let result =
+            catch_unwind(AssertUnwindSafe(|| (self.task)(i))).map_err(|p| panic_message(&*p));
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 
     /// Settle a slot with a computed value; exactly one settler wins.
@@ -592,6 +728,14 @@ where
             }
             if speculative {
                 self.metrics.record_speculative_win();
+                if self.tracer.enabled() {
+                    self.tracer.instant_under(
+                        "speculative_win",
+                        format!("part={i}"),
+                        self.span,
+                        self.root,
+                    );
+                }
             }
             self.bump_done();
         }
@@ -696,10 +840,18 @@ where
         self.metrics.record_speculative_launch();
         let attempt =
             self.policy.max_attempts.max(1) + slot.spec_attempts.fetch_add(1, Ordering::AcqRel);
+        if self.tracer.enabled() {
+            self.tracer.instant_under(
+                "speculate",
+                format!("part={i} attempt={attempt}"),
+                self.span,
+                self.root,
+            );
+        }
         if slot.settled.load(Ordering::Acquire) {
             return;
         }
-        match self.execute_attempt(i, attempt) {
+        match self.execute_attempt(i, attempt, true) {
             Ok(v) => self.settle_value(i, v, true),
             Err(_) => self.metrics.record_task_failure(),
         }

@@ -38,6 +38,11 @@ pub mod rdd;
 pub mod simtime;
 pub mod stagecache;
 
+/// The span-tracing subsystem ([`sjtrace`]), re-exported so downstream
+/// crates reach the executor's tracer types without a separate
+/// dependency edge.
+pub use sjtrace as trace;
+
 pub use bytesize::ByteSize;
 pub use cluster::ClusterSpec;
 pub use error::{Result, SjdfError};

@@ -81,12 +81,22 @@ pub struct FailureReport {
     /// Total wall-clock spent sleeping in retry backoff.
     #[serde(default)]
     pub backoff_secs: f64,
+    /// Correlation id of the request this report is attributed to (set by
+    /// a query service via [`MetricsCollector::set_query_id`]), so
+    /// failure accounting can be matched to traces and responses even
+    /// when requests run concurrently.
+    #[serde(default)]
+    pub query_id: Option<String>,
 }
 
 impl FailureReport {
-    /// True when no failure or recovery activity was recorded.
+    /// True when no failure or recovery activity was recorded (a set
+    /// `query_id` alone does not count as activity).
     pub fn is_empty(&self) -> bool {
-        *self == FailureReport::default()
+        FailureReport {
+            query_id: None,
+            ..self.clone()
+        } == FailureReport::default()
     }
 
     fn delta_since(&self, baseline: &FailureReport) -> FailureReport {
@@ -104,6 +114,7 @@ impl FailureReport {
             speculative_launched: diff(self.speculative_launched, baseline.speculative_launched),
             speculative_wins: diff(self.speculative_wins, baseline.speculative_wins),
             backoff_secs: (self.backoff_secs - baseline.backoff_secs).max(0.0),
+            query_id: self.query_id.clone(),
         }
     }
 }
@@ -224,6 +235,7 @@ pub struct MetricsCollector {
     speculative_launched: AtomicU64,
     speculative_wins: AtomicU64,
     backoff_us: AtomicU64,
+    query_id: Mutex<Option<String>>,
 }
 
 impl MetricsCollector {
@@ -295,6 +307,17 @@ impl MetricsCollector {
         self.speculative_wins.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Tag this collector with the correlation id of the request it is
+    /// accounting for; every subsequent [`FailureReport`] echoes it.
+    pub fn set_query_id(&self, id: Option<String>) {
+        *self.query_id.lock() = id;
+    }
+
+    /// The correlation id installed by [`MetricsCollector::set_query_id`].
+    pub fn query_id(&self) -> Option<String> {
+        self.query_id.lock().clone()
+    }
+
     /// Snapshot only the failure/recovery counters.
     pub fn failure_report(&self) -> FailureReport {
         FailureReport {
@@ -307,6 +330,7 @@ impl MetricsCollector {
             speculative_launched: self.speculative_launched.load(Ordering::Relaxed),
             speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
             backoff_secs: self.backoff_us.load(Ordering::Relaxed) as f64 / 1e6,
+            query_id: self.query_id.lock().clone(),
         }
     }
 
@@ -344,6 +368,7 @@ impl MetricsCollector {
         self.speculative_launched.store(0, Ordering::Relaxed);
         self.speculative_wins.store(0, Ordering::Relaxed);
         self.backoff_us.store(0, Ordering::Relaxed);
+        self.query_id.lock().take();
     }
 }
 

@@ -122,6 +122,7 @@ where
                 .map(|(lbucket, rbucket)| cogroup_in_order(lbucket, rbucket))
                 .collect()
         });
+        let _fetch = ctx.shuffle_fetch_span("cogroup", idx);
         ctx.check_shuffle_fetch("cogroup", idx);
         buckets[idx].as_ref().clone()
     }

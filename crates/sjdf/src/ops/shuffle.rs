@@ -103,6 +103,7 @@ impl<T: Data + ByteSize> ShuffleCell<T> {
                     drop(state);
                     self.cache.record_hit(self.owner_id, 0);
                     ctx.metrics.record_cache_hit();
+                    ctx.tracer().instant("cache_hit", "shuffle");
                     return b;
                 }
                 CellState::InProgress => {
@@ -119,6 +120,7 @@ impl<T: Data + ByteSize> ShuffleCell<T> {
                 }
             }
         }
+        let mspan = ctx.tracer().span("shuffle_materialize");
         let mut guard = CellResetOnUnwind {
             inner: &self.inner,
             armed: true,
@@ -131,11 +133,17 @@ impl<T: Data + ByteSize> ShuffleCell<T> {
             self.inner.ready.notify_all();
         }
         guard.armed = false;
+        drop(mspan);
         ctx.metrics.record_cache_miss();
+        ctx.tracer().instant("cache_miss", "shuffle");
         let erased: Arc<dyn EvictableSlot> = Arc::clone(&self.inner) as Arc<dyn EvictableSlot>;
         let evicted = self.cache.insert(self.owner_id, 0, bytes, &erased);
         if evicted > 0 {
             ctx.metrics.record_cache_evictions(evicted as u64);
+            if ctx.tracer().enabled() {
+                ctx.tracer()
+                    .instant("cache_evict", format!("shuffle evicted={evicted}"));
+            }
         }
         buckets
     }
@@ -216,6 +224,7 @@ where
             // a fault-triggered re-materialization reproduces it exactly.
             scattered.into_iter().map(group_in_order).collect()
         });
+        let _fetch = ctx.shuffle_fetch_span("group_by_key", idx);
         ctx.check_shuffle_fetch("group_by_key", idx);
         buckets[idx].as_ref().clone()
     }
@@ -300,6 +309,7 @@ where
             );
             merged.into_iter().map(|m| m.into_pairs()).collect()
         });
+        let _fetch = ctx.shuffle_fetch_span("reduce_by_key", idx);
         ctx.check_shuffle_fetch("reduce_by_key", idx);
         buckets[idx].as_ref().clone()
     }
@@ -368,6 +378,7 @@ where
             );
             merged
         });
+        let _fetch = ctx.shuffle_fetch_span("repartition", idx);
         ctx.check_shuffle_fetch("repartition", idx);
         buckets[idx].as_ref().clone()
     }

@@ -96,6 +96,7 @@ where
                 .expect("sort stage failed");
             sorted
         });
+        let _fetch = ctx.shuffle_fetch_span("sort_by_key", idx);
         ctx.check_shuffle_fetch("sort_by_key", idx);
         buckets[idx].as_ref().clone()
     }

@@ -331,6 +331,10 @@ impl<T: Data + ByteSize> PartitionOp<T> for CachedOp<T> {
                     drop(state);
                     self.cache.record_hit(self.owner_id, idx);
                     ctx.metrics.record_cache_hit();
+                    if ctx.tracer().enabled() {
+                        ctx.tracer()
+                            .instant("cache_hit", format!("persist part={idx}"));
+                    }
                     return cached.as_ref().clone();
                 }
                 SlotState::InProgress => {
@@ -342,6 +346,10 @@ impl<T: Data + ByteSize> PartitionOp<T> for CachedOp<T> {
                     break;
                 }
             }
+        }
+        let mut mspan = ctx.tracer().span("persist_materialize");
+        if mspan.is_recording() {
+            mspan.set_detail(format!("part={idx}"));
         }
         let mut guard = ResetOnUnwind {
             slots: &self.slots,
@@ -356,11 +364,20 @@ impl<T: Data + ByteSize> PartitionOp<T> for CachedOp<T> {
             cv.notify_all();
         }
         guard.armed = false;
+        drop(mspan);
         ctx.metrics.record_cache_miss();
+        if ctx.tracer().enabled() {
+            ctx.tracer()
+                .instant("cache_miss", format!("persist part={idx}"));
+        }
         let erased: Arc<dyn EvictableSlot> = Arc::clone(&self.slots) as Arc<dyn EvictableSlot>;
         let evicted = self.cache.insert(self.owner_id, idx, bytes, &erased);
         if evicted > 0 {
             ctx.metrics.record_cache_evictions(evicted as u64);
+            if ctx.tracer().enabled() {
+                ctx.tracer()
+                    .instant("cache_evict", format!("persist evicted={evicted}"));
+            }
         }
         value.as_ref().clone()
     }
@@ -597,6 +614,7 @@ impl<T: Data> Rdd<T> {
 
     /// Evaluate and return each partition separately.
     pub fn glom(&self) -> Result<Vec<Vec<T>>> {
+        let _job = self.ctx.job_span("glom");
         let op = Arc::clone(&self.op);
         let ctx = self.ctx.clone();
         self.ctx
@@ -605,6 +623,7 @@ impl<T: Data> Rdd<T> {
 
     /// Number of elements in the dataset.
     pub fn count(&self) -> Result<usize> {
+        let _job = self.ctx.job_span("count");
         let op = Arc::clone(&self.op);
         let ctx = self.ctx.clone();
         let counts = self
@@ -618,6 +637,7 @@ impl<T: Data> Rdd<T> {
     where
         F: Fn(T, T) -> T + Send + Sync + 'static,
     {
+        let _job = self.ctx.job_span("reduce");
         let op = Arc::clone(&self.op);
         let ctx = self.ctx.clone();
         let f = Arc::new(f);
@@ -640,6 +660,7 @@ impl<T: Data> Rdd<T> {
         F: Fn(A, T) -> A + Send + Sync + 'static,
         G: Fn(A, A) -> A,
     {
+        let _job = self.ctx.job_span("fold");
         let op = Arc::clone(&self.op);
         let ctx = self.ctx.clone();
         let f = Arc::new(f);
@@ -658,6 +679,7 @@ impl<T: Data> Rdd<T> {
         // Each compute runs through `run_inline` so a task panic (genuine
         // or injected) becomes a retried/reported error instead of
         // unwinding through the caller.
+        let _job = self.ctx.job_span("take");
         let mut out = Vec::with_capacity(n);
         for i in 0..self.op.num_partitions() {
             if out.len() >= n {

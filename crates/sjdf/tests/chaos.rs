@@ -465,3 +465,152 @@ fn failure_report_artifact_round_trips() {
         std::fs::write(&path, artifact).expect("write chaos artifact");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Span-tree invariants under chaos (sjtrace)
+// ---------------------------------------------------------------------------
+
+/// Run the standard pipeline under `seed` with tracing enabled and
+/// return the drained events plus whether the run recovered.
+fn traced_chaos_run(seed: u64) -> (Vec<sjdf::trace::SpanEvent>, bool) {
+    let left = records(7, 120);
+    let right = records(11, 80);
+    let plan = FaultPlan::seeded(seed)
+        .with_task_fail_rate(0.2)
+        .with_shuffle_fail_rate(0.1);
+    let ctx = chaos_ctx(plan, 3);
+    ctx.tracer().enable();
+    let outcome = pipeline(&ctx, &left, &right);
+    let recovered = match outcome {
+        Ok(_) => true,
+        Err(SjdfError::ExhaustedRetries { .. }) => false,
+        Err(e) => panic!("seed {seed}: unexpected error kind: {e}"),
+    };
+    (ctx.tracer().drain(), recovered)
+}
+
+/// Satellite invariant sweep: for every fault seed, the exported trace
+/// is a well-formed tree (`end >= start`, children nested inside their
+/// parents, consistent roots), the Chrome export parses back through the
+/// typed structs, and the job/wave/task span vocabulary is present.
+#[test]
+fn traced_chaos_sweep_produces_well_formed_span_trees() {
+    let mut recovered_runs = 0usize;
+    for seed in 0..15u64 {
+        let (events, recovered) = traced_chaos_run(seed);
+        assert!(!events.is_empty(), "seed {seed}: no spans recorded");
+        sjdf::trace::validate(&events)
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid span tree: {e}"));
+        // A failed run may exhaust inside the shuffle's map stage before
+        // any bucket fetch, so the full vocabulary is only guaranteed on
+        // recovered runs.
+        let required: &[&str] = if recovered {
+            recovered_runs += 1;
+            &["job", "wave", "task", "shuffle_fetch"]
+        } else {
+            &["job", "wave", "task"]
+        };
+        for name in required {
+            assert!(
+                events.iter().any(|e| &e.name == name),
+                "seed {seed}: no `{name}` span in trace"
+            );
+        }
+        // The Chrome export round-trips through the typed parser.
+        let json = sjdf::trace::export::chrome_trace_json(
+            &events,
+            &std::collections::BTreeMap::new(),
+            "chaos",
+        );
+        let back: sjdf::trace::export::ChromeTrace = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("seed {seed}: exported trace does not parse: {e}"));
+        assert_eq!(
+            back.traceEvents.iter().filter(|e| e.ph != "M").count(),
+            events.len(),
+            "seed {seed}: export dropped events"
+        );
+    }
+    assert!(
+        recovered_runs > 0,
+        "sweep never recovered; shuffle_fetch coverage untested"
+    );
+}
+
+/// Killed attempts (injected faults and exhausted budgets) appear as
+/// failed `task` spans, with at least one failed span per recorded task
+/// failure — a chaos run's trace never hides a kill.
+#[test]
+fn killed_attempts_close_their_spans_as_failed() {
+    let mut saw_failures = false;
+    for seed in 0..15u64 {
+        let left = records(7, 120);
+        let right = records(11, 80);
+        let plan = FaultPlan::seeded(seed)
+            .with_task_fail_rate(0.2)
+            .with_shuffle_fail_rate(0.1);
+        let ctx = chaos_ctx(plan, 3);
+        ctx.tracer().enable();
+        let _ = pipeline(&ctx, &left, &right);
+        let report = ctx.failure_report();
+        let events = ctx.tracer().drain();
+        let failed_tasks = events
+            .iter()
+            .filter(|e| e.name == "task" && e.failed)
+            .count() as u64;
+        assert_eq!(
+            failed_tasks, report.task_failures,
+            "seed {seed}: {failed_tasks} failed task spans vs {} recorded task failures",
+            report.task_failures
+        );
+        if report.injected_task_faults > 0 {
+            saw_failures = true;
+            assert!(
+                events.iter().any(|e| e.name == "fault_injected"),
+                "seed {seed}: injected faults left no fault_injected event"
+            );
+        }
+        if report.task_retries > 0 {
+            assert!(
+                events.iter().any(|e| e.name == "retry"),
+                "seed {seed}: retries left no retry event"
+            );
+        }
+    }
+    assert!(saw_failures, "sweep never injected a fault; rates too low");
+}
+
+/// Tracing is observational only: for the same seed, a traced run and an
+/// untraced run produce identical results and identical failure
+/// accounting.
+#[test]
+fn tracing_does_not_perturb_chaos_outcomes() {
+    let left = records(7, 120);
+    let right = records(11, 80);
+    for seed in [0u64, 3, 9] {
+        let mk_plan = || {
+            FaultPlan::seeded(seed)
+                .with_task_fail_rate(0.2)
+                .with_shuffle_fail_rate(0.1)
+        };
+        let untraced_ctx = chaos_ctx(mk_plan(), 3);
+        let untraced = pipeline(&untraced_ctx, &left, &right);
+        let traced_ctx = chaos_ctx(mk_plan(), 3);
+        traced_ctx.tracer().enable();
+        let traced = pipeline(&traced_ctx, &left, &right);
+        match (untraced, traced) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed}: traced run diverged"),
+            (
+                Err(SjdfError::ExhaustedRetries { partition: p1, .. }),
+                Err(SjdfError::ExhaustedRetries { partition: p2, .. }),
+            ) => {
+                assert_eq!(p1, p2, "seed {seed}: different partition exhausted");
+            }
+            (a, b) => panic!("seed {seed}: outcomes diverged: {a:?} vs {b:?}"),
+        }
+        assert_eq!(
+            untraced_ctx.failure_report().injected_task_faults,
+            traced_ctx.failure_report().injected_task_faults,
+            "seed {seed}: tracing changed fault injection"
+        );
+    }
+}

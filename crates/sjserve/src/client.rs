@@ -108,9 +108,30 @@ impl Client {
         spec: QuerySpec,
         timeout_ms: Option<u64>,
     ) -> Result<Response, ClientError> {
+        self.query_inner(spec, timeout_ms, false)
+    }
+
+    /// `query` with `trace: true`: like [`Client::query`], but the
+    /// response carries a [`crate::protocol::TraceSummary`] with the
+    /// query's text timeline and Chrome trace JSON.
+    pub fn query_traced(
+        &mut self,
+        spec: QuerySpec,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.query_inner(spec, timeout_ms, true)
+    }
+
+    fn query_inner(
+        &mut self,
+        spec: QuerySpec,
+        timeout_ms: Option<u64>,
+        trace: bool,
+    ) -> Result<Response, ClientError> {
         let id = self.fresh_id();
         let mut request = Request::query(&id, &self.tenant, spec);
         request.timeout_ms = timeout_ms;
+        request.trace = if trace { Some(true) } else { None };
         let response = self.call(&request)?;
         Self::expect_ok(response)
     }

@@ -130,6 +130,16 @@ pub struct StatsReport {
     /// Engine task attempts that exhausted their retry budget.
     #[serde(default)]
     pub engine_tasks_exhausted: u64,
+    /// Request traces extracted from the tracer (0 when tracing is off).
+    #[serde(default)]
+    pub traces_recorded: u64,
+    /// Total span/instant events across all extracted traces.
+    #[serde(default)]
+    pub trace_spans_recorded: u64,
+    /// Events the tracer discarded at capacity (cumulative gauge; a
+    /// non-zero value means traces may be missing spans).
+    #[serde(default)]
+    pub trace_spans_dropped: u64,
     pub per_tenant: Vec<TenantStats>,
 }
 
@@ -181,6 +191,10 @@ impl StatsReport {
             "faults: {} degraded responses, {} task retries, {} tasks exhausted\n",
             self.requests_degraded, self.engine_task_retries, self.engine_tasks_exhausted
         ));
+        out.push_str(&format!(
+            "traces: {} recorded ({} spans), {} spans dropped\n",
+            self.traces_recorded, self.trace_spans_recorded, self.trace_spans_dropped
+        ));
         for t in &self.per_tenant {
             out.push_str(&format!(
                 "tenant `{}`: {} admitted, {} rejected, {} completed\n",
@@ -206,6 +220,9 @@ pub struct ServiceMetrics {
     requests_degraded: AtomicU64,
     engine_task_retries: AtomicU64,
     engine_tasks_exhausted: AtomicU64,
+    traces_recorded: AtomicU64,
+    trace_spans_recorded: AtomicU64,
+    trace_spans_dropped: AtomicU64,
     latency: Mutex<Histogram>,
     tenants: Mutex<BTreeMap<String, TenantStats>>,
 }
@@ -225,6 +242,9 @@ impl Default for ServiceMetrics {
             requests_degraded: AtomicU64::new(0),
             engine_task_retries: AtomicU64::new(0),
             engine_tasks_exhausted: AtomicU64::new(0),
+            traces_recorded: AtomicU64::new(0),
+            trace_spans_recorded: AtomicU64::new(0),
+            trace_spans_dropped: AtomicU64::new(0),
             latency: Mutex::new(Histogram::default()),
             tenants: Mutex::new(BTreeMap::new()),
         }
@@ -277,6 +297,17 @@ impl ServiceMetrics {
 
     pub fn degraded_count(&self) -> u64 {
         self.requests_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Record one extracted request trace. `dropped_total` is the
+    /// tracer's cumulative drop counter, stored as a gauge (the tracer
+    /// never resets it, so `store` keeps the latest reading).
+    pub fn trace_finished(&self, spans: u64, dropped_total: u64) {
+        self.traces_recorded.fetch_add(1, Ordering::Relaxed);
+        self.trace_spans_recorded
+            .fetch_add(spans, Ordering::Relaxed);
+        self.trace_spans_dropped
+            .store(dropped_total, Ordering::Relaxed);
     }
 
     pub fn admitted(&self, tenant: &str) {
@@ -356,6 +387,9 @@ impl ServiceMetrics {
             requests_degraded: self.requests_degraded.load(Ordering::Relaxed),
             engine_task_retries: self.engine_task_retries.load(Ordering::Relaxed),
             engine_tasks_exhausted: self.engine_tasks_exhausted.load(Ordering::Relaxed),
+            traces_recorded: self.traces_recorded.load(Ordering::Relaxed),
+            trace_spans_recorded: self.trace_spans_recorded.load(Ordering::Relaxed),
+            trace_spans_dropped: self.trace_spans_dropped.load(Ordering::Relaxed),
             per_tenant,
         }
     }
@@ -461,6 +495,19 @@ mod tests {
         assert_eq!(s.engine_tasks_exhausted, 4);
         assert_eq!(m.degraded_count(), 1);
         assert!(s.render().contains("degraded"));
+    }
+
+    #[test]
+    fn trace_gauges_reach_the_snapshot_and_render() {
+        let m = ServiceMetrics::new();
+        m.trace_finished(12, 0);
+        m.trace_finished(5, 3);
+        let s = m.snapshot(CacheCounters::default());
+        assert_eq!(s.traces_recorded, 2);
+        assert_eq!(s.trace_spans_recorded, 17);
+        // The drop counter is a cumulative gauge: latest reading wins.
+        assert_eq!(s.trace_spans_dropped, 3);
+        assert!(s.render().contains("traces: 2 recorded"));
     }
 
     #[test]

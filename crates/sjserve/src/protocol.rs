@@ -95,6 +95,10 @@ pub struct Request {
     pub query: Option<QuerySpec>,
     /// Per-request deadline; the service default applies when absent.
     pub timeout_ms: Option<u64>,
+    /// When `Some(true)`, the response carries a [`TraceSummary`] for
+    /// this query (and server-side tracing is switched on if it was not
+    /// already). Optional so requests from older clients still parse.
+    pub trace: Option<bool>,
 }
 
 impl Request {
@@ -105,6 +109,7 @@ impl Request {
             tenant: tenant.into(),
             query: Some(spec),
             timeout_ms: None,
+            trace: None,
         }
     }
 
@@ -123,7 +128,13 @@ impl Request {
             tenant: String::new(),
             query: None,
             timeout_ms: None,
+            trace: None,
         }
+    }
+
+    /// Whether this request asked for a per-query trace.
+    pub fn wants_trace(&self) -> bool {
+        self.trace == Some(true)
     }
 }
 
@@ -208,6 +219,25 @@ pub struct HealthReport {
     pub uptime_ms: u64,
 }
 
+/// Per-query trace payload, attached when the request set `trace: true`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// The server-assigned query id the trace belongs to (matches
+    /// [`Response::query_id`] and the `query_id` on any
+    /// [`FailureReport`](sjdf::FailureReport) for this request).
+    pub query_id: String,
+    /// Number of events in the trace.
+    pub span_count: u64,
+    /// Events the server's trace sink dropped at capacity (whole-sink
+    /// counter; non-zero means some trace is incomplete).
+    pub dropped_spans: u64,
+    /// Compact text timeline (one line per span, tree-indented).
+    pub timeline: String,
+    /// Chrome trace-event JSON for this query, loadable in Perfetto /
+    /// `chrome://tracing`.
+    pub chrome_json: Option<String>,
+}
+
 /// One response line. Exactly one of the payload fields is populated on
 /// success (matching the request verb); `error` is populated on failure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -224,6 +254,11 @@ pub struct Response {
     /// Fault/retry accounting for this request's execution, when the
     /// engine reported any (always present on `degraded` responses).
     pub failure: Option<sjdf::FailureReport>,
+    /// Server-assigned query id (`query` / `explain` responses only),
+    /// correlating this response with server-side traces and metrics.
+    pub query_id: Option<String>,
+    /// Per-query trace, when the request set `trace: true`.
+    pub trace: Option<TraceSummary>,
 }
 
 impl Response {
@@ -237,6 +272,8 @@ impl Response {
             stats: None,
             health: None,
             failure: None,
+            query_id: None,
+            trace: None,
         }
     }
 
@@ -325,6 +362,38 @@ mod tests {
             serde_json::from_str(r#"{"id":"r","status":"ok","error":null,"result":null,"plan":null,"stats":null,"health":null}"#)
                 .unwrap();
         assert_eq!(legacy.failure, None);
+        assert_eq!(legacy.query_id, None);
+        assert_eq!(legacy.trace, None);
+    }
+
+    #[test]
+    fn trace_requests_and_summaries_round_trip() {
+        let mut req = Request::query("r-5", "t", QuerySpec::new(["job"], ["heat"]));
+        assert!(!req.wants_trace());
+        req.trace = Some(true);
+        assert!(req.wants_trace());
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        // Requests from older clients (no `trace` key) still parse.
+        let legacy: Request = serde_json::from_str(
+            r#"{"id":"r","verb":"query","tenant":"","query":null,"timeout_ms":null}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.trace, None);
+        assert!(!legacy.wants_trace());
+
+        let mut resp = Response::ok("r-5");
+        resp.query_id = Some("q000001-r-5".into());
+        resp.trace = Some(TraceSummary {
+            query_id: "q000001-r-5".into(),
+            span_count: 12,
+            dropped_spans: 0,
+            timeline: "trace: 12 events\nrequest ...\n".into(),
+            chrome_json: Some(r#"{"traceEvents":[]}"#.into()),
+        });
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.trace.unwrap().span_count, 12);
     }
 
     #[test]

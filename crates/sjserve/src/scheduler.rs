@@ -107,6 +107,9 @@ pub struct Job {
     pub enqueued: Instant,
     pub deadline: Instant,
     pub slot: Arc<ResponseSlot>,
+    /// Server-assigned correlation id, generated at admission; echoed on
+    /// the response and stamped on traces and failure reports.
+    pub query_id: String,
 }
 
 /// Why a submission was not accepted.
@@ -247,6 +250,7 @@ mod tests {
             enqueued: Instant::now(),
             deadline: Instant::now() + Duration::from_secs(5),
             slot: ResponseSlot::new(),
+            query_id: format!("q-{id}"),
         }
     }
 

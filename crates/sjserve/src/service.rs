@@ -17,6 +17,8 @@
 //! fingerprint). Each response reports which levels hit, its end-to-end
 //! latency, and the dataflow metrics attributable to its evaluation.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,11 +28,12 @@ use sjcore::catalog::Catalog;
 use sjcore::engine::{EngineConfig, Query, QueryEngine, QueryValue};
 use sjcore::SjError;
 use sjdf::ExecCtx;
+use sjtrace::{EventKind, RecordedSpan};
 
 use crate::cache::{PlanCacheLayer, PlanKey};
 use crate::metrics::{CacheCounters, ServiceMetrics, StatsReport};
 use crate::protocol::{
-    codes, ErrorBody, HealthReport, PlanInfo, QueryResult, Request, Response, Verb,
+    codes, ErrorBody, HealthReport, PlanInfo, QueryResult, Request, Response, TraceSummary, Verb,
 };
 use crate::scheduler::{AdmissionError, Job, ResponseSlot, Scheduler, SchedulerConfig};
 
@@ -59,6 +62,14 @@ pub struct ServiceConfig {
     /// service construction — the chaos-testing hook behind the
     /// `--chaos-seed` flag. `None` leaves the context untouched.
     pub faults: Option<sjdf::FaultPlan>,
+    /// When set, tracing is enabled at startup and the Chrome trace of
+    /// every degraded/failed or slow query (see
+    /// [`ServiceConfig::trace_slow_ms`]) is persisted to
+    /// `<trace_dir>/<query_id>.trace.json`. The `--trace-dir` flag.
+    pub trace_dir: Option<PathBuf>,
+    /// A query at or above this end-to-end latency counts as slow for
+    /// trace persistence. Only consulted when `trace_dir` is set.
+    pub trace_slow_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +82,8 @@ impl Default for ServiceConfig {
             engine: EngineConfig::default(),
             retry: None,
             faults: None,
+            trace_dir: None,
+            trace_slow_ms: 1000,
         }
     }
 }
@@ -84,6 +97,8 @@ struct ServiceInner {
     metrics: ServiceMetrics,
     scheduler: Scheduler,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Monotonic sequence behind server-assigned query ids.
+    query_seq: AtomicU64,
 }
 
 /// A running ScrubJay query service. Cheap to clone; all clones share
@@ -106,6 +121,11 @@ impl QueryService {
         if let Some(faults) = config.faults.clone() {
             ctx.set_faults(Some(faults));
         }
+        if config.trace_dir.is_some() {
+            // Persisting traces for slow/degraded queries needs every
+            // query traced; per-request `trace: true` enables lazily.
+            ctx.tracer().enable();
+        }
         let inner = Arc::new(ServiceInner {
             catalog,
             ctx,
@@ -115,6 +135,7 @@ impl QueryService {
             metrics: ServiceMetrics::new(),
             scheduler,
             workers: Mutex::new(Vec::new()),
+            query_seq: AtomicU64::new(0),
         });
         let service = QueryService { inner };
         service.start_workers();
@@ -180,6 +201,20 @@ impl QueryService {
         let inner = &self.inner;
         let id = request.id.clone();
         let tenant = request.tenant.clone();
+        // The correlation id is assigned here, at admission, so even
+        // rejected and timed-out requests can be matched against
+        // server-side logs and traces.
+        let query_id = format!(
+            "q{:06}-{}",
+            inner.query_seq.fetch_add(1, Ordering::Relaxed),
+            id
+        );
+        if request.wants_trace() {
+            // First traced request flips the shared tracer on for the
+            // rest of the process; the cost when idle is one relaxed
+            // atomic load per instrumentation site.
+            inner.ctx.tracer().enable();
+        }
         let timeout = request
             .timeout_ms
             .map(Duration::from_millis)
@@ -192,6 +227,7 @@ impl QueryService {
             enqueued: started,
             deadline,
             slot: Arc::clone(&slot),
+            query_id: query_id.clone(),
         };
         match inner.scheduler.submit(job) {
             Ok(depth) => {
@@ -200,19 +236,23 @@ impl QueryService {
             }
             Err(AdmissionError::QueueFull { depth, capacity }) => {
                 inner.metrics.rejected_full(&tenant);
-                return Response::fail(
+                let mut r = Response::fail(
                     &id,
                     ErrorBody::new(
                         codes::QUEUE_FULL,
                         format!("admission queue at capacity ({depth}/{capacity}); retry later"),
                     ),
                 );
+                r.query_id = Some(query_id);
+                return r;
             }
             Err(AdmissionError::ShuttingDown) => {
-                return Response::fail(
+                let mut r = Response::fail(
                     &id,
                     ErrorBody::new(codes::SHUTDOWN, "service is shutting down"),
                 );
+                r.query_id = Some(query_id);
+                return r;
             }
         }
         match slot.wait_until(deadline) {
@@ -223,13 +263,15 @@ impl QueryService {
             None => {
                 inner.metrics.timed_out();
                 inner.metrics.completed(&tenant);
-                Response::fail(
+                let mut r = Response::fail(
                     &id,
                     ErrorBody::new(
                         codes::TIMEOUT,
                         format!("deadline of {}ms elapsed", timeout.as_millis()),
                     ),
-                )
+                );
+                r.query_id = Some(query_id);
+                r
             }
         }
     }
@@ -304,6 +346,10 @@ fn exec_error(
     // happens on the rendered message.
     if message.contains("exhausted retry budget") {
         inner.metrics.degraded();
+        if inner.ctx.tracer().enabled() {
+            let brief: String = message.chars().take(120).collect();
+            inner.ctx.tracer().instant("degraded", brief);
+        }
         return Response::degraded(id, ErrorBody::new(codes::DEGRADED, message), delta.failures);
     }
     Response::fail(id, ErrorBody::new(codes::EXEC_FAILED, message))
@@ -332,9 +378,119 @@ fn worker_loop(inner: &ServiceInner) {
     }
 }
 
+/// Stamp the server-assigned query id everywhere a client might need to
+/// correlate: the response itself, its failure report (degraded
+/// responses), and the failure accounting inside the engine metrics.
+fn stamp_query_id(response: &mut Response, query_id: &str) {
+    response.query_id = Some(query_id.to_string());
+    if let Some(failure) = response.failure.as_mut() {
+        failure.query_id = Some(query_id.to_string());
+    }
+    if let Some(metrics) = response
+        .result
+        .as_mut()
+        .and_then(|r| r.engine_metrics.as_mut())
+    {
+        metrics.failures.query_id = Some(query_id.to_string());
+    }
+}
+
+/// Make a query id safe to use as a file stem: the request-id half is
+/// client-supplied and could carry separators or parent-dir hops.
+fn trace_file_stem(query_id: &str) -> String {
+    query_id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Abandoned spans older than this are pruned from the shared tracer
+/// after each request, bounding sink growth in a long-running service.
+const TRACE_RETENTION_US: u64 = 300_000_000;
+
+/// Execute one job with its request-scoped trace: a retroactive `request`
+/// root span opened at admission time, a `queue_wait` child covering the
+/// time spent in the admission queue, and everything the engine records
+/// underneath. After execution the request's span tree is extracted from
+/// the shared tracer, summarized onto the response when the client asked
+/// for it, and persisted to the trace dir when the query was slow or
+/// unhealthy.
+fn execute(inner: &ServiceInner, job: &Job) -> Response {
+    let tracer = inner.ctx.tracer().clone();
+    if !tracer.enabled() {
+        let mut response = execute_query(inner, job);
+        stamp_query_id(&mut response, &job.query_id);
+        return response;
+    }
+    let now = tracer.now_us();
+    let queued_us = job.enqueued.elapsed().as_micros() as u64;
+    let start = now.saturating_sub(queued_us);
+    let mut root = tracer.span_at("request", start);
+    let root_id = root.root();
+    if root.is_recording() {
+        root.set_detail(format!("query_id={} tenant={}", job.query_id, job.tenant));
+        tracer.record_span(RecordedSpan {
+            name: "queue_wait",
+            detail: format!("{queued_us}us queued"),
+            parent: root.id(),
+            root: root_id,
+            start_us: start,
+            end_us: now,
+            failed: false,
+            kind: EventKind::Span,
+        });
+    }
+    let mut response = execute_query(inner, job);
+    stamp_query_id(&mut response, &job.query_id);
+    if !response.is_ok() {
+        root.fail();
+    }
+    drop(root);
+
+    let events = tracer.take_root(root_id);
+    tracer.prune_before(tracer.now_us().saturating_sub(TRACE_RETENTION_US));
+    inner
+        .metrics
+        .trace_finished(events.len() as u64, tracer.dropped());
+
+    let mut chrome_json: Option<String> = None;
+    let thread_names = tracer.thread_names();
+    if job.request.wants_trace() {
+        let json = sjtrace::export::chrome_trace_json(&events, &thread_names, "sjserve");
+        chrome_json = Some(json.clone());
+        response.trace = Some(TraceSummary {
+            query_id: job.query_id.clone(),
+            span_count: events.len() as u64,
+            dropped_spans: tracer.dropped(),
+            timeline: sjtrace::timeline::render(&events),
+            chrome_json: Some(json),
+        });
+    }
+    if let Some(dir) = &inner.config.trace_dir {
+        let elapsed_ms = job.enqueued.elapsed().as_millis() as u64;
+        if !response.is_ok() || elapsed_ms >= inner.config.trace_slow_ms {
+            let json = chrome_json.unwrap_or_else(|| {
+                sjtrace::export::chrome_trace_json(&events, &thread_names, "sjserve")
+            });
+            let path = dir.join(format!("{}.trace.json", trace_file_stem(&job.query_id)));
+            // Trace persistence is best-effort: an unwritable dir must
+            // not fail the query it was meant to explain.
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(path, json);
+        }
+    }
+    response
+}
+
 /// Solve (through the plan cache) and, for `query`, execute (through the
 /// result cache).
-fn execute(inner: &ServiceInner, job: &Job) -> Response {
+fn execute_query(inner: &ServiceInner, job: &Job) -> Response {
     let id = &job.request.id;
     let spec = match &job.request.query {
         Some(spec) => spec,
@@ -403,9 +559,15 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
     };
 
     // Level 1: memoized derivation search.
+    let tracer = inner.ctx.tracer();
     let (plan, plan_cache_hit) = match inner.plan_cache.get(&key) {
-        Some(plan) => (plan, true),
+        Some(plan) => {
+            tracer.instant("plan_cache_hit", "");
+            (plan, true)
+        }
         None => {
+            tracer.instant("plan_cache_miss", "");
+            let mut solve_span = tracer.span("solve");
             let engine = QueryEngine::with_config(
                 &inner.catalog,
                 EngineConfig {
@@ -417,10 +579,12 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
             match engine.solve(&canonical) {
                 Ok(plan) => (inner.plan_cache.insert(key, plan), false),
                 Err(SjError::NoSolution(msg)) => {
-                    return Response::fail(id, ErrorBody::new(codes::NO_SOLUTION, msg))
+                    solve_span.fail();
+                    return Response::fail(id, ErrorBody::new(codes::NO_SOLUTION, msg));
                 }
                 Err(e) => {
-                    return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string()))
+                    solve_span.fail();
+                    return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string()));
                 }
             }
         }
@@ -441,17 +605,31 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
     let fingerprint = plan.fingerprint();
     let (schema, rows, result_cache_hit, engine_metrics) = match inner.result_cache.get(fingerprint)
     {
-        Some((schema, rows)) => (schema, rows, true, None),
+        Some((schema, rows)) => {
+            tracer.instant("result_cache_hit", "");
+            (schema, rows, true, None)
+        }
         None => {
+            tracer.instant("result_cache_miss", "");
+            let mut exec_span = tracer.span("execute");
             let baseline = inner.ctx.metrics.report();
             let ds = match plan.execute(&inner.catalog, None) {
                 Ok(ds) => ds,
-                Err(e) => return exec_error(inner, id, &baseline, &e.to_string()),
+                Err(e) => {
+                    exec_span.fail();
+                    drop(exec_span);
+                    return exec_error(inner, id, &baseline, &e.to_string());
+                }
             };
             let rows = match ds.collect() {
                 Ok(rows) => rows,
-                Err(e) => return exec_error(inner, id, &baseline, &e.to_string()),
+                Err(e) => {
+                    exec_span.fail();
+                    drop(exec_span);
+                    return exec_error(inner, id, &baseline, &e.to_string());
+                }
             };
+            drop(exec_span);
             let schema = ds.schema().clone();
             inner
                 .result_cache

@@ -1,0 +1,245 @@
+//! End-to-end tracing through the query service: a request that sets
+//! `trace: true` gets back a text timeline and a Chrome trace, the
+//! server-assigned `query_id` correlates the response with its failure
+//! report, and degraded queries leave a persisted trace behind when the
+//! service runs with a trace dir.
+
+use std::time::Duration;
+
+use sjcore::catalog::Catalog;
+use sjcore::row::Row;
+use sjcore::schema::{FieldDef, Schema};
+use sjcore::semantics::FieldSemantics;
+use sjcore::units::time::{TimeSpan, Timestamp};
+use sjcore::value::Value;
+use sjcore::SjDataset;
+use sjdf::{ClusterSpec, ExecCtx, FaultPlan, RetryPolicy};
+use sjserve::protocol::{QuerySpec, Request};
+use sjserve::service::{QueryService, ServiceConfig};
+use sjtrace::export::ChromeTrace;
+
+/// The DAT-1 shaped catalog (job log, node layout, rack temps) used by
+/// the chaos suite, wrapped with `ctx` so traces and faults reach every
+/// stage.
+fn catalog(ctx: &ExecCtx) -> Catalog {
+    let mut c = Catalog::default_hpc();
+
+    let joblog_schema = Schema::new(vec![
+        FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+        FieldDef::new("job_name", FieldSemantics::value("application", "app-name")),
+        FieldDef::new(
+            "nodelist",
+            FieldSemantics::domain("compute-node", "node-list"),
+        ),
+        FieldDef::new("elapsed", FieldSemantics::value("time", "t-seconds")),
+        FieldDef::new("timespan", FieldSemantics::domain("time", "timespan")),
+    ])
+    .unwrap();
+    let joblog_rows = vec![
+        Row::new(vec![
+            Value::str("1001"),
+            Value::str("AMG"),
+            Value::list([Value::str("cab1"), Value::str("cab2")]),
+            Value::Float(240.0),
+            Value::Span(TimeSpan::new(
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(240),
+            )),
+        ]),
+        Row::new(vec![
+            Value::str("1002"),
+            Value::str("LULESH"),
+            Value::list([Value::str("cab3")]),
+            Value::Float(120.0),
+            Value::Span(TimeSpan::new(
+                Timestamp::from_secs(60),
+                Timestamp::from_secs(180),
+            )),
+        ]),
+    ];
+    c.register_dataset(
+        "job_queue_log",
+        SjDataset::from_rows(ctx, joblog_rows, joblog_schema, "job_queue_log", 2),
+    )
+    .unwrap();
+
+    let layout_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])
+    .unwrap();
+    let layout_rows = vec![
+        Row::new(vec![Value::str("cab1"), Value::str("rack17")]),
+        Row::new(vec![Value::str("cab2"), Value::str("rack17")]),
+        Row::new(vec![Value::str("cab3"), Value::str("rack18")]),
+    ];
+    c.register_dataset(
+        "node_layout",
+        SjDataset::from_rows(ctx, layout_rows, layout_schema, "node_layout", 2),
+    )
+    .unwrap();
+
+    let temps_schema = Schema::new(vec![
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        FieldDef::new(
+            "location",
+            FieldSemantics::domain("rack-location", "location-name"),
+        ),
+        FieldDef::new("aisle", FieldSemantics::domain("aisle", "aisle-name")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap();
+    let mut temps_rows = Vec::new();
+    for rack in ["rack17", "rack18"] {
+        for t in [0i64, 120, 240] {
+            for (aisle, base) in [("hot", 35.0), ("cold", 18.0)] {
+                temps_rows.push(Row::new(vec![
+                    Value::str(rack),
+                    Value::str("top"),
+                    Value::str(aisle),
+                    Value::Time(Timestamp::from_secs(t)),
+                    Value::Float(base + t as f64 / 100.0),
+                ]));
+            }
+        }
+    }
+    c.register_dataset(
+        "rack_temps",
+        SjDataset::from_rows(ctx, temps_rows, temps_schema, "rack_temps", 2),
+    )
+    .unwrap();
+    c
+}
+
+fn rack_heat_spec() -> QuerySpec {
+    QuerySpec::new(["job", "rack"], ["application", "heat"])
+}
+
+fn traced_query(id: &str) -> Request {
+    let mut r = Request::query(id, "", rack_heat_spec());
+    r.trace = Some(true);
+    r
+}
+
+#[test]
+fn traced_query_returns_timeline_and_chrome_json() {
+    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+    let cat = catalog(&ctx);
+    let service = QueryService::new(ctx, cat, ServiceConfig::default());
+
+    let resp = service.handle(traced_query("t1"));
+    assert!(resp.is_ok(), "{:?}", resp.error);
+    let query_id = resp.query_id.clone().expect("query responses carry an id");
+    let trace = resp.trace.expect("trace:true responses carry a summary");
+    assert_eq!(trace.query_id, query_id);
+    assert!(trace.span_count > 0);
+
+    // The text timeline shows the request root, its queue wait, and the
+    // engine's execution underneath.
+    for needle in ["request", "queue_wait", "execute", "job"] {
+        assert!(
+            trace.timeline.contains(needle),
+            "timeline lacks `{needle}`:\n{}",
+            trace.timeline
+        );
+    }
+
+    // The Chrome export is valid trace-event JSON and every event is
+    // tagged with this request's root id.
+    let chrome: ChromeTrace =
+        serde_json::from_str(trace.chrome_json.as_deref().unwrap()).expect("valid trace JSON");
+    let spans: Vec<_> = chrome.traceEvents.iter().filter(|e| e.ph != "M").collect();
+    assert_eq!(spans.len() as u64, trace.span_count);
+    let root = spans
+        .iter()
+        .find(|e| e.name == "request")
+        .expect("request root span in chrome export");
+    let root_id = root.args.get("root").cloned().unwrap();
+    assert!(spans.iter().all(|e| e.args.get("root") == Some(&root_id)));
+
+    // A plain query against the same service still answers (tracing
+    // stays on process-wide) but carries no per-request summary.
+    let resp2 = service.handle(Request::query("t2", "", rack_heat_spec()));
+    assert!(resp2.is_ok());
+    assert!(resp2.trace.is_none());
+    assert_ne!(resp2.query_id, Some(query_id));
+
+    let stats = service.shutdown();
+    assert!(stats.traces_recorded >= 2);
+    assert!(stats.trace_spans_recorded >= trace.span_count);
+}
+
+#[test]
+fn untraced_service_responses_still_carry_query_ids() {
+    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+    let cat = catalog(&ctx);
+    let service = QueryService::new(ctx, cat, ServiceConfig::default());
+
+    let a = service.handle(Request::query("a", "", rack_heat_spec()));
+    let b = service.handle(Request::query("b", "", rack_heat_spec()));
+    assert!(a.is_ok() && b.is_ok());
+    let (qa, qb) = (a.query_id.unwrap(), b.query_id.unwrap());
+    assert_ne!(qa, qb, "query ids must be unique per admission");
+    assert!(qa.ends_with("-a") && qb.ends_with("-b"));
+    assert!(a.trace.is_none(), "no trace unless requested");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.traces_recorded, 0, "tracing never turned on");
+}
+
+#[test]
+fn degraded_queries_persist_traces_and_stamp_failure_reports() {
+    let dir = std::env::temp_dir().join(format!("sjtrace-svc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ctx = ExecCtx::new(ClusterSpec::new(1, 2).unwrap());
+    let cat = catalog(&ctx);
+    let service = QueryService::new(
+        ctx,
+        cat,
+        ServiceConfig {
+            retry: Some(RetryPolicy::retries(2).with_backoff(
+                Duration::from_micros(50),
+                2.0,
+                Duration::from_millis(2),
+            )),
+            faults: Some(FaultPlan::seeded(9).poison_partition(0)),
+            trace_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+    );
+
+    let resp = service.handle(traced_query("doomed"));
+    assert!(resp.is_degraded(), "{:?} {:?}", resp.status, resp.error);
+    let query_id = resp
+        .query_id
+        .clone()
+        .expect("degraded responses carry an id");
+
+    // The failure report inside the degraded response round-trips the
+    // same correlation id.
+    let failure = resp.failure.expect("degraded responses carry the report");
+    assert_eq!(failure.query_id.as_deref(), Some(query_id.as_str()));
+
+    // The trace summary shows the failure: a failed request root and the
+    // injected faults that caused it.
+    let trace = resp.trace.expect("trace:true still answered on degraded");
+    assert!(
+        trace.timeline.contains("FAILED"),
+        "no failed span in:\n{}",
+        trace.timeline
+    );
+    assert!(trace.timeline.contains("fault_injected"));
+
+    // Degraded + trace_dir => a persisted Chrome trace named after the
+    // query id.
+    let path = dir.join(format!("{query_id}.trace.json"));
+    let persisted = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing persisted trace {}: {e}", path.display()));
+    let chrome: ChromeTrace = serde_json::from_str(&persisted).expect("persisted trace parses");
+    assert!(chrome.traceEvents.iter().any(|e| e.name == "degraded"));
+
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,191 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the "JSON object format" understood by `chrome://tracing`
+//! and Perfetto: a `traceEvents` array of complete (`ph: "X"`) and
+//! instant (`ph: "i"`) events with microsecond timestamps, plus metadata
+//! events naming the process and one track per recording thread.
+//!
+//! The same structs double as a typed parser ([`ChromeTrace`]), so tests
+//! and CI can validate an exported trace by round-tripping it without a
+//! dynamic JSON value type.
+
+use crate::{EventKind, SpanEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Top-level Chrome trace object: `{"traceEvents": [...]}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct ChromeTrace {
+    /// The event array; field name is dictated by the trace format.
+    pub traceEvents: Vec<ChromeEvent>,
+}
+
+/// One Chrome trace event. Every field is always emitted (instants carry
+/// `dur: 0`) so the struct round-trips through the vendored serde.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (constant `"scrubjay"` for span data, `"__metadata"` for
+    /// process/thread naming).
+    pub cat: String,
+    /// Phase: `"X"` complete, `"i"` instant, `"M"` metadata.
+    pub ph: String,
+    /// Start timestamp, microseconds.
+    pub ts: u64,
+    /// Duration, microseconds (0 for instants and metadata).
+    pub dur: u64,
+    /// Process id (always 1; one process).
+    pub pid: u64,
+    /// Thread id — the tracer's process-global thread id, one track per
+    /// worker thread.
+    pub tid: u64,
+    /// Detail payload: span detail, ids, and failure flag.
+    pub args: BTreeMap<String, String>,
+}
+
+const CATEGORY: &str = "scrubjay";
+const PID: u64 = 1;
+
+fn span_args(e: &SpanEvent) -> BTreeMap<String, String> {
+    let mut args = BTreeMap::new();
+    args.insert("detail".into(), e.detail.clone());
+    args.insert("id".into(), e.id.to_string());
+    args.insert("parent".into(), e.parent.to_string());
+    args.insert("root".into(), e.root.to_string());
+    args.insert("failed".into(), e.failed.to_string());
+    args
+}
+
+/// Convert a batch of events to the Chrome trace object form.
+pub fn chrome_trace(
+    events: &[SpanEvent],
+    thread_names: &BTreeMap<u32, String>,
+    process_name: &str,
+) -> ChromeTrace {
+    let mut out = Vec::with_capacity(events.len() + thread_names.len() + 1);
+    let mut meta = |name: &str, tid: u64, value: &str| {
+        let mut args = BTreeMap::new();
+        args.insert("name".into(), value.to_string());
+        out.push(ChromeEvent {
+            name: name.into(),
+            cat: "__metadata".into(),
+            ph: "M".into(),
+            ts: 0,
+            dur: 0,
+            pid: PID,
+            tid,
+            args,
+        });
+    };
+    meta("process_name", 0, process_name);
+    let used: std::collections::BTreeSet<u32> = events.iter().map(|e| e.thread).collect();
+    for (tid, tname) in thread_names {
+        if used.contains(tid) {
+            meta("thread_name", u64::from(*tid), tname);
+        }
+    }
+    for e in events {
+        let (ph, dur) = match e.kind {
+            EventKind::Span => ("X", e.duration_us()),
+            EventKind::Instant => ("i", 0),
+        };
+        let name = if e.failed {
+            format!("{} (failed)", e.name)
+        } else {
+            e.name.clone()
+        };
+        out.push(ChromeEvent {
+            name,
+            cat: CATEGORY.into(),
+            ph: ph.into(),
+            ts: e.start_us,
+            dur,
+            pid: PID,
+            tid: u64::from(e.thread),
+            args: span_args(e),
+        });
+    }
+    ChromeTrace { traceEvents: out }
+}
+
+/// Render a batch of events straight to Chrome trace JSON.
+pub fn chrome_trace_json(
+    events: &[SpanEvent],
+    thread_names: &BTreeMap<u32, String>,
+    process_name: &str,
+) -> String {
+    serde_json::to_string(&chrome_trace(events, thread_names, process_name))
+        .expect("chrome trace serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample_events() -> (Vec<SpanEvent>, BTreeMap<u32, String>) {
+        let tracer = Tracer::new();
+        tracer.enable();
+        {
+            let mut outer = tracer.span("job");
+            outer.set_detail("action=collect");
+            {
+                let mut task = tracer.span("task");
+                task.set_detail("part=0 attempt=0");
+                tracer.instant("cache_hit", "shuffle");
+                task.fail();
+            }
+        }
+        (tracer.drain(), tracer.thread_names())
+    }
+
+    #[test]
+    fn exported_trace_round_trips_through_typed_parse() {
+        let (events, names) = sample_events();
+        let json = chrome_trace_json(&events, &names, "test-proc");
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chrome_trace(&events, &names, "test-proc"));
+        // 3 span/instant events + process_name + one thread_name.
+        assert_eq!(back.traceEvents.len(), 5);
+        let spans: Vec<_> = back.traceEvents.iter().filter(|e| e.ph == "X").collect();
+        assert_eq!(spans.len(), 2);
+        let failed = spans.iter().find(|e| e.name == "task (failed)").unwrap();
+        assert_eq!(failed.args["failed"], "true");
+        assert_eq!(failed.args["detail"], "part=0 attempt=0");
+        let instants: Vec<_> = back.traceEvents.iter().filter(|e| e.ph == "i").collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(instants[0].dur, 0);
+    }
+
+    #[test]
+    fn metadata_names_process_and_threads() {
+        let (events, names) = sample_events();
+        let trace = chrome_trace(&events, &names, "sjserve");
+        let metas: Vec<_> = trace.traceEvents.iter().filter(|e| e.ph == "M").collect();
+        assert!(metas
+            .iter()
+            .any(|m| m.name == "process_name" && m.args["name"] == "sjserve"));
+        assert!(metas.iter().any(|m| m.name == "thread_name"));
+    }
+
+    #[test]
+    fn parent_and_root_ids_survive_export() {
+        let (events, names) = sample_events();
+        let json = chrome_trace_json(&events, &names, "p");
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        let job = back
+            .traceEvents
+            .iter()
+            .find(|e| e.name == "job" && e.ph == "X")
+            .unwrap();
+        let task = back
+            .traceEvents
+            .iter()
+            .find(|e| e.name.starts_with("task"))
+            .unwrap();
+        assert_eq!(task.args["parent"], job.args["id"]);
+        assert_eq!(task.args["root"], job.args["id"]);
+    }
+}

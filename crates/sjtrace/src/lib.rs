@@ -1,0 +1,850 @@
+//! Low-overhead structured span tracing for ScrubJay.
+//!
+//! A [`Tracer`] is a cheaply clonable handle to a sharded in-memory span
+//! sink. Instrumentation sites open a [`SpanGuard`] (closed on drop, even
+//! during unwinding) or record a zero-duration instant event; every event
+//! carries a monotonic microsecond timestamp, a parent span id, and the id
+//! of the root span of its tree, so the events for one request can be
+//! extracted from a shared sink ([`Tracer::take_root`]) even while other
+//! requests are tracing concurrently.
+//!
+//! The design goals, in priority order:
+//!
+//! 1. **Zero cost when disabled.** Every entry point checks one relaxed
+//!    atomic load and returns a no-op guard; callers are expected to guard
+//!    any `format!` detail work behind [`SpanGuard::is_recording`] or
+//!    [`Tracer::enabled`].
+//! 2. **Panic safety.** A guard dropped during unwinding records its span
+//!    as `failed`, so a killed task attempt still produces a well-formed,
+//!    closed span.
+//! 3. **Bounded memory.** The sink is a fixed number of mutex-protected
+//!    shards (selected by thread id, so contention is rare) with a total
+//!    capacity; once full, new events are dropped and counted rather than
+//!    growing without bound.
+//!
+//! Exporters live in [`export`] (Chrome trace-event JSON, loadable in
+//! Perfetto or `chrome://tracing`) and [`timeline`] (a compact text tree).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod timeline;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of one span within one [`Tracer`]. Id `0` is reserved to
+/// mean "no parent".
+pub type SpanId = u64;
+
+/// Whether an event is a duration span or a point-in-time marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A duration event with distinct start and end.
+    Span,
+    /// A zero-duration marker (`start_us == end_us`).
+    Instant,
+}
+
+/// One recorded event: a closed span or an instant marker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Unique id within the tracer (allocated from 1).
+    pub id: SpanId,
+    /// Parent span id, or `0` for a tree root.
+    pub parent: SpanId,
+    /// Id of the root span of this event's tree (`== id` for roots).
+    pub root: SpanId,
+    /// Static site name, e.g. `"wave"` or `"task"`.
+    pub name: String,
+    /// Free-form detail, e.g. `"part=3 attempt=1"`.
+    pub detail: String,
+    /// Process-global id of the recording thread.
+    pub thread: u32,
+    /// Start, microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// End, microseconds since the tracer's epoch (equal to `start_us`
+    /// for instants).
+    pub end_us: u64,
+    /// Duration span or instant marker.
+    pub kind: EventKind,
+    /// The guarded work panicked, was injected with a fault, or was
+    /// explicitly marked failed.
+    pub failed: bool,
+    /// The span is allowed to outlive its parent's recorded interval
+    /// (e.g. a speculative task attempt that loses the race and finishes
+    /// after its wave has already settled).
+    pub detached: bool,
+}
+
+impl SpanEvent {
+    /// Duration in microseconds (zero for instants).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Default total sink capacity, in events, across all shards.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+const SHARDS: usize = 16;
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u32> = const { Cell::new(0) };
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Clone, Copy)]
+struct StackEntry {
+    tracer: u64,
+    span: SpanId,
+    root: SpanId,
+}
+
+/// Process-global id of the calling thread (assigned on first use).
+fn thread_id() -> u32 {
+    THREAD_ID.with(|id| {
+        let v = id.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        id.set(v);
+        v
+    })
+}
+
+struct TracerInner {
+    id: u64,
+    enabled: AtomicBool,
+    epoch: Instant,
+    next_span: AtomicU64,
+    shards: Vec<Mutex<Vec<SpanEvent>>>,
+    shard_capacity: usize,
+    dropped: AtomicU64,
+    threads: Mutex<BTreeMap<u32, String>>,
+}
+
+/// A cheaply clonable handle to a shared span sink. All clones observe
+/// the same enabled flag, event buffer, and id counter.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with the default sink capacity.
+    pub fn new() -> Self {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A disabled tracer holding at most `capacity` events; further
+    /// events are dropped (see [`Tracer::dropped`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let shard_capacity = capacity.div_ceil(SHARDS).max(1);
+        Tracer {
+            inner: Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                enabled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+                shard_capacity,
+                dropped: AtomicU64::new(0),
+                threads: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Start recording. Affects every clone of this tracer.
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (already-open guards still record on drop).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether the tracer is recording. One relaxed atomic load — this is
+    /// the entire cost of a disabled instrumentation site.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since this tracer was created (its timestamp epoch).
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a span parented to the calling thread's innermost open span
+    /// of this tracer (a new root if there is none).
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard::disabled();
+        }
+        let start = self.now_us();
+        self.open(name, start, None)
+    }
+
+    /// Open a span whose start is backdated to `start_us` (stack
+    /// parenting, like [`Tracer::span`]). Used for intervals that began
+    /// before the tracing code ran, e.g. time spent in an admission queue.
+    pub fn span_at(&self, name: &'static str, start_us: u64) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard::disabled();
+        }
+        self.open(name, start_us, None)
+    }
+
+    /// Open a span with an explicit parent and root, for work that runs
+    /// on a different thread than the span it belongs under (e.g. a task
+    /// attempt on a pool thread, under a wave span opened by the caller).
+    pub fn child_span(&self, name: &'static str, parent: SpanId, root: SpanId) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard::disabled();
+        }
+        let start = self.now_us();
+        self.open(name, start, Some((parent, root)))
+    }
+
+    fn open(
+        &self,
+        name: &'static str,
+        start_us: u64,
+        explicit: Option<(SpanId, SpanId)>,
+    ) -> SpanGuard {
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let (parent, root) = match explicit {
+            Some(pr) => pr,
+            None => self.current().unwrap_or((0, 0)),
+        };
+        let root = if root == 0 { id } else { root };
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().push(StackEntry {
+                tracer: self.inner.id,
+                span: id,
+                root,
+            })
+        });
+        SpanGuard {
+            tracer: Some(self.clone()),
+            id,
+            parent,
+            root,
+            name,
+            detail: String::new(),
+            start_us,
+            failed: false,
+            detached: false,
+        }
+    }
+
+    /// Record an instant event parented to the calling thread's innermost
+    /// open span of this tracer.
+    pub fn instant(&self, name: &'static str, detail: impl Into<String>) {
+        if !self.enabled() {
+            return;
+        }
+        let now = self.now_us();
+        let (parent, root) = self.current().unwrap_or((0, 0));
+        self.record(RecordedSpan {
+            name,
+            detail: detail.into(),
+            parent,
+            root,
+            start_us: now,
+            end_us: now,
+            failed: false,
+            kind: EventKind::Instant,
+        });
+    }
+
+    /// Record an instant event with an explicit parent and root (for
+    /// cross-thread sites; see [`Tracer::child_span`]).
+    pub fn instant_under(
+        &self,
+        name: &'static str,
+        detail: impl Into<String>,
+        parent: SpanId,
+        root: SpanId,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let now = self.now_us();
+        self.record(RecordedSpan {
+            name,
+            detail: detail.into(),
+            parent,
+            root,
+            start_us: now,
+            end_us: now,
+            failed: false,
+            kind: EventKind::Instant,
+        });
+    }
+
+    /// Record a fully retroactive span (both endpoints in the past).
+    pub fn record_span(&self, span: RecordedSpan) {
+        if !self.enabled() {
+            return;
+        }
+        self.record(span);
+    }
+
+    fn record(&self, span: RecordedSpan) {
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let root = if span.root == 0 { id } else { span.root };
+        self.push(SpanEvent {
+            id,
+            parent: span.parent,
+            root,
+            name: span.name.to_string(),
+            detail: span.detail,
+            thread: thread_id(),
+            start_us: span.start_us,
+            end_us: span.end_us.max(span.start_us),
+            kind: span.kind,
+            failed: span.failed,
+            detached: false,
+        });
+    }
+
+    fn push(&self, event: SpanEvent) {
+        self.register_thread(event.thread);
+        let shard = &self.inner.shards[event.thread as usize % SHARDS];
+        let mut buf = shard.lock();
+        if buf.len() >= self.inner.shard_capacity {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.push(event);
+        }
+    }
+
+    fn register_thread(&self, tid: u32) {
+        let mut threads = self.inner.threads.lock();
+        threads.entry(tid).or_insert_with(|| {
+            std::thread::current()
+                .name()
+                .map(String::from)
+                .unwrap_or_else(|| format!("thread-{tid}"))
+        });
+    }
+
+    /// The calling thread's innermost open `(span, root)` of this tracer.
+    pub fn current(&self) -> Option<(SpanId, SpanId)> {
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|e| e.tracer == self.inner.id)
+                .map(|e| (e.span, e.root))
+        })
+    }
+
+    fn close(&self, guard: &mut SpanGuard) {
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|e| e.tracer == self.inner.id && e.span == guard.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let failed = guard.failed || std::thread::panicking();
+        self.push(SpanEvent {
+            id: guard.id,
+            parent: guard.parent,
+            root: guard.root,
+            name: guard.name.to_string(),
+            detail: std::mem::take(&mut guard.detail),
+            thread: thread_id(),
+            start_us: guard.start_us,
+            end_us: self.now_us().max(guard.start_us),
+            kind: EventKind::Span,
+            failed,
+            detached: guard.detached,
+        });
+    }
+
+    /// Copy out every recorded event, sorted by `(start_us, id)`.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for shard in &self.inner.shards {
+            out.extend(shard.lock().iter().cloned());
+        }
+        out.sort_by_key(|e| (e.start_us, e.id));
+        out
+    }
+
+    /// Remove and return every recorded event, sorted by `(start_us, id)`.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for shard in &self.inner.shards {
+            out.append(&mut shard.lock());
+        }
+        out.sort_by_key(|e| (e.start_us, e.id));
+        out
+    }
+
+    /// Remove and return the events of one tree (all events whose `root`
+    /// matches), sorted by `(start_us, id)`. Events of other roots stay
+    /// in the sink, so concurrent requests can each extract their own
+    /// trace from a shared tracer.
+    pub fn take_root(&self, root: SpanId) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for shard in &self.inner.shards {
+            let mut buf = shard.lock();
+            let mut i = 0;
+            while i < buf.len() {
+                if buf[i].root == root {
+                    out.push(buf.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.start_us, e.id));
+        out
+    }
+
+    /// Drop recorded events that started before `cutoff_us`, returning
+    /// how many were removed. Long-running services call this after
+    /// extracting a trace so stragglers from abandoned trees cannot fill
+    /// the sink.
+    pub fn prune_before(&self, cutoff_us: u64) -> usize {
+        let mut removed = 0;
+        for shard in &self.inner.shards {
+            let mut buf = shard.lock();
+            let before = buf.len();
+            buf.retain(|e| e.start_us >= cutoff_us);
+            removed += before - buf.len();
+        }
+        removed
+    }
+
+    /// Discard every recorded event and reset the dropped counter.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.lock().clear();
+        }
+        self.inner.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events dropped because the sink was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Names of every thread that has recorded an event, by thread id.
+    pub fn thread_names(&self) -> BTreeMap<u32, String> {
+        self.inner.threads.lock().clone()
+    }
+}
+
+/// Inputs for [`Tracer::record_span`]: a retroactive span whose both
+/// endpoints are already known.
+#[derive(Debug, Clone)]
+pub struct RecordedSpan {
+    /// Static site name.
+    pub name: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+    /// Parent span id (`0` for a root).
+    pub parent: SpanId,
+    /// Root id of the tree (`0` to make this event its own root).
+    pub root: SpanId,
+    /// Start, microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// End, microseconds since the tracer's epoch.
+    pub end_us: u64,
+    /// Whether the recorded work failed.
+    pub failed: bool,
+    /// Duration span or instant marker.
+    pub kind: EventKind,
+}
+
+/// An open span, recorded when dropped (including during unwinding, in
+/// which case it is marked failed). Obtained from [`Tracer::span`] and
+/// friends; a disabled tracer returns an inert guard whose methods are
+/// all no-ops.
+#[must_use = "a span guard records its span when dropped"]
+pub struct SpanGuard {
+    tracer: Option<Tracer>,
+    id: SpanId,
+    parent: SpanId,
+    root: SpanId,
+    name: &'static str,
+    detail: String,
+    start_us: u64,
+    failed: bool,
+    detached: bool,
+}
+
+impl SpanGuard {
+    /// An inert guard that records nothing.
+    pub fn disabled() -> Self {
+        SpanGuard {
+            tracer: None,
+            id: 0,
+            parent: 0,
+            root: 0,
+            name: "",
+            detail: String::new(),
+            start_us: 0,
+            failed: false,
+            detached: false,
+        }
+    }
+
+    /// Whether this guard will record a span (callers should gate any
+    /// `format!` work for [`SpanGuard::set_detail`] on this).
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// This span's id (0 when not recording).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The root id of this span's tree (0 when not recording).
+    pub fn root(&self) -> SpanId {
+        self.root
+    }
+
+    /// Attach free-form detail, replacing any previous detail.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        if self.tracer.is_some() {
+            self.detail = detail.into();
+        }
+    }
+
+    /// Mark the guarded work as failed.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Allow this span to end after its parent's recorded interval (used
+    /// for speculative task attempts that may lose the race and finish
+    /// after the wave settles). [`validate`] skips the containment check
+    /// for detached spans.
+    pub fn detach(&mut self) {
+        self.detached = true;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer.take() {
+            tracer.close(self);
+        }
+    }
+}
+
+/// Check the structural invariants of one batch of events (typically a
+/// full [`Tracer::drain`] or one [`Tracer::take_root`] tree): unique ids,
+/// `end >= start`, parentless events are their own roots, and every event
+/// whose parent is present in the batch starts within the parent's
+/// interval, ends within it (unless detached), and agrees on the root id.
+pub fn validate(events: &[SpanEvent]) -> Result<(), String> {
+    let mut by_id: BTreeMap<SpanId, &SpanEvent> = BTreeMap::new();
+    for e in events {
+        if e.id == 0 {
+            return Err(format!("event `{}` has reserved id 0", e.name));
+        }
+        if by_id.insert(e.id, e).is_some() {
+            return Err(format!("duplicate span id {}", e.id));
+        }
+    }
+    for e in events {
+        if e.end_us < e.start_us {
+            return Err(format!(
+                "span {} `{}` ends before it starts ({} < {})",
+                e.id, e.name, e.end_us, e.start_us
+            ));
+        }
+        if e.parent == 0 {
+            if e.root != e.id {
+                return Err(format!(
+                    "parentless span {} `{}` has root {} (expected {})",
+                    e.id, e.name, e.root, e.id
+                ));
+            }
+            continue;
+        }
+        let Some(p) = by_id.get(&e.parent) else {
+            // The parent may live in another batch (or have been dropped
+            // at capacity); nothing to check against.
+            continue;
+        };
+        if e.root != p.root {
+            return Err(format!(
+                "span {} `{}` has root {} but its parent {} has root {}",
+                e.id, e.name, e.root, p.id, p.root
+            ));
+        }
+        if e.start_us < p.start_us {
+            return Err(format!(
+                "span {} `{}` starts at {} before its parent {} `{}` at {}",
+                e.id, e.name, e.start_us, p.id, p.name, p.start_us
+            ));
+        }
+        if !e.detached && e.end_us > p.end_us {
+            return Err(format!(
+                "span {} `{}` ends at {} after its parent {} `{}` at {}",
+                e.id, e.name, e.end_us, p.id, p.name, p.end_us
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new();
+        assert!(!tracer.enabled());
+        let mut span = tracer.span("outer");
+        assert!(!span.is_recording());
+        assert_eq!(span.id(), 0);
+        span.set_detail("ignored");
+        span.fail();
+        tracer.instant("marker", "x");
+        drop(span);
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_nest_on_the_thread_stack() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        {
+            let outer = tracer.span("outer");
+            assert_eq!(tracer.current(), Some((outer.id(), outer.root())));
+            {
+                let inner = tracer.span("inner");
+                assert_eq!(inner.root(), outer.id());
+                tracer.instant("marker", "detail");
+            }
+            assert_eq!(tracer.current(), Some((outer.id(), outer.root())));
+        }
+        let events = tracer.drain();
+        assert_eq!(events.len(), 3);
+        validate(&events).unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let marker = events.iter().find(|e| e.name == "marker").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(outer.root, outer.id);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.root, outer.id);
+        assert_eq!(marker.parent, inner.id);
+        assert_eq!(marker.kind, EventKind::Instant);
+        assert_eq!(marker.detail, "detail");
+    }
+
+    #[test]
+    fn explicit_parents_cross_threads() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        let parent = tracer.span("wave");
+        let (pid, proot) = (parent.id(), parent.root());
+        let t = {
+            let tracer = tracer.clone();
+            std::thread::spawn(move || {
+                let mut task = tracer.child_span("task", pid, proot);
+                task.set_detail("part=0");
+                tracer.instant("retry", "attempt=1");
+            })
+        };
+        t.join().unwrap();
+        drop(parent);
+        let events = tracer.drain();
+        validate(&events).unwrap();
+        let task = events.iter().find(|e| e.name == "task").unwrap();
+        let retry = events.iter().find(|e| e.name == "retry").unwrap();
+        assert_eq!(task.parent, pid);
+        assert_eq!(task.root, proot);
+        // The instant was stack-parented to the task span on its thread.
+        assert_eq!(retry.parent, task.id);
+        assert_eq!(retry.root, proot);
+    }
+
+    #[test]
+    fn panicking_work_closes_its_span_as_failed() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = tracer.span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let events = tracer.drain();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].failed, "unwound span must be marked failed");
+        assert_eq!(events[0].kind, EventKind::Span);
+        // The stack entry was popped during unwinding.
+        assert_eq!(tracer.current(), None);
+    }
+
+    #[test]
+    fn capacity_overflow_drops_and_counts() {
+        let tracer = Tracer::with_capacity(16);
+        tracer.enable();
+        for i in 0..100 {
+            tracer.instant("e", format!("{i}"));
+        }
+        assert!(tracer.len() <= 16);
+        assert!(tracer.dropped() >= 84);
+        tracer.clear();
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn take_root_extracts_one_tree_only() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        let a = tracer.span("a");
+        let a_root = a.root();
+        drop(a);
+        let b = tracer.span("b");
+        let b_root = b.root();
+        tracer.instant("b_marker", "");
+        drop(b);
+        let got = tracer.take_root(b_root);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|e| e.root == b_root));
+        let rest = tracer.drain();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].root, a_root);
+    }
+
+    #[test]
+    fn retroactive_spans_and_prune() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        tracer.record_span(RecordedSpan {
+            name: "queue_wait",
+            detail: "tenant=t".into(),
+            parent: 0,
+            root: 0,
+            start_us: 5,
+            end_us: 40,
+            failed: false,
+            kind: EventKind::Span,
+        });
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].start_us, 5);
+        assert_eq!(events[0].end_us, 40);
+        assert_eq!(events[0].root, events[0].id);
+        assert_eq!(tracer.prune_before(u64::MAX), 1);
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_trees() {
+        let mk = |id, parent, root, start, end| SpanEvent {
+            id,
+            parent,
+            root,
+            name: "s".into(),
+            detail: String::new(),
+            thread: 1,
+            start_us: start,
+            end_us: end,
+            kind: EventKind::Span,
+            failed: false,
+            detached: false,
+        };
+        // end < start
+        assert!(validate(&[mk(1, 0, 1, 10, 5)]).is_err());
+        // child escapes its parent's interval
+        assert!(validate(&[mk(1, 0, 1, 0, 100), mk(2, 1, 1, 50, 150)]).is_err());
+        // root mismatch between child and parent
+        assert!(validate(&[mk(1, 0, 1, 0, 100), mk(2, 1, 7, 10, 20)]).is_err());
+        // detached child may end late
+        let mut detached = mk(2, 1, 1, 50, 150);
+        detached.detached = true;
+        validate(&[mk(1, 0, 1, 0, 100), detached]).unwrap();
+        // well-formed
+        validate(&[mk(1, 0, 1, 0, 100), mk(2, 1, 1, 10, 90)]).unwrap();
+    }
+
+    #[test]
+    fn nested_tracers_do_not_cross_parent() {
+        let t1 = Tracer::new();
+        let t2 = Tracer::new();
+        t1.enable();
+        t2.enable();
+        let a = t1.span("t1_outer");
+        let b = t2.span("t2_root");
+        assert_eq!(t2.current(), Some((b.id(), b.root())));
+        drop(b);
+        drop(a);
+        let e2 = t2.drain();
+        assert_eq!(e2[0].parent, 0, "t2's span must not parent under t1's");
+    }
+
+    #[test]
+    fn thread_names_are_registered() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        let t = {
+            let tracer = tracer.clone();
+            std::thread::Builder::new()
+                .name("sjdf-worker-9".into())
+                .spawn(move || tracer.instant("tick", ""))
+                .unwrap()
+        };
+        t.join().unwrap();
+        let names = tracer.thread_names();
+        assert!(names.values().any(|n| n == "sjdf-worker-9"), "{names:?}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Compact per-query text timeline.
+//!
+//! Renders a batch of events as an indented tree, one line per span,
+//! with millisecond offsets relative to the earliest event. This is the
+//! human-readable summary returned over the sjserve protocol and printed
+//! by `sjq --trace`; the Chrome export ([`crate::export`]) is the
+//! machine-loadable counterpart.
+
+use crate::{EventKind, SpanEvent, SpanId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1000.0
+}
+
+fn node_line(e: &SpanEvent, t0: u64) -> String {
+    let detail = if e.detail.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", e.detail)
+    };
+    let failed = if e.failed { " [FAILED]" } else { "" };
+    match e.kind {
+        EventKind::Span => format!(
+            "{}{detail}{failed}  [{:.3}ms +{:.3}ms]",
+            e.name,
+            ms(e.start_us.saturating_sub(t0)),
+            ms(e.duration_us()),
+        ),
+        EventKind::Instant => format!(
+            "* {}{detail}{failed}  [@{:.3}ms]",
+            e.name,
+            ms(e.start_us.saturating_sub(t0)),
+        ),
+    }
+}
+
+fn write_node(
+    out: &mut String,
+    e: &SpanEvent,
+    children: &BTreeMap<SpanId, Vec<&SpanEvent>>,
+    t0: u64,
+    prefix: &str,
+    connector: &str,
+    child_prefix: &str,
+) {
+    let _ = writeln!(out, "{prefix}{connector}{}", node_line(e, t0));
+    if let Some(kids) = children.get(&e.id) {
+        let next_prefix = format!("{prefix}{child_prefix}");
+        for (i, kid) in kids.iter().enumerate() {
+            let last = i + 1 == kids.len();
+            write_node(
+                out,
+                kid,
+                children,
+                t0,
+                &next_prefix,
+                if last { "`- " } else { "|- " },
+                if last { "   " } else { "|  " },
+            );
+        }
+    }
+}
+
+/// Render events (typically one request's tree) as a text timeline.
+pub fn render(events: &[SpanEvent]) -> String {
+    if events.is_empty() {
+        return "(no spans recorded)\n".to_string();
+    }
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.start_us, e.id));
+    let t0 = sorted.iter().map(|e| e.start_us).min().unwrap_or(0);
+    let t1 = sorted.iter().map(|e| e.end_us).max().unwrap_or(t0);
+    let ids: BTreeSet<SpanId> = sorted.iter().map(|e| e.id).collect();
+    let mut children: BTreeMap<SpanId, Vec<&SpanEvent>> = BTreeMap::new();
+    let mut roots: Vec<&SpanEvent> = Vec::new();
+    for e in &sorted {
+        if e.parent != 0 && ids.contains(&e.parent) {
+            children.entry(e.parent).or_default().push(e);
+        } else {
+            roots.push(e);
+        }
+    }
+    let spans = sorted.iter().filter(|e| e.kind == EventKind::Span).count();
+    let failed = sorted.iter().filter(|e| e.failed).count();
+    let mut out = format!(
+        "trace: {} events ({} spans, {} failed), {:.3}ms total\n",
+        sorted.len(),
+        spans,
+        failed,
+        ms(t1.saturating_sub(t0)),
+    );
+    for root in roots {
+        write_node(&mut out, root, &children, t0, "", "", "   ");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn renders_a_nested_tree_with_offsets() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        {
+            let mut job = tracer.span("job");
+            job.set_detail("action=collect");
+            {
+                let _wave = tracer.span("wave");
+                {
+                    let mut task = tracer.span("task");
+                    task.set_detail("part=0 attempt=1");
+                    task.fail();
+                }
+                tracer.instant("retry", "part=0");
+            }
+        }
+        let text = render(&tracer.drain());
+        assert!(text.contains("job action=collect"), "{text}");
+        assert!(text.contains("task part=0 attempt=1 [FAILED]"), "{text}");
+        assert!(text.contains("* retry part=0"), "{text}");
+        assert!(text.contains("|- ") || text.contains("`- "), "{text}");
+        // Header counts 4 events, 3 spans, 1 failed.
+        assert!(
+            text.starts_with("trace: 4 events (3 spans, 1 failed)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_renders_placeholder() {
+        assert_eq!(render(&[]), "(no spans recorded)\n");
+    }
+
+    #[test]
+    fn orphans_render_as_roots() {
+        let tracer = Tracer::new();
+        tracer.enable();
+        // Parent id 999 is not in the batch.
+        let _g = tracer.child_span("orphan", 999, 999);
+        drop(_g);
+        let text = render(&tracer.drain());
+        assert!(text.contains("orphan"), "{text}");
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end span tracing over the §7.2 rack-heat pipeline.
+//!
+//! Runs the DAT-1 derivation (job queue log × node layout × rack temps)
+//! with the tracer on, then shows both exporter formats: the Chrome
+//! trace-event JSON (load `target/trace_timeline.json` in Perfetto or
+//! chrome://tracing — one track per worker thread) and the per-query
+//! text timeline on stdout.
+//!
+//! Run with: `cargo run --release --example trace_timeline`
+
+use scrubjay::prelude::*;
+use sjdata::{dat1, Dat1Config};
+use sjdf::trace;
+
+fn main() -> sjcore::Result<()> {
+    let ctx = ExecCtx::local();
+    // Tracing is off by default (one relaxed atomic load per site); flip
+    // it on before building the catalog so dataset materialization is
+    // captured too.
+    ctx.tracer().enable();
+
+    let cfg = Dat1Config::default();
+    let (catalog, truth) = dat1(&ctx, &cfg)?;
+    println!(
+        "DAT 1 catalog: {} racks x {} nodes, AMG pinned to {}",
+        cfg.racks, cfg.nodes_per_rack, truth.amg_rack
+    );
+
+    // The Figure 5 query, solved and executed under the tracer.
+    let query = Query::new(
+        ["job", "rack"],
+        vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+    );
+    let engine = QueryEngine::new(&catalog);
+    let plan = engine.solve(&query)?;
+    println!("\nQuery: {}", query.describe());
+    let result = plan.execute(&catalog, None)?;
+    let rows = result.collect()?;
+    println!("Derived dataset: {} rows", rows.len());
+
+    // Drain the recorded spans and sanity-check the tree before export:
+    // every child nests inside its parent, ends follow starts, ids are
+    // unique.
+    let tracer = ctx.tracer();
+    let events = tracer.drain();
+    trace::validate(&events).map_err(sjcore::SjError::Io)?;
+    let spans = events
+        .iter()
+        .filter(|e| e.kind == trace::EventKind::Span)
+        .count();
+    println!(
+        "\nTrace: {} events ({} spans, {} instants, {} dropped)",
+        events.len(),
+        spans,
+        events.len() - spans,
+        tracer.dropped()
+    );
+
+    // Exporter 1: Chrome trace-event JSON, one track per worker thread.
+    let json = trace::export::chrome_trace_json(&events, &tracer.thread_names(), "trace_timeline");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/trace_timeline.json", &json)
+        .map_err(|e| sjcore::SjError::Io(e.to_string()))?;
+    println!(
+        "Chrome trace ({} bytes) written to target/trace_timeline.json \
+         — load it in Perfetto or chrome://tracing",
+        json.len()
+    );
+
+    // Exporter 2: the text timeline, the same rendering `sjq --trace`
+    // prints and the service returns for `trace: true` requests.
+    println!("\n{}", trace::timeline::render(&events));
+    Ok(())
+}

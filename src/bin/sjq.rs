@@ -10,8 +10,9 @@
 //! sjq --data DIR --domains job,rack --values application,heat
 //!     [--units heat=delta-celsius] [--plan-only] [--window SECS]
 //!     [--step SECS] [--out FILE.csv] [--limit N] [--json]
+//!     [--trace FILE.json]
 //! sjq --server HOST:PORT --domains ... --values ... [--tenant NAME]
-//!     [--timeout-ms MS] [--json]
+//!     [--timeout-ms MS] [--json] [--trace FILE.json]
 //! ```
 //!
 //! Exit codes: 0 success, 1 execution failure, 2 usage error,
@@ -43,6 +44,7 @@ struct Args {
     step_secs: Option<f64>,
     out: Option<String>,
     limit: usize,
+    trace: Option<String>,
 }
 
 /// A failure with a stable machine-readable code (mirrors the service's
@@ -109,6 +111,11 @@ OPTIONS:
   --out FILE        write the derived dataset to FILE as CSV
   --limit N         rows to print when no --out is given (default 20)
   --json            print the result as one JSON object on stdout
+  --trace FILE      trace the query: write Chrome trace-event JSON to
+                    FILE (load in Perfetto or chrome://tracing) and
+                    print the span timeline on stderr; in --server mode
+                    the trace is recorded server-side and returned with
+                    the response
 
 EXIT CODES:
   0 ok   1 execution failed   2 usage   3 no solution   4 unavailable
@@ -129,6 +136,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         step_secs: None,
         out: None,
         limit: 20,
+        trace: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -188,6 +196,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )
             }
             "--out" => args.out = Some(value("--out")?),
+            "--trace" => args.trace = Some(value("--trace")?),
             "--limit" => {
                 args.limit = value("--limit")?
                     .parse()
@@ -251,7 +260,22 @@ fn run_remote(args: &Args, addr: &str) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let response = client.query(spec, args.timeout_ms)?;
+    let response = if args.trace.is_some() {
+        client.query_traced(spec, args.timeout_ms)?
+    } else {
+        client.query(spec, args.timeout_ms)?
+    };
+    if let (Some(path), Some(trace)) = (&args.trace, &response.trace) {
+        if let Some(json) = &trace.chrome_json {
+            std::fs::write(path, json)
+                .map_err(|e| CliError::failed(format!("write {path}: {e}")))?;
+            eprintln!(
+                "Trace {} ({} events) written to {path}",
+                trace.query_id, trace.span_count
+            );
+        }
+        eprint!("{}", trace.timeline);
+    }
     if args.json {
         println!("{}", encode(&response)?);
         return Ok(());
@@ -290,10 +314,25 @@ fn run_remote(args: &Args, addr: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Drain the local context's span trace: Chrome trace-event JSON to
+/// `path`, text timeline to stderr.
+fn dump_local_trace(ctx: &ExecCtx, path: &str) -> Result<(), CliError> {
+    let tracer = ctx.tracer();
+    let events = tracer.drain();
+    let json = sjdf::trace::export::chrome_trace_json(&events, &tracer.thread_names(), "sjq");
+    std::fs::write(path, json).map_err(|e| CliError::failed(format!("write {path}: {e}")))?;
+    eprintln!("Trace ({} events) written to {path}", events.len());
+    eprint!("{}", sjdf::trace::timeline::render(&events));
+    Ok(())
+}
+
 /// Execute in-process against a locally loaded catalog.
 fn run_local(args: &Args) -> Result<(), CliError> {
     let started = std::time::Instant::now();
     let ctx = ExecCtx::local();
+    if args.trace.is_some() {
+        ctx.tracer().enable();
+    }
     let catalog =
         load_catalog_dir(&ctx, &args.data).map_err(|e| CliError::failed(e.to_string()))?;
     eprintln!("Loaded datasets: {:?}", catalog.dataset_names());
@@ -361,6 +400,9 @@ fn run_local(args: &Args) -> Result<(), CliError> {
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
             engine_metrics: Some(ctx.metrics.report()),
         };
+        if let Some(path) = &args.trace {
+            dump_local_trace(&ctx, path)?;
+        }
         println!("{}", encode(&payload)?);
         return Ok(());
     }
@@ -393,6 +435,9 @@ fn run_local(args: &Args) -> Result<(), CliError> {
                 eprintln!("... {n} rows total (use --out to save all)");
             }
         }
+    }
+    if let Some(path) = &args.trace {
+        dump_local_trace(&ctx, path)?;
     }
     Ok(())
 }
@@ -517,6 +562,20 @@ mod tests {
         .unwrap();
         assert!(args.plan_only);
         assert_eq!(args.out.as_deref(), Some("f.csv"));
+    }
+
+    #[test]
+    fn trace_flag_takes_a_path() {
+        let args = parse_args(&argv(
+            "--data d --domains a --values b --trace /tmp/q.trace.json",
+        ))
+        .unwrap();
+        assert_eq!(args.trace.as_deref(), Some("/tmp/q.trace.json"));
+        assert!(parse_args(&argv("--data d --domains a --values b"))
+            .unwrap()
+            .trace
+            .is_none());
+        assert!(parse_args(&argv("--data d --domains a --values b --trace")).is_err());
     }
 
     #[test]

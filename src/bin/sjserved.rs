@@ -10,6 +10,7 @@
 //!          [--timeout-ms MS] [--window SECS] [--step SECS]
 //!          [--cache-mb MB] [--limit N] [--retries N]
 //!          [--chaos-seed SEED] [--chaos-fail-rate P]
+//!          [--trace-dir DIR] [--trace-slow-ms MS]
 //! ```
 
 use scrubjay::catalog_io::load_catalog_dir;
@@ -33,6 +34,8 @@ struct Args {
     retries: u32,
     chaos_seed: Option<u64>,
     chaos_fail_rate: f64,
+    trace_dir: Option<String>,
+    trace_slow_ms: u64,
 }
 
 const USAGE: &str = "\
@@ -65,6 +68,13 @@ OPTIONS:
   --chaos-fail-rate P
                     probability an attempt is killed under --chaos-seed
                     (default 0.2)
+  --trace-dir DIR   enable span tracing and persist a Chrome trace
+                    (<query_id>.trace.json, loadable in Perfetto or
+                    chrome://tracing) for every degraded/failed or slow
+                    query
+  --trace-slow-ms MS
+                    latency at which a query counts as slow for
+                    --trace-dir persistence (default 1000)
 
 PROTOCOL:
   newline-delimited JSON requests, one response line per request:
@@ -88,6 +98,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         retries: 3,
         chaos_seed: None,
         chaos_fail_rate: 0.2,
+        trace_dir: None,
+        trace_slow_ms: 1000,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -119,6 +131,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--chaos-seed" => args.chaos_seed = Some(num("--chaos-seed", value("--chaos-seed")?)?),
             "--chaos-fail-rate" => {
                 args.chaos_fail_rate = num("--chaos-fail-rate", value("--chaos-fail-rate")?)?
+            }
+            "--trace-dir" => args.trace_dir = Some(value("--trace-dir")?),
+            "--trace-slow-ms" => {
+                args.trace_slow_ms = num("--trace-slow-ms", value("--trace-slow-ms")?)?
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -166,6 +182,14 @@ fn run(args: &Args) -> Result<(), String> {
             );
             sjdf::FaultPlan::seeded(seed).with_task_fail_rate(args.chaos_fail_rate)
         }),
+        trace_dir: args.trace_dir.as_ref().map(|d| {
+            eprintln!(
+                "TRACE: persisting degraded/slow (>={}ms) query traces to {d}",
+                args.trace_slow_ms
+            );
+            std::path::PathBuf::from(d)
+        }),
+        trace_slow_ms: args.trace_slow_ms,
     };
     let service = QueryService::new(ctx, catalog, config);
     serve_until_shutdown(service, &args.addr).map_err(|e| e.to_string())?;
@@ -229,6 +253,20 @@ mod tests {
         assert_eq!(args.retries, 5);
         assert_eq!(args.chaos_seed, Some(42));
         assert_eq!(args.chaos_fail_rate, 0.3);
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let args = parse_args(&argv(
+            "--data d --trace-dir /tmp/traces --trace-slow-ms 250",
+        ))
+        .unwrap();
+        assert_eq!(args.trace_dir.as_deref(), Some("/tmp/traces"));
+        assert_eq!(args.trace_slow_ms, 250);
+        let defaults = parse_args(&argv("--data d")).unwrap();
+        assert_eq!(defaults.trace_dir, None);
+        assert_eq!(defaults.trace_slow_ms, 1000);
+        assert!(parse_args(&argv("--data d --trace-slow-ms fast")).is_err());
     }
 
     #[test]
