@@ -1,0 +1,297 @@
+//! Shard-scaling throughput: the same catalog behind 1, 2, and 4
+//! `sjserved` workers fronted by one router.
+//!
+//! Four single-value datasets (power, temperature, humidity,
+//! utilization — all keyed by `compute-node`) are spread round-robin
+//! over the workers; every worker runs a single scheduler thread with a
+//! seeded per-task delay injected through the fault plan, so a query
+//! costs real wall-clock on whichever shard executes it (modelling
+//! remote I/O on a one-core container, where sleep overlap — not CPU
+//! parallelism — is what a sharded deployment buys). Closed-loop
+//! clients then drive two mixes through `Router::handle`:
+//!
+//! - **shardable**: single-value queries, each answered by one shard
+//!   (the router's single-shard fast path), values rotated so the load
+//!   spreads across the fleet;
+//! - **cross-shard**: all four values at once, which no single worker
+//!   can serve once the catalog is split — the router scatter-gathers
+//!   and merges.
+//!
+//! Every request carries a distinct row limit so nothing rides the
+//! router's result cache: each query is a real dispatch. The run
+//! asserts the 4-worker shardable mix clears 2x the 1-worker aggregate
+//! throughput, verifies the 4-way scatter-gather merge is byte-identical
+//! to single-worker execution, and writes throughput and latency
+//! percentiles per configuration to `BENCH_shard.json`.
+//!
+//! Custom harness (`harness = false`); does nothing unless `--bench` is
+//! on the command line, matching the vendored criterion's behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sjcore::catalog::Catalog;
+use sjcore::row::Row;
+use sjcore::schema::{FieldDef, Schema};
+use sjcore::semantics::FieldSemantics;
+use sjcore::value::Value;
+use sjcore::SjDataset;
+use sjdf::{ClusterSpec, ExecCtx, FaultPlan};
+use sjroute::{Router, RouterConfig};
+use sjserve::protocol::{QuerySpec, Request, Response};
+use sjserve::scheduler::SchedulerConfig;
+use sjserve::server::{serve, wait_ready, ServerHandle};
+use sjserve::service::{QueryService, ServiceConfig};
+
+const NODES: usize = 36;
+const CLIENTS: usize = 8;
+const TASK_DELAY: Duration = Duration::from_millis(5);
+const SHARDABLE_QUERIES: usize = 240;
+const CROSS_QUERIES: usize = 80;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// (dataset, value field, value dimension, units)
+const DATASETS: [(&str, &str, &str, &str); 4] = [
+    ("node_power", "power", "power", "watts"),
+    ("node_temp", "temp", "temperature", "celsius"),
+    ("node_humidity", "hum", "humidity", "percent-rh"),
+    ("node_util", "util", "utilization", "percent-util"),
+];
+
+fn dataset(ctx: &ExecCtx, which: usize) -> SjDataset {
+    let (name, field, dim, units) = DATASETS[which];
+    let schema = Schema::new(vec![
+        FieldDef::new("NODEID", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new(field, FieldSemantics::value(dim, units)),
+    ])
+    .expect("bench schema");
+    let rows = (0..NODES)
+        .map(|i| {
+            Row::new(vec![
+                Value::str(format!("cab{i}")),
+                Value::Float(100.0 * (which + 1) as f64 + i as f64),
+            ])
+        })
+        .collect();
+    SjDataset::from_rows(ctx, rows, schema, name, 1)
+}
+
+/// Boot `n` workers, datasets assigned round-robin, each strictly
+/// serialized (one scheduler thread) with the per-task delay injected.
+fn boot_fleet(n: usize) -> (Vec<ServerHandle>, Router) {
+    let handles: Vec<ServerHandle> = (0..n)
+        .map(|w| {
+            let ctx = ExecCtx::new(ClusterSpec::new(1, 1).expect("cluster spec"));
+            let mut catalog = Catalog::default_hpc();
+            for (which, (name, _, _, _)) in DATASETS.iter().enumerate() {
+                if which % n == w {
+                    catalog
+                        .register_dataset(name, dataset(&ctx, which))
+                        .expect("register");
+                }
+            }
+            let service = QueryService::new(
+                ctx,
+                catalog,
+                ServiceConfig {
+                    scheduler: SchedulerConfig {
+                        workers: 1,
+                        max_queue: 512,
+                        default_timeout: Duration::from_secs(30),
+                    },
+                    result_cache_bytes: 0,
+                    shard_id: Some(format!("shard-{w}")),
+                    faults: Some(FaultPlan::seeded(w as u64 + 1).with_delays(1.0, TASK_DELAY)),
+                    ..ServiceConfig::default()
+                },
+            );
+            let handle = serve(service, "127.0.0.1:0").expect("bind worker");
+            assert!(wait_ready(handle.addr, Duration::from_secs(5)));
+            handle
+        })
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr.to_string()).collect();
+    let router = Router::new(
+        addrs,
+        RouterConfig {
+            scheduler: SchedulerConfig {
+                workers: CLIENTS,
+                max_queue: 512,
+                default_timeout: Duration::from_secs(30),
+            },
+            // No background probes mid-measurement.
+            heartbeat: Duration::from_secs(600),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router boots");
+    (handles, router)
+}
+
+/// A query nothing can cache: the limit is unique per request, so the
+/// router must dispatch every single one.
+fn query(seq: usize, values: &[&'static str]) -> Request {
+    let mut spec = QuerySpec::new(["compute-node"], values.iter().copied());
+    spec.limit = Some(10_000 + seq);
+    Request::query(&format!("q{seq}"), "bench", spec)
+}
+
+struct MixResult {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Closed-loop clients hammer the router until `total` queries finish.
+fn drive(
+    router: &Router,
+    total: usize,
+    seq: &AtomicUsize,
+    values_for: fn(usize) -> Vec<&'static str>,
+) -> MixResult {
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let done = &done;
+                let router = router.clone();
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let turn = done.fetch_add(1, Ordering::Relaxed);
+                        if turn >= total {
+                            break;
+                        }
+                        let s = seq.fetch_add(1, Ordering::Relaxed);
+                        let values = values_for(s);
+                        let at = Instant::now();
+                        let resp = router.handle(query(s, &values));
+                        assert!(resp.is_ok(), "bench query {s} failed: {:?}", resp.error);
+                        assert_eq!(resp.result.as_ref().map(|r| r.row_count), Some(NODES));
+                        mine.push(at.elapsed());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(total);
+        for h in handles {
+            all.extend(h.join().expect("bench client"));
+        }
+        all
+    });
+    let elapsed = started.elapsed();
+    let mut sorted = latencies.clone();
+    sorted.sort();
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize].as_secs_f64() * 1e3;
+    MixResult {
+        qps: latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// Canonical bytes of a response's result, the router-merge way: same
+/// canonicalization on both sides of a comparison.
+fn canonical(resp: &Response) -> String {
+    let mut result = resp.result.clone().expect("result");
+    sjroute::merge::canonicalize(&mut result, &[]);
+    sjroute::merge::canonical_csv(&result)
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+
+    let all_values: Vec<&str> = DATASETS.iter().map(|d| d.2).collect();
+    let seq = Arc::new(AtomicUsize::new(0));
+    let mut configs = Vec::new();
+    let mut shardable_qps = Vec::new();
+    let mut cross_qps = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut cross_verified = true;
+
+    for &n in &WORKER_COUNTS {
+        let (handles, router) = boot_fleet(n);
+
+        // Byte-identity check before the clock starts: the same
+        // four-value query must canonicalize identically at every
+        // fleet width (1 worker executes it whole; 4 scatter-gather).
+        let mut probe = query(seq.fetch_add(1, Ordering::Relaxed), &all_values);
+        probe.id = format!("probe-{n}");
+        let resp = router.handle(probe);
+        assert!(
+            resp.is_ok(),
+            "probe at {n} workers failed: {:?}",
+            resp.error
+        );
+        let bytes = canonical(&resp);
+        match &reference {
+            None => reference = Some(bytes),
+            Some(want) => cross_verified &= &bytes == want,
+        }
+
+        let shardable = drive(&router, SHARDABLE_QUERIES, &seq, |s| {
+            vec![DATASETS[s % DATASETS.len()].2]
+        });
+        let cross = drive(&router, CROSS_QUERIES, &seq, |_| {
+            DATASETS.iter().map(|d| d.2).collect()
+        });
+        let stats = router.shutdown();
+        assert_eq!(stats.timeouts, 0, "bench queries timed out: {stats:?}");
+        for handle in handles {
+            handle.stop();
+        }
+
+        println!(
+            "{n} worker(s): shardable {:.1} q/s (p99 {:.1}ms), cross-shard {:.1} q/s \
+             (p99 {:.1}ms), {} scatter-gathered",
+            shardable.qps, shardable.p99_ms, cross.qps, cross.p99_ms, stats.scatter_gather_queries
+        );
+        for (mix, r, total) in [
+            ("shardable", &shardable, SHARDABLE_QUERIES),
+            ("cross_shard", &cross, CROSS_QUERIES),
+        ] {
+            configs.push(format!(
+                "    {{\"workers\": {n}, \"mix\": \"{mix}\", \"queries\": {total}, \
+                 \"qps\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}",
+                r.qps, r.p50_ms, r.p99_ms
+            ));
+        }
+        shardable_qps.push(shardable.qps);
+        cross_qps.push(cross.qps);
+    }
+
+    assert!(
+        cross_verified,
+        "scatter-gather bytes diverged from single-worker execution"
+    );
+    let shardable_speedup = shardable_qps[2] / shardable_qps[0];
+    let cross_speedup = cross_qps[2] / cross_qps[0];
+    assert!(
+        shardable_speedup >= 2.0,
+        "4 workers must clear 2x 1-worker throughput on the shardable mix \
+         (got {shardable_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"clients\": {CLIENTS},\n  \
+         \"task_delay_ms\": {},\n  \"nodes\": {NODES},\n  \"configs\": [\n{}\n  ],\n  \
+         \"shardable_speedup_4w\": {:.2},\n  \"cross_shard_speedup_4w\": {:.2},\n  \
+         \"speedup_floor_4w\": 2.0,\n  \"cross_shard_verified\": {}\n}}\n",
+        TASK_DELAY.as_millis(),
+        configs.join(",\n"),
+        shardable_speedup,
+        cross_speedup,
+        cross_verified,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out, &json).expect("write BENCH_shard.json");
+    println!(
+        "shard_scaling: shardable {shardable_speedup:.2}x, cross-shard {cross_speedup:.2}x \
+         at 4 workers (floor 2.0x) -> BENCH_shard.json"
+    );
+}

@@ -1,0 +1,98 @@
+//! Deterministic whole-worker kill scheduling for chaos tests.
+//!
+//! The task-level chaos harness ([`sjdf::faults`]) injects failures
+//! *inside* one process; a sharded deployment also has to survive losing
+//! an entire worker. [`KillSchedule`] is the seeded coin the router
+//! chaos tests flip each round: which worker dies, and whether this
+//! round kills at all. Same seed → same kill sequence, so a failing
+//! sweep replays exactly.
+
+/// SplitMix64: tiny, well-distributed, and good enough for choosing
+/// victims (same generator family as [`sjdf::faults::FaultPlan`]).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic schedule of worker kills.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSchedule {
+    seed: u64,
+}
+
+impl KillSchedule {
+    pub fn seeded(seed: u64) -> Self {
+        KillSchedule { seed }
+    }
+
+    /// The worker index (out of `n`) this round's kill targets.
+    pub fn victim(&self, round: u64, n: usize) -> usize {
+        assert!(n > 0, "victim() needs at least one worker");
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(round);
+        (splitmix64(&mut state) % n as u64) as usize
+    }
+
+    /// Whether this round kills at all, at probability `rate` in 0..=1.
+    pub fn coin(&self, round: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut state = self
+            .seed
+            .wrapping_add(0x5851_f42d_4c95_7f2d)
+            .wrapping_mul(round.wrapping_add(1));
+        let draw = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        draw < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = KillSchedule::seeded(7);
+        let b = KillSchedule::seeded(7);
+        for round in 0..32 {
+            assert_eq!(a.victim(round, 3), b.victim(round, 3));
+            assert_eq!(a.coin(round, 0.5), b.coin(round, 0.5));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = KillSchedule::seeded(1);
+        let b = KillSchedule::seeded(2);
+        let differs = (0..64).any(|r| a.victim(r, 4) != b.victim(r, 4));
+        assert!(differs, "seeds 1 and 2 produced identical kill sequences");
+    }
+
+    #[test]
+    fn victims_cover_all_workers() {
+        let s = KillSchedule::seeded(42);
+        let mut seen = [false; 4];
+        for round in 0..256 {
+            seen[s.victim(round, 4)] = true;
+        }
+        assert!(seen.iter().all(|&v| v), "{seen:?}");
+    }
+
+    #[test]
+    fn coin_respects_extremes_and_rough_rate() {
+        let s = KillSchedule::seeded(9);
+        assert!((0..50).all(|r| !s.coin(r, 0.0)));
+        assert!((0..50).all(|r| s.coin(r, 1.0)));
+        let hits = (0..1000).filter(|&r| s.coin(r, 0.3)).count();
+        assert!((150..450).contains(&hits), "rate 0.3 produced {hits}/1000");
+    }
+}

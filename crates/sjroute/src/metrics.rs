@@ -1,0 +1,208 @@
+//! The router's live metrics registry.
+//!
+//! Same discipline as [`sjserve::metrics::ServiceMetrics`]: lock-free
+//! atomics for counters, a short mutex around the latency histogram and
+//! the per-tenant table. Snapshots serialize to the shared wire shape
+//! [`RouterStatsReport`] so `sjq --stats` renders workers and routers
+//! with one code path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sjserve::metrics::{Histogram, RouterStatsReport, TenantStats, WorkerSummary};
+
+/// Counters every route path reports into.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    started: Instant,
+    routed_queries: AtomicU64,
+    scatter_gather_queries: AtomicU64,
+    worker_markdowns: AtomicU64,
+    failovers: AtomicU64,
+    epoch_invalidations: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    timeouts: AtomicU64,
+    degraded: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    latency: Mutex<Histogram>,
+    tenants: Mutex<BTreeMap<String, TenantStats>>,
+}
+
+impl Default for RouterMetrics {
+    fn default() -> Self {
+        RouterMetrics {
+            started: Instant::now(),
+            routed_queries: AtomicU64::new(0),
+            scatter_gather_queries: AtomicU64::new(0),
+            worker_markdowns: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            epoch_invalidations: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::default()),
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl RouterMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    pub fn routed(&self) {
+        self.routed_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn scatter_gather(&self) {
+        self.scatter_gather_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn markdown(&self) {
+        self.worker_markdowns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn epoch_invalidation(&self) {
+        self.epoch_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn timed_out(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn rejected_full(&self, tenant: &str) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        self.tenant_entry(tenant, |t| t.rejected += 1);
+    }
+
+    pub fn admitted(&self, tenant: &str) {
+        self.tenant_entry(tenant, |t| t.admitted += 1);
+    }
+
+    pub fn completed(&self, tenant: &str) {
+        self.tenant_entry(tenant, |t| t.completed += 1);
+    }
+
+    fn tenant_entry(&self, tenant: &str, f: impl FnOnce(&mut TenantStats)) {
+        let mut map = self.tenants.lock();
+        let entry = map
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantStats {
+                tenant: tenant.to_string(),
+                ..TenantStats::default()
+            });
+        f(entry);
+    }
+
+    pub fn queue_depth_changed(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one routed request's end-to-end latency (queue + fan-out +
+    /// merge).
+    pub fn route_finished(&self, latency: Duration) {
+        self.latency.lock().record(latency);
+    }
+
+    pub fn markdown_count(&self) -> u64 {
+        self.worker_markdowns.load(Ordering::Relaxed)
+    }
+
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    pub fn epoch_invalidation_count(&self) -> u64 {
+        self.epoch_invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot everything; route-cache numbers and worker summaries are
+    /// supplied by the router, which owns those structures.
+    pub fn snapshot(
+        &self,
+        route_cache_hits: u64,
+        route_cache_entries: u64,
+        workers: Vec<WorkerSummary>,
+    ) -> RouterStatsReport {
+        let latency = self.latency.lock();
+        let per_tenant = self.tenants.lock().values().cloned().collect();
+        RouterStatsReport {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            routed_queries: self.routed_queries.load(Ordering::Relaxed),
+            scatter_gather_queries: self.scatter_gather_queries.load(Ordering::Relaxed),
+            worker_markdowns: self.worker_markdowns.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            epoch_invalidations: self.epoch_invalidations.load(Ordering::Relaxed),
+            route_cache_hits,
+            route_cache_entries,
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            route_latency_count: latency.count(),
+            route_latency_ms_p50: latency.quantile_ms(0.50),
+            route_latency_ms_p99: latency.quantile_ms(0.99),
+            route_latency_ms_max: latency.max_ms(),
+            workers,
+            per_tenant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_reach_the_snapshot() {
+        let m = RouterMetrics::new();
+        m.routed();
+        m.routed();
+        m.scatter_gather();
+        m.markdown();
+        m.failover();
+        m.epoch_invalidation();
+        m.degraded();
+        m.admitted("a");
+        m.completed("a");
+        m.rejected_full("b");
+        m.queue_depth_changed(5);
+        m.queue_depth_changed(1);
+        m.route_finished(Duration::from_millis(8));
+        let s = m.snapshot(3, 2, Vec::new());
+        assert_eq!(s.routed_queries, 2);
+        assert_eq!(s.scatter_gather_queries, 1);
+        assert_eq!(s.worker_markdowns, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.epoch_invalidations, 1);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.route_cache_hits, 3);
+        assert_eq!(s.route_cache_entries, 2);
+        assert_eq!(s.queue_depth_peak, 5);
+        assert_eq!(s.route_latency_count, 1);
+        assert!(s.route_latency_ms_p99 > 0.0);
+        assert_eq!(s.per_tenant.len(), 2);
+        assert!(s.render().contains("scatter-gather"));
+    }
+}

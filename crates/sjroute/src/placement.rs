@@ -1,0 +1,179 @@
+//! Offline shard planning: split one catalog directory into per-shard
+//! directories that `sjserved --data` can load.
+//!
+//! Placement is a pure function of `(dataset name, shard count)` via the
+//! consistent-hash [`Ring`], so the router can later predict every
+//! worker's holdings without coordination. With `replicas > 0` each
+//! dataset is additionally copied to the next `replicas` distinct shards
+//! in ring order — the shards the router's failover will try when the
+//! primary is marked down.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::ring::Ring;
+
+/// Dataset-name → ordered holder shards (primary first, then replicas).
+pub fn assign(datasets: &[String], shards: usize, replicas: usize) -> BTreeMap<String, Vec<usize>> {
+    let ring = Ring::new(shards);
+    datasets
+        .iter()
+        .map(|name| {
+            let pref = ring.preference(name);
+            let n = (1 + replicas).min(pref.len());
+            (name.clone(), pref[..n].to_vec())
+        })
+        .collect()
+}
+
+/// One produced shard directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDir {
+    /// `out/shard-<index>`.
+    pub path: PathBuf,
+    /// Dataset names copied into it (primary or replica), sorted.
+    pub datasets: Vec<String>,
+}
+
+/// Split the `<name>.csv` + `<name>.schema.json` pairs under `src` into
+/// `shards` directories `out/shard-0` … `out/shard-N-1`.
+///
+/// A shard that the hash leaves empty is still created (its worker will
+/// refuse to start on it — rebalance by renaming datasets or adding
+/// replicas); callers should surface the returned per-shard counts so
+/// that is visible before anything boots.
+pub fn partition_dir(
+    src: impl AsRef<Path>,
+    out: impl AsRef<Path>,
+    shards: usize,
+    replicas: usize,
+) -> std::io::Result<Vec<ShardDir>> {
+    let src = src.as_ref();
+    let out = out.as_ref();
+    if shards == 0 {
+        return Err(std::io::Error::other("need at least one shard"));
+    }
+    let mut names: Vec<String> = std::fs::read_dir(src)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(String::from))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(std::io::Error::other(format!(
+            "no .csv datasets under {}",
+            src.display()
+        )));
+    }
+
+    let mut dirs: Vec<ShardDir> = (0..shards)
+        .map(|i| ShardDir {
+            path: out.join(format!("shard-{i}")),
+            datasets: Vec::new(),
+        })
+        .collect();
+    for dir in &dirs {
+        std::fs::create_dir_all(&dir.path)?;
+    }
+
+    for (name, holders) in assign(&names, shards, replicas) {
+        let csv = src.join(format!("{name}.csv"));
+        let schema = src.join(format!("{name}.schema.json"));
+        if !schema.exists() {
+            return Err(std::io::Error::other(format!(
+                "dataset `{name}` has no schema sidecar {}",
+                schema.display()
+            )));
+        }
+        for shard in holders {
+            std::fs::copy(&csv, dirs[shard].path.join(format!("{name}.csv")))?;
+            std::fs::copy(
+                &schema,
+                dirs[shard].path.join(format!("{name}.schema.json")),
+            )?;
+            dirs[shard].datasets.push(name.clone());
+        }
+    }
+    for dir in &mut dirs {
+        dir.datasets.sort();
+    }
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sjroute-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_datasets(dir: &Path, names: &[&str]) {
+        for name in names {
+            std::fs::write(dir.join(format!("{name}.csv")), "a\n1\n").unwrap();
+            std::fs::write(dir.join(format!("{name}.schema.json")), r#"{"fields":[]}"#).unwrap();
+        }
+    }
+
+    #[test]
+    fn assign_gives_each_dataset_one_primary_plus_replicas() {
+        let names: Vec<String> = (0..10).map(|i| format!("ds{i}")).collect();
+        let plan = assign(&names, 3, 1);
+        for (name, holders) in &plan {
+            assert_eq!(holders.len(), 2, "{name}: {holders:?}");
+            assert_ne!(holders[0], holders[1], "{name}: replica must differ");
+        }
+        // Replicas capped by shard count.
+        let solo = assign(&names, 1, 3);
+        assert!(solo.values().all(|h| h == &vec![0]));
+    }
+
+    #[test]
+    fn partition_copies_pairs_and_reports_holdings() {
+        let src = tmp("part-src");
+        let out = tmp("part-out");
+        let names = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        seed_datasets(&src, &names);
+        let dirs = partition_dir(&src, &out, 2, 0).unwrap();
+        assert_eq!(dirs.len(), 2);
+        let total: usize = dirs.iter().map(|d| d.datasets.len()).sum();
+        assert_eq!(total, names.len(), "each dataset on exactly one shard");
+        for dir in &dirs {
+            for name in &dir.datasets {
+                assert!(dir.path.join(format!("{name}.csv")).exists());
+                assert!(dir.path.join(format!("{name}.schema.json")).exists());
+            }
+        }
+        // Placement must match what the router will compute on its own.
+        let plan = assign(
+            &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            2,
+            0,
+        );
+        for (name, holders) in plan {
+            assert!(dirs[holders[0]].datasets.contains(&name));
+        }
+    }
+
+    #[test]
+    fn partition_with_replicas_duplicates_datasets() {
+        let src = tmp("repl-src");
+        let out = tmp("repl-out");
+        seed_datasets(&src, &["a", "b", "c", "d"]);
+        let dirs = partition_dir(&src, &out, 3, 1).unwrap();
+        let total: usize = dirs.iter().map(|d| d.datasets.len()).sum();
+        assert_eq!(total, 8, "4 datasets x (1 primary + 1 replica)");
+    }
+
+    #[test]
+    fn missing_sidecar_is_an_error() {
+        let src = tmp("nosidecar");
+        std::fs::write(src.join("lonely.csv"), "a\n1\n").unwrap();
+        let out = tmp("nosidecar-out");
+        assert!(partition_dir(&src, &out, 2, 0).is_err());
+    }
+}

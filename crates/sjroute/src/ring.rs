@@ -1,0 +1,159 @@
+//! Consistent-hash shard placement.
+//!
+//! Datasets are placed on shards by hashing the *dataset name* onto a
+//! ring of virtual nodes. Virtual-node identity is the shard **index**
+//! (`shard-0` … `shard-N-1`), so the same `(name, shard_count)` pair maps
+//! identically in every process — the offline partitioner
+//! (`sjrouted --partition`) and the online router agree on placement
+//! without ever talking to each other. Growing the fleet from N to N+1
+//! shards moves only ~1/(N+1) of the datasets, which is the property that
+//! makes incremental reshards cheap.
+//!
+//! The ring also defines the *failover order*: walking clockwise from a
+//! key's position visits every shard exactly once, and the partitioner
+//! places replicas on the next `r` distinct shards, so the router's
+//! retry-on-replica is just "next live holder in preference order".
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Ring position of a byte string: FNV-1a plus a SplitMix64-style
+/// finalizer. Raw FNV has weak avalanche in its high bits on short,
+/// similar strings (exactly what vnode labels are), which clusters ring
+/// positions; the finalizer spreads them.
+fn position(bytes: &[u8]) -> u64 {
+    let mut z = fnv1a(bytes);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Virtual nodes per shard. Enough that a handful of datasets spread
+/// roughly evenly over a handful of shards.
+pub const VNODES_PER_SHARD: usize = 256;
+
+/// A consistent-hash ring over `shards` positional shard identities.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(hash, shard)` sorted by hash.
+    vnodes: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    pub fn new(shards: usize) -> Self {
+        Ring::with_vnodes(shards, VNODES_PER_SHARD)
+    }
+
+    pub fn with_vnodes(shards: usize, vnodes_per_shard: usize) -> Self {
+        let mut vnodes = Vec::with_capacity(shards * vnodes_per_shard);
+        for shard in 0..shards {
+            for v in 0..vnodes_per_shard {
+                vnodes.push((position(format!("shard-{shard}#{v}").as_bytes()), shard));
+            }
+        }
+        vnodes.sort_unstable();
+        Ring { vnodes, shards }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Every shard, in clockwise ring order from `key`'s position: the
+    /// primary holder first, then each successive failover replica.
+    pub fn preference(&self, key: &str) -> Vec<usize> {
+        if self.vnodes.is_empty() {
+            return Vec::new();
+        }
+        let h = position(key.as_bytes());
+        let start = self.vnodes.partition_point(|&(vh, _)| vh < h);
+        let mut seen = vec![false; self.shards];
+        let mut order = Vec::with_capacity(self.shards);
+        for i in 0..self.vnodes.len() {
+            let (_, shard) = self.vnodes[(start + i) % self.vnodes.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary shard for `key`.
+    pub fn owner(&self, key: &str) -> Option<usize> {
+        self.preference(key).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = Ring::new(4);
+        let b = Ring::new(4);
+        for key in ["rack_temps", "job_queue_log", "node_layout", "ds7"] {
+            assert_eq!(a.preference(key), b.preference(key));
+        }
+    }
+
+    #[test]
+    fn preference_visits_every_shard_once() {
+        let ring = Ring::new(5);
+        for key in ["a", "b", "c", "weird/name", ""] {
+            let pref = ring.preference(key);
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "key `{key}`: {pref:?}");
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[ring.owner(&format!("dataset-{i}")).unwrap()] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            assert!(
+                (120..=400).contains(&n),
+                "shard {shard} owns {n}/1000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_few_keys() {
+        let four = Ring::new(4);
+        let five = Ring::new(5);
+        let moved = (0..1000)
+            .filter(|i| {
+                let key = format!("dataset-{i}");
+                four.owner(&key) != five.owner(&key)
+            })
+            .count();
+        // Ideal is 1/5 = 200; allow generous slack for a small ring.
+        assert!(moved < 450, "{moved}/1000 keys moved going 4 -> 5 shards");
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = Ring::new(1);
+        assert_eq!(ring.preference("anything"), vec![0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared fixtures for the sjroute integration tests: a clean-split
+//! two-shard catalog (power readings on one shard, temperatures on the
+//! other, joined on `compute-node`) plus helpers to boot real TCP
+//! workers and a router in front of them.
+//!
+//! The split is chosen so the engine combines the two datasets with a
+//! `NaturalJoin` (their only shared domain, `compute-node`, is an
+//! identifier): the router's scatter-gather merge is the same join, so
+//! single-process and sharded execution must agree byte for byte.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use sjcore::catalog::Catalog;
+use sjcore::row::Row;
+use sjcore::schema::{FieldDef, Schema};
+use sjcore::semantics::FieldSemantics;
+use sjcore::value::Value;
+use sjcore::SjDataset;
+use sjdf::{ClusterSpec, ExecCtx};
+use sjroute::{Router, RouterConfig};
+use sjserve::protocol::{QuerySpec, Response};
+use sjserve::scheduler::SchedulerConfig;
+use sjserve::server::{serve, wait_ready, ServerHandle};
+use sjserve::service::{QueryService, ServiceConfig};
+
+pub const NODES: [&str; 6] = ["cab1", "cab2", "cab3", "cab4", "cab5", "cab6"];
+
+pub fn ctx() -> ExecCtx {
+    ExecCtx::new(ClusterSpec::new(1, 2).unwrap())
+}
+
+pub fn power_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("power", FieldSemantics::value("power", "watts")),
+    ])
+    .unwrap()
+}
+
+pub fn temp_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap()
+}
+
+pub fn power_dataset(ctx: &ExecCtx) -> SjDataset {
+    let rows = NODES
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            Row::new(vec![
+                Value::str(node),
+                Value::Float(100.0 + 25.0 * i as f64),
+            ])
+        })
+        .collect();
+    SjDataset::from_rows(ctx, rows, power_schema(), "node_power", 2)
+}
+
+pub fn temp_dataset(ctx: &ExecCtx) -> SjDataset {
+    let rows = NODES
+        .iter()
+        .enumerate()
+        .map(|(i, node)| Row::new(vec![Value::str(node), Value::Float(20.0 + 1.5 * i as f64)]))
+        .collect();
+    SjDataset::from_rows(ctx, rows, temp_schema(), "node_temp", 2)
+}
+
+/// A catalog holding the named subset of the clean-split fixture.
+pub fn catalog_with(ctx: &ExecCtx, datasets: &[&str]) -> Catalog {
+    let mut c = Catalog::default_hpc();
+    for &name in datasets {
+        let ds = match name {
+            "node_power" => power_dataset(ctx),
+            "node_temp" => temp_dataset(ctx),
+            other => panic!("unknown fixture dataset `{other}`"),
+        };
+        c.register_dataset(name, ds).unwrap();
+    }
+    c
+}
+
+/// A worker service over the given datasets. The result cache is off so
+/// router-cache assertions are not confused by worker-side hits.
+pub fn worker(ctx: &ExecCtx, datasets: &[&str], shard_id: &str) -> QueryService {
+    QueryService::new(
+        ctx.clone(),
+        catalog_with(ctx, datasets),
+        ServiceConfig {
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_queue: 64,
+                default_timeout: Duration::from_secs(10),
+            },
+            result_cache_bytes: 0,
+            shard_id: Some(shard_id.to_string()),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Serve a worker on an ephemeral port and wait until it accepts.
+pub fn spawn(service: QueryService) -> ServerHandle {
+    let handle = serve(service, "127.0.0.1:0").expect("bind worker");
+    assert!(
+        wait_ready(handle.addr, Duration::from_secs(5)),
+        "worker never came up on {}",
+        handle.addr
+    );
+    handle
+}
+
+/// A router config tuned for tests: no background heartbeat surprises
+/// (long period; tests drive probes with `probe_now`), fast probe
+/// timeouts, mark-down after 2 consecutive failures.
+pub fn router_config() -> RouterConfig {
+    RouterConfig {
+        scheduler: SchedulerConfig {
+            workers: 2,
+            max_queue: 64,
+            default_timeout: Duration::from_secs(10),
+        },
+        heartbeat: Duration::from_secs(600),
+        probe_timeout: Duration::from_millis(300),
+        markdown_after: 2,
+        ..RouterConfig::default()
+    }
+}
+
+pub fn router_over(handles: &[&ServerHandle]) -> Router {
+    let addrs = handles.iter().map(|h| h.addr.to_string()).collect();
+    Router::new(addrs, router_config()).expect("router boots")
+}
+
+/// Power only: its cover is a single dataset, so the router takes the
+/// single-shard path.
+pub fn power_spec() -> QuerySpec {
+    QuerySpec::new(["compute-node"], ["power"])
+}
+
+/// Power and temperature: on a clean split the cover spans both shards,
+/// forcing scatter-gather.
+pub fn cross_shard_spec() -> QuerySpec {
+    QuerySpec::new(["compute-node"], ["power", "temperature"])
+}
+
+/// Canonical bytes of a result: same canonicalization the router applies
+/// to merged results, so both sides of a comparison get identical
+/// row/column ordering.
+pub fn canonical_bytes(response: &Response) -> String {
+    let mut result = response.result.clone().unwrap_or_else(|| {
+        panic!(
+            "response {} carries no result: {:?}",
+            response.id, response.error
+        )
+    });
+    sjroute::merge::canonicalize(&mut result, &[]);
+    sjroute::merge::canonical_csv(&result)
+}

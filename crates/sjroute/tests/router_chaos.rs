@@ -1,0 +1,174 @@
+//! Whole-worker chaos: a seeded `KillSchedule` stops real worker
+//! processes' TCP servers out from under the router mid-sweep. Whatever
+//! the schedule does, every query must come back within its deadline as
+//! `ok`, `degraded`, or a structured error — never a hang, never a
+//! protocol break — and a revived worker must be marked up again and
+//! serve.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::*;
+use sjroute::KillSchedule;
+use sjserve::protocol::{Request, Verb};
+use sjserve::server::{serve, wait_ready, ServerHandle};
+
+const ROUNDS: u64 = 8;
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Issue one query and assert the chaos contract: bounded latency and a
+/// classifiable outcome. Returns whether it succeeded outright.
+fn contract_query(router: &sjroute::Router, req: Request) -> bool {
+    let id = req.id.clone();
+    let started = Instant::now();
+    let resp = router.handle(req);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < TIMEOUT + Duration::from_secs(2),
+        "query {id} outlived its deadline ({elapsed:?})"
+    );
+    assert_eq!(resp.id, id);
+    if resp.is_ok() {
+        assert!(resp.result.is_some() || resp.health.is_some());
+        return true;
+    }
+    if resp.is_degraded() {
+        assert!(
+            resp.error.is_some(),
+            "degraded without error body: {resp:?}"
+        );
+        return false;
+    }
+    assert!(
+        resp.code().is_some(),
+        "error response without structured code: {resp:?}"
+    );
+    false
+}
+
+#[test]
+fn worker_kill_sweep_never_hangs_and_recovers_on_revival() {
+    let ctx = ctx();
+    // Each dataset lives on two of three workers, so a single kill is
+    // always survivable and a double kill can orphan a shard.
+    let layouts: [&[&str]; 3] = [
+        &["node_power"],
+        &["node_power", "node_temp"],
+        &["node_temp"],
+    ];
+    let mut handles: Vec<Option<ServerHandle>> = layouts
+        .iter()
+        .enumerate()
+        .map(|(i, datasets)| Some(spawn(worker(&ctx, datasets, &format!("shard-{i}")))))
+        .collect();
+    let addrs: Vec<String> = handles
+        .iter()
+        .map(|h| h.as_ref().unwrap().addr.to_string())
+        .collect();
+    let router = sjroute::Router::new(addrs.clone(), router_config()).expect("router boots");
+
+    let schedule = KillSchedule::seeded(0xC0FFEE);
+    let mut ok_rounds = 0;
+    for round in 0..ROUNDS {
+        if schedule.coin(round, 0.6) {
+            let victim = schedule.victim(round, layouts.len());
+            let live = handles.iter().filter(|h| h.is_some()).count();
+            if live > 1 {
+                if let Some(handle) = handles[victim].take() {
+                    handle.stop();
+                    // Let the probe loop observe the death (two rounds
+                    // crosses markdown_after).
+                    router.probe_now();
+                    router.probe_now();
+                }
+            }
+        }
+
+        let mut req = Request::query(&format!("k{round}-power"), "chaos", power_spec());
+        req.timeout_ms = Some(TIMEOUT.as_millis() as u64);
+        let power_ok = contract_query(&router, req);
+
+        let mut req = Request::query(&format!("k{round}-cross"), "chaos", cross_shard_spec());
+        req.timeout_ms = Some(TIMEOUT.as_millis() as u64);
+        req.trace = Some(true);
+        let started = Instant::now();
+        let resp = router.handle(req);
+        assert!(
+            started.elapsed() < TIMEOUT + Duration::from_secs(2),
+            "traced cross-shard query hung in round {round}"
+        );
+        let cross_ok = resp.is_ok();
+        assert!(
+            resp.is_ok() || resp.is_degraded() || resp.code().is_some(),
+            "round {round}: unclassifiable outcome {resp:?}"
+        );
+        // Whenever tracing survives, the merged tree must be valid.
+        if let Some(trace) = resp.trace {
+            let events = trace.spans.expect("router trace ships spans");
+            sjtrace::validate(&events)
+                .unwrap_or_else(|e| panic!("round {round}: invalid span tree: {e}"));
+        }
+
+        // Health answers no matter what.
+        assert!(contract_query(
+            &router,
+            Request::bare(&format!("k{round}-h"), Verb::Health)
+        ));
+        if power_ok && cross_ok {
+            ok_rounds += 1;
+        }
+    }
+    assert!(
+        ok_rounds >= 1,
+        "the replicated fleet never served a fully-ok round"
+    );
+
+    // Revive every dead worker on its original address; the next probes
+    // must mark them up and full service must resume.
+    for (i, slot) in handles.iter_mut().enumerate() {
+        if slot.is_none() {
+            let service = worker(&ctx, layouts[i], &format!("shard-{i}"));
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let handle = loop {
+                match serve(service.clone(), &addrs[i]) {
+                    Ok(h) => break h,
+                    Err(e) => {
+                        assert!(
+                            Instant::now() < deadline,
+                            "could not rebind worker {i} on {}: {e}",
+                            addrs[i]
+                        );
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            };
+            assert!(wait_ready(handle.addr, Duration::from_secs(5)));
+            *slot = Some(handle);
+        }
+    }
+    router.probe_now();
+
+    let mut req = Request::query("revived", "chaos", cross_shard_spec());
+    req.timeout_ms = Some(TIMEOUT.as_millis() as u64);
+    let resp = router.handle(req);
+    assert!(
+        resp.is_ok(),
+        "post-revival cross-shard query failed: {:?}",
+        resp.error
+    );
+    assert_eq!(resp.result.unwrap().row_count, NODES.len());
+
+    let health = router.handle(Request::bare("h-final", Verb::Health));
+    assert_eq!(health.health.unwrap().status, "ok");
+
+    let stats = router.shutdown();
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert!(
+        stats.worker_markdowns >= 1,
+        "the sweep never marked a worker down: {stats:?}"
+    );
+    for handle in handles.into_iter().flatten() {
+        handle.stop();
+    }
+}

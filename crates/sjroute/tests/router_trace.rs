@@ -1,0 +1,100 @@
+//! Trace propagation across the router hop: a traced scatter-gather
+//! query must come back with ONE span tree — router queue wait and
+//! worker calls at the top, each worker's own request/queue/execute
+//! spans grafted underneath — that passes the sjtrace invariants.
+
+mod common;
+
+use common::*;
+use sjserve::protocol::Request;
+
+#[test]
+fn traced_scatter_gather_yields_a_single_valid_span_tree() {
+    let ctx = ctx();
+    let a = spawn(worker(&ctx, &["node_power"], "shard-0"));
+    let b = spawn(worker(&ctx, &["node_temp"], "shard-1"));
+    let router = router_over(&[&a, &b]);
+
+    let mut req = Request::query("tr1", "t", cross_shard_spec());
+    req.trace = Some(true);
+    let resp = router.handle(req);
+    assert!(resp.is_ok(), "{:?}", resp.error);
+
+    let trace = resp.trace.expect("traced response carries a trace");
+    assert_eq!(trace.query_id, resp.query_id.clone().unwrap());
+    assert!(trace.span_count > 0);
+    let events = trace.spans.expect("router traces ship raw spans");
+
+    // The merged event set must satisfy every structural invariant
+    // (unique ids, parents present, children inside parents, ...).
+    sjtrace::validate(&events).expect("grafted span tree is invariant-clean");
+
+    // Exactly one root, and every span hangs off it: one tree, not a
+    // forest of per-process fragments.
+    let roots: Vec<_> = events.iter().filter(|e| e.parent == 0).collect();
+    assert_eq!(roots.len(), 1, "expected one root: {roots:?}");
+    let root_id = roots[0].id;
+    assert_eq!(roots[0].name, "route");
+    assert!(
+        events.iter().all(|e| e.root == root_id),
+        "spans escaped the root tree"
+    );
+
+    // Router-side structure: queue wait plus one worker_call per shard.
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"queue_wait"), "{names:?}");
+    let worker_calls = events.iter().filter(|e| e.name == "worker_call").count();
+    assert_eq!(worker_calls, 2, "one worker_call per shard: {names:?}");
+
+    // Worker-side structure survived the graft: each worker ships its
+    // own `request` root, re-parented under the router's worker_call.
+    let grafted: Vec<_> = events.iter().filter(|e| e.name == "request").collect();
+    assert_eq!(grafted.len(), 2, "both workers' spans grafted: {names:?}");
+    for g in &grafted {
+        let parent = events
+            .iter()
+            .find(|e| e.id == g.parent)
+            .expect("grafted root's parent exists");
+        assert_eq!(parent.name, "worker_call");
+        assert!(g.detached, "grafted roots are marked detached");
+    }
+
+    // And the human renderings work on the merged tree.
+    assert!(trace.timeline.contains("route"), "{}", trace.timeline);
+    assert!(trace
+        .chrome_json
+        .expect("chrome export present")
+        .contains("worker_call"));
+
+    router.shutdown();
+    a.stop();
+    b.stop();
+}
+
+/// An untraced query stays untraced end to end (no trace payload, no
+/// router-side tracer cost) — and tracing one query does not leak spans
+/// into the next.
+#[test]
+fn tracing_is_per_query() {
+    let ctx = ctx();
+    let a = spawn(worker(&ctx, &["node_power"], "shard-0"));
+    let router = router_over(&[&a]);
+
+    let plain = router.handle(Request::query("u1", "t", power_spec()));
+    assert!(plain.is_ok());
+    assert!(plain.trace.is_none());
+
+    let mut traced = Request::query("u2", "t", power_spec());
+    traced.trace = Some(true);
+    let resp = router.handle(traced);
+    assert!(resp.is_ok(), "{:?}", resp.error);
+    let events = resp.trace.expect("trace payload").spans.unwrap();
+    sjtrace::validate(&events).unwrap();
+
+    let plain2 = router.handle(Request::query("u3", "t", power_spec()));
+    assert!(plain2.is_ok());
+    assert!(plain2.trace.is_none());
+
+    router.shutdown();
+    a.stop();
+}

@@ -129,7 +129,7 @@ impl Client {
         trace: bool,
     ) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        let mut request = Request::query(&id, &self.tenant, spec);
+        let mut request = Request::query(&id, &self.tenant, spec).with_proto();
         request.timeout_ms = timeout_ms;
         request.trace = if trace { Some(true) } else { None };
         let response = self.call(&request)?;
@@ -139,7 +139,7 @@ impl Client {
     /// `explain`: solve without executing.
     pub fn explain(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        let request = Request::explain(&id, &self.tenant, spec);
+        let request = Request::explain(&id, &self.tenant, spec).with_proto();
         let response = self.call(&request)?;
         Self::expect_ok(response)
     }
@@ -147,21 +147,29 @@ impl Client {
     /// `stats`: service metrics snapshot.
     pub fn stats(&mut self) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::bare(&id, Verb::Stats))?;
+        let response = self.call(&Request::bare(&id, Verb::Stats).with_proto())?;
         Self::expect_ok(response)
     }
 
     /// `health`: liveness probe.
     pub fn health(&mut self) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::bare(&id, Verb::Health))?;
+        let response = self.call(&Request::bare(&id, Verb::Health).with_proto())?;
+        Self::expect_ok(response)
+    }
+
+    /// `catalog`: the worker's shard manifest (dataset names + schemas +
+    /// epoch). The router uses this to build its planning catalog.
+    pub fn catalog(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::bare(&id, Verb::Catalog).with_proto())?;
         Self::expect_ok(response)
     }
 
     /// `shutdown`: ask the server to stop.
     pub fn shutdown(&mut self) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::bare(&id, Verb::Shutdown))?;
+        let response = self.call(&Request::bare(&id, Verb::Shutdown).with_proto())?;
         Self::expect_ok(response)
     }
 

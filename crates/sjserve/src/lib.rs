@@ -36,8 +36,11 @@ pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError};
-pub use metrics::{ServiceMetrics, StatsReport};
-pub use protocol::{ErrorBody, QuerySpec, Request, Response, ValueSpec, Verb};
+pub use metrics::{RouterStatsReport, ServiceMetrics, StatsReport, WorkerSummary};
+pub use protocol::{
+    CatalogInfo, DatasetDesc, ErrorBody, HealthReport, QuerySpec, Request, Response, ValueSpec,
+    Verb, PROTO_VERSION,
+};
 pub use scheduler::SchedulerConfig;
-pub use server::{serve, serve_until_shutdown, ServerHandle};
+pub use server::{serve, serve_until_shutdown, wait_ready, RequestHandler, ServerHandle};
 pub use service::{QueryService, ServiceConfig};

@@ -205,6 +205,100 @@ impl StatsReport {
     }
 }
 
+/// One worker as a router sees it, embedded in [`RouterStatsReport`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSummary {
+    pub addr: String,
+    pub shard_id: Option<String>,
+    pub healthy: bool,
+    /// Catalog fingerprint last observed on a heartbeat.
+    pub catalog_epoch: u64,
+    /// Datasets this worker reported owning.
+    pub datasets: Vec<String>,
+    /// Consecutive failed probes/calls (resets on success).
+    pub consecutive_failures: u64,
+}
+
+/// A serializable snapshot of a router's metrics — the `stats` verb
+/// payload of `sjrouted`, mirroring [`StatsReport`] in style. Lives here
+/// (next to the protocol) so workers, routers, and clients share one
+/// wire shape.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouterStatsReport {
+    pub uptime_ms: u64,
+    /// Queries admitted and dispatched to at least one worker.
+    pub routed_queries: u64,
+    /// Queries whose dataset cover spanned shards and were fanned out.
+    pub scatter_gather_queries: u64,
+    /// Health transitions healthy → down (not probe failures; episodes).
+    pub worker_markdowns: u64,
+    /// Queries retried on a replica shard after a worker call failed.
+    pub failovers: u64,
+    /// Result-cache invalidations triggered by a worker catalog-epoch
+    /// change.
+    pub epoch_invalidations: u64,
+    pub route_cache_hits: u64,
+    pub route_cache_entries: u64,
+    pub rejected_queue_full: u64,
+    pub timeouts: u64,
+    pub queue_depth: u64,
+    pub queue_depth_peak: u64,
+    /// Queries answered `degraded` (partial scatter-gather, failed
+    /// failover, or a worker's own degraded answer passed through).
+    pub degraded: u64,
+    pub route_latency_count: u64,
+    pub route_latency_ms_p50: f64,
+    pub route_latency_ms_p99: f64,
+    pub route_latency_ms_max: f64,
+    pub workers: Vec<WorkerSummary>,
+    pub per_tenant: Vec<TenantStats>,
+}
+
+impl RouterStatsReport {
+    /// Multi-line human-readable rendering (the shutdown dump).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "routed: {} queries ({} scatter-gather), {} degraded, {} rejected (queue full), {} timed out\n",
+            self.routed_queries, self.scatter_gather_queries, self.degraded,
+            self.rejected_queue_full, self.timeouts
+        ));
+        out.push_str(&format!(
+            "failover: {} markdowns, {} failovers, {} epoch invalidations\n",
+            self.worker_markdowns, self.failovers, self.epoch_invalidations
+        ));
+        out.push_str(&format!(
+            "route cache: {} entries, {} hits\n",
+            self.route_cache_entries, self.route_cache_hits
+        ));
+        out.push_str(&format!(
+            "route latency: p50 {:.2}ms, p99 {:.2}ms, max {:.2}ms over {} queries\n",
+            self.route_latency_ms_p50,
+            self.route_latency_ms_p99,
+            self.route_latency_ms_max,
+            self.route_latency_count
+        ));
+        for w in &self.workers {
+            out.push_str(&format!(
+                "worker {} [{}] {}: epoch {:016x}, {} datasets, {} consecutive failures\n",
+                w.addr,
+                w.shard_id.as_deref().unwrap_or("-"),
+                if w.healthy { "up" } else { "DOWN" },
+                w.catalog_epoch,
+                w.datasets.len(),
+                w.consecutive_failures
+            ));
+        }
+        for t in &self.per_tenant {
+            out.push_str(&format!(
+                "tenant `{}`: {} admitted, {} rejected, {} completed\n",
+                t.tenant, t.admitted, t.rejected, t.completed
+            ));
+        }
+        out
+    }
+}
+
 /// The live registry all request paths report into.
 #[derive(Debug)]
 pub struct ServiceMetrics {
@@ -508,6 +602,35 @@ mod tests {
         // The drop counter is a cumulative gauge: latest reading wins.
         assert_eq!(s.trace_spans_dropped, 3);
         assert!(s.render().contains("traces: 2 recorded"));
+    }
+
+    #[test]
+    fn router_report_round_trips_and_renders() {
+        let r = RouterStatsReport {
+            uptime_ms: 100,
+            routed_queries: 42,
+            scatter_gather_queries: 7,
+            worker_markdowns: 1,
+            failovers: 2,
+            epoch_invalidations: 3,
+            route_latency_ms_p99: 12.5,
+            workers: vec![WorkerSummary {
+                addr: "127.0.0.1:7301".into(),
+                shard_id: Some("w0".into()),
+                healthy: false,
+                catalog_epoch: 0xbeef,
+                datasets: vec!["rack_temps".into()],
+                consecutive_failures: 4,
+            }],
+            ..RouterStatsReport::default()
+        };
+        let back: RouterStatsReport =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+        let text = r.render();
+        assert!(text.contains("42 queries (7 scatter-gather)"));
+        assert!(text.contains("1 markdowns, 2 failovers, 3 epoch invalidations"));
+        assert!(text.contains("DOWN"));
     }
 
     #[test]

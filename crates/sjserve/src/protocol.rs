@@ -10,7 +10,14 @@
 use serde::{Deserialize, Serialize};
 use sjdf::metrics::MetricsReport;
 
-use crate::metrics::StatsReport;
+use crate::metrics::{RouterStatsReport, StatsReport};
+
+/// The wire-protocol version this build speaks. Requests and responses
+/// carry it as `proto_version` (absent on messages from older peers);
+/// a peer seeing a version other than its own answers with a structured
+/// [`codes::PROTO_MISMATCH`] error instead of misparsing payloads, which
+/// is what a router↔worker rolling upgrade needs to fail loudly.
+pub const PROTO_VERSION: u32 = 1;
 
 /// What the client wants done.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +31,9 @@ pub enum Verb {
     Stats,
     /// Liveness probe: dataset names and uptime.
     Health,
+    /// Catalog description: dataset names and schemas, for routers that
+    /// plan against this worker's shard without holding its data.
+    Catalog,
     /// Stop accepting connections and shut the server down.
     Shutdown,
 }
@@ -99,6 +109,11 @@ pub struct Request {
     /// this query (and server-side tracing is switched on if it was not
     /// already). Optional so requests from older clients still parse.
     pub trace: Option<bool>,
+    /// Protocol version the sender speaks. `None` (the wire default, so
+    /// messages from older peers still parse) is accepted as "unknown,
+    /// assume compatible"; a `Some` other than [`PROTO_VERSION`] is
+    /// answered with a [`codes::PROTO_MISMATCH`] error.
+    pub proto_version: Option<u32>,
 }
 
 impl Request {
@@ -110,6 +125,7 @@ impl Request {
             query: Some(spec),
             timeout_ms: None,
             trace: None,
+            proto_version: None,
         }
     }
 
@@ -129,7 +145,16 @@ impl Request {
             query: None,
             timeout_ms: None,
             trace: None,
+            proto_version: None,
         }
+    }
+
+    /// Stamp the sender's protocol version (builder-style). The router
+    /// stamps every request it forwards so version skew across a sharded
+    /// deployment is caught at the first hop.
+    pub fn with_proto(mut self) -> Self {
+        self.proto_version = Some(PROTO_VERSION);
+        self
     }
 
     /// Whether this request asked for a per-query trace.
@@ -158,6 +183,16 @@ pub mod codes {
     pub const DEGRADED: &str = "degraded";
     /// The server is shutting down.
     pub const SHUTDOWN: &str = "shutdown";
+    /// The peer speaks a different protocol version (rolling-upgrade
+    /// skew); the message was not processed.
+    pub const PROTO_MISMATCH: &str = "proto_mismatch";
+    /// A router could not reach any worker holding the shard a query
+    /// needs (after mark-downs and failover).
+    pub const WORKER_UNAVAILABLE: &str = "worker_unavailable";
+    /// A router found no shard assignment that covers the query: some
+    /// required dataset is on no live worker, or a value's derivation
+    /// spans shards in a way scatter-gather cannot split.
+    pub const NO_ROUTE: &str = "no_route";
 }
 
 /// A structured error: a stable code plus a human-readable message.
@@ -217,6 +252,57 @@ pub struct HealthReport {
     pub status: String,
     pub datasets: Vec<String>,
     pub uptime_ms: u64,
+    /// Operator-assigned shard identity (`--shard-id`); `None` on
+    /// unsharded deployments and reports from older workers.
+    pub shard_id: Option<String>,
+    /// Fingerprint of the served catalog (names + schemas). A router
+    /// watches this across heartbeats: any change invalidates its
+    /// result cache for queries touching this worker.
+    pub catalog_epoch: Option<u64>,
+    /// Bytes currently held by the dataflow stage cache (persisted
+    /// partitions + shuffle outputs), so shard memory pressure is
+    /// inspectable by hand via `sjq --health`.
+    pub stage_cache_bytes: Option<u64>,
+}
+
+impl HealthReport {
+    /// Render the report for humans (the `sjq --health` output).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "status: {}\nuptime: {}ms\ndatasets: {}\n",
+            self.status,
+            self.uptime_ms,
+            self.datasets.join(", ")
+        );
+        if let Some(shard) = &self.shard_id {
+            out.push_str(&format!("shard: {shard}\n"));
+        }
+        if let Some(epoch) = self.catalog_epoch {
+            out.push_str(&format!("catalog epoch: {epoch:016x}\n"));
+        }
+        if let Some(bytes) = self.stage_cache_bytes {
+            out.push_str(&format!("stage cache: {bytes} bytes\n"));
+        }
+        out
+    }
+}
+
+/// One dataset a worker serves, described at the schema level — enough
+/// for a router to run the derivation search without holding the data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetDesc {
+    pub name: String,
+    /// The dataset's [`Schema`](sjcore::Schema) as its serialized JSON.
+    pub schema_json: String,
+}
+
+/// `catalog` payload: the worker's shard described at the schema level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogInfo {
+    pub shard_id: Option<String>,
+    /// Same fingerprint as [`HealthReport::catalog_epoch`].
+    pub epoch: u64,
+    pub datasets: Vec<DatasetDesc>,
 }
 
 /// Per-query trace payload, attached when the request set `trace: true`.
@@ -236,6 +322,11 @@ pub struct TraceSummary {
     /// Chrome trace-event JSON for this query, loadable in Perfetto /
     /// `chrome://tracing`.
     pub chrome_json: Option<String>,
+    /// The raw span events of this query's tree, so an upstream router
+    /// can graft the worker's timeline under its own route span and
+    /// return one tree spanning the whole hop. `None` from older
+    /// workers (the summary fields above still apply).
+    pub spans: Option<Vec<sjtrace::SpanEvent>>,
 }
 
 /// One response line. Exactly one of the payload fields is populated on
@@ -251,6 +342,11 @@ pub struct Response {
     pub plan: Option<PlanInfo>,
     pub stats: Option<StatsReport>,
     pub health: Option<HealthReport>,
+    /// `catalog` payload (workers only).
+    pub catalog: Option<CatalogInfo>,
+    /// `stats` payload from a router (`sjrouted`); workers leave it
+    /// empty and routers leave `stats` empty.
+    pub router_stats: Option<RouterStatsReport>,
     /// Fault/retry accounting for this request's execution, when the
     /// engine reported any (always present on `degraded` responses).
     pub failure: Option<sjdf::FailureReport>,
@@ -259,6 +355,9 @@ pub struct Response {
     pub query_id: Option<String>,
     /// Per-query trace, when the request set `trace: true`.
     pub trace: Option<TraceSummary>,
+    /// Protocol version of the responding server (see [`PROTO_VERSION`]);
+    /// `None` from older servers.
+    pub proto_version: Option<u32>,
 }
 
 impl Response {
@@ -271,9 +370,12 @@ impl Response {
             plan: None,
             stats: None,
             health: None,
+            catalog: None,
+            router_stats: None,
             failure: None,
             query_id: None,
             trace: None,
+            proto_version: None,
         }
     }
 
@@ -390,10 +492,80 @@ mod tests {
             dropped_spans: 0,
             timeline: "trace: 12 events\nrequest ...\n".into(),
             chrome_json: Some(r#"{"traceEvents":[]}"#.into()),
+            spans: None,
         });
         let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
         assert_eq!(back, resp);
         assert_eq!(back.trace.unwrap().span_count, 12);
+    }
+
+    #[test]
+    fn proto_version_is_optional_and_round_trips() {
+        // Older peers omit the field entirely; it must parse as None.
+        let legacy: Request = serde_json::from_str(
+            r#"{"id":"r","verb":"health","tenant":"","query":null,"timeout_ms":null}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.proto_version, None);
+        let legacy_resp: Response =
+            serde_json::from_str(r#"{"id":"r","status":"ok","error":null}"#).unwrap();
+        assert_eq!(legacy_resp.proto_version, None);
+
+        let req = Request::bare("r", Verb::Health).with_proto();
+        assert_eq!(req.proto_version, Some(PROTO_VERSION));
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back.proto_version, Some(PROTO_VERSION));
+    }
+
+    #[test]
+    fn catalog_verb_and_payload_round_trip() {
+        let req = Request::bare("c1", Verb::Catalog);
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains("\"verb\":\"catalog\""), "{line}");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.verb, Verb::Catalog);
+
+        let mut resp = Response::ok("c1");
+        resp.catalog = Some(CatalogInfo {
+            shard_id: Some("w0".into()),
+            epoch: 0xfeed,
+            datasets: vec![DatasetDesc {
+                name: "rack_temps".into(),
+                schema_json: "{\"fields\":[]}".into(),
+            }],
+        });
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        let info = back.catalog.unwrap();
+        assert_eq!(info.epoch, 0xfeed);
+        assert_eq!(info.datasets[0].name, "rack_temps");
+    }
+
+    #[test]
+    fn health_report_renders_shard_fields() {
+        let legacy = HealthReport {
+            status: "ok".into(),
+            datasets: vec!["a".into()],
+            uptime_ms: 5,
+            shard_id: None,
+            catalog_epoch: None,
+            stage_cache_bytes: None,
+        };
+        assert!(!legacy.render().contains("shard:"));
+        let sharded = HealthReport {
+            shard_id: Some("w2".into()),
+            catalog_epoch: Some(0xabc),
+            stage_cache_bytes: Some(4096),
+            ..legacy
+        };
+        let text = sharded.render();
+        assert!(text.contains("shard: w2"));
+        assert!(text.contains("0000000000000abc"));
+        assert!(text.contains("4096 bytes"));
+        // Reports from older workers (no new keys) still parse.
+        let parsed: HealthReport =
+            serde_json::from_str(r#"{"status":"ok","datasets":["a"],"uptime_ms":9}"#).unwrap();
+        assert_eq!(parsed.shard_id, None);
+        assert_eq!(parsed.catalog_epoch, None);
     }
 
     #[test]

@@ -19,20 +19,48 @@ use std::time::Duration;
 use crate::protocol::{codes, ErrorBody, Request, Response, Verb};
 use crate::service::QueryService;
 
+/// Anything the TCP front end can serve: the query service itself, or a
+/// router fronting a fleet of them. Handles are cheap clones sharing one
+/// backend; `shutdown` stops the backend and returns its final summary
+/// (a [`StatsReport`](crate::metrics::StatsReport) for workers, a
+/// [`RouterStatsReport`](crate::metrics::RouterStatsReport) for routers).
+pub trait RequestHandler: Clone + Send + 'static {
+    /// Final metrics summary produced when the backend stops.
+    type Summary;
+
+    /// Answer one request, blocking until the response is ready.
+    fn handle(&self, request: Request) -> Response;
+
+    /// Stop the backend's own workers and return the final summary.
+    fn shutdown(&self) -> Self::Summary;
+}
+
+impl RequestHandler for QueryService {
+    type Summary = crate::metrics::StatsReport;
+
+    fn handle(&self, request: Request) -> Response {
+        QueryService::handle(self, request)
+    }
+
+    fn shutdown(&self) -> Self::Summary {
+        QueryService::shutdown(self)
+    }
+}
+
 /// Handle to a running server; dropping it does NOT stop the server —
 /// call [`ServerHandle::stop`] (or send a `shutdown` request).
-pub struct ServerHandle {
+pub struct ServerHandle<H: RequestHandler = QueryService> {
     /// The bound address (useful with port 0).
     pub addr: SocketAddr,
-    service: QueryService,
+    service: H,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
-impl ServerHandle {
+impl<H: RequestHandler> ServerHandle<H> {
     /// Block until the accept loop exits (i.e. until a `shutdown`
     /// request arrives or [`ServerHandle::stop`] is called elsewhere).
-    pub fn wait(mut self) -> crate::metrics::StatsReport {
+    pub fn wait(mut self) -> H::Summary {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -40,7 +68,7 @@ impl ServerHandle {
     }
 
     /// Stop accepting, stop the workers, and return the final metrics.
-    pub fn stop(mut self) -> crate::metrics::StatsReport {
+    pub fn stop(mut self) -> H::Summary {
         self.shutdown.store(true, Ordering::Release);
         // Nudge the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -52,7 +80,7 @@ impl ServerHandle {
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `service` on it.
-pub fn serve(service: QueryService, addr: &str) -> std::io::Result<ServerHandle> {
+pub fn serve<H: RequestHandler>(service: H, addr: &str) -> std::io::Result<ServerHandle<H>> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -71,10 +99,10 @@ pub fn serve(service: QueryService, addr: &str) -> std::io::Result<ServerHandle>
     })
 }
 
-fn accept_loop(
+fn accept_loop<H: RequestHandler>(
     listener: TcpListener,
     addr: SocketAddr,
-    service: QueryService,
+    service: H,
     shutdown: Arc<AtomicBool>,
 ) {
     for stream in listener.incoming() {
@@ -93,10 +121,10 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(
+fn handle_connection<H: RequestHandler>(
     stream: TcpStream,
     addr: SocketAddr,
-    service: QueryService,
+    service: H,
     shutdown: Arc<AtomicBool>,
 ) {
     let reader = match stream.try_clone() {

@@ -33,7 +33,8 @@ use sjtrace::{EventKind, RecordedSpan};
 use crate::cache::{PlanCacheLayer, PlanKey};
 use crate::metrics::{CacheCounters, ServiceMetrics, StatsReport};
 use crate::protocol::{
-    codes, ErrorBody, HealthReport, PlanInfo, QueryResult, Request, Response, TraceSummary, Verb,
+    codes, CatalogInfo, DatasetDesc, ErrorBody, HealthReport, PlanInfo, QueryResult, Request,
+    Response, TraceSummary, Verb,
 };
 use crate::scheduler::{AdmissionError, Job, ResponseSlot, Scheduler, SchedulerConfig};
 
@@ -70,6 +71,10 @@ pub struct ServiceConfig {
     /// A query at or above this end-to-end latency counts as slow for
     /// trace persistence. Only consulted when `trace_dir` is set.
     pub trace_slow_ms: u64,
+    /// Operator-assigned shard identity for sharded deployments (the
+    /// `--shard-id` flag); surfaced on `health` and `catalog` responses
+    /// so a router's mark-down decisions are inspectable by hand.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +89,7 @@ impl Default for ServiceConfig {
             faults: None,
             trace_dir: None,
             trace_slow_ms: 1000,
+            shard_id: None,
         }
     }
 }
@@ -99,6 +105,10 @@ struct ServiceInner {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Monotonic sequence behind server-assigned query ids.
     query_seq: AtomicU64,
+    /// Fingerprint of the served catalog (names + schemas). Routers
+    /// watch it across heartbeats and invalidate their result caches
+    /// when it changes.
+    catalog_epoch: AtomicU64,
 }
 
 /// A running ScrubJay query service. Cheap to clone; all clones share
@@ -126,6 +136,7 @@ impl QueryService {
             // query traced; per-request `trace: true` enables lazily.
             ctx.tracer().enable();
         }
+        let epoch = catalog_fingerprint(&catalog);
         let inner = Arc::new(ServiceInner {
             catalog,
             ctx,
@@ -136,6 +147,7 @@ impl QueryService {
             scheduler,
             workers: Mutex::new(Vec::new()),
             query_seq: AtomicU64::new(0),
+            catalog_epoch: AtomicU64::new(epoch),
         });
         let service = QueryService { inner };
         service.start_workers();
@@ -162,39 +174,93 @@ impl QueryService {
         let inner = &self.inner;
         inner.metrics.request_started();
         let started = Instant::now();
-        let response = match request.verb {
-            // Monitoring verbs never queue: they must answer while the
-            // service is saturated.
-            Verb::Stats => {
-                let mut r = Response::ok(&request.id);
-                r.stats = Some(self.stats_report());
-                r
-            }
-            Verb::Health => {
-                let mut r = Response::ok(&request.id);
-                r.health = Some(HealthReport {
-                    status: "ok".into(),
-                    datasets: inner
-                        .catalog
-                        .dataset_names()
-                        .into_iter()
-                        .map(String::from)
-                        .collect(),
-                    uptime_ms: inner.metrics.uptime().as_millis() as u64,
-                });
-                r
-            }
-            Verb::Shutdown => {
-                // The front end decides what shutdown means; the service
-                // just acknowledges and stops its own workers.
-                Response::ok(&request.id)
-            }
-            Verb::Query | Verb::Explain => self.enqueue_and_wait(request, started),
+        let mut response = match request.proto_version {
+            Some(v) if v != crate::protocol::PROTO_VERSION => Response::fail(
+                &request.id,
+                ErrorBody::new(
+                    codes::PROTO_MISMATCH,
+                    format!(
+                        "peer speaks protocol v{v}, this worker speaks v{}",
+                        crate::protocol::PROTO_VERSION
+                    ),
+                ),
+            ),
+            _ => match request.verb {
+                // Monitoring verbs never queue: they must answer while
+                // the service is saturated.
+                Verb::Stats => {
+                    let mut r = Response::ok(&request.id);
+                    r.stats = Some(self.stats_report());
+                    r
+                }
+                Verb::Health => {
+                    let mut r = Response::ok(&request.id);
+                    r.health = Some(HealthReport {
+                        status: "ok".into(),
+                        datasets: inner
+                            .catalog
+                            .dataset_names()
+                            .into_iter()
+                            .map(String::from)
+                            .collect(),
+                        uptime_ms: inner.metrics.uptime().as_millis() as u64,
+                        shard_id: inner.config.shard_id.clone(),
+                        catalog_epoch: Some(self.catalog_epoch()),
+                        stage_cache_bytes: Some(inner.ctx.stage_cache().stats().bytes),
+                    });
+                    r
+                }
+                Verb::Catalog => {
+                    let mut r = Response::ok(&request.id);
+                    r.catalog = Some(self.catalog_info());
+                    r
+                }
+                Verb::Shutdown => {
+                    // The front end decides what shutdown means; the
+                    // service just acknowledges and stops its own
+                    // workers.
+                    Response::ok(&request.id)
+                }
+                Verb::Query | Verb::Explain => self.enqueue_and_wait(request, started),
+            },
         };
+        response.proto_version = Some(crate::protocol::PROTO_VERSION);
         inner
             .metrics
             .request_finished(response.is_ok(), started.elapsed());
         response
+    }
+
+    /// This catalog's epoch: a content fingerprint over dataset names
+    /// and schemas, minted at construction.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.inner.catalog_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Force a new catalog epoch (test hook for "the shard was
+    /// reloaded"): routers heartbeating this worker must observe the
+    /// change and invalidate.
+    pub fn bump_catalog_epoch(&self) {
+        self.inner.catalog_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The shard described at the schema level (the `catalog` verb).
+    pub fn catalog_info(&self) -> CatalogInfo {
+        let mut datasets: Vec<DatasetDesc> = self
+            .inner
+            .catalog
+            .datasets()
+            .map(|(name, ds)| DatasetDesc {
+                name: name.to_string(),
+                schema_json: serde_json::to_string(ds.schema()).unwrap_or_default(),
+            })
+            .collect();
+        datasets.sort_by(|a, b| a.name.cmp(&b.name));
+        CatalogInfo {
+            shard_id: self.inner.config.shard_id.clone(),
+            epoch: self.catalog_epoch(),
+            datasets,
+        }
     }
 
     fn enqueue_and_wait(&self, request: Request, started: Instant) -> Response {
@@ -325,6 +391,34 @@ impl QueryService {
         }
         self.stats_report()
     }
+}
+
+/// FNV-1a fingerprint of a catalog's dataset names and schemas: the
+/// catalog epoch. Deterministic across processes for identical shards,
+/// and any rename/reshape/addition changes it.
+fn catalog_fingerprint(catalog: &Catalog) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut names: Vec<&str> = catalog.dataset_names();
+    names.sort_unstable();
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for name in names {
+        eat(name.as_bytes());
+        eat(b"\x00");
+        if let Ok(ds) = catalog.dataset(name) {
+            if let Ok(schema_json) = serde_json::to_string(ds.schema()) {
+                eat(schema_json.as_bytes());
+            }
+        }
+        eat(b"\x01");
+    }
+    h
 }
 
 /// Classify a plan-execution failure. A task that exhausted its retry
@@ -470,6 +564,9 @@ fn execute(inner: &ServiceInner, job: &Job) -> Response {
             dropped_spans: tracer.dropped(),
             timeline: sjtrace::timeline::render(&events),
             chrome_json: Some(json),
+            // Ship the raw tree so a fronting router can graft this
+            // worker's timeline under its own route span.
+            spans: Some(events.clone()),
         });
     }
     if let Some(dir) = &inner.config.trace_dir {

@@ -640,6 +640,59 @@ pub fn validate(events: &[SpanEvent]) -> Result<(), String> {
     Ok(())
 }
 
+/// Splice a span tree recorded by **another process** (the guest, e.g. a
+/// worker answering a routed query) under span `attach_to` of the host
+/// batch, producing one tree that passes [`validate`].
+///
+/// The two batches come from different [`Tracer`]s, so nothing lines up:
+/// ids may collide and timestamps count from different epochs. Grafting
+/// therefore
+///
+/// - rebases every guest id above the host's maximum id (parent links
+///   inside the guest are rebased consistently),
+/// - re-parents guest roots under `attach_to` and rewrites every guest
+///   event's `root` to the host tree's root,
+/// - shifts guest timestamps so the guest's earliest event starts exactly
+///   when `attach_to` started (the network call that carried it), and
+/// - marks former guest roots `detached`, since clock skew between the
+///   two processes can make the guest appear to outlive the call span.
+///
+/// Relative timing *within* the guest batch is preserved exactly; only
+/// its placement on the host timeline is approximate (we know the guest
+/// worked sometime inside the call, not precisely when).
+pub fn graft(
+    host: &mut Vec<SpanEvent>,
+    attach_to: SpanId,
+    guest: &[SpanEvent],
+) -> Result<(), String> {
+    if guest.is_empty() {
+        return Ok(());
+    }
+    let attach = host
+        .iter()
+        .find(|e| e.id == attach_to)
+        .ok_or_else(|| format!("graft target span {attach_to} not present in host batch"))?;
+    let attach_start = attach.start_us;
+    let host_root = attach.root;
+    let id_base = host.iter().map(|e| e.id).max().unwrap_or(0);
+    let guest_min = guest.iter().map(|e| e.start_us).min().unwrap_or(0);
+    for event in guest {
+        let mut e = event.clone();
+        e.id += id_base;
+        if e.parent == 0 {
+            e.parent = attach_to;
+            e.detached = true;
+        } else {
+            e.parent += id_base;
+        }
+        e.root = host_root;
+        e.start_us = attach_start + (e.start_us - guest_min);
+        e.end_us = attach_start + (e.end_us - guest_min);
+        host.push(e);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +883,69 @@ mod tests {
         drop(a);
         let e2 = t2.drain();
         assert_eq!(e2[0].parent, 0, "t2's span must not parent under t1's");
+    }
+
+    fn event(id: SpanId, parent: SpanId, root: SpanId, start: u64, end: u64) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent,
+            root,
+            name: "span".into(),
+            detail: String::new(),
+            thread: 1,
+            start_us: start,
+            end_us: end,
+            kind: EventKind::Span,
+            failed: false,
+            detached: false,
+        }
+    }
+
+    #[test]
+    fn graft_produces_one_valid_tree() {
+        // Host: a router "route" root with a "worker_call" child.
+        let mut host = vec![event(1, 0, 1, 100, 900), event(2, 1, 1, 200, 800)];
+        // Guest: a worker tree on a foreign timebase with colliding ids.
+        let guest = vec![event(1, 0, 1, 5_000, 5_400), event(2, 1, 1, 5_050, 5_300)];
+        graft(&mut host, 2, &guest).unwrap();
+        assert_eq!(host.len(), 4);
+        validate(&host).unwrap();
+        // Guest root rebased above the host's max id, re-parented under
+        // the call span, on the host root, shifted to the call start.
+        let groot = host.iter().find(|e| e.id == 3).unwrap();
+        assert_eq!(groot.parent, 2);
+        assert_eq!(groot.root, 1);
+        assert!(groot.detached);
+        assert_eq!(groot.start_us, 200);
+        assert_eq!(groot.end_us, 600);
+        // Inner guest span keeps its relative offset and parent link.
+        let gchild = host.iter().find(|e| e.id == 4).unwrap();
+        assert_eq!(gchild.parent, 3);
+        assert_eq!(gchild.root, 1);
+        assert_eq!(gchild.start_us, 250);
+    }
+
+    #[test]
+    fn graft_multiple_guests_under_sibling_calls() {
+        let mut host = vec![
+            event(1, 0, 1, 0, 1_000),
+            event(2, 1, 1, 10, 500),
+            event(3, 1, 1, 20, 600),
+        ];
+        graft(&mut host, 2, &[event(7, 0, 7, 100, 200)]).unwrap();
+        graft(&mut host, 3, &[event(7, 0, 7, 300, 450)]).unwrap();
+        validate(&host).unwrap();
+        assert_eq!(host.len(), 5);
+        let parents: Vec<SpanId> = host.iter().skip(3).map(|e| e.parent).collect();
+        assert_eq!(parents, vec![2, 3]);
+    }
+
+    #[test]
+    fn graft_rejects_missing_target_and_tolerates_empty_guest() {
+        let mut host = vec![event(1, 0, 1, 0, 10)];
+        assert!(graft(&mut host, 99, &[event(1, 0, 1, 0, 5)]).is_err());
+        graft(&mut host, 1, &[]).unwrap();
+        assert_eq!(host.len(), 1);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!     [--trace FILE.json]
 //! sjq --server HOST:PORT --domains ... --values ... [--tenant NAME]
 //!     [--timeout-ms MS] [--json] [--trace FILE.json]
+//! sjq --router HOST:PORT ...          # same wire protocol; --router is
+//!                                     # an alias for --server against a
+//!                                     # sharded sjrouted deployment
+//! sjq --server HOST:PORT --health     # fleet/shard health, no query
+//! sjq --server HOST:PORT --stats      # service or router counters
 //! ```
 //!
 //! Exit codes: 0 success, 1 execution failure, 2 usage error,
@@ -45,6 +50,8 @@ struct Args {
     out: Option<String>,
     limit: usize,
     trace: Option<String>,
+    health: bool,
+    stats: bool,
 }
 
 /// A failure with a stable machine-readable code (mirrors the service's
@@ -95,11 +102,18 @@ sjq — ScrubJay query tool
 USAGE:
   sjq --data DIR --domains D1,D2 --values V1,V2 [OPTIONS]
   sjq --server HOST:PORT --domains D1,D2 --values V1,V2 [OPTIONS]
+  sjq --server HOST:PORT --health | --stats
 
 OPTIONS:
   --data DIR        directory of <name>.csv + <name>.schema.json pairs
   --server ADDR     send the query to a running sjserved instead of
                     executing locally
+  --router ADDR     alias for --server: a sharded sjrouted deployment
+                    speaks the same protocol
+  --health          print the service's (or fleet's) health report:
+                    status, datasets, shard id, catalog epoch, stage
+                    cache occupancy
+  --stats           print the service's (or router's) metrics snapshot
   --tenant NAME     fair-queueing bucket for --server mode
   --timeout-ms MS   per-request deadline for --server mode
   --domains LIST    comma-separated domain dimensions of interest
@@ -137,6 +151,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         limit: 20,
         trace: None,
+        health: false,
+        stats: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -148,6 +164,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--data" => args.data = value("--data")?,
             "--server" => args.server = Some(value("--server")?),
+            "--router" => args.server = Some(value("--router")?),
+            "--health" => args.health = true,
+            "--stats" => args.stats = true,
             "--tenant" => args.tenant = value("--tenant")?,
             "--timeout-ms" => {
                 args.timeout_ms = Some(
@@ -206,6 +225,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if args.health && args.stats {
+        return Err("--health and --stats are mutually exclusive".into());
+    }
+    if args.health || args.stats {
+        if args.server.is_none() {
+            return Err("--health/--stats need --server or --router".into());
+        }
+        return Ok(args);
+    }
     if args.data.is_empty() && args.server.is_none() {
         return Err("--data or --server is required".into());
     }
@@ -240,6 +268,36 @@ fn run_remote(args: &Args, addr: &str) -> Result<(), CliError> {
     };
     let mut client = Client::connect_as(addr, &args.tenant)
         .map_err(|e| CliError::new("unavailable", format!("connect {addr}: {e}")))?;
+
+    if args.health {
+        let response = client.health()?;
+        if args.json {
+            println!("{}", encode(&response)?);
+            return Ok(());
+        }
+        let report = response
+            .health
+            .ok_or_else(|| CliError::failed("ok response without a health payload"))?;
+        print!("{}", report.render());
+        return Ok(());
+    }
+    if args.stats {
+        let response = client.stats()?;
+        if args.json {
+            println!("{}", encode(&response)?);
+            return Ok(());
+        }
+        // Workers answer with a service report, routers with a router
+        // report; render whichever came back.
+        if let Some(report) = &response.router_stats {
+            print!("{}", report.render());
+        } else if let Some(report) = &response.stats {
+            print!("{}", report.render());
+        } else {
+            return Err(CliError::failed("ok response without a stats payload"));
+        }
+        return Ok(());
+    }
 
     if args.plan_only {
         let response = client.explain(spec)?;
@@ -576,6 +634,24 @@ mod tests {
             .trace
             .is_none());
         assert!(parse_args(&argv("--data d --domains a --values b --trace")).is_err());
+    }
+
+    #[test]
+    fn router_is_an_alias_for_server() {
+        let args = parse_args(&argv("--router 127.0.0.1:7228 --domains a --values b")).unwrap();
+        assert_eq!(args.server.as_deref(), Some("127.0.0.1:7228"));
+    }
+
+    #[test]
+    fn health_and_stats_modes_skip_query_flags() {
+        let args = parse_args(&argv("--server h:1 --health")).unwrap();
+        assert!(args.health && !args.stats);
+        let args = parse_args(&argv("--router h:1 --stats --json")).unwrap();
+        assert!(args.stats && args.json);
+        // Both need a server, and are mutually exclusive.
+        assert!(parse_args(&argv("--health")).is_err());
+        assert!(parse_args(&argv("--data d --stats")).is_err());
+        assert!(parse_args(&argv("--server h:1 --health --stats")).is_err());
     }
 
     #[test]

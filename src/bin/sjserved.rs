@@ -36,6 +36,7 @@ struct Args {
     chaos_fail_rate: f64,
     trace_dir: Option<String>,
     trace_slow_ms: u64,
+    shard_id: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -75,6 +76,9 @@ OPTIONS:
   --trace-slow-ms MS
                     latency at which a query counts as slow for
                     --trace-dir persistence (default 1000)
+  --shard-id NAME   label this worker's catalog shard; reported in
+                    health responses so a router (sjrouted) and humans
+                    can tell shards apart
 
 PROTOCOL:
   newline-delimited JSON requests, one response line per request:
@@ -100,6 +104,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         chaos_fail_rate: 0.2,
         trace_dir: None,
         trace_slow_ms: 1000,
+        shard_id: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -136,6 +141,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace-slow-ms" => {
                 args.trace_slow_ms = num("--trace-slow-ms", value("--trace-slow-ms")?)?
             }
+            "--shard-id" => args.shard_id = Some(value("--shard-id")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -190,6 +196,7 @@ fn run(args: &Args) -> Result<(), String> {
             std::path::PathBuf::from(d)
         }),
         trace_slow_ms: args.trace_slow_ms,
+        shard_id: args.shard_id.clone(),
     };
     let service = QueryService::new(ctx, catalog, config);
     serve_until_shutdown(service, &args.addr).map_err(|e| e.to_string())?;
@@ -267,6 +274,14 @@ mod tests {
         assert_eq!(defaults.trace_dir, None);
         assert_eq!(defaults.trace_slow_ms, 1000);
         assert!(parse_args(&argv("--data d --trace-slow-ms fast")).is_err());
+    }
+
+    #[test]
+    fn parses_shard_id() {
+        let args = parse_args(&argv("--data d --shard-id shard-a")).unwrap();
+        assert_eq!(args.shard_id.as_deref(), Some("shard-a"));
+        assert_eq!(parse_args(&argv("--data d")).unwrap().shard_id, None);
+        assert!(parse_args(&argv("--data d --shard-id")).is_err());
     }
 
     #[test]
