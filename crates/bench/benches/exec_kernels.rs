@@ -1,0 +1,125 @@
+//! Execute-path kernel benchmark: the columnar partition layout against
+//! the rowwise baseline on the derive-rate → interpolation-join pipeline.
+//!
+//! Both modes run the *same* derivations over the *same* synthetic
+//! counter/sensor inputs; the only difference is `ExecCtx` mode
+//! (columnar batches by default, `with_rowwise()` for the baseline).
+//! Each mode is timed end to end — dataset generation, rate derivation,
+//! windowed join, count — for `EVALS` evaluations and reported as the
+//! median. The run asserts:
+//!
+//! * a byte-identity probe — both modes produce exactly the same row
+//!   set (compared through bit-exact `KeyAtom` encodings);
+//! * the columnar path is at least 3x faster end to end.
+//!
+//! Results land in `BENCH_exec.json` (committed; see PERF.md for the
+//! measurement protocol). Custom harness (`harness = false`); does
+//! nothing unless `--bench` is on the command line.
+
+use scrubjay_bench::bench_ctx;
+use sjcore::derivations::combine::InterpolationJoin;
+use sjcore::derivations::transform::DeriveRate;
+use sjcore::derivations::{Combination, Transformation};
+use sjcore::value::KeyAtom;
+use sjcore::{SemanticDictionary, SjDataset, Value};
+use sjdata::synth::{rate_pipeline_inputs, JoinWorkload};
+use sjdf::ExecCtx;
+use std::time::Instant;
+
+const ROWS: usize = 30_000;
+const EVALS: usize = 5;
+const WINDOW_SECS: f64 = 30.0;
+
+fn workload() -> JoinWorkload {
+    JoinWorkload {
+        rows: ROWS,
+        nodes: 100,
+        time_range_secs: ((ROWS as f64 * 0.18) as i64).max(600),
+        partitions: 8,
+        seed: 42,
+    }
+}
+
+/// Build and fully evaluate the pipeline; returns the joined dataset.
+fn pipeline(ctx: &ExecCtx, dict: &SemanticDictionary) -> SjDataset {
+    let (counters, readings) = rate_pipeline_inputs(ctx, &workload());
+    let rates = DeriveRate::new(1.0)
+        .apply(&counters, dict)
+        .expect("derive_rate");
+    InterpolationJoin::new(WINDOW_SECS)
+        .apply(&rates, &readings, dict)
+        .expect("interpolation_join")
+}
+
+/// Median of `EVALS` end-to-end wall times, in seconds. The lineage is
+/// rebuilt from scratch each evaluation so no shuffle cell or cache slot
+/// survives between passes.
+fn median_secs(ctx: &ExecCtx, dict: &SemanticDictionary) -> (f64, usize) {
+    let mut times = Vec::with_capacity(EVALS);
+    let mut rows = 0;
+    for _ in 0..EVALS {
+        let start = Instant::now();
+        rows = pipeline(ctx, dict).count().expect("count");
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[EVALS / 2], rows)
+}
+
+/// Bit-exact canonical form of a dataset's rows.
+fn canon(ds: &SjDataset) -> Vec<Vec<KeyAtom>> {
+    let mut rows: Vec<Vec<KeyAtom>> = ds
+        .collect()
+        .expect("collect")
+        .iter()
+        .map(|r| r.values().iter().map(Value::key).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let dict = SemanticDictionary::default_hpc();
+
+    // Byte-identity probe before timing anything.
+    let columnar_ctx = bench_ctx();
+    let rowwise_ctx = bench_ctx().with_rowwise();
+    assert!(columnar_ctx.columnar() && !rowwise_ctx.columnar());
+    let a = canon(&pipeline(&columnar_ctx, &dict));
+    let b = canon(&pipeline(&rowwise_ctx, &dict));
+    assert_eq!(a, b, "columnar and rowwise pipelines disagree");
+    assert!(!a.is_empty(), "identity probe compared empty results");
+
+    let (rowwise_median, rowwise_rows) = median_secs(&rowwise_ctx, &dict);
+    let (columnar_median, columnar_rows) = median_secs(&columnar_ctx, &dict);
+    assert_eq!(rowwise_rows, columnar_rows);
+
+    let speedup = rowwise_median / columnar_median.max(1e-9);
+    assert!(
+        speedup >= 3.0,
+        "columnar execute path must be at least 3x faster end to end \
+         (rowwise {rowwise_median:.3}s, columnar {columnar_median:.3}s, {speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec_kernels\",\n  \"pipeline\": \"derive_rate+interpolation_join\",\n  \
+         \"input_rows\": {},\n  \"output_rows\": {},\n  \"evals\": {},\n  \
+         \"rowwise_median_secs\": {:.4},\n  \"columnar_median_secs\": {:.4},\n  \
+         \"speedup\": {:.2},\n  \"identity_probe\": \"pass\"\n}}\n",
+        ROWS * 2,
+        columnar_rows,
+        EVALS,
+        rowwise_median,
+        columnar_median,
+        speedup,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(out, &json).expect("write BENCH_exec.json");
+    println!(
+        "exec_kernels: rowwise {rowwise_median:.3}s, columnar {columnar_median:.3}s \
+         ({speedup:.2}x, {columnar_rows} rows) -> BENCH_exec.json"
+    );
+}

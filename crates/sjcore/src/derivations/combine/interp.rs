@@ -16,7 +16,24 @@
 //! 4. many-to-one matches are aggregated per semantics — ordered
 //!    continuous values are linearly interpolated at the left element's
 //!    position, everything else takes the nearest match.
+//!
+//! Two kernels share this contract. The **columnar** kernel (default)
+//! never ships a left row through the shuffle: left elements cross the
+//! bin-matching stage as 16-byte `(id, position)` probes, matches are
+//! routed back to the left partition encoded in the id with
+//! [`exchange`](sjdf::rdd::Rdd::exchange), and the output is assembled
+//! batch-at-a-time against the cached left partition — one `gather` for
+//! the left columns plus one appended column per kept right cell. The
+//! **rowwise** kernel is the reference baseline when the context runs in
+//! rowwise mode.
+//!
+//! Elements whose position is NaN are excluded on both paths *before*
+//! binning: `(NaN as i64)` saturates to 0, so a NaN-position element
+//! would otherwise land in bin 0 of both grids and pollute that bin's
+//! group (and every comparison against NaN is vacuously false, so it can
+//! never legitimately match anything).
 
+use crate::column::{Column, ColumnarPartition};
 use crate::dataset::SjDataset;
 use crate::derivations::combine::common::{merge_schemas, SharedDomains};
 use crate::derivations::{not_applicable, Combination, DerivationSpec};
@@ -26,6 +43,8 @@ use crate::schema::Schema;
 use crate::semantics::SemanticDictionary;
 use crate::value::{KeyAtom, Value};
 use sjdf::ByteSize;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Windowed, interpolating combination over one shared ordered continuous
 /// domain (plus exact matching on all shared discrete domains).
@@ -68,7 +87,24 @@ impl InterpolationJoin {
     }
 }
 
-/// One element flowing into the bin-matching shuffle.
+/// Everything both kernels need, resolved once from the schemas.
+struct InterpPlan {
+    exact_l: Vec<usize>,
+    exact_r: Vec<usize>,
+    cont_l: usize,
+    cont_r: usize,
+    kept_right: Vec<usize>,
+    /// Indices (into `kept_right` order) of residual right domains — the
+    /// per-left-row aggregation group keys.
+    residual_domain: Vec<usize>,
+    /// Per kept right column: linearly interpolatable?
+    interp_col: Vec<bool>,
+    w: f64,
+    width: f64,
+    parts: usize,
+}
+
+/// One element flowing into the rowwise bin-matching shuffle.
 #[derive(Debug, Clone)]
 enum Side {
     /// Left element: unique id, full row, position on the continuous axis.
@@ -86,9 +122,59 @@ impl ByteSize for Side {
     }
 }
 
+/// One element flowing into the columnar bin-matching shuffle. Left rows
+/// never cross the wire — a probe is just the id (partition index in the
+/// high bits, local row index in the low 40) and the position; right
+/// projections are shared by `Arc` across their two grid emissions. The
+/// residual aggregation key is encoded to bytes once per right *row*
+/// (not per match) with [`Column::encode_key_at`], whose encoding is
+/// injective over [`Value::key`] — byte equality is key equality.
+#[derive(Debug, Clone)]
+enum Probe {
+    /// Left element: id, position.
+    L(u64, f64),
+    /// Right element: projected kept cells, encoded residual key, position.
+    R(Arc<Vec<Value>>, Arc<[u8]>, f64),
+}
+
+impl ByteSize for Probe {
+    fn byte_size(&self) -> usize {
+        match self {
+            Probe::L(..) => 16,
+            Probe::R(vals, res, _) => 16 + vals.byte_size() + res.len(),
+        }
+    }
+}
+
+/// Callers must exclude NaN positions first: `(NaN as i64)` saturates to
+/// 0, which would silently file the element under bin 0 of both grids.
 #[inline]
 fn bin_of(pos: f64, offset: f64, width: f64) -> i64 {
     ((pos + offset) / width).floor() as i64
+}
+
+/// Total order on a left row's matches: right position first, then the
+/// projected right cells' key order. Position alone is not a total order
+/// when two right samples share a position — arrival order would then
+/// decide which sample "nearest" aggregation picks, and arrival order
+/// differs between the rowwise and columnar shuffles. Both kernels (and
+/// the naive all-pairs baseline) sort with this comparator so ties break
+/// identically everywhere.
+pub(crate) fn match_cmp(
+    apos: f64,
+    avals: &[Value],
+    bpos: f64,
+    bvals: &[Value],
+) -> std::cmp::Ordering {
+    apos.total_cmp(&bpos).then_with(|| {
+        for (x, y) in avals.iter().zip(bvals.iter()) {
+            let o = x.key().cmp(&y.key());
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        avals.len().cmp(&bvals.len())
+    })
 }
 
 impl Combination for InterpolationJoin {
@@ -117,11 +203,6 @@ impl Combination for InterpolationJoin {
         let (out_schema, kept_right) =
             merge_schemas(left.schema(), right.schema(), &shared.right_key_indices())?;
 
-        let exact_l: Vec<usize> = shared.exact.iter().map(|c| c.left_idx).collect();
-        let exact_r: Vec<usize> = shared.exact.iter().map(|c| c.right_idx).collect();
-        let cont_l = shared.continuous[0].left_idx;
-        let cont_r = shared.continuous[0].right_idx;
-
         // Per kept right column: is it an aggregation group key (a residual
         // domain) and is it linearly interpolatable (ordered continuous
         // value)?
@@ -139,122 +220,28 @@ impl Combination for InterpolationJoin {
         }
 
         let w = self.window_secs;
-        let width = 2.0 * w;
-        let parts = left
-            .rdd()
-            .num_partitions()
-            .max(right.rdd().num_partitions())
-            .max(1);
-
-        // --- stage 1: emit each element into both grids' bins -----------
-        let lk = left.rdd().map_partitions_with_index({
-            let exact_l = exact_l.clone();
-            move |pidx, rows| {
-                let mut out = Vec::with_capacity(rows.len() * 2);
-                for (i, r) in rows.into_iter().enumerate() {
-                    let Some(pos) = r.get(cont_l).as_f64() else {
-                        continue;
-                    };
-                    let id = ((pidx as u64) << 40) | i as u64;
-                    let key = r.key_of(&exact_l);
-                    for grid in 0u8..2 {
-                        let b = bin_of(pos, grid as f64 * w, width);
-                        out.push(((key.clone(), grid, b), Side::L(id, r.clone(), pos)));
-                    }
-                }
-                out
-            }
-        });
-        let rk = right.rdd().map_partitions_with_index({
-            let exact_r = exact_r.clone();
-            let kept_right = kept_right.clone();
-            move |_pidx, rows| {
-                let mut out = Vec::with_capacity(rows.len() * 2);
-                for r in rows {
-                    let Some(pos) = r.get(cont_r).as_f64() else {
-                        continue;
-                    };
-                    let key = r.key_of(&exact_r);
-                    let vals: Vec<Value> = kept_right.iter().map(|&i| r.get(i).clone()).collect();
-                    for grid in 0u8..2 {
-                        let b = bin_of(pos, grid as f64 * w, width);
-                        out.push(((key.clone(), grid, b), Side::R(vals.clone(), pos)));
-                    }
-                }
-                out
-            }
-        });
-
-        // --- stage 2: match within bins, dedupe across grids ------------
-        type MatchKey = (u64, Vec<KeyAtom>);
-        type MatchVal = (Row, f64, f64, Vec<Value>);
-        let matches =
-            lk.union(&rk)
-                .group_by_key(parts)
-                .map_partitions_named("interp_match", move |groups| {
-                    let mut out: Vec<(MatchKey, MatchVal)> = Vec::new();
-                    for ((_, grid, _), members) in groups {
-                        let mut lefts: Vec<(u64, Row, f64)> = Vec::new();
-                        let mut rights: Vec<(Vec<Value>, f64)> = Vec::new();
-                        for m in members {
-                            match m {
-                                Side::L(id, row, pos) => lefts.push((id, row, pos)),
-                                Side::R(vals, pos) => rights.push((vals, pos)),
-                            }
-                        }
-                        rights.sort_by(|a, b| a.1.total_cmp(&b.1));
-                        for (id, lrow, lpos) in lefts {
-                            let lo = rights.partition_point(|(_, p)| *p < lpos - w);
-                            for (rvals, rpos) in
-                                rights[lo..].iter().take_while(|(_, p)| *p <= lpos + w)
-                            {
-                                // Deduplicate: the offset grid only reports
-                                // pairs that do NOT share a base-grid bin.
-                                if grid == 1
-                                    && bin_of(lpos, 0.0, width) == bin_of(*rpos, 0.0, width)
-                                {
-                                    continue;
-                                }
-                                let residual: Vec<KeyAtom> =
-                                    residual_domain.iter().map(|&j| rvals[j].key()).collect();
-                                out.push((
-                                    (id, residual),
-                                    (lrow.clone(), lpos, *rpos, rvals.clone()),
-                                ));
-                            }
-                        }
-                    }
-                    out
-                });
-
-        // --- stage 3: aggregate & interpolate per (left row, residual) --
-        let rdd =
-            matches
-                .group_by_key(parts)
-                .map_partitions_named("interp_aggregate", move |groups| {
-                    let mut out = Vec::with_capacity(groups.len());
-                    for (_, mut ms) in groups {
-                        ms.sort_by(|a, b| a.2.total_cmp(&b.2));
-                        let (lrow, lpos) = (ms[0].0.clone(), ms[0].1);
-                        let mut values = lrow.into_values();
-                        for (j, is_interp) in interp_col.iter().enumerate() {
-                            values.push(aggregate_matches(&ms, j, lpos, *is_interp));
-                        }
-                        out.push(Row::new(values));
-                    }
-                    out
-                });
-
-        Ok(SjDataset::new(
-            rdd,
-            out_schema,
-            format!(
-                "interpolation_join({}, {}, W={}s)",
-                left.name(),
-                right.name(),
-                self.window_secs
-            ),
-        ))
+        let plan = InterpPlan {
+            exact_l: shared.exact.iter().map(|c| c.left_idx).collect(),
+            exact_r: shared.exact.iter().map(|c| c.right_idx).collect(),
+            cont_l: shared.continuous[0].left_idx,
+            cont_r: shared.continuous[0].right_idx,
+            kept_right,
+            residual_domain,
+            interp_col,
+            w,
+            width: 2.0 * w,
+            parts: left.num_partitions().max(right.num_partitions()).max(1),
+        };
+        let name = format!(
+            "interpolation_join({}, {}, W={}s)",
+            left.name(),
+            right.name(),
+            self.window_secs
+        );
+        if left.is_columnar() && right.is_columnar() {
+            return apply_columnar(left, right, plan, out_schema, name);
+        }
+        apply_rowwise(left, right, plan, out_schema, name)
     }
 
     fn spec(&self) -> DerivationSpec {
@@ -264,8 +251,421 @@ impl Combination for InterpolationJoin {
     }
 }
 
-/// Aggregate one kept right column over a left row's matches (sorted by
-/// right position): linear interpolation at `lpos` for interpolatable
+/// The rowwise reference kernel: full left rows ride the bin shuffle.
+fn apply_rowwise(
+    left: &SjDataset,
+    right: &SjDataset,
+    plan: InterpPlan,
+    out_schema: Schema,
+    name: String,
+) -> Result<SjDataset> {
+    let InterpPlan {
+        exact_l,
+        exact_r,
+        cont_l,
+        cont_r,
+        kept_right,
+        residual_domain,
+        interp_col,
+        w,
+        width,
+        parts,
+    } = plan;
+
+    // --- stage 1: emit each element into both grids' bins -----------
+    let lk = left.rdd().map_partitions_with_index({
+        move |pidx, rows| {
+            let mut out = Vec::with_capacity(rows.len() * 2);
+            for (i, r) in rows.into_iter().enumerate() {
+                let Some(pos) = r.get(cont_l).as_f64() else {
+                    continue;
+                };
+                if pos.is_nan() {
+                    continue;
+                }
+                let id = ((pidx as u64) << 40) | i as u64;
+                let key = r.key_of(&exact_l);
+                for grid in 0u8..2 {
+                    let b = bin_of(pos, grid as f64 * w, width);
+                    out.push(((key.clone(), grid, b), Side::L(id, r.clone(), pos)));
+                }
+            }
+            out
+        }
+    });
+    let rk = right.rdd().map_partitions_with_index({
+        move |_pidx, rows| {
+            let mut out = Vec::with_capacity(rows.len() * 2);
+            for r in rows {
+                let Some(pos) = r.get(cont_r).as_f64() else {
+                    continue;
+                };
+                if pos.is_nan() {
+                    continue;
+                }
+                let key = r.key_of(&exact_r);
+                let vals: Vec<Value> = kept_right.iter().map(|&i| r.get(i).clone()).collect();
+                for grid in 0u8..2 {
+                    let b = bin_of(pos, grid as f64 * w, width);
+                    out.push(((key.clone(), grid, b), Side::R(vals.clone(), pos)));
+                }
+            }
+            out
+        }
+    });
+
+    // --- stage 2: match within bins, dedupe across grids ------------
+    type MatchKey = (u64, Vec<KeyAtom>);
+    type MatchVal = (Row, f64, f64, Vec<Value>);
+    let matches =
+        lk.union(&rk)
+            .group_by_key(parts)
+            .map_partitions_named("interp_match", move |groups| {
+                let mut out: Vec<(MatchKey, MatchVal)> = Vec::new();
+                for ((_, grid, _), members) in groups {
+                    let mut lefts: Vec<(u64, Row, f64)> = Vec::new();
+                    let mut rights: Vec<(Vec<Value>, f64)> = Vec::new();
+                    for m in members {
+                        match m {
+                            Side::L(id, row, pos) => lefts.push((id, row, pos)),
+                            Side::R(vals, pos) => rights.push((vals, pos)),
+                        }
+                    }
+                    rights.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    for (id, lrow, lpos) in lefts {
+                        let lo = rights.partition_point(|(_, p)| *p < lpos - w);
+                        for (rvals, rpos) in rights[lo..].iter().take_while(|(_, p)| *p <= lpos + w)
+                        {
+                            // Deduplicate: the offset grid only reports
+                            // pairs that do NOT share a base-grid bin.
+                            if grid == 1 && bin_of(lpos, 0.0, width) == bin_of(*rpos, 0.0, width) {
+                                continue;
+                            }
+                            let residual: Vec<KeyAtom> =
+                                residual_domain.iter().map(|&j| rvals[j].key()).collect();
+                            out.push(((id, residual), (lrow.clone(), lpos, *rpos, rvals.clone())));
+                        }
+                    }
+                }
+                out
+            });
+
+    // --- stage 3: aggregate & interpolate per (left row, residual) --
+    let rdd = matches
+        .group_by_key(parts)
+        .map_partitions_named("interp_aggregate", move |groups| {
+            let mut out = Vec::with_capacity(groups.len());
+            for (_, mut ms) in groups {
+                ms.sort_by(|a, b| match_cmp(a.2, &a.3, b.2, &b.3));
+                let (lrow, lpos) = (ms[0].0.clone(), ms[0].1);
+                let mut values = lrow.into_values();
+                for (j, is_interp) in interp_col.iter().enumerate() {
+                    values.push(aggregate_matches(&ms, j, lpos, *is_interp));
+                }
+                out.push(Row::new(values));
+            }
+            out
+        });
+
+    Ok(SjDataset::new(rdd, out_schema, name))
+}
+
+/// Structure-of-arrays block of probes bound for one reduce partition of
+/// the columnar bin-matching stage. Probes cross the shuffle as whole
+/// blocks — one record per (map task, destination) pair — instead of as
+/// per-element `(key, probe)` records, and the exact-match key encodings
+/// live concatenated in a single byte arena: a block of thousands of
+/// probes costs a handful of allocations on each side of the wire.
+#[derive(Debug, Clone, Default)]
+struct ProbeBlock {
+    /// Concatenated per-probe key encodings ([`Column::encode_key_at`]).
+    keys: Vec<u8>,
+    /// End offset of each probe's key slice in `keys`.
+    key_ends: Vec<u32>,
+    /// Bin index of each probe on the single width-`2W` grid.
+    bins: Vec<i64>,
+    probes: Vec<Probe>,
+}
+
+impl ProbeBlock {
+    fn push(&mut self, key: &[u8], bin: i64, probe: Probe) {
+        self.keys.extend_from_slice(key);
+        self.key_ends.push(self.keys.len() as u32);
+        self.bins.push(bin);
+        self.probes.push(probe);
+    }
+
+    fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    fn key(&self, i: usize) -> &[u8] {
+        let start = if i == 0 {
+            0
+        } else {
+            self.key_ends[i - 1] as usize
+        };
+        &self.keys[start..self.key_ends[i] as usize]
+    }
+}
+
+impl ByteSize for ProbeBlock {
+    fn byte_size(&self) -> usize {
+        96 + self.keys.len()
+            + 12 * self.probes.len()
+            + self.probes.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+/// Reduce partition owning bin `bin` of the exact-match group `key`.
+#[inline]
+fn probe_dest(key: &[u8], bin: i64, parts: usize) -> usize {
+    (sjdf::ops::hash64(&(key, bin)) % parts as u64) as usize
+}
+
+/// The columnar kernel. Four stages:
+/// 1. probes — left partitions (cached) emit 16-byte `(id, pos)` probes,
+///    right partitions emit `Arc`-shared kept-cell projections, both
+///    packed into per-destination [`ProbeBlock`]s. Binning differs from
+///    the rowwise kernel's double grid: rights land once in their
+///    width-`2W` bin, and each left lands in its own bin plus the
+///    neighbor its window reaches into (the lower neighbor from the
+///    bin's lower half, the upper neighbor from the upper half — a
+///    `±W` window spans at most those two bins). Every pair within `W`
+///    meets in exactly one bin — the right's — so the match set is
+///    identical with no cross-grid dedupe and half the emissions;
+/// 2. `interp_match` — groups probes by `(key, bin)` locally (hash of
+///    the block's key slices; no per-probe key allocation) and runs the
+///    same inclusive window scan as the rowwise kernel;
+/// 3. matches are routed back to the owning left partition (encoded in
+///    the id's high bits) with `exchange`, again as per-destination
+///    blocks;
+/// 4. `interp_aggregate` — zipped with the cached left batch: one
+///    `gather` for the left columns, one appended column per kept right
+///    cell.
+fn apply_columnar(
+    left: &SjDataset,
+    right: &SjDataset,
+    plan: InterpPlan,
+    out_schema: Schema,
+    name: String,
+) -> Result<SjDataset> {
+    let InterpPlan {
+        exact_l,
+        exact_r,
+        cont_l,
+        cont_r,
+        kept_right,
+        residual_domain,
+        interp_col,
+        w,
+        width,
+        parts,
+    } = plan;
+    let left_batches = left.batch_rdd().cache();
+    let left_parts = left_batches.num_partitions().max(1);
+    // Residual-domain columns in right-batch coordinates, for encoding
+    // the residual key straight off the columns.
+    let res_cols: Vec<usize> = residual_domain.iter().map(|&j| kept_right[j]).collect();
+
+    // --- stage 1: pack probes into per-destination blocks -----------
+    // Bin keys are byte encodings of the exact-match cells — injective
+    // over `Value::key`, so grouping is identical to the rowwise path's
+    // `KeyAtom` keys, without the per-row atom vectors and `Arc` churn.
+    let lk = left_batches.map_partitions_with_index(move |pidx, bs| {
+        let batch = ColumnarPartition::concat_owned(bs);
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let mut dest: Vec<ProbeBlock> = vec![ProbeBlock::default(); parts];
+        let ccol = batch.column(cont_l);
+        let mut keybuf: Vec<u8> = Vec::with_capacity(32);
+        for i in 0..batch.len() {
+            let Some(pos) = ccol.f64_at(i) else { continue };
+            if pos.is_nan() {
+                continue;
+            }
+            let id = ((pidx as u64) << 40) | i as u64;
+            keybuf.clear();
+            for &c in &exact_l {
+                batch.column(c).encode_key_at(i, &mut keybuf);
+            }
+            let b0 = bin_of(pos, 0.0, width);
+            // The ±w window reaches into exactly one neighboring 2w-bin:
+            // the lower one from the bin's lower half, else the upper.
+            let neighbor = if pos - b0 as f64 * width < w {
+                b0.saturating_sub(1)
+            } else {
+                b0.saturating_add(1)
+            };
+            for b in [b0, neighbor] {
+                dest[probe_dest(&keybuf, b, parts)].push(&keybuf, b, Probe::L(id, pos));
+            }
+        }
+        dest.into_iter()
+            .enumerate()
+            .filter(|(_, blk)| blk.len() > 0)
+            .collect()
+    });
+    let rk = right
+        .batch_rdd()
+        .map_partitions_named("interp_probe_right", move |bs| {
+            let batch = ColumnarPartition::concat_owned(bs);
+            if batch.is_empty() {
+                return Vec::new();
+            }
+            let mut dest: Vec<ProbeBlock> = vec![ProbeBlock::default(); parts];
+            let ccol = batch.column(cont_r);
+            let mut keybuf: Vec<u8> = Vec::with_capacity(32);
+            let mut resbuf: Vec<u8> = Vec::with_capacity(16);
+            for i in 0..batch.len() {
+                let Some(pos) = ccol.f64_at(i) else { continue };
+                if pos.is_nan() {
+                    continue;
+                }
+                keybuf.clear();
+                for &c in &exact_r {
+                    batch.column(c).encode_key_at(i, &mut keybuf);
+                }
+                resbuf.clear();
+                for &c in &res_cols {
+                    batch.column(c).encode_key_at(i, &mut resbuf);
+                }
+                let vals: Arc<Vec<Value>> =
+                    Arc::new(kept_right.iter().map(|&c| batch.value_at(i, c)).collect());
+                let b = bin_of(pos, 0.0, width);
+                dest[probe_dest(&keybuf, b, parts)].push(
+                    &keybuf,
+                    b,
+                    Probe::R(vals, Arc::from(&resbuf[..]), pos),
+                );
+            }
+            dest.into_iter()
+                .enumerate()
+                .filter(|(_, blk)| blk.len() > 0)
+                .collect()
+        });
+
+    // --- stage 2: group by (key, bin) locally, match within bins ----
+    type CMatchKey = (u64, Arc<[u8]>);
+    type CMatchVal = (f64, f64, Arc<Vec<Value>>);
+    type MatchBlock = Vec<(CMatchKey, CMatchVal)>;
+    let matches: sjdf::Rdd<(usize, MatchBlock)> = lk
+        .union(&rk)
+        .exchange(parts)
+        .map_partitions_named("interp_match", move |blocks| {
+            // Group probes by (key, bin) via key-slice hashing into the
+            // blocks' shared arenas — first-occurrence order, collisions
+            // resolved by comparing the actual bytes.
+            type RightProbe = (Arc<Vec<Value>>, Arc<[u8]>, f64);
+            struct Group {
+                lefts: Vec<(u64, f64)>,
+                rights: Vec<RightProbe>,
+            }
+            let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+            let mut owners: Vec<(usize, usize)> = Vec::new(); // exemplar (block, probe)
+            let mut groups: Vec<Group> = Vec::new();
+            for (bi, blk) in blocks.iter().enumerate() {
+                for i in 0..blk.len() {
+                    let (key, bin) = (blk.key(i), blk.bins[i]);
+                    let h = sjdf::ops::hash64(&(key, bin));
+                    let slot = index.entry(h).or_default();
+                    let gi = match slot.iter().copied().find(|&g| {
+                        let (ob, oi) = owners[g];
+                        blocks[ob].bins[oi] == bin && blocks[ob].key(oi) == key
+                    }) {
+                        Some(g) => g,
+                        None => {
+                            let g = groups.len();
+                            slot.push(g);
+                            owners.push((bi, i));
+                            groups.push(Group {
+                                lefts: Vec::new(),
+                                rights: Vec::new(),
+                            });
+                            g
+                        }
+                    };
+                    match &blk.probes[i] {
+                        Probe::L(id, pos) => groups[gi].lefts.push((*id, *pos)),
+                        Probe::R(vals, res, pos) => {
+                            groups[gi]
+                                .rights
+                                .push((Arc::clone(vals), Arc::clone(res), *pos))
+                        }
+                    }
+                }
+            }
+            // The inclusive window scan, identical to the rowwise kernel;
+            // matches are packed into blocks by home left partition.
+            let mut dest: Vec<MatchBlock> = vec![Vec::new(); left_parts];
+            for g in &mut groups {
+                if g.lefts.is_empty() || g.rights.is_empty() {
+                    continue;
+                }
+                g.rights.sort_by(|a, b| a.2.total_cmp(&b.2));
+                for &(id, lpos) in &g.lefts {
+                    let lo = g.rights.partition_point(|(_, _, p)| *p < lpos - w);
+                    for (rvals, res, rpos) in
+                        g.rights[lo..].iter().take_while(|(_, _, p)| *p <= lpos + w)
+                    {
+                        dest[(id >> 40) as usize]
+                            .push(((id, Arc::clone(res)), (lpos, *rpos, Arc::clone(rvals))));
+                    }
+                }
+            }
+            dest.into_iter()
+                .enumerate()
+                .filter(|(_, blk)| !blk.is_empty())
+                .collect()
+        });
+
+    // --- stages 3+4: route matches home, aggregate against the cache -
+    let routed = matches.exchange(left_parts);
+    let rdd = routed.zip_partitions(&left_batches, "interp_aggregate", move |_idx, ms, bs| {
+        if ms.is_empty() {
+            return Vec::new();
+        }
+        let batch = ColumnarPartition::concat_owned(bs);
+        // Group matches by (left row id, residual key) in first-arrival
+        // order — `exchange` preserves it, so output order is stable.
+        let mut index: HashMap<CMatchKey, usize> = HashMap::new();
+        let mut groups: Vec<(u64, Vec<CMatchVal>)> = Vec::new();
+        for (k, v) in ms.into_iter().flatten() {
+            let id = k.0;
+            let gi = match index.get(&k) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    index.insert(k, g);
+                    groups.push((id, Vec::new()));
+                    g
+                }
+            };
+            groups[gi].1.push(v);
+        }
+        let mut emit: Vec<u32> = Vec::with_capacity(groups.len());
+        let mut appended: Vec<Vec<Value>> =
+            vec![Vec::with_capacity(groups.len()); interp_col.len()];
+        for (id, ms) in groups.iter_mut() {
+            ms.sort_by(|a, b| match_cmp(a.1, &a.2, b.1, &b.2));
+            let lpos = ms[0].0;
+            emit.push((*id & ((1u64 << 40) - 1)) as u32);
+            for (j, is_interp) in interp_col.iter().enumerate() {
+                appended[j].push(aggregate_core(ms, |m| m.1, |m| &m.2[j], lpos, *is_interp));
+            }
+        }
+        let mut out = batch.gather(&emit);
+        for vals in &appended {
+            out = out.append_column(Column::from_values(vals));
+        }
+        vec![out]
+    })?;
+    Ok(SjDataset::from_batches(rdd, out_schema, name))
+}
+
+/// Aggregate one kept right column over a left row's matches (sorted with
+/// [`match_cmp`]): linear interpolation at `lpos` for interpolatable
 /// columns, nearest-match otherwise. Shared with the naive all-pairs
 /// baseline so both joins aggregate identically.
 pub(crate) fn aggregate_matches(
@@ -274,19 +674,33 @@ pub(crate) fn aggregate_matches(
     lpos: f64,
     interpolate: bool,
 ) -> Value {
+    aggregate_core(ms, |m| m.2, |m| &m.3[col], lpos, interpolate)
+}
+
+/// The aggregation core, generic over the match representation (the
+/// rowwise kernel stores `(Row, lpos, rpos, vals)` tuples, the columnar
+/// kernel `(lpos, rpos, Arc<vals>)`).
+fn aggregate_core<T>(
+    ms: &[T],
+    rpos_of: impl Fn(&T) -> f64,
+    val_of: impl Fn(&T) -> &Value,
+    lpos: f64,
+    interpolate: bool,
+) -> Value {
     if interpolate {
         // Nearest numeric sample at or below lpos, and at or above.
         let mut below: Option<(f64, f64)> = None;
         let mut above: Option<(f64, f64)> = None;
-        for (_, _, rpos, vals) in ms {
-            let Some(v) = vals[col].as_f64() else {
+        for m in ms {
+            let Some(v) = val_of(m).as_f64() else {
                 continue;
             };
-            if *rpos <= lpos {
-                below = Some((*rpos, v));
+            let rpos = rpos_of(m);
+            if rpos <= lpos {
+                below = Some((rpos, v));
             }
-            if *rpos >= lpos && above.is_none() {
-                above = Some((*rpos, v));
+            if rpos >= lpos && above.is_none() {
+                above = Some((rpos, v));
             }
         }
         match (below, above) {
@@ -301,10 +715,15 @@ pub(crate) fn aggregate_matches(
             (None, None) => Value::Null,
         }
     } else {
-        // Nearest match by |rpos - lpos|.
+        // Nearest match by |rpos - lpos|; ties keep the first match in
+        // the deterministic sort order.
         ms.iter()
-            .min_by(|a, b| (a.2 - lpos).abs().total_cmp(&(b.2 - lpos).abs()))
-            .map(|(_, _, _, vals)| vals[col].clone())
+            .min_by(|a, b| {
+                (rpos_of(a) - lpos)
+                    .abs()
+                    .total_cmp(&(rpos_of(b) - lpos).abs())
+            })
+            .map(|m| val_of(m).clone())
             .unwrap_or(Value::Null)
     }
 }
@@ -359,6 +778,43 @@ mod tests {
             })
             .collect();
         SjDataset::from_rows(ctx, rows, schema, "readings", 2)
+    }
+
+    /// Run a join under both execution modes and return (columnar,
+    /// rowwise) results sorted into a canonical order.
+    fn run_both_modes(
+        build: impl Fn(&ExecCtx) -> (SjDataset, SjDataset),
+        window: f64,
+    ) -> (Vec<Row>, Vec<Row>) {
+        let d = dict();
+        let sort = |mut rows: Vec<Row>| {
+            rows.sort_by_key(|r| r.values().iter().map(Value::key).collect::<Vec<_>>());
+            rows
+        };
+        let col = {
+            let ctx = ExecCtx::local();
+            let (l, r) = build(&ctx);
+            assert!(l.is_columnar() && r.is_columnar());
+            sort(
+                InterpolationJoin::new(window)
+                    .apply(&l, &r, &d)
+                    .unwrap()
+                    .collect()
+                    .unwrap(),
+            )
+        };
+        let row = {
+            let ctx = ExecCtx::local().with_rowwise();
+            let (l, r) = build(&ctx);
+            sort(
+                InterpolationJoin::new(window)
+                    .apply(&l, &r, &d)
+                    .unwrap()
+                    .collect()
+                    .unwrap(),
+            )
+        };
+        (col, row)
     }
 
     #[test]
@@ -563,5 +1019,179 @@ mod tests {
         let rows = out.collect().unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(2).as_str(), Some("near"));
+    }
+
+    #[test]
+    fn nan_positions_are_excluded_not_binned() {
+        // A NaN position would land in bin 0 under `(NaN as i64)`
+        // saturation; such elements must be dropped on both sides, in
+        // both modes, before binning.
+        let build = |ctx: &ExecCtx| {
+            // Left event near bin 0 plus a left row with a NaN position.
+            let schema_l = Schema::new(vec![
+                FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+                FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+                FieldDef::new("app", FieldSemantics::value("application", "app-name")),
+            ])
+            .unwrap();
+            let l = SjDataset::from_rows(
+                ctx,
+                vec![
+                    Row::new(vec![
+                        Value::str("n1"),
+                        Value::Time(Timestamp::from_secs(10)),
+                        Value::str("AMG"),
+                    ]),
+                    Row::new(vec![
+                        Value::str("n1"),
+                        Value::Float(f64::NAN),
+                        Value::str("ghost"),
+                    ]),
+                ],
+                schema_l,
+                "events",
+                2,
+            );
+            // One valid right sample bracketing t=10, one NaN-position
+            // sample carrying a poison value.
+            let schema_r = Schema::new(vec![
+                FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+                FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+                FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+            ])
+            .unwrap();
+            let r = SjDataset::from_rows(
+                ctx,
+                vec![
+                    Row::new(vec![
+                        Value::str("n1"),
+                        Value::Time(Timestamp::from_secs(9)),
+                        Value::Float(50.0),
+                    ]),
+                    Row::new(vec![
+                        Value::str("n1"),
+                        Value::Float(f64::NAN),
+                        Value::Float(-9999.0),
+                    ]),
+                ],
+                schema_r,
+                "readings",
+                2,
+            );
+            (l, r)
+        };
+        let (col, row) = run_both_modes(build, 15.0);
+        assert_eq!(col, row);
+        // Exactly one output row: the valid pair. The ghost left row
+        // produced nothing and the poison right sample matched nothing.
+        assert_eq!(col.len(), 1);
+        assert_eq!(col[0].get(2).as_str(), Some("AMG"));
+        assert_eq!(col[0].get(3).as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn equal_position_ties_break_deterministically() {
+        // Two right samples at the same position with different
+        // non-interpolatable values: both kernels must pick the same one
+        // (the smaller by value key order), regardless of shuffle
+        // arrival order.
+        let build = |ctx: &ExecCtx| {
+            let schema_l = Schema::new(vec![
+                FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+                FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+            ])
+            .unwrap();
+            let l = SjDataset::from_rows(
+                ctx,
+                vec![Row::new(vec![
+                    Value::str("n1"),
+                    Value::Time(Timestamp::from_secs(10)),
+                ])],
+                schema_l,
+                "l",
+                1,
+            );
+            let schema_r = Schema::new(vec![
+                FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+                FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+                FieldDef::new("app", FieldSemantics::value("application", "app-name")),
+            ])
+            .unwrap();
+            let r = SjDataset::from_rows(
+                ctx,
+                vec![
+                    Row::new(vec![
+                        Value::str("n1"),
+                        Value::Time(Timestamp::from_secs(11)),
+                        Value::str("zeta"),
+                    ]),
+                    Row::new(vec![
+                        Value::str("n1"),
+                        Value::Time(Timestamp::from_secs(11)),
+                        Value::str("alpha"),
+                    ]),
+                ],
+                schema_r,
+                "r",
+                2,
+            );
+            (l, r)
+        };
+        let (col, row) = run_both_modes(build, 5.0);
+        assert_eq!(col, row);
+        assert_eq!(col.len(), 1);
+        // match_cmp orders by value key after position: "alpha" sorts
+        // first and nearest-aggregation keeps the first of tied matches.
+        assert_eq!(col[0].get(2).as_str(), Some("alpha"));
+    }
+
+    #[test]
+    fn columnar_and_rowwise_agree_on_a_disarrayed_join() {
+        // A denser input: several nodes, interleaved sample times,
+        // residual right domains. Both kernels must produce identical
+        // row sets.
+        let build = |ctx: &ExecCtx| {
+            let schema_l = Schema::new(vec![
+                FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+                FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+                FieldDef::new("app", FieldSemantics::value("application", "app-name")),
+            ])
+            .unwrap();
+            let lrows: Vec<Row> = (0..30)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::str(format!("n{}", i % 3)),
+                        Value::Time(Timestamp::from_secs((i * 13) % 120)),
+                        Value::str(if i % 2 == 0 { "AMG" } else { "LULESH" }),
+                    ])
+                })
+                .collect();
+            let l = SjDataset::from_rows(ctx, lrows, schema_l, "events", 3);
+            let schema_r = Schema::new(vec![
+                FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+                FieldDef::new(
+                    "loc",
+                    FieldSemantics::domain("rack-location", "location-name"),
+                ),
+                FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+                FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+            ])
+            .unwrap();
+            let rrows: Vec<Row> = (0..40)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::str(format!("n{}", i % 3)),
+                        Value::str(if i % 2 == 0 { "top" } else { "bottom" }),
+                        Value::Time(Timestamp::from_secs((i * 7) % 120)),
+                        Value::Float(20.0 + (i % 10) as f64),
+                    ])
+                })
+                .collect();
+            let r = SjDataset::from_rows(ctx, rrows, schema_r, "readings", 2);
+            (l, r)
+        };
+        let (col, row) = run_both_modes(build, 9.0);
+        assert_eq!(col, row);
+        assert!(!col.is_empty());
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::dataset::SjDataset;
 use crate::derivations::combine::common::{merge_schemas, SharedDomains};
-use crate::derivations::combine::interp::aggregate_matches;
+use crate::derivations::combine::interp::{aggregate_matches, match_cmp};
 use crate::derivations::{not_applicable, Combination, DerivationSpec};
 use crate::error::Result;
 use crate::row::Row;
@@ -137,6 +137,9 @@ impl Combination for NaiveInterpolationJoin {
                         let Some(lpos) = lrow.get(cont_l).as_f64() else {
                             continue;
                         };
+                        if lpos.is_nan() {
+                            continue;
+                        }
                         // All-pairs distance computation (the point of
                         // this baseline: no bins, no pruning). Residual
                         // groups stay in first-occurrence order — a
@@ -150,6 +153,9 @@ impl Combination for NaiveInterpolationJoin {
                         let mut by_residual: Vec<(ResidualKey, Vec<Match>)> = Vec::new();
                         for (rpos, rvals) in &rights {
                             let Some(rpos) = rpos else { continue };
+                            if rpos.is_nan() {
+                                continue;
+                            }
                             if (rpos - lpos).abs() <= w {
                                 let residual: ResidualKey =
                                     residual_domain.iter().map(|&j| rvals[j].key()).collect();
@@ -164,7 +170,7 @@ impl Combination for NaiveInterpolationJoin {
                             }
                         }
                         for (_, mut ms) in by_residual {
-                            ms.sort_by(|a, b| a.2.total_cmp(&b.2));
+                            ms.sort_by(|a, b| match_cmp(a.2, &a.3, b.2, &b.3));
                             let mut values = lrow.clone().into_values();
                             for (j, is_interp) in interp_col.iter().enumerate() {
                                 values.push(aggregate_matches(&ms, j, lpos, *is_interp));

@@ -79,6 +79,16 @@ impl Transformation for ConvertUnits {
     fn apply(&self, ds: &SjDataset, dict: &SemanticDictionary) -> Result<SjDataset> {
         let out_schema = self.derive_schema(ds.schema(), dict)?;
         let (idx, from, to) = self.resolve(ds.schema(), dict)?;
+        let name = format!("convert_units({})", ds.name());
+        if ds.is_columnar() {
+            // Columnar: record a kernel to fuse with neighboring narrow
+            // ops into one per-partition pass at materialization time.
+            return Ok(ds.with_kernel(
+                crate::fuse::ColKernel::Convert { idx, from, to },
+                out_schema,
+                name,
+            ));
+        }
         let rdd = ds.rdd().map_partitions_named("convert_units", move |rows| {
             rows.into_iter()
                 .map(|row| {
@@ -88,11 +98,7 @@ impl Transformation for ConvertUnits {
                 })
                 .collect()
         });
-        Ok(SjDataset::new(
-            rdd,
-            out_schema,
-            format!("convert_units({})", ds.name()),
-        ))
+        Ok(SjDataset::new(rdd, out_schema, name))
     }
 
     fn spec(&self) -> DerivationSpec {

@@ -71,6 +71,14 @@ impl Transformation for ExplodeDiscrete {
     fn apply(&self, ds: &SjDataset, dict: &SemanticDictionary) -> Result<SjDataset> {
         let out_schema = self.derive_schema(ds.schema(), dict)?;
         let idx = ds.schema().index_of(&self.column)?;
+        let name = format!("explode_discrete({})", ds.name());
+        if ds.is_columnar() {
+            return Ok(ds.with_kernel(
+                crate::fuse::ColKernel::ExplodeDiscrete { idx },
+                out_schema,
+                name,
+            ));
+        }
         let rdd = ds
             .rdd()
             .map_partitions_named("explode_discrete", move |rows| {
@@ -87,11 +95,7 @@ impl Transformation for ExplodeDiscrete {
                     })
                     .collect()
             });
-        Ok(SjDataset::new(
-            rdd,
-            out_schema,
-            format!("explode_discrete({})", ds.name()),
-        ))
+        Ok(SjDataset::new(rdd, out_schema, name))
     }
 
     fn spec(&self) -> DerivationSpec {
@@ -157,6 +161,17 @@ impl Transformation for ExplodeContinuous {
         let out_schema = self.derive_schema(ds.schema(), dict)?;
         let idx = ds.schema().index_of(&self.column)?;
         let step = self.step_secs;
+        let name = format!("explode_continuous({})", ds.name());
+        if ds.is_columnar() {
+            return Ok(ds.with_kernel(
+                crate::fuse::ColKernel::ExplodeContinuous {
+                    idx,
+                    step_secs: step,
+                },
+                out_schema,
+                name,
+            ));
+        }
         let rdd = ds
             .rdd()
             .map_partitions_named("explode_continuous", move |rows| {
@@ -172,11 +187,7 @@ impl Transformation for ExplodeContinuous {
                     })
                     .collect()
             });
-        Ok(SjDataset::new(
-            rdd,
-            out_schema,
-            format!("explode_continuous({})", ds.name()),
-        ))
+        Ok(SjDataset::new(rdd, out_schema, name))
     }
 
     fn spec(&self) -> DerivationSpec {

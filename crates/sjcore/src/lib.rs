@@ -59,11 +59,13 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod column;
 pub mod compress;
 pub mod dataset;
 pub mod derivations;
 pub mod engine;
 pub mod error;
+pub mod fuse;
 pub mod interop;
 pub mod row;
 pub mod schema;
@@ -72,8 +74,10 @@ pub mod units;
 pub mod value;
 pub mod wrappers;
 
+pub use column::{Column, ColumnData, ColumnarPartition, Validity};
 pub use dataset::SjDataset;
 pub use error::{Result, SjError};
+pub use fuse::ColKernel;
 pub use row::Row;
 pub use schema::{FieldDef, Schema};
 pub use semantics::{FieldSemantics, RelationType, SemanticDictionary};

@@ -1,0 +1,233 @@
+//! Byte-identity probe: the columnar execute path must produce exactly
+//! the rows the rowwise reference path produces, over a 100-seed sweep of
+//! deliberately disarrayed inputs — duplicate timestamps, counter resets,
+//! missing and unparsable times, NaN positions, null counter samples —
+//! pushed through the derive-rate → interpolation-join pipeline. Rows
+//! are compared through their [`KeyAtom`] encoding, which is bit-exact
+//! for floats (NaN-safe) and distinguishes Int/Float/Time lanes.
+
+use sjcore::dataset::SjDataset;
+use sjcore::derivations::combine::{InterpolationJoin, NaiveInterpolationJoin};
+use sjcore::derivations::transform::DeriveRate;
+use sjcore::derivations::{Combination, Transformation};
+use sjcore::semantics::{FieldSemantics, SemanticDictionary};
+use sjcore::units::time::Timestamp;
+use sjcore::value::KeyAtom;
+use sjcore::{FieldDef, Row, Schema, Value};
+use sjdf::{ExecCtx, FaultPlan, RetryPolicy};
+
+/// splitmix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+fn counter_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "instr",
+            FieldSemantics::value("instructions", "instructions-count"),
+        ),
+        FieldDef::new(
+            "mem",
+            FieldSemantics::value("memory-reads", "memory-reads-count"),
+        ),
+    ])
+    .unwrap()
+}
+
+fn readings_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("NODE", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new(
+            "loc",
+            FieldSemantics::domain("rack-location", "location-name"),
+        ),
+        FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap()
+}
+
+/// Disarrayed counter samples: monotone counters with injected resets,
+/// duplicate timestamps, missing/unparsable times and null samples.
+fn counters(ctx: &ExecCtx, seed: u64) -> SjDataset {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::new();
+    for node in 0..3u64 {
+        let mut t = rng.below(30) as i64;
+        let mut instr = rng.below(1_000_000) as i64;
+        let mut mem = rng.below(500_000) as i64;
+        for _ in 0..(12 + rng.below(8)) {
+            // Advance (or deliberately repeat) the sample time.
+            if !rng.chance(15) {
+                t += 1 + rng.below(9) as i64;
+            }
+            instr += rng.below(50_000) as i64;
+            mem += rng.below(20_000) as i64;
+            if rng.chance(8) {
+                instr = rng.below(1_000) as i64; // counter reset
+            }
+            if rng.chance(8) {
+                mem = rng.below(1_000) as i64; // independent reset
+            }
+            let time = if rng.chance(6) {
+                Value::Null // missing timestamp
+            } else if rng.chance(4) {
+                Value::Float(f64::NAN) // unparsable source cell
+            } else {
+                Value::Time(Timestamp::from_secs(t))
+            };
+            let instr_v = if rng.chance(5) {
+                Value::Null
+            } else {
+                Value::Int(instr)
+            };
+            let mem_v = if rng.chance(5) {
+                Value::Null
+            } else {
+                Value::Int(mem)
+            };
+            rows.push(Row::new(vec![
+                Value::str(format!("n{node}")),
+                time,
+                instr_v,
+                mem_v,
+            ]));
+        }
+    }
+    let parts = 2 + (seed % 3) as usize;
+    SjDataset::from_rows(ctx, rows, counter_schema(), "papi", parts)
+}
+
+/// Temperature readings with a residual location domain, scattered
+/// sample times, and occasional NaN positions.
+fn readings(ctx: &ExecCtx, seed: u64) -> SjDataset {
+    let mut rng = Rng::new(seed ^ 0xdead_beef);
+    let mut rows = Vec::new();
+    for node in 0..3u64 {
+        for loc in ["top", "bottom"] {
+            let mut t = rng.below(20) as i64;
+            for _ in 0..(10 + rng.below(6)) {
+                t += 1 + rng.below(12) as i64;
+                let time = if rng.chance(5) {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Time(Timestamp::from_secs(t))
+                };
+                rows.push(Row::new(vec![
+                    Value::str(format!("n{node}")),
+                    Value::str(loc),
+                    time,
+                    Value::Float(15.0 + rng.below(200) as f64 / 10.0),
+                ]));
+            }
+        }
+    }
+    let parts = 2 + (seed % 2) as usize;
+    SjDataset::from_rows(ctx, rows, readings_schema(), "coolant", parts)
+}
+
+/// derive-rate → interpolation-join, collected and canonicalized to
+/// bit-exact key encodings.
+fn pipeline(ctx: &ExecCtx, seed: u64) -> Vec<Vec<KeyAtom>> {
+    let dict = SemanticDictionary::default_hpc();
+    let rates = DeriveRate::new(1.0)
+        .apply(&counters(ctx, seed), &dict)
+        .unwrap();
+    let joined = InterpolationJoin::new(10.0)
+        .apply(&rates, &readings(ctx, seed), &dict)
+        .unwrap();
+    let mut rows: Vec<Vec<KeyAtom>> = joined
+        .collect()
+        .unwrap()
+        .iter()
+        .map(|r| r.values().iter().map(Value::key).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn columnar_rowwise_identity_100_seed_sweep() {
+    let mut total = 0usize;
+    for seed in 0..100u64 {
+        let col = pipeline(&ExecCtx::local(), seed);
+        let row = pipeline(&ExecCtx::local().with_rowwise(), seed);
+        assert_eq!(col, row, "columnar != rowwise at seed {seed}");
+        total += col.len();
+    }
+    // The sweep must actually exercise the kernels, not compare vacuums.
+    assert!(total > 1000, "suspiciously small sweep output: {total}");
+}
+
+#[test]
+fn identity_holds_under_fault_injection() {
+    // Injected task and shuffle-fetch failures are retried; the retried
+    // columnar execution must still match the clean rowwise reference.
+    for seed in 0..8u64 {
+        let faulty = ExecCtx::local()
+            .with_retry(RetryPolicy::retries(6))
+            .with_faults(
+                FaultPlan::seeded(seed)
+                    .with_task_fail_rate(0.05)
+                    .with_shuffle_fail_rate(0.05),
+            );
+        let col = pipeline(&faulty, seed);
+        let row = pipeline(&ExecCtx::local().with_rowwise(), seed);
+        assert_eq!(col, row, "faulty columnar != clean rowwise at seed {seed}");
+    }
+}
+
+#[test]
+fn naive_baseline_agrees_on_sample_seeds() {
+    // Third opinion: the all-pairs baseline (always rowwise internally)
+    // agrees with the columnar binning join on the same inputs.
+    let dict = SemanticDictionary::default_hpc();
+    for seed in 0..5u64 {
+        let ctx = ExecCtx::local();
+        let rates = DeriveRate::new(1.0)
+            .apply(&counters(&ctx, seed), &dict)
+            .unwrap();
+        let r = readings(&ctx, seed);
+        let canon = |ds: &SjDataset| {
+            let mut rows: Vec<Vec<KeyAtom>> = ds
+                .collect()
+                .unwrap()
+                .iter()
+                .map(|row| row.values().iter().map(Value::key).collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        let fast = canon(
+            &InterpolationJoin::new(10.0)
+                .apply(&rates, &r, &dict)
+                .unwrap(),
+        );
+        let naive = canon(
+            &NaiveInterpolationJoin::new(10.0)
+                .apply(&rates, &r, &dict)
+                .unwrap(),
+        );
+        assert_eq!(fast, naive, "binned != naive at seed {seed}");
+    }
+}

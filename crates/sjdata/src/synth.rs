@@ -10,8 +10,12 @@
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sjcore::{FieldDef, FieldSemantics, Row, Schema, SjDataset, Timestamp, Value};
+use sjcore::{
+    Column, ColumnData, ColumnarPartition, FieldDef, FieldSemantics, Row, Schema, SjDataset,
+    Timestamp, Validity, Value,
+};
 use sjdf::{ExecCtx, Rdd};
+use std::sync::Arc;
 
 /// Parameters for the Figure 3 workloads.
 #[derive(Debug, Clone)]
@@ -58,6 +62,13 @@ fn right_schema() -> Schema {
     .expect("right schema")
 }
 
+/// The node-name dictionary shared by the columnar generators: codes are
+/// node indices, so `dict[code]` reproduces exactly the strings the
+/// rowwise generator formats per row.
+fn node_dict(nodes: usize) -> Vec<Arc<str>> {
+    (0..nodes).map(|i| Arc::from(format!("cab{i}"))).collect()
+}
+
 fn gen_rows(
     ctx: &ExecCtx,
     w: &JoinWorkload,
@@ -72,24 +83,58 @@ fn gen_rows(
     let parts = w.partitions.max(1);
     let per_part = rows.div_ceil(parts);
     let seed = w.seed ^ seed_salt;
+    // One row's draws, in a fixed order shared by both representations.
+    let sample = move |rng: &mut ChaCha8Rng| {
+        let node = rng.gen_range(0..nodes);
+        let secs = rng.gen_range(0..range);
+        let t = if exact_times {
+            // Snap to 60 s boundaries so both sides share exact
+            // timestamps (the natural-join workload).
+            Timestamp::from_secs(secs - secs % 60)
+        } else {
+            Timestamp::from_micros(secs * 1_000_000 + rng.gen_range(0..1_000_000))
+        };
+        (node, t, rng.gen_range(0.0..100.0f64))
+    };
+    if ctx.columnar() {
+        // Generate straight into typed columns — no per-row `Value`
+        // boxing on the columnar ingest path.
+        let rdd = Rdd::generate(ctx, parts, move |p| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(p as u64));
+            let count = per_part.min(rows.saturating_sub(p * per_part));
+            let mut codes = Vec::with_capacity(count);
+            let mut times = Vec::with_capacity(count);
+            let mut vals = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (node, t, v) = sample(&mut rng);
+                codes.push(node as u32);
+                times.push(t.as_micros());
+                vals.push(v);
+            }
+            vec![ColumnarPartition::from_columns(vec![
+                Column::from_parts(
+                    ColumnData::Str {
+                        codes,
+                        dict: node_dict(nodes),
+                    },
+                    Validity::all_valid(count),
+                ),
+                Column::from_parts(ColumnData::Time(times), Validity::all_valid(count)),
+                Column::from_parts(ColumnData::Float(vals), Validity::all_valid(count)),
+            ])]
+        });
+        return SjDataset::from_batches(rdd, schema, name);
+    }
     let rdd = Rdd::generate(ctx, parts, move |p| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(p as u64));
         let count = per_part.min(rows.saturating_sub(p * per_part));
         (0..count)
             .map(|_| {
-                let node = format!("cab{}", rng.gen_range(0..nodes));
-                let secs = rng.gen_range(0..range);
-                let t = if exact_times {
-                    // Snap to 60 s boundaries so both sides share exact
-                    // timestamps (the natural-join workload).
-                    Timestamp::from_secs(secs - secs % 60)
-                } else {
-                    Timestamp::from_micros(secs * 1_000_000 + rng.gen_range(0..1_000_000))
-                };
+                let (node, t, v) = sample(&mut rng);
                 Row::new(vec![
-                    Value::str(&node),
+                    Value::str(format!("cab{node}")),
                     Value::Time(t),
-                    Value::Float(rng.gen_range(0.0..100.0)),
+                    Value::Float(v),
                 ])
             })
             .collect()
@@ -114,6 +159,117 @@ pub fn interp_join_inputs(ctx: &ExecCtx, w: &JoinWorkload) -> (SjDataset, SjData
         gen_rows(ctx, w, 0x1EF7, false, left_schema(), "ij_left"),
         gen_rows(ctx, w, 0x819B7, false, right_schema(), "ij_right"),
     )
+}
+
+fn counters_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "instr",
+            FieldSemantics::value("instructions", "instructions-count"),
+        ),
+        FieldDef::new("cycles", FieldSemantics::value("cycles", "cycles-count")),
+        FieldDef::new(
+            "memr",
+            FieldSemantics::value("memory-reads", "memory-reads-count"),
+        ),
+        FieldDef::new(
+            "memw",
+            FieldSemantics::value("memory-writes", "memory-writes-count"),
+        ),
+    ])
+    .expect("counters schema")
+}
+
+/// Inputs for the execute-path kernel bench: a left dataset of four
+/// cumulative hardware counters per `(node, time)` sample (grist for
+/// [`DeriveRate`](sjcore::derivations::transform)) and a right dataset of
+/// continuous temperature readings for the interpolation join. Counters
+/// grow roughly linearly in time per node, with occasional resets so the
+/// rate kernel's reset handling is exercised at scale.
+pub fn rate_pipeline_inputs(ctx: &ExecCtx, w: &JoinWorkload) -> (SjDataset, SjDataset) {
+    let rows = w.rows;
+    let nodes = w.nodes.max(1);
+    let range = w.time_range_secs.max(1);
+    let parts = w.partitions.max(1);
+    let per_part = rows.div_ceil(parts);
+    let seed = w.seed ^ 0xC0_47;
+    // One sample's draws, in a fixed order shared by both representations.
+    let sample = move |rng: &mut ChaCha8Rng| {
+        let node = rng.gen_range(0..nodes);
+        let secs = rng.gen_range(0..range);
+        let t = secs * 1_000_000 + rng.gen_range(0..1_000_000);
+        let reset = rng.gen_range(0..100) < 2;
+        let mut counter = |per_sec: i64| {
+            if reset {
+                rng.gen_range(0..1_000)
+            } else {
+                secs * per_sec + rng.gen_range(0..per_sec.max(1))
+            }
+        };
+        let instr = counter(2_000_000);
+        let cycles = counter(2_600_000);
+        let memr = counter(400_000);
+        let memw = counter(150_000);
+        (node, t, [instr, cycles, memr, memw])
+    };
+    let counters = if ctx.columnar() {
+        // Typed-column generation: the ingest itself is columnar, so the
+        // execute path never sees a boxed row.
+        let rdd = Rdd::generate(ctx, parts, move |p| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(p as u64));
+            let count = per_part.min(rows.saturating_sub(p * per_part));
+            let mut codes = Vec::with_capacity(count);
+            let mut times = Vec::with_capacity(count);
+            let mut ctrs: [Vec<i64>; 4] = std::array::from_fn(|_| Vec::with_capacity(count));
+            for _ in 0..count {
+                let (node, t, cs) = sample(&mut rng);
+                codes.push(node as u32);
+                times.push(t);
+                for (col, c) in ctrs.iter_mut().zip(cs) {
+                    col.push(c);
+                }
+            }
+            let mut columns = vec![
+                Column::from_parts(
+                    ColumnData::Str {
+                        codes,
+                        dict: node_dict(nodes),
+                    },
+                    Validity::all_valid(count),
+                ),
+                Column::from_parts(ColumnData::Time(times), Validity::all_valid(count)),
+            ];
+            columns.extend(
+                ctrs.into_iter()
+                    .map(|c| Column::from_parts(ColumnData::Int(c), Validity::all_valid(count))),
+            );
+            vec![ColumnarPartition::from_columns(columns)]
+        });
+        SjDataset::from_batches(rdd, counters_schema(), "papi_counters")
+    } else {
+        let rdd = Rdd::generate(ctx, parts, move |p| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(p as u64));
+            let count = per_part.min(rows.saturating_sub(p * per_part));
+            (0..count)
+                .map(|_| {
+                    let (node, t, [instr, cycles, memr, memw]) = sample(&mut rng);
+                    Row::new(vec![
+                        Value::str(format!("cab{node}")),
+                        Value::Time(Timestamp::from_micros(t)),
+                        Value::Int(instr),
+                        Value::Int(cycles),
+                        Value::Int(memr),
+                        Value::Int(memw),
+                    ])
+                })
+                .collect()
+        });
+        SjDataset::new(rdd, counters_schema(), "papi_counters")
+    };
+    let readings = gen_rows(ctx, w, 0x5EA5, false, right_schema(), "coolant");
+    (counters, readings)
 }
 
 #[cfg(test)]
@@ -158,6 +314,21 @@ mod tests {
         let dict = SemanticDictionary::default_hpc();
         let (l, r) = interp_join_inputs(&ctx, &small());
         let out = InterpolationJoin::new(30.0).apply(&l, &r, &dict).unwrap();
+        assert!(out.count().unwrap() > 0);
+    }
+
+    #[test]
+    fn rate_pipeline_workload_supports_rate_then_interp() {
+        use sjcore::derivations::transform::DeriveRate;
+        use sjcore::derivations::Transformation;
+        let ctx = ExecCtx::local();
+        let dict = SemanticDictionary::default_hpc();
+        let (counters, readings) = rate_pipeline_inputs(&ctx, &small());
+        let rates = DeriveRate::new(1.0).apply(&counters, &dict).unwrap();
+        assert!(rates.schema().has_column("instr_rate"));
+        let out = InterpolationJoin::new(30.0)
+            .apply(&rates, &readings, &dict)
+            .unwrap();
         assert!(out.count().unwrap() > 0);
     }
 

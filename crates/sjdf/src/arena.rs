@@ -1,0 +1,244 @@
+//! Per-task bump allocation for kernel scratch space.
+//!
+//! The columnar derivation kernels (sjcore) build large amounts of
+//! short-lived scratch per task: encoded group keys, sort index vectors,
+//! per-destination row lists. Allocating those through the global
+//! allocator once per row is exactly the churn the columnar refactor
+//! removes from the data path, so the scratch goes through a [`Bump`]
+//! arena instead: allocation is a pointer increment into a chunk, and the
+//! whole arena is recycled with one `reset()` when the task finishes.
+//!
+//! Arenas are pooled per [`ExecCtx`](crate::ExecCtx): a task borrows one
+//! with [`ExecCtx::arena`](crate::ExecCtx::arena), and the guard returns
+//! it (reset, capacity kept) when dropped — so steady-state kernel
+//! execution performs no chunk allocations at all.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Minimum chunk size; grows geometrically for larger requests.
+const MIN_CHUNK: usize = 64 * 1024;
+
+/// A chunked bump allocator for byte scratch.
+///
+/// `Bump` hands out offsets into append-only byte chunks. It is
+/// deliberately minimal: only byte slices are stored (kernels encode
+/// keys and indices into bytes), and nothing is dropped — `reset()`
+/// rewinds every chunk cursor without releasing capacity.
+#[derive(Debug, Default)]
+pub struct Bump {
+    chunks: RefCell<Vec<Chunk>>,
+}
+
+#[derive(Debug)]
+struct Chunk {
+    buf: Vec<u8>,
+}
+
+/// A range handed out by [`Bump::alloc`]: chunk index plus byte range.
+/// Resolved back to a slice with [`Bump::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumpRange {
+    chunk: u32,
+    start: u32,
+    len: u32,
+}
+
+impl BumpRange {
+    /// Number of bytes in the range.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the range holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Bump {
+    /// A fresh arena with no capacity (chunks allocate lazily).
+    pub fn new() -> Self {
+        Bump::default()
+    }
+
+    /// Copy `bytes` into the arena, returning a stable handle.
+    pub fn alloc(&self, bytes: &[u8]) -> BumpRange {
+        let mut chunks = self.chunks.borrow_mut();
+        let need = bytes.len();
+        let fits = chunks
+            .last()
+            .map(|c| c.buf.capacity() - c.buf.len() >= need)
+            .unwrap_or(false);
+        if !fits {
+            let cap = chunks
+                .last()
+                .map(|c| (c.buf.capacity() * 2).max(MIN_CHUNK))
+                .unwrap_or(MIN_CHUNK)
+                .max(need);
+            chunks.push(Chunk {
+                buf: Vec::with_capacity(cap),
+            });
+        }
+        let idx = chunks.len() - 1;
+        let chunk = &mut chunks[idx];
+        let start = chunk.buf.len();
+        chunk.buf.extend_from_slice(bytes);
+        BumpRange {
+            chunk: idx as u32,
+            start: start as u32,
+            len: need as u32,
+        }
+    }
+
+    /// Run `f` over the bytes behind a handle.
+    pub fn with<R>(&self, range: BumpRange, f: impl FnOnce(&[u8]) -> R) -> R {
+        let chunks = self.chunks.borrow();
+        let chunk = &chunks[range.chunk as usize];
+        f(&chunk.buf[range.start as usize..(range.start + range.len) as usize])
+    }
+
+    /// Compare the bytes behind two handles (for sort/group by encoded key).
+    pub fn cmp(&self, a: BumpRange, b: BumpRange) -> std::cmp::Ordering {
+        let chunks = self.chunks.borrow();
+        let sa = &chunks[a.chunk as usize].buf[a.start as usize..(a.start + a.len) as usize];
+        let sb = &chunks[b.chunk as usize].buf[b.start as usize..(b.start + b.len) as usize];
+        sa.cmp(sb)
+    }
+
+    /// True if two handles point at equal byte strings.
+    pub fn eq(&self, a: BumpRange, b: BumpRange) -> bool {
+        a.len == b.len && self.cmp(a, b) == std::cmp::Ordering::Equal
+    }
+
+    /// Deterministic 64-bit hash of the bytes behind a handle.
+    pub fn hash(&self, range: BumpRange) -> u64 {
+        self.with(range, crate::ops::hash64)
+    }
+
+    /// Bytes currently allocated (not capacity).
+    pub fn allocated(&self) -> usize {
+        self.chunks.borrow().iter().map(|c| c.buf.len()).sum()
+    }
+
+    /// Rewind every chunk, keeping capacity for reuse.
+    pub fn reset(&self) {
+        for c in self.chunks.borrow_mut().iter_mut() {
+            c.buf.clear();
+        }
+    }
+}
+
+/// A pool of arenas shared by all clones of one `ExecCtx`, so each task
+/// reuses a warmed-up arena instead of growing a new one.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    free: Mutex<Vec<Bump>>,
+}
+
+impl ArenaPool {
+    /// An empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ArenaPool::default())
+    }
+
+    /// Borrow an arena (reset, capacity retained); creates one if the
+    /// pool is empty. Returned to the pool when the guard drops.
+    pub fn take(self: &Arc<Self>) -> ArenaGuard {
+        let bump = self.free.lock().pop().unwrap_or_default();
+        ArenaGuard {
+            pool: Arc::clone(self),
+            bump: Some(bump),
+        }
+    }
+}
+
+/// RAII handle to a pooled [`Bump`]; derefs to the arena and returns it
+/// (reset) to the pool on drop.
+#[derive(Debug)]
+pub struct ArenaGuard {
+    pool: Arc<ArenaPool>,
+    bump: Option<Bump>,
+}
+
+impl std::ops::Deref for ArenaGuard {
+    type Target = Bump;
+    fn deref(&self) -> &Bump {
+        self.bump.as_ref().expect("arena present until drop")
+    }
+}
+
+impl Drop for ArenaGuard {
+    fn drop(&mut self) {
+        if let Some(bump) = self.bump.take() {
+            bump.reset();
+            self.pool.free.lock().push(bump);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_read_back() {
+        let b = Bump::new();
+        let r1 = b.alloc(b"hello");
+        let r2 = b.alloc(b"world");
+        b.with(r1, |s| assert_eq!(s, b"hello"));
+        b.with(r2, |s| assert_eq!(s, b"world"));
+        assert_eq!(r1.len(), 5);
+        assert!(!r1.is_empty());
+    }
+
+    #[test]
+    fn compare_and_hash_by_content() {
+        let b = Bump::new();
+        let a1 = b.alloc(b"abc");
+        let a2 = b.alloc(b"abc");
+        let z = b.alloc(b"zzz");
+        assert!(b.eq(a1, a2));
+        assert!(!b.eq(a1, z));
+        assert_eq!(b.cmp(a1, z), std::cmp::Ordering::Less);
+        assert_eq!(b.hash(a1), b.hash(a2));
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let b = Bump::new();
+        for _ in 0..100 {
+            b.alloc(&[0u8; 1024]);
+        }
+        assert!(b.allocated() >= 100 * 1024);
+        b.reset();
+        assert_eq!(b.allocated(), 0);
+        // Chunks remain, so new allocations do not grow the arena.
+        let before = b.chunks.borrow().len();
+        b.alloc(&[1u8; 1024]);
+        assert_eq!(b.chunks.borrow().len(), before);
+    }
+
+    #[test]
+    fn large_allocations_get_their_own_chunk() {
+        let b = Bump::new();
+        let big = vec![7u8; MIN_CHUNK * 3];
+        let r = b.alloc(&big);
+        b.with(r, |s| assert_eq!(s.len(), MIN_CHUNK * 3));
+    }
+
+    #[test]
+    fn pool_recycles_arenas() {
+        let pool = ArenaPool::new();
+        {
+            let a = pool.take();
+            a.alloc(b"scratch");
+        }
+        // The recycled arena comes back reset.
+        let a = pool.take();
+        assert_eq!(a.allocated(), 0);
+        drop(a);
+        assert_eq!(pool.free.lock().len(), 1);
+    }
+}

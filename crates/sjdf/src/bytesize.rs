@@ -126,6 +126,15 @@ pub fn slice_byte_size<T: ByteSize>(items: &[T]) -> usize {
     items.iter().map(ByteSize::byte_size).sum()
 }
 
+/// Byte size of a `Vec` of plain-old-data elements in O(1): header plus
+/// `len * size_of::<T>()`. The generic `Vec<T: ByteSize>` impl walks every
+/// element, which is wasteful for the typed column vectors of a columnar
+/// partition — their size is a closed formula.
+#[inline]
+pub fn pod_vec_byte_size<T: Copy>(v: &[T]) -> usize {
+    24 + std::mem::size_of_val(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

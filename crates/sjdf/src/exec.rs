@@ -30,6 +30,7 @@
 //! the partition wins. All failure and recovery activity is counted in
 //! the collector's [`FailureReport`](crate::metrics::FailureReport).
 
+use crate::arena::{ArenaGuard, ArenaPool};
 use crate::cluster::ClusterSpec;
 use crate::error::{Result, SjdfError};
 use crate::faults::{Fault, FaultPlan, FaultSite, INJECTED};
@@ -194,6 +195,11 @@ fn injected_task_failure(
 struct ExecOpts {
     retry: RetryPolicy,
     faults: Option<Arc<FaultPlan>>,
+    /// When set, datasets built on this context keep the legacy rowwise
+    /// `Vec<Row>` partition layout instead of columnar batches. Used by
+    /// the byte-identity probe and the kernel benchmarks to compare the
+    /// two execute paths; production contexts leave it off.
+    rowwise: bool,
 }
 
 /// Shared execution context: the virtual cluster, the executor pool, the
@@ -207,6 +213,7 @@ pub struct ExecCtx {
     pub metrics: Arc<MetricsCollector>,
     pool: Arc<WorkerPool>,
     stage_cache: Arc<StageCache>,
+    arenas: Arc<ArenaPool>,
     opts: Arc<Mutex<ExecOpts>>,
     tracer: Tracer,
 }
@@ -220,6 +227,7 @@ impl ExecCtx {
             metrics: MetricsCollector::new(),
             pool,
             stage_cache: StageCache::new(),
+            arenas: ArenaPool::new(),
             opts: Arc::new(Mutex::new(ExecOpts::default())),
             tracer: Tracer::new(),
         }
@@ -243,6 +251,7 @@ impl ExecCtx {
             metrics: MetricsCollector::new(),
             pool: Arc::clone(&self.pool),
             stage_cache: Arc::clone(&self.stage_cache),
+            arenas: Arc::clone(&self.arenas),
             opts: Arc::clone(&self.opts),
             tracer: self.tracer.clone(),
         }
@@ -281,6 +290,33 @@ impl ExecCtx {
     /// and shuffle fetch executed through this context (all clones).
     pub fn set_faults(&self, plan: Option<FaultPlan>) {
         lock(&self.opts).faults = plan.map(Arc::new);
+    }
+
+    /// Keep the legacy rowwise partition layout for datasets built on
+    /// this context (builder form of [`ExecCtx::set_rowwise`]). The
+    /// rowwise path is the baseline the columnar execute path is
+    /// byte-compared and benchmarked against.
+    pub fn with_rowwise(self) -> Self {
+        self.set_rowwise(true);
+        self
+    }
+
+    /// Toggle the rowwise fallback layout — shared by all clones.
+    pub fn set_rowwise(&self, rowwise: bool) {
+        lock(&self.opts).rowwise = rowwise;
+    }
+
+    /// True (the default) when datasets built on this context use
+    /// columnar partition batches on the execute path.
+    pub fn columnar(&self) -> bool {
+        !lock(&self.opts).rowwise
+    }
+
+    /// Borrow a per-task scratch arena from the context's pool. The
+    /// arena is reset and recycled when the guard drops, so hot kernels
+    /// pay no allocator churn for per-task scratch in steady state.
+    pub fn arena(&self) -> ArenaGuard {
+        self.arenas.take()
     }
 
     /// The retry policy waves run under (a snapshot).

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bytesize;
 pub mod cluster;
 pub mod error;
@@ -43,7 +44,8 @@ pub mod stagecache;
 /// dependency edge.
 pub use sjtrace as trace;
 
-pub use bytesize::ByteSize;
+pub use arena::{ArenaGuard, ArenaPool, Bump, BumpRange};
+pub use bytesize::{pod_vec_byte_size, ByteSize};
 pub use cluster::ClusterSpec;
 pub use error::{Result, SjdfError};
 pub use exec::{ExecCtx, RetryPolicy, SpeculationPolicy};

@@ -1,0 +1,171 @@
+//! `exchange`: an explicit-destination shuffle that moves whole cells.
+//!
+//! The hash shuffles in [`crate::ops::shuffle`] scatter individual
+//! *records* by key — the right shape for rowwise data, but wasteful for
+//! columnar partitions, where a map task has already packed the rows
+//! bound for one destination into a single typed batch. `exchange` takes
+//! `(destination, cell)` pairs and delivers every cell to its destination
+//! partition *without opening it*: a `ColumnarPartition` (or any other
+//! `T`) crosses the shuffle as one value, so shuffled data stays columnar
+//! end to end. Like every wide op, the materialized buckets live in an
+//! auto-persisted [`ShuffleCell`] accounted by the stage cache.
+
+use crate::bytesize::{slice_byte_size, ByteSize};
+use crate::exec::ExecCtx;
+use crate::metrics::{OpKind, OpMetrics};
+use crate::ops::shuffle::ShuffleCell;
+use crate::rdd::{Data, PartitionOp, Rdd};
+use std::sync::Arc;
+
+struct ExchangeOp<T: Data> {
+    parent: Arc<dyn PartitionOp<(usize, T)>>,
+    out_parts: usize,
+    cell: ShuffleCell<T>,
+}
+
+impl<T> PartitionOp<T> for ExchangeOp<T>
+where
+    T: Data + ByteSize,
+{
+    fn num_partitions(&self) -> usize {
+        self.out_parts
+    }
+
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let buckets = self.cell.get_or_materialize(ctx, || {
+            let parent = Arc::clone(&self.parent);
+            let out_parts = self.out_parts;
+            let ctx2 = ctx.clone();
+            let map_outputs = ctx
+                .run_wave(parent.num_partitions(), move |i| {
+                    let records = parent.compute(i, &ctx2);
+                    let mut buckets: Vec<Vec<T>> = (0..out_parts).map(|_| Vec::new()).collect();
+                    for (dest, cell) in records {
+                        buckets[dest % out_parts].push(cell);
+                    }
+                    buckets
+                })
+                .expect("exchange map stage failed");
+            let mut merged: Vec<Vec<T>> = (0..self.out_parts).map(|_| Vec::new()).collect();
+            let mut shuffle_records = 0u64;
+            let mut shuffle_bytes = 0u64;
+            for map_out in map_outputs {
+                for (o, bucket) in map_out.into_iter().enumerate() {
+                    shuffle_records += bucket.len() as u64;
+                    shuffle_bytes += slice_byte_size(&bucket) as u64;
+                    merged[o].extend(bucket);
+                }
+            }
+            ctx.metrics.record(
+                "exchange",
+                OpKind::Wide,
+                OpMetrics {
+                    records_in: shuffle_records,
+                    records_out: shuffle_records,
+                    shuffle_bytes,
+                    shuffle_records,
+                    tasks: self.out_parts as u64,
+                },
+            );
+            merged
+        });
+        let _fetch = ctx.shuffle_fetch_span("exchange", idx);
+        ctx.check_shuffle_fetch("exchange", idx);
+        buckets[idx].as_ref().clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "exchange"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Wide
+    }
+}
+
+impl<T> Rdd<(usize, T)>
+where
+    T: Data + ByteSize,
+{
+    /// Deliver each `(destination, cell)` pair to output partition
+    /// `destination % out_parts`, preserving, within each destination,
+    /// the source-partition order followed by the within-partition
+    /// emission order (so downstream stages are deterministic). Wide.
+    pub fn exchange(&self, out_parts: usize) -> Rdd<T> {
+        Rdd::from_op(
+            Arc::new(ExchangeOp {
+                parent: Arc::clone(&self.op),
+                out_parts: out_parts.max(1),
+                cell: ShuffleCell::new(&self.ctx),
+            }),
+            self.ctx.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(ClusterSpec::new(1, 4).unwrap())
+    }
+
+    #[test]
+    fn cells_land_on_their_destination() {
+        let c = ctx();
+        let pairs: Vec<(usize, u64)> = (0..40).map(|i| ((i % 4) as usize, i)).collect();
+        let parts = Rdd::parallelize(&c, pairs, 4).exchange(4).glom().unwrap();
+        assert_eq!(parts.len(), 4);
+        for (p, cells) in parts.iter().enumerate() {
+            assert_eq!(cells.len(), 10);
+            assert!(cells.iter().all(|v| (*v % 4) as usize == p));
+        }
+    }
+
+    #[test]
+    fn destination_wraps_modulo_out_parts() {
+        let c = ctx();
+        let pairs: Vec<(usize, u64)> = vec![(7, 1), (2, 2)];
+        let parts = Rdd::parallelize(&c, pairs, 1).exchange(3).glom().unwrap();
+        assert_eq!(parts[1], vec![1]); // 7 % 3
+        assert_eq!(parts[2], vec![2]);
+    }
+
+    #[test]
+    fn order_is_source_partition_then_emission_order() {
+        let c = ctx();
+        // Two source partitions, both targeting destination 0.
+        let rdd = Rdd::generate(&c, 2, |i| {
+            (0..3u64).map(|j| (0usize, (i as u64) * 10 + j)).collect()
+        });
+        let parts = rdd.exchange(2).glom().unwrap();
+        assert_eq!(parts[0], vec![0, 1, 2, 10, 11, 12]);
+        assert!(parts[1].is_empty());
+    }
+
+    #[test]
+    fn exchange_records_wide_metrics_once() {
+        let c = ctx();
+        let pairs: Vec<(usize, u64)> = (0..20).map(|i| (i as usize % 2, i)).collect();
+        let rdd = Rdd::parallelize(&c, pairs, 2).exchange(2);
+        rdd.collect().unwrap();
+        rdd.count().unwrap();
+        let m = c.metrics.report();
+        let e = m.op("exchange").unwrap();
+        assert_eq!(e.kind, OpKind::Wide);
+        assert_eq!(e.metrics.shuffle_records, 20);
+        assert!(e.metrics.shuffle_bytes > 0);
+    }
+
+    #[test]
+    fn empty_input_exchanges_cleanly() {
+        let c = ctx();
+        let empty: Vec<(usize, u64)> = vec![];
+        assert!(Rdd::parallelize(&c, empty, 2)
+            .exchange(3)
+            .collect()
+            .unwrap()
+            .is_empty());
+    }
+}

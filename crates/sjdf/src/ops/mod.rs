@@ -7,6 +7,7 @@
 //! partitions from the materialized buckets. Shuffle volume is recorded for
 //! the virtual-cluster cost model.
 
+mod exchange;
 mod extra;
 mod join;
 pub(crate) mod shuffle;

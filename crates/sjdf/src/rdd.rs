@@ -158,6 +158,47 @@ impl<S: Data, T: Data> PartitionOp<T> for MapPartitionsOp<S, T> {
     }
 }
 
+/// Narrow pairing of equal-partitioned parents: partition `i` of the
+/// output is `f(left_i, right_i)`. The aligned-merge primitive behind
+/// the columnar interpolation join (matches rejoin their left batch
+/// without shuffling the left rows).
+struct ZipPartitionsOp<A: Data, B: Data, T: Data> {
+    left: Arc<dyn PartitionOp<A>>,
+    right: Arc<dyn PartitionOp<B>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize, Vec<A>, Vec<B>) -> Vec<T> + Send + Sync>,
+    op_name: &'static str,
+}
+
+impl<A: Data, B: Data, T: Data> PartitionOp<T> for ZipPartitionsOp<A, B, T> {
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions()
+    }
+    fn compute(&self, idx: usize, ctx: &ExecCtx) -> Vec<T> {
+        let a = self.left.compute(idx, ctx);
+        let b = self.right.compute(idx, ctx);
+        let n_in = (a.len() + b.len()) as u64;
+        let out = (self.f)(idx, a, b);
+        ctx.metrics.record(
+            self.op_name,
+            OpKind::Narrow,
+            OpMetrics {
+                records_in: n_in,
+                records_out: out.len() as u64,
+                tasks: 1,
+                ..Default::default()
+            },
+        );
+        out
+    }
+    fn name(&self) -> &'static str {
+        self.op_name
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Narrow
+    }
+}
+
 struct UnionOp<T: Data> {
     parents: Vec<Arc<dyn PartitionOp<T>>>,
 }
@@ -511,6 +552,36 @@ impl<T: Data> Rdd<T> {
         )
     }
 
+    /// Pair this dataset's partitions with another's, one to one, and
+    /// merge each pair with `f` (narrow; no shuffle). Both datasets must
+    /// have the same partition count.
+    pub fn zip_partitions<B: Data, U: Data, F>(
+        &self,
+        other: &Rdd<B>,
+        name: &'static str,
+        f: F,
+    ) -> Result<Rdd<U>>
+    where
+        F: Fn(usize, Vec<T>, Vec<B>) -> Vec<U> + Send + Sync + 'static,
+    {
+        if self.op.num_partitions() != other.op.num_partitions() {
+            return Err(SjdfError::InvalidConfig(format!(
+                "zip_partitions requires equal partition counts ({} vs {})",
+                self.op.num_partitions(),
+                other.op.num_partitions()
+            )));
+        }
+        Ok(Rdd::from_op(
+            Arc::new(ZipPartitionsOp {
+                left: Arc::clone(&self.op),
+                right: Arc::clone(&other.op),
+                f: Arc::new(f),
+                op_name: name,
+            }),
+            self.ctx.clone(),
+        ))
+    }
+
     /// Concatenate this dataset with another (narrow; partitions are
     /// appended).
     pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
@@ -822,6 +893,26 @@ mod tests {
         assert_eq!(rdd.take(3).unwrap(), vec![0, 1, 2]);
         assert_eq!(rdd.first().unwrap(), Some(0));
         assert!(!rdd.is_empty().unwrap());
+    }
+
+    #[test]
+    fn zip_partitions_merges_aligned_partitions() {
+        let c = ctx();
+        let a = Rdd::parallelize(&c, (0..8u64).collect(), 4);
+        let b = Rdd::parallelize(&c, (100..108u64).collect(), 4);
+        let z = a
+            .zip_partitions(&b, "zip_test", |_idx, xs, ys| {
+                xs.into_iter().zip(ys).map(|(x, y)| x + y).collect()
+            })
+            .unwrap();
+        assert_eq!(z.num_partitions(), 4);
+        assert_eq!(
+            z.collect().unwrap(),
+            (0..8).map(|i| 100 + 2 * i).collect::<Vec<u64>>()
+        );
+        // Mismatched partition counts are rejected at build time.
+        let w = Rdd::parallelize(&c, vec![1u64], 1);
+        assert!(a.zip_partitions(&w, "zip_bad", |_, x, _| x).is_err());
     }
 
     #[test]
