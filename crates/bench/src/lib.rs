@@ -104,9 +104,106 @@ pub fn synthetic_catalog(ctx: &ExecCtx, n: usize) -> Catalog {
     catalog
 }
 
+/// A catalog with `n` datasets over *rare* dimensions, for planner
+/// scaling sweeps.
+///
+/// [`synthetic_catalog`] draws from a pool of five domains, so at large
+/// `n` every domain appears in ~2n/5 datasets and any planner must
+/// wade through most of the catalog. Real HPC catalogs are the
+/// opposite — thousands of tables, each touching a handful of the
+/// site's many dimensions — so here `n/2` zone dimensions and `n/4`
+/// metric dimensions are registered into the dictionary and dataset
+/// `i` records `metric-(i%M)` against zones `i%P` and `(i+1)%P`. Each
+/// zone appears in ~2 datasets and each metric in ~4, which is what
+/// lets a guided planner touch O(relevant) datasets per query while an
+/// exhaustive one still scans all `n`.
+pub fn planner_catalog(ctx: &ExecCtx, n: usize) -> Catalog {
+    use sjcore::semantics::DimensionDef;
+    use sjcore::units::{UnitKind, UnitsDef};
+
+    let zones = (n / 2).max(1);
+    let metrics = (n / 4).max(1);
+    let mut catalog = Catalog::default_hpc();
+    let dict = catalog.dict_mut();
+    for z in 0..zones {
+        dict.register_dimension(DimensionDef::identifier(&format!("zone-{z}")))
+            .expect("zone dimension");
+        dict.register_units(UnitsDef::new(
+            &format!("zone-{z}-id"),
+            &format!("zone-{z}"),
+            UnitKind::Identifier,
+        ))
+        .expect("zone units");
+    }
+    for m in 0..metrics {
+        dict.register_dimension(DimensionDef::continuous(&format!("metric-{m}")))
+            .expect("metric dimension");
+        dict.register_units(UnitsDef::new(
+            &format!("metric-{m}-units"),
+            &format!("metric-{m}"),
+            UnitKind::Scalar {
+                factor: 1.0,
+                offset: 0.0,
+            },
+        ))
+        .expect("metric units");
+    }
+    for i in 0..n {
+        let (z1, z2, m) = (i % zones, (i + 1) % zones, i % metrics);
+        let schema = Schema::new(vec![
+            FieldDef::new(
+                "a",
+                FieldSemantics::domain(&format!("zone-{z1}"), &format!("zone-{z1}-id")),
+            ),
+            FieldDef::new(
+                "b",
+                FieldSemantics::domain(&format!("zone-{z2}"), &format!("zone-{z2}-id")),
+            ),
+            FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
+            FieldDef::new(
+                "v",
+                FieldSemantics::value(&format!("metric-{m}"), &format!("metric-{m}-units")),
+            ),
+        ])
+        .expect("planner schema");
+        let rows: Vec<Row> = (0..4)
+            .map(|k| {
+                Row::new(vec![
+                    Value::str(format!("z{z1}-{k}")),
+                    Value::str(format!("z{z2}-{k}")),
+                    Value::Time(Timestamp::from_secs(k)),
+                    Value::Float(k as f64),
+                ])
+            })
+            .collect();
+        catalog
+            .register_dataset(
+                &format!("ds{i}"),
+                SjDataset::from_rows(ctx, rows, schema, format!("ds{i}"), 1),
+            )
+            .expect("register planner dataset");
+    }
+    catalog
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn planner_catalog_builds_rare_dimensions() {
+        let ctx = bench_ctx();
+        let c = planner_catalog(&ctx, 12);
+        assert_eq!(c.dataset_names().len(), 12);
+        // zone-0 lives in exactly two datasets (ds0 primary, ds11
+        // secondary via (11+1) % 6 == 0).
+        use sjcore::engine::{Query, QueryEngine, QueryValue};
+        let q = Query {
+            domains: vec!["zone-0".into()],
+            values: vec![QueryValue::dim("metric-0")],
+        };
+        assert!(QueryEngine::new(&c).solve(&q).is_ok());
+    }
 
     #[test]
     fn synthetic_catalog_builds() {

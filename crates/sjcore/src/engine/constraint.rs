@@ -1,0 +1,669 @@
+//! The constraint-negotiation planner (ROADMAP item 1).
+//!
+//! The legacy §5.2 search saturates *every* catalog dataset before it
+//! can pick a seed — O(catalog) per query, which goes blind on the
+//! thousands-of-datasets catalogs a sharded fleet accumulates. This
+//! module re-poses planning in the style of the Atreides worst-case-
+//! optimal join family: every catalog dataset and every registered
+//! derivation rule becomes a [`Constraint`] over *semantic variables*
+//! (the queried domain dimensions and the transitively-needed value
+//! dimensions), exposing four operations:
+//!
+//! - [`Constraint::estimate`] — an upper bound on how many suppliers
+//!   this constraint can contribute for a variable (weighted by row
+//!   statistics when [`crate::catalog::Catalog::analyze`] has run);
+//! - [`Constraint::propose`] — enumerate the candidate datasets it can
+//!   supply for a variable;
+//! - [`Constraint::confirm`] — check a proposed dataset actually covers
+//!   the variable (against the lazily *saturated* schema for value
+//!   variables; raw schemas suffice for domain variables, since neither
+//!   combinations nor rules ever invent a domain dimension);
+//! - [`Constraint::influence`] — report which sibling variables' cached
+//!   estimates a binding for this variable invalidates.
+//!
+//! Negotiation is a guided depth-first pass that binds the cheapest
+//! (most selective) variable first, using per-variable cached estimates
+//! that are only recomputed after an `influence` invalidation. Because
+//! proposals come from inverted dimension indexes built once per engine
+//! ([`CatalogIndex`]), the planner only ever *saturates* datasets
+//! reachable from the query's dimensions — far fewer than the catalog
+//! on realistic workloads — and each variable's confirmed supplier set
+//! doubles as the planner's coverage universe.
+//!
+//! Unlike Atreides proper, this is a *covering* problem, not a join:
+//! a variable is satisfiable by **any** constraint that supplies it, so
+//! proposals union, confirmation is existential, and a variable's
+//! estimate is the **sum** (not minimum) of its constraints' bounds —
+//! the count of distinct suppliers remaining. Combinable-pair choices
+//! are resolved by the fold itself, whose memoized `combine_pair` tests
+//! act as confirmation for pair variables.
+//!
+//! **Parity guarantee.** Plan *construction* from the confirmed
+//! supplier sets reuses the legacy ordering machinery — greedy cover
+//! restricted to the covering universe, the same widening key, the same
+//! fold — and the restriction provably preserves every legacy choice:
+//! any candidate the legacy argmax could pick covers at least one
+//! target, hence appears in the restricted universe in the same
+//! relative order. Both planners therefore emit byte-identical plans on
+//! any catalog where the legacy search succeeds (asserted corpus-wide
+//! by `tests/planner_parity.rs`); statistics sharpen *estimates* only
+//! and never reorder construction.
+
+use super::plan::Plan;
+use super::search::{addition_order, greedy_cover, Cand, QueryEngine};
+use super::Query;
+use crate::catalog::Catalog;
+use crate::error::{Result, SjError};
+use crate::schema::Schema;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+/// Inverted dimension indexes over a catalog's raw schemas, built once
+/// per engine and shared by every query ([`QueryEngine`] holds one in a
+/// `OnceLock`). Dataset indices follow catalog name order, matching the
+/// legacy planner's candidate numbering.
+pub struct CatalogIndex {
+    pub(super) names: Vec<String>,
+    /// domain dimension -> dataset indices carrying it (ascending).
+    domain: HashMap<String, Vec<usize>>,
+    /// value dimension -> dataset indices recording it (ascending).
+    value: HashMap<String, Vec<usize>>,
+}
+
+impl CatalogIndex {
+    /// One pass over raw schemas — no saturation, no data access.
+    pub(super) fn build(catalog: &Catalog) -> Self {
+        let mut names = Vec::new();
+        let mut domain: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut value: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, (name, ds)) in catalog.datasets().enumerate() {
+            names.push(name.to_string());
+            for f in ds.schema().domain_fields() {
+                let slot = domain.entry(f.semantics.dimension.clone()).or_default();
+                if slot.last() != Some(&i) {
+                    slot.push(i);
+                }
+            }
+            for f in ds.schema().value_fields() {
+                let slot = value.entry(f.semantics.dimension.clone()).or_default();
+                if slot.last() != Some(&i) {
+                    slot.push(i);
+                }
+            }
+        }
+        CatalogIndex {
+            names,
+            domain,
+            value,
+        }
+    }
+
+    /// Number of datasets indexed.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog had no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn domain_sets(&self, dim: &str) -> &[usize] {
+        self.domain.get(dim).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn value_sets(&self, dim: &str) -> &[usize] {
+        self.value.get(dim).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A semantic variable the planner must bind: a queried domain
+/// dimension, or a value dimension in the query's transitive needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Variable {
+    /// A domain dimension the result must be defined over.
+    Domain(String),
+    /// A value dimension the result (transitively) needs.
+    Value(String),
+}
+
+/// Per-query planning context shared by every constraint: the engine,
+/// the catalog index, the needed-dimension closure, and a lazy cache of
+/// saturated candidates. Datasets outside `support` (those recording no
+/// value dimension in any rule chain's transitive needs) saturate to
+/// themselves, so the expensive rule-fixpoint only runs on datasets
+/// that can actually gain columns.
+pub struct PlanCtx<'a, 'c> {
+    engine: &'a QueryEngine<'c>,
+    index: &'a CatalogIndex,
+    vars: Vec<Variable>,
+    needed: BTreeSet<String>,
+    support: BTreeSet<usize>,
+    sat: RefCell<HashMap<usize, Cand>>,
+}
+
+impl<'a, 'c> PlanCtx<'a, 'c> {
+    /// The variable at a given id.
+    pub fn variable(&self, var: usize) -> &Variable {
+        &self.vars[var]
+    }
+
+    /// The dataset name at a given index.
+    pub fn dataset_name(&self, i: usize) -> &str {
+        &self.index.names[i]
+    }
+
+    /// Estimated per-dataset scan cost: measured row count when the
+    /// catalog was analyzed, else a uniform 1. The uniform default
+    /// keeps routers (which plan against zero-row schema stubs) and
+    /// workers producing identical estimates.
+    pub fn cost(&self, i: usize) -> u64 {
+        self.engine
+            .catalog()
+            .stats(&self.index.names[i])
+            .map(|s| s.rows.max(1))
+            .unwrap_or(1)
+    }
+
+    /// The dataset's schema after rule saturation (lazily computed).
+    pub fn saturated_schema(&self, i: usize) -> Schema {
+        self.sat(i).schema
+    }
+
+    fn sat(&self, i: usize) -> Cand {
+        if let Some(c) = self.sat.borrow().get(&i) {
+            return c.clone();
+        }
+        let name = &self.index.names[i];
+        let ds = self
+            .engine
+            .catalog()
+            .dataset(name)
+            .expect("indexed dataset exists");
+        let mut cand = Cand {
+            plan: Plan::load(name),
+            schema: ds.schema().clone(),
+        };
+        if self.support.contains(&i) {
+            cand = self.engine.saturate(cand, &self.needed);
+        }
+        self.engine.bump_stats(|s| s.datasets_considered += 1);
+        self.sat.borrow_mut().insert(i, cand.clone());
+        cand
+    }
+}
+
+/// One constraint in the negotiation: something that can supply
+/// datasets for semantic variables. See the module docs for the
+/// covering (rather than joining) semantics of the four operations.
+pub trait Constraint {
+    /// Diagnostic name.
+    fn describe(&self) -> String;
+    /// Whether this constraint can ever supply `var` (structural, no
+    /// context needed — used to build the variable -> constraint map).
+    fn touches(&self, var: usize) -> bool;
+    /// Upper bound on the suppliers this constraint can contribute for
+    /// `var` (0 when it does not touch the variable).
+    fn estimate(&self, var: usize, ctx: &PlanCtx) -> u64;
+    /// Enumerate candidate dataset indices for `var`.
+    fn propose(&self, var: usize, ctx: &PlanCtx, out: &mut BTreeSet<usize>);
+    /// Whether `candidate` actually covers `var`.
+    fn confirm(&self, var: usize, candidate: usize, ctx: &PlanCtx) -> bool;
+    /// Sibling variables whose cached estimates a binding of `var`
+    /// through this constraint invalidates.
+    fn influence(&self, var: usize) -> Vec<usize>;
+}
+
+/// A catalog dataset as a constraint: it can supply itself for every
+/// variable its raw schema covers.
+pub struct DatasetConstraint {
+    dataset: usize,
+    /// Variable ids this dataset's raw schema covers.
+    covers: Vec<usize>,
+}
+
+impl Constraint for DatasetConstraint {
+    fn describe(&self) -> String {
+        format!("dataset#{}", self.dataset)
+    }
+
+    fn touches(&self, var: usize) -> bool {
+        self.covers.contains(&var)
+    }
+
+    fn estimate(&self, var: usize, ctx: &PlanCtx) -> u64 {
+        if self.covers.contains(&var) {
+            ctx.cost(self.dataset)
+        } else {
+            0
+        }
+    }
+
+    fn propose(&self, var: usize, _ctx: &PlanCtx, out: &mut BTreeSet<usize>) {
+        if self.covers.contains(&var) {
+            out.insert(self.dataset);
+        }
+    }
+
+    fn confirm(&self, var: usize, candidate: usize, ctx: &PlanCtx) -> bool {
+        match ctx.variable(var) {
+            // Nothing ever adds a domain dimension, so the raw index is
+            // exact for domain variables — no saturation needed.
+            Variable::Domain(d) => ctx.index.domain_sets(d).binary_search(&candidate).is_ok(),
+            Variable::Value(d) => ctx.sat(candidate).schema.value_field_on(d).is_some(),
+        }
+    }
+
+    fn influence(&self, var: usize) -> Vec<usize> {
+        self.covers.iter().copied().filter(|&v| v != var).collect()
+    }
+}
+
+/// A registered derivation rule as a constraint: for the value
+/// dimensions it yields, it proposes the datasets recording any value
+/// dimension in its transitive needs (the only datasets on which
+/// saturation can manufacture the yield).
+pub struct RuleConstraint {
+    name: String,
+    /// Variable ids (value variables) this rule can produce.
+    serves: Vec<usize>,
+    /// Dataset indices recording some dimension in the rule's
+    /// transitive needs closure.
+    hosts: Vec<usize>,
+}
+
+impl Constraint for RuleConstraint {
+    fn describe(&self) -> String {
+        format!("rule:{}", self.name)
+    }
+
+    fn touches(&self, var: usize) -> bool {
+        self.serves.contains(&var)
+    }
+
+    fn estimate(&self, var: usize, ctx: &PlanCtx) -> u64 {
+        if self.serves.contains(&var) {
+            self.hosts.iter().map(|&i| ctx.cost(i)).sum()
+        } else {
+            0
+        }
+    }
+
+    fn propose(&self, var: usize, _ctx: &PlanCtx, out: &mut BTreeSet<usize>) {
+        if self.serves.contains(&var) {
+            out.extend(self.hosts.iter().copied());
+        }
+    }
+
+    fn confirm(&self, var: usize, candidate: usize, ctx: &PlanCtx) -> bool {
+        match ctx.variable(var) {
+            Variable::Domain(_) => false,
+            Variable::Value(d) => ctx.sat(candidate).schema.value_field_on(d).is_some(),
+        }
+    }
+
+    fn influence(&self, var: usize) -> Vec<usize> {
+        self.serves.iter().copied().filter(|&v| v != var).collect()
+    }
+}
+
+/// Guided depth-first negotiation: repeatedly bind the unbound variable
+/// with the lowest cached estimate (ties broken by variable id),
+/// confirming each union-of-proposals candidate, then invalidate the
+/// estimates `influence` reports. Returns each variable's confirmed
+/// supplier set.
+fn negotiate(
+    ctx: &PlanCtx,
+    constraints: &[Box<dyn Constraint + '_>],
+    touching: &[Vec<usize>],
+) -> Vec<BTreeSet<usize>> {
+    let nv = ctx.vars.len();
+    let mut confirmed: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nv];
+    let mut est: Vec<Option<u64>> = vec![None; nv];
+    let mut ever_estimated = vec![false; nv];
+    let mut unbound: BTreeSet<usize> = (0..nv).collect();
+    while !unbound.is_empty() {
+        let mut refreshes = 0u64;
+        for &v in &unbound {
+            if est[v].is_none() {
+                let e: u64 = touching[v]
+                    .iter()
+                    .map(|&c| constraints[c].estimate(v, ctx))
+                    .sum();
+                if ever_estimated[v] {
+                    refreshes += 1;
+                }
+                est[v] = Some(e);
+                ever_estimated[v] = true;
+            }
+        }
+        if refreshes > 0 {
+            ctx.engine.bump_stats(|s| s.estimate_refreshes += refreshes);
+        }
+        let v = unbound
+            .iter()
+            .copied()
+            .min_by_key(|&v| (est[v].unwrap_or(u64::MAX), v))
+            .expect("unbound is non-empty");
+        unbound.remove(&v);
+        let mut proposals = BTreeSet::new();
+        for &c in &touching[v] {
+            constraints[c].propose(v, ctx, &mut proposals);
+        }
+        let ok: BTreeSet<usize> = proposals
+            .into_iter()
+            .filter(|&cand| {
+                touching[v]
+                    .iter()
+                    .any(|&c| constraints[c].confirm(v, cand, ctx))
+            })
+            .collect();
+        if !ok.is_empty() {
+            ctx.engine.bump_stats(|s| s.vars_bound += 1);
+            for &c in &touching[v] {
+                for w in constraints[c].influence(v) {
+                    if unbound.contains(&w) {
+                        est[w] = None;
+                    }
+                }
+            }
+        }
+        confirmed[v] = ok;
+    }
+    confirmed
+}
+
+/// Feasibility screen equivalent to the legacy raw-schema scan, but
+/// answered from the index (same error messages, O(query) lookups).
+fn check_feasibility(index: &CatalogIndex, catalog: &Catalog, query: &Query) -> Result<()> {
+    if index.is_empty() {
+        return Err(SjError::NoSolution("catalog is empty".into()));
+    }
+    for d in &query.domains {
+        if index.domain_sets(d).is_empty() {
+            return Err(SjError::NoSolution(format!(
+                "domain dimension `{d}` exists in no dataset \
+                 (combinations cannot infer new domain dimensions)"
+            )));
+        }
+    }
+    for v in &query.values {
+        let present = !index.value_sets(&v.dimension).is_empty();
+        let derivable = catalog
+            .rules()
+            .iter()
+            .any(|r| r.yields.contains(&v.dimension));
+        if !present && !derivable {
+            return Err(SjError::NoSolution(format!(
+                "value dimension `{}` is neither recorded nor derivable",
+                v.dimension
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Transitive needs closure of one rule: its direct needs plus the
+/// needs of every rule that can yield one of them (cycle-safe — rules
+/// whose yields equal their needs, like counter rates, fixpoint).
+fn rule_needs_closure(catalog: &Catalog, rule_idx: usize) -> BTreeSet<String> {
+    let mut needs: BTreeSet<String> = catalog.rules()[rule_idx].needs.iter().cloned().collect();
+    loop {
+        let before = needs.len();
+        for r in catalog.rules() {
+            if r.yields.iter().any(|y| needs.contains(y)) {
+                needs.extend(r.needs.iter().cloned());
+            }
+        }
+        if needs.len() == before {
+            break;
+        }
+    }
+    needs
+}
+
+/// Solve a (canonical) query with the constraint planner.
+pub(super) fn solve(engine: &QueryEngine<'_>, query: &Query) -> Result<Plan> {
+    let catalog = engine.catalog();
+    let dict = catalog.dict();
+    let index = engine.index.get_or_init(|| CatalogIndex::build(catalog));
+    check_feasibility(index, catalog, query)?;
+    let needed = engine.needed_closure(query);
+
+    // --- Variables: queried domains, then the needed value closure. ---
+    let mut vars: Vec<Variable> = Vec::new();
+    for d in &query.domains {
+        vars.push(Variable::Domain(d.clone()));
+    }
+    let value_var_base = vars.len();
+    let needed_sorted: Vec<&String> = needed.iter().collect();
+    for dim in &needed_sorted {
+        vars.push(Variable::Value((*dim).clone()));
+    }
+    let value_var_of = |dim: &str| -> Option<usize> {
+        needed_sorted
+            .iter()
+            .position(|d| d.as_str() == dim)
+            .map(|p| value_var_base + p)
+    };
+
+    // --- Constraints: relevant datasets + rules yielding needed dims. ---
+    let mut constraints: Vec<Box<dyn Constraint + '_>> = Vec::new();
+    let mut relevant: BTreeSet<usize> = BTreeSet::new();
+    for d in &query.domains {
+        relevant.extend(index.domain_sets(d).iter().copied());
+    }
+    for dim in &needed {
+        relevant.extend(index.value_sets(dim).iter().copied());
+    }
+    let mut support: BTreeSet<usize> = needed
+        .iter()
+        .flat_map(|dim| index.value_sets(dim).iter().copied())
+        .collect();
+    for (ri, rule) in catalog.rules().iter().enumerate() {
+        let serves: Vec<usize> = rule.yields.iter().filter_map(|y| value_var_of(y)).collect();
+        if serves.is_empty() {
+            continue;
+        }
+        let hosts: Vec<usize> = rule_needs_closure(catalog, ri)
+            .iter()
+            .flat_map(|dim| index.value_sets(dim).iter().copied())
+            .collect::<BTreeSet<usize>>()
+            .into_iter()
+            .collect();
+        relevant.extend(hosts.iter().copied());
+        support.extend(hosts.iter().copied());
+        constraints.push(Box::new(RuleConstraint {
+            name: rule.name.clone(),
+            serves,
+            hosts,
+        }));
+    }
+    for &i in &relevant {
+        let covers: Vec<usize> = vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| match v {
+                Variable::Domain(d) => index.domain_sets(d).binary_search(&i).is_ok(),
+                Variable::Value(d) => index.value_sets(d).binary_search(&i).is_ok(),
+            })
+            .map(|(vi, _)| vi)
+            .collect();
+        if !covers.is_empty() {
+            constraints.push(Box::new(DatasetConstraint { dataset: i, covers }));
+        }
+    }
+    let touching: Vec<Vec<usize>> = (0..vars.len())
+        .map(|v| {
+            (0..constraints.len())
+                .filter(|&c| constraints[c].touches(v))
+                .collect()
+        })
+        .collect();
+
+    let ctx = PlanCtx {
+        engine,
+        index,
+        vars,
+        needed: needed.clone(),
+        support,
+        sat: RefCell::new(HashMap::new()),
+    };
+
+    // --- Guided negotiation: bind cheapest variable first. ---
+    let confirmed = negotiate(&ctx, &constraints, &touching);
+
+    // --- Single-candidate shortcut (legacy-identical ascending scan,
+    //     restricted to the intersection of the query's supplier sets,
+    //     which contains every possibly-satisfying dataset). ---
+    let mut base: Option<BTreeSet<usize>> = None;
+    let intersect = |base: &mut Option<BTreeSet<usize>>, set: BTreeSet<usize>| {
+        *base = Some(match base.take() {
+            None => set,
+            Some(b) => b.intersection(&set).copied().collect(),
+        });
+    };
+    for d in &query.domains {
+        intersect(&mut base, index.domain_sets(d).iter().copied().collect());
+    }
+    for v in &query.values {
+        if let Some(vi) = value_var_of(&v.dimension) {
+            intersect(&mut base, confirmed[vi].clone());
+        }
+    }
+    let shortlist: Vec<usize> = match base {
+        Some(b) => b.into_iter().collect(),
+        None => (0..index.len()).collect(),
+    };
+    for i in shortlist {
+        let c = ctx.sat(i);
+        if query.satisfied_by(&c.schema, dict) {
+            return Ok(engine.finalize(c, query));
+        }
+    }
+
+    // --- Coverage targets and seed, legacy-identical but restricted to
+    //     the confirmed supplier universe. ---
+    let mut targets: Vec<(String, bool)> =
+        query.domains.iter().map(|d| (d.clone(), true)).collect();
+    for (pos, dim) in needed_sorted.iter().enumerate() {
+        if !confirmed[value_var_base + pos].is_empty() {
+            targets.push(((*dim).clone(), false));
+        }
+    }
+    let universe: Vec<usize> = confirmed
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .collect::<BTreeSet<usize>>()
+        .into_iter()
+        .collect();
+    let schema_of = |i: usize| ctx.sat(i).schema;
+    let seed = greedy_cover(&schema_of, &targets, &universe);
+
+    // --- Widening universe, ring by ring. Ring 1: datasets sharing a
+    //     domain dimension with the seed, under the legacy widening key
+    //     (shared count desc, index asc). Ring 2 (built only if ring 1
+    //     exhausts): everything else in index order — identical to the
+    //     tail of the legacy addition order. ---
+    let mut seed_dims: BTreeSet<String> = BTreeSet::new();
+    for &i in &seed {
+        seed_dims.extend(
+            ctx.sat(i)
+                .schema
+                .domain_dimensions()
+                .into_iter()
+                .map(String::from),
+        );
+    }
+    let ring1_raw: BTreeSet<usize> = seed_dims
+        .iter()
+        .flat_map(|d| index.domain_sets(d).iter().copied())
+        .filter(|i| !seed.contains(i))
+        .collect();
+    let ring1: Vec<usize> = {
+        let members: Vec<usize> = ring1_raw.iter().copied().collect();
+        addition_order(&schema_of, &seed, &members)
+            .into_iter()
+            .filter(|&i| {
+                // Demote raw matches whose saturated schema lost the
+                // shared dimension to ring 2 (index order there).
+                ctx.sat(i)
+                    .schema
+                    .domain_dimensions()
+                    .iter()
+                    .any(|d| seed_dims.contains(*d))
+            })
+            .collect()
+    };
+
+    let mut order = ring1;
+    let mut ring2_built = false;
+    let mut truncated = false;
+    for anchored_only in [true, false] {
+        if !anchored_only && !engine.config().allow_unanchored {
+            break;
+        }
+        let mut df: Vec<usize> = seed.clone();
+        loop {
+            if let Some(result) = combine_set(engine, &ctx, &df, anchored_only) {
+                if query.satisfied_by(&result.schema, dict) {
+                    return Ok(engine.finalize(result, query));
+                }
+            }
+            let mut next = order.iter().copied().find(|i| !df.contains(i));
+            if next.is_none() && !ring2_built {
+                let present: BTreeSet<usize> = order.iter().chain(seed.iter()).copied().collect();
+                order.extend((0..index.len()).filter(|i| !present.contains(i)));
+                ring2_built = true;
+                next = order.iter().copied().find(|i| !df.contains(i));
+            }
+            match next {
+                Some(next) if df.len() < engine.config().max_datasets => df.push(next),
+                Some(_) => {
+                    truncated = true;
+                    break;
+                }
+                None => break,
+            }
+        }
+    }
+    if truncated {
+        Err(SjError::SearchTruncated {
+            query: query.describe(),
+            max_datasets: engine.config().max_datasets,
+        })
+    } else {
+        Err(SjError::NoSolution(query.describe()))
+    }
+}
+
+/// Fold a dataset set into one combined candidate — the legacy
+/// `combine_set` greedy-partner loop over the lazy candidate store.
+fn combine_set(
+    engine: &QueryEngine<'_>,
+    ctx: &PlanCtx,
+    df: &[usize],
+    anchored_only: bool,
+) -> Option<Cand> {
+    if df.is_empty() {
+        return None;
+    }
+    let mut remaining: Vec<usize> = df.to_vec();
+    let mut acc = ctx.sat(remaining.remove(0));
+    while !remaining.is_empty() {
+        let mut advanced = false;
+        for pos in 0..remaining.len() {
+            let idx = remaining[pos];
+            if let Some(next) = engine.combine_pair(&acc, &ctx.sat(idx), anchored_only) {
+                acc = engine.saturate(next, &ctx.needed);
+                remaining.remove(pos);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return None;
+        }
+    }
+    Some(acc)
+}

@@ -39,6 +39,23 @@ use crate::units::UnitKind;
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 
+/// Which planning strategy `solve()` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerKind {
+    /// The original shortest-sequence backward-chaining search above
+    /// (greedy cover seed + fixed widening order). Kept as the
+    /// reference implementation for the parity harness and for
+    /// ablation benchmarks.
+    Legacy,
+    /// The constraint-negotiation planner ([`crate::engine::constraint`]):
+    /// a guided depth-first search that binds one semantic variable at
+    /// a time under live cardinality estimates. Scales to catalogs with
+    /// thousands of datasets because it only touches datasets reachable
+    /// from the query's dimensions.
+    #[default]
+    Constraint,
+}
+
 /// Tuning knobs for the search and the plans it emits.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
@@ -52,8 +69,15 @@ pub struct EngineConfig {
     /// Allow combinations whose only shared domain is ordered/continuous
     /// (e.g. time-only joins) when no anchored plan exists.
     pub allow_unanchored: bool,
-    /// Hard cap on candidate datasets considered in one query.
+    /// Hard cap on candidate datasets considered in one query. When the
+    /// cap stops a search that still had untried datasets, `solve()`
+    /// returns [`SjError::SearchTruncated`] instead of
+    /// [`SjError::NoSolution`].
     pub max_datasets: usize,
+    /// The planning strategy. Both planners produce byte-identical
+    /// results on any catalog where they select the same dataset sets
+    /// (see the parity harness in `tests/planner_parity.rs`).
+    pub planner: PlannerKind,
 }
 
 impl Default for EngineConfig {
@@ -64,46 +88,79 @@ impl Default for EngineConfig {
             memoize: true,
             allow_unanchored: true,
             max_datasets: 32,
+            planner: PlannerKind::default(),
         }
     }
 }
 
-/// Counters describing one query's search effort.
+/// Counters describing search effort, accumulated across every
+/// `solve()` on the engine (all fields are cumulative).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// `combine_pair` invocations that ran the full alignment logic.
     pub pair_tests: u64,
-    /// `combine_pair` invocations answered from the memo.
+    /// `combine_pair` invocations answered from the memo (including
+    /// mirrored hits: a `(right, left)` test answered from the
+    /// `(left, right)` entry).
     pub memo_hits: u64,
     /// Derivation rules applied during saturation.
     pub rules_applied: u64,
-    /// Candidate datasets considered.
+    /// Candidate datasets considered (saturated and examined by a
+    /// planner). The constraint planner only counts datasets reachable
+    /// from the query, so this stays far below catalog size on large
+    /// catalogs.
     pub datasets_considered: usize,
+    /// Semantic variables bound by the constraint planner (0 under the
+    /// legacy planner).
+    pub vars_bound: u64,
+    /// Per-variable cardinality estimates recomputed after `influence`
+    /// invalidation (0 under the legacy planner).
+    pub estimate_refreshes: u64,
 }
 
 /// One candidate in the search: a plan and the schema it would produce.
 #[derive(Debug, Clone)]
-struct Cand {
-    plan: Plan,
-    schema: Schema,
+pub(super) struct Cand {
+    pub(super) plan: Plan,
+    pub(super) schema: Schema,
 }
 
 /// Memoized outcome of a `combine_pair` test (schemas only — plans are
-/// reattached by the caller).
+/// reattached by the caller). The post-alignment schemas are kept so a
+/// mirrored lookup can re-derive the combined column order without
+/// re-running the alignment logic.
 #[derive(Debug, Clone)]
 struct PairOutcome {
     left_steps: Vec<DerivationSpec>,
     right_steps: Vec<DerivationSpec>,
     combine: DerivationSpec,
+    left_aligned: Schema,
+    right_aligned: Schema,
     schema: Schema,
+}
+
+/// Memo slot under one canonical `(lo_fp, hi_fp, anchored)` key:
+/// outcomes for both orientations of the pair. Combinability is
+/// symmetric, so either orientation's result answers the other — only
+/// the combined column order differs, which `flip_outcome` re-derives
+/// from the stored aligned schemas.
+#[derive(Debug, Clone, Default)]
+struct PairEntry {
+    /// Index 0: the `(lo, hi)` orientation; index 1: `(hi, lo)`.
+    by_dir: [Option<Option<PairOutcome>>; 2],
 }
 
 /// The derivation engine: answers queries with reproducible plans.
 pub struct QueryEngine<'c> {
     catalog: &'c Catalog,
     config: EngineConfig,
-    pair_memo: Mutex<HashMap<(u64, u64, bool), Option<PairOutcome>>>,
+    pair_memo: Mutex<HashMap<(u64, u64, bool), PairEntry>>,
     stats: Mutex<EngineStats>,
+    /// Inverted dimension indexes over the catalog's raw schemas, built
+    /// once on the constraint planner's first solve and shared by every
+    /// subsequent query (the catalog is borrowed immutably, so the
+    /// index can never go stale).
+    pub(super) index: std::sync::OnceLock<super::constraint::CatalogIndex>,
 }
 
 impl<'c> QueryEngine<'c> {
@@ -119,6 +176,7 @@ impl<'c> QueryEngine<'c> {
             config,
             pair_memo: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
+            index: std::sync::OnceLock::new(),
         }
     }
 
@@ -127,15 +185,81 @@ impl<'c> QueryEngine<'c> {
         *self.stats.lock()
     }
 
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The catalog this engine plans against.
+    pub(super) fn catalog(&self) -> &'c Catalog {
+        self.catalog
+    }
+
+    /// Apply a mutation under the stats lock (one acquisition).
+    pub(super) fn bump_stats(&self, f: impl FnOnce(&mut EngineStats)) {
+        f(&mut self.stats.lock());
+    }
+
     /// Find a derivation sequence satisfying `query`, or fail with
-    /// [`SjError::NoSolution`].
+    /// [`SjError::NoSolution`] (provably unsatisfiable) or
+    /// [`SjError::SearchTruncated`] (dataset budget hit first).
     pub fn solve(&self, query: &Query) -> Result<Plan> {
+        let query = query.canonicalize(self.catalog.dict())?;
+        match self.config.planner {
+            PlannerKind::Legacy => self.solve_legacy(&query),
+            PlannerKind::Constraint => super::constraint::solve(self, &query),
+        }
+    }
+
+    /// Shared feasibility screen over *raw* schemas: queried domain
+    /// dimensions must exist somewhere (combinations never invent domain
+    /// dimensions — and no registered rule yields one either), and
+    /// queried value dimensions must be recorded or claimed by a rule.
+    pub(super) fn check_feasibility(&self, query: &Query) -> Result<()> {
+        if self.catalog.datasets().next().is_none() {
+            return Err(SjError::NoSolution("catalog is empty".into()));
+        }
+        for d in &query.domains {
+            if !self
+                .catalog
+                .datasets()
+                .any(|(_, ds)| ds.schema().domain_field_on(d).is_some())
+            {
+                return Err(SjError::NoSolution(format!(
+                    "domain dimension `{d}` exists in no dataset \
+                     (combinations cannot infer new domain dimensions)"
+                )));
+            }
+        }
+        for v in &query.values {
+            let present = self
+                .catalog
+                .datasets()
+                .any(|(_, ds)| ds.schema().value_field_on(&v.dimension).is_some());
+            let derivable = self
+                .catalog
+                .rules()
+                .iter()
+                .any(|r| r.yields.contains(&v.dimension));
+            if !present && !derivable {
+                return Err(SjError::NoSolution(format!(
+                    "value dimension `{}` is neither recorded nor derivable",
+                    v.dimension
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The original §5.2 search: greedy cover seed + fixed widening
+    /// order. `query` must already be canonical.
+    fn solve_legacy(&self, query: &Query) -> Result<Plan> {
         let dict = self.catalog.dict();
-        let query = query.canonicalize(dict)?;
+        self.check_feasibility(query)?;
 
         // Backward-chain through the rules to find every value dimension
         // the query (transitively) needs.
-        let needed = self.needed_closure(&query);
+        let needed = self.needed_closure(query);
 
         // Initial candidates: each dataset, saturated with the rules that
         // yield needed dimensions.
@@ -150,54 +274,23 @@ impl<'c> QueryEngine<'c> {
             );
             candidates.push(cand);
         }
-        self.stats.lock().datasets_considered = candidates.len();
-        if candidates.is_empty() {
-            return Err(SjError::NoSolution("catalog is empty".into()));
-        }
-
-        // Queried domain dimensions must already exist somewhere:
-        // derivations cannot infer new domain dimensions.
-        for d in &query.domains {
-            if !candidates
-                .iter()
-                .any(|c| c.schema.domain_field_on(d).is_some())
-            {
-                return Err(SjError::NoSolution(format!(
-                    "domain dimension `{d}` exists in no dataset \
-                     (combinations cannot infer new domain dimensions)"
-                )));
-            }
-        }
-        // Queried value dimensions must be present or derivable.
-        for v in &query.values {
-            let present = candidates
-                .iter()
-                .any(|c| c.schema.value_field_on(&v.dimension).is_some());
-            let derivable = self
-                .catalog
-                .rules()
-                .iter()
-                .any(|r| r.yields.contains(&v.dimension));
-            if !present && !derivable {
-                return Err(SjError::NoSolution(format!(
-                    "value dimension `{}` is neither recorded nor derivable",
-                    v.dimension
-                )));
-            }
-        }
+        self.stats.lock().datasets_considered += candidates.len();
 
         // A single candidate may already satisfy the query.
         for c in &candidates {
             if query.satisfied_by(&c.schema, dict) {
-                return Ok(self.finalize(c.clone(), &query));
+                return Ok(self.finalize(c.clone(), query));
             }
         }
 
         // Algorithm 1: seed with the minimal cover, then grow.
-        let targets = self.coverage_targets(&query, &candidates);
-        let seed = greedy_cover(&candidates, &targets);
-        let order = self.addition_order(&candidates, &seed);
+        let targets = self.coverage_targets(query, &candidates);
+        let all: Vec<usize> = (0..candidates.len()).collect();
+        let schema_of = |i: usize| candidates[i].schema.clone();
+        let seed = greedy_cover(&schema_of, &targets, &all);
+        let order = addition_order(&schema_of, &seed, &all);
 
+        let mut truncated = false;
         for anchored_only in [true, false] {
             if !anchored_only && !self.config.allow_unanchored {
                 break;
@@ -206,23 +299,36 @@ impl<'c> QueryEngine<'c> {
             loop {
                 if let Some(result) = self.combine_set(&candidates, &df, &needed, anchored_only) {
                     if query.satisfied_by(&result.schema, dict) {
-                        return Ok(self.finalize(result, &query));
+                        return Ok(self.finalize(result, query));
                     }
                 }
                 // Add one more dataset (Algorithm 1's widening step).
                 let next = order.iter().find(|i| !df.contains(i));
                 match next {
                     Some(&next) if df.len() < self.config.max_datasets => df.push(next),
-                    _ => break,
+                    // Datasets remained untried: the budget, not the
+                    // search space, ended this pass.
+                    Some(_) => {
+                        truncated = true;
+                        break;
+                    }
+                    None => break,
                 }
             }
         }
-        Err(SjError::NoSolution(query.describe()))
+        if truncated {
+            Err(SjError::SearchTruncated {
+                query: query.describe(),
+                max_datasets: self.config.max_datasets,
+            })
+        } else {
+            Err(SjError::NoSolution(query.describe()))
+        }
     }
 
     /// Value dimensions transitively required: the queried value dims plus
     /// the inputs of every rule that can produce a needed dim.
-    fn needed_closure(&self, query: &Query) -> BTreeSet<String> {
+    pub(super) fn needed_closure(&self, query: &Query) -> BTreeSet<String> {
         let mut needed: BTreeSet<String> =
             query.values.iter().map(|v| v.dimension.clone()).collect();
         loop {
@@ -241,7 +347,11 @@ impl<'c> QueryEngine<'c> {
 
     /// Dimensions the seed set must cover: queried domains plus needed
     /// value dimensions that exist as recorded values somewhere.
-    fn coverage_targets(&self, query: &Query, candidates: &[Cand]) -> Vec<(String, bool)> {
+    pub(super) fn coverage_targets(
+        &self,
+        query: &Query,
+        candidates: &[Cand],
+    ) -> Vec<(String, bool)> {
         let mut targets: Vec<(String, bool)> =
             query.domains.iter().map(|d| (d.clone(), true)).collect();
         for dim in self.needed_closure(query) {
@@ -255,36 +365,9 @@ impl<'c> QueryEngine<'c> {
         targets
     }
 
-    /// Preferred order for widening: datasets sharing the most domain
-    /// dimensions with the seed first.
-    fn addition_order(&self, candidates: &[Cand], seed: &[usize]) -> Vec<usize> {
-        let seed_dims: BTreeSet<String> = seed
-            .iter()
-            .flat_map(|&i| {
-                candidates[i]
-                    .schema
-                    .domain_dimensions()
-                    .into_iter()
-                    .map(String::from)
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.sort_by_key(|&i| {
-            let shared = candidates[i]
-                .schema
-                .domain_dimensions()
-                .iter()
-                .filter(|d| seed_dims.contains(**d))
-                .count();
-            std::cmp::Reverse(shared)
-        });
-        order
-    }
-
     /// Fold a set of candidates into one combined candidate, greedily
     /// picking a combinable partner at each step (memoized pair tests).
-    fn combine_set(
+    pub(super) fn combine_set(
         &self,
         candidates: &[Cand],
         df: &[usize],
@@ -317,24 +400,73 @@ impl<'c> QueryEngine<'c> {
     /// Test whether two candidates can be combined (via a short sequence
     /// of alignment transformations and a single combination), and build
     /// the resulting candidate if so.
-    fn combine_pair(&self, left: &Cand, right: &Cand, anchored_only: bool) -> Option<Cand> {
-        let key = (
-            left.schema.fingerprint(),
-            right.schema.fingerprint(),
-            anchored_only,
-        );
-        if self.config.memoize {
-            if let Some(hit) = self.pair_memo.lock().get(&key) {
-                self.stats.lock().memo_hits += 1;
-                return hit.as_ref().map(|o| attach_outcome(left, right, o));
+    ///
+    /// Pair tests are memoized under a canonical `(lo_fp, hi_fp)` key
+    /// with a direction bit, so a `(right, left)` test hits the entry a
+    /// `(left, right)` test populated: combinability is symmetric, and a
+    /// successful mirrored outcome only needs its combined column order
+    /// re-derived from the stored aligned schemas.
+    pub(super) fn combine_pair(
+        &self,
+        left: &Cand,
+        right: &Cand,
+        anchored_only: bool,
+    ) -> Option<Cand> {
+        let (lf, rf) = (left.schema.fingerprint(), right.schema.fingerprint());
+        let dir = usize::from(lf > rf);
+        let key = (lf.min(rf), lf.max(rf), anchored_only);
+        let (outcome, memo_hit) = 'memo: {
+            if self.config.memoize {
+                let mut memo = self.pair_memo.lock();
+                if let Some(entry) = memo.get_mut(&key) {
+                    if let Some(hit) = entry.by_dir[dir].clone() {
+                        break 'memo (hit, true);
+                    }
+                    if let Some(mirror) = entry.by_dir[1 - dir].clone() {
+                        // The mirrored orientation was tested. Failure
+                        // transfers as-is; success transfers by swapping
+                        // sides and re-deriving only the combined schema.
+                        let flipped = mirror.and_then(|o| self.flip_outcome(&o));
+                        entry.by_dir[dir] = Some(flipped.clone());
+                        break 'memo (flipped, true);
+                    }
+                }
+                drop(memo);
             }
+            let outcome = self.pair_outcome(&left.schema, &right.schema, anchored_only);
+            if self.config.memoize {
+                self.pair_memo.lock().entry(key).or_default().by_dir[dir] = Some(outcome.clone());
+            }
+            (outcome, false)
+        };
+        // Single stats-lock acquisition per pair test, hit or miss.
+        let mut stats = self.stats.lock();
+        if memo_hit {
+            stats.memo_hits += 1;
+        } else {
+            stats.pair_tests += 1;
         }
-        self.stats.lock().pair_tests += 1;
-        let outcome = self.pair_outcome(&left.schema, &right.schema, anchored_only);
-        if self.config.memoize {
-            self.pair_memo.lock().insert(key, outcome.clone());
-        }
+        drop(stats);
         outcome.map(|o| attach_outcome(left, right, &o))
+    }
+
+    /// Reverse a memoized pair outcome: swap the per-side alignment
+    /// steps and re-derive the combined schema with the sides exchanged
+    /// (column order is the only asymmetry in a combination).
+    fn flip_outcome(&self, o: &PairOutcome) -> Option<PairOutcome> {
+        let schema = o
+            .combine
+            .as_combination()?
+            .derive_schema(&o.right_aligned, &o.left_aligned, self.catalog.dict())
+            .ok()?;
+        Some(PairOutcome {
+            left_steps: o.right_steps.clone(),
+            right_steps: o.left_steps.clone(),
+            combine: o.combine.clone(),
+            left_aligned: o.right_aligned.clone(),
+            right_aligned: o.left_aligned.clone(),
+            schema,
+        })
     }
 
     /// The semantics-only pair test: alignment steps + combination choice.
@@ -400,6 +532,8 @@ impl<'c> QueryEngine<'c> {
             left_steps,
             right_steps,
             combine,
+            left_aligned: lschema,
+            right_aligned: rschema,
             schema,
         })
     }
@@ -407,7 +541,7 @@ impl<'c> QueryEngine<'c> {
     /// Apply every registered rule that yields a needed dimension, to a
     /// fixpoint (this derives heat on the rack-temperature dataset and
     /// rates/active frequency on the counter datasets).
-    fn saturate(&self, mut cand: Cand, needed: &BTreeSet<String>) -> Cand {
+    pub(super) fn saturate(&self, mut cand: Cand, needed: &BTreeSet<String>) -> Cand {
         let dict = self.catalog.dict();
         for _ in 0..16 {
             let mut progressed = false;
@@ -437,7 +571,7 @@ impl<'c> QueryEngine<'c> {
 
     /// Append unit conversions for value requests whose units differ from
     /// what the solution carries, then return the plan.
-    fn finalize(&self, cand: Cand, query: &Query) -> Plan {
+    pub(super) fn finalize(&self, cand: Cand, query: &Query) -> Plan {
         let dict = self.catalog.dict();
         let mut plan = cand.plan;
         let mut schema = cand.schema;
@@ -507,40 +641,87 @@ fn attach_outcome(left: &Cand, right: &Cand, o: &PairOutcome) -> Cand {
     }
 }
 
-/// Greedy set cover: pick candidates covering the most uncovered targets
-/// until all targets are covered (ties: fewer columns first).
-fn greedy_cover(candidates: &[Cand], targets: &[(String, bool)]) -> Vec<usize> {
-    let covers = |c: &Cand, t: &(String, bool)| -> bool {
+/// Greedy set cover over the `allowed` candidate indices: pick candidates
+/// covering the most uncovered targets until all targets are covered
+/// (ties: fewer columns first, then lower index — `allowed` must be
+/// ascending for deterministic results).
+///
+/// Restricting to a subset `S` of the catalog is plan-preserving: when
+/// `S` contains every index the unrestricted cover would pick, the
+/// argmax over `S` sees the same maxima in the same order, so the picks
+/// are identical. This is what lets the constraint planner reuse the
+/// legacy fold shape on the dataset set it selects.
+pub(super) fn greedy_cover(
+    schema_of: &dyn Fn(usize) -> Schema,
+    targets: &[(String, bool)],
+    allowed: &[usize],
+) -> Vec<usize> {
+    let covers = |s: &Schema, t: &(String, bool)| -> bool {
         if t.1 {
-            c.schema.domain_field_on(&t.0).is_some()
+            s.domain_field_on(&t.0).is_some()
         } else {
-            c.schema.value_field_on(&t.0).is_some()
+            s.value_field_on(&t.0).is_some()
         }
     };
     let mut uncovered: Vec<&(String, bool)> = targets.iter().collect();
     let mut picked = Vec::new();
     while !uncovered.is_empty() {
-        let best = (0..candidates.len())
+        let best = allowed
+            .iter()
+            .copied()
             .filter(|i| !picked.contains(i))
             .max_by_key(|&i| {
-                let n = uncovered
-                    .iter()
-                    .filter(|t| covers(&candidates[i], t))
-                    .count();
-                (n, std::cmp::Reverse(candidates[i].schema.len()))
+                let s = schema_of(i);
+                let n = uncovered.iter().filter(|t| covers(&s, t)).count();
+                (n, std::cmp::Reverse(s.len()))
             });
         let Some(best) = best else { break };
-        let n = uncovered
-            .iter()
-            .filter(|t| covers(&candidates[best], t))
-            .count();
+        let s = schema_of(best);
+        let n = uncovered.iter().filter(|t| covers(&s, t)).count();
         if n == 0 {
             break;
         }
-        uncovered.retain(|t| !covers(&candidates[best], t));
+        uncovered.retain(|t| !covers(&s, t));
         picked.push(best);
     }
     picked
+}
+
+/// The widening order (Algorithm 1's "add one more dataset" step):
+/// candidates from `allowed` not in the seed, sorted by how many domain
+/// dimensions they share with the seed's combined domain (descending;
+/// the sort is stable, so ties stay in ascending-index order).
+///
+/// Like [`greedy_cover`], restricting `allowed` to a superset of what
+/// the legacy search would actually append preserves the append order.
+pub(super) fn addition_order(
+    schema_of: &dyn Fn(usize) -> Schema,
+    seed: &[usize],
+    allowed: &[usize],
+) -> Vec<usize> {
+    let mut seed_dims: BTreeSet<String> = BTreeSet::new();
+    for &i in seed {
+        seed_dims.extend(
+            schema_of(i)
+                .domain_dimensions()
+                .into_iter()
+                .map(String::from),
+        );
+    }
+    let mut order: Vec<usize> = allowed
+        .iter()
+        .copied()
+        .filter(|i| !seed.contains(i))
+        .collect();
+    order.sort_by_key(|&i| {
+        let shared = schema_of(i)
+            .domain_dimensions()
+            .iter()
+            .filter(|&&d| seed_dims.contains(d))
+            .count();
+        std::cmp::Reverse(shared)
+    });
+    order
 }
 
 #[cfg(test)]
@@ -748,6 +929,92 @@ mod tests {
         no_memo.solve(&rack_heat_query()).unwrap();
         assert!(no_memo.stats().pair_tests > first.pair_tests);
         assert_eq!(no_memo.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn mirrored_pair_test_hits_the_memo() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        let mk = |name: &str| {
+            let ds = cat.dataset(name).unwrap();
+            Cand {
+                plan: Plan::load(name),
+                schema: ds.schema().clone(),
+            }
+        };
+        let layout = mk("node_layout");
+        let temps = mk("rack_temps");
+
+        let fwd = engine.combine_pair(&layout, &temps, true).unwrap();
+        let s1 = engine.stats();
+        assert_eq!(s1.pair_tests, 1);
+        assert_eq!(s1.memo_hits, 0);
+
+        // The reversed orientation must answer from the memo, not re-run
+        // the alignment logic.
+        let rev = engine.combine_pair(&temps, &layout, true).unwrap();
+        let s2 = engine.stats();
+        assert_eq!(s2.pair_tests, 1, "reversed test re-ran the pair logic");
+        assert_eq!(s2.memo_hits, 1);
+
+        // The mirrored outcome is a real combination over the same
+        // dimensions, with the sides exchanged.
+        assert_eq!(
+            fwd.schema.domain_dimensions(),
+            rev.schema.domain_dimensions()
+        );
+        assert_eq!(rev.plan.loads().first(), Some(&"rack_temps"));
+
+        // A second reversed call hits the now-materialized direction slot.
+        let _ = engine.combine_pair(&temps, &layout, true).unwrap();
+        let s3 = engine.stats();
+        assert_eq!(s3.pair_tests, 1);
+        assert_eq!(s3.memo_hits, 2);
+    }
+
+    #[test]
+    fn budget_stop_reports_truncation_not_unsatisfiability() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        for planner in [PlannerKind::Legacy, PlannerKind::Constraint] {
+            let engine = QueryEngine::with_config(
+                &cat,
+                EngineConfig {
+                    max_datasets: 2,
+                    allow_unanchored: false,
+                    planner,
+                    ..EngineConfig::default()
+                },
+            );
+            // Needs all three datasets, but the budget allows only two.
+            let err = engine.solve(&rack_heat_query()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SjError::SearchTruncated {
+                        max_datasets: 2,
+                        ..
+                    }
+                ),
+                "{planner:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_solves() {
+        let ctx = ExecCtx::local();
+        let cat = dat1_catalog(&ctx);
+        let engine = QueryEngine::new(&cat);
+        engine.solve(&rack_heat_query()).unwrap();
+        let first = engine.stats().datasets_considered;
+        assert!(first > 0);
+        engine.solve(&rack_heat_query()).unwrap();
+        assert!(
+            engine.stats().datasets_considered > first,
+            "datasets_considered must accumulate, not reset per solve"
+        );
     }
 
     #[test]

@@ -31,8 +31,19 @@ pub enum SjError {
         to: String,
     },
     /// The derivation engine found no derivation sequence satisfying the
-    /// query.
+    /// query, and exhausted the search space: the query is provably
+    /// unsatisfiable against this catalog.
     NoSolution(String),
+    /// The derivation search hit its dataset budget before exhausting
+    /// the space. Unlike [`SjError::NoSolution`] this is *not* a proof
+    /// of unsatisfiability — retrying with a larger `max_datasets`
+    /// budget may find a plan.
+    SearchTruncated {
+        /// Human-readable description of the query.
+        query: String,
+        /// The `max_datasets` budget that stopped the search.
+        max_datasets: usize,
+    },
     /// A wrapper failed to parse its input.
     ParseError(String),
     /// An I/O failure in a wrapper or the result cache.
@@ -62,6 +73,15 @@ impl fmt::Display for SjError {
                 write!(f, "cannot convert units `{from}` to `{to}`")
             }
             SjError::NoSolution(q) => write!(f, "no derivation sequence satisfies query: {q}"),
+            SjError::SearchTruncated {
+                query,
+                max_datasets,
+            } => write!(
+                f,
+                "derivation search for query {query} was truncated at its budget of \
+                 {max_datasets} datasets (not provably unsatisfiable; retry with a \
+                 larger max_datasets)"
+            ),
             SjError::ParseError(msg) => write!(f, "parse error: {msg}"),
             SjError::Io(msg) => write!(f, "I/O error: {msg}"),
             SjError::TypeError(msg) => write!(f, "type error: {msg}"),

@@ -548,6 +548,12 @@ fn route_query(
                     Err(SjError::NoSolution(msg)) => {
                         return fail(ErrorBody::new(codes::NO_SOLUTION, msg), guests)
                     }
+                    Err(e @ SjError::SearchTruncated { .. }) => {
+                        return fail(
+                            ErrorBody::new(codes::SEARCH_TRUNCATED, e.to_string()),
+                            guests,
+                        )
+                    }
                     Err(e) => {
                         return fail(ErrorBody::new(codes::BAD_REQUEST, e.to_string()), guests)
                     }

@@ -130,6 +130,28 @@ pub struct StatsReport {
     /// Engine task attempts that exhausted their retry budget.
     #[serde(default)]
     pub engine_tasks_exhausted: u64,
+    /// Planner pair tests run (non-memoized `combine_pair` calls),
+    /// accumulated across every plan-cache-missing solve.
+    #[serde(default)]
+    pub planner_pair_tests: u64,
+    /// Planner pair tests answered from the memo.
+    #[serde(default)]
+    pub planner_memo_hits: u64,
+    /// Candidate datasets the planner examined (the constraint planner
+    /// only touches datasets reachable from the query's dimensions, so
+    /// this stays far below catalog size × solves on large catalogs).
+    #[serde(default)]
+    pub planner_datasets_considered: u64,
+    /// Semantic variables bound by the constraint planner.
+    #[serde(default)]
+    pub planner_vars_bound: u64,
+    /// Per-variable estimates recomputed after `influence` invalidation.
+    #[serde(default)]
+    pub planner_estimate_refreshes: u64,
+    /// Solves stopped by the `max_datasets` budget (answered with the
+    /// retryable `search_truncated` error code).
+    #[serde(default)]
+    pub searches_truncated: u64,
     /// Request traces extracted from the tracer (0 when tracing is off).
     #[serde(default)]
     pub traces_recorded: u64,
@@ -190,6 +212,16 @@ impl StatsReport {
         out.push_str(&format!(
             "faults: {} degraded responses, {} task retries, {} tasks exhausted\n",
             self.requests_degraded, self.engine_task_retries, self.engine_tasks_exhausted
+        ));
+        out.push_str(&format!(
+            "planner: {} datasets considered, {} pair tests ({} memo hits), \
+             {} vars bound, {} estimate refreshes, {} searches truncated\n",
+            self.planner_datasets_considered,
+            self.planner_pair_tests,
+            self.planner_memo_hits,
+            self.planner_vars_bound,
+            self.planner_estimate_refreshes,
+            self.searches_truncated
         ));
         out.push_str(&format!(
             "traces: {} recorded ({} spans), {} spans dropped\n",
@@ -314,6 +346,12 @@ pub struct ServiceMetrics {
     requests_degraded: AtomicU64,
     engine_task_retries: AtomicU64,
     engine_tasks_exhausted: AtomicU64,
+    planner_pair_tests: AtomicU64,
+    planner_memo_hits: AtomicU64,
+    planner_datasets_considered: AtomicU64,
+    planner_vars_bound: AtomicU64,
+    planner_estimate_refreshes: AtomicU64,
+    searches_truncated: AtomicU64,
     traces_recorded: AtomicU64,
     trace_spans_recorded: AtomicU64,
     trace_spans_dropped: AtomicU64,
@@ -336,6 +374,12 @@ impl Default for ServiceMetrics {
             requests_degraded: AtomicU64::new(0),
             engine_task_retries: AtomicU64::new(0),
             engine_tasks_exhausted: AtomicU64::new(0),
+            planner_pair_tests: AtomicU64::new(0),
+            planner_memo_hits: AtomicU64::new(0),
+            planner_datasets_considered: AtomicU64::new(0),
+            planner_vars_bound: AtomicU64::new(0),
+            planner_estimate_refreshes: AtomicU64::new(0),
+            searches_truncated: AtomicU64::new(0),
             traces_recorded: AtomicU64::new(0),
             trace_spans_recorded: AtomicU64::new(0),
             trace_spans_dropped: AtomicU64::new(0),
@@ -391,6 +435,27 @@ impl ServiceMetrics {
 
     pub fn degraded_count(&self) -> u64 {
         self.requests_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Fold one solve's search-effort counters into the service totals.
+    /// The per-request engine starts from zeroed stats, so its final
+    /// reading is exactly this solve's contribution.
+    pub fn planner_effort(&self, stats: &sjcore::engine::EngineStats) {
+        self.planner_pair_tests
+            .fetch_add(stats.pair_tests, Ordering::Relaxed);
+        self.planner_memo_hits
+            .fetch_add(stats.memo_hits, Ordering::Relaxed);
+        self.planner_datasets_considered
+            .fetch_add(stats.datasets_considered as u64, Ordering::Relaxed);
+        self.planner_vars_bound
+            .fetch_add(stats.vars_bound, Ordering::Relaxed);
+        self.planner_estimate_refreshes
+            .fetch_add(stats.estimate_refreshes, Ordering::Relaxed);
+    }
+
+    /// A solve was stopped by its dataset budget.
+    pub fn search_truncated(&self) {
+        self.searches_truncated.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one extracted request trace. `dropped_total` is the
@@ -481,6 +546,12 @@ impl ServiceMetrics {
             requests_degraded: self.requests_degraded.load(Ordering::Relaxed),
             engine_task_retries: self.engine_task_retries.load(Ordering::Relaxed),
             engine_tasks_exhausted: self.engine_tasks_exhausted.load(Ordering::Relaxed),
+            planner_pair_tests: self.planner_pair_tests.load(Ordering::Relaxed),
+            planner_memo_hits: self.planner_memo_hits.load(Ordering::Relaxed),
+            planner_datasets_considered: self.planner_datasets_considered.load(Ordering::Relaxed),
+            planner_vars_bound: self.planner_vars_bound.load(Ordering::Relaxed),
+            planner_estimate_refreshes: self.planner_estimate_refreshes.load(Ordering::Relaxed),
+            searches_truncated: self.searches_truncated.load(Ordering::Relaxed),
             traces_recorded: self.traces_recorded.load(Ordering::Relaxed),
             trace_spans_recorded: self.trace_spans_recorded.load(Ordering::Relaxed),
             trace_spans_dropped: self.trace_spans_dropped.load(Ordering::Relaxed),

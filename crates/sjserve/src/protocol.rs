@@ -172,6 +172,10 @@ pub mod codes {
     pub const TIMEOUT: &str = "timeout";
     /// The engine proved no derivation sequence satisfies the query.
     pub const NO_SOLUTION: &str = "no_solution";
+    /// The derivation search hit its dataset budget before exhausting
+    /// the space. Unlike [`NO_SOLUTION`] this is retryable: the same
+    /// query may solve under a larger `max_datasets` budget.
+    pub const SEARCH_TRUNCATED: &str = "search_truncated";
     /// The request was malformed (bad JSON, missing payload, unknown
     /// keyword, ...).
     pub const BAD_REQUEST: &str = "bad_request";

@@ -673,11 +673,21 @@ fn execute_query(inner: &ServiceInner, job: &Job) -> Response {
                     ..inner.config.engine.clone()
                 },
             );
-            match engine.solve(&canonical) {
+            let solved = engine.solve(&canonical);
+            inner.metrics.planner_effort(&engine.stats());
+            match solved {
                 Ok(plan) => (inner.plan_cache.insert(key, plan), false),
                 Err(SjError::NoSolution(msg)) => {
                     solve_span.fail();
                     return Response::fail(id, ErrorBody::new(codes::NO_SOLUTION, msg));
+                }
+                Err(e @ SjError::SearchTruncated { .. }) => {
+                    solve_span.fail();
+                    inner.metrics.search_truncated();
+                    return Response::fail(
+                        id,
+                        ErrorBody::new(codes::SEARCH_TRUNCATED, e.to_string()),
+                    );
                 }
                 Err(e) => {
                     solve_span.fail();

@@ -84,7 +84,9 @@ fn max_datasets_cap_limits_the_widening() {
     let ctx = ExecCtx::local();
     let catalog = chain_catalog(&ctx, 4);
     let query = Query::new(["node"], vec![QueryValue::dim("temperature")]);
-    // The full chain needs 5 datasets; cap at 2 and it must fail.
+    // The full chain needs 5 datasets; cap at 2 and it must fail — and
+    // because datasets remained untried, the failure must be the
+    // structured truncation error, not a claim of unsatisfiability.
     let engine = QueryEngine::with_config(
         &catalog,
         EngineConfig {
@@ -94,7 +96,10 @@ fn max_datasets_cap_limits_the_widening() {
     );
     assert!(matches!(
         engine.solve(&query).unwrap_err(),
-        SjError::NoSolution(_)
+        SjError::SearchTruncated {
+            max_datasets: 2,
+            ..
+        }
     ));
     // With the default cap it solves.
     assert!(QueryEngine::new(&catalog).solve(&query).is_ok());

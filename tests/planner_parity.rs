@@ -1,0 +1,511 @@
+//! Planner parity: the constraint-guided planner must be
+//! plan-for-plan identical to the legacy widening search.
+//!
+//! The legacy planner is the reference semantics — every plan it finds
+//! is correct by the existing test corpus — so the constraint planner
+//! ships under one obligation: *byte-identical results and equal plan
+//! fingerprints on every query the legacy planner answers, and the
+//! same structured error on every query it cannot*. Fingerprints key
+//! the result caches in sjserve and the routing tables in sjroute, so
+//! "mostly the same plan" would silently split caches and misroute
+//! scatter-gather covers; this harness is what makes the planner swap
+//! a no-op for every layer above the engine.
+//!
+//! The fixtures double as the golden robustness corpus: synonym and
+//! homonym near-misses (datasets that *look* relevant but must not be
+//! planned in) and heavy row skew (plans are schema-only, so data
+//! distribution — with or without collected statistics — must never
+//! change a plan).
+
+use scrubjay::prelude::*;
+use sjcore::engine::PlannerKind;
+use sjcore::SjError;
+use sjdf::ExecCtx as Ctx;
+
+fn engine(catalog: &Catalog, planner: PlannerKind) -> QueryEngine<'_> {
+    QueryEngine::with_config(
+        catalog,
+        EngineConfig {
+            planner,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Solve with both planners and require identical outcomes: equal plan
+/// fingerprint, JSON tree, and executed rows on success, or the same
+/// error rendering on failure. Returns the shared plan when one exists.
+fn assert_parity(catalog: &Catalog, query: &Query) -> Option<Plan> {
+    let legacy = engine(catalog, PlannerKind::Legacy).solve(query);
+    let constraint = engine(catalog, PlannerKind::Constraint).solve(query);
+    match (legacy, constraint) {
+        (Ok(l), Ok(c)) => {
+            assert_eq!(
+                l.fingerprint(),
+                c.fingerprint(),
+                "plan fingerprints diverged for {}:\nlegacy: {}\nconstraint: {}",
+                query.describe(),
+                l.describe(),
+                c.describe()
+            );
+            assert_eq!(l.to_json(), c.to_json(), "plan trees diverged");
+            let lhs: Vec<String> = l
+                .execute(catalog, None)
+                .unwrap()
+                .collect()
+                .unwrap()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            let rhs: Vec<String> = c
+                .execute(catalog, None)
+                .unwrap()
+                .collect()
+                .unwrap()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            assert_eq!(lhs, rhs, "executed rows diverged for {}", query.describe());
+            Some(l)
+        }
+        (Err(le), Err(ce)) => {
+            assert_eq!(
+                le.to_string(),
+                ce.to_string(),
+                "error renderings diverged for {}",
+                query.describe()
+            );
+            None
+        }
+        (l, c) => panic!(
+            "planners disagree on solvability of {}:\nlegacy: {:?}\nconstraint: {:?}",
+            query.describe(),
+            l.map(|p| p.describe()),
+            c.map(|p| p.describe())
+        ),
+    }
+}
+
+fn node_temp_dataset(ctx: &Ctx, field: &str, units: &str, rows: usize, base: f64) -> SjDataset {
+    let schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(field, FieldSemantics::value("temperature", units)),
+    ])
+    .unwrap();
+    let rows: Vec<Row> = (0..rows)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("cab{}", k % 4)),
+                Value::Time(Timestamp::from_secs(60 * k as i64)),
+                Value::Float(base + k as f64),
+            ])
+        })
+        .collect();
+    SjDataset::from_rows(ctx, rows, schema, "temps", 1)
+}
+
+/// DAT-1-shaped corpus: job log (compound node list + timespan), rack
+/// layout, rack temperatures.
+fn dat1_catalog(ctx: &Ctx) -> Catalog {
+    let mut catalog = Catalog::default_hpc();
+    let joblog_schema = Schema::new(vec![
+        FieldDef::new("job", FieldSemantics::domain("job", "job-id")),
+        FieldDef::new("job_name", FieldSemantics::value("application", "app-name")),
+        FieldDef::new(
+            "nodelist",
+            FieldSemantics::domain("compute-node", "node-list"),
+        ),
+        FieldDef::new("elapsed", FieldSemantics::value("time", "t-seconds")),
+        FieldDef::new("timespan", FieldSemantics::domain("time", "timespan")),
+    ])
+    .unwrap();
+    let joblog_rows = vec![
+        Row::new(vec![
+            Value::str("1001"),
+            Value::str("AMG"),
+            Value::list([Value::str("cab0"), Value::str("cab1")]),
+            Value::Float(240.0),
+            Value::Span(TimeSpan::new(
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(240),
+            )),
+        ]),
+        Row::new(vec![
+            Value::str("1002"),
+            Value::str("LULESH"),
+            Value::list([Value::str("cab2")]),
+            Value::Float(240.0),
+            Value::Span(TimeSpan::new(
+                Timestamp::from_secs(120),
+                Timestamp::from_secs(360),
+            )),
+        ]),
+    ];
+    catalog
+        .register_dataset(
+            "job_queue_log",
+            SjDataset::from_rows(ctx, joblog_rows, joblog_schema, "job_queue_log", 1),
+        )
+        .unwrap();
+
+    let layout_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])
+    .unwrap();
+    let layout_rows: Vec<Row> = (0..4)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("cab{k}")),
+                Value::str(format!("rack{}", 17 + k / 2)),
+            ])
+        })
+        .collect();
+    catalog
+        .register_dataset(
+            "node_layout",
+            SjDataset::from_rows(ctx, layout_rows, layout_schema, "node_layout", 1),
+        )
+        .unwrap();
+
+    let temps_schema = Schema::new(vec![
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        FieldDef::new(
+            "location",
+            FieldSemantics::domain("rack-location", "location-name"),
+        ),
+        FieldDef::new("aisle", FieldSemantics::domain("aisle", "aisle-name")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap();
+    let mut temps_rows = Vec::new();
+    for t in [0i64, 120, 240, 360] {
+        for rack in ["rack17", "rack18"] {
+            for (aisle, base) in [("hot", 35.0), ("cold", 18.0)] {
+                temps_rows.push(Row::new(vec![
+                    Value::str(rack),
+                    Value::str("top"),
+                    Value::str(aisle),
+                    Value::Time(Timestamp::from_secs(t)),
+                    Value::Float(base + t as f64 / 100.0),
+                ]));
+            }
+        }
+    }
+    catalog
+        .register_dataset(
+            "rack_temps",
+            SjDataset::from_rows(ctx, temps_rows, temps_schema, "rack_temps", 1),
+        )
+        .unwrap();
+    catalog
+}
+
+/// The whole DAT-1-style query corpus agrees across planners: direct
+/// hits, multi-join covers, rule-derived values, and both flavors of
+/// unsatisfiable query (with byte-identical error messages).
+#[test]
+fn dat1_corpus_plans_and_rows_agree() {
+    let ctx = ExecCtx::local();
+    let catalog = dat1_catalog(&ctx);
+    let queries = [
+        Query::new(["rack"], vec![QueryValue::dim("temperature")]),
+        Query::new(["node"], vec![QueryValue::dim("temperature")]),
+        Query::new(
+            ["job", "rack"],
+            vec![QueryValue::dim("application"), QueryValue::dim("heat")],
+        ),
+        Query::new(["job", "time"], vec![QueryValue::dim("heat")]),
+        Query::new(
+            ["rack", "time"],
+            vec![QueryValue::with_units("temperature", "fahrenheit")],
+        ),
+        // Domain nobody records: both planners refuse pre-search, with
+        // the same message.
+        Query::new(["socket"], vec![QueryValue::dim("temperature")]),
+        // Value nobody records or derives.
+        Query::new(["rack"], vec![QueryValue::dim("humidity")]),
+    ];
+    let solved: Vec<usize> = queries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, query)| assert_parity(&catalog, query).map(|_| i))
+        .collect();
+    assert_eq!(
+        solved,
+        vec![0, 1, 2, 3, 4],
+        "corpus should split 5 solvable / 2 not"
+    );
+}
+
+/// Long dependency chains: every link must be planned in, in the same
+/// order, by both planners.
+/// Identifier chain node -> rack -> cpu -> socket with a power sensor
+/// on the far end; relating `node` to `power` needs every link.
+fn chain_catalog(ctx: &Ctx) -> Catalog {
+    let mut catalog = Catalog::default_hpc();
+    let dims = [
+        ("compute-node", "node-id"),
+        ("rack", "rack-id"),
+        ("cpu", "cpu-id"),
+        ("socket", "socket-id"),
+    ];
+    for i in 0..3 {
+        let (d1, u1) = dims[i];
+        let (d2, u2) = dims[i + 1];
+        let schema = Schema::new(vec![
+            FieldDef::new("a", FieldSemantics::domain(d1, u1)),
+            FieldDef::new("b", FieldSemantics::domain(d2, u2)),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..4)
+            .map(|k| {
+                Row::new(vec![
+                    Value::str(format!("{d1}-{k}")),
+                    Value::str(format!("{d2}-{k}")),
+                ])
+            })
+            .collect();
+        catalog
+            .register_dataset(
+                &format!("link{i}"),
+                SjDataset::from_rows(ctx, rows, schema, format!("link{i}"), 1),
+            )
+            .unwrap();
+    }
+    let sensor_schema = Schema::new(vec![
+        FieldDef::new("x", FieldSemantics::domain("socket", "socket-id")),
+        FieldDef::new("watts", FieldSemantics::value("power", "watts")),
+    ])
+    .unwrap();
+    let sensor_rows: Vec<Row> = (0..4)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("socket-{k}")),
+                Value::Float(100.0 + k as f64),
+            ])
+        })
+        .collect();
+    catalog
+        .register_dataset(
+            "power_meter",
+            SjDataset::from_rows(ctx, sensor_rows, sensor_schema, "power_meter", 1),
+        )
+        .unwrap();
+    catalog
+}
+
+/// Long dependency chains: every link must be planned in, in the same
+/// order, by both planners.
+#[test]
+fn chain_covers_agree_across_planners() {
+    let ctx = ExecCtx::local();
+    let catalog = chain_catalog(&ctx);
+    for domain in ["node", "rack", "cpu", "socket"] {
+        let query = Query::new(
+            match domain {
+                "node" => ["node"],
+                "rack" => ["rack"],
+                "cpu" => ["cpu"],
+                _ => ["socket"],
+            },
+            vec![QueryValue::dim("power")],
+        );
+        assert_parity(&catalog, &query);
+    }
+    // The far end needs the whole chain.
+    let plan = assert_parity(
+        &catalog,
+        &Query::new(["node"], vec![QueryValue::dim("power")]),
+    )
+    .unwrap();
+    assert_eq!(plan.loads().len(), 4);
+}
+
+/// Golden near-miss: `degrees-celsius` is a dictionary synonym for
+/// `celsius`, and a second dataset records temperature in `fahrenheit`.
+/// A units-constrained query through the synonym must plan in only the
+/// celsius dataset — on both planners — while the unconstrained query
+/// deterministically picks the same supplier on both.
+#[test]
+fn synonym_near_miss_picks_the_matching_units() {
+    let ctx = ExecCtx::local();
+    let mut catalog = Catalog::default_hpc();
+    catalog
+        .register_dataset(
+            "temps_celsius",
+            node_temp_dataset(&ctx, "temp_c", "celsius", 8, 20.0),
+        )
+        .unwrap();
+    catalog
+        .register_dataset(
+            "temps_fahrenheit",
+            node_temp_dataset(&ctx, "temp_f", "fahrenheit", 8, 68.0),
+        )
+        .unwrap();
+
+    // `node` and `degrees-celsius` are both aliases; canonicalization
+    // must land both planners on the same celsius supplier.
+    let via_synonym = Query::new(
+        ["node"],
+        vec![QueryValue::with_units("temperature", "degrees-celsius")],
+    );
+    let plan = assert_parity(&catalog, &via_synonym).unwrap();
+    assert_eq!(plan.loads(), vec!["temps_celsius"]);
+
+    // Without units the query is a genuine tie between two suppliers —
+    // exactly where a planner rewrite would silently flip the choice.
+    let unconstrained = Query::new(["node"], vec![QueryValue::dim("temperature")]);
+    let plan = assert_parity(&catalog, &unconstrained).unwrap();
+    assert_eq!(plan.loads().len(), 1);
+}
+
+/// Golden near-miss: two datasets share the column *name* `temp` but on
+/// different dimensions (`temperature` vs `thermal-margin`). Planning
+/// is semantic, not lexical — the homonym must never be planned in.
+#[test]
+fn homonym_near_miss_is_never_planned_in() {
+    let ctx = ExecCtx::local();
+    let mut catalog = Catalog::default_hpc();
+    catalog
+        .register_dataset(
+            "node_temps",
+            node_temp_dataset(&ctx, "temp", "celsius", 8, 20.0),
+        )
+        .unwrap();
+    let margin_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "temp",
+            FieldSemantics::value("thermal-margin", "margin-celsius"),
+        ),
+    ])
+    .unwrap();
+    let margin_rows: Vec<Row> = (0..8)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("cab{}", k % 4)),
+                Value::Time(Timestamp::from_secs(60 * k as i64)),
+                Value::Float(10.0 - k as f64 / 2.0),
+            ])
+        })
+        .collect();
+    catalog
+        .register_dataset(
+            "node_margins",
+            SjDataset::from_rows(&ctx, margin_rows, margin_schema, "node_margins", 1),
+        )
+        .unwrap();
+
+    let temp_plan = assert_parity(
+        &catalog,
+        &Query::new(["node"], vec![QueryValue::dim("temperature")]),
+    )
+    .unwrap();
+    assert_eq!(temp_plan.loads(), vec!["node_temps"]);
+    let margin_plan = assert_parity(
+        &catalog,
+        &Query::new(["node"], vec![QueryValue::dim("thermal-margin")]),
+    )
+    .unwrap();
+    assert_eq!(margin_plan.loads(), vec!["node_margins"]);
+}
+
+/// Golden skew: one rack holds 80% of the temperature rows. Plans are
+/// schema-only, so the skew must change neither planner's plan — and
+/// collecting statistics (which the constraint planner's estimates
+/// consume) must sharpen costs without ever changing the plan.
+#[test]
+fn row_skew_and_statistics_never_change_the_plan() {
+    let ctx = ExecCtx::local();
+    let mut catalog = dat1_catalog(&ctx);
+    let temps_schema = Schema::new(vec![
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap();
+    // 80 of 100 rows on rack17, the rest spread thin.
+    let mut rows = Vec::new();
+    for k in 0..100i64 {
+        let rack = if k < 80 {
+            "rack17".to_string()
+        } else {
+            format!("rack{}", 18 + k % 4)
+        };
+        rows.push(Row::new(vec![
+            Value::str(rack),
+            Value::Time(Timestamp::from_secs(30 * k)),
+            Value::Float(20.0 + (k % 7) as f64),
+        ]));
+    }
+    // Replace the balanced fixture with the skewed one under a fresh
+    // name so the catalog keeps exactly one temperature supplier per
+    // units.
+    let mut skewed = Catalog::default_hpc();
+    for (name, ds) in catalog.datasets() {
+        if name != "rack_temps" {
+            skewed.register_dataset(name, ds.clone()).unwrap();
+        }
+    }
+    skewed
+        .register_dataset(
+            "rack_temps",
+            SjDataset::from_rows(&ctx, rows, temps_schema, "rack_temps", 1),
+        )
+        .unwrap();
+    catalog = skewed;
+
+    let query = Query::new(["job", "rack"], vec![QueryValue::dim("temperature")]);
+    let before = assert_parity(&catalog, &query).unwrap();
+
+    // Statistics sharpen the constraint planner's estimates; they must
+    // never alter the chosen plan.
+    let analyzed = catalog.analyze().unwrap();
+    assert!(analyzed >= 3, "all datasets should gain statistics");
+    let stats = catalog.stats("rack_temps").unwrap();
+    assert_eq!(stats.rows, 100);
+    assert_eq!(stats.domain_cardinality.get("rack"), Some(&5));
+    let after = assert_parity(&catalog, &query).unwrap();
+    assert_eq!(before.fingerprint(), after.fingerprint());
+    assert_eq!(before.to_json(), after.to_json());
+}
+
+/// Budget truncation renders identically through both planners. The
+/// chain needs four datasets; a budget of two stops the widening with
+/// links still untried, so both planners must answer with the
+/// structured truncation error (not a claim of unsatisfiability).
+#[test]
+fn truncation_errors_agree_across_planners() {
+    let ctx = ExecCtx::local();
+    let catalog = chain_catalog(&ctx);
+    let query = Query::new(["node"], vec![QueryValue::dim("power")]);
+    let config = EngineConfig {
+        max_datasets: 2,
+        ..EngineConfig::default()
+    };
+    let run = |planner| {
+        QueryEngine::with_config(
+            &catalog,
+            EngineConfig {
+                planner,
+                ..config.clone()
+            },
+        )
+        .solve(&query)
+        .unwrap_err()
+    };
+    let legacy = run(PlannerKind::Legacy);
+    let constraint = run(PlannerKind::Constraint);
+    assert!(matches!(
+        legacy,
+        SjError::SearchTruncated {
+            max_datasets: 2,
+            ..
+        }
+    ));
+    assert_eq!(legacy.to_string(), constraint.to_string());
+}
