@@ -1,0 +1,160 @@
+//! Streaming maintenance benchmark: incremental window evaluation
+//! against full-prefix recomputation on the standing derive-rate +
+//! interpolation-join query.
+//!
+//! Both sides replay the same seeded disarray schedule through a
+//! [`StreamEngine`] subscription. The **incremental** number is the
+//! whole replay wall time — ingest, watermark accounting, cache
+//! invalidation, and every window emitted from its horizon slice. The
+//! **full-recompute** number is what a system without incremental
+//! maintenance would pay for the *same* emission schedule: every
+//! emitted window answered by a cold batch solve over the entire
+//! accepted prefix at that point in the stream
+//! ([`StreamEngine::cold_window`]). The cold side grows with the
+//! prefix; the incremental side touches only the horizon around each
+//! window, so the gap widens as the stream runs.
+//!
+//! The run asserts the incremental path wins by at least 5x, and a
+//! correctness probe first checks one replay's emissions byte-match
+//! their cold solves (the tentpole equivalence guarantee — a speedup
+//! measured against a divergent baseline would be meaningless).
+//!
+//! Results land in `BENCH_stream.json` (committed; CI re-runs the bench
+//! and fails on a >10% regression of the headline speedup). Custom
+//! harness (`harness = false`); does nothing unless `--bench` is on the
+//! command line.
+
+use sjcore::engine::{EngineConfig, Query, QueryValue};
+use sjdata::{disarray_schedule, stream_catalog, Disarray};
+use sjdf::ExecCtx;
+use sjstream::{AppendBatch, StreamConfig, StreamEngine};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const STEPS: usize = 400;
+const EVALS: usize = 3;
+
+fn standing_query() -> Query {
+    Query::new(
+        ["compute-node", "time"],
+        vec![
+            QueryValue::with_units("instructions", "instructions-per-ms"),
+            QueryValue::dim("temperature"),
+        ],
+    )
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_secs: 60.0,
+        allowed_lateness_secs: 120.0,
+        horizon_secs: 150.0,
+        eval_parts: 1,
+    }
+}
+
+fn fresh_engine(ctx: &ExecCtx) -> StreamEngine {
+    let catalog = stream_catalog(ctx).expect("stream catalog");
+    let mut engine = StreamEngine::new(ctx, catalog, stream_config(), EngineConfig::default());
+    engine
+        .subscribe("q-bench", "bench", &standing_query())
+        .expect("subscribe");
+    engine
+}
+
+/// Incremental side: wall time for the whole replay. Returns
+/// (seconds, emissions).
+fn incremental_secs(ctx: &ExecCtx, schedule: &[AppendBatch]) -> (f64, usize) {
+    let mut engine = fresh_engine(ctx);
+    let start = Instant::now();
+    let mut emissions = 0usize;
+    for batch in schedule {
+        let out = engine.append(batch).expect("append");
+        assert!(out.failures.is_empty(), "subscription torn down mid-bench");
+        emissions += out.emissions.len();
+    }
+    (start.elapsed().as_secs_f64(), emissions)
+}
+
+/// Full-recompute side: replay the same schedule, but answer every
+/// emission with a cold batch solve over the entire accepted prefix.
+/// Only the cold solves are timed — ingest is free for the baseline.
+fn full_recompute_secs(ctx: &ExecCtx, schedule: &[AppendBatch]) -> f64 {
+    let mut engine = fresh_engine(ctx);
+    let mut cold = 0.0f64;
+    for batch in schedule {
+        let out = engine.append(batch).expect("append");
+        for e in &out.emissions {
+            let start = Instant::now();
+            engine
+                .cold_window("q-bench", e.window_id)
+                .expect("cold solve");
+            cold += start.elapsed().as_secs_f64();
+        }
+    }
+    cold
+}
+
+fn best(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let ctx = ExecCtx::local();
+    let schedule = disarray_schedule(Disarray::LateDuplicates, SEED, STEPS);
+
+    // Correctness probe before timing: the incremental emissions must
+    // byte-match their cold solves on this exact schedule.
+    let mut engine = fresh_engine(&ctx);
+    let mut probed = 0usize;
+    for batch in &schedule {
+        let out = engine.append(batch).expect("append");
+        for e in &out.emissions {
+            let (cols, rows) = engine.cold_window("q-bench", e.window_id).expect("cold");
+            assert_eq!(e.columns, cols, "probe: window {} diverged", e.window_id);
+            assert_eq!(e.rows, rows, "probe: window {} diverged", e.window_id);
+            probed += 1;
+        }
+    }
+    assert!(probed > 0, "probe replay emitted nothing");
+    drop(engine);
+
+    let (incremental, emissions) = {
+        let runs: Vec<(f64, usize)> = (0..EVALS)
+            .map(|_| incremental_secs(&ctx, &schedule))
+            .collect();
+        let emissions = runs[0].1;
+        (best(runs.into_iter().map(|(s, _)| s).collect()), emissions)
+    };
+    let full = best(
+        (0..EVALS)
+            .map(|_| full_recompute_secs(&ctx, &schedule))
+            .collect(),
+    );
+    let speedup = full / incremental.max(1e-9);
+    println!(
+        "stream_ingest: {} batches, {emissions} emissions: incremental {incremental:.4}s, \
+         full recompute {full:.4}s ({speedup:.2}x)",
+        schedule.len()
+    );
+    assert!(
+        speedup >= 5.0,
+        "incremental maintenance must beat full recomputation by >=5x, got {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"stream_ingest\",\n  \"schedule\": \"late_duplicates\",\n  \
+         \"seed\": {SEED},\n  \"steps\": {STEPS},\n  \"batches\": {},\n  \
+         \"emissions\": {emissions},\n  \"evals\": {EVALS},\n  \
+         \"incremental_best_secs\": {incremental:.4},\n  \
+         \"full_recompute_best_secs\": {full:.4},\n  \
+         \"speedup\": {speedup:.2},\n  \"equivalence_probe\": \"pass\"\n}}\n",
+        schedule.len()
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(out, &json).expect("write BENCH_stream.json");
+    println!("stream_ingest: {speedup:.2}x -> BENCH_stream.json");
+}

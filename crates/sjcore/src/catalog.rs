@@ -112,6 +112,20 @@ impl Catalog {
         Ok(())
     }
 
+    /// Replace the contents of an already-registered dataset, validating
+    /// the new version's semantics. Used by streaming ingestion to swap an
+    /// epoch-versioned snapshot in for the previous one; any stats for the
+    /// name are dropped since they described the old contents.
+    pub fn replace_dataset(&mut self, name: &str, ds: SjDataset) -> Result<()> {
+        ds.validate(&self.dict)?;
+        if !self.datasets.contains_key(name) {
+            return Err(SjError::UnknownKeyword(format!("dataset `{name}`")));
+        }
+        self.datasets.insert(name.to_string(), ds);
+        self.stats.remove(name);
+        Ok(())
+    }
+
     /// Look up a registered dataset.
     pub fn dataset(&self, name: &str) -> Result<&SjDataset> {
         self.datasets

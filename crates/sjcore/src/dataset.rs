@@ -44,6 +44,10 @@ pub struct SjDataset {
     repr: Repr,
     schema: Schema,
     name: String,
+    /// Monotonic ingest version. Batch datasets stay at 0; streaming
+    /// ingestion bumps the epoch on every accepted append so cached
+    /// evaluations can be keyed on (epoch, window id).
+    epoch: u64,
 }
 
 impl SjDataset {
@@ -63,6 +67,7 @@ impl SjDataset {
             repr,
             schema,
             name: name.into(),
+            epoch: 0,
         }
     }
 
@@ -79,6 +84,7 @@ impl SjDataset {
             },
             schema,
             name: name.into(),
+            epoch: 0,
         }
     }
 
@@ -98,6 +104,7 @@ impl SjDataset {
                 repr: Repr::Rows(Rdd::parallelize(ctx, rows, parts)),
                 schema,
                 name: name.into(),
+                epoch: 0,
             };
         }
         let parts = parts.max(1);
@@ -192,7 +199,19 @@ impl SjDataset {
             },
             schema,
             name: name.into(),
+            epoch: 0,
         }
+    }
+
+    /// The dataset's ingest epoch (0 for frozen batch datasets).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Tag this dataset with an ingest epoch (streaming re-registration).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Replace the provenance name.

@@ -165,6 +165,31 @@ impl<'a, 'c> PlanCtx<'a, 'c> {
             .unwrap_or(1)
     }
 
+    /// Estimated cost of binding `var` with dataset `i`. Defaults to the
+    /// row-count [`cost`](PlanCtx::cost); when the engine's
+    /// `use_domain_cardinality` flag is on and [`Catalog::analyze`]
+    /// measured a distinct count for the variable's domain dimension,
+    /// that cardinality is used instead — a dataset with a handful of
+    /// distinct nodes is a cheaper binding anchor than its raw row count
+    /// suggests. Estimates only order variable binding; they never change
+    /// which plan is constructed (see `tests/planner_cardinality.rs`).
+    pub fn binding_cost(&self, i: usize, var: usize) -> u64 {
+        if self.engine.config().use_domain_cardinality {
+            if let Variable::Domain(d) = &self.vars[var] {
+                if let Some(card) = self
+                    .engine
+                    .catalog()
+                    .stats(&self.index.names[i])
+                    .and_then(|s| s.domain_cardinality.get(d))
+                {
+                    self.engine.bump_stats(|s| s.cardinality_estimates += 1);
+                    return (*card).max(1);
+                }
+            }
+        }
+        self.cost(i)
+    }
+
     /// The dataset's schema after rule saturation (lazily computed).
     pub fn saturated_schema(&self, i: usize) -> Schema {
         self.sat(i).schema
@@ -233,7 +258,7 @@ impl Constraint for DatasetConstraint {
 
     fn estimate(&self, var: usize, ctx: &PlanCtx) -> u64 {
         if self.covers.contains(&var) {
-            ctx.cost(self.dataset)
+            ctx.binding_cost(self.dataset, var)
         } else {
             0
         }

@@ -78,6 +78,14 @@ pub struct EngineConfig {
     /// results on any catalog where they select the same dataset sets
     /// (see the parity harness in `tests/planner_parity.rs`).
     pub planner: PlannerKind,
+    /// Let the constraint planner's `DatasetConstraint::estimate` use the
+    /// per-domain distinct counts measured by [`Catalog::analyze`]
+    /// (`DatasetStats::domain_cardinality`) instead of raw row counts
+    /// when estimating the cost of binding a *domain* variable.
+    /// Statistics sharpen estimates only — binding order — and never
+    /// change which plan is constructed, so flipping this flag leaves
+    /// plans unchanged (see `tests/planner_cardinality.rs`).
+    pub use_domain_cardinality: bool,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +97,7 @@ impl Default for EngineConfig {
             allow_unanchored: true,
             max_datasets: 32,
             planner: PlannerKind::default(),
+            use_domain_cardinality: false,
         }
     }
 }
@@ -116,6 +125,10 @@ pub struct EngineStats {
     /// Per-variable cardinality estimates recomputed after `influence`
     /// invalidation (0 under the legacy planner).
     pub estimate_refreshes: u64,
+    /// Estimates answered from measured domain cardinalities rather than
+    /// row counts (0 unless `use_domain_cardinality` is on and stats are
+    /// present).
+    pub cardinality_estimates: u64,
 }
 
 /// One candidate in the search: a plan and the schema it would produce.

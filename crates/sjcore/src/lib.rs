@@ -72,6 +72,7 @@ pub mod schema;
 pub mod semantics;
 pub mod units;
 pub mod value;
+pub mod window;
 pub mod wrappers;
 
 pub use column::{Column, ColumnData, ColumnarPartition, Validity};

@@ -1,0 +1,116 @@
+//! Tumbling event-time windows for streaming evaluation.
+//!
+//! Streaming ingestion partitions the time axis into fixed-width,
+//! non-overlapping windows `[k·w, (k+1)·w)` and keys every cached
+//! evaluation on `(dataset epoch, window id)`. The partitioner here is
+//! pure arithmetic — it knows nothing about datasets — so the same window
+//! ids are derived identically by the stream engine, the service, and the
+//! equivalence tests.
+//!
+//! Evaluating a window incrementally needs more input than the window
+//! itself: the rate derivation looks one sample back per node and the
+//! interpolation join reads neighbors up to the interpolation window
+//! away. The *horizon* widens the input slice symmetrically to
+//! `[start − h, end + h)` so every such lookback is covered as long as
+//! sources sample at a bounded cadence (the residual gap — an arbitrarily
+//! silent source — is documented in DESIGN.md §11).
+
+use crate::units::time::Timestamp;
+
+/// A tumbling-window partitioning of event time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TumblingWindows {
+    width_us: i64,
+    horizon_us: i64,
+}
+
+impl TumblingWindows {
+    /// A partitioner with the given window width and slice horizon (both
+    /// in seconds; width is clamped to at least 1µs).
+    pub fn new(width_secs: f64, horizon_secs: f64) -> Self {
+        TumblingWindows {
+            width_us: ((width_secs * 1e6) as i64).max(1),
+            horizon_us: ((horizon_secs * 1e6) as i64).max(0),
+        }
+    }
+
+    /// Window width in microseconds.
+    pub fn width_us(&self) -> i64 {
+        self.width_us
+    }
+
+    /// Slice horizon in microseconds.
+    pub fn horizon_us(&self) -> i64 {
+        self.horizon_us
+    }
+
+    /// The id of the window containing `t` (floor division, so negative
+    /// times land in negative ids rather than sharing window 0).
+    pub fn window_of(&self, t_us: i64) -> i64 {
+        t_us.div_euclid(self.width_us)
+    }
+
+    /// Window bounds `[start, end)` in microseconds.
+    pub fn bounds_us(&self, id: i64) -> (i64, i64) {
+        (id * self.width_us, (id + 1) * self.width_us)
+    }
+
+    /// Window bounds as timestamps.
+    pub fn bounds(&self, id: i64) -> (Timestamp, Timestamp) {
+        let (a, b) = self.bounds_us(id);
+        (Timestamp::from_micros(a), Timestamp::from_micros(b))
+    }
+
+    /// The horizon-widened input slice `[start − h, end + h)` for a
+    /// window, in microseconds.
+    pub fn slice_us(&self, id: i64) -> (i64, i64) {
+        let (a, b) = self.bounds_us(id);
+        (a - self.horizon_us, b + self.horizon_us)
+    }
+
+    /// Ids of every window whose *input slice* intersects the event-time
+    /// range `[lo, hi]` — i.e. the windows an append to that range
+    /// invalidates.
+    pub fn touched_by(&self, lo_us: i64, hi_us: i64) -> std::ops::RangeInclusive<i64> {
+        let first = self.window_of(lo_us - self.horizon_us);
+        let last = self.window_of(hi_us + self.horizon_us);
+        first..=last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_ids_tile_the_time_axis() {
+        let w = TumblingWindows::new(60.0, 0.0);
+        assert_eq!(w.window_of(0), 0);
+        assert_eq!(w.window_of(59_999_999), 0);
+        assert_eq!(w.window_of(60_000_000), 1);
+        assert_eq!(w.window_of(-1), -1);
+        let (a, b) = w.bounds_us(2);
+        assert_eq!((a, b), (120_000_000, 180_000_000));
+    }
+
+    #[test]
+    fn slice_widens_by_horizon_on_both_sides() {
+        let w = TumblingWindows::new(60.0, 120.0);
+        let (a, b) = w.slice_us(1);
+        assert_eq!(a, 60_000_000 - 120_000_000);
+        assert_eq!(b, 120_000_000 + 120_000_000);
+    }
+
+    #[test]
+    fn touched_windows_cover_the_horizon() {
+        let w = TumblingWindows::new(60.0, 60.0);
+        // A point append at t=150s touches windows whose slices reach it:
+        // slices span [60(k-1), 60(k+2)), so windows 1..=3.
+        let ids: Vec<i64> = w.touched_by(150_000_000, 150_000_000).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Zero horizon: only the containing window.
+        let w0 = TumblingWindows::new(60.0, 0.0);
+        let ids: Vec<i64> = w0.touched_by(150_000_000, 150_000_000).collect();
+        assert_eq!(ids, vec![2]);
+    }
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod append;
 pub mod dat;
 pub mod facility;
 pub mod jobs;
@@ -48,6 +49,7 @@ pub mod sources;
 pub mod synth;
 pub mod workloads;
 
+pub use append::{disarray_schedule, stream_catalog, Disarray};
 pub use dat::{dat1, dat2, Dat1Config, Dat2Config};
 pub use facility::Facility;
 pub use jobs::Job;

@@ -53,7 +53,7 @@ fn left_schema() -> Schema {
     .expect("left schema")
 }
 
-fn right_schema() -> Schema {
+pub(crate) fn right_schema() -> Schema {
     Schema::new(vec![
         FieldDef::new("NODEID", FieldSemantics::domain("compute-node", "node-id")),
         FieldDef::new("t", FieldSemantics::domain("time", "datetime")),
@@ -65,7 +65,7 @@ fn right_schema() -> Schema {
 /// The node-name dictionary shared by the columnar generators: codes are
 /// node indices, so `dict[code]` reproduces exactly the strings the
 /// rowwise generator formats per row.
-fn node_dict(nodes: usize) -> Vec<Arc<str>> {
+pub(crate) fn node_dict(nodes: usize) -> Vec<Arc<str>> {
     (0..nodes).map(|i| Arc::from(format!("cab{i}"))).collect()
 }
 
@@ -161,7 +161,7 @@ pub fn interp_join_inputs(ctx: &ExecCtx, w: &JoinWorkload) -> (SjDataset, SjData
     )
 }
 
-fn counters_schema() -> Schema {
+pub(crate) fn counters_schema() -> Schema {
     Schema::new(vec![
         FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
         FieldDef::new("time", FieldSemantics::domain("time", "datetime")),

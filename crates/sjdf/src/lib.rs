@@ -54,4 +54,4 @@ pub use metrics::{FailureReport, MetricsCollector, MetricsReport, OpKind};
 pub use pool::WorkerPool;
 pub use rdd::{Data, Rdd};
 pub use simtime::{estimate, CostParams, SimTime};
-pub use stagecache::{StageCache, StageCacheStats};
+pub use stagecache::{mint_owner_id, EvictableSlot, StageCache, StageCacheStats};

@@ -51,6 +51,13 @@ pub(crate) fn next_owner_id() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Mint a fresh owner id for an external slot table (e.g. a streaming
+/// emission cache) that wants its entries accounted and evicted by the
+/// shared stage cache alongside persisted partitions.
+pub fn mint_owner_id() -> u64 {
+    next_owner_id()
+}
+
 /// A typed slot table that can drop one of its materialized entries.
 ///
 /// Implementations must only take their own slot lock — never a
@@ -66,6 +73,11 @@ struct Entry {
     bytes: usize,
     last_used: u64,
     owner: Weak<dyn EvictableSlot>,
+    /// Optional invalidation group: [`StageCache::invalidate_tag`] drops
+    /// every entry sharing a tag, regardless of owner. Used by streaming
+    /// to key cached window evaluations on (subscription, window id) and
+    /// invalidate exactly the cells whose input windows received appends.
+    tag: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -85,6 +97,9 @@ pub struct StageCacheStats {
     pub misses: u64,
     /// Entries dropped to respect the byte budget (or by `unpersist`).
     pub evictions: u64,
+    /// Entries dropped because their tag was invalidated (streaming
+    /// appends touching a cached window).
+    pub invalidations: u64,
     /// Bytes currently accounted.
     pub bytes: u64,
     /// Entries currently accounted.
@@ -102,6 +117,7 @@ pub struct StageCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for StageCache {
@@ -112,6 +128,7 @@ impl Default for StageCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -162,6 +179,21 @@ impl StageCache {
         bytes: usize,
         owner: &Arc<dyn EvictableSlot>,
     ) -> usize {
+        self.insert_tagged(owner_id, part, bytes, owner, None)
+    }
+
+    /// Like [`insert`](StageCache::insert), but additionally files the
+    /// entry under an invalidation `tag` so a later
+    /// [`invalidate_tag`](StageCache::invalidate_tag) can drop it without
+    /// knowing the owner.
+    pub fn insert_tagged(
+        &self,
+        owner_id: u64,
+        part: usize,
+        bytes: usize,
+        owner: &Arc<dyn EvictableSlot>,
+        tag: Option<u64>,
+    ) -> usize {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let victims = {
             let mut reg = self.registry.lock();
@@ -173,6 +205,7 @@ impl StageCache {
                     bytes,
                     last_used: tick,
                     owner: Arc::downgrade(owner),
+                    tag,
                 },
             );
             reg.bytes += bytes;
@@ -182,6 +215,38 @@ impl StageCache {
             self.collect_victims(&mut reg, Some((owner_id, part)))
         };
         self.run_evictions(victims)
+    }
+
+    /// Drop every entry filed under `tag`, clearing the owning slots.
+    /// Returns how many entries were invalidated. This is the streaming
+    /// invalidation rule's hook: an append that touches a window
+    /// invalidates exactly the cached cells keyed by that window's tag.
+    pub fn invalidate_tag(&self, tag: u64) -> usize {
+        let victims = {
+            let mut reg = self.registry.lock();
+            let keys: Vec<(u64, usize)> = reg
+                .entries
+                .iter()
+                .filter(|(_, e)| e.tag == Some(tag))
+                .map(|(k, _)| *k)
+                .collect();
+            let mut victims = Vec::with_capacity(keys.len());
+            for key in keys {
+                if let Some(entry) = reg.entries.remove(&key) {
+                    reg.bytes = reg.bytes.saturating_sub(entry.bytes);
+                    victims.push((key.1, entry.owner));
+                }
+            }
+            victims
+        };
+        let n = victims.len();
+        for (part, owner) in victims {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            if let Some(owner) = owner.upgrade() {
+                owner.evict(part);
+            }
+        }
+        n
     }
 
     /// Drop every entry belonging to `owner_id` (used by `unpersist` and
@@ -222,6 +287,7 @@ impl StageCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             bytes: reg.bytes as u64,
             entries: reg.entries.len() as u64,
             budget: self.budget(),
@@ -365,6 +431,25 @@ mod tests {
         cache.set_budget(150);
         assert_eq!(counting.evicted.load(Ordering::SeqCst), 3);
         assert!(cache.stats().bytes <= 150);
+    }
+
+    #[test]
+    fn invalidate_tag_drops_only_tagged_entries() {
+        let cache = StageCache::new();
+        let (counting, erased) = slot();
+        let id = next_owner_id();
+        cache.insert_tagged(id, 0, 10, &erased, Some(7));
+        cache.insert_tagged(id, 1, 10, &erased, Some(8));
+        cache.insert(id, 2, 10, &erased);
+        assert_eq!(cache.invalidate_tag(7), 1);
+        assert_eq!(counting.evicted.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 20);
+        assert_eq!(s.invalidations, 1);
+        // Untagged entries and other tags are untouched; a second
+        // invalidation of the same tag is a no-op.
+        assert_eq!(cache.invalidate_tag(7), 0);
     }
 
     #[test]

@@ -221,6 +221,24 @@ impl Router {
                     r
                 }
                 Verb::Shutdown => Response::ok(&request.id),
+                // Streaming is worker-local for now: a standing query's
+                // frames would have to be merged across shards and
+                // replayed through failovers, which the router does not
+                // attempt. Clients subscribe directly to a worker.
+                Verb::Append => Response::fail(
+                    &request.id,
+                    ErrorBody::new(
+                        codes::STREAM_UNSUPPORTED,
+                        "routers do not proxy streaming appends; send them to a worker",
+                    ),
+                ),
+                Verb::Query if request.subscribe == Some(true) => Response::fail(
+                    &request.id,
+                    ErrorBody::new(
+                        codes::STREAM_UNSUPPORTED,
+                        "routers do not proxy standing queries; subscribe to a worker directly",
+                    ),
+                ),
                 Verb::Query | Verb::Explain => self.enqueue_and_wait(request, started),
             },
         };

@@ -136,6 +136,43 @@ impl Client {
         Self::expect_ok(response)
     }
 
+    /// Register a standing query (`query` with `subscribe: true`) and
+    /// return its [`crate::protocol::SubscriptionAck`] response. After
+    /// this succeeds the server pushes unsolicited window frames on
+    /// this connection — read them with [`Client::next_frame`]; other
+    /// request methods on this connection would misattribute frames to
+    /// their own responses. Use a separate connection for appends.
+    pub fn subscribe(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::subscribe(&id, &self.tenant, spec).with_proto();
+        let response = self.call(&request)?;
+        Self::expect_ok(response)
+    }
+
+    /// `append`: push one batch into a streamed dataset and return the
+    /// [`crate::protocol::AppendAck`] response. Do not mix with
+    /// [`Client::subscribe`] on one connection (pushed frames would
+    /// interleave with the ack).
+    pub fn append(&mut self, batch: sjstream::AppendBatch) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::append(&id, &self.tenant, batch).with_proto();
+        let response = self.call(&request)?;
+        Self::expect_ok(response)
+    }
+
+    /// Block for the next pushed frame on a subscribed connection: a
+    /// window emission (`response.window`), or an error frame tearing
+    /// down one subscription.
+    pub fn next_frame(&mut self) -> Result<Response, ClientError> {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("decode: {e}")))
+    }
+
     /// `explain`: solve without executing.
     pub fn explain(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
         let id = self.fresh_id();

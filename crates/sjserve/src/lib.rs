@@ -36,11 +36,15 @@ pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError};
-pub use metrics::{RouterStatsReport, ServiceMetrics, StatsReport, WorkerSummary};
+pub use metrics::{
+    RouterStatsReport, ServiceMetrics, StatsReport, StreamStatsReport, WorkerSummary,
+};
 pub use protocol::{
-    CatalogInfo, DatasetDesc, ErrorBody, HealthReport, QuerySpec, Request, Response, ValueSpec,
-    Verb, PROTO_VERSION,
+    AppendAck, CatalogInfo, DatasetDesc, ErrorBody, HealthReport, QuerySpec, Request, Response,
+    SubscriptionAck, ValueSpec, Verb, PROTO_VERSION,
 };
 pub use scheduler::SchedulerConfig;
-pub use server::{serve, serve_until_shutdown, wait_ready, RequestHandler, ServerHandle};
+pub use server::{
+    serve, serve_until_shutdown, wait_ready, EmissionSink, RequestHandler, ServerHandle,
+};
 pub use service::{QueryService, ServiceConfig};

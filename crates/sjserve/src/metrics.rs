@@ -162,7 +162,67 @@ pub struct StatsReport {
     /// non-zero value means traces may be missing spans).
     #[serde(default)]
     pub trace_spans_dropped: u64,
+    /// Streaming-ingestion section; `None` from workers without a
+    /// stream engine (older builds) and on reports from routers.
+    #[serde(default)]
+    pub streaming: Option<StreamStatsReport>,
     pub per_tenant: Vec<TenantStats>,
+}
+
+/// Streaming-ingestion metrics: append admission, standing-query
+/// lifecycle, and incremental window maintenance. Engine-side counters
+/// mirror [`sjstream::StreamCounters`]; the subscription lifecycle ones
+/// are service-side.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatsReport {
+    pub appends: u64,
+    pub rows_accepted: u64,
+    pub rows_late_dropped: u64,
+    pub rows_duplicate_dropped: u64,
+    /// Standing queries currently registered.
+    pub subscriptions_active: u64,
+    pub subscriptions_opened: u64,
+    /// Subscriptions torn down by a failed solve (e.g. a truncated
+    /// search) — the teardown is per-subscription, never the connection.
+    pub subscriptions_failed: u64,
+    /// Subscriptions closed by the client (connection end or rejected
+    /// frame push).
+    pub subscriptions_closed: u64,
+    pub window_emissions: u64,
+    /// Emissions that replaced an already-delivered window after late
+    /// data re-opened it.
+    pub window_re_emissions: u64,
+    /// Window evaluations actually run (cache misses + invalidations);
+    /// everything else was answered by the emission cache.
+    pub incremental_recomputes: u64,
+    /// Windows emitted `degraded` after a faulted evaluation.
+    pub degraded_windows: u64,
+    /// Stage-cache entries dropped by window tag invalidation.
+    pub cache_invalidations: u64,
+}
+
+impl StreamStatsReport {
+    pub fn render(&self) -> String {
+        format!(
+            "streaming: {} appends ({} rows accepted, {} late dropped, {} duplicates dropped)\n\
+             subscriptions: {} active, {} opened, {} failed, {} closed\n\
+             windows: {} emitted ({} re-emissions, {} degraded), \
+             {} incremental recomputes, {} cache invalidations\n",
+            self.appends,
+            self.rows_accepted,
+            self.rows_late_dropped,
+            self.rows_duplicate_dropped,
+            self.subscriptions_active,
+            self.subscriptions_opened,
+            self.subscriptions_failed,
+            self.subscriptions_closed,
+            self.window_emissions,
+            self.window_re_emissions,
+            self.degraded_windows,
+            self.incremental_recomputes,
+            self.cache_invalidations,
+        )
+    }
 }
 
 impl StatsReport {
@@ -227,6 +287,9 @@ impl StatsReport {
             "traces: {} recorded ({} spans), {} spans dropped\n",
             self.traces_recorded, self.trace_spans_recorded, self.trace_spans_dropped
         ));
+        if let Some(streaming) = &self.streaming {
+            out.push_str(&streaming.render());
+        }
         for t in &self.per_tenant {
             out.push_str(&format!(
                 "tenant `{}`: {} admitted, {} rejected, {} completed\n",
@@ -355,6 +418,9 @@ pub struct ServiceMetrics {
     traces_recorded: AtomicU64,
     trace_spans_recorded: AtomicU64,
     trace_spans_dropped: AtomicU64,
+    subscriptions_opened: AtomicU64,
+    subscriptions_failed: AtomicU64,
+    subscriptions_closed: AtomicU64,
     latency: Mutex<Histogram>,
     tenants: Mutex<BTreeMap<String, TenantStats>>,
 }
@@ -383,6 +449,9 @@ impl Default for ServiceMetrics {
             traces_recorded: AtomicU64::new(0),
             trace_spans_recorded: AtomicU64::new(0),
             trace_spans_dropped: AtomicU64::new(0),
+            subscriptions_opened: AtomicU64::new(0),
+            subscriptions_failed: AtomicU64::new(0),
+            subscriptions_closed: AtomicU64::new(0),
             latency: Mutex::new(Histogram::default()),
             tenants: Mutex::new(BTreeMap::new()),
         }
@@ -467,6 +536,47 @@ impl ServiceMetrics {
             .fetch_add(spans, Ordering::Relaxed);
         self.trace_spans_dropped
             .store(dropped_total, Ordering::Relaxed);
+    }
+
+    /// A standing query was registered.
+    pub fn subscription_opened(&self) {
+        self.subscriptions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A standing query was torn down by its own failed solve (the
+    /// connection and the tenant's other subscriptions survive).
+    pub fn subscription_failed(&self) {
+        self.subscriptions_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A standing query was closed by the client side.
+    pub fn subscription_closed(&self) {
+        self.subscriptions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Compose the streaming section of a [`StatsReport`] from the
+    /// engine's counters plus the service-side lifecycle counters.
+    pub fn stream_report(
+        &self,
+        counters: &sjstream::StreamCounters,
+        active: u64,
+        cache_invalidations: u64,
+    ) -> StreamStatsReport {
+        StreamStatsReport {
+            appends: counters.appends,
+            rows_accepted: counters.rows_accepted,
+            rows_late_dropped: counters.rows_late_dropped,
+            rows_duplicate_dropped: counters.rows_duplicate_dropped,
+            subscriptions_active: active,
+            subscriptions_opened: self.subscriptions_opened.load(Ordering::Relaxed),
+            subscriptions_failed: self.subscriptions_failed.load(Ordering::Relaxed),
+            subscriptions_closed: self.subscriptions_closed.load(Ordering::Relaxed),
+            window_emissions: counters.window_emissions,
+            window_re_emissions: counters.window_re_emissions,
+            incremental_recomputes: counters.incremental_recomputes,
+            degraded_windows: counters.degraded_windows,
+            cache_invalidations,
+        }
     }
 
     pub fn admitted(&self, tenant: &str) {
@@ -555,6 +665,8 @@ impl ServiceMetrics {
             traces_recorded: self.traces_recorded.load(Ordering::Relaxed),
             trace_spans_recorded: self.trace_spans_recorded.load(Ordering::Relaxed),
             trace_spans_dropped: self.trace_spans_dropped.load(Ordering::Relaxed),
+            // Filled in by the service, which owns the stream engine.
+            streaming: None,
             per_tenant,
         }
     }

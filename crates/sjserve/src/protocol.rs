@@ -23,10 +23,17 @@ pub const PROTO_VERSION: u32 = 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Verb {
-    /// Solve and execute; returns rows.
+    /// Solve and execute; returns rows. With `subscribe: true` the
+    /// query instead becomes *standing*: the server acknowledges it and
+    /// then pushes a window frame on this connection every time new
+    /// appends ripen or re-open a window.
     Query,
     /// Solve only; returns the plan without executing it.
     Explain,
+    /// Append a batch of rows to a streamed dataset (see
+    /// [`sjstream::AppendBatch`]); returns an [`AppendAck`] after all
+    /// standing queries have been swept.
+    Append,
     /// Service metrics snapshot.
     Stats,
     /// Liveness probe: dataset names and uptime.
@@ -114,6 +121,15 @@ pub struct Request {
     /// assume compatible"; a `Some` other than [`PROTO_VERSION`] is
     /// answered with a [`codes::PROTO_MISMATCH`] error.
     pub proto_version: Option<u32>,
+    /// `Some(true)` on a `query` request registers it as a standing
+    /// query instead of executing once: the server replies with a
+    /// [`SubscriptionAck`] and thereafter pushes window frames on this
+    /// connection as appends arrive. Requires a streaming-capable
+    /// transport; over a non-streaming path the server answers
+    /// [`codes::STREAM_UNSUPPORTED`].
+    pub subscribe: Option<bool>,
+    /// Payload for the `append` verb; ignored by other verbs.
+    pub append: Option<sjstream::AppendBatch>,
 }
 
 impl Request {
@@ -126,6 +142,8 @@ impl Request {
             timeout_ms: None,
             trace: None,
             proto_version: None,
+            subscribe: None,
+            append: None,
         }
     }
 
@@ -133,6 +151,24 @@ impl Request {
         Request {
             verb: Verb::Explain,
             ..Request::query(id, tenant, spec)
+        }
+    }
+
+    /// A standing-query registration: `query` with `subscribe: true`.
+    pub fn subscribe(id: &str, tenant: &str, spec: QuerySpec) -> Self {
+        Request {
+            subscribe: Some(true),
+            ..Request::query(id, tenant, spec)
+        }
+    }
+
+    /// An `append` request carrying one batch for a streamed dataset.
+    pub fn append(id: &str, tenant: &str, batch: sjstream::AppendBatch) -> Self {
+        Request {
+            verb: Verb::Append,
+            tenant: tenant.into(),
+            append: Some(batch),
+            ..Request::bare(id, Verb::Append)
         }
     }
 
@@ -146,6 +182,8 @@ impl Request {
             timeout_ms: None,
             trace: None,
             proto_version: None,
+            subscribe: None,
+            append: None,
         }
     }
 
@@ -197,6 +235,13 @@ pub mod codes {
     /// required dataset is on no live worker, or a value's derivation
     /// spans shards in a way scatter-gather cannot split.
     pub const NO_ROUTE: &str = "no_route";
+    /// The tenant already holds its maximum number of standing
+    /// queries; unsubscribe one (close its connection) and retry.
+    pub const SUBSCRIPTION_LIMIT: &str = "subscription_limit";
+    /// The request needs a streaming-capable transport (standing
+    /// queries push frames) but this path cannot deliver them — e.g.
+    /// `subscribe: true` sent through a router.
+    pub const STREAM_UNSUPPORTED: &str = "stream_unsupported";
 }
 
 /// A structured error: a stable code plus a human-readable message.
@@ -333,6 +378,38 @@ pub struct TraceSummary {
     pub spans: Option<Vec<sjtrace::SpanEvent>>,
 }
 
+/// `append` payload: what happened to the batch, mirrored from
+/// [`sjstream::AppendOutcome`] minus the emissions themselves (those go
+/// to the subscribers' connections, not the appender's).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppendAck {
+    /// Rows accepted into the stream.
+    pub accepted: usize,
+    /// Rows dropped as verbatim duplicates of already-accepted rows.
+    pub duplicates_dropped: usize,
+    /// Rows older than `watermark − allowed_lateness`, dropped.
+    pub late_dropped: usize,
+    /// The watermark after this batch, microseconds.
+    pub watermark_us: i64,
+    /// Cached window results this batch invalidated.
+    pub invalidated: usize,
+    /// Window frames pushed to subscribers while handling this batch.
+    pub windows_emitted: usize,
+}
+
+/// Acknowledgement of a standing-query registration (`subscribe: true`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriptionAck {
+    /// Server-assigned id for this standing query; every pushed window
+    /// frame carries it in [`Response::query_id`].
+    pub query_id: String,
+    /// Tumbling-window width the stream engine evaluates on, seconds.
+    pub window_secs: f64,
+    /// How long after the watermark passes a window it may still be
+    /// re-opened by late data, seconds.
+    pub allowed_lateness_secs: f64,
+}
+
 /// One response line. Exactly one of the payload fields is populated on
 /// success (matching the request verb); `error` is populated on failure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -362,6 +439,15 @@ pub struct Response {
     /// Protocol version of the responding server (see [`PROTO_VERSION`]);
     /// `None` from older servers.
     pub proto_version: Option<u32>,
+    /// `append` payload.
+    pub append: Option<AppendAck>,
+    /// Acknowledgement of a `subscribe: true` registration.
+    pub subscription: Option<SubscriptionAck>,
+    /// A pushed window frame from a standing query. These arrive
+    /// *unsolicited* (correlated by `id` = the subscribe request's id
+    /// and `query_id` = the subscription's server id), interleaved with
+    /// normal responses on the same connection.
+    pub window: Option<sjstream::WindowEmission>,
 }
 
 impl Response {
@@ -380,6 +466,9 @@ impl Response {
             query_id: None,
             trace: None,
             proto_version: None,
+            append: None,
+            subscription: None,
+            window: None,
         }
     }
 

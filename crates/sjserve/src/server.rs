@@ -13,11 +13,36 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::protocol::{codes, ErrorBody, Request, Response, Verb};
 use crate::service::QueryService;
+
+/// Where unsolicited frames (standing-query window emissions) for one
+/// connection are pushed. The TCP front end hands every connection's
+/// sink to [`RequestHandler::handle_streaming`]; a service that
+/// registers subscriptions holds on to the sink and pushes frames to it
+/// whenever appends ripen a window. A `send` error means the client is
+/// gone — the service should drop every subscription bound to the sink.
+pub trait EmissionSink: Send + Sync {
+    /// Push one frame to the client, blocking until written.
+    fn send(&self, frame: &Response) -> std::io::Result<()>;
+}
+
+/// [`EmissionSink`] over a shared TCP writer: request responses and
+/// pushed frames interleave whole-line-atomically because every write
+/// happens under the same mutex.
+struct TcpSink {
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+impl EmissionSink for TcpSink {
+    fn send(&self, frame: &Response) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        write_line(&mut writer, frame)
+    }
+}
 
 /// Anything the TCP front end can serve: the query service itself, or a
 /// router fronting a fleet of them. Handles are cheap clones sharing one
@@ -31,6 +56,22 @@ pub trait RequestHandler: Clone + Send + 'static {
     /// Answer one request, blocking until the response is ready.
     fn handle(&self, request: Request) -> Response;
 
+    /// Answer one request on a streaming-capable transport: `sink` can
+    /// deliver unsolicited frames for the rest of the connection's
+    /// life. The default ignores the sink, which makes `subscribe:
+    /// true` fail with [`codes::STREAM_UNSUPPORTED`] in handlers that
+    /// don't override this (e.g. a router).
+    fn handle_streaming(&self, request: Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        let _ = sink;
+        self.handle(request)
+    }
+
+    /// The connection owning `sink` ended; drop any state bound to it
+    /// (subscriptions). Default: nothing to drop.
+    fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
+        let _ = sink;
+    }
+
     /// Stop the backend's own workers and return the final summary.
     fn shutdown(&self) -> Self::Summary;
 }
@@ -40,6 +81,14 @@ impl RequestHandler for QueryService {
 
     fn handle(&self, request: Request) -> Response {
         QueryService::handle(self, request)
+    }
+
+    fn handle_streaming(&self, request: Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        QueryService::handle_streaming(self, request, sink)
+    }
+
+    fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
+        QueryService::connection_closed(self, sink)
     }
 
     fn shutdown(&self) -> Self::Summary {
@@ -131,7 +180,13 @@ fn handle_connection<H: RequestHandler>(
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
-    let mut writer = stream;
+    // The writer is shared between this request/response loop and any
+    // standing-query sinks the service registers for this connection, so
+    // pushed window frames interleave with responses line-atomically.
+    let writer = Arc::new(Mutex::new(stream));
+    let sink: Arc<dyn EmissionSink> = Arc::new(TcpSink {
+        writer: Arc::clone(&writer),
+    });
     for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
@@ -143,11 +198,12 @@ fn handle_connection<H: RequestHandler>(
         let response = match serde_json::from_str::<Request>(&line) {
             Ok(request) => {
                 let wants_shutdown = request.verb == Verb::Shutdown;
-                let response = service.handle(request);
+                let response = service.handle_streaming(request, &sink);
                 if wants_shutdown {
-                    if write_line(&mut writer, &response).is_err() {
+                    if sink.send(&response).is_err() {
                         // Ack failed; shut down regardless.
                     }
+                    service.connection_closed(&sink);
                     shutdown.store(true, Ordering::Release);
                     // Nudge accept() so the loop observes the flag.
                     let _ = TcpStream::connect(addr);
@@ -160,10 +216,11 @@ fn handle_connection<H: RequestHandler>(
                 ErrorBody::new(codes::BAD_REQUEST, format!("unparsable request: {e}")),
             ),
         };
-        if write_line(&mut writer, &response).is_err() {
+        if sink.send(&response).is_err() {
             break;
         }
     }
+    service.connection_closed(&sink);
 }
 
 fn write_line(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {

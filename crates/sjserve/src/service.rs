@@ -33,10 +33,11 @@ use sjtrace::{EventKind, RecordedSpan};
 use crate::cache::{PlanCacheLayer, PlanKey};
 use crate::metrics::{CacheCounters, ServiceMetrics, StatsReport};
 use crate::protocol::{
-    codes, CatalogInfo, DatasetDesc, ErrorBody, HealthReport, PlanInfo, QueryResult, Request,
-    Response, TraceSummary, Verb,
+    codes, AppendAck, CatalogInfo, DatasetDesc, ErrorBody, HealthReport, PlanInfo, QueryResult,
+    Request, Response, SubscriptionAck, TraceSummary, Verb,
 };
 use crate::scheduler::{AdmissionError, Job, ResponseSlot, Scheduler, SchedulerConfig};
+use crate::server::EmissionSink;
 
 /// Service-wide tuning.
 #[derive(Debug, Clone)]
@@ -75,6 +76,13 @@ pub struct ServiceConfig {
     /// `--shard-id` flag); surfaced on `health` and `catalog` responses
     /// so a router's mark-down decisions are inspectable by hand.
     pub shard_id: Option<String>,
+    /// Streaming-ingestion policy (window width, allowed lateness,
+    /// evaluation horizon) for `append` requests and standing queries.
+    pub stream: sjstream::StreamConfig,
+    /// Standing queries one tenant may hold concurrently; further
+    /// `subscribe: true` requests fail with
+    /// [`codes::SUBSCRIPTION_LIMIT`].
+    pub max_subscriptions_per_tenant: usize,
 }
 
 impl Default for ServiceConfig {
@@ -90,8 +98,19 @@ impl Default for ServiceConfig {
             trace_dir: None,
             trace_slow_ms: 1000,
             shard_id: None,
+            stream: sjstream::StreamConfig::default(),
+            max_subscriptions_per_tenant: 8,
         }
     }
+}
+
+/// One standing query bound to the connection it reports to.
+struct SubBinding {
+    /// Server-assigned subscription id (`Response::query_id` on frames).
+    query_id: String,
+    /// The subscribe request's id; every pushed frame echoes it.
+    request_id: String,
+    sink: Arc<dyn EmissionSink>,
 }
 
 struct ServiceInner {
@@ -109,6 +128,11 @@ struct ServiceInner {
     /// watch it across heartbeats and invalidate their result caches
     /// when it changes.
     catalog_epoch: AtomicU64,
+    /// Streaming ingestion over a clone of the same catalog. Lock
+    /// order: `stream` before `subs`, everywhere.
+    stream: Mutex<sjstream::StreamEngine>,
+    /// Standing queries and the sinks their frames go to.
+    subs: Mutex<Vec<SubBinding>>,
 }
 
 /// A running ScrubJay query service. Cheap to clone; all clones share
@@ -137,6 +161,12 @@ impl QueryService {
             ctx.tracer().enable();
         }
         let epoch = catalog_fingerprint(&catalog);
+        let stream = sjstream::StreamEngine::new(
+            &ctx,
+            catalog.clone(),
+            config.stream.clone(),
+            config.engine.clone(),
+        );
         let inner = Arc::new(ServiceInner {
             catalog,
             ctx,
@@ -148,6 +178,8 @@ impl QueryService {
             workers: Mutex::new(Vec::new()),
             query_seq: AtomicU64::new(0),
             catalog_epoch: AtomicU64::new(epoch),
+            stream: Mutex::new(stream),
+            subs: Mutex::new(Vec::new()),
         });
         let service = QueryService { inner };
         service.start_workers();
@@ -221,6 +253,21 @@ impl QueryService {
                     // workers.
                     Response::ok(&request.id)
                 }
+                // Appends run inline on the connection thread: they are
+                // cheap by design (window sweeps reuse the emission
+                // cache) and must stay ordered with respect to each
+                // other on a connection.
+                Verb::Append => self.handle_append(&request),
+                // A subscription needs a streaming-capable transport; a
+                // plain `handle` has no sink to push frames to.
+                Verb::Query if request.subscribe == Some(true) => Response::fail(
+                    &request.id,
+                    ErrorBody::new(
+                        codes::STREAM_UNSUPPORTED,
+                        "standing queries (`subscribe: true`) need a streaming-capable \
+                         connection; this path cannot deliver pushed frames",
+                    ),
+                ),
                 Verb::Query | Verb::Explain => self.enqueue_and_wait(request, started),
             },
         };
@@ -229,6 +276,209 @@ impl QueryService {
             .metrics
             .request_finished(response.is_ok(), started.elapsed());
         response
+    }
+
+    /// Handle one request on a streaming-capable transport: like
+    /// [`QueryService::handle`], but `subscribe: true` queries register
+    /// a standing query whose window frames are pushed to `sink` for the
+    /// rest of the connection's life. This is the entry point the TCP
+    /// front end uses for every request.
+    pub fn handle_streaming(&self, request: Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        if request.verb != Verb::Query || request.subscribe != Some(true) {
+            return self.handle(request);
+        }
+        let inner = &self.inner;
+        inner.metrics.request_started();
+        let started = Instant::now();
+        let mut response = match request.proto_version {
+            Some(v) if v != crate::protocol::PROTO_VERSION => Response::fail(
+                &request.id,
+                ErrorBody::new(
+                    codes::PROTO_MISMATCH,
+                    format!(
+                        "peer speaks protocol v{v}, this worker speaks v{}",
+                        crate::protocol::PROTO_VERSION
+                    ),
+                ),
+            ),
+            _ => self.handle_subscribe(&request, sink),
+        };
+        response.proto_version = Some(crate::protocol::PROTO_VERSION);
+        inner
+            .metrics
+            .request_finished(response.is_ok(), started.elapsed());
+        response
+    }
+
+    /// Drop every subscription bound to `sink` (its connection ended).
+    pub fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
+        let inner = &self.inner;
+        let mut stream = inner.stream.lock();
+        let mut subs = inner.subs.lock();
+        subs.retain(|b| {
+            if Arc::ptr_eq(&b.sink, sink) {
+                if stream.unsubscribe(&b.query_id) {
+                    inner.metrics.subscription_closed();
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Register a standing query (the `subscribe: true` path).
+    fn handle_subscribe(&self, request: &Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        let inner = &self.inner;
+        let id = &request.id;
+        let spec = match &request.query {
+            Some(spec) => spec,
+            None => {
+                return Response::fail(
+                    id,
+                    ErrorBody::new(codes::BAD_REQUEST, "subscribe requires a `query` payload"),
+                )
+            }
+        };
+        if spec.domains.is_empty() || spec.values.is_empty() {
+            return Response::fail(
+                id,
+                ErrorBody::new(codes::BAD_REQUEST, "query needs domains and values"),
+            );
+        }
+        let query = Query {
+            domains: spec.domains.clone(),
+            values: spec
+                .values
+                .iter()
+                .map(|v| QueryValue {
+                    dimension: v.dimension.clone(),
+                    units: v.units.clone(),
+                })
+                .collect(),
+        };
+        let query_id = format!(
+            "s{:06}-{}",
+            inner.query_seq.fetch_add(1, Ordering::Relaxed),
+            id
+        );
+        let mut stream = inner.stream.lock();
+        if stream.subscription_count(&request.tenant) >= inner.config.max_subscriptions_per_tenant {
+            return Response::fail(
+                id,
+                ErrorBody::new(
+                    codes::SUBSCRIPTION_LIMIT,
+                    format!(
+                        "tenant `{}` already holds {} standing queries (the per-tenant limit)",
+                        request.tenant, inner.config.max_subscriptions_per_tenant
+                    ),
+                ),
+            );
+        }
+        if let Err(e) = stream.subscribe(&query_id, &request.tenant, &query) {
+            return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string()));
+        }
+        inner.subs.lock().push(SubBinding {
+            query_id: query_id.clone(),
+            request_id: id.clone(),
+            sink: Arc::clone(sink),
+        });
+        inner.metrics.subscription_opened();
+        let mut r = Response::ok(id);
+        r.query_id = Some(query_id.clone());
+        r.subscription = Some(SubscriptionAck {
+            query_id,
+            window_secs: inner.config.stream.window_secs,
+            allowed_lateness_secs: inner.config.stream.allowed_lateness_secs,
+        });
+        r
+    }
+
+    /// Apply one append batch and push any resulting window frames to
+    /// their subscribers. Delivery happens under the stream lock, which
+    /// serializes appends and keeps each subscriber's frame order equal
+    /// to emission order.
+    fn handle_append(&self, request: &Request) -> Response {
+        let inner = &self.inner;
+        let id = &request.id;
+        let batch = match &request.append {
+            Some(batch) => batch,
+            None => {
+                return Response::fail(
+                    id,
+                    ErrorBody::new(codes::BAD_REQUEST, "append requires an `append` payload"),
+                )
+            }
+        };
+        let mut stream = inner.stream.lock();
+        let outcome = match stream.append(batch) {
+            Ok(outcome) => outcome,
+            Err(e) => return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string())),
+        };
+        // Frames go out before the ack so a single-connection client
+        // (the appender is also the subscriber) observes windows before
+        // the append that produced them completes.
+        let mut dead: Vec<String> = Vec::new();
+        {
+            let subs = inner.subs.lock();
+            for e in &outcome.emissions {
+                let Some(b) = subs.iter().find(|b| b.query_id == e.query_id) else {
+                    continue;
+                };
+                let mut frame = Response::ok(&b.request_id);
+                if e.degraded {
+                    frame.status = "degraded".into();
+                    frame.error = e.error.clone().map(|m| ErrorBody::new(codes::DEGRADED, m));
+                }
+                frame.query_id = Some(e.query_id.clone());
+                frame.window = Some(e.clone());
+                frame.proto_version = Some(crate::protocol::PROTO_VERSION);
+                if b.sink.send(&frame).is_err() {
+                    dead.push(e.query_id.clone());
+                }
+            }
+            // A failed solve tears down exactly that subscription (the
+            // engine already dropped it); the connection and the
+            // tenant's other standing queries are untouched.
+            for f in &outcome.failures {
+                let Some(b) = subs.iter().find(|b| b.query_id == f.query_id) else {
+                    continue;
+                };
+                let code = if f.truncated {
+                    inner.metrics.search_truncated();
+                    codes::SEARCH_TRUNCATED
+                } else {
+                    codes::NO_SOLUTION
+                };
+                let mut frame =
+                    Response::fail(&b.request_id, ErrorBody::new(code, f.error.clone()));
+                frame.query_id = Some(f.query_id.clone());
+                frame.proto_version = Some(crate::protocol::PROTO_VERSION);
+                let _ = b.sink.send(&frame);
+                inner.metrics.subscription_failed();
+                dead.push(f.query_id.clone());
+            }
+        }
+        if !dead.is_empty() {
+            inner.subs.lock().retain(|b| !dead.contains(&b.query_id));
+            for qid in &dead {
+                // Engine-side entries remain only for dead *sinks*;
+                // failed solves were already unregistered.
+                if stream.unsubscribe(qid) {
+                    inner.metrics.subscription_closed();
+                }
+            }
+        }
+        let mut r = Response::ok(id);
+        r.append = Some(AppendAck {
+            accepted: outcome.accepted,
+            duplicates_dropped: outcome.duplicates_dropped,
+            late_dropped: outcome.late_dropped,
+            watermark_us: outcome.watermark_us,
+            invalidated: outcome.invalidated,
+            windows_emitted: outcome.emissions.len(),
+        });
+        r
     }
 
     /// This catalog's epoch: a content fingerprint over dataset names
@@ -349,7 +599,15 @@ impl QueryService {
         let result = inner.result_cache.stats();
         let stage = inner.ctx.stage_cache().stats();
         inner.metrics.queue_depth_changed(inner.scheduler.depth());
-        inner.metrics.snapshot(CacheCounters {
+        let streaming = {
+            let stream = inner.stream.lock();
+            inner.metrics.stream_report(
+                &stream.counters(),
+                stream.subscriptions().len() as u64,
+                stage.invalidations,
+            )
+        };
+        let mut report = inner.metrics.snapshot(CacheCounters {
             plan_entries: plan.entries,
             plan_hits: plan.hits,
             plan_misses: plan.misses,
@@ -363,7 +621,9 @@ impl QueryService {
             stage_hits: stage.hits,
             stage_misses: stage.misses,
             stage_evictions: stage.evictions,
-        })
+        });
+        report.streaming = Some(streaming);
+        report
     }
 
     /// Dataset names served by this session's catalog.

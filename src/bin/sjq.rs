@@ -52,6 +52,8 @@ struct Args {
     trace: Option<String>,
     health: bool,
     stats: bool,
+    follow: bool,
+    max_frames: usize,
 }
 
 /// A failure with a stable machine-readable code (mirrors the service's
@@ -130,6 +132,13 @@ OPTIONS:
                     print the span timeline on stderr; in --server mode
                     the trace is recorded server-side and returned with
                     the response
+  --follow          --server mode only: register the query as a
+                    *standing* query and stream its window results as
+                    appends arrive, instead of answering once. Each
+                    frame prints as CSV (or one JSON line with --json)
+                    until the server closes the connection
+  --max-frames N    with --follow, exit successfully after N frames
+                    (default 0 = follow until the connection ends)
 
 EXIT CODES:
   0 ok   1 execution failed   2 usage   3 no solution   4 unavailable
@@ -153,6 +162,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: None,
         health: false,
         stats: false,
+        follow: false,
+        max_frames: 0,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -216,6 +227,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--trace" => args.trace = Some(value("--trace")?),
+            "--follow" => args.follow = true,
+            "--max-frames" => {
+                args.max_frames = value("--max-frames")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-frames: {e}"))?
+            }
             "--limit" => {
                 args.limit = value("--limit")?
                     .parse()
@@ -239,6 +256,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.domains.is_empty() || args.values.is_empty() {
         return Err("--domains and --values are required".into());
+    }
+    if args.follow && args.server.is_none() {
+        return Err("--follow needs --server (standing queries live on a service)".into());
     }
     Ok(args)
 }
@@ -297,6 +317,10 @@ fn run_remote(args: &Args, addr: &str) -> Result<(), CliError> {
             return Err(CliError::failed("ok response without a stats payload"));
         }
         return Ok(());
+    }
+
+    if args.follow {
+        return run_follow(args, client, spec);
     }
 
     if args.plan_only {
@@ -370,6 +394,63 @@ fn run_remote(args: &Args, addr: &str) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `--follow`: register the query as a standing query and print every
+/// pushed window frame until the server hangs up (or `--max-frames`).
+fn run_follow(args: &Args, mut client: Client, spec: QuerySpec) -> Result<(), CliError> {
+    let ack = client.subscribe(spec)?;
+    if let Some(sub) = &ack.subscription {
+        eprintln!(
+            "Subscribed {} ({}s windows, {}s allowed lateness); waiting for appends...",
+            sub.query_id, sub.window_secs, sub.allowed_lateness_secs
+        );
+    }
+    let mut frames = 0usize;
+    loop {
+        let frame = match client.next_frame() {
+            Ok(frame) => frame,
+            // A server shutdown closes the connection; that ends the
+            // stream, it is not a client failure.
+            Err(ClientError::Protocol(m)) if m.contains("closed the connection") => {
+                eprintln!("stream ended: {m}");
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if let Some(error) = &frame.error {
+            if !frame.is_degraded() {
+                // The subscription was torn down (e.g. the derivation
+                // search failed); surface the structured code.
+                return Err(CliError::new(&error.code, error.message.clone()));
+            }
+        }
+        let Some(window) = &frame.window else {
+            continue;
+        };
+        if args.json {
+            println!("{}", encode(&frame)?);
+        } else {
+            eprintln!(
+                "window {} [{} .. {}) watermark={}{}{}",
+                window.window_id,
+                window.start_us,
+                window.end_us,
+                window.watermark_us,
+                if window.re_emission {
+                    " (re-emission)"
+                } else {
+                    ""
+                },
+                if window.degraded { " DEGRADED" } else { "" },
+            );
+            print!("{}", render_csv(&window.columns, &window.rows));
+        }
+        frames += 1;
+        if args.max_frames > 0 && frames >= args.max_frames {
+            return Ok(());
+        }
+    }
 }
 
 /// Drain the local context's span trace: Chrome trace-event JSON to
@@ -634,6 +715,18 @@ mod tests {
             .trace
             .is_none());
         assert!(parse_args(&argv("--data d --domains a --values b --trace")).is_err());
+    }
+
+    #[test]
+    fn follow_needs_server_mode() {
+        let args = parse_args(&argv(
+            "--server h:1 --domains a --values b --follow --max-frames 3",
+        ))
+        .unwrap();
+        assert!(args.follow);
+        assert_eq!(args.max_frames, 3);
+        assert!(parse_args(&argv("--data d --domains a --values b --follow")).is_err());
+        assert!(parse_args(&argv("--server h:1 --domains a --values b --max-frames x")).is_err());
     }
 
     #[test]

@@ -38,6 +38,10 @@ struct Args {
     trace_slow_ms: u64,
     shard_id: Option<String>,
     planner: PlannerKind,
+    stream_window_secs: f64,
+    allowed_lateness_secs: f64,
+    stream_horizon_secs: f64,
+    max_subscriptions: usize,
 }
 
 const USAGE: &str = "\
@@ -83,12 +87,29 @@ OPTIONS:
   --planner KIND    derivation planner: constraint (default) or legacy;
                     both produce identical plans — legacy exists as an
                     escape hatch and parity reference
+  --stream-window SECS
+                    tumbling-window width for standing queries
+                    (default 60)
+  --allowed-lateness SECS
+                    how far behind the watermark appended rows may
+                    arrive and still be accepted; bounds window
+                    re-emission (default 120)
+  --stream-horizon SECS
+                    event-time slack evaluated around each window so
+                    rate lookback and interpolation see their
+                    neighbors; must cover --window plus the slowest
+                    source cadence (default 300)
+  --max-subscriptions N
+                    standing queries one tenant may hold at once
+                    (default 8)
 
 PROTOCOL:
   newline-delimited JSON requests, one response line per request:
     {\"id\":\"1\",\"verb\":\"query\",\"query\":{\"domains\":[\"job\",\"time\"],
      \"values\":[{\"dimension\":\"heat\"}]}}
-  verbs: query | explain | stats | health | shutdown
+  verbs: query | explain | append | stats | health | shutdown
+  a `query` with \"subscribe\":true registers a standing query: window
+  frames are pushed on the same connection as `append` batches arrive
 ";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -110,6 +131,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace_slow_ms: 1000,
         shard_id: None,
         planner: PlannerKind::default(),
+        stream_window_secs: 60.0,
+        allowed_lateness_secs: 120.0,
+        stream_horizon_secs: 300.0,
+        max_subscriptions: 8,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -154,6 +179,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("bad --planner: `{other}` (constraint|legacy)")),
                 }
             }
+            "--stream-window" => {
+                args.stream_window_secs = num("--stream-window", value("--stream-window")?)?
+            }
+            "--allowed-lateness" => {
+                args.allowed_lateness_secs =
+                    num("--allowed-lateness", value("--allowed-lateness")?)?
+            }
+            "--stream-horizon" => {
+                args.stream_horizon_secs = num("--stream-horizon", value("--stream-horizon")?)?
+            }
+            "--max-subscriptions" => {
+                args.max_subscriptions = num("--max-subscriptions", value("--max-subscriptions")?)?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -169,6 +207,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if !(0.0..=1.0).contains(&args.chaos_fail_rate) {
         return Err("--chaos-fail-rate must be within [0, 1]".into());
+    }
+    // `contains` keeps NaN rejected (a bare `<=` would wave it through).
+    if !(f64::MIN_POSITIVE..).contains(&args.stream_window_secs)
+        || args.allowed_lateness_secs < 0.0
+        || args.stream_horizon_secs < 0.0
+    {
+        return Err("--stream-window must be positive; lateness/horizon non-negative".into());
     }
     Ok(args)
 }
@@ -210,6 +255,13 @@ fn run(args: &Args) -> Result<(), String> {
         }),
         trace_slow_ms: args.trace_slow_ms,
         shard_id: args.shard_id.clone(),
+        stream: sjstream::StreamConfig {
+            window_secs: args.stream_window_secs,
+            allowed_lateness_secs: args.allowed_lateness_secs,
+            horizon_secs: args.stream_horizon_secs,
+            eval_parts: 1,
+        },
+        max_subscriptions_per_tenant: args.max_subscriptions,
     };
     let service = QueryService::new(ctx, catalog, config);
     serve_until_shutdown(service, &args.addr).map_err(|e| e.to_string())?;
@@ -317,6 +369,24 @@ mod tests {
         );
         assert!(parse_args(&argv("--data d --planner greedy")).is_err());
         assert!(parse_args(&argv("--data d --planner")).is_err());
+    }
+
+    #[test]
+    fn parses_stream_flags() {
+        let args = parse_args(&argv(
+            "--data d --stream-window 30 --allowed-lateness 90 \
+             --stream-horizon 240 --max-subscriptions 2",
+        ))
+        .unwrap();
+        assert_eq!(args.stream_window_secs, 30.0);
+        assert_eq!(args.allowed_lateness_secs, 90.0);
+        assert_eq!(args.stream_horizon_secs, 240.0);
+        assert_eq!(args.max_subscriptions, 2);
+        let defaults = parse_args(&argv("--data d")).unwrap();
+        assert_eq!(defaults.stream_window_secs, 60.0);
+        assert_eq!(defaults.max_subscriptions, 8);
+        assert!(parse_args(&argv("--data d --stream-window 0")).is_err());
+        assert!(parse_args(&argv("--data d --allowed-lateness -1")).is_err());
     }
 
     #[test]

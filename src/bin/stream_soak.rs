@@ -1,0 +1,434 @@
+//! `stream_soak`: end-to-end streaming soak harness against a real
+//! `sjserved` process.
+//!
+//! The harness stands up a worker over a header-only CSV catalog (the
+//! stream *is* the data), registers the standing derive-rate +
+//! interpolation-join query from several subscriber connections, and
+//! replays a seeded disarray schedule through the `append` verb for a
+//! bounded wall-clock duration. Every pushed window frame is checked
+//! against a **shadow** [`sjstream::StreamEngine`] fed the exact same
+//! batches in-process:
+//!
+//! * frame schedules must agree — same window ids, watermarks, and
+//!   re-emission flags, in the same order, on every subscriber;
+//! * every non-degraded frame must be **byte-identical** to the shadow
+//!   emission (the tentpole equivalence guarantee, measured over TCP);
+//! * a frame that fails to arrive within the read timeout is a hang —
+//!   the soak exits nonzero rather than waiting forever.
+//!
+//! With `--chaos-seed` the spawned worker runs under its deterministic
+//! fault plan: frames may arrive degraded (structured error, no
+//! payload comparison) but the schedule invariants still hold.
+//!
+//! A machine-readable report lands in `--artifacts DIR/soak-report.json`
+//! for CI upload. Exit code 0 = clean soak, 1 = invariant violation or
+//! hang, 2 = usage error.
+
+use scrubjay::catalog_io::write_schema_sidecar;
+use sjdata::{disarray_schedule, stream_catalog, Disarray};
+use sjdf::ExecCtx;
+use sjserve::{Client, QuerySpec, ValueSpec};
+use sjstream::{StreamConfig, StreamEngine};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+stream_soak: streaming soak harness against a spawned sjserved
+
+USAGE:
+  stream_soak --serverd PATH [OPTIONS]
+
+OPTIONS:
+  --serverd PATH    path to the sjserved binary to spawn (required)
+  --duration SECS   wall-clock soak bound (default 60)
+  --subscribers N   standing-query connections (default 3)
+  --seed N          disarray schedule seed (default 42)
+  --disarray KIND   in_order | clock_skew | late_duplicates |
+                    counter_wrap | rack_skew (default late_duplicates)
+  --steps N         schedule length in 10s event-time steps (default 4000)
+  --chaos-seed N    run the worker under its deterministic fault plan
+  --chaos-fail-rate P  attempt kill probability under --chaos-seed (default 0.1)
+  --artifacts DIR   where soak-report.json and the worker log land
+                    (default: the temp catalog dir)
+";
+
+struct Args {
+    serverd: String,
+    duration_secs: u64,
+    subscribers: usize,
+    seed: u64,
+    disarray: Disarray,
+    steps: usize,
+    chaos_seed: Option<u64>,
+    chaos_fail_rate: f64,
+    artifacts: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        serverd: String::new(),
+        duration_secs: 60,
+        subscribers: 3,
+        seed: 42,
+        disarray: Disarray::LateDuplicates,
+        steps: 4000,
+        chaos_seed: None,
+        chaos_fail_rate: 0.1,
+        artifacts: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--serverd" => args.serverd = value("--serverd")?,
+            "--duration" => {
+                args.duration_secs = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
+            }
+            "--subscribers" => {
+                args.subscribers = value("--subscribers")?
+                    .parse()
+                    .map_err(|e| format!("--subscribers: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--disarray" => {
+                let kind = value("--disarray")?;
+                args.disarray = *Disarray::ALL
+                    .iter()
+                    .find(|k| k.name() == kind)
+                    .ok_or(format!("unknown disarray kind `{kind}`"))?;
+            }
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                )
+            }
+            "--chaos-fail-rate" => {
+                args.chaos_fail_rate = value("--chaos-fail-rate")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-fail-rate: {e}"))?
+            }
+            "--artifacts" => args.artifacts = Some(value("--artifacts")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.serverd.is_empty() {
+        return Err("--serverd is required".into());
+    }
+    if args.subscribers == 0 {
+        return Err("--subscribers must be positive".into());
+    }
+    Ok(args)
+}
+
+fn joined_spec() -> QuerySpec {
+    QuerySpec {
+        domains: vec!["compute-node".into(), "time".into()],
+        values: vec![
+            ValueSpec::with_units("instructions", "instructions-per-ms"),
+            ValueSpec::dim("temperature"),
+        ],
+        window_secs: None,
+        step_secs: None,
+        limit: None,
+    }
+}
+
+/// Write the stream catalog as header-only CSVs + schema sidecars: the
+/// datasets the worker registers are empty, and the soak's appends are
+/// the only data.
+fn write_catalog_dir(dir: &std::path::Path) -> Result<(), String> {
+    let ctx = ExecCtx::local();
+    let catalog = stream_catalog(&ctx).map_err(|e| e.to_string())?;
+    for name in ["papi_counters", "coolant"] {
+        let ds = catalog.dataset(name).map_err(|e| e.to_string())?;
+        let schema = ds.schema();
+        let header: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+        let csv_path = dir.join(format!("{name}.csv"));
+        std::fs::write(&csv_path, format!("{}\n", header.join(",")))
+            .map_err(|e| format!("{}: {e}", csv_path.display()))?;
+        write_schema_sidecar(schema, &csv_path).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Spawn the worker and block until its stderr banner reveals the bound
+/// address (it binds port 0). The log keeps streaming into `log_path`;
+/// slow or degraded request traces land under `trace_dir` for upload.
+fn spawn_worker(
+    args: &Args,
+    data_dir: &str,
+    log_path: &str,
+    trace_dir: &str,
+) -> Result<(Child, String), String> {
+    let mut cmd = Command::new(&args.serverd);
+    cmd.arg("--data")
+        .arg(data_dir)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--trace-dir")
+        .arg(trace_dir)
+        .arg("--trace-slow-ms")
+        .arg("250")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    if let Some(seed) = args.chaos_seed {
+        cmd.arg("--chaos-seed")
+            .arg(seed.to_string())
+            .arg("--chaos-fail-rate")
+            .arg(args.chaos_fail_rate.to_string());
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", args.serverd))?;
+    let stderr = child.stderr.take().expect("piped stderr");
+    let log = std::fs::File::create(log_path).map_err(|e| format!("{log_path}: {e}"))?;
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::Write;
+        let mut log = log;
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            let _ = writeln!(log, "{line}");
+            if let Some(addr) = line.strip_prefix("sjserved listening on ") {
+                let _ = tx.send(addr.trim().to_string());
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .map_err(|_| "worker never announced its address (see worker log)".to_string())?;
+    Ok((child, addr))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let dir = std::env::temp_dir().join(format!("sj-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let artifacts = args
+        .artifacts
+        .clone()
+        .unwrap_or_else(|| dir.display().to_string());
+    std::fs::create_dir_all(&artifacts).map_err(|e| e.to_string())?;
+    write_catalog_dir(&dir)?;
+
+    let log_path = format!("{artifacts}/soak-worker.log");
+    let trace_dir = format!("{artifacts}/traces");
+    std::fs::create_dir_all(&trace_dir).map_err(|e| e.to_string())?;
+    let (mut child, addr) = spawn_worker(&args, &dir.display().to_string(), &log_path, &trace_dir)?;
+    let result = soak(&args, &addr, &artifacts);
+    let _ = child.kill();
+    let _ = child.wait();
+    result
+}
+
+fn soak(args: &Args, addr: &str, artifacts: &str) -> Result<(), String> {
+    let read_timeout = Duration::from_secs(30);
+    let mut subscribers = Vec::new();
+    for i in 0..args.subscribers {
+        let mut sub = Client::connect_as(addr, &format!("soak-sub-{i}"))
+            .map_err(|e| format!("connect subscriber {i}: {e}"))?;
+        sub.set_read_timeout(Some(read_timeout))
+            .map_err(|e| e.to_string())?;
+        let ack = sub
+            .subscribe(joined_spec())
+            .map_err(|e| format!("subscribe {i}: {e}"))?;
+        let sub_id = ack
+            .subscription
+            .ok_or("subscribe ack without subscription body")?
+            .query_id;
+        subscribers.push((sub, sub_id));
+    }
+    let mut appender =
+        Client::connect_as(addr, "soak-ingest").map_err(|e| format!("connect appender: {e}"))?;
+    appender
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| e.to_string())?;
+
+    // The shadow engine: same catalog, same stream policy, same standing
+    // query, fed the same batches in-process. Its emissions are the
+    // reference every subscriber's frames are checked against.
+    let ctx = ExecCtx::local();
+    let catalog = stream_catalog(&ctx).map_err(|e| e.to_string())?;
+    let mut shadow = StreamEngine::new(
+        &ctx,
+        catalog,
+        StreamConfig::default(),
+        sjcore::engine::EngineConfig::default(),
+    );
+    let shadow_query = {
+        let spec = joined_spec();
+        sjcore::engine::Query {
+            domains: spec.domains.clone(),
+            values: spec
+                .values
+                .iter()
+                .map(|v| match &v.units {
+                    Some(u) => sjcore::engine::QueryValue::with_units(&v.dimension, u),
+                    None => sjcore::engine::QueryValue::dim(&v.dimension),
+                })
+                .collect(),
+        }
+    };
+    shadow
+        .subscribe("q-shadow", "soak", &shadow_query)
+        .map_err(|e| e.to_string())?;
+
+    let schedule = disarray_schedule(args.disarray, args.seed, args.steps);
+    let deadline = Instant::now() + Duration::from_secs(args.duration_secs);
+    let started = Instant::now();
+    let mut appended = 0usize;
+    let mut frames_checked = 0usize;
+    let mut degraded_frames = 0usize;
+    let nbatches = schedule.len();
+
+    for batch in &schedule {
+        if Instant::now() >= deadline {
+            break;
+        }
+        let response = appender
+            .append(batch.clone())
+            .map_err(|e| format!("append {appended}: {e}"))?;
+        let ack = response.append.ok_or("append ack without body")?;
+        let expected = shadow.append(batch).map_err(|e| e.to_string())?;
+        if !expected.failures.is_empty() {
+            return Err(format!(
+                "shadow tore down its subscription: {:?}",
+                expected.failures
+            ));
+        }
+        let per_sub = expected.emissions.len();
+        if ack.windows_emitted != per_sub * args.subscribers {
+            return Err(format!(
+                "append {appended}: worker emitted {} frames, shadow expects {} per \
+                 subscriber x {}",
+                ack.windows_emitted, per_sub, args.subscribers
+            ));
+        }
+        for (sub, sub_id) in subscribers.iter_mut() {
+            for (j, want) in expected.emissions.iter().enumerate() {
+                let frame = sub.next_frame().map_err(|e| {
+                    format!("append {appended}: subscriber {sub_id} frame {j}: hang or error: {e}")
+                })?;
+                if frame.query_id.as_deref() != Some(sub_id.as_str()) {
+                    return Err(format!(
+                        "append {appended}: frame for {:?} arrived on {sub_id}",
+                        frame.query_id
+                    ));
+                }
+                let got = frame
+                    .window
+                    .ok_or_else(|| format!("append {appended}: frame without window"))?;
+                if (got.window_id, got.watermark_us, got.re_emission)
+                    != (want.window_id, want.watermark_us, want.re_emission)
+                {
+                    return Err(format!(
+                        "append {appended}: {sub_id} window identity diverged: got \
+                         w{} wm={} re={}, want w{} wm={} re={}",
+                        got.window_id,
+                        got.watermark_us,
+                        got.re_emission,
+                        want.window_id,
+                        want.watermark_us,
+                        want.re_emission
+                    ));
+                }
+                if got.degraded {
+                    degraded_frames += 1;
+                    if args.chaos_seed.is_none() {
+                        return Err(format!(
+                            "append {appended}: degraded frame without chaos: {:?}",
+                            got.error
+                        ));
+                    }
+                } else if got.columns != want.columns || got.rows != want.rows {
+                    return Err(format!(
+                        "append {appended}: {sub_id} window {} bytes diverged from shadow",
+                        got.window_id
+                    ));
+                }
+                frames_checked += 1;
+            }
+        }
+        appended += 1;
+    }
+
+    let stats = appender
+        .stats()
+        .map_err(|e| format!("final stats: {e}"))?
+        .stats
+        .ok_or("stats response without body")?;
+    let streaming = stats
+        .streaming
+        .as_ref()
+        .ok_or("worker stats carry no streaming section")?;
+    if streaming.subscriptions_active != args.subscribers as u64 {
+        return Err(format!(
+            "worker reports {} active subscriptions, soak holds {}",
+            streaming.subscriptions_active, args.subscribers
+        ));
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let report = format!(
+        "{{\n  \"harness\": \"stream_soak\",\n  \"disarray\": \"{}\",\n  \"seed\": {},\n  \
+         \"chaos_seed\": {},\n  \"subscribers\": {},\n  \"appends\": {appended},\n  \
+         \"schedule_batches\": {nbatches},\n  \"frames_checked\": {frames_checked},\n  \
+         \"degraded_frames\": {degraded_frames},\n  \"elapsed_secs\": {elapsed:.1},\n  \
+         \"worker_appends\": {},\n  \"worker_rows_accepted\": {},\n  \
+         \"worker_window_emissions\": {},\n  \"worker_window_re_emissions\": {},\n  \
+         \"worker_incremental_recomputes\": {},\n  \"verdict\": \"pass\"\n}}\n",
+        args.disarray.name(),
+        args.seed,
+        args.chaos_seed
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".into()),
+        args.subscribers,
+        streaming.appends,
+        streaming.rows_accepted,
+        streaming.window_emissions,
+        streaming.window_re_emissions,
+        streaming.incremental_recomputes,
+    );
+    let report_path = format!("{artifacts}/soak-report.json");
+    std::fs::write(&report_path, &report).map_err(|e| format!("{report_path}: {e}"))?;
+    println!(
+        "stream_soak: {appended}/{nbatches} appends, {frames_checked} frames checked \
+         ({degraded_frames} degraded) across {} subscribers in {elapsed:.1}s -> {report_path}",
+        args.subscribers
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("stream_soak: {e}");
+            if e.contains("needs a value") || e.contains("unknown flag") || e.contains("required") {
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

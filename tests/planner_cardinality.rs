@@ -1,0 +1,210 @@
+//! Domain-cardinality statistics behind `use_domain_cardinality`: the
+//! flag may sharpen how the constraint planner *orders* its variable
+//! bindings, but it must never change *which* plan is constructed —
+//! estimates are tie-breakers, not semantics. This suite pins that
+//! contract on an analyzed catalog: flag on and flag off produce
+//! fingerprint-identical plans and byte-identical rows on every query,
+//! and the engine's `cardinality_estimates` counter proves the
+//! statistics were genuinely consulted (not silently skipped) exactly
+//! when the flag is on and the catalog has been analyzed.
+
+use scrubjay::prelude::*;
+use sjcore::engine::PlannerKind;
+use sjdf::ExecCtx as Ctx;
+
+/// A three-dataset corpus with enough shape for multi-dataset covers:
+/// node→rack layout, rack temperatures over time, per-node cumulative
+/// counters. Row counts are deliberately skewed so row-count costs and
+/// domain cardinalities disagree — the interesting case for the flag.
+fn analyzed_corpus(ctx: &Ctx) -> Catalog {
+    let mut catalog = Catalog::default_hpc();
+
+    let layout_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+    ])
+    .unwrap();
+    let layout_rows: Vec<Row> = (0..8)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("cab{k}")),
+                Value::str(format!("rack{}", k / 4)),
+            ])
+        })
+        .collect();
+    catalog
+        .register_dataset(
+            "node_layout",
+            SjDataset::from_rows(ctx, layout_rows, layout_schema, "node_layout", 1),
+        )
+        .unwrap();
+
+    let temps_schema = Schema::new(vec![
+        FieldDef::new("rack", FieldSemantics::domain("rack", "rack-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new("temp", FieldSemantics::value("temperature", "celsius")),
+    ])
+    .unwrap();
+    // 120 rows but only 2 distinct racks: raw row count says expensive,
+    // domain cardinality says cheap.
+    let mut temps_rows = Vec::new();
+    for k in 0..120i64 {
+        temps_rows.push(Row::new(vec![
+            Value::str(format!("rack{}", k % 2)),
+            Value::Time(Timestamp::from_secs(30 * k)),
+            Value::Float(20.0 + (k % 9) as f64),
+        ]));
+    }
+    catalog
+        .register_dataset(
+            "rack_temps",
+            SjDataset::from_rows(ctx, temps_rows, temps_schema, "rack_temps", 1),
+        )
+        .unwrap();
+
+    let counters_schema = Schema::new(vec![
+        FieldDef::new("node", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("time", FieldSemantics::domain("time", "datetime")),
+        FieldDef::new(
+            "instr",
+            FieldSemantics::value("instructions", "instructions-count"),
+        ),
+    ])
+    .unwrap();
+    let counters_rows: Vec<Row> = (0..64)
+        .map(|k| {
+            Row::new(vec![
+                Value::str(format!("cab{}", k % 8)),
+                Value::Time(Timestamp::from_secs(60 * (k as i64 / 8))),
+                Value::Float(1_000_000.0 * k as f64),
+            ])
+        })
+        .collect();
+    catalog
+        .register_dataset(
+            "papi_counters",
+            SjDataset::from_rows(ctx, counters_rows, counters_schema, "papi_counters", 1),
+        )
+        .unwrap();
+    catalog
+}
+
+fn query_corpus() -> Vec<Query> {
+    vec![
+        Query::new(["rack"], vec![QueryValue::dim("temperature")]),
+        Query::new(["node"], vec![QueryValue::dim("temperature")]),
+        Query::new(
+            ["rack", "time"],
+            vec![QueryValue::with_units("temperature", "fahrenheit")],
+        ),
+        Query::new(
+            ["node", "rack"],
+            vec![
+                QueryValue::dim("temperature"),
+                QueryValue::dim("instructions"),
+            ],
+        ),
+    ]
+}
+
+fn engine(catalog: &Catalog, planner: PlannerKind, use_cardinality: bool) -> QueryEngine<'_> {
+    QueryEngine::with_config(
+        catalog,
+        EngineConfig {
+            planner,
+            use_domain_cardinality: use_cardinality,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Flag on vs flag off over an analyzed catalog: identical fingerprints,
+/// identical plan trees, identical executed rows, on both planners.
+#[test]
+fn cardinality_estimates_never_change_the_plan() {
+    let ctx = ExecCtx::local();
+    let mut catalog = analyzed_corpus(&ctx);
+    let analyzed = catalog.analyze().unwrap();
+    assert_eq!(analyzed, 3, "every dataset gains statistics");
+    assert_eq!(
+        catalog
+            .stats("rack_temps")
+            .unwrap()
+            .domain_cardinality
+            .get("rack"),
+        Some(&2),
+        "analyze measured the skewed rack cardinality"
+    );
+
+    for planner in [PlannerKind::Legacy, PlannerKind::Constraint] {
+        for query in query_corpus() {
+            let off = engine(&catalog, planner, false).solve(&query).unwrap();
+            let on = engine(&catalog, planner, true).solve(&query).unwrap();
+            assert_eq!(
+                off.fingerprint(),
+                on.fingerprint(),
+                "[{planner:?}] cardinality flag changed the plan for {}:\noff: {}\non: {}",
+                query.describe(),
+                off.describe(),
+                on.describe()
+            );
+            assert_eq!(off.to_json(), on.to_json(), "plan trees diverged");
+            let rows_of = |plan: &Plan| -> Vec<String> {
+                plan.execute(&catalog, None)
+                    .unwrap()
+                    .collect()
+                    .unwrap()
+                    .iter()
+                    .map(|r| format!("{r:?}"))
+                    .collect()
+            };
+            assert_eq!(
+                rows_of(&off),
+                rows_of(&on),
+                "[{planner:?}] rows diverged for {}",
+                query.describe()
+            );
+        }
+    }
+}
+
+/// The counter proves the estimates were consulted: positive exactly
+/// when the flag is on *and* the catalog carries statistics.
+#[test]
+fn cardinality_counter_tracks_flag_and_statistics() {
+    let ctx = ExecCtx::local();
+    let query = Query::new(
+        ["node", "rack"],
+        vec![
+            QueryValue::dim("temperature"),
+            QueryValue::dim("instructions"),
+        ],
+    );
+
+    // Unanalyzed catalog: flag on, but no statistics to consult.
+    let bare = analyzed_corpus(&ctx);
+    let e = engine(&bare, PlannerKind::Constraint, true);
+    e.solve(&query).unwrap();
+    assert_eq!(
+        e.stats().cardinality_estimates,
+        0,
+        "no statistics collected, nothing to consult"
+    );
+
+    let mut catalog = analyzed_corpus(&ctx);
+    catalog.analyze().unwrap();
+
+    // Flag off: statistics exist but must stay untouched.
+    let e = engine(&catalog, PlannerKind::Constraint, false);
+    e.solve(&query).unwrap();
+    assert_eq!(e.stats().cardinality_estimates, 0, "flag off means off");
+
+    // Flag on over the analyzed catalog: the estimates are consulted.
+    let e = engine(&catalog, PlannerKind::Constraint, true);
+    e.solve(&query).unwrap();
+    assert!(
+        e.stats().cardinality_estimates > 0,
+        "analyzed + flag on must consult domain cardinalities: {:?}",
+        e.stats()
+    );
+}

@@ -1,0 +1,245 @@
+//! Chaos × streaming: fault injection during incremental window
+//! recomputation. The contract under faults is the streaming analogue of
+//! the batch chaos suite's "exact result or typed error": every window a
+//! standing query emits is either **byte-identical** to the fault-free
+//! run (retries rescued the evaluation) or a **structured degraded
+//! emission** carrying the failure — never a torn-down subscription,
+//! never a wrong-but-ok-looking window, never a dead engine.
+
+use sjcore::engine::{EngineConfig, Query, QueryValue};
+use sjdata::{disarray_schedule, stream_catalog, Disarray};
+use sjdf::{ExecCtx, FaultPlan, RetryPolicy};
+use sjstream::{StreamConfig, StreamEngine};
+use std::time::Duration;
+
+fn standing_query() -> Query {
+    Query::new(
+        ["compute-node", "time"],
+        vec![
+            QueryValue::with_units("instructions", "instructions-per-ms"),
+            QueryValue::dim("temperature"),
+        ],
+    )
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_secs: 60.0,
+        allowed_lateness_secs: 120.0,
+        horizon_secs: 300.0,
+        eval_parts: 1,
+    }
+}
+
+/// A context with `plan` installed and a tight retry budget (near-zero
+/// backoff so the sweep stays fast).
+fn chaos_ctx(plan: FaultPlan, attempts: u32) -> ExecCtx {
+    ExecCtx::local()
+        .with_retry(RetryPolicy::retries(attempts).with_backoff(
+            Duration::from_micros(50),
+            2.0,
+            Duration::from_millis(2),
+        ))
+        .with_faults(plan)
+}
+
+/// One emission flattened to comparable bytes (identity + payload).
+type FlatEmission = (i64, i64, bool, Vec<String>, Vec<Vec<String>>, bool);
+
+/// Replay `schedule` through an engine on `ctx`; return every emission
+/// as (window_id, watermark, re_emission, columns, rows, degraded).
+fn replay(ctx: &ExecCtx, steps: usize) -> Vec<FlatEmission> {
+    let catalog = stream_catalog(ctx).expect("stream catalog");
+    let mut engine = StreamEngine::new(ctx, catalog, stream_config(), EngineConfig::default());
+    engine
+        .subscribe("q-chaos", "tenant-a", &standing_query())
+        .expect("subscribe");
+    let mut out = Vec::new();
+    for (i, batch) in disarray_schedule(Disarray::LateDuplicates, 42, steps)
+        .iter()
+        .enumerate()
+    {
+        let outcome = engine.append(batch).expect("append must survive faults");
+        assert!(
+            outcome.failures.is_empty(),
+            "append {i}: eval faults must degrade windows, not tear down \
+             the subscription: {:?}",
+            outcome.failures
+        );
+        for e in outcome.emissions {
+            if e.degraded {
+                let msg = e.error.clone().unwrap_or_default();
+                assert!(
+                    !msg.is_empty(),
+                    "append {i}: degraded window {} carries no error",
+                    e.window_id
+                );
+            }
+            out.push((
+                e.window_id,
+                e.watermark_us,
+                e.re_emission,
+                e.columns,
+                e.rows,
+                e.degraded,
+            ));
+        }
+    }
+    out
+}
+
+/// The subscription entry in the chaos sweep: many seeded fault plans,
+/// each replayed against the fault-free reference. Window identity
+/// (id, watermark, re-emission flag) must match the reference exactly —
+/// fault handling may never change *which* windows fire — and every
+/// non-degraded payload must be byte-identical to the reference's.
+#[test]
+fn seeded_fault_sweep_emits_exact_or_degraded_windows() {
+    const STEPS: usize = 8;
+    let reference = replay(&ExecCtx::local(), STEPS);
+    assert!(
+        reference.iter().all(|(.., degraded)| !degraded),
+        "fault-free reference degraded a window"
+    );
+    assert!(!reference.is_empty(), "reference run emitted nothing");
+
+    let mut exact = 0usize;
+    let mut degraded = 0usize;
+    let mut injected_total = 0u64;
+    for seed in 0..100u64 {
+        let plan = FaultPlan::seeded(seed)
+            .with_task_fail_rate(0.15)
+            .with_shuffle_fail_rate(0.05);
+        let ctx = chaos_ctx(plan, 3);
+        let got = replay(&ctx, STEPS);
+        assert_eq!(
+            got.len(),
+            reference.len(),
+            "seed {seed}: emission schedule diverged from reference"
+        );
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(
+                (g.0, g.1, g.2),
+                (r.0, r.1, r.2),
+                "seed {seed}: window identity diverged"
+            );
+            if g.5 {
+                degraded += 1;
+            } else {
+                assert_eq!(g.3, r.3, "seed {seed}: window {} columns diverged", g.0);
+                assert_eq!(g.4, r.4, "seed {seed}: window {} rows diverged", g.0);
+                exact += 1;
+            }
+        }
+        let report = ctx.failure_report();
+        injected_total += report.injected_task_faults + report.injected_shuffle_faults;
+    }
+    assert!(
+        injected_total > 0,
+        "the sweep's fault plans never fired — rates too low to test anything"
+    );
+    assert!(exact > 0, "no faulted run ever recovered a window exactly");
+    // Degraded windows are permitted but not required at these rates
+    // (the poisoned-partition test below forces that path).
+    let _ = degraded;
+}
+
+/// Faults installed *mid-stream* (after the prefix is seeded) poison
+/// every evaluation: windows degrade with a structured error, the
+/// subscription survives, and once the faults are lifted the engine
+/// emits clean windows that match its own cold batch solve again.
+#[test]
+fn poisoned_evaluation_degrades_windows_and_recovers() {
+    let ctx = ExecCtx::local().with_retry(RetryPolicy::retries(1).with_backoff(
+        Duration::from_micros(50),
+        2.0,
+        Duration::from_millis(1),
+    ));
+    let catalog = stream_catalog(&ctx).unwrap();
+    let mut engine = StreamEngine::new(&ctx, catalog, stream_config(), EngineConfig::default());
+    engine
+        .subscribe("q-poison", "tenant-a", &standing_query())
+        .unwrap();
+
+    let schedule = disarray_schedule(Disarray::InOrder, 7, 16);
+    let mid = schedule.len() / 2;
+    let mut saw_degraded = 0usize;
+    let mut clean_after_recovery = 0usize;
+    for (i, batch) in schedule.iter().enumerate() {
+        if i == 3 {
+            // Both datasets have seen their seeding append (one full
+            // step); from here every task attempt for partition 0 (the
+            // only eval partition) fails.
+            ctx.set_faults(Some(FaultPlan::seeded(1).poison_partition(0)));
+        }
+        if i == mid {
+            ctx.set_faults(None);
+        }
+        let out = engine.append(batch).expect("append survives poisoning");
+        assert!(
+            out.failures.is_empty(),
+            "append {i}: subscription torn down"
+        );
+        for e in out.emissions {
+            if i < mid {
+                assert!(
+                    e.degraded,
+                    "append {i}: window {} evaluated despite a poisoned executor",
+                    e.window_id
+                );
+                let msg = e.error.unwrap_or_default();
+                assert!(
+                    msg.contains("exhausted") || msg.contains("injected"),
+                    "append {i}: degraded error lost the failure cause: {msg}"
+                );
+                saw_degraded += 1;
+            } else if !e.degraded {
+                let (cold_cols, cold_rows) = engine
+                    .cold_window("q-poison", e.window_id)
+                    .expect("cold solve after recovery");
+                assert_eq!(e.columns, cold_cols);
+                assert_eq!(
+                    e.rows, cold_rows,
+                    "post-recovery window {} diverged",
+                    e.window_id
+                );
+                clean_after_recovery += 1;
+            }
+        }
+    }
+    assert!(saw_degraded > 0, "poisoned phase never emitted a window");
+    assert!(
+        clean_after_recovery > 0,
+        "no clean window after the faults were lifted"
+    );
+    let counters = engine.counters();
+    assert!(counters.degraded_windows >= saw_degraded as u64);
+    assert_eq!(engine.subscriptions().len(), 1, "subscription must survive");
+}
+
+/// CI artifact hook (streaming flavour): when `CHAOS_SEED` is set,
+/// replay the chaos schedule under that seed and (when `CHAOS_REPORT`
+/// is also set) append a JSON line with the emission accounting for
+/// upload next to the batch chaos artifact.
+#[test]
+fn streaming_chaos_artifact_round_trips() {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64);
+    let plan = FaultPlan::seeded(seed)
+        .with_task_fail_rate(0.15)
+        .with_shuffle_fail_rate(0.05);
+    let ctx = chaos_ctx(plan, 3);
+    let emissions = replay(&ctx, 8);
+    let degraded = emissions.iter().filter(|e| e.5).count();
+    let report = ctx.failure_report();
+    let json = serde_json::to_string(&report).expect("FailureReport serializes");
+    if let Ok(path) = std::env::var("CHAOS_REPORT") {
+        let artifact = format!(
+            "{{\"kind\":\"streaming\",\"seed\":{seed},\"emissions\":{},\"degraded\":{degraded},\"report\":{json}}}\n",
+            emissions.len()
+        );
+        std::fs::write(&path, artifact).expect("write streaming chaos artifact");
+    }
+}
