@@ -170,12 +170,22 @@ fn accept_loop<H: RequestHandler>(
     }
 }
 
+/// How long a write to a client may block before the connection is
+/// declared stalled. A consumer that stops reading fills its TCP
+/// receive buffer and then our send buffer; without a bound, the next
+/// pushed frame would block its deliverer forever. Hitting the timeout
+/// errors the write, which tears down the connection and every
+/// subscription bound to it. Generous on purpose: it only fires when
+/// the peer has read *nothing* for the whole interval.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
 fn handle_connection<H: RequestHandler>(
     stream: TcpStream,
     addr: SocketAddr,
     service: H,
     shutdown: Arc<AtomicBool>,
 ) {
+    let _ = stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT));
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,

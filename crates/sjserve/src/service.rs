@@ -129,8 +129,14 @@ struct ServiceInner {
     /// when it changes.
     catalog_epoch: AtomicU64,
     /// Streaming ingestion over a clone of the same catalog. Lock
-    /// order: `stream` before `subs`, everywhere.
+    /// order: `stream` before `delivery` before `subs`, everywhere.
     stream: Mutex<sjstream::StreamEngine>,
+    /// Serializes pushed-frame delivery in emission order. An appender
+    /// acquires it *while still holding* `stream`, then releases
+    /// `stream` before any TCP write — so a slow subscriber can stall
+    /// at most other deliveries, never the stream engine itself (stats,
+    /// new subscriptions, and connection teardown keep working).
+    delivery: Mutex<()>,
     /// Standing queries and the sinks their frames go to.
     subs: Mutex<Vec<SubBinding>>,
 }
@@ -179,6 +185,7 @@ impl QueryService {
             query_seq: AtomicU64::new(0),
             catalog_epoch: AtomicU64::new(epoch),
             stream: Mutex::new(stream),
+            delivery: Mutex::new(()),
             subs: Mutex::new(Vec::new()),
         });
         let service = QueryService { inner };
@@ -395,9 +402,13 @@ impl QueryService {
     }
 
     /// Apply one append batch and push any resulting window frames to
-    /// their subscribers. Delivery happens under the stream lock, which
-    /// serializes appends and keeps each subscriber's frame order equal
-    /// to emission order.
+    /// their subscribers. The engine mutation runs under the stream
+    /// lock; frame delivery does **not** — the appender hands over to
+    /// the `delivery` lock (acquired before releasing `stream`, which
+    /// keeps each subscriber's frame order equal to emission order) so
+    /// a subscriber with a full TCP send buffer blocks other
+    /// *deliveries* at worst, never the engine, stats, subscription
+    /// registration, or connection teardown.
     fn handle_append(&self, request: &Request) -> Response {
         let inner = &self.inner;
         let id = &request.id;
@@ -410,14 +421,27 @@ impl QueryService {
                 )
             }
         };
-        let mut stream = inner.stream.lock();
-        let outcome = match stream.append(batch) {
-            Ok(outcome) => outcome,
-            Err(e) => return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string())),
+        let (outcome, delivery) = {
+            let mut stream = inner.stream.lock();
+            let outcome = match stream.append(batch) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string()))
+                }
+            };
+            // Hand-over-hand: take the delivery lock while the stream
+            // lock still serializes us, then let the stream go before
+            // any blocking TCP write below.
+            (outcome, inner.delivery.lock())
         };
         // Frames go out before the ack so a single-connection client
         // (the appender is also the subscriber) observes windows before
-        // the append that produced them completes.
+        // the append that produced them completes. Building the send
+        // plan takes the subs lock only briefly; the blocking writes
+        // below happen holding nothing but `delivery`, so a stalled
+        // consumer cannot wedge subscription registration or teardown
+        // either.
+        let mut sends: Vec<(Arc<dyn EmissionSink>, Response, String)> = Vec::new();
         let mut dead: Vec<String> = Vec::new();
         {
             let subs = inner.subs.lock();
@@ -433,9 +457,7 @@ impl QueryService {
                 frame.query_id = Some(e.query_id.clone());
                 frame.window = Some(e.clone());
                 frame.proto_version = Some(crate::protocol::PROTO_VERSION);
-                if b.sink.send(&frame).is_err() {
-                    dead.push(e.query_id.clone());
-                }
+                sends.push((Arc::clone(&b.sink), frame, e.query_id.clone()));
             }
             // A failed solve tears down exactly that subscription (the
             // engine already dropped it); the connection and the
@@ -454,12 +476,21 @@ impl QueryService {
                     Response::fail(&b.request_id, ErrorBody::new(code, f.error.clone()));
                 frame.query_id = Some(f.query_id.clone());
                 frame.proto_version = Some(crate::protocol::PROTO_VERSION);
-                let _ = b.sink.send(&frame);
                 inner.metrics.subscription_failed();
+                sends.push((Arc::clone(&b.sink), frame, f.query_id.clone()));
                 dead.push(f.query_id.clone());
             }
         }
+        for (sink, frame, query_id) in &sends {
+            if sink.send(frame).is_err() && !dead.contains(query_id) {
+                dead.push(query_id.clone());
+            }
+        }
+        // Re-acquiring `stream` for teardown needs the delivery lock
+        // released first (lock order is stream → delivery).
+        drop(delivery);
         if !dead.is_empty() {
+            let mut stream = inner.stream.lock();
             inner.subs.lock().retain(|b| !dead.contains(&b.query_id));
             for qid in &dead {
                 // Engine-side entries remain only for dead *sinks*;

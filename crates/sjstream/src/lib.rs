@@ -14,8 +14,13 @@
 //!
 //! # Semantics
 //!
-//! * **Watermark** — the minimum of all per-source clocks seen so far.
-//!   A window `[a, b)` is *ripe* (eligible for first emission) once the
+//! * **Watermark** — the high-water mark of the minimum over all
+//!   per-source clocks seen so far. Taking the running maximum makes
+//!   the watermark monotone: a source that first reports *after* the
+//!   watermark has advanced cannot drag it backwards, so windows the
+//!   sweep has already passed as final stay final (the late joiner's
+//!   too-old rows are rejected like any other late rows). A window
+//!   `[a, b)` is *ripe* (eligible for first emission) once the
 //!   watermark reaches `b`.
 //! * **Allowed lateness** — rows with `t ≥ watermark − lateness` are
 //!   accepted even when their window has already been emitted; the
@@ -30,6 +35,16 @@
 //!   by the row's exact-match key encoding) and counted, which keeps the
 //!   accepted prefix — the reference for the equivalence guarantee — a
 //!   well-defined set.
+//! * **Atomicity** — an append batch commits all-or-nothing: every row
+//!   is validated (arity, time-column type) before any row is accepted,
+//!   so a rejected batch leaves the prefix, the clocks, and every
+//!   cached window exactly as they were.
+//! * **Re-emission is driven by data, not by cache pressure** — each
+//!   subscription tracks which emitted windows were *dirtied* by
+//!   accepted rows. A cached evaluation evicted under byte-budget
+//!   pressure alone is simply recomputed lazily if ever needed; it is
+//!   never re-pushed to subscribers unless late data actually landed in
+//!   its input slice.
 //!
 //! # The equivalence guarantee
 //!
@@ -219,6 +234,12 @@ struct SubState {
     slots: Arc<EmissionSlots>,
     slots_erased: Arc<dyn EvictableSlot>,
     emitted_once: BTreeSet<i64>,
+    /// Already-emitted windows that accepted rows have dirtied since
+    /// their last successful emission — exactly the set the sweep may
+    /// re-emit. Distinguishes "stale because data changed" from "merely
+    /// evicted under cache-budget pressure", which must not re-emit.
+    /// A degraded emission leaves its window here so later sweeps retry.
+    dirty: BTreeSet<i64>,
     /// Windows below this id are final *and already swept*; the sweep
     /// resumes here.
     scan_from: Option<i64>,
@@ -234,6 +255,10 @@ pub struct StreamEngine {
     windows: TumblingWindows,
     streams: BTreeMap<String, StreamState>,
     clocks: BTreeMap<String, i64>,
+    /// Monotone watermark: the running maximum of `min(clocks)`.
+    /// Finality is judged against this, so a source joining late with
+    /// an old clock can never reopen windows already swept as final.
+    high_watermark: i64,
     subs: BTreeMap<String, SubState>,
     counters: StreamCounters,
 }
@@ -264,6 +289,7 @@ impl StreamEngine {
             windows,
             streams: BTreeMap::new(),
             clocks: BTreeMap::new(),
+            high_watermark: i64::MIN,
             subs: BTreeMap::new(),
             counters: StreamCounters::default(),
         }
@@ -285,9 +311,11 @@ impl StreamEngine {
     }
 
     /// Current watermark (microseconds), `i64::MIN` before any source
-    /// has reported a clock.
+    /// has reported a clock. Monotone: the running maximum of the
+    /// per-source clock minimum, so it never regresses when a new
+    /// source joins with an old clock.
     pub fn watermark_us(&self) -> i64 {
-        self.clocks.values().copied().min().unwrap_or(i64::MIN)
+        self.high_watermark
     }
 
     /// The ingest epoch of a dataset's accepted prefix (0 before any
@@ -353,6 +381,7 @@ impl StreamEngine {
                 slots,
                 slots_erased,
                 emitted_once: BTreeSet::new(),
+                dirty: BTreeSet::new(),
                 scan_from: None,
             },
         );
@@ -411,12 +440,47 @@ impl StreamEngine {
             );
         }
 
-        // Advance this source's clock (never backwards) and recompute the
-        // watermark before judging lateness, so a batch is measured
-        // against the clock it itself carries.
+        // Validate the whole batch before mutating *anything* — clocks
+        // included. A bad row must reject the batch atomically: were a
+        // prefix already committed, the client's BAD_REQUEST would lie
+        // and cached window emissions would silently diverge from the
+        // accepted prefix they are defined against.
+        let time_col = self.streams[&batch.dataset].time_col;
+        let mut times: Vec<Option<i64>> = Vec::with_capacity(batch.rows.len());
+        for row in &batch.rows {
+            if row.values().len() != schema.len() {
+                return Err(SjError::SemanticsInvalid(format!(
+                    "append row arity {} != schema arity {} for `{}`",
+                    row.values().len(),
+                    schema.len(),
+                    batch.dataset
+                )));
+            }
+            times.push(match time_col {
+                Some(tc) => match row.get(tc).as_time() {
+                    Some(t) => Some(t.as_micros()),
+                    None => {
+                        return Err(SjError::SemanticsInvalid(format!(
+                            "append row has non-time value in time column of `{}`",
+                            batch.dataset
+                        )))
+                    }
+                },
+                None => None,
+            });
+        }
+
+        // Advance this source's clock (never backwards) and raise the
+        // monotone watermark before judging lateness, so a batch is
+        // measured against the clock it itself carries. The watermark
+        // only ever goes up: a brand-new source whose first clock sits
+        // below the current watermark joins at the established cut
+        // instead of regressing finality for everyone.
         let clock = self.clocks.entry(batch.source.clone()).or_insert(i64::MIN);
         *clock = (*clock).max(batch.source_clock_us);
-        let watermark = self.watermark_us();
+        let floor = self.clocks.values().copied().min().unwrap_or(i64::MIN);
+        self.high_watermark = self.high_watermark.max(floor);
+        let watermark = self.high_watermark;
         let lateness_us = (self.config.allowed_lateness_secs * 1e6) as i64;
         let late_cut = watermark.saturating_sub(lateness_us);
 
@@ -427,27 +491,7 @@ impl StreamEngine {
         let (mut lo, mut hi) = (i64::MAX, i64::MIN);
         {
             let st = self.streams.get_mut(&batch.dataset).expect("seeded above");
-            for row in &batch.rows {
-                if row.values().len() != schema.len() {
-                    return Err(SjError::SemanticsInvalid(format!(
-                        "append row arity {} != schema arity {} for `{}`",
-                        row.values().len(),
-                        schema.len(),
-                        batch.dataset
-                    )));
-                }
-                let t = match st.time_col {
-                    Some(tc) => match row.get(tc).as_time() {
-                        Some(t) => Some(t.as_micros()),
-                        None => {
-                            return Err(SjError::SemanticsInvalid(format!(
-                                "append row has non-time value in time column of `{}`",
-                                batch.dataset
-                            )))
-                        }
-                    },
-                    None => None,
-                };
+            for (row, &t) in batch.rows.iter().zip(&times) {
                 if let Some(t) = t {
                     if t < 0 || t < late_cut {
                         out.late_dropped += 1;
@@ -480,29 +524,43 @@ impl StreamEngine {
             batch.dataset, out.accepted, out.late_dropped, out.duplicates_dropped
         ));
 
-        // Invalidation rule: drop exactly the cached cells whose input
-        // slice [a−h, b+h) intersects the appended event-time range.
-        // Datasets without a time column invalidate everything cached.
+        // Invalidation rule: every *emitted* window whose input slice
+        // [a−h, b+h) intersects the appended event-time range is stale —
+        // whether or not its cached evaluation is still resident (budget
+        // pressure may have evicted it; the dirty mark, not cache
+        // residency, is what schedules re-emission). Datasets without a
+        // time column dirty everything emitted. Final windows are left
+        // clean: no acceptable row can land inside them (rows below
+        // `late_cut` were rejected above), only in their horizon, and
+        // finality means they are never re-emitted regardless.
         if out.accepted > 0 {
+            let final_before = self.windows.window_of(late_cut);
             let sub_ids: Vec<String> = self.subs.keys().cloned().collect();
             for id in &sub_ids {
                 let sub = &self.subs[id];
                 if sub.plan.is_some() && !sub.loads.iter().any(|l| l == &batch.dataset) {
                     continue;
                 }
-                let cached: Vec<i64> = sub.slots.map.lock().keys().map(|&w| w as i64).collect();
-                let touched: Vec<i64> = if lo > hi {
-                    cached // timeless append: all cached windows are stale
+                let stale: Vec<i64> = if lo > hi {
+                    sub.emitted_once.iter().copied().collect()
                 } else {
                     let range = self.windows.touched_by(lo, hi);
-                    cached.into_iter().filter(|w| range.contains(w)).collect()
+                    sub.emitted_once
+                        .iter()
+                        .copied()
+                        .filter(|w| range.contains(w))
+                        .collect()
                 };
-                let owner = self.subs[id].owner_id;
-                for wid in touched {
+                let owner = sub.owner_id;
+                let sub = self.subs.get_mut(id).unwrap();
+                for wid in stale {
                     out.invalidated += self
                         .ctx
                         .stage_cache()
                         .invalidate_tag(window_tag(owner, wid));
+                    if wid >= final_before {
+                        sub.dirty.insert(wid);
+                    }
                 }
             }
         }
@@ -581,6 +639,7 @@ impl StreamEngine {
                 if next_scan_from == wid {
                     next_scan_from = wid + 1;
                 }
+                self.subs.get_mut(query_id).unwrap().dirty.remove(&wid);
                 continue;
             }
             let part = wid.max(0) as usize;
@@ -589,6 +648,15 @@ impl StreamEngine {
                 self.ctx
                     .stage_cache()
                     .record_hit(self.subs[query_id].owner_id, part);
+                continue;
+            }
+            if emitted && !self.subs[query_id].dirty.contains(&wid) {
+                // The cached evaluation was evicted under byte-budget
+                // pressure, but no late data landed in this window's
+                // input slice since its last successful emission: what
+                // subscribers hold is still exact, so recomputing —
+                // let alone re-pushing a spurious re_emission frame —
+                // would only burn work under cache pressure.
                 continue;
             }
             self.counters.incremental_recomputes += 1;
@@ -612,6 +680,7 @@ impl StreamEngine {
                 Ok((columns, rows)) => {
                     let bytes = emission_bytes(&columns, &rows);
                     let sub = self.subs.get_mut(query_id).unwrap();
+                    sub.dirty.remove(&wid);
                     sub.slots.map.lock().insert(
                         part,
                         CachedWindow {
@@ -634,6 +703,10 @@ impl StreamEngine {
                     frame.degraded = true;
                     frame.error = Some(e.to_string());
                     self.counters.degraded_windows += 1;
+                    // Keep (or mark) the window dirty so the next sweep
+                    // retries instead of pinning the degraded frame as
+                    // this window's last word.
+                    self.subs.get_mut(query_id).unwrap().dirty.insert(wid);
                 }
             }
             drop(eval_span);

@@ -1,0 +1,233 @@
+//! Regression tests for streaming-ingestion review findings:
+//!
+//! 1. An append batch commits atomically — a validation failure on any
+//!    row leaves the accepted prefix, the epoch, the clocks, and the
+//!    counters untouched, so cached window emissions can never diverge
+//!    from what the client was told was rejected.
+//! 2. The watermark is monotone — a source that first reports after the
+//!    watermark has advanced cannot drag it backwards and reopen
+//!    windows the sweep already passed as final.
+//! 3. Re-emission is driven by data, not by cache pressure — evicting a
+//!    cached window evaluation under byte-budget pressure must not
+//!    produce spurious `re_emission` frames.
+
+use sjcore::engine::{EngineConfig, Query, QueryValue};
+use sjcore::{Row, Timestamp, Value};
+use sjdata::{disarray_schedule, stream_catalog, Disarray};
+use sjdf::ExecCtx;
+use sjstream::{AppendBatch, StreamConfig, StreamEngine};
+
+/// The standing derive-rate + interpolation-join query used by the
+/// equivalence suite.
+fn standing_query() -> Query {
+    Query::new(
+        ["compute-node", "time"],
+        vec![
+            QueryValue::with_units("instructions", "instructions-per-ms"),
+            QueryValue::dim("temperature"),
+        ],
+    )
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_secs: 60.0,
+        allowed_lateness_secs: 120.0,
+        horizon_secs: 300.0,
+        eval_parts: 1,
+    }
+}
+
+fn fresh_engine(ctx: &ExecCtx) -> StreamEngine {
+    let catalog = stream_catalog(ctx).expect("stream catalog");
+    let mut engine = StreamEngine::new(ctx, catalog, stream_config(), EngineConfig::default());
+    engine
+        .subscribe("q-regress", "tenant-a", &standing_query())
+        .expect("subscribe");
+    engine
+}
+
+/// A well-formed `papi_counters` row (node, time, four counters).
+fn counter_row(t_us: i64, base: i64) -> Row {
+    Row::new(vec![
+        Value::str("cab0"),
+        Value::Time(Timestamp::from_micros(t_us)),
+        Value::Int(base),
+        Value::Int(base + 1),
+        Value::Int(base + 2),
+        Value::Int(base + 3),
+    ])
+}
+
+#[test]
+fn rejected_batch_mutates_nothing() {
+    let ctx = ExecCtx::local();
+    let mut engine = fresh_engine(&ctx);
+    for batch in disarray_schedule(Disarray::InOrder, 42, 20) {
+        engine.append(&batch).expect("append");
+    }
+    let watermark = engine.watermark_us();
+    let epoch = engine.epoch("papi_counters");
+    let rows = engine.accepted_rows("papi_counters").unwrap().len();
+    let counters = engine.counters();
+
+    let t = watermark + 1_000_000;
+    // Two acceptable rows followed by an arity-mismatched one: the good
+    // prefix must NOT be committed when the batch is rejected.
+    let short_row = Row::new(vec![
+        Value::str("cab0"),
+        Value::Time(Timestamp::from_micros(t)),
+        Value::Int(7),
+    ]);
+    let bad_arity = AppendBatch {
+        dataset: "papi_counters".into(),
+        source: "papi@rack0".into(),
+        source_clock_us: watermark + 2_000_000,
+        rows: vec![counter_row(t, 1), counter_row(t + 500_000, 2), short_row],
+    };
+    assert!(engine.append(&bad_arity).is_err());
+
+    // Same with a non-time value in the time column.
+    let wrong_time = Row::new(vec![
+        Value::str("cab0"),
+        Value::Int(12345), // not a Time
+        Value::Int(1),
+        Value::Int(2),
+        Value::Int(3),
+        Value::Int(4),
+    ]);
+    let bad_time = AppendBatch {
+        dataset: "papi_counters".into(),
+        source: "papi@rack0".into(),
+        source_clock_us: watermark + 2_000_000,
+        rows: vec![counter_row(t, 4), wrong_time],
+    };
+    assert!(engine.append(&bad_time).is_err());
+
+    assert_eq!(
+        engine.accepted_rows("papi_counters").unwrap().len(),
+        rows,
+        "a rejected batch must not commit any prefix of its rows"
+    );
+    assert_eq!(engine.epoch("papi_counters"), epoch, "epoch must not bump");
+    assert_eq!(
+        engine.watermark_us(),
+        watermark,
+        "a rejected batch must not advance its source's clock"
+    );
+    let after = engine.counters();
+    assert_eq!(after.rows_accepted, counters.rows_accepted);
+    assert_eq!(after.rows_late_dropped, counters.rows_late_dropped);
+    assert_eq!(after.window_re_emissions, counters.window_re_emissions);
+
+    // The same rows, resubmitted without the bad one, commit normally —
+    // and the emissions they trigger still match the cold oracle.
+    let good = AppendBatch {
+        dataset: "papi_counters".into(),
+        source: "papi@rack0".into(),
+        source_clock_us: watermark + 2_000_000,
+        rows: vec![counter_row(t, 1), counter_row(t + 500_000, 2)],
+    };
+    let out = engine.append(&good).expect("clean batch");
+    assert_eq!(out.accepted, 2);
+    for e in &out.emissions {
+        let (cold_cols, cold_rows) = engine.cold_window("q-regress", e.window_id).unwrap();
+        assert_eq!(e.columns, cold_cols);
+        assert_eq!(e.rows, cold_rows, "window {} diverged", e.window_id);
+    }
+}
+
+#[test]
+fn late_joining_source_cannot_regress_the_watermark() {
+    let ctx = ExecCtx::local();
+    let mut engine = fresh_engine(&ctx);
+    for batch in disarray_schedule(Disarray::InOrder, 42, 30) {
+        engine.append(&batch).expect("append");
+    }
+    let watermark = engine.watermark_us();
+    assert!(watermark > 0, "schedule advanced no clocks");
+
+    // A brand-new source reports with an ancient clock and an ancient
+    // row. Before the monotone watermark, min-over-clocks dropped to 0,
+    // late_cut regressed with it, and the row was accepted into a
+    // window the sweep had already passed as final-and-emitted — which
+    // was then never re-evaluated.
+    let ancient = AppendBatch {
+        dataset: "papi_counters".into(),
+        source: "papi@late-joiner".into(),
+        source_clock_us: 0,
+        rows: vec![counter_row(0, 1)],
+    };
+    let out = engine.append(&ancient).expect("append");
+    assert_eq!(
+        out.watermark_us, watermark,
+        "a new source's old clock must not regress the watermark"
+    );
+    assert_eq!(engine.watermark_us(), watermark);
+    assert_eq!(out.accepted, 0, "rows older than the frozen cut are rejected");
+    assert_eq!(out.late_dropped, 1);
+    assert!(
+        out.emissions.is_empty(),
+        "nothing changed, nothing re-emits: {:?}",
+        out.emissions
+    );
+
+    // The late joiner participates normally from the established cut
+    // onward: recent rows are accepted.
+    let t = watermark - 1_000_000;
+    let recent = AppendBatch {
+        dataset: "papi_counters".into(),
+        source: "papi@late-joiner".into(),
+        source_clock_us: watermark,
+        rows: vec![counter_row(t, 9)],
+    };
+    let out = engine.append(&recent).expect("append");
+    assert_eq!(out.accepted, 1);
+    for e in &out.emissions {
+        let (cold_cols, cold_rows) = engine.cold_window("q-regress", e.window_id).unwrap();
+        assert_eq!(e.columns, cold_cols);
+        assert_eq!(e.rows, cold_rows, "window {} diverged", e.window_id);
+    }
+}
+
+/// Replay one schedule and log every emission as (window id,
+/// re_emission), byte-checking each against the cold oracle.
+fn emission_log(stage_cache_budget: Option<u64>) -> Vec<(i64, bool)> {
+    let ctx = ExecCtx::local();
+    if let Some(bytes) = stage_cache_budget {
+        ctx.set_cache_budget(bytes);
+    }
+    let mut engine = fresh_engine(&ctx);
+    let mut log = Vec::new();
+    for batch in disarray_schedule(Disarray::InOrder, 42, 30) {
+        let out = engine.append(&batch).expect("append");
+        for e in &out.emissions {
+            assert!(!e.degraded, "no faults installed: {:?}", e.error);
+            let (cold_cols, cold_rows) = engine.cold_window("q-regress", e.window_id).unwrap();
+            assert_eq!(e.columns, cold_cols);
+            assert_eq!(
+                e.rows, cold_rows,
+                "window {} diverged under budget {stage_cache_budget:?}",
+                e.window_id
+            );
+            log.push((e.window_id, e.re_emission));
+        }
+    }
+    log
+}
+
+#[test]
+fn cache_pressure_does_not_change_the_emission_schedule() {
+    // Unlimited budget vs. a budget so tight every cached window
+    // evaluation is evicted immediately after insertion. Eviction alone
+    // must never push frames: subscribers only see re-emissions when
+    // late data actually dirtied a window, so the two logs are
+    // identical.
+    let unlimited = emission_log(None);
+    let starved = emission_log(Some(1));
+    assert!(!unlimited.is_empty(), "schedule emitted nothing");
+    assert_eq!(
+        unlimited, starved,
+        "byte-budget pressure changed what subscribers were sent"
+    );
+}

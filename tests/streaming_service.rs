@@ -8,7 +8,10 @@
 use sjdata::{disarray_schedule, stream_catalog, Disarray};
 use sjdf::ExecCtx;
 use sjserve::protocol::codes;
-use sjserve::{serve, Client, ClientError, QueryService, QuerySpec, ServiceConfig, ValueSpec};
+use sjserve::{
+    serve, Client, ClientError, EmissionSink, QueryService, QuerySpec, Request, Response,
+    ServiceConfig, ValueSpec, Verb,
+};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -238,4 +241,101 @@ fn truncated_search_tears_down_only_that_subscription() {
     // The connection itself survived the teardown: it can still run a
     // one-shot query end to end.
     handle.stop();
+}
+
+/// Regression: a subscriber stalled mid-`send` (full TCP buffer in the
+/// real world) must not wedge the service. Frame delivery happens
+/// outside the stream lock, so while one delivery is parked, stats keep
+/// answering, new subscriptions register, and the engine stays live.
+#[test]
+fn stalled_subscriber_does_not_wedge_the_service() {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Blocks every `send` until the gate opens, like a consumer whose
+    /// socket stopped draining.
+    struct GatedSink {
+        open: Mutex<bool>,
+        cvar: Condvar,
+        parked: AtomicBool,
+        frames: AtomicUsize,
+    }
+    impl EmissionSink for GatedSink {
+        fn send(&self, _frame: &Response) -> std::io::Result<()> {
+            self.frames.fetch_add(1, Ordering::SeqCst);
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                self.parked.store(true, Ordering::SeqCst);
+                open = self.cvar.wait(open).unwrap();
+            }
+            self.parked.store(false, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+    struct NullSink;
+    impl EmissionSink for NullSink {
+        fn send(&self, _frame: &Response) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let service = streaming_service(ServiceConfig::default());
+    let gated = Arc::new(GatedSink {
+        open: Mutex::new(false),
+        cvar: Condvar::new(),
+        parked: AtomicBool::new(false),
+        frames: AtomicUsize::new(0),
+    });
+    let sink: Arc<dyn EmissionSink> = gated.clone();
+    let ack = service.handle_streaming(Request::subscribe("r-sub", "tenant-a", joined_spec()), &sink);
+    assert!(ack.subscription.is_some(), "subscribe failed: {ack:?}");
+
+    // Pump the schedule from its own thread; the first ripened window's
+    // frame parks inside the gated sink's `send`.
+    let pumping = service.clone();
+    let appender = std::thread::spawn(move || {
+        let mut emitted = 0usize;
+        for (i, batch) in disarray_schedule(Disarray::InOrder, 42, 20)
+            .into_iter()
+            .enumerate()
+        {
+            let r = pumping.handle(Request::append(&format!("a{i}"), "ingest", batch));
+            assert!(r.is_ok(), "append {i} failed: {r:?}");
+            emitted += r.append.expect("append ack").windows_emitted;
+        }
+        emitted
+    });
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !gated.parked.load(Ordering::SeqCst) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no frame delivery ever parked"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Delivery is parked right now. Monitoring and registration must
+    // still complete (pre-fix, both wedged behind the stream mutex the
+    // blocked appender held across its TCP write).
+    let stats = service.handle(Request::bare("r-stats", Verb::Stats));
+    assert!(
+        stats.stats.is_some(),
+        "stats wedged behind a stalled subscriber"
+    );
+    let other: Arc<dyn EmissionSink> = Arc::new(NullSink);
+    let sub2 =
+        service.handle_streaming(Request::subscribe("r-sub2", "tenant-b", joined_spec()), &other);
+    assert!(
+        sub2.subscription.is_some(),
+        "subscribe wedged behind a stalled subscriber: {sub2:?}"
+    );
+
+    // Open the gate; the pump drains and finishes.
+    *gated.open.lock().unwrap() = true;
+    gated.cvar.notify_all();
+    let emitted = appender.join().expect("append thread");
+    assert!(emitted > 0, "schedule never emitted a window");
+    assert!(gated.frames.load(Ordering::SeqCst) > 0);
+    service.shutdown();
 }
