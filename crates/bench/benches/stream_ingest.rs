@@ -50,6 +50,7 @@ fn stream_config() -> StreamConfig {
         allowed_lateness_secs: 120.0,
         horizon_secs: 150.0,
         eval_parts: 1,
+        ..StreamConfig::default()
     }
 }
 

@@ -1,0 +1,147 @@
+//! Wire-transport throughput: the same hot query-response path over
+//! the framed binary transport (sjwire, columnar payload codec) versus
+//! the original JSON-lines transport, against one `sjserved` worker.
+//!
+//! The worker holds a single wide dataset and answers the identical
+//! query from its result cache, so each round trip costs admission,
+//! response encoding, the loopback socket, and client decoding — the
+//! transport is the variable. Before the clock starts, a byte-identity
+//! probe asserts both transports decode the same result (columns, rows,
+//! row count, truncation) from the same server.
+//!
+//! The run asserts the binary transport clears the 2x throughput floor
+//! over JSON-lines and writes both rates to `BENCH_wire.json` (the CI
+//! `wire` job gates on >10% regression against the committed numbers).
+//!
+//! Custom harness (`harness = false`); does nothing unless `--bench` is
+//! on the command line, matching the vendored criterion's behaviour.
+
+use std::time::{Duration, Instant};
+
+use sjcore::catalog::Catalog;
+use sjcore::row::Row;
+use sjcore::schema::{FieldDef, Schema};
+use sjcore::semantics::FieldSemantics;
+use sjcore::value::Value;
+use sjcore::SjDataset;
+use sjdf::ExecCtx;
+use sjserve::protocol::QuerySpec;
+use sjserve::server::{serve, wait_ready};
+use sjserve::service::{QueryService, ServiceConfig};
+use sjserve::Client;
+
+const ROWS: usize = 8_000;
+const ITERS: usize = 150;
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+fn service() -> QueryService {
+    let ctx = ExecCtx::local();
+    let schema = Schema::new(vec![
+        FieldDef::new("NODEID", FieldSemantics::domain("compute-node", "node-id")),
+        FieldDef::new("power", FieldSemantics::value("power", "watts")),
+    ])
+    .expect("bench schema");
+    // Fully-qualified node locators, the shape real joined telemetry
+    // rows take after derivation (hierarchical position, not a bare
+    // hostname).
+    let rows = (0..ROWS)
+        .map(|i| {
+            Row::new(vec![
+                Value::str(format!(
+                    "cluster-a/rack{:02}/chassis{}/board{}/node{i:05}/cpu{}",
+                    i % 48,
+                    i % 6,
+                    i % 4,
+                    i % 2,
+                )),
+                Value::Float(100.0 + (i as f64) * 0.125),
+            ])
+        })
+        .collect();
+    let dataset = SjDataset::from_rows(&ctx, rows, schema, "node_power", 1);
+    let mut catalog = Catalog::default_hpc();
+    catalog
+        .register_dataset("node_power", dataset)
+        .expect("register");
+    QueryService::new(
+        ctx,
+        catalog,
+        ServiceConfig {
+            // The measurement targets the wire, not the executor: every
+            // request after the warm-up is a result-cache hit.
+            result_cache_bytes: 32 << 20,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn spec() -> QuerySpec {
+    let mut spec = QuerySpec::new(["compute-node"], ["power"]);
+    spec.limit = Some(ROWS);
+    spec
+}
+
+fn drive(client: &mut Client) -> f64 {
+    // Warm-up: populate the result cache and fault in the code path.
+    let warm = client.query(spec(), None).expect("warm-up query");
+    assert_eq!(warm.result.as_ref().map(|r| r.rows.len()), Some(ROWS));
+    let started = Instant::now();
+    for i in 0..ITERS {
+        let resp = client.query(spec(), None).expect("bench query");
+        let result = resp.result.as_ref().expect("result");
+        assert_eq!(result.rows.len(), ROWS, "iteration {i} lost rows");
+        assert!(result.result_cache_hit, "iteration {i} missed the cache");
+    }
+    ITERS as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+
+    let handle = serve(service(), "127.0.0.1:0").expect("bind worker");
+    assert!(wait_ready(handle.addr, Duration::from_secs(5)));
+
+    let mut binary = Client::connect_as(handle.addr, "bench").expect("binary connect");
+    let mut json = Client::connect_json_as(handle.addr, "bench").expect("json connect");
+    assert_eq!(binary.wire_info().codec, sjwire::CODEC_COLUMNAR);
+    assert_eq!(json.wire_info().codec, sjwire::CODEC_JSON_LINES);
+
+    // Byte-identity probe: both transports must decode the same answer.
+    let b = binary.query(spec(), None).expect("binary probe");
+    let j = json.query(spec(), None).expect("json probe");
+    let (b, j) = (
+        b.result.expect("binary result"),
+        j.result.expect("json result"),
+    );
+    let identity_verified = b.columns == j.columns
+        && b.rows == j.rows
+        && b.row_count == j.row_count
+        && b.truncated == j.truncated;
+    assert!(identity_verified, "transports decoded different results");
+
+    let json_qps = drive(&mut json);
+    let binary_qps = drive(&mut binary);
+    let speedup = binary_qps / json_qps;
+    handle.stop();
+
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "binary transport must clear {SPEEDUP_FLOOR}x JSON-lines throughput on the hot \
+         path (got {speedup:.2}x: binary {binary_qps:.1} q/s vs json {json_qps:.1} q/s)"
+    );
+
+    let out_json = format!(
+        "{{\n  \"bench\": \"wire_throughput\",\n  \"rows\": {ROWS},\n  \
+         \"iters\": {ITERS},\n  \"json_qps\": {json_qps:.2},\n  \
+         \"binary_qps\": {binary_qps:.2},\n  \"speedup\": {speedup:.2},\n  \
+         \"speedup_floor\": {SPEEDUP_FLOOR},\n  \"identity_verified\": {identity_verified}\n}}\n",
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+    std::fs::write(out, &out_json).expect("write BENCH_wire.json");
+    println!(
+        "wire_throughput: binary {binary_qps:.1} q/s vs json-lines {json_qps:.1} q/s \
+         ({speedup:.2}x, floor {SPEEDUP_FLOOR}x) -> BENCH_wire.json"
+    );
+}

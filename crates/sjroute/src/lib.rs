@@ -22,6 +22,11 @@
 //!   invalidation ([`cache`]). Implements
 //!   [`sjserve::server::RequestHandler`], so the stock JSON-lines TCP
 //!   front end serves it unmodified.
+//! - [`stream`] — streamed fan-out: `subscribe: true` through the
+//!   router opens one upstream subscription per worker reproducing the
+//!   reference plan and merges their (byte-identical) frame streams in
+//!   lockstep; forwarded appends reach every live owner so the fleet's
+//!   accepted prefix matches a single node's.
 //! - [`chaos`] — seeded whole-worker kill schedules for the chaos
 //!   tests.
 //!
@@ -38,6 +43,7 @@ pub mod metrics;
 pub mod placement;
 pub mod ring;
 pub mod router;
+pub(crate) mod stream;
 pub mod topology;
 
 pub use cache::RouteCache;

@@ -27,6 +27,14 @@ pub struct RouterMetrics {
     degraded: AtomicU64,
     queue_depth: AtomicU64,
     queue_depth_peak: AtomicU64,
+    requests_json: AtomicU64,
+    requests_binary: AtomicU64,
+    streams_active: AtomicU64,
+    stream_frames_pushed: AtomicU64,
+    stream_worker_frames: AtomicU64,
+    stream_re_emissions: AtomicU64,
+    stream_appends_forwarded: AtomicU64,
+    stream_worker_losses: AtomicU64,
     latency: Mutex<Histogram>,
     tenants: Mutex<BTreeMap<String, TenantStats>>,
 }
@@ -45,6 +53,14 @@ impl Default for RouterMetrics {
             degraded: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
+            requests_json: AtomicU64::new(0),
+            requests_binary: AtomicU64::new(0),
+            streams_active: AtomicU64::new(0),
+            stream_frames_pushed: AtomicU64::new(0),
+            stream_worker_frames: AtomicU64::new(0),
+            stream_re_emissions: AtomicU64::new(0),
+            stream_appends_forwarded: AtomicU64::new(0),
+            stream_worker_losses: AtomicU64::new(0),
             latency: Mutex::new(Histogram::default()),
             tenants: Mutex::new(BTreeMap::new()),
         }
@@ -112,6 +128,52 @@ impl RouterMetrics {
         f(entry);
     }
 
+    /// One request arrived on a connection of the given transport.
+    pub fn protocol_request(&self, binary: bool) {
+        if binary {
+            self.requests_binary.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.requests_json.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A streamed fan-out subscription opened on this router.
+    pub fn stream_opened(&self) {
+        self.streams_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A streamed fan-out subscription ended (client or teardown).
+    pub fn stream_closed(&self) {
+        // Saturating: teardown paths may race connection close.
+        let _ = self
+            .streams_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// One merged frame pushed to a router subscriber.
+    pub fn frame_pushed(&self, re_emission: bool) {
+        self.stream_frames_pushed.fetch_add(1, Ordering::Relaxed);
+        if re_emission {
+            self.stream_re_emissions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One window frame received from a worker subscription.
+    pub fn worker_frame(&self) {
+        self.stream_worker_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One append batch forwarded to `n` workers.
+    pub fn appends_forwarded(&self, n: usize) {
+        self.stream_appends_forwarded
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// A worker died while a router subscription depended on it.
+    pub fn stream_worker_lost(&self) {
+        self.stream_worker_losses.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn queue_depth_changed(&self, depth: usize) {
         let depth = depth as u64;
         self.queue_depth.store(depth, Ordering::Relaxed);
@@ -164,6 +226,14 @@ impl RouterMetrics {
             route_latency_ms_p50: latency.quantile_ms(0.50),
             route_latency_ms_p99: latency.quantile_ms(0.99),
             route_latency_ms_max: latency.max_ms(),
+            requests_json: self.requests_json.load(Ordering::Relaxed),
+            requests_binary: self.requests_binary.load(Ordering::Relaxed),
+            streams_active: self.streams_active.load(Ordering::Relaxed),
+            stream_frames_pushed: self.stream_frames_pushed.load(Ordering::Relaxed),
+            stream_worker_frames: self.stream_worker_frames.load(Ordering::Relaxed),
+            stream_re_emissions: self.stream_re_emissions.load(Ordering::Relaxed),
+            stream_appends_forwarded: self.stream_appends_forwarded.load(Ordering::Relaxed),
+            stream_worker_losses: self.stream_worker_losses.load(Ordering::Relaxed),
             workers,
             per_tenant,
         }
@@ -190,8 +260,27 @@ mod tests {
         m.queue_depth_changed(5);
         m.queue_depth_changed(1);
         m.route_finished(Duration::from_millis(8));
+        m.protocol_request(true);
+        m.protocol_request(true);
+        m.protocol_request(false);
+        m.stream_opened();
+        m.stream_opened();
+        m.stream_closed();
+        m.frame_pushed(false);
+        m.frame_pushed(true);
+        m.worker_frame();
+        m.appends_forwarded(3);
+        m.stream_worker_lost();
         let s = m.snapshot(3, 2, Vec::new());
         assert_eq!(s.routed_queries, 2);
+        assert_eq!(s.requests_binary, 2);
+        assert_eq!(s.requests_json, 1);
+        assert_eq!(s.streams_active, 1);
+        assert_eq!(s.stream_frames_pushed, 2);
+        assert_eq!(s.stream_re_emissions, 1);
+        assert_eq!(s.stream_worker_frames, 1);
+        assert_eq!(s.stream_appends_forwarded, 3);
+        assert_eq!(s.stream_worker_losses, 1);
         assert_eq!(s.scatter_gather_queries, 1);
         assert_eq!(s.worker_markdowns, 1);
         assert_eq!(s.failovers, 1);

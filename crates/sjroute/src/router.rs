@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use sjcore::engine::{EngineConfig, Query, QueryEngine, QueryValue};
+use sjcore::engine::{EngineConfig, Plan, Query, QueryEngine, QueryValue};
 use sjcore::SjError;
 use sjdf::ExecCtx;
 use sjserve::cache::{PlanCacheLayer, PlanKey};
@@ -41,14 +41,15 @@ use sjserve::client::{Client, ClientError};
 use sjserve::metrics::RouterStatsReport;
 use sjserve::protocol::{
     codes, CatalogInfo, ErrorBody, HealthReport, PlanInfo, QuerySpec, Request, Response,
-    TraceSummary, Verb, PROTO_VERSION,
+    SubscriptionAck, TraceSummary, Verb, PROTO_VERSION,
 };
 use sjserve::scheduler::{AdmissionError, Job, ResponseSlot, Scheduler, SchedulerConfig};
-use sjserve::server::RequestHandler;
+use sjserve::server::{EmissionSink, RequestHandler};
 use sjtrace::{EventKind, RecordedSpan, SpanEvent, SpanId};
 
 use crate::cache::RouteCache;
 use crate::metrics::RouterMetrics;
+use crate::stream::RouterStreams;
 use crate::topology::Topology;
 
 /// Router-wide tuning.
@@ -99,6 +100,8 @@ pub(crate) struct RouterInner {
     pub(crate) plan_cache: PlanCacheLayer,
     pub(crate) route_cache: RouteCache,
     pub(crate) metrics: RouterMetrics,
+    /// Standing queries routed across the fleet (see [`crate::stream`]).
+    pub(crate) streams: RouterStreams,
     scheduler: Scheduler,
     route_workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     heartbeat_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -129,6 +132,7 @@ impl Router {
             plan_cache: PlanCacheLayer::new(),
             route_cache,
             metrics: RouterMetrics::new(),
+            streams: RouterStreams::new(),
             scheduler: Scheduler::new(config.scheduler.clone()),
             route_workers: Mutex::new(Vec::new()),
             heartbeat_thread: Mutex::new(None),
@@ -221,22 +225,19 @@ impl Router {
                     r
                 }
                 Verb::Shutdown => Response::ok(&request.id),
-                // Streaming is worker-local for now: a standing query's
-                // frames would have to be merged across shards and
-                // replayed through failovers, which the router does not
-                // attempt. Clients subscribe directly to a worker.
-                Verb::Append => Response::fail(
-                    &request.id,
-                    ErrorBody::new(
-                        codes::STREAM_UNSUPPORTED,
-                        "routers do not proxy streaming appends; send them to a worker",
-                    ),
-                ),
+                // Appends run inline on the connection thread (same as
+                // a worker) so forwarded batches stay ordered per
+                // connection — the lockstep frame merge depends on
+                // every fed worker seeing the same accepted prefix.
+                Verb::Append => self.handle_append(&request),
+                // A subscription needs a streaming-capable transport; a
+                // plain `handle` has no sink to push frames to.
                 Verb::Query if request.subscribe == Some(true) => Response::fail(
                     &request.id,
                     ErrorBody::new(
                         codes::STREAM_UNSUPPORTED,
-                        "routers do not proxy standing queries; subscribe to a worker directly",
+                        "standing queries (`subscribe: true`) need a streaming-capable \
+                         connection; this path cannot deliver pushed frames",
                     ),
                 ),
                 Verb::Query | Verb::Explain => self.enqueue_and_wait(request, started),
@@ -244,6 +245,327 @@ impl Router {
         };
         response.proto_version = Some(PROTO_VERSION);
         response
+    }
+
+    /// Handle one request on a streaming-capable transport: like
+    /// [`Router::handle`], but `subscribe: true` opens a fleet-wide
+    /// standing query whose merged window frames are pushed to `sink`
+    /// for the rest of the connection's life.
+    pub fn handle_streaming(&self, request: Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        if request.verb != Verb::Query || request.subscribe != Some(true) {
+            return self.handle(request);
+        }
+        let mut response = match request.proto_version {
+            Some(v) if v != PROTO_VERSION => Response::fail(
+                &request.id,
+                ErrorBody::new(
+                    codes::PROTO_MISMATCH,
+                    format!("peer speaks protocol v{v}, this router speaks v{PROTO_VERSION}"),
+                ),
+            ),
+            _ => self.handle_subscribe(&request, sink),
+        };
+        response.proto_version = Some(PROTO_VERSION);
+        response
+    }
+
+    /// Drop every routed subscription bound to `sink` (its connection
+    /// ended).
+    pub fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
+        self.inner.streams.connection_closed(&self.inner, sink);
+    }
+
+    /// Forward one append batch to **every** live worker holding the
+    /// dataset. All owners must ingest the same prefix in the same
+    /// order, or their standing-query emissions diverge; a worker that
+    /// misses a batch is treated as lost by every routed subscription
+    /// it feeds (see [`crate::stream`]).
+    fn handle_append(&self, request: &Request) -> Response {
+        let inner = &self.inner;
+        let id = &request.id;
+        let batch = match &request.append {
+            Some(batch) => batch,
+            None => {
+                return Response::fail(
+                    id,
+                    ErrorBody::new(codes::BAD_REQUEST, "append requires an `append` payload"),
+                )
+            }
+        };
+        let owners: Vec<usize> = inner
+            .topology
+            .planning()
+            .owners
+            .get(&batch.dataset)
+            .cloned()
+            .unwrap_or_default();
+        if owners.is_empty() {
+            return Response::fail(
+                id,
+                ErrorBody::new(
+                    codes::NO_ROUTE,
+                    format!("no worker holds dataset `{}`", batch.dataset),
+                ),
+            );
+        }
+        let live: Vec<usize> = owners
+            .iter()
+            .copied()
+            .filter(|&w| inner.topology.workers[w].healthy())
+            .collect();
+        if live.is_empty() {
+            return Response::fail(
+                id,
+                ErrorBody::new(
+                    codes::WORKER_UNAVAILABLE,
+                    format!("every worker holding `{}` is marked down", batch.dataset),
+                ),
+            );
+        }
+        let timeout = request
+            .timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or(inner.config.scheduler.default_timeout);
+        let deadline = Instant::now() + timeout;
+        let mut ack: Option<Response> = None;
+        let mut worker_error: Option<Response> = None;
+        let mut refused: Vec<usize> = Vec::new();
+        let mut lost: Vec<usize> = Vec::new();
+        let mut errors: Vec<String> = Vec::new();
+        let mut forwarded = 0usize;
+        for &idx in &live {
+            let mut sub = Request::append(&format!("{id}.a{idx}"), &request.tenant, batch.clone())
+                .with_proto();
+            sub.bulk = request.bulk;
+            sub.timeout_ms = Some(timeout.as_millis() as u64);
+            match dispatch(inner, idx, &sub, deadline) {
+                Ok(resp) if resp.is_ok() && resp.append.is_some() => {
+                    forwarded += 1;
+                    if ack.is_none() {
+                        ack = Some(resp);
+                    }
+                }
+                Ok(resp) => {
+                    // A structured refusal: this worker did not ingest
+                    // the batch. If others did, its prefix diverged.
+                    errors.push(format!(
+                        "worker {}: {}",
+                        inner.topology.workers[idx].addr,
+                        resp.error
+                            .as_ref()
+                            .map(|e| format!("{}: {}", e.code, e.message))
+                            .unwrap_or_else(|| resp.status.clone())
+                    ));
+                    if worker_error.is_none() {
+                        worker_error = Some(resp);
+                    }
+                    refused.push(idx);
+                }
+                Err(e) => {
+                    errors.push(e);
+                    lost.push(idx);
+                }
+            }
+        }
+        inner.metrics.appends_forwarded(forwarded);
+        // A transport failure means the worker may be gone entirely: its
+        // feeds cannot be trusted even if nobody else ingested the batch
+        // (retrying the append later would diverge its prefix anyway).
+        for &idx in &lost {
+            inner.streams.worker_lost(idx);
+        }
+        if forwarded > 0 {
+            // Partial ingestion: workers that *refused* the batch while
+            // others accepted it can no longer feed lockstep merges
+            // either.
+            for idx in refused {
+                inner.streams.worker_lost(idx);
+            }
+            let mut r = Response::ok(id);
+            // Replica acks are identical over an identical accepted
+            // prefix; relay the first.
+            r.append = ack.and_then(|a| a.append);
+            return r;
+        }
+        // Nobody ingested it. A structured worker refusal (bad payload,
+        // unknown source...) is more useful than a transport summary.
+        if let Some(mut resp) = worker_error {
+            resp.id = id.clone();
+            return resp;
+        }
+        Response::fail(
+            id,
+            ErrorBody::new(
+                codes::WORKER_UNAVAILABLE,
+                format!(
+                    "append to `{}` reached no worker: {}",
+                    batch.dataset,
+                    errors.join("; ")
+                ),
+            ),
+        )
+    }
+
+    /// Register a fleet-wide standing query: subscribe on every live
+    /// worker that reproduces the reference plan locally, then merge
+    /// their frame streams in lockstep (see [`crate::stream`]).
+    fn handle_subscribe(&self, request: &Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        let inner = &self.inner;
+        let id = &request.id;
+        let spec = match &request.query {
+            Some(spec) => spec.clone(),
+            None => {
+                return Response::fail(
+                    id,
+                    ErrorBody::new(codes::BAD_REQUEST, "subscribe requires a `query` payload"),
+                )
+            }
+        };
+        if spec.domains.is_empty() || spec.values.is_empty() {
+            return Response::fail(
+                id,
+                ErrorBody::new(codes::BAD_REQUEST, "query needs domains and values"),
+            );
+        }
+        let window = spec
+            .window_secs
+            .unwrap_or(inner.config.engine.interp_window_secs);
+        let step = spec
+            .step_secs
+            .unwrap_or(inner.config.engine.explode_step_secs);
+        if !window.is_finite() || window < 0.0 || !step.is_finite() || step < 0.0 {
+            return Response::fail(
+                id,
+                ErrorBody::new(
+                    codes::BAD_REQUEST,
+                    format!(
+                        "window_secs and step_secs must be finite and non-negative \
+                         (got window={window}, step={step})"
+                    ),
+                ),
+            );
+        }
+        let route_engine = EngineConfig {
+            interp_window_secs: window,
+            explode_step_secs: step,
+            ..inner.config.engine.clone()
+        };
+        let query = Query {
+            domains: spec.domains.clone(),
+            values: spec
+                .values
+                .iter()
+                .map(|v| QueryValue {
+                    dimension: v.dimension.clone(),
+                    units: v.units.clone(),
+                })
+                .collect(),
+        };
+        let (canonical, plan, _) = match solve_reference(inner, &query, window, step, &route_engine)
+        {
+            Ok(t) => t,
+            Err(body) => return Response::fail(id, body),
+        };
+        let cover: Vec<String> = plan.loads().iter().map(|s| s.to_string()).collect();
+        let cover_key = {
+            let mut sorted = cover.clone();
+            sorted.sort_unstable();
+            sorted.join(",")
+        };
+        let (live, all) =
+            inner
+                .topology
+                .local_solvers(&canonical, &route_engine, plan.fingerprint(), &cover_key);
+        if live.is_empty() {
+            return if all.is_empty() {
+                Response::fail(
+                    id,
+                    ErrorBody::new(
+                        codes::NO_ROUTE,
+                        format!(
+                            "a standing query over {cover:?} needs a worker reproducing \
+                             the reference derivation locally, and none does"
+                        ),
+                    ),
+                )
+            } else {
+                Response::fail(
+                    id,
+                    ErrorBody::new(
+                        codes::WORKER_UNAVAILABLE,
+                        "every worker able to serve this standing query is marked down",
+                    ),
+                )
+            };
+        }
+        let query_id = format!(
+            "rs{:06}-{}",
+            inner.query_seq.fetch_add(1, Ordering::Relaxed),
+            id
+        );
+        // Subscribe upstream on every live local solver. Workers that
+        // refuse are skipped (and counted against); the merge runs over
+        // whoever acked.
+        let mut feeds: Vec<(usize, Client)> = Vec::new();
+        let mut ack: Option<SubscriptionAck> = None;
+        let mut errors: Vec<String> = Vec::new();
+        for &idx in &live {
+            let addr = inner.topology.workers[idx].addr.clone();
+            let attempt = (|| -> Result<(Client, SubscriptionAck), String> {
+                let mut client = Client::connect_as(addr.as_str(), &request.tenant)
+                    .map_err(|e| format!("worker {addr}: {e}"))?;
+                let sub = Request::subscribe(
+                    &format!("{query_id}.w{idx}"),
+                    &request.tenant,
+                    spec.clone(),
+                )
+                .with_proto();
+                let resp = client
+                    .call(&sub)
+                    .map_err(|e| format!("worker {addr}: {e}"))?;
+                match resp.subscription {
+                    Some(ack) if resp.is_ok() => Ok((client, ack)),
+                    _ => Err(format!(
+                        "worker {addr}: subscribe refused: {}",
+                        resp.error
+                            .map(|e| format!("{}: {}", e.code, e.message))
+                            .unwrap_or(resp.status)
+                    )),
+                }
+            })();
+            match attempt {
+                Ok((client, worker_ack)) => {
+                    ack.get_or_insert(worker_ack);
+                    feeds.push((idx, client));
+                }
+                Err(e) => {
+                    note_failure(inner, idx);
+                    errors.push(e);
+                }
+            }
+        }
+        if feeds.is_empty() {
+            return Response::fail(
+                id,
+                ErrorBody::new(
+                    codes::WORKER_UNAVAILABLE,
+                    format!(
+                        "no worker accepted the standing query: {}",
+                        errors.join("; ")
+                    ),
+                ),
+            );
+        }
+        let ack = ack.expect("at least one feed acked");
+        RouterStreams::open(&self.inner, query_id.clone(), id.clone(), sink, feeds);
+        let mut r = Response::ok(id);
+        r.query_id = Some(query_id.clone());
+        r.subscription = Some(SubscriptionAck {
+            query_id,
+            window_secs: ack.window_secs,
+            allowed_lateness_secs: ack.allowed_lateness_secs,
+        });
+        r
     }
 
     fn enqueue_and_wait(&self, request: Request, started: Instant) -> Response {
@@ -345,6 +667,7 @@ impl Router {
     /// with a shutdown error, and return the final metrics snapshot.
     pub fn shutdown(&self) -> RouterStatsReport {
         self.inner.stop.store(true, Ordering::Release);
+        self.inner.streams.shutdown_all(&self.inner);
         if let Some(handle) = self.inner.heartbeat_thread.lock().take() {
             let _ = handle.join();
         }
@@ -369,8 +692,55 @@ impl RequestHandler for Router {
         Router::handle(self, request)
     }
 
+    fn handle_streaming(&self, request: Request, sink: &Arc<dyn EmissionSink>) -> Response {
+        Router::handle_streaming(self, request, sink)
+    }
+
+    fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
+        Router::connection_closed(self, sink)
+    }
+
+    fn protocol_request(&self, binary: bool) {
+        self.inner.metrics.protocol_request(binary)
+    }
+
     fn shutdown(&self) -> RouterStatsReport {
         Router::shutdown(self)
+    }
+}
+
+/// Canonicalize `query` and solve it against the combined planning
+/// catalog through the plan cache — the **reference plan** all routing
+/// decisions compare against. The planning read guard is held for the
+/// solve but never across a network call. Returns `(canonical query,
+/// plan, cache hit)`.
+fn solve_reference(
+    inner: &RouterInner,
+    query: &Query,
+    window: f64,
+    step: f64,
+    route_engine: &EngineConfig,
+) -> Result<(Query, std::sync::Arc<Plan>, bool), ErrorBody> {
+    let planning = inner.topology.planning();
+    let canonical = query
+        .canonicalize(planning.catalog.dict())
+        .map_err(|e| ErrorBody::new(codes::BAD_REQUEST, e.to_string()))?;
+    let key = PlanKey::new(&canonical, window, step)
+        .ok_or_else(|| ErrorBody::new(codes::BAD_REQUEST, "window/step do not form a plan key"))?;
+    if let Some(plan) = inner.plan_cache.get(&key) {
+        return Ok((canonical, plan, true));
+    }
+    let engine = QueryEngine::with_config(&planning.catalog, route_engine.clone());
+    match engine.solve(&canonical) {
+        Ok(plan) => {
+            let plan = inner.plan_cache.insert(key, plan);
+            Ok((canonical, plan, false))
+        }
+        Err(SjError::NoSolution(msg)) => Err(ErrorBody::new(codes::NO_SOLUTION, msg)),
+        Err(e @ SjError::SearchTruncated { .. }) => {
+            Err(ErrorBody::new(codes::SEARCH_TRUNCATED, e.to_string()))
+        }
+        Err(e) => Err(ErrorBody::new(codes::BAD_REQUEST, e.to_string())),
     }
 }
 
@@ -537,48 +907,12 @@ fn route_query(
     };
 
     // Solve against the planning catalog (schemas only) through the plan
-    // cache. The read guard is held for the solve but never across a
-    // network call.
-    let (canonical, plan, plan_cache_hit) = {
-        let planning = inner.topology.planning();
-        let canonical = match query.canonicalize(planning.catalog.dict()) {
-            Ok(q) => q,
-            Err(e) => return fail(ErrorBody::new(codes::BAD_REQUEST, e.to_string()), guests),
+    // cache.
+    let (canonical, plan, plan_cache_hit) =
+        match solve_reference(inner, &query, window, step, &route_engine) {
+            Ok(t) => t,
+            Err(body) => return fail(body, guests),
         };
-        let key = match PlanKey::new(&canonical, window, step) {
-            Some(key) => key,
-            None => {
-                return fail(
-                    ErrorBody::new(codes::BAD_REQUEST, "window/step do not form a plan key"),
-                    guests,
-                )
-            }
-        };
-        match inner.plan_cache.get(&key) {
-            Some(plan) => (canonical, plan, true),
-            None => {
-                let engine = QueryEngine::with_config(&planning.catalog, route_engine.clone());
-                match engine.solve(&canonical) {
-                    Ok(plan) => {
-                        let plan = inner.plan_cache.insert(key, plan);
-                        (canonical, plan, false)
-                    }
-                    Err(SjError::NoSolution(msg)) => {
-                        return fail(ErrorBody::new(codes::NO_SOLUTION, msg), guests)
-                    }
-                    Err(e @ SjError::SearchTruncated { .. }) => {
-                        return fail(
-                            ErrorBody::new(codes::SEARCH_TRUNCATED, e.to_string()),
-                            guests,
-                        )
-                    }
-                    Err(e) => {
-                        return fail(ErrorBody::new(codes::BAD_REQUEST, e.to_string()), guests)
-                    }
-                }
-            }
-        }
-    };
 
     if job.request.verb == Verb::Explain {
         let mut r = Response::ok(&id);

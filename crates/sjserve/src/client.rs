@@ -1,17 +1,25 @@
-//! Typed blocking client for the JSON-lines protocol.
+//! Typed blocking client for the service protocol.
 //!
-//! One TCP connection, requests answered in order. Used by
-//! `sjq --server` and by the integration tests; embedders wanting
-//! zero-copy access should hold a [`QueryService`] directly instead.
+//! One TCP connection, requests answered in order. By default the
+//! client speaks the framed binary transport (a [`sjwire::Hello`] /
+//! [`sjwire::HelloAck`] exchange, then CRC-checked frames carrying
+//! columnar row payloads); [`Client::connect_json`] keeps the original
+//! JSON-lines transport for debugging and old servers. Used by
+//! `sjq --server`, by `sjrouted`'s worker hops, and by the integration
+//! tests; embedders wanting zero-copy access should hold a
+//! [`QueryService`] directly instead.
 //!
 //! [`QueryService`]: crate::service::QueryService
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{ErrorBody, QuerySpec, Request, Response, Verb};
+use crate::protocol::{ErrorBody, QuerySpec, Request, Response, Verb, WireInfo};
+use crate::wire::{decode_response, encode_request, encode_request_plain};
+use sjwire::{read_frame, write_frame, Hello, HelloAck, MsgType, WireError};
 
 /// Client-side failure: transport, framing, or a server-reported error.
 #[derive(Debug)]
@@ -42,22 +50,91 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Which protocol this connection negotiated.
+enum Transport {
+    /// One JSON object per line, both directions.
+    JsonLines,
+    /// CRC-checked frames; `columnar` is the negotiated payload codec.
+    Binary { columnar: bool },
+}
+
 /// A connected client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     tenant: String,
     next_id: u64,
+    transport: Transport,
+    /// What the connection negotiated (see [`Client::wire_info`]).
+    wire: WireInfo,
+    /// Pushed frames that arrived while waiting for a request's
+    /// response (binary transport only — frame types disambiguate).
+    pending: VecDeque<Response>,
 }
 
 impl Client {
-    /// Connect as the anonymous tenant.
+    /// Connect as the anonymous tenant (binary transport).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         Self::connect_as(addr, "")
     }
 
-    /// Connect with a tenant name (the fair-queueing bucket).
+    /// Connect with a tenant name (the fair-queueing bucket), speaking
+    /// the framed binary transport.
     pub fn connect_as(addr: impl ToSocketAddrs, tenant: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let hello = Hello::default();
+        let payload = serde_json::to_vec(&hello).expect("hello serializes");
+        write_frame(&mut writer, MsgType::Hello, &payload)?;
+        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(WireError::Io(e)) => return Err(e),
+            Err(e) => return Err(bad(format!("handshake: {e}"))),
+        };
+        if frame.msg_type != MsgType::HelloAck {
+            return Err(bad(format!(
+                "handshake: unexpected {:?} frame",
+                frame.msg_type
+            )));
+        }
+        let ack: HelloAck = serde_json::from_slice(&frame.payload)
+            .map_err(|e| bad(format!("handshake: bad ack: {e}")))?;
+        let columnar = ack.codec == sjwire::CODEC_COLUMNAR;
+        Ok(Client {
+            reader,
+            writer,
+            tenant: tenant.to_string(),
+            next_id: 0,
+            transport: Transport::Binary { columnar },
+            wire: WireInfo {
+                wire_version: ack.wire_version,
+                codec: ack.codec,
+            },
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Connect as the anonymous tenant over plain JSON-lines.
+    pub fn connect_json(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Self::connect_json_as(addr, "")
+    }
+
+    /// Connect over the original JSON-lines transport: what an old
+    /// client, a shell script piping into `nc`, or a debugging session
+    /// speaks. Works against every server version.
+    pub fn connect_json_as(addr: impl ToSocketAddrs, tenant: &str) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(Client {
@@ -65,12 +142,30 @@ impl Client {
             writer: stream,
             tenant: tenant.to_string(),
             next_id: 0,
+            transport: Transport::JsonLines,
+            wire: WireInfo {
+                wire_version: crate::protocol::PROTO_VERSION,
+                codec: sjwire::CODEC_JSON_LINES.into(),
+            },
+            pending: VecDeque::new(),
         })
+    }
+
+    /// What this connection negotiated: wire version and payload codec.
+    pub fn wire_info(&self) -> &WireInfo {
+        &self.wire
     }
 
     /// Cap how long a read may block (useful in tests).
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.writer.set_read_timeout(timeout)
+    }
+
+    /// A clone of the underlying socket, so an owner parked in
+    /// [`Client::next_frame`] on another thread can be unblocked with
+    /// `shutdown(Shutdown::Both)`.
+    pub fn socket_handle(&self) -> std::io::Result<TcpStream> {
+        self.writer.try_clone()
     }
 
     fn fresh_id(&mut self) -> String {
@@ -79,27 +174,67 @@ impl Client {
     }
 
     /// Send one request and block for its response. The response's `id`
-    /// must echo the request's; anything else is a protocol error.
+    /// must echo the request's; anything else is a protocol error. On
+    /// the binary transport, pushed window frames that arrive first are
+    /// queued for [`Client::next_frame`] instead of being misread as
+    /// the response.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let mut line = serde_json::to_string(request)
-            .map_err(|e| ClientError::Protocol(format!("encode: {e}")))?;
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+        match self.transport {
+            Transport::JsonLines => {
+                let mut line = serde_json::to_string(request)
+                    .map_err(|e| ClientError::Protocol(format!("encode: {e}")))?;
+                line.push('\n');
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.flush()?;
+                let response = self.read_json_message()?;
+                Self::check_id(&response, request)?;
+                Ok(response)
+            }
+            Transport::Binary { columnar } => {
+                let payload = if columnar {
+                    encode_request(request)
+                } else {
+                    encode_request_plain(request)
+                };
+                write_frame(&mut self.writer, MsgType::Request, &payload)?;
+                loop {
+                    let frame = read_frame(&mut self.reader)?;
+                    let response = decode_response(&frame.payload)?;
+                    match frame.msg_type {
+                        MsgType::Response => {
+                            Self::check_id(&response, request)?;
+                            return Ok(response);
+                        }
+                        MsgType::WindowFrame => self.pending.push_back(response),
+                        other => {
+                            return Err(ClientError::Protocol(format!(
+                                "unexpected {other:?} frame while awaiting a response"
+                            )))
+                        }
+                    }
+                }
+            }
         }
-        let response: Response = serde_json::from_str(reply.trim_end())
-            .map_err(|e| ClientError::Protocol(format!("decode: {e}")))?;
+    }
+
+    fn check_id(response: &Response, request: &Request) -> Result<(), ClientError> {
         if !response.id.is_empty() && response.id != request.id {
             return Err(ClientError::Protocol(format!(
                 "response id `{}` does not match request id `{}`",
                 response.id, request.id
             )));
         }
-        Ok(response)
+        Ok(())
+    }
+
+    fn read_json_message(&mut self) -> Result<Response, ClientError> {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("decode: {e}")))
     }
 
     /// `query`: execute and return the ok-response, or the server error.
@@ -139,9 +274,11 @@ impl Client {
     /// Register a standing query (`query` with `subscribe: true`) and
     /// return its [`crate::protocol::SubscriptionAck`] response. After
     /// this succeeds the server pushes unsolicited window frames on
-    /// this connection — read them with [`Client::next_frame`]; other
-    /// request methods on this connection would misattribute frames to
-    /// their own responses. Use a separate connection for appends.
+    /// this connection — read them with [`Client::next_frame`]. On the
+    /// JSON-lines transport, other request methods on a subscribed
+    /// connection would misattribute frames to their own responses; the
+    /// binary transport disambiguates by frame type. Use a separate
+    /// connection for appends either way.
     pub fn subscribe(&mut self, spec: QuerySpec) -> Result<Response, ClientError> {
         let id = self.fresh_id();
         let request = Request::subscribe(&id, &self.tenant, spec).with_proto();
@@ -151,11 +288,45 @@ impl Client {
 
     /// `append`: push one batch into a streamed dataset and return the
     /// [`crate::protocol::AppendAck`] response. Do not mix with
-    /// [`Client::subscribe`] on one connection (pushed frames would
-    /// interleave with the ack).
+    /// [`Client::subscribe`] on one connection.
     pub fn append(&mut self, batch: sjstream::AppendBatch) -> Result<Response, ClientError> {
+        self.append_inner(batch, false)
+    }
+
+    /// `append` with `bulk: true`: ingest without sweeping windows. A
+    /// later non-bulk append — [`Client::flush`] works — runs one sweep
+    /// covering everything ingested since.
+    pub fn append_bulk(&mut self, batch: sjstream::AppendBatch) -> Result<Response, ClientError> {
+        self.append_inner(batch, true)
+    }
+
+    /// Explicit end-of-backfill marker: an empty non-bulk append that
+    /// sweeps every window the preceding bulk appends touched.
+    pub fn flush(
+        &mut self,
+        dataset: &str,
+        source: &str,
+        clock_us: i64,
+    ) -> Result<Response, ClientError> {
+        self.append_inner(
+            sjstream::AppendBatch {
+                dataset: dataset.into(),
+                source: source.into(),
+                source_clock_us: clock_us,
+                rows: Vec::new(),
+            },
+            false,
+        )
+    }
+
+    fn append_inner(
+        &mut self,
+        batch: sjstream::AppendBatch,
+        bulk: bool,
+    ) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        let request = Request::append(&id, &self.tenant, batch).with_proto();
+        let mut request = Request::append(&id, &self.tenant, batch).with_proto();
+        request.bulk = if bulk { Some(true) } else { None };
         let response = self.call(&request)?;
         Self::expect_ok(response)
     }
@@ -164,13 +335,16 @@ impl Client {
     /// window emission (`response.window`), or an error frame tearing
     /// down one subscription.
     pub fn next_frame(&mut self) -> Result<Response, ClientError> {
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+        if let Some(queued) = self.pending.pop_front() {
+            return Ok(queued);
         }
-        serde_json::from_str(reply.trim_end())
-            .map_err(|e| ClientError::Protocol(format!("decode: {e}")))
+        match self.transport {
+            Transport::JsonLines => self.read_json_message(),
+            Transport::Binary { .. } => {
+                let frame = read_frame(&mut self.reader)?;
+                Ok(decode_response(&frame.payload)?)
+            }
+        }
     }
 
     /// `explain`: solve without executing.

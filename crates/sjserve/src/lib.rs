@@ -34,6 +34,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod service;
+pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use metrics::{

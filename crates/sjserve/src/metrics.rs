@@ -166,6 +166,13 @@ pub struct StatsReport {
     /// stream engine (older builds) and on reports from routers.
     #[serde(default)]
     pub streaming: Option<StreamStatsReport>,
+    /// Requests that arrived over the JSON-lines transport (protocol
+    /// v1: old clients, `nc` debugging).
+    #[serde(default)]
+    pub requests_json: u64,
+    /// Requests that arrived over framed binary connections (sjwire).
+    #[serde(default)]
+    pub requests_binary: u64,
     pub per_tenant: Vec<TenantStats>,
 }
 
@@ -287,6 +294,10 @@ impl StatsReport {
             "traces: {} recorded ({} spans), {} spans dropped\n",
             self.traces_recorded, self.trace_spans_recorded, self.trace_spans_dropped
         ));
+        out.push_str(&format!(
+            "transport: {} binary requests, {} json-lines requests\n",
+            self.requests_binary, self.requests_json
+        ));
         if let Some(streaming) = &self.streaming {
             out.push_str(&streaming.render());
         }
@@ -345,6 +356,33 @@ pub struct RouterStatsReport {
     pub route_latency_ms_p50: f64,
     pub route_latency_ms_p99: f64,
     pub route_latency_ms_max: f64,
+    /// Requests that arrived over the JSON-lines transport.
+    #[serde(default)]
+    pub requests_json: u64,
+    /// Requests that arrived over framed binary connections (sjwire).
+    #[serde(default)]
+    pub requests_binary: u64,
+    /// Standing queries currently fanned out across the fleet.
+    #[serde(default)]
+    pub streams_active: u64,
+    /// Merged window frames pushed to router subscribers.
+    #[serde(default)]
+    pub stream_frames_pushed: u64,
+    /// Per-worker window frames received by the merge layer (≈ frames
+    /// pushed × live fan-out width when the fleet agrees).
+    #[serde(default)]
+    pub stream_worker_frames: u64,
+    /// Merged frames that replaced an already-delivered window after
+    /// late data re-opened it somewhere in the fleet.
+    #[serde(default)]
+    pub stream_re_emissions: u64,
+    /// Append batches forwarded to workers (counted per worker hop).
+    #[serde(default)]
+    pub stream_appends_forwarded: u64,
+    /// Workers lost mid-subscription (reader error or mark-down); the
+    /// merge re-forms over the survivors.
+    #[serde(default)]
+    pub stream_worker_losses: u64,
     pub workers: Vec<WorkerSummary>,
     pub per_tenant: Vec<TenantStats>,
 }
@@ -372,6 +410,20 @@ impl RouterStatsReport {
             self.route_latency_ms_p99,
             self.route_latency_ms_max,
             self.route_latency_count
+        ));
+        out.push_str(&format!(
+            "transport: {} binary requests, {} json-lines requests\n",
+            self.requests_binary, self.requests_json
+        ));
+        out.push_str(&format!(
+            "streams: {} active, {} frames pushed ({} re-emissions) from {} worker frames, \
+             {} appends forwarded, {} workers lost mid-stream\n",
+            self.streams_active,
+            self.stream_frames_pushed,
+            self.stream_re_emissions,
+            self.stream_worker_frames,
+            self.stream_appends_forwarded,
+            self.stream_worker_losses
         ));
         for w in &self.workers {
             out.push_str(&format!(
@@ -421,6 +473,8 @@ pub struct ServiceMetrics {
     subscriptions_opened: AtomicU64,
     subscriptions_failed: AtomicU64,
     subscriptions_closed: AtomicU64,
+    requests_json: AtomicU64,
+    requests_binary: AtomicU64,
     latency: Mutex<Histogram>,
     tenants: Mutex<BTreeMap<String, TenantStats>>,
 }
@@ -452,6 +506,8 @@ impl Default for ServiceMetrics {
             subscriptions_opened: AtomicU64::new(0),
             subscriptions_failed: AtomicU64::new(0),
             subscriptions_closed: AtomicU64::new(0),
+            requests_json: AtomicU64::new(0),
+            requests_binary: AtomicU64::new(0),
             latency: Mutex::new(Histogram::default()),
             tenants: Mutex::new(BTreeMap::new()),
         }
@@ -552,6 +608,17 @@ impl ServiceMetrics {
     /// A standing query was closed by the client side.
     pub fn subscription_closed(&self) {
         self.subscriptions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request arrived on a connection of the given transport
+    /// (recorded by the TCP front end; in-process embedders count as
+    /// neither).
+    pub fn protocol_request(&self, binary: bool) {
+        if binary {
+            self.requests_binary.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.requests_json.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Compose the streaming section of a [`StatsReport`] from the
@@ -665,6 +732,8 @@ impl ServiceMetrics {
             traces_recorded: self.traces_recorded.load(Ordering::Relaxed),
             trace_spans_recorded: self.trace_spans_recorded.load(Ordering::Relaxed),
             trace_spans_dropped: self.trace_spans_dropped.load(Ordering::Relaxed),
+            requests_json: self.requests_json.load(Ordering::Relaxed),
+            requests_binary: self.requests_binary.load(Ordering::Relaxed),
             // Filled in by the service, which owns the stream engine.
             streaming: None,
             per_tenant,

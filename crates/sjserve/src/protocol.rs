@@ -130,6 +130,14 @@ pub struct Request {
     pub subscribe: Option<bool>,
     /// Payload for the `append` verb; ignored by other verbs.
     pub append: Option<sjstream::AppendBatch>,
+    /// `Some(true)` on an `append` marks it part of a bulk backfill:
+    /// the batch is ingested (clocks advanced, duplicates/late rows
+    /// dropped, touched windows invalidated) but the window sweep is
+    /// deferred. The next non-bulk append — an empty-rows batch works
+    /// as an explicit flush — runs one sweep covering everything
+    /// ingested since, emitting the same final frames row-at-a-time
+    /// appends would have.
+    pub bulk: Option<bool>,
 }
 
 impl Request {
@@ -144,6 +152,7 @@ impl Request {
             proto_version: None,
             subscribe: None,
             append: None,
+            bulk: None,
         }
     }
 
@@ -184,6 +193,7 @@ impl Request {
             proto_version: None,
             subscribe: None,
             append: None,
+            bulk: None,
         }
     }
 
@@ -410,6 +420,19 @@ pub struct SubscriptionAck {
     pub allowed_lateness_secs: f64,
 }
 
+/// What transport a connection negotiated, stamped onto `stats` and
+/// `health` responses by the TCP front end (the layer that owns the
+/// negotiation) so `sjq --stats`/`--health` can show what the wire is
+/// actually speaking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireInfo {
+    /// 1 for JSON-lines, [`sjwire::WIRE_VERSION`] (or the negotiated
+    /// minimum) for framed binary connections.
+    pub wire_version: u32,
+    /// `"json-lines"` or `"columnar"`.
+    pub codec: String,
+}
+
 /// One response line. Exactly one of the payload fields is populated on
 /// success (matching the request verb); `error` is populated on failure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -448,6 +471,9 @@ pub struct Response {
     /// and `query_id` = the subscription's server id), interleaved with
     /// normal responses on the same connection.
     pub window: Option<sjstream::WindowEmission>,
+    /// Negotiated transport of the connection this response travelled
+    /// on (`stats`/`health` responses only; stamped by the front end).
+    pub wire: Option<WireInfo>,
 }
 
 impl Response {
@@ -469,6 +495,7 @@ impl Response {
             append: None,
             subscription: None,
             window: None,
+            wire: None,
         }
     }
 

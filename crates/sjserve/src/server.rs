@@ -1,10 +1,21 @@
-//! The JSON-lines TCP front end.
+//! The TCP front end: framed binary by default, JSON-lines forever.
 //!
 //! One accept thread, one handler thread per connection, std networking
-//! only. Each inbound line is parsed as a [`Request`]; the corresponding
-//! [`Response`] is written back as one line. Malformed lines get a
-//! structured `bad_request` error instead of a dropped connection, so a
-//! client with one bad message does not lose its pipeline.
+//! only. The first byte of a connection picks the transport: `{` (a
+//! JSON object opening — also what `nc` and every pre-binary client
+//! sends) selects the JSON-lines loop, [`sjwire::MAGIC`] selects the
+//! framed binary loop. Binary connections open with a
+//! [`sjwire::Hello`] / [`sjwire::HelloAck`] exchange pinning the wire
+//! version and payload codec; every subsequent message is one
+//! CRC-checked frame whose payload is a JSON envelope plus columnar row
+//! sections (see [`crate::wire`]).
+//!
+//! On either transport, malformed *payloads* get a structured
+//! `bad_request` error instead of a dropped connection, so a client
+//! with one bad message does not lose its pipeline. Broken *framing*
+//! (bad magic, corrupt CRC, oversized length) gets a structured error
+//! and then the connection is closed — once framing is suspect there is
+//! no safe resync point.
 //!
 //! A `shutdown` request acknowledges, then stops the accept loop, the
 //! worker pool, and dumps the final metrics snapshot to stderr — the
@@ -16,8 +27,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::protocol::{codes, ErrorBody, Request, Response, Verb};
+use crate::protocol::{codes, ErrorBody, Request, Response, Verb, WireInfo, PROTO_VERSION};
 use crate::service::QueryService;
+use crate::wire::{decode_request, encode_response};
+use sjwire::{negotiate, read_frame, write_frame, Hello, MsgType, WireError};
 
 /// Where unsolicited frames (standing-query window emissions) for one
 /// connection are pushed. The TCP front end hands every connection's
@@ -41,6 +54,30 @@ impl EmissionSink for TcpSink {
     fn send(&self, frame: &Response) -> std::io::Result<()> {
         let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         write_line(&mut writer, frame)
+    }
+}
+
+/// [`EmissionSink`] over the binary transport: pushed frames go out as
+/// [`MsgType::WindowFrame`] frames under the same writer mutex the
+/// request/response loop uses, so frames never interleave mid-frame.
+struct BinarySink {
+    writer: Arc<Mutex<TcpStream>>,
+    /// Negotiated payload codec: columnar sections, or rows inline in
+    /// the envelope (the fallback for clients offering unknown codecs).
+    columnar: bool,
+}
+
+impl EmissionSink for BinarySink {
+    fn send(&self, frame: &Response) -> std::io::Result<()> {
+        let payload = if self.columnar {
+            // Window frames are small (one window's rows); the clone
+            // that lets `encode_response` detach them is cheap here.
+            encode_response(&mut frame.clone())
+        } else {
+            crate::wire::encode_response_plain(frame)
+        };
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut *writer, MsgType::WindowFrame, &payload)
     }
 }
 
@@ -72,6 +109,14 @@ pub trait RequestHandler: Clone + Send + 'static {
         let _ = sink;
     }
 
+    /// One request arrived on a connection of the given transport
+    /// (`binary` = framed, else JSON-lines). Called by the front end
+    /// before dispatch so per-protocol counters reach the stats report.
+    /// Default: not counted.
+    fn protocol_request(&self, binary: bool) {
+        let _ = binary;
+    }
+
     /// Stop the backend's own workers and return the final summary.
     fn shutdown(&self) -> Self::Summary;
 }
@@ -89,6 +134,10 @@ impl RequestHandler for QueryService {
 
     fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
         QueryService::connection_closed(self, sink)
+    }
+
+    fn protocol_request(&self, binary: bool) {
+        QueryService::note_protocol_request(self, binary)
     }
 
     fn shutdown(&self) -> Self::Summary {
@@ -179,6 +228,15 @@ fn accept_loop<H: RequestHandler>(
 /// the peer has read *nothing* for the whole interval.
 const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Stamp the negotiated transport onto responses that report on the
+/// service itself, so `sjq --stats`/`--health` show what the wire is
+/// actually speaking.
+fn stamp_wire(verb: Verb, response: &mut Response, info: &WireInfo) {
+    if matches!(verb, Verb::Stats | Verb::Health) {
+        response.wire = Some(info.clone());
+    }
+}
+
 fn handle_connection<H: RequestHandler>(
     stream: TcpStream,
     addr: SocketAddr,
@@ -186,6 +244,27 @@ fn handle_connection<H: RequestHandler>(
     shutdown: Arc<AtomicBool>,
 ) {
     let _ = stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT));
+    // Sniff the transport on byte one without consuming it: `{` (or
+    // anything else — favors a readable JSON parse error) is the
+    // JSON-lines protocol; only the frame magic selects binary.
+    let mut first = [0u8; 1];
+    let binary = match stream.peek(&mut first) {
+        Ok(0) | Err(_) => return, // closed before the first byte
+        Ok(_) => first[0] == sjwire::MAGIC,
+    };
+    if binary {
+        handle_binary_connection(stream, addr, service, shutdown)
+    } else {
+        handle_json_connection(stream, addr, service, shutdown)
+    }
+}
+
+fn handle_json_connection<H: RequestHandler>(
+    stream: TcpStream,
+    addr: SocketAddr,
+    service: H,
+    shutdown: Arc<AtomicBool>,
+) {
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -197,6 +276,10 @@ fn handle_connection<H: RequestHandler>(
     let sink: Arc<dyn EmissionSink> = Arc::new(TcpSink {
         writer: Arc::clone(&writer),
     });
+    let wire_info = WireInfo {
+        wire_version: PROTO_VERSION,
+        codec: sjwire::CODEC_JSON_LINES.into(),
+    };
     for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
@@ -207,8 +290,11 @@ fn handle_connection<H: RequestHandler>(
         }
         let response = match serde_json::from_str::<Request>(&line) {
             Ok(request) => {
-                let wants_shutdown = request.verb == Verb::Shutdown;
-                let response = service.handle_streaming(request, &sink);
+                service.protocol_request(false);
+                let verb = request.verb;
+                let wants_shutdown = verb == Verb::Shutdown;
+                let mut response = service.handle_streaming(request, &sink);
+                stamp_wire(verb, &mut response, &wire_info);
                 if wants_shutdown {
                     if sink.send(&response).is_err() {
                         // Ack failed; shut down regardless.
@@ -227,6 +313,107 @@ fn handle_connection<H: RequestHandler>(
             ),
         };
         if sink.send(&response).is_err() {
+            break;
+        }
+    }
+    service.connection_closed(&sink);
+}
+
+fn handle_binary_connection<H: RequestHandler>(
+    stream: TcpStream,
+    addr: SocketAddr,
+    service: H,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+
+    // The connection opens with Hello/HelloAck pinning version + codec.
+    let ack = match read_frame(&mut reader) {
+        Ok(f) if f.msg_type == MsgType::Hello => {
+            // A malformed Hello negotiates conservatively (defaults).
+            let hello: Hello = serde_json::from_slice(&f.payload).unwrap_or_default();
+            negotiate(&hello)
+        }
+        _ => return, // framing already broken; nothing sane to answer
+    };
+    {
+        let payload = serde_json::to_vec(&ack).expect("ack serializes");
+        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+        if write_frame(&mut *w, MsgType::HelloAck, &payload).is_err() {
+            return;
+        }
+    }
+    let columnar = ack.codec == sjwire::CODEC_COLUMNAR;
+    let wire_info = WireInfo {
+        wire_version: ack.wire_version,
+        codec: ack.codec.clone(),
+    };
+    let sink: Arc<dyn EmissionSink> = Arc::new(BinarySink {
+        writer: Arc::clone(&writer),
+        columnar,
+    });
+    let respond = |response: &mut Response, msg_type: MsgType| -> std::io::Result<()> {
+        let payload = if columnar {
+            encode_response(response)
+        } else {
+            crate::wire::encode_response_plain(response)
+        };
+        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut *w, msg_type, &payload)
+    };
+    loop {
+        let (mut response, framing_broken) = match read_frame(&mut reader) {
+            Ok(f) if f.msg_type == MsgType::Request => match decode_request(&f.payload) {
+                Ok(request) => {
+                    service.protocol_request(true);
+                    let verb = request.verb;
+                    let wants_shutdown = verb == Verb::Shutdown;
+                    let mut response = service.handle_streaming(request, &sink);
+                    stamp_wire(verb, &mut response, &wire_info);
+                    if wants_shutdown {
+                        let _ = respond(&mut response, MsgType::Response);
+                        service.connection_closed(&sink);
+                        shutdown.store(true, Ordering::Release);
+                        let _ = TcpStream::connect(addr);
+                        return;
+                    }
+                    (response, false)
+                }
+                // Well-framed but undecodable payload: answer and keep
+                // the connection (framing is still in sync).
+                Err(e) => (
+                    Response::fail(
+                        "",
+                        ErrorBody::new(codes::BAD_REQUEST, format!("unparsable request: {e}")),
+                    ),
+                    false,
+                ),
+            },
+            Ok(f) => (
+                Response::fail(
+                    "",
+                    ErrorBody::new(
+                        codes::BAD_REQUEST,
+                        format!("unexpected {:?} frame from a client", f.msg_type),
+                    ),
+                ),
+                false,
+            ),
+            // Client went away (EOF lands here as Truncated) or the
+            // stream itself failed: nothing useful to answer.
+            Err(WireError::Truncated) | Err(WireError::Io(_)) => break,
+            // Framing is corrupt; answer once, then drop the
+            // connection — there is no safe resync point.
+            Err(e) => (
+                Response::fail("", ErrorBody::new(codes::BAD_REQUEST, format!("{e}"))),
+                true,
+            ),
+        };
+        if respond(&mut response, MsgType::Response).is_err() || framing_broken {
             break;
         }
     }

@@ -317,6 +317,12 @@ impl QueryService {
         response
     }
 
+    /// Record which transport one request arrived on (called by the TCP
+    /// front end, which owns the sniffing/negotiation).
+    pub fn note_protocol_request(&self, binary: bool) {
+        self.inner.metrics.protocol_request(binary);
+    }
+
     /// Drop every subscription bound to `sink` (its connection ended).
     pub fn connection_closed(&self, sink: &Arc<dyn EmissionSink>) {
         let inner = &self.inner;
@@ -421,9 +427,15 @@ impl QueryService {
                 )
             }
         };
+        let bulk = request.bulk == Some(true);
         let (outcome, delivery) = {
             let mut stream = inner.stream.lock();
-            let outcome = match stream.append(batch) {
+            let result = if bulk {
+                stream.append_bulk(batch)
+            } else {
+                stream.append(batch)
+            };
+            let outcome = match result {
                 Ok(outcome) => outcome,
                 Err(e) => {
                     return Response::fail(id, ErrorBody::new(codes::BAD_REQUEST, e.to_string()))

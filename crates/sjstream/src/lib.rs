@@ -99,6 +99,16 @@ pub struct StreamConfig {
     /// Partitions used when materializing eval snapshots. Kept at 1 so
     /// slice and prefix evaluations are partitioned identically.
     pub eval_parts: usize,
+    /// Event-time idle cut for watermark purposes (seconds; `0` =
+    /// disabled). A source whose clock lags the *leading* source clock
+    /// by more than this stops pinning the watermark: its clock is
+    /// parked out of the min until it catches back up. Without it, one
+    /// source that reports a single early row and then goes silent
+    /// freezes window finality for every subscriber forever. A parked
+    /// source that resumes re-enters the min naturally; any rows it
+    /// sends from before `watermark − lateness` are late-dropped like
+    /// anyone else's.
+    pub idle_source_timeout_secs: f64,
 }
 
 impl Default for StreamConfig {
@@ -108,6 +118,7 @@ impl Default for StreamConfig {
             allowed_lateness_secs: 120.0,
             horizon_secs: 300.0,
             eval_parts: 1,
+            idle_source_timeout_secs: 0.0,
         }
     }
 }
@@ -405,6 +416,22 @@ impl StreamEngine {
     /// window whose input slice the new rows touch, and sweep all
     /// standing queries for windows to (re-)emit.
     pub fn append(&mut self, batch: &AppendBatch) -> Result<AppendOutcome> {
+        self.append_opts(batch, false)
+    }
+
+    /// [`append`](Self::append) for bulk backfill: the batch is
+    /// ingested — clocks advanced, duplicates and late rows dropped,
+    /// touched windows invalidated and marked dirty — but the window
+    /// sweep is skipped, so nothing is emitted yet. The next non-bulk
+    /// append (an empty-rows batch works as an explicit flush) runs one
+    /// sweep covering everything ingested since; each window's final
+    /// frame is byte-identical to what row-at-a-time appends would have
+    /// converged on.
+    pub fn append_bulk(&mut self, batch: &AppendBatch) -> Result<AppendOutcome> {
+        self.append_opts(batch, true)
+    }
+
+    fn append_opts(&mut self, batch: &AppendBatch, bulk: bool) -> Result<AppendOutcome> {
         let tracer = self.ctx.tracer();
         let mut span = tracer.span("append");
         self.counters.appends += 1;
@@ -478,8 +505,7 @@ impl StreamEngine {
         // instead of regressing finality for everyone.
         let clock = self.clocks.entry(batch.source.clone()).or_insert(i64::MIN);
         *clock = (*clock).max(batch.source_clock_us);
-        let floor = self.clocks.values().copied().min().unwrap_or(i64::MIN);
-        self.high_watermark = self.high_watermark.max(floor);
+        self.high_watermark = self.high_watermark.max(self.watermark_floor());
         let watermark = self.high_watermark;
         let lateness_us = (self.config.allowed_lateness_secs * 1e6) as i64;
         let late_cut = watermark.saturating_sub(lateness_us);
@@ -565,17 +591,43 @@ impl StreamEngine {
             }
         }
 
-        // Sweep every subscription for ripe windows.
-        let (root, parent) = (span.root(), span.id());
-        let sub_ids: Vec<String> = self.subs.keys().cloned().collect();
-        for id in sub_ids {
-            if let Err(failure) = self.sweep_subscription(&id, watermark, (root, parent), &mut out)
-            {
-                self.unsubscribe(&id);
-                out.failures.push(failure);
+        // Sweep every subscription for ripe windows — unless this is a
+        // bulk-backfill batch, whose whole point is to defer the sweep:
+        // the dirty marks and `scan_from` cursors above carry everything
+        // the eventual non-bulk sweep needs.
+        if !bulk {
+            let (root, parent) = (span.root(), span.id());
+            let sub_ids: Vec<String> = self.subs.keys().cloned().collect();
+            for id in sub_ids {
+                if let Err(failure) =
+                    self.sweep_subscription(&id, watermark, (root, parent), &mut out)
+                {
+                    self.unsubscribe(&id);
+                    out.failures.push(failure);
+                }
             }
         }
         Ok(out)
+    }
+
+    /// The watermark candidate: the minimum over per-source clocks,
+    /// skipping sources parked by `idle_source_timeout_secs` (clocks
+    /// lagging the leading clock by more than the timeout). The leader
+    /// itself is never parked, so the floor is always defined once any
+    /// source has reported.
+    fn watermark_floor(&self) -> i64 {
+        let idle_us = (self.config.idle_source_timeout_secs * 1e6) as i64;
+        if idle_us > 0 {
+            let lead = self.clocks.values().copied().max().unwrap_or(i64::MIN);
+            self.clocks
+                .values()
+                .copied()
+                .filter(|&c| c >= lead.saturating_sub(idle_us))
+                .min()
+                .unwrap_or(i64::MIN)
+        } else {
+            self.clocks.values().copied().min().unwrap_or(i64::MIN)
+        }
     }
 
     /// Evaluate every ripe, non-final window of one subscription that is

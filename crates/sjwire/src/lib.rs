@@ -1,0 +1,32 @@
+//! sjwire: the binary wire protocol between `sjq`, `sjserved`, and
+//! `sjrouted`.
+//!
+//! JSON-lines (protocol v1) pays a per-cell encode/escape/parse tax that
+//! dominates wide results now that the execute path is columnar. This
+//! crate replaces it on the hot path with versioned, length-prefixed,
+//! CRC-checked frames whose row payloads travel as columnar lanes
+//! (typed arrays + validity bitmaps + string dictionaries) instead of
+//! JSON text.
+//!
+//! The first byte of a connection decides the protocol: `{` (0x7B) is a
+//! JSON-lines request, anything else must be the frame magic. Old
+//! clients and `nc` debugging therefore keep working against a
+//! binary-default daemon, byte for byte.
+//!
+//! Layering: this crate knows **nothing** about `sjserve`'s request or
+//! response types. It owns the frame format, CRC, version negotiation
+//! ([`Hello`]/[`HelloAck`]), and the columnar section codecs over
+//! [`sjcore`] types; `sjserve::wire` composes them into full messages
+//! (an envelope JSON with the hot row payloads stripped, plus binary
+//! sections).
+
+pub mod codec;
+pub mod crc;
+pub mod frame;
+pub mod negotiate;
+
+pub use crc::{crc32, Crc32};
+pub use frame::{
+    read_frame, write_frame, Frame, MsgType, WireError, MAGIC, MAX_FRAME_BYTES, WIRE_VERSION,
+};
+pub use negotiate::{negotiate, Hello, HelloAck, CODEC_COLUMNAR, CODEC_JSON_LINES};

@@ -1,0 +1,108 @@
+//! Per-connection version and feature negotiation.
+//!
+//! A binary client's first frame is a [`Hello`] offering its protocol
+//! version, preferred payload codec, and feature set; the server
+//! answers with a [`HelloAck`] pinning what the connection will
+//! actually speak (the lower version, the intersection of features, the
+//! offered codec if the server knows it). Hello payloads are JSON —
+//! they run once per connection and being human-readable in a packet
+//! capture is worth more than the nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::WIRE_VERSION;
+
+/// Payload codec: columnar sections for hot row payloads.
+pub const CODEC_COLUMNAR: &str = "columnar";
+/// Payload codec name reported for plain JSON-lines connections.
+pub const CODEC_JSON_LINES: &str = "json-lines";
+
+/// Client's opening offer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    pub wire_version: u32,
+    /// Payload codec the client wants (`columnar`).
+    pub codec: String,
+    /// Capability strings; unknown ones are ignored by either side.
+    #[serde(default)]
+    pub features: Vec<String>,
+}
+
+impl Default for Hello {
+    fn default() -> Self {
+        Hello {
+            wire_version: WIRE_VERSION,
+            codec: CODEC_COLUMNAR.to_string(),
+            features: vec!["stream".into()],
+        }
+    }
+}
+
+/// Server's pinned reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelloAck {
+    /// Version both sides will speak: `min(client, server)`.
+    pub wire_version: u32,
+    /// Codec the server will actually use for payloads.
+    pub codec: String,
+    #[serde(default)]
+    pub features: Vec<String>,
+}
+
+/// Server-side negotiation: pin the connection's version, codec, and
+/// feature set from the client's offer.
+pub fn negotiate(hello: &Hello) -> HelloAck {
+    let codec = if hello.codec == CODEC_COLUMNAR {
+        CODEC_COLUMNAR
+    } else {
+        // Unknown codec: fall back to JSON payloads inside binary
+        // frames — still framed and CRC-checked, just not columnar.
+        CODEC_JSON_LINES
+    };
+    let ours = ["stream"];
+    let features = hello
+        .features
+        .iter()
+        .filter(|f| ours.contains(&f.as_str()))
+        .cloned()
+        .collect();
+    HelloAck {
+        wire_version: hello.wire_version.min(WIRE_VERSION),
+        codec: codec.to_string(),
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_pins_min_version_and_known_features() {
+        let ack = negotiate(&Hello {
+            wire_version: 99,
+            codec: CODEC_COLUMNAR.into(),
+            features: vec!["stream".into(), "quantum".into()],
+        });
+        assert_eq!(ack.wire_version, WIRE_VERSION);
+        assert_eq!(ack.codec, CODEC_COLUMNAR);
+        assert_eq!(ack.features, vec!["stream".to_string()]);
+    }
+
+    #[test]
+    fn unknown_codec_falls_back_to_json_payloads() {
+        let ack = negotiate(&Hello {
+            wire_version: 2,
+            codec: "protobuf".into(),
+            features: vec![],
+        });
+        assert_eq!(ack.codec, CODEC_JSON_LINES);
+    }
+
+    #[test]
+    fn hello_round_trips_through_json() {
+        let h = Hello::default();
+        let back: Hello = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+}

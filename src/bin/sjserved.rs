@@ -41,6 +41,7 @@ struct Args {
     stream_window_secs: f64,
     allowed_lateness_secs: f64,
     stream_horizon_secs: f64,
+    idle_source_timeout_secs: f64,
     max_subscriptions: usize,
 }
 
@@ -99,6 +100,11 @@ OPTIONS:
                     rate lookback and interpolation see their
                     neighbors; must cover --window plus the slowest
                     source cadence (default 300)
+  --idle-source-timeout SECS
+                    a source whose clock lags the leading source by
+                    more than this stops pinning the watermark until
+                    it catches up, so one silent source cannot freeze
+                    window finality (default 0 = disabled)
   --max-subscriptions N
                     standing queries one tenant may hold at once
                     (default 8)
@@ -134,6 +140,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stream_window_secs: 60.0,
         allowed_lateness_secs: 120.0,
         stream_horizon_secs: 300.0,
+        idle_source_timeout_secs: 0.0,
         max_subscriptions: 8,
     };
     let mut it = argv.iter();
@@ -189,6 +196,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--stream-horizon" => {
                 args.stream_horizon_secs = num("--stream-horizon", value("--stream-horizon")?)?
             }
+            "--idle-source-timeout" => {
+                args.idle_source_timeout_secs =
+                    num("--idle-source-timeout", value("--idle-source-timeout")?)?
+            }
             "--max-subscriptions" => {
                 args.max_subscriptions = num("--max-subscriptions", value("--max-subscriptions")?)?
             }
@@ -212,8 +223,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if !(f64::MIN_POSITIVE..).contains(&args.stream_window_secs)
         || args.allowed_lateness_secs < 0.0
         || args.stream_horizon_secs < 0.0
+        || !(0.0..).contains(&args.idle_source_timeout_secs)
     {
-        return Err("--stream-window must be positive; lateness/horizon non-negative".into());
+        return Err(
+            "--stream-window must be positive; lateness/horizon/idle-timeout non-negative".into(),
+        );
     }
     Ok(args)
 }
@@ -260,6 +274,7 @@ fn run(args: &Args) -> Result<(), String> {
             allowed_lateness_secs: args.allowed_lateness_secs,
             horizon_secs: args.stream_horizon_secs,
             eval_parts: 1,
+            idle_source_timeout_secs: args.idle_source_timeout_secs,
         },
         max_subscriptions_per_tenant: args.max_subscriptions,
     };
@@ -382,6 +397,10 @@ mod tests {
         assert_eq!(args.allowed_lateness_secs, 90.0);
         assert_eq!(args.stream_horizon_secs, 240.0);
         assert_eq!(args.max_subscriptions, 2);
+        let idle = parse_args(&argv("--data d --idle-source-timeout 45")).unwrap();
+        assert_eq!(idle.idle_source_timeout_secs, 45.0);
+        assert!(parse_args(&argv("--data d --idle-source-timeout -1")).is_err());
+        assert!(parse_args(&argv("--data d --idle-source-timeout nan")).is_err());
         let defaults = parse_args(&argv("--data d")).unwrap();
         assert_eq!(defaults.stream_window_secs, 60.0);
         assert_eq!(defaults.max_subscriptions, 8);

@@ -28,6 +28,7 @@ fn stream_config() -> StreamConfig {
         allowed_lateness_secs: 120.0,
         horizon_secs: 300.0,
         eval_parts: 1,
+        ..StreamConfig::default()
     }
 }
 

@@ -37,6 +37,7 @@ fn stream_config() -> StreamConfig {
         // slowest sampling cadence in any schedule.
         horizon_secs: 300.0,
         eval_parts: 1,
+        ..StreamConfig::default()
     }
 }
 

@@ -35,6 +35,7 @@ fn stream_config() -> StreamConfig {
         allowed_lateness_secs: 120.0,
         horizon_secs: 300.0,
         eval_parts: 1,
+        ..StreamConfig::default()
     }
 }
 
@@ -164,7 +165,10 @@ fn late_joining_source_cannot_regress_the_watermark() {
         "a new source's old clock must not regress the watermark"
     );
     assert_eq!(engine.watermark_us(), watermark);
-    assert_eq!(out.accepted, 0, "rows older than the frozen cut are rejected");
+    assert_eq!(
+        out.accepted, 0,
+        "rows older than the frozen cut are rejected"
+    );
     assert_eq!(out.late_dropped, 1);
     assert!(
         out.emissions.is_empty(),

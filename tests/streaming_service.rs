@@ -287,7 +287,10 @@ fn stalled_subscriber_does_not_wedge_the_service() {
         frames: AtomicUsize::new(0),
     });
     let sink: Arc<dyn EmissionSink> = gated.clone();
-    let ack = service.handle_streaming(Request::subscribe("r-sub", "tenant-a", joined_spec()), &sink);
+    let ack = service.handle_streaming(
+        Request::subscribe("r-sub", "tenant-a", joined_spec()),
+        &sink,
+    );
     assert!(ack.subscription.is_some(), "subscribe failed: {ack:?}");
 
     // Pump the schedule from its own thread; the first ripened window's
@@ -324,8 +327,10 @@ fn stalled_subscriber_does_not_wedge_the_service() {
         "stats wedged behind a stalled subscriber"
     );
     let other: Arc<dyn EmissionSink> = Arc::new(NullSink);
-    let sub2 =
-        service.handle_streaming(Request::subscribe("r-sub2", "tenant-b", joined_spec()), &other);
+    let sub2 = service.handle_streaming(
+        Request::subscribe("r-sub2", "tenant-b", joined_spec()),
+        &other,
+    );
     assert!(
         sub2.subscription.is_some(),
         "subscribe wedged behind a stalled subscriber: {sub2:?}"

@@ -1,0 +1,497 @@
+//! Routed streaming over the binary wire: a `subscribe: true` query
+//! through `sjrouted` must deliver the **same frame sequence** a
+//! single-node `sjserved` subscriber would see — byte-identical modulo
+//! the router-minted ids — across every disarray schedule and both
+//! planners. Satellites ride along: worker-kill chaos (failover or a
+//! structured degraded teardown, never a hang), bulk backfill parity,
+//! the idle-source watermark timeout, and JSON-lines clients against a
+//! binary-default daemon.
+
+use sjcore::engine::{EngineConfig, PlannerKind, Query, QueryValue};
+use sjdata::{disarray_schedule, stream_catalog, Disarray};
+use sjdf::ExecCtx;
+use sjroute::{Router, RouterConfig};
+use sjserve::protocol::{codes, PROTO_VERSION};
+use sjserve::{
+    serve, Client, ClientError, QueryService, QuerySpec, RouterStatsReport, ServerHandle,
+    ServiceConfig, ValueSpec,
+};
+use sjstream::{AppendBatch, StreamConfig, StreamEngine};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const STEPS: usize = 20;
+
+/// The standing derive-rate + interpolation-join query (two datasets).
+fn joined_spec() -> QuerySpec {
+    QuerySpec {
+        domains: vec!["compute-node".into(), "time".into()],
+        values: vec![
+            ValueSpec::with_units("instructions", "instructions-per-ms"),
+            ValueSpec::dim("temperature"),
+        ],
+        window_secs: None,
+        step_secs: None,
+        limit: None,
+    }
+}
+
+fn engine_config(planner: PlannerKind) -> EngineConfig {
+    EngineConfig {
+        planner,
+        ..EngineConfig::default()
+    }
+}
+
+fn spawn_worker(planner: PlannerKind) -> ServerHandle {
+    let ctx = ExecCtx::local();
+    let catalog = stream_catalog(&ctx).unwrap();
+    let config = ServiceConfig {
+        engine: engine_config(planner),
+        ..ServiceConfig::default()
+    };
+    serve(QueryService::new(ctx, catalog, config), "127.0.0.1:0").unwrap()
+}
+
+fn spawn_router(worker_addrs: Vec<String>, planner: PlannerKind) -> ServerHandle<Router> {
+    let config = RouterConfig {
+        engine: engine_config(planner),
+        // Slow heartbeat: worker loss in these tests must be detected
+        // on the append-forward path (which severs the feed), not raced
+        // by a background probe.
+        heartbeat: Duration::from_secs(60),
+        probe_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    };
+    let router = Router::new(worker_addrs, config).unwrap();
+    serve(router, "127.0.0.1:0").unwrap()
+}
+
+fn subscriber(addr: SocketAddr) -> Client {
+    let mut client = Client::connect_as(addr, "tenant-a").unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let ack = client.subscribe(joined_spec()).unwrap();
+    assert!(ack.subscription.is_some(), "subscribe returns an ack");
+    client
+}
+
+/// A window frame, normalized: everything except the ids the router
+/// rewrites (request id, query id). Rows are the rendered strings, so
+/// equality here is the byte-identity probe.
+fn norm_frame(frame: &sjserve::Response) -> String {
+    let w = frame
+        .window
+        .as_ref()
+        .unwrap_or_else(|| panic!("expected a window frame, got {frame:?}"));
+    format!(
+        "{}|{}|{}..{}|wm={}|re={}|deg={}|err={:?}|{:?}|{:?}",
+        frame.status,
+        w.window_id,
+        w.start_us,
+        w.end_us,
+        w.watermark_us,
+        w.re_emission,
+        w.degraded,
+        w.error,
+        w.columns,
+        w.rows
+    )
+}
+
+/// Like [`norm_frame`] but additionally dropping emission-time fields
+/// (`watermark_us`, `re_emission`): bulk backfill sweeps once at the
+/// end, so those legitimately differ from row-at-a-time delivery.
+fn norm_frame_final(frame: &sjserve::Response) -> (i64, String) {
+    let w = frame.window.as_ref().expect("window frame");
+    (
+        w.window_id,
+        format!(
+            "{}|{}..{}|deg={}|err={:?}|{:?}|{:?}",
+            frame.status, w.start_us, w.end_us, w.degraded, w.error, w.columns, w.rows
+        ),
+    )
+}
+
+/// Poll the router's stats until `pred` holds (metric increments on the
+/// push path can trail the client's last read by an instant).
+fn wait_for_router_stats(
+    client: &mut Client,
+    pred: impl Fn(&RouterStatsReport) -> bool,
+) -> RouterStatsReport {
+    let mut last = None;
+    for _ in 0..100 {
+        let stats = client
+            .stats()
+            .unwrap()
+            .router_stats
+            .expect("router answers router_stats");
+        if pred(&stats) {
+            return stats;
+        }
+        last = Some(stats);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("router stats never reached the expected state: {last:?}");
+}
+
+/// Append a schedule through `appender` and drain exactly the emitted
+/// frame count from `sub`, normalized.
+fn run_and_collect(
+    appender: &mut Client,
+    sub: &mut Client,
+    schedule: &[AppendBatch],
+) -> Vec<String> {
+    let mut total = 0usize;
+    for batch in schedule {
+        let ack = appender
+            .append(batch.clone())
+            .unwrap()
+            .append
+            .expect("append ack");
+        total += ack.windows_emitted;
+    }
+    (0..total)
+        .map(|_| norm_frame(&sub.next_frame().unwrap()))
+        .collect()
+}
+
+/// Reference: the frame sequence a single-node `sjserved` subscriber
+/// sees over this schedule.
+fn single_node_frames(kind: Disarray, planner: PlannerKind) -> Vec<String> {
+    let worker = spawn_worker(planner);
+    let mut sub = subscriber(worker.addr);
+    let mut appender = Client::connect_as(worker.addr, "ingest").unwrap();
+    let frames = run_and_collect(
+        &mut appender,
+        &mut sub,
+        &disarray_schedule(kind, SEED, STEPS),
+    );
+    drop(sub);
+    worker.stop();
+    frames
+}
+
+/// The same schedule through a router fronting a 2-replica fleet.
+fn routed_frames(kind: Disarray, planner: PlannerKind, check_stats: bool) -> Vec<String> {
+    let w0 = spawn_worker(planner);
+    let w1 = spawn_worker(planner);
+    let router = spawn_router(vec![w0.addr.to_string(), w1.addr.to_string()], planner);
+    let mut sub = subscriber(router.addr);
+    let mut appender = Client::connect_as(router.addr, "ingest").unwrap();
+    let frames = run_and_collect(
+        &mut appender,
+        &mut sub,
+        &disarray_schedule(kind, SEED, STEPS),
+    );
+    if check_stats {
+        let n = frames.len();
+        let stats = wait_for_router_stats(&mut appender, |s| s.stream_frames_pushed as usize == n);
+        assert_eq!(stats.streams_active, 1);
+        // Both feeds delivered every frame before the merge forwarded
+        // one copy.
+        assert_eq!(stats.stream_worker_frames as usize, 2 * n);
+        assert_eq!(stats.stream_worker_losses, 0);
+        assert!(stats.stream_appends_forwarded > 0);
+        assert!(stats.requests_binary > 0, "binary is the default transport");
+    }
+    drop(sub);
+    router.stop();
+    w0.stop();
+    w1.stop();
+    frames
+}
+
+fn assert_fanout_identity(kind: Disarray) {
+    for planner in [PlannerKind::Legacy, PlannerKind::Constraint] {
+        let reference = single_node_frames(kind, planner);
+        assert!(
+            reference.len() >= 3,
+            "[{} {planner:?}] schedule too quiet: {} frames",
+            kind.name(),
+            reference.len()
+        );
+        let routed = routed_frames(kind, planner, kind == Disarray::InOrder);
+        assert_eq!(
+            routed,
+            reference,
+            "[{} {planner:?}] routed subscriber diverged from single-node",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fanout_matches_single_node_in_order() {
+    assert_fanout_identity(Disarray::InOrder);
+}
+
+#[test]
+fn fanout_matches_single_node_clock_skew() {
+    assert_fanout_identity(Disarray::ClockSkew);
+}
+
+#[test]
+fn fanout_matches_single_node_late_duplicates() {
+    assert_fanout_identity(Disarray::LateDuplicates);
+}
+
+#[test]
+fn fanout_matches_single_node_counter_wrap() {
+    assert_fanout_identity(Disarray::CounterWrap);
+}
+
+#[test]
+fn fanout_matches_single_node_rack_skew() {
+    assert_fanout_identity(Disarray::RackSkew);
+}
+
+/// Kill one replica mid-subscription: the merge re-forms over the
+/// survivor and the client's frame sequence is *still* byte-identical
+/// to single-node. Kill the survivor too: the next append is refused
+/// with a structured error and the subscriber gets one
+/// `worker_unavailable` teardown frame — degraded, never a hang.
+#[test]
+fn worker_kill_fails_over_then_degrades_structurally() {
+    let planner = PlannerKind::Constraint;
+    let kind = Disarray::InOrder;
+    let reference = single_node_frames(kind, planner);
+
+    let w0 = spawn_worker(planner);
+    let w1 = spawn_worker(planner);
+    let router = spawn_router(vec![w0.addr.to_string(), w1.addr.to_string()], planner);
+    let mut sub = subscriber(router.addr);
+    let mut appender = Client::connect_as(router.addr, "ingest").unwrap();
+
+    let schedule = disarray_schedule(kind, SEED, STEPS);
+    let half = schedule.len() / 2;
+    let mut total = 0usize;
+    for batch in &schedule[..half] {
+        total += appender
+            .append(batch.clone())
+            .unwrap()
+            .append
+            .unwrap()
+            .windows_emitted;
+    }
+    w1.stop();
+    for batch in &schedule[half..] {
+        // Forwarding to the dead replica fails; the live one still acks.
+        total += appender
+            .append(batch.clone())
+            .unwrap()
+            .append
+            .unwrap()
+            .windows_emitted;
+    }
+    let frames: Vec<String> = (0..total)
+        .map(|_| norm_frame(&sub.next_frame().unwrap()))
+        .collect();
+    assert_eq!(frames, reference, "failover changed the frame stream");
+
+    let stats = wait_for_router_stats(&mut appender, |s| s.stream_worker_losses >= 1);
+    assert_eq!(stats.streams_active, 1, "{stats:?}");
+
+    // Now lose the whole fleet.
+    w0.stop();
+    let err = appender.append(schedule[0].clone()).unwrap_err();
+    let body = match err {
+        ClientError::Server(body) => body,
+        other => panic!("expected a structured refusal, got {other:?}"),
+    };
+    assert_eq!(body.code, codes::WORKER_UNAVAILABLE, "{body:?}");
+
+    let teardown = sub.next_frame().unwrap();
+    assert_eq!(teardown.status, "error");
+    assert!(teardown.window.is_none());
+    assert_eq!(
+        teardown.error.as_ref().map(|e| e.code.as_str()),
+        Some(codes::WORKER_UNAVAILABLE),
+        "{teardown:?}"
+    );
+    wait_for_router_stats(&mut appender, |s| s.streams_active == 0);
+
+    router.stop();
+}
+
+/// Bulk backfill: `bulk: true` appends ingest without sweeping, and the
+/// closing flush runs one sweep. The final per-window frames must match
+/// row-at-a-time ingestion byte-for-byte (watermark and re-emission
+/// flags normalized — bulk legitimately emits each window exactly once,
+/// at the final watermark).
+#[test]
+fn bulk_backfill_matches_row_at_a_time() {
+    let kind = Disarray::LateDuplicates; // exercises re-emissions rowwise
+    let schedule = disarray_schedule(kind, SEED, STEPS);
+
+    // Row-at-a-time reference: keep the LAST frame per window.
+    let worker = spawn_worker(PlannerKind::Constraint);
+    let mut sub = subscriber(worker.addr);
+    let mut appender = Client::connect_as(worker.addr, "ingest").unwrap();
+    let mut final_wm = 0i64;
+    let mut total = 0usize;
+    for batch in &schedule {
+        let ack = appender.append(batch.clone()).unwrap().append.unwrap();
+        total += ack.windows_emitted;
+        final_wm = ack.watermark_us;
+    }
+    let mut reference = std::collections::BTreeMap::new();
+    for _ in 0..total {
+        let (wid, norm) = norm_frame_final(&sub.next_frame().unwrap());
+        reference.insert(wid, norm); // later frames supersede earlier
+    }
+    assert!(!reference.is_empty());
+    drop(sub);
+    worker.stop();
+
+    // Bulk: same schedule, no sweeps until the flush.
+    let worker = spawn_worker(PlannerKind::Constraint);
+    let mut sub = subscriber(worker.addr);
+    let mut appender = Client::connect_as(worker.addr, "ingest").unwrap();
+    for batch in &schedule {
+        let ack = appender.append_bulk(batch.clone()).unwrap().append.unwrap();
+        assert_eq!(ack.windows_emitted, 0, "bulk appends must not sweep");
+    }
+    let last = schedule.last().unwrap();
+    let flush = appender
+        .flush(&last.dataset, &last.source, last.source_clock_us)
+        .unwrap()
+        .append
+        .unwrap();
+    assert_eq!(flush.watermark_us, final_wm, "bulk watermark diverged");
+    let mut bulk = std::collections::BTreeMap::new();
+    for _ in 0..flush.windows_emitted {
+        let frame = sub.next_frame().unwrap();
+        let w = frame.window.as_ref().unwrap();
+        assert!(!w.re_emission, "one sweep emits each window once");
+        let (wid, norm) = norm_frame_final(&frame);
+        bulk.insert(wid, norm);
+    }
+    assert_eq!(bulk, reference, "bulk backfill emission log diverged");
+    drop(sub);
+    worker.stop();
+}
+
+/// One source that reports a single early row and then goes silent must
+/// not freeze window finality forever — `idle_source_timeout_secs`
+/// parks its clock out of the watermark min once it lags the leader.
+#[test]
+fn idle_source_timeout_unpins_the_watermark() {
+    fn run(idle_timeout_secs: f64) -> (i64, usize) {
+        let ctx = ExecCtx::local();
+        let catalog = stream_catalog(&ctx).unwrap();
+        let config = StreamConfig {
+            idle_source_timeout_secs: idle_timeout_secs,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&ctx, catalog, config, EngineConfig::default());
+        engine
+            .subscribe(
+                "q-idle",
+                "tenant-a",
+                &Query::new(
+                    ["compute-node", "time"],
+                    vec![
+                        QueryValue::with_units("instructions", "instructions-per-ms"),
+                        QueryValue::dim("temperature"),
+                    ],
+                ),
+            )
+            .unwrap();
+        let schedule = disarray_schedule(Disarray::InOrder, SEED, STEPS);
+        // The straggler: one row cloned from the first counter batch,
+        // under its own source name, then silence.
+        let first = schedule
+            .iter()
+            .find(|b| b.dataset == "papi_counters" && !b.rows.is_empty())
+            .unwrap();
+        let straggler = AppendBatch {
+            dataset: first.dataset.clone(),
+            source: "papi@straggler".into(),
+            source_clock_us: first.source_clock_us,
+            rows: vec![first.rows[0].clone()],
+        };
+        engine.append(&straggler).unwrap();
+        let mut emissions = 0usize;
+        for batch in &schedule {
+            emissions += engine.append(batch).unwrap().emissions.len();
+        }
+        (engine.watermark_us(), emissions)
+    }
+
+    let (wm_pinned, emitted_pinned) = run(0.0);
+    let (wm_free, emitted_free) = run(30.0);
+    assert_eq!(
+        emitted_pinned, 0,
+        "a silent one-row source should pin finality when the timeout is off"
+    );
+    assert!(
+        wm_free > wm_pinned,
+        "timeout must let the watermark pass the idle source ({wm_free} vs {wm_pinned})"
+    );
+    assert!(emitted_free > 0, "watermark advanced but nothing ripened");
+}
+
+/// The daemon defaults to the binary transport, but a byte-one sniff
+/// keeps JSON-lines clients working on the same port: both kinds of
+/// subscriber see the same frames, and both report their negotiated
+/// wire info.
+#[test]
+fn json_lines_client_against_binary_default_daemon() {
+    let worker = spawn_worker(PlannerKind::Constraint);
+
+    let mut json_sub = Client::connect_json_as(worker.addr, "tenant-a").unwrap();
+    json_sub
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    assert_eq!(json_sub.wire_info().wire_version, PROTO_VERSION);
+    assert_eq!(json_sub.wire_info().codec, sjwire::CODEC_JSON_LINES);
+    json_sub.subscribe(joined_spec()).unwrap();
+
+    let mut bin_sub = subscriber(worker.addr);
+    assert_eq!(bin_sub.wire_info().wire_version, sjwire::WIRE_VERSION);
+    assert_eq!(bin_sub.wire_info().codec, sjwire::CODEC_COLUMNAR);
+
+    let mut appender = Client::connect_as(worker.addr, "ingest").unwrap();
+    let mut total = 0usize;
+    for batch in disarray_schedule(Disarray::ClockSkew, SEED, STEPS) {
+        total += appender
+            .append(batch)
+            .unwrap()
+            .append
+            .unwrap()
+            .windows_emitted;
+    }
+    // `windows_emitted` counts frames across *both* registrations; the
+    // identical standing queries emit in lockstep, so each subscriber
+    // gets exactly half — and they must agree byte-for-byte.
+    assert!(total > 0);
+    assert_eq!(total % 2, 0, "two identical subscriptions emit in pairs");
+    let per_sub = total / 2;
+    let json_frames: Vec<String> = (0..per_sub)
+        .map(|_| norm_frame(&json_sub.next_frame().unwrap()))
+        .collect();
+    let bin_frames: Vec<String> = (0..per_sub)
+        .map(|_| norm_frame(&bin_sub.next_frame().unwrap()))
+        .collect();
+    assert_eq!(json_frames, bin_frames);
+
+    // Both transports stamp their negotiated wire info on responses,
+    // and the service counts requests per protocol.
+    let resp = Client::connect_json(worker.addr).unwrap().stats().unwrap();
+    let wire = resp.wire.clone().expect("json responses carry wire info");
+    assert_eq!(wire.wire_version, PROTO_VERSION);
+    assert_eq!(wire.codec, sjwire::CODEC_JSON_LINES);
+    let stats = resp.stats.unwrap();
+    assert!(stats.requests_json > 0, "{stats:?}");
+    assert!(stats.requests_binary > 0, "{stats:?}");
+
+    let resp = Client::connect(worker.addr).unwrap().stats().unwrap();
+    let wire = resp.wire.expect("binary responses carry wire info");
+    assert_eq!(wire.wire_version, sjwire::WIRE_VERSION);
+    assert_eq!(wire.codec, sjwire::CODEC_COLUMNAR);
+
+    worker.stop();
+}
